@@ -1,0 +1,76 @@
+"""Ablation A3 — community-detection algorithm comparison.
+
+The paper's stated future work: "compare the results of a range of
+community detection algorithms, such as the Infomap algorithm and the
+Label Propagation algorithm".  This bench runs Louvain, fast-greedy
+CNM, label propagation and our map-equation optimiser on G_Basic and
+reports communities, modularity and trip self-containment.
+"""
+
+from repro.community import (
+    consensus_louvain,
+    fast_greedy_with_score,
+    infomap,
+    label_propagation,
+    louvain,
+    modularity,
+)
+from repro.core import self_containment
+from repro.reporting import format_table
+
+
+def test_ablation_community_algorithms(benchmark, paper_expansion):
+    g_basic = paper_expansion.network.g_basic()
+    trips = paper_expansion.network.trips
+
+    def run_all():
+        outcomes = {}
+        louvain_result = louvain(g_basic)
+        outcomes["louvain"] = (louvain_result.partition, louvain_result.modularity)
+        cnm_partition, cnm_score = fast_greedy_with_score(g_basic)
+        outcomes["fast_greedy"] = (cnm_partition, cnm_score)
+        lpa_partition = label_propagation(g_basic, seed=7)
+        outcomes["label_propagation"] = (
+            lpa_partition, modularity(g_basic, lpa_partition)
+        )
+        infomap_result = infomap(g_basic)
+        outcomes["infomap"] = (
+            infomap_result.partition,
+            modularity(g_basic, infomap_result.partition),
+        )
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, (partition, score) in outcomes.items():
+        rows.append(
+            [
+                name,
+                partition.n_communities,
+                score,
+                self_containment(trips, partition),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["Algorithm", "#communities", "Modularity", "Self-containment"],
+            rows,
+            title="ABLATION A3: COMMUNITY ALGORITHMS ON G_BASIC (paper future work)",
+        )
+    )
+    # Louvain should be at least as good as LPA on modularity and find
+    # a small community count comparable to the paper's 3.
+    louvain_score = dict((row[0], row[2]) for row in rows)["louvain"]
+    lpa_score = dict((row[0], row[2]) for row in rows)["label_propagation"]
+    assert louvain_score >= lpa_score - 1e-9
+    assert outcomes["louvain"][0].n_communities <= 8
+
+    # Stability check: the paper's communities are not a lucky seed.
+    consensus = consensus_louvain(g_basic, n_runs=6)
+    print(
+        f"consensus over 6 Louvain seeds: {consensus.n_communities} "
+        f"communities, mean pairwise NMI {consensus.stability:.3f}"
+    )
+    assert consensus.stability > 0.5

@@ -1,0 +1,69 @@
+"""Ablation A5 — condensation strategy comparison (paper future work).
+
+"Further research should also investigate the effect of different graph
+optimisation strategies": this bench condenses the same cleaned
+locations with complete-linkage HAC (the paper's method), uniform grid
+snapping, and k-means, then reports cluster counts, Rule-1 (100 m
+diameter) violations and the worst diameter each produces.
+"""
+
+import numpy as np
+
+from repro.cluster import (
+    cluster_locations,
+    grid_condense,
+    kmeans_condense,
+    pairwise_haversine_matrix,
+)
+from repro.reporting import format_table
+
+
+def _audit(clustering, points):
+    violations = 0
+    worst = 0.0
+    for cluster in clustering.clusters:
+        if cluster.size < 2:
+            continue
+        member_points = [points[i] for i in cluster.member_location_ids]
+        diameter = float(np.max(pairwise_haversine_matrix(member_points)))
+        worst = max(worst, diameter)
+        if diameter > 100.0 + 1e-6:
+            violations += 1
+    return violations, worst
+
+
+def test_ablation_condensation_strategies(benchmark, paper_expansion):
+    cleaned = paper_expansion.cleaned
+    points = {r.location_id: r.point() for r in cleaned.locations()}
+    stations = {r.location_id: r.point() for r in cleaned.stations()}
+    hac_result = paper_expansion.candidates.clustering
+    k = hac_result.n_clusters
+
+    def run_alternatives():
+        return {
+            "grid_100m": grid_condense(points, stations, cell_m=100.0),
+            "kmeans": kmeans_condense(points, stations, k=k),
+        }
+
+    alternatives = benchmark.pedantic(run_alternatives, rounds=1, iterations=1)
+    strategies = {"hac_complete (paper)": hac_result, **alternatives}
+
+    rows = []
+    audits = {}
+    for name, clustering in strategies.items():
+        violations, worst = _audit(clustering, points)
+        audits[name] = violations
+        rows.append(
+            [name, clustering.n_clusters, violations, f"{worst:.0f} m"]
+        )
+    print()
+    print(
+        format_table(
+            ["Strategy", "#clusters", "Rule-1 violations", "Worst diameter"],
+            rows,
+            title="ABLATION A5: CONDENSATION STRATEGY (paper future work)",
+        )
+    )
+    # Only the paper's complete-linkage construction guarantees Rule 1.
+    assert audits["hac_complete (paper)"] == 0
+    assert alternatives["kmeans"].n_clusters <= k

@@ -1,0 +1,65 @@
+"""Ablation A1 — linkage criterion (complete vs single vs average).
+
+The paper uses complete linkage because cutting its dendrogram at 100 m
+enforces the Cluster-Boundary rule by construction.  This bench runs
+the condensation stage under all three criteria and reports cluster
+counts and Rule-1 violations — single linkage chains and violates it.
+"""
+
+import numpy as np
+
+from repro.cluster import cluster_locations, pairwise_haversine_matrix
+from repro.config import ClusteringConfig
+from repro.reporting import format_table
+
+
+def _rule1_violations(clustering, points, boundary=100.0) -> int:
+    violations = 0
+    for cluster in clustering.clusters:
+        if cluster.size < 2:
+            continue
+        member_points = [points[i] for i in cluster.member_location_ids]
+        if float(np.max(pairwise_haversine_matrix(member_points))) > boundary + 1e-6:
+            violations += 1
+    return violations
+
+
+def test_ablation_linkage_criteria(benchmark, paper_expansion):
+    cleaned = paper_expansion.cleaned
+    points = {r.location_id: r.point() for r in cleaned.locations()}
+    stations = {r.location_id: r.point() for r in cleaned.stations()}
+
+    rows = []
+    results = {}
+    for linkage in ("complete", "average", "single"):
+        config = ClusteringConfig(linkage=linkage)
+        if linkage == "complete":
+            clustering = benchmark.pedantic(
+                lambda: cluster_locations(points, stations, config),
+                rounds=1,
+                iterations=1,
+            )
+        else:
+            clustering = cluster_locations(points, stations, config)
+        results[linkage] = clustering
+        rows.append(
+            [
+                linkage,
+                clustering.n_clusters,
+                max(c.size for c in clustering.clusters),
+                _rule1_violations(clustering, points),
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["Linkage", "#clusters", "Largest cluster", "Rule-1 violations"],
+            rows,
+            title="ABLATION A1: LINKAGE CRITERION",
+        )
+    )
+    # Complete linkage never violates Rule 1; single linkage chains.
+    assert _rule1_violations(results["complete"], points) == 0
+    assert results["single"].n_clusters <= results["average"].n_clusters
+    assert results["average"].n_clusters <= results["complete"].n_clusters

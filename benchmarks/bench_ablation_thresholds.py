@@ -1,0 +1,69 @@
+"""Ablation A2 — selection threshold sweeps.
+
+The paper concedes its 100 m boundary and 250 m secondary distance are
+pragmatic rather than empirical.  This bench sweeps the secondary
+distance and the degree threshold and reports how many stations the
+expansion admits under each setting.
+"""
+
+from repro.config import SelectionConfig
+from repro.core import select_stations
+from repro.reporting import format_table
+
+
+def test_ablation_secondary_distance(benchmark, paper_expansion):
+    candidates = paper_expansion.candidates
+
+    def run_sweep():
+        outcomes = []
+        for secondary_m in (100.0, 175.0, 250.0, 400.0, 600.0):
+            result = select_stations(
+                candidates, SelectionConfig(secondary_distance_m=secondary_m)
+            )
+            outcomes.append((secondary_m, result.n_selected))
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["Secondary distance (m)", "#selected stations"],
+            [[f"{d:.0f}", n] for d, n in outcomes],
+            title="ABLATION A2a: SECONDARY-DISTANCE SWEEP (paper: 250 m -> 146)",
+        )
+    )
+    counts = [n for _, n in outcomes]
+    # Tighter spacing admits more stations, monotonically.
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_ablation_degree_threshold(benchmark, paper_expansion):
+    candidates = paper_expansion.candidates
+    baseline = paper_expansion.selection.degree_threshold
+
+    def run_sweep():
+        outcomes = []
+        for threshold in (0, baseline, 2 * baseline, 4 * baseline):
+            result = select_stations(
+                candidates, SelectionConfig(degree_threshold=threshold)
+            )
+            outcomes.append((threshold, result.n_selected))
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [[threshold, count] for threshold, count in outcomes]
+    counts = [count for _, count in outcomes]
+
+    print()
+    print(
+        format_table(
+            ["Degree threshold", "#selected stations"],
+            rows,
+            title=(
+                "ABLATION A2b: DEGREE-THRESHOLD SWEEP "
+                f"(paper rule: min fixed-station degree = {baseline})"
+            ),
+        )
+    )
+    assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,23 @@
+"""Figure 3 — G_Basic community map (stations coloured by community)."""
+
+from repro.viz import render_community_map
+
+
+def test_fig3_gbasic_map(benchmark, paper_expansion, output_dir):
+    network = paper_expansion.network
+    partition = paper_expansion.basic.partition
+
+    canvas = benchmark.pedantic(
+        lambda: render_community_map(
+            network, partition, "Community detection for G_Basic"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    path = canvas.save(output_dir / "fig3_gbasic_map.svg")
+    sizes = partition.sizes()
+    print(f"\nFIG 3: G_Basic community map -> {path}")
+    for label in partition.labels():
+        print(f"  community {label}: {sizes[label]} stations")
+    assert partition.n_communities >= 3

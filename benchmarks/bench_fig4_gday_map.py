@@ -1,0 +1,21 @@
+"""Figure 4 — G_Day community map."""
+
+from repro.viz import render_community_map
+
+
+def test_fig4_gday_map(benchmark, paper_expansion, output_dir):
+    network = paper_expansion.network
+    partition = paper_expansion.day.station_partition
+
+    canvas = benchmark.pedantic(
+        lambda: render_community_map(
+            network, partition, "Community detection for G_Day"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    path = canvas.save(output_dir / "fig4_gday_map.svg")
+    print(f"\nFIG 4: G_Day community map -> {path}")
+    print(f"  communities: {partition.n_communities} (paper: 7)")
+    assert partition.n_communities >= 5

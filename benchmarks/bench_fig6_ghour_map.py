@@ -1,0 +1,21 @@
+"""Figure 6 — G_Hour community map."""
+
+from repro.viz import render_community_map
+
+
+def test_fig6_ghour_map(benchmark, paper_expansion, output_dir):
+    network = paper_expansion.network
+    partition = paper_expansion.hour.station_partition
+
+    canvas = benchmark.pedantic(
+        lambda: render_community_map(
+            network, partition, "Community detection for G_Hour"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    path = canvas.save(output_dir / "fig6_ghour_map.svg")
+    print(f"\nFIG 6: G_Hour community map -> {path}")
+    print(f"  communities: {partition.n_communities} (paper: 10)")
+    assert partition.n_communities >= 8

@@ -1,0 +1,42 @@
+"""Figure 7 — hourly travel patterns per G_Hour community.
+
+Prints every community's hour-of-day trip shares, renders the chart,
+and checks the paper's qualitative split: commute-peaked communities
+(7-9 am and ~5 pm) versus midday-peaked leisure communities.
+"""
+
+from repro.core import commute_peak_share, hourly_profile, midday_share
+from repro.reporting import experiment_fig7
+from repro.viz import render_profile_chart
+
+
+def test_fig7_hourly_patterns(benchmark, paper_expansion, output_dir):
+    trips = paper_expansion.network.trips
+    partition = paper_expansion.hour.station_partition
+
+    profiles = benchmark.pedantic(
+        lambda: hourly_profile(trips, partition), rounds=1, iterations=1
+    )
+
+    output = experiment_fig7(paper_expansion)
+    print()
+    print(output.text)
+    canvas = render_profile_chart(
+        profiles,
+        [f"{hour:02d}" for hour in range(24)],
+        "Hourly travel patterns per community (G_Hour)",
+    )
+    path = canvas.save(output_dir / "fig7_hourly_patterns.svg")
+    print(f"  chart -> {path}")
+
+    commute = {
+        label: commute_peak_share(profile)
+        for label, profile in profiles.items()
+    }
+    midday = {
+        label: midday_share(profile) for label, profile in profiles.items()
+    }
+    print("  commute-peak shares:", {k: round(v, 2) for k, v in sorted(commute.items())})
+    print("  midday shares:", {k: round(v, 2) for k, v in sorted(midday.items())})
+    assert max(commute.values()) > 0.5
+    assert max(midday.values()) > 0.3

@@ -1,0 +1,57 @@
+"""Extension experiment — station-demand forecasting baselines.
+
+Related work in the paper ([1], [22]) predicts station-level hourly
+demand with GCNs; this bench establishes what the classical baselines
+achieve on our expanded network: global mean vs calendar profile vs
+shrunk calendar profile, trained on the first ~17 months and tested on
+the last ~4.
+"""
+
+from datetime import date
+
+from repro.forecast import (
+    CalendarProfileModel,
+    DemandSeries,
+    GlobalMeanModel,
+    SmoothedCalendarModel,
+    evaluate,
+)
+from repro.reporting import format_table
+
+CUTOFF = date(2021, 6, 1)
+
+
+def test_forecast_baselines(benchmark, paper_expansion):
+    series = DemandSeries.from_rentals(
+        paper_expansion.cleaned.rentals(),
+        paper_expansion.network.location_to_station,
+    )
+    train, test = series.split_by_date(CUTOFF)
+
+    def run_all():
+        return [
+            evaluate(GlobalMeanModel(), "global_mean", train, test),
+            evaluate(CalendarProfileModel(), "calendar_profile", train, test),
+            evaluate(
+                SmoothedCalendarModel(shrinkage=5.0),
+                "smoothed_calendar", train, test,
+            ),
+        ]
+
+    scores = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["Model", "MAE", "RMSE", "Test points"],
+            [[s.model, s.mae, s.rmse, s.n_points] for s in scores],
+            title=(
+                "EXTENSION: DAILY STATION-DEMAND FORECAST BASELINES "
+                f"(train < {CUTOFF}, test >= {CUTOFF})"
+            ),
+        )
+    )
+    by_name = {score.model: score.mae for score in scores}
+    # Calendar structure must help: the COVID-era series is strongly
+    # weekday/weekend patterned.
+    assert by_name["smoothed_calendar"] <= by_name["global_mean"] + 1e-9

@@ -1,0 +1,78 @@
+"""Scaling bench — pipeline cost vs dataset size.
+
+The paper's future work mentions "different graph optimisation
+strategies ... if more computational resources are available to allow
+for larger graphs"; this bench measures how the full pipeline scales
+with trip volume on this implementation.
+"""
+
+import time
+
+from repro.core import NetworkExpansionOptimiser
+from repro.reporting import format_table
+from repro.synth import GeneratorConfig, NoiseConfig, SyntheticMobyGenerator
+
+
+def _config(scale: float) -> GeneratorConfig:
+    return GeneratorConfig(
+        seed=13,
+        n_stations=max(20, int(92 * scale)),
+        n_adhoc_spots=max(80, int(1150 * scale)),
+        n_clean_rentals=max(2_000, int(61_872 * scale)),
+        n_clean_locations=max(900, int(14_156 * scale)),
+        noise=NoiseConfig(
+            n_rentals_missing_id=20, n_rentals_dangling_id=20,
+            n_locations_outside=5, n_locations_in_bay=5,
+            n_locations_missing_coords=5, n_locations_unreferenced=5,
+            rentals_per_bad_station=5,
+        ),
+    )
+
+
+def _run_once(scale: float) -> dict[str, float]:
+    timings: dict[str, float] = {}
+    start = time.perf_counter()
+    raw = SyntheticMobyGenerator(seed=13, config=_config(scale)).generate()
+    timings["generate"] = time.perf_counter() - start
+
+    optimiser = NetworkExpansionOptimiser(raw)
+    for stage, fn in (
+        ("clean", optimiser.clean),
+        ("condense", optimiser.condense),
+        ("select", optimiser.select),
+        ("network", optimiser.build_network),
+        ("louvain", optimiser.detect_basic),
+    ):
+        start = time.perf_counter()
+        fn()
+        timings[stage] = time.perf_counter() - start
+    timings["total"] = sum(timings.values())
+    return timings
+
+
+def test_scaling_with_dataset_size(benchmark):
+    scales = (0.1, 0.25, 0.5)
+    results = {}
+
+    def run_all():
+        for scale in scales:
+            results[scale] = _run_once(scale)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    stages = ["generate", "clean", "condense", "select", "network", "louvain", "total"]
+    rows = [
+        [f"{scale:.2f}x"] + [f"{results[scale][stage]:.2f}s" for stage in stages]
+        for scale in scales
+    ]
+    print()
+    print(
+        format_table(
+            ["Scale"] + stages,
+            rows,
+            title="SCALING: PIPELINE STAGE SECONDS VS DATASET SIZE",
+        )
+    )
+    # Sanity: the half-scale run stays comfortably under two minutes.
+    assert results[0.5]["total"] < 120.0

@@ -1,0 +1,98 @@
+"""Extension experiment — simulated service rate before/after expansion.
+
+The paper's operational claim is that the expansion relieves
+bottlenecks and that community-driven rebalancing improves
+redistribution.  This bench replays the full 21-month demand against
+(a) the original 92 stations, (b) the expanded network with the *same*
+95-bike fleet, (c) the expanded network with Friday-night rebalancing,
+and (d) the expanded network with the fleet scaled to the new station
+count.
+
+Finding worth reporting: with a fixed fleet, expansion *dilutes* bike
+availability (the same bikes spread over 2.8x the stations), so the
+service rate drops — station expansion only pays off alongside fleet
+growth, which is exactly the operational caveat a planner needs.
+"""
+
+from repro.analysis import plan_weekend_rebalancing
+from repro.reporting import format_table
+from repro.sim import FleetSimulator, compare_networks, requests_from_rentals
+
+
+def test_sim_expansion_service_rate(benchmark, paper_expansion):
+    plan = plan_weekend_rebalancing(
+        paper_expansion.network,
+        paper_expansion.day.station_partition,
+        fleet_size=95,
+    )
+
+    def run_all():
+        comparisons = compare_networks(
+            paper_expansion, n_bikes=95, walk_radius_m=300.0,
+            rebalancing_plan=plan,
+        )
+        # Scenario (d): fleet grown proportionally with the network.
+        network = paper_expansion.network
+        points = {
+            sid: station.point for sid, station in network.stations.items()
+        }
+        scaled_bikes = round(95 * len(points) / len(network.fixed_station_ids))
+        requests = requests_from_rentals(
+            paper_expansion.cleaned.rentals(), network.location_to_station
+        )
+        weights: dict[int, float] = {}
+        for request in requests:
+            weights[request.origin] = weights.get(request.origin, 0.0) + 1.0
+        simulator = FleetSimulator(points, scaled_bikes, walk_radius_m=300.0)
+        scaled = simulator.run(requests, simulator.initial_bikes(weights))
+        return comparisons, scaled, scaled_bikes
+
+    comparisons, scaled, scaled_bikes = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    rows = []
+    for comparison in comparisons:
+        outcome = comparison.result
+        rows.append(
+            [
+                comparison.name + " (95 bikes)",
+                comparison.n_stations,
+                outcome.n_requests,
+                f"{outcome.service_rate:.1%}",
+                f"{outcome.walk_rate:.1%}",
+                outcome.bikes_moved_by_rebalancing,
+            ]
+        )
+    rows.append(
+        [
+            f"expanded ({scaled_bikes} bikes)",
+            comparisons[1].n_stations,
+            scaled.n_requests,
+            f"{scaled.service_rate:.1%}",
+            f"{scaled.walk_rate:.1%}",
+            0,
+        ]
+    )
+    print()
+    print(
+        format_table(
+            ["Scenario", "Stations", "Requests", "Service rate", "Walk rate",
+             "Rebalanced"],
+            rows,
+            title="SIMULATED SERVICE RATE: EXPANSION vs FLEET SIZE",
+        )
+    )
+    by_name = {c.name: c.result for c in comparisons}
+    # Conservation in every scenario.
+    for outcome in list(by_name.values()) + [scaled]:
+        assert outcome.served + outcome.unserved == outcome.n_requests
+    # The documented finding: fixed-fleet expansion dilutes availability...
+    assert by_name["expanded"].service_rate < by_name["original"].service_rate
+    # ...while scaling the fleet with the network recovers (and beats) it.
+    assert scaled.service_rate > by_name["original"].service_rate - 0.02
+    # Rebalancing never hurts the expanded network.
+    assert (
+        by_name["expanded+rebalancing"].service_rate
+        >= by_name["expanded"].service_rate - 0.02
+    )

@@ -1,0 +1,29 @@
+"""Table I — dataset overview (original vs cleaned).
+
+Regenerates the paper's Table I from the calibrated synthetic dataset
+and benchmarks the six-rule cleaning pipeline itself.
+"""
+
+from conftest import print_with_comparisons
+
+from repro.data import clean_dataset
+from repro.reporting import experiment_table1
+from repro.synth import generate_paper_dataset
+
+
+def test_table1_cleaning(benchmark, paper_expansion):
+    raw = generate_paper_dataset(seed=7)
+
+    _, report = benchmark.pedantic(
+        lambda: clean_dataset(raw), rounds=1, iterations=1
+    )
+
+    output = experiment_table1(report)
+    print_with_comparisons(output)
+    for outcome in report.outcomes:
+        print(
+            f"  rule {outcome.rule}: -{outcome.locations_removed} locations, "
+            f"-{outcome.rentals_removed} rentals"
+        )
+    assert output.measured["original_rentals"] == 62_324
+    assert output.measured["cleaned_rentals"] == 61_872

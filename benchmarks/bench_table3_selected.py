@@ -1,0 +1,37 @@
+"""Table III — the selected graph after Algorithm 1.
+
+Regenerates the paper's Table III and benchmarks the ranking/selection
+algorithm plus the nearest-station reassignment.
+"""
+
+from conftest import print_with_comparisons
+
+from repro.core import build_selected_network, select_stations
+from repro.reporting import experiment_table3
+
+
+def test_table3_selection(benchmark, paper_expansion):
+    candidates = paper_expansion.candidates
+
+    def run():
+        selection = select_stations(candidates)
+        return build_selected_network(
+            paper_expansion.cleaned, candidates, selection
+        )
+
+    network = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    output = experiment_table3(paper_expansion)
+    print_with_comparisons(output)
+    print(
+        "selection rejections:",
+        paper_expansion.selection.rejection_counts(),
+        "| degree threshold:",
+        paper_expansion.selection.degree_threshold,
+    )
+    stats = network.stats()
+    # Paper shape: expansion roughly 1.5x the network, fixed stations
+    # keep the large majority of trips.
+    assert 97 <= stats.n_selected <= 219  # paper: 146
+    assert stats.trips_from_fixed > 2 * stats.trips_from_selected
+    assert stats.n_trips == 61_872

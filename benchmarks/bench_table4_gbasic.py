@@ -1,0 +1,37 @@
+"""Table IV — communities in G_Basic (Louvain, no temporal features)."""
+
+from conftest import print_with_comparisons
+
+from repro.community import louvain, partition_significance
+from repro.core import self_containment
+from repro.reporting import experiment_table4
+
+
+def test_table4_gbasic_communities(benchmark, paper_expansion):
+    g_basic = paper_expansion.network.g_basic()
+
+    result = benchmark.pedantic(
+        lambda: louvain(g_basic), rounds=1, iterations=1
+    )
+
+    output = experiment_table4(paper_expansion)
+    print_with_comparisons(output)
+    containment = self_containment(
+        paper_expansion.network.trips, result.partition
+    )
+    # Paper: 3 communities, ~74 % of trips self-contained.
+    assert 3 <= result.n_communities <= 5
+    assert 0.64 <= containment <= 0.84
+    assert result.modularity > 0.2
+
+    # Signorelli & Cutillo-style validation ([33]): the partition must
+    # beat degree-preserving null graphs.
+    significance = partition_significance(
+        g_basic, result.partition, n_samples=6
+    )
+    print(
+        f"null-model check: Q={significance.observed:.3f} vs null "
+        f"{significance.null_mean:.3f}±{significance.null_std:.3f} "
+        f"(z={significance.z_score:.1f})"
+    )
+    assert significance.observed > significance.null_mean

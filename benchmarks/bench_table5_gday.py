@@ -1,0 +1,26 @@
+"""Table V — communities in G_Day (multislice Louvain, 7 day slices)."""
+
+from conftest import print_with_comparisons
+
+from repro.community import detect_temporal_communities
+from repro.config import PAPER_CONFIG
+from repro.core import N_DAY_SLICES
+from repro.reporting import experiment_table5
+
+
+def test_table5_gday_communities(benchmark, paper_expansion):
+    trips = paper_expansion.network.day_sliced_trips()
+
+    result = benchmark.pedantic(
+        lambda: detect_temporal_communities(
+            trips, N_DAY_SLICES, PAPER_CONFIG.temporal
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    output = experiment_table5(paper_expansion)
+    print_with_comparisons(output)
+    # Paper: 7 communities; modularity above G_Basic's.
+    assert 5 <= result.n_communities <= 10
+    assert result.modularity > paper_expansion.basic.modularity

@@ -1,0 +1,26 @@
+"""Table VI — communities in G_Hour (multislice Louvain, 24 hour slices)."""
+
+from conftest import print_with_comparisons
+
+from repro.community import detect_temporal_communities
+from repro.config import PAPER_CONFIG
+from repro.core import N_HOUR_SLICES
+from repro.reporting import experiment_table6
+
+
+def test_table6_ghour_communities(benchmark, paper_expansion):
+    trips = paper_expansion.network.hour_sliced_trips()
+
+    result = benchmark.pedantic(
+        lambda: detect_temporal_communities(
+            trips, N_HOUR_SLICES, PAPER_CONFIG.temporal
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    output = experiment_table6(paper_expansion)
+    print_with_comparisons(output)
+    # Paper: 10 communities; the highest modularity of the three.
+    assert 8 <= result.n_communities <= 14
+    assert result.modularity > paper_expansion.day.modularity

@@ -1,0 +1,47 @@
+"""Shared state for the benchmark harness.
+
+The paper-scale pipeline (seed 7) is executed once per session; each
+bench then times its own experiment's regeneration step and prints the
+paper-style table or series next to the paper's reference values, and
+writes any figure artifacts under ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import NetworkExpansionOptimiser
+from repro.reporting import comparison_rows, format_table
+from repro.synth import generate_paper_dataset
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def paper_expansion():
+    """The full paper-calibrated pipeline run (seed 7)."""
+    return NetworkExpansionOptimiser(generate_paper_dataset(seed=7)).run()
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    """Directory collecting rendered figures and printed artifacts."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR
+
+
+def print_with_comparisons(output) -> None:
+    """Print an experiment's text plus its paper-vs-measured table."""
+    print()
+    print(output.text)
+    comparisons = output.comparisons()
+    if comparisons:
+        print(
+            format_table(
+                ["Measure", "Paper", "Measured", "Ratio"],
+                comparison_rows(comparisons),
+                title=f"PAPER vs MEASURED ({output.experiment})",
+            )
+        )

@@ -1,0 +1,86 @@
+"""Fleet rebalancing from community structure.
+
+The paper's conclusion: "bikes could be moved from Communities 2, 4 and
+6 to Communities 1, 3 and 7 each Friday night to prepare for the shift
+in demand over the weekend."  This script turns that observation into a
+concrete plan: it classifies G_Day communities into weekday-commute
+donors and weekend-leisure receivers, sizes the transfer from the
+observed weekend demand shift, and lists per-station flux (bike
+sinks/sources) to pick pickup and drop-off points.
+
+Run:  python examples/rebalancing.py
+"""
+
+from repro import NetworkExpansionOptimiser
+from repro.core import daily_profile, weekend_share
+from repro.metrics import fluxes
+from repro.reporting import format_table
+from repro.synth import generate_paper_dataset
+
+N_BIKES = 95
+WEEKEND_UNIFORM = 2.0 / 7.0
+
+
+def main() -> None:
+    print("Running the expansion pipeline (seed 7)...")
+    optimiser = NetworkExpansionOptimiser(generate_paper_dataset(seed=7))
+    result = optimiser.run()
+    trips = result.network.trips
+    partition = result.day.station_partition
+
+    profiles = daily_profile(trips, partition)
+    sizes = partition.sizes()
+    volumes: dict[int, int] = {}
+    for trip in trips:
+        label = partition[trip.origin]
+        volumes[label] = volumes.get(label, 0) + 1
+
+    donors = []
+    receivers = []
+    rows = []
+    for label, profile in sorted(profiles.items()):
+        share = weekend_share(profile)
+        role = "receiver" if share > WEEKEND_UNIFORM else "donor"
+        (receivers if share > WEEKEND_UNIFORM else donors).append(label)
+        rows.append(
+            [label, sizes[label], volumes.get(label, 0), f"{share:.2f}", role]
+        )
+    print()
+    print(
+        format_table(
+            ["Community", "Stations", "Trips", "Weekend share", "Friday-night role"],
+            rows,
+            title="G_DAY COMMUNITIES AS REBALANCING DONORS/RECEIVERS",
+        )
+    )
+
+    # Size the Friday-night transfer: bikes proportional to the excess
+    # weekend demand share of the receiving communities.
+    total_volume = sum(volumes.values())
+    excess = sum(
+        (weekend_share(profiles[label]) - WEEKEND_UNIFORM)
+        * volumes.get(label, 0)
+        for label in receivers
+    )
+    transfer = max(1, round(N_BIKES * excess / max(1, total_volume) * 7 / 2))
+    print(
+        f"\nPlan: move ~{transfer} of {N_BIKES} bikes from communities "
+        f"{donors} to communities {receivers} each Friday night."
+    )
+
+    # Per-station flux inside the receiving communities: the strongest
+    # weekday sinks already hold bikes; drop new ones at the sources.
+    flow = result.network.directed_flow()
+    station_flux = fluxes(flow)
+    for label in receivers:
+        members = [
+            sid for sid in partition.assignment
+            if partition[sid] == label
+        ]
+        sources = sorted(members, key=lambda sid: station_flux[sid])[:3]
+        print(f"  community {label}: drop bikes at stations {sources} "
+              f"(strongest weekday outflow)")
+
+
+if __name__ == "__main__":
+    main()

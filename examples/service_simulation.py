@@ -1,0 +1,71 @@
+"""Service simulation: does the expansion actually help riders?
+
+Replays the 21 months of demand against the original and expanded
+networks in the fleet simulator and reports service rates, walk rates
+and the worst stockout stations — closing the loop on the paper's
+operational motivation.
+
+Run:  python examples/service_simulation.py
+"""
+
+from repro import NetworkExpansionOptimiser
+from repro.analysis import plan_weekend_rebalancing
+from repro.reporting import format_table
+from repro.sim import compare_networks
+from repro.synth import generate_paper_dataset
+
+
+def main() -> None:
+    print("Running the expansion pipeline (seed 7)...")
+    optimiser = NetworkExpansionOptimiser(generate_paper_dataset(seed=7))
+    result = optimiser.run()
+
+    plan = plan_weekend_rebalancing(
+        result.network, optimiser.detect_day().station_partition, fleet_size=95
+    )
+    print("Simulating 21 months of demand against three configurations...")
+    comparisons = compare_networks(
+        result, n_bikes=95, walk_radius_m=300.0, rebalancing_plan=plan
+    )
+
+    rows = [
+        [
+            comparison.name,
+            comparison.n_stations,
+            f"{comparison.result.service_rate:.1%}",
+            f"{comparison.result.walk_rate:.1%}",
+            comparison.result.unserved,
+            comparison.result.bikes_moved_by_rebalancing,
+        ]
+        for comparison in comparisons
+    ]
+    print()
+    print(
+        format_table(
+            ["Configuration", "Stations", "Service rate", "Walk rate",
+             "Unserved", "Bikes rebalanced"],
+            rows,
+            title="SERVICE-LEVEL COMPARISON",
+        )
+    )
+
+    worst = sorted(
+        comparisons[-1].result.stockout_minutes.items(),
+        key=lambda item: -item[1],
+    )[:8]
+    if worst:
+        print()
+        print(
+            format_table(
+                ["Station", "Stockout demand (ride-minutes lost)"],
+                [
+                    [result.network.stations[sid].name, f"{minutes:.0f}"]
+                    for sid, minutes in worst
+                ],
+                title="WORST STOCKOUT STATIONS (final configuration)",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Legacy setup shim for environments without PEP-517 wheel support."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Graph-based optimisation of network expansion in a dockless "
+        "bike sharing system (ICDE 2024 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

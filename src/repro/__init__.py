@@ -1,0 +1,54 @@
+"""repro — reproduction of "Graph-Based Optimisation of Network
+Expansion in a Dockless Bike Sharing System" (ICDE 2024).
+
+The package implements the paper's full pipeline over a calibrated
+synthetic stand-in for the proprietary Moby Bikes dataset:
+
+>>> from repro import NetworkExpansionOptimiser, generate_paper_dataset
+>>> result = NetworkExpansionOptimiser(generate_paper_dataset()).run()
+>>> result.basic.modularity > 0
+True
+
+Sub-packages: :mod:`repro.geo` (geospatial substrate), :mod:`repro.data`
+(relational tables + cleaning), :mod:`repro.synth` (dataset generator),
+:mod:`repro.graphdb` (property graph), :mod:`repro.cluster` (HAC),
+:mod:`repro.community` (Louvain & friends), :mod:`repro.metrics`,
+:mod:`repro.core` (the expansion pipeline), :mod:`repro.viz` and
+:mod:`repro.reporting`.
+"""
+
+from .config import (
+    ClusteringConfig,
+    CommunityConfig,
+    PAPER_CONFIG,
+    PipelineConfig,
+    SelectionConfig,
+    TemporalCommunityConfig,
+)
+from .core import (
+    ExpansionResult,
+    NetworkExpansionOptimiser,
+    validate_expansion,
+)
+from .data import MobyDataset, clean_dataset
+from .exceptions import ReproError
+from .synth import SyntheticMobyGenerator, generate_paper_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusteringConfig",
+    "CommunityConfig",
+    "ExpansionResult",
+    "MobyDataset",
+    "NetworkExpansionOptimiser",
+    "PAPER_CONFIG",
+    "PipelineConfig",
+    "ReproError",
+    "SelectionConfig",
+    "SyntheticMobyGenerator",
+    "TemporalCommunityConfig",
+    "clean_dataset",
+    "generate_paper_dataset",
+    "validate_expansion",
+]

@@ -1,0 +1,31 @@
+"""Decision-support analytics over the expanded network."""
+
+from .od_matrix import ODMatrix
+from .rebalancing import (
+    CommunityDemand,
+    RebalancingPlan,
+    Transfer,
+    UNIFORM_WEEKEND_SHARE,
+    plan_weekend_rebalancing,
+)
+from .station_profiles import (
+    StationProfile,
+    behavioural_outliers,
+    build_profiles,
+    mean_profile,
+    profile_distance,
+)
+
+__all__ = [
+    "CommunityDemand",
+    "ODMatrix",
+    "RebalancingPlan",
+    "StationProfile",
+    "Transfer",
+    "UNIFORM_WEEKEND_SHARE",
+    "behavioural_outliers",
+    "build_profiles",
+    "mean_profile",
+    "plan_weekend_rebalancing",
+    "profile_distance",
+]

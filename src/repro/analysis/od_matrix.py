@@ -1,0 +1,134 @@
+"""Origin-destination matrices over the expanded station network.
+
+The paper's prior work ([17]) builds station profiles from their
+interactions with all other stations; this module provides the OD
+machinery those analyses need: dense trip matrices, row/column
+marginals, community-level roll-ups and time-filtered variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..community import Partition
+from ..core.graphs import TripOD
+
+
+@dataclass
+class ODMatrix:
+    """A dense origin-destination trip-count matrix.
+
+    ``index`` maps a station id to its row/column; rows are origins,
+    columns destinations.
+    """
+
+    station_ids: list[int]
+    counts: list[list[int]]
+
+    @classmethod
+    def from_trips(
+        cls,
+        trips: Sequence[TripOD],
+        station_ids: Sequence[int] | None = None,
+        keep: Callable[[TripOD], bool] | None = None,
+    ) -> "ODMatrix":
+        """Build from trips, optionally filtered by ``keep``.
+
+        When ``station_ids`` is omitted, the stations appearing in the
+        (filtered) trips define the matrix, in sorted order.
+        """
+        selected = [t for t in trips if keep is None or keep(t)]
+        if station_ids is None:
+            seen: set[int] = set()
+            for trip in selected:
+                seen.add(trip.origin)
+                seen.add(trip.destination)
+            ids = sorted(seen)
+        else:
+            ids = sorted(station_ids)
+        index = {station_id: i for i, station_id in enumerate(ids)}
+        counts = [[0] * len(ids) for _ in ids]
+        for trip in selected:
+            if trip.origin in index and trip.destination in index:
+                counts[index[trip.origin]][index[trip.destination]] += 1
+        return cls(station_ids=ids, counts=counts)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def n_stations(self) -> int:
+        """Matrix dimension."""
+        return len(self.station_ids)
+
+    def _index_of(self, station_id: int) -> int:
+        try:
+            return self.station_ids.index(station_id)
+        except ValueError:
+            raise KeyError(f"station {station_id} not in matrix") from None
+
+    def count(self, origin: int, destination: int) -> int:
+        """Trips from ``origin`` to ``destination``."""
+        return self.counts[self._index_of(origin)][self._index_of(destination)]
+
+    def out_totals(self) -> dict[int, int]:
+        """Row sums: trips originating at each station."""
+        return {
+            station_id: sum(self.counts[i])
+            for i, station_id in enumerate(self.station_ids)
+        }
+
+    def in_totals(self) -> dict[int, int]:
+        """Column sums: trips arriving at each station."""
+        return {
+            station_id: sum(row[j] for row in self.counts)
+            for j, station_id in enumerate(self.station_ids)
+        }
+
+    @property
+    def total(self) -> int:
+        """All trips in the matrix."""
+        return sum(sum(row) for row in self.counts)
+
+    def top_pairs(self, k: int = 10, include_loops: bool = False) -> list[tuple[int, int, int]]:
+        """The ``k`` heaviest (origin, destination, count) pairs."""
+        pairs: list[tuple[int, int, int]] = []
+        for i, origin in enumerate(self.station_ids):
+            for j, destination in enumerate(self.station_ids):
+                if not include_loops and i == j:
+                    continue
+                if self.counts[i][j] > 0:
+                    pairs.append((origin, destination, self.counts[i][j]))
+        pairs.sort(key=lambda item: (-item[2], item[0], item[1]))
+        return pairs[:k]
+
+    def collapse(self, partition: Partition) -> "ODMatrix":
+        """Roll the matrix up to community level.
+
+        The returned matrix's "station ids" are community labels.
+        """
+        labels = sorted(
+            {partition[sid] for sid in self.station_ids if sid in partition}
+        )
+        index = {label: i for i, label in enumerate(labels)}
+        counts = [[0] * len(labels) for _ in labels]
+        for i, origin in enumerate(self.station_ids):
+            if origin not in partition:
+                continue
+            for j, destination in enumerate(self.station_ids):
+                if destination not in partition:
+                    continue
+                counts[index[partition[origin]]][
+                    index[partition[destination]]
+                ] += self.counts[i][j]
+        return ODMatrix(station_ids=labels, counts=counts)
+
+    def self_containment(self) -> float:
+        """Diagonal mass over total (community-level usage)."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        diagonal = sum(self.counts[i][i] for i in range(self.n_stations))
+        return diagonal / total

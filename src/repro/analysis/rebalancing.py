@@ -1,0 +1,156 @@
+"""Community-driven fleet rebalancing (the paper's closing use case).
+
+The paper: "bikes could be moved from Communities 2, 4, and 6 to
+Communities 1, 3, and 7 each Friday night to prepare for the shift in
+demand over the weekend."  This module turns that sentence into a
+planner: classify communities by weekend-demand shift, size transfers
+proportionally to the shift, and pick per-station pickup/drop-off
+points from weekday flux.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..community import Partition
+from ..core.graphs import SelectedNetwork
+from ..core.profiles import daily_profile, weekend_share
+
+#: A uniform week puts 2/7 of trips on the weekend.
+UNIFORM_WEEKEND_SHARE = 2.0 / 7.0
+
+
+@dataclass(frozen=True)
+class CommunityDemand:
+    """One community's weekend-shift summary."""
+
+    community: int
+    n_stations: int
+    trips: int
+    weekend_share: float
+
+    @property
+    def is_receiver(self) -> bool:
+        """True when weekend demand exceeds the uniform share."""
+        return self.weekend_share > UNIFORM_WEEKEND_SHARE
+
+    @property
+    def weekend_excess(self) -> float:
+        """Signed trips-worth of weekend demand above uniform."""
+        return (self.weekend_share - UNIFORM_WEEKEND_SHARE) * self.trips
+
+
+@dataclass
+class Transfer:
+    """Move ``n_bikes`` from one community to another."""
+
+    from_community: int
+    to_community: int
+    n_bikes: int
+    pickup_stations: list[int] = field(default_factory=list)
+    dropoff_stations: list[int] = field(default_factory=list)
+
+
+@dataclass
+class RebalancingPlan:
+    """The full Friday-night plan."""
+
+    demands: list[CommunityDemand]
+    transfers: list[Transfer]
+
+    @property
+    def donors(self) -> list[int]:
+        """Communities giving up bikes."""
+        return sorted({t.from_community for t in self.transfers})
+
+    @property
+    def receivers(self) -> list[int]:
+        """Communities receiving bikes."""
+        return sorted({t.to_community for t in self.transfers})
+
+    @property
+    def total_bikes_moved(self) -> int:
+        """Bikes moved across all transfers."""
+        return sum(t.n_bikes for t in self.transfers)
+
+
+def plan_weekend_rebalancing(
+    network: SelectedNetwork,
+    partition: Partition,
+    fleet_size: int,
+    max_moved_fraction: float = 0.3,
+    stations_per_transfer: int = 3,
+) -> RebalancingPlan:
+    """Build a Friday-night rebalancing plan.
+
+    Bikes are assumed to sit where weekday demand leaves them
+    (proportional to community trip volume).  Receivers get bikes
+    proportional to their weekend excess; donors give proportional to
+    their weekend deficit; at most ``max_moved_fraction`` of the fleet
+    moves.  Pickup stations are the donors' strongest weekday sinks
+    (positive flux: bikes pile up there); drop-offs are the receivers'
+    strongest sources.
+    """
+    if fleet_size <= 0:
+        raise ValueError("fleet_size must be positive")
+    trips = network.trips
+    profiles = daily_profile(trips, partition)
+    volumes: dict[int, int] = {label: 0 for label in partition.labels()}
+    for trip in trips:
+        volumes[partition[trip.origin]] += 1
+
+    demands = [
+        CommunityDemand(
+            community=label,
+            n_stations=partition.sizes()[label],
+            trips=volumes[label],
+            weekend_share=weekend_share(profiles[label]),
+        )
+        for label in partition.labels()
+    ]
+
+    receivers = [d for d in demands if d.is_receiver and d.weekend_excess > 0]
+    donors = [d for d in demands if not d.is_receiver and d.trips > 0]
+    total_trips = sum(d.trips for d in demands) or 1
+    total_excess = sum(d.weekend_excess for d in receivers)
+    budget = min(
+        int(round(fleet_size * max_moved_fraction)),
+        int(round(fleet_size * total_excess / total_trips * 3.5)),
+    )
+    plan = RebalancingPlan(demands=demands, transfers=[])
+    if budget <= 0 or not receivers or not donors:
+        return plan
+
+    # Per-station flux for pickup/drop-off choice.
+    flow = network.directed_flow()
+    flux = {sid: flow.in_strength(sid) - flow.out_strength(sid) for sid in network.stations}
+    members: dict[int, list[int]] = {label: [] for label in partition.labels()}
+    for sid in network.stations:
+        if sid in partition:
+            members[partition[sid]].append(sid)
+
+    donor_capacity = {d.community: -d.weekend_excess for d in donors}
+    total_capacity = sum(donor_capacity.values()) or 1.0
+    for receiver in sorted(receivers, key=lambda d: -d.weekend_excess):
+        receiver_bikes = max(
+            1, int(round(budget * receiver.weekend_excess / total_excess))
+        )
+        for donor in sorted(donors, key=lambda d: -donor_capacity[d.community]):
+            share = donor_capacity[donor.community] / total_capacity
+            n_bikes = max(1, int(round(receiver_bikes * share)))
+            pickups = sorted(
+                members[donor.community], key=lambda sid: -flux[sid]
+            )[:stations_per_transfer]
+            dropoffs = sorted(
+                members[receiver.community], key=lambda sid: flux[sid]
+            )[:stations_per_transfer]
+            plan.transfers.append(
+                Transfer(
+                    from_community=donor.community,
+                    to_community=receiver.community,
+                    n_bikes=n_bikes,
+                    pickup_stations=pickups,
+                    dropoff_stations=dropoffs,
+                )
+            )
+    return plan

@@ -1,0 +1,149 @@
+"""Per-station behavioural profiles.
+
+The paper's prior work built "station profiles to model their
+interactions with all other stations"; its validation question is
+whether new stations behave like existing ones.  A
+:class:`StationProfile` captures the behavioural signature used for
+that comparison: trip volume, balance, temporal histograms, partner
+concentration — plus a distance function over profiles so outliers can
+be ranked.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.graphs import SelectedNetwork, Station, TripOD
+from ..metrics import gini
+
+
+@dataclass(frozen=True)
+class StationProfile:
+    """The behavioural signature of one station."""
+
+    station_id: int
+    kind: str
+    trips_out: int
+    trips_in: int
+    self_trips: int
+    n_partners: int
+    partner_gini: float
+    hourly: tuple[float, ...]
+    daily: tuple[float, ...]
+
+    @property
+    def volume(self) -> int:
+        """Total trips touching the station (loops counted once)."""
+        return self.trips_out + self.trips_in - self.self_trips
+
+    @property
+    def balance(self) -> float:
+        """(in - out) / volume; 0 for balanced stations."""
+        if self.volume == 0:
+            return 0.0
+        return (self.trips_in - self.trips_out) / self.volume
+
+
+def _normalise(counts: list[int]) -> tuple[float, ...]:
+    total = sum(counts)
+    if total == 0:
+        return tuple(0.0 for _ in counts)
+    return tuple(value / total for value in counts)
+
+
+def build_profiles(network: SelectedNetwork) -> dict[int, StationProfile]:
+    """Compute a profile for every station in the network."""
+    outs: dict[int, int] = {sid: 0 for sid in network.stations}
+    ins: dict[int, int] = {sid: 0 for sid in network.stations}
+    selfs: dict[int, int] = {sid: 0 for sid in network.stations}
+    partners: dict[int, dict[int, int]] = {sid: {} for sid in network.stations}
+    hourly: dict[int, list[int]] = {sid: [0] * 24 for sid in network.stations}
+    daily: dict[int, list[int]] = {sid: [0] * 7 for sid in network.stations}
+
+    for trip in network.trips:
+        outs[trip.origin] += 1
+        ins[trip.destination] += 1
+        hourly[trip.origin][trip.hour_of_day] += 1
+        daily[trip.origin][trip.day_of_week] += 1
+        if trip.is_loop:
+            selfs[trip.origin] += 1
+        else:
+            partners[trip.origin][trip.destination] = (
+                partners[trip.origin].get(trip.destination, 0) + 1
+            )
+            partners[trip.destination][trip.origin] = (
+                partners[trip.destination].get(trip.origin, 0) + 1
+            )
+
+    profiles: dict[int, StationProfile] = {}
+    for sid, station in network.stations.items():
+        partner_counts = list(partners[sid].values())
+        profiles[sid] = StationProfile(
+            station_id=sid,
+            kind=station.kind,
+            trips_out=outs[sid],
+            trips_in=ins[sid],
+            self_trips=selfs[sid],
+            n_partners=len(partner_counts),
+            partner_gini=gini(partner_counts) if partner_counts else 0.0,
+            hourly=_normalise(hourly[sid]),
+            daily=_normalise(daily[sid]),
+        )
+    return profiles
+
+
+def profile_distance(a: StationProfile, b: StationProfile) -> float:
+    """Behavioural distance between two stations.
+
+    Euclidean over the temporal histograms plus the (scaled) balance
+    and partner-concentration gaps.  Volume is deliberately excluded —
+    a quiet station behaving like a busy one is *similar*, not distant.
+    """
+    hourly = math.sqrt(
+        sum((x - y) ** 2 for x, y in zip(a.hourly, b.hourly))
+    )
+    daily = math.sqrt(sum((x - y) ** 2 for x, y in zip(a.daily, b.daily)))
+    balance = abs(a.balance - b.balance)
+    concentration = abs(a.partner_gini - b.partner_gini)
+    return hourly + daily + 0.5 * balance + 0.5 * concentration
+
+
+def behavioural_outliers(
+    profiles: dict[int, StationProfile],
+    kind: str = "selected",
+    reference_kind: str = "fixed",
+    top_k: int = 10,
+) -> list[tuple[int, float]]:
+    """Rank ``kind`` stations by distance to the nearest reference.
+
+    This is the paper's validation question in metric form: a new
+    station whose nearest fixed-station profile is far away behaves
+    unlike any existing station.  Returns (station_id, distance),
+    farthest first.
+    """
+    references = [p for p in profiles.values() if p.kind == reference_kind]
+    subjects = [p for p in profiles.values() if p.kind == kind]
+    if not references:
+        raise ValueError(f"no stations of reference kind {reference_kind!r}")
+    scored = [
+        (
+            subject.station_id,
+            min(profile_distance(subject, ref) for ref in references),
+        )
+        for subject in subjects
+    ]
+    scored.sort(key=lambda item: -item[1])
+    return scored[:top_k]
+
+
+def mean_profile(profiles: Sequence[StationProfile]) -> tuple[float, ...]:
+    """Mean hourly histogram over a set of profiles (diagnostics)."""
+    if not profiles:
+        return tuple(0.0 for _ in range(24))
+    sums = [0.0] * 24
+    for profile in profiles:
+        for hour, share in enumerate(profile.hourly):
+            sums[hour] += share
+    return tuple(value / len(profiles) for value in sums)

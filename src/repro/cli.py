@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+Five subcommands cover the library's end-to-end workflow:
+
+* ``generate`` — write the calibrated synthetic dataset to CSV;
+* ``clean`` — run the six-rule cleaning pipeline over a CSV dataset;
+* ``run`` — the full expansion pipeline: prints every paper table and
+  (optionally) renders the figures;
+* ``rebalance`` — build the Friday-night rebalancing plan;
+* ``report`` — write the paper-vs-measured markdown report.
+
+Invoke as ``python -m repro <subcommand> --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .analysis import plan_weekend_rebalancing
+from .core import NetworkExpansionOptimiser
+from .data import MobyDataset, clean_dataset
+from .reporting import (
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+    experiment_table5,
+    experiment_table6,
+    format_table,
+)
+from .synth import SyntheticMobyGenerator
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dockless BSS network-expansion pipeline (ICDE 2024 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="write the synthetic Moby dataset to CSV"
+    )
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", type=Path, required=True,
+                          help="output directory for locations.csv/rentals.csv")
+
+    clean = subparsers.add_parser(
+        "clean", help="apply the six cleaning rules to a CSV dataset"
+    )
+    clean.add_argument("--data", type=Path, required=True,
+                       help="directory holding locations.csv/rentals.csv")
+    clean.add_argument("--out", type=Path, default=None,
+                       help="where to write the cleaned dataset (optional)")
+
+    run = subparsers.add_parser(
+        "run", help="run the full expansion pipeline and print every table"
+    )
+    run.add_argument("--seed", type=int, default=7,
+                     help="seed for the synthetic dataset (ignored with --data)")
+    run.add_argument("--data", type=Path, default=None,
+                     help="run over a CSV dataset instead of generating one")
+    run.add_argument("--figures", type=Path, default=None,
+                     help="directory to render the paper figures into")
+
+    rebalance = subparsers.add_parser(
+        "rebalance", help="plan Friday-night fleet rebalancing"
+    )
+    rebalance.add_argument("--seed", type=int, default=7)
+    rebalance.add_argument("--fleet", type=int, default=95,
+                           help="fleet size in bikes")
+
+    report = subparsers.add_parser(
+        "report", help="write the full paper-vs-measured markdown report"
+    )
+    report.add_argument("--seed", type=int, default=7)
+    report.add_argument("--out", type=Path, required=True,
+                        help="markdown file to write")
+    return parser
+
+
+def _load_dataset(args: argparse.Namespace) -> MobyDataset:
+    if getattr(args, "data", None) is not None:
+        return MobyDataset.from_csv(args.data)
+    return SyntheticMobyGenerator(seed=args.seed).generate()
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = SyntheticMobyGenerator(seed=args.seed).generate()
+    dataset.to_csv(args.out)
+    print(
+        f"wrote {dataset.n_locations:,} locations and "
+        f"{dataset.n_rentals:,} rentals to {args.out}"
+    )
+    return 0
+
+
+def _cmd_clean(args: argparse.Namespace) -> int:
+    raw = MobyDataset.from_csv(args.data)
+    cleaned, report = clean_dataset(raw)
+    print(experiment_table1(report).text)
+    for outcome in report.outcomes:
+        print(
+            f"  rule {outcome.rule}: -{outcome.locations_removed} locations, "
+            f"-{outcome.rentals_removed} rentals"
+        )
+    if args.out is not None:
+        cleaned.to_csv(args.out)
+        print(f"cleaned dataset written to {args.out}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    raw = _load_dataset(args)
+    optimiser = NetworkExpansionOptimiser(raw)
+    result = optimiser.run()
+    for output in (
+        experiment_table1(result.cleaning_report),
+        experiment_table2(result),
+        experiment_table3(result),
+        experiment_table4(result),
+        experiment_table5(result),
+        experiment_table6(result),
+    ):
+        print(output.text)
+        print()
+    if args.figures is not None:
+        from .viz import render_community_map, render_selected_map
+
+        args.figures.mkdir(parents=True, exist_ok=True)
+        render_selected_map(result.network).save(
+            args.figures / "fig2_selected_map.svg"
+        )
+        for name, partition in (
+            ("fig3_gbasic", result.basic.partition),
+            ("fig4_gday", result.day.station_partition),
+            ("fig6_ghour", result.hour.station_partition),
+        ):
+            render_community_map(
+                result.network, partition, name
+            ).save(args.figures / f"{name}.svg")
+        print(f"figures written to {args.figures}")
+    return 0
+
+
+def _cmd_rebalance(args: argparse.Namespace) -> int:
+    raw = SyntheticMobyGenerator(seed=args.seed).generate()
+    optimiser = NetworkExpansionOptimiser(raw)
+    optimiser.build_network()
+    day = optimiser.detect_day()
+    plan = plan_weekend_rebalancing(
+        optimiser.build_network(), day.station_partition, args.fleet
+    )
+    rows = [
+        [
+            demand.community,
+            demand.n_stations,
+            demand.trips,
+            f"{demand.weekend_share:.2f}",
+            "receiver" if demand.is_receiver else "donor",
+        ]
+        for demand in plan.demands
+    ]
+    print(
+        format_table(
+            ["Community", "Stations", "Trips", "Weekend share", "Role"],
+            rows,
+            title="COMMUNITY DEMAND PROFILE",
+        )
+    )
+    print(
+        f"\n{plan.total_bikes_moved} of {args.fleet} bikes move "
+        f"from {plan.donors} to {plan.receivers}:"
+    )
+    for transfer in plan.transfers:
+        print(
+            f"  {transfer.n_bikes} bikes: community {transfer.from_community} "
+            f"(pickup {transfer.pickup_stations}) -> community "
+            f"{transfer.to_community} (drop {transfer.dropoff_stations})"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .reporting import write_markdown_report
+
+    raw = SyntheticMobyGenerator(seed=args.seed).generate()
+    result = NetworkExpansionOptimiser(raw).run()
+    path = write_markdown_report(
+        result, args.out, title=f"Expansion pipeline report (seed {args.seed})"
+    )
+    print(f"report written to {path}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "clean": _cmd_clean,
+    "run": _cmd_run,
+    "rebalance": _cmd_rebalance,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Clustering substrate: HAC, geographic condensation and reassignment."""
+
+from .alternatives import grid_condense, kmeans_condense
+from .assignments import NearestStationAssigner
+from .hac import (
+    GeographicClustering,
+    LocationCluster,
+    cluster_diameter_m,
+    cluster_locations,
+    pairwise_haversine_matrix,
+    preassign_to_stations,
+    proximity_components,
+)
+from .linkage import (
+    Dendrogram,
+    LINKAGE_AVERAGE,
+    LINKAGE_COMPLETE,
+    LINKAGE_SINGLE,
+    Merge,
+    cluster_at_threshold,
+    linkage_cluster,
+)
+
+__all__ = [
+    "Dendrogram",
+    "GeographicClustering",
+    "LINKAGE_AVERAGE",
+    "LINKAGE_COMPLETE",
+    "LINKAGE_SINGLE",
+    "LocationCluster",
+    "Merge",
+    "NearestStationAssigner",
+    "cluster_at_threshold",
+    "cluster_diameter_m",
+    "cluster_locations",
+    "grid_condense",
+    "kmeans_condense",
+    "linkage_cluster",
+    "pairwise_haversine_matrix",
+    "preassign_to_stations",
+    "proximity_components",
+]

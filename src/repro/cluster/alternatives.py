@@ -1,0 +1,159 @@
+"""Alternative condensation strategies (the paper's future work).
+
+"Further research should also investigate the effect of different graph
+optimisation strategies" — this module provides two standard
+alternatives to complete-linkage HAC for condensing dockless locations:
+
+* :func:`grid_condense` — snap locations to a uniform grid of cell size
+  ``cell_m`` and merge everything sharing a cell: O(n), no geometry
+  guarantees (a cluster's diameter can approach ``cell_m * sqrt(2)``
+  and near-cell-border neighbours split);
+* :func:`kmeans_condense` — Lloyd's algorithm with k-means++ seeding on
+  the locally projected plane: balanced clusters, but no diameter bound
+  at all.
+
+Both return the same :class:`~repro.cluster.hac.GeographicClustering`
+shape as the HAC path, so the selection stage and the ablation bench
+can consume them interchangeably.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..config import ClusteringConfig
+from ..geo import GeoPoint, centroid, local_projector, meters_per_degree
+from .hac import GeographicClustering, LocationCluster, preassign_to_stations
+
+
+def grid_condense(
+    location_points: dict[int, GeoPoint],
+    station_points: dict[int, GeoPoint],
+    cell_m: float = 100.0,
+    config: ClusteringConfig | None = None,
+) -> GeographicClustering:
+    """Condense by snapping to a ``cell_m`` uniform grid."""
+    cfg = config or ClusteringConfig()
+    station_members, leftover = preassign_to_stations(
+        location_points, station_points, cfg.preassign_radius_m
+    )
+    reference_lat = (
+        next(iter(location_points.values())).lat if location_points else 53.35
+    )
+    per_lat, per_lon = meters_per_degree(reference_lat)
+    lat_step = cell_m / per_lat
+    lon_step = cell_m / per_lon
+
+    cells: dict[tuple[int, int], list[int]] = {}
+    for location_id in leftover:
+        point = location_points[location_id]
+        key = (
+            math.floor(point.lat / lat_step),
+            math.floor(point.lon / lon_step),
+        )
+        cells.setdefault(key, []).append(location_id)
+
+    result = GeographicClustering(station_members=station_members)
+    for cluster_id, key in enumerate(sorted(cells)):
+        members = sorted(cells[key])
+        result.clusters.append(
+            LocationCluster(
+                cluster_id=cluster_id,
+                centroid=centroid(location_points[i] for i in members),
+                member_location_ids=members,
+            )
+        )
+    return result
+
+
+def _kmeans_plus_plus(
+    points: list[tuple[float, float]], k: int, rng: random.Random
+) -> list[tuple[float, float]]:
+    """k-means++ initial centres."""
+    centres = [points[rng.randrange(len(points))]]
+    distances = [math.inf] * len(points)
+    while len(centres) < k:
+        cx, cy = centres[-1]
+        total = 0.0
+        for i, (x, y) in enumerate(points):
+            d = (x - cx) ** 2 + (y - cy) ** 2
+            if d < distances[i]:
+                distances[i] = d
+            total += distances[i]
+        if total <= 0:
+            centres.append(points[rng.randrange(len(points))])
+            continue
+        target = rng.random() * total
+        running = 0.0
+        chosen = len(points) - 1
+        for i, d in enumerate(distances):
+            running += d
+            if running >= target:
+                chosen = i
+                break
+        centres.append(points[chosen])
+    return centres
+
+
+def kmeans_condense(
+    location_points: dict[int, GeoPoint],
+    station_points: dict[int, GeoPoint],
+    k: int,
+    config: ClusteringConfig | None = None,
+    seed: int = 7,
+    max_iters: int = 50,
+) -> GeographicClustering:
+    """Condense the non-station locations into ``k`` k-means clusters."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    cfg = config or ClusteringConfig()
+    station_members, leftover = preassign_to_stations(
+        location_points, station_points, cfg.preassign_radius_m
+    )
+    result = GeographicClustering(station_members=station_members)
+    if not leftover:
+        return result
+    k = min(k, len(leftover))
+
+    origin = location_points[leftover[0]]
+    project = local_projector(origin)
+    coords = [project(location_points[i]) for i in leftover]
+    rng = random.Random(seed)
+    centres = _kmeans_plus_plus(coords, k, rng)
+
+    assignment = [0] * len(coords)
+    for _ in range(max_iters):
+        changed = False
+        for i, (x, y) in enumerate(coords):
+            best = min(
+                range(len(centres)),
+                key=lambda c: (x - centres[c][0]) ** 2 + (y - centres[c][1]) ** 2,
+            )
+            if best != assignment[i]:
+                assignment[i] = best
+                changed = True
+        sums = [[0.0, 0.0, 0] for _ in centres]
+        for i, (x, y) in enumerate(coords):
+            sums[assignment[i]][0] += x
+            sums[assignment[i]][1] += y
+            sums[assignment[i]][2] += 1
+        for c, (sx, sy, count) in enumerate(sums):
+            if count:
+                centres[c] = (sx / count, sy / count)
+        if not changed:
+            break
+
+    groups: dict[int, list[int]] = {}
+    for i, location_id in enumerate(leftover):
+        groups.setdefault(assignment[i], []).append(location_id)
+    for cluster_id, c in enumerate(sorted(groups)):
+        members = sorted(groups[c])
+        result.clusters.append(
+            LocationCluster(
+                cluster_id=cluster_id,
+                centroid=centroid(location_points[i] for i in members),
+                member_location_ids=members,
+            )
+        )
+    return result

@@ -1,0 +1,34 @@
+"""Nearest-station reassignment (paper Section IV-B, step 3).
+
+After selection, every location belonging to an unconverted candidate
+cluster is redirected to the nearest station (pre-existing or newly
+selected), so the total number of trips is preserved while the node set
+shrinks to the station set.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ClusteringError
+from ..geo import GeoPoint, GridIndex
+
+
+class NearestStationAssigner:
+    """Answers "which station serves this point?" queries."""
+
+    def __init__(self, station_points: dict[int, GeoPoint]) -> None:
+        if not station_points:
+            raise ClusteringError("cannot assign against zero stations")
+        self._index: GridIndex[int] = GridIndex(cell_m=250.0)
+        for station_id, point in station_points.items():
+            self._index.insert(station_id, point)
+
+    def nearest(self, point: GeoPoint) -> tuple[int, float]:
+        """The nearest station id and its distance in metres."""
+        return self._index.nearest(point)
+
+    def assign_all(self, points: dict[int, GeoPoint]) -> dict[int, int]:
+        """Map each input id to its nearest station id."""
+        return {
+            point_id: self.nearest(point)[0]
+            for point_id, point in points.items()
+        }

@@ -1,0 +1,208 @@
+"""Geographic HAC with immovable fixed stations (paper Section IV-A).
+
+The paper's preprocessing pins every fixed station as its own group's
+centroid and pre-assigns any location within 50 m of a station to that
+station's group, excluding it from clustering.  The remaining locations
+are clustered with complete-linkage HAC under the haversine distance
+and the dendrogram is cut at the 100 m Cluster-Boundary rule.
+
+Scaling note: cutting a monotone linkage at threshold *t* can never
+produce a cluster spanning two connected components of the "within *t*"
+proximity graph (a complete-linkage merge at height <= t needs *every*
+cross pair within *t*).  We therefore partition the points into those
+components first and run HAC inside each — exact, and it turns one
+O(n^2) problem over ~10k points into thousands of tiny ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import EARTH_RADIUS_M, ClusteringConfig
+from ..geo import GeoPoint, GridIndex, centroid
+from .linkage import linkage_cluster
+
+
+@dataclass
+class LocationCluster:
+    """One HAC output cluster of dockless locations."""
+
+    cluster_id: int
+    centroid: GeoPoint
+    member_location_ids: list[int]
+
+    @property
+    def size(self) -> int:
+        """Number of member locations."""
+        return len(self.member_location_ids)
+
+
+@dataclass
+class GeographicClustering:
+    """Full result of the condensation stage.
+
+    ``station_members`` maps each fixed-station location id to the
+    locations pre-assigned to it (within the 50 m radius); ``clusters``
+    are the HAC clusters over everything else.
+    """
+
+    station_members: dict[int, list[int]] = field(default_factory=dict)
+    clusters: list[LocationCluster] = field(default_factory=list)
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of non-station clusters."""
+        return len(self.clusters)
+
+    def assignment(self) -> dict[int, tuple[str, int]]:
+        """Map every input location id to its group.
+
+        Values are ``("station", station_id)`` or
+        ``("cluster", cluster_id)``.
+        """
+        assigned: dict[int, tuple[str, int]] = {}
+        for station_id, members in self.station_members.items():
+            for location_id in members:
+                assigned[location_id] = ("station", station_id)
+        for cluster in self.clusters:
+            for location_id in cluster.member_location_ids:
+                assigned[location_id] = ("cluster", cluster.cluster_id)
+        return assigned
+
+
+def pairwise_haversine_matrix(points: list[GeoPoint]) -> np.ndarray:
+    """Vectorised (n, n) haversine distance matrix in metres."""
+    lats = np.radians(np.array([point.lat for point in points], dtype=np.float64))
+    lons = np.radians(np.array([point.lon for point in points], dtype=np.float64))
+    dlat = lats[:, None] - lats[None, :]
+    dlon = lons[:, None] - lons[None, :]
+    sin_dlat = np.sin(dlat / 2.0)
+    sin_dlon = np.sin(dlon / 2.0)
+    h = sin_dlat**2 + np.cos(lats)[:, None] * np.cos(lats)[None, :] * sin_dlon**2
+    np.clip(h, 0.0, 1.0, out=h)
+    return 2.0 * EARTH_RADIUS_M * np.arcsin(np.sqrt(h))
+
+
+def proximity_components(
+    ids: list[int], points: dict[int, GeoPoint], threshold_m: float
+) -> list[list[int]]:
+    """Connected components of the "within ``threshold_m``" graph.
+
+    BFS over a grid index; returns components as lists of location
+    ids, each sorted, ordered by smallest member.
+    """
+    index: GridIndex[int] = GridIndex(cell_m=max(25.0, threshold_m))
+    for location_id in ids:
+        index.insert(location_id, points[location_id])
+    remaining = set(ids)
+    components: list[list[int]] = []
+    for seed in ids:
+        if seed not in remaining:
+            continue
+        remaining.discard(seed)
+        component = [seed]
+        frontier = [seed]
+        while frontier:
+            current = frontier.pop()
+            for neighbour_id, _ in index.within(points[current], threshold_m):
+                if neighbour_id in remaining:
+                    remaining.discard(neighbour_id)
+                    component.append(neighbour_id)
+                    frontier.append(neighbour_id)
+        components.append(sorted(component))
+    components.sort(key=lambda component: component[0])
+    return components
+
+
+def preassign_to_stations(
+    location_points: dict[int, GeoPoint],
+    station_points: dict[int, GeoPoint],
+    radius_m: float,
+) -> tuple[dict[int, list[int]], list[int]]:
+    """Split locations into station groups and the to-cluster remainder.
+
+    A location within ``radius_m`` of any station joins the *nearest*
+    such station's group.  Station location ids themselves are assigned
+    to their own group.
+    """
+    index: GridIndex[int] = GridIndex(cell_m=max(50.0, radius_m))
+    for station_id, point in station_points.items():
+        index.insert(station_id, point)
+    station_members: dict[int, list[int]] = {
+        station_id: [] for station_id in station_points
+    }
+    leftover: list[int] = []
+    for location_id in sorted(location_points):
+        if location_id in station_points:
+            station_members[location_id].append(location_id)
+            continue
+        hits = index.within(location_points[location_id], radius_m)
+        if hits:
+            nearest_station, _ = hits[0]
+            station_members[nearest_station].append(location_id)
+        else:
+            leftover.append(location_id)
+    return station_members, leftover
+
+
+def cluster_locations(
+    location_points: dict[int, GeoPoint],
+    station_points: dict[int, GeoPoint],
+    config: ClusteringConfig | None = None,
+) -> GeographicClustering:
+    """Run the paper's full condensation stage.
+
+    Parameters
+    ----------
+    location_points:
+        Every cleaned location id -> position (station ids included).
+    station_points:
+        The fixed stations' location id -> position.
+    config:
+        Thresholds and linkage; defaults to the paper's settings.
+    """
+    cfg = config or ClusteringConfig()
+    station_members, leftover = preassign_to_stations(
+        location_points, station_points, cfg.preassign_radius_m
+    )
+
+    result = GeographicClustering(station_members=station_members)
+    components = proximity_components(
+        leftover, location_points, cfg.cluster_boundary_m
+    )
+    next_cluster_id = 0
+    for component in components:
+        if len(component) == 1:
+            groups = [[0]]
+        else:
+            points = [location_points[location_id] for location_id in component]
+            matrix = pairwise_haversine_matrix(points)
+            dendrogram = linkage_cluster(matrix, cfg.linkage)
+            groups = dendrogram.cut(cfg.cluster_boundary_m)
+        for group in groups:
+            member_ids = [component[i] for i in group]
+            result.clusters.append(
+                LocationCluster(
+                    cluster_id=next_cluster_id,
+                    centroid=centroid(
+                        location_points[location_id] for location_id in member_ids
+                    ),
+                    member_location_ids=member_ids,
+                )
+            )
+            next_cluster_id += 1
+    return result
+
+
+def cluster_diameter_m(
+    cluster: LocationCluster, location_points: dict[int, GeoPoint]
+) -> float:
+    """Largest pairwise distance inside a cluster (Rule-1 audit)."""
+    if cluster.size <= 1:
+        return 0.0
+    points = [location_points[location_id] for location_id in cluster.member_location_ids]
+    matrix = pairwise_haversine_matrix(points)
+    return float(np.max(matrix)) if math.isfinite(np.max(matrix)) else 0.0

@@ -1,0 +1,183 @@
+"""Hierarchical agglomerative clustering, from scratch.
+
+The implementation uses the nearest-neighbour-chain algorithm with
+Lance-Williams distance updates, which is exact for the *reducible*
+linkage criteria implemented here (complete, single, average) and runs
+in O(n^2) time over a full distance matrix.
+
+The paper needs the dendrogram only to cut it at a distance threshold
+(100 m, the Cluster-Boundary rule).  Because complete/single/average
+linkage are monotone, a threshold cut is simply the union-find over all
+merges whose height does not exceed the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ClusteringError
+
+LINKAGE_COMPLETE = "complete"
+LINKAGE_SINGLE = "single"
+LINKAGE_AVERAGE = "average"
+
+_LINKAGES = (LINKAGE_COMPLETE, LINKAGE_SINGLE, LINKAGE_AVERAGE)
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One dendrogram merge: clusters ``a`` and ``b`` joined at ``height``.
+
+    ``a`` and ``b`` are cluster indices: 0..n-1 are the input points,
+    n..2n-2 the clusters created by earlier merges (scipy convention).
+    """
+
+    a: int
+    b: int
+    height: float
+    size: int
+
+
+@dataclass(frozen=True)
+class Dendrogram:
+    """A full agglomeration history over ``n_points`` points."""
+
+    n_points: int
+    merges: tuple[Merge, ...]
+
+    def cut(self, height: float) -> list[list[int]]:
+        """Clusters after applying every merge with height <= ``height``.
+
+        Returns a partition of ``range(n_points)`` as lists of point
+        indices, each sorted, ordered by their smallest member.
+        """
+        parent = list(range(self.n_points))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        # Map dendrogram cluster index -> representative point, in the
+        # order the merges created those indices.
+        representative: dict[int, int] = {i: i for i in range(self.n_points)}
+        next_index = self.n_points
+        for merge in self.merges:
+            representative[next_index] = representative[merge.a]
+            next_index += 1
+
+        # Monotone linkages guarantee a merge's descendants are no
+        # higher than it, so a flat union over qualifying merges
+        # reproduces the threshold cut exactly.
+        for merge in self.merges:
+            if merge.height <= height:
+                root_a = find(representative[merge.a])
+                root_b = find(representative[merge.b])
+                if root_a != root_b:
+                    parent[root_b] = root_a
+
+        groups: dict[int, list[int]] = {}
+        for point in range(self.n_points):
+            groups.setdefault(find(point), []).append(point)
+        clusters = [sorted(members) for members in groups.values()]
+        clusters.sort(key=lambda members: members[0])
+        return clusters
+
+
+def _validate_matrix(distances: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(distances, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ClusteringError("distance matrix must be square")
+    if matrix.shape[0] == 0:
+        raise ClusteringError("distance matrix must be non-empty")
+    if np.any(matrix < 0):
+        raise ClusteringError("distances must be non-negative")
+    if not np.allclose(matrix, matrix.T, rtol=1e-8, atol=1e-8):
+        raise ClusteringError("distance matrix must be symmetric")
+    return matrix
+
+
+def linkage_cluster(distances: np.ndarray, linkage: str = LINKAGE_COMPLETE) -> Dendrogram:
+    """Run HAC over a full symmetric distance matrix.
+
+    Parameters
+    ----------
+    distances:
+        (n, n) symmetric matrix of pairwise dissimilarities.
+    linkage:
+        ``"complete"`` (paper's choice), ``"single"`` or ``"average"``.
+
+    Returns
+    -------
+    Dendrogram
+        The n-1 merges in the order the algorithm found them; heights
+        are the linkage distances.
+    """
+    if linkage not in _LINKAGES:
+        raise ClusteringError(f"unknown linkage: {linkage!r}")
+    matrix = _validate_matrix(distances).copy()
+    n = matrix.shape[0]
+    if n == 1:
+        return Dendrogram(n_points=1, merges=())
+
+    # Work in-place on the matrix; the diagonal must never be selected.
+    np.fill_diagonal(matrix, np.inf)
+    active = np.ones(n, dtype=bool)
+    sizes = np.ones(n, dtype=np.int64)
+    # cluster_label[i] is the dendrogram index of the cluster whose
+    # working row is i.
+    cluster_label = list(range(n))
+    next_label = n
+    merges: list[Merge] = []
+    chain: list[int] = []
+
+    for _ in range(n - 1):
+        if not chain:
+            chain.append(int(np.flatnonzero(active)[0]))
+        while True:
+            a = chain[-1]
+            row = np.where(active, matrix[a], np.inf)
+            row[a] = np.inf
+            b = int(np.argmin(row))
+            if len(chain) > 1 and b == chain[-2]:
+                break
+            chain.append(b)
+        b = chain.pop()
+        a = chain.pop()
+        height = float(matrix[a, b])
+
+        # Lance-Williams update into row a.
+        if linkage == LINKAGE_COMPLETE:
+            new_row = np.maximum(matrix[a], matrix[b])
+        elif linkage == LINKAGE_SINGLE:
+            new_row = np.minimum(matrix[a], matrix[b])
+        else:  # average
+            total = sizes[a] + sizes[b]
+            new_row = (sizes[a] * matrix[a] + sizes[b] * matrix[b]) / total
+        new_row[a] = np.inf
+        matrix[a, :] = new_row
+        matrix[:, a] = new_row
+        active[b] = False
+        merges.append(
+            Merge(
+                a=cluster_label[a],
+                b=cluster_label[b],
+                height=height,
+                size=int(sizes[a] + sizes[b]),
+            )
+        )
+        sizes[a] += sizes[b]
+        cluster_label[a] = next_label
+        next_label += 1
+
+    return Dendrogram(n_points=n, merges=tuple(merges))
+
+
+def cluster_at_threshold(
+    distances: np.ndarray, threshold: float, linkage: str = LINKAGE_COMPLETE
+) -> list[list[int]]:
+    """HAC + threshold cut in one call."""
+    return linkage_cluster(distances, linkage).cut(threshold)

@@ -1,0 +1,48 @@
+"""Community-detection substrate: Louvain, LPA, CNM, map equation, multislice."""
+
+from .consensus import ConsensusResult, consensus_louvain
+from .fast_greedy import fast_greedy, fast_greedy_with_score
+from .girvan_newman import edge_betweenness, girvan_newman
+from .infomap import MapEquationResult, infomap, map_equation
+from .label_propagation import label_propagation
+from .louvain import LouvainResult, louvain
+from .modularity import modularity
+from .null_model import (
+    SignificanceResult,
+    partition_significance,
+    rewire_degree_preserving,
+)
+from .partition import Partition
+from .similarity import adjusted_rand_index, normalized_mutual_information
+from .temporal import (
+    TemporalCommunityResult,
+    build_sliced_graph,
+    collapse_to_stations,
+    detect_temporal_communities,
+)
+
+__all__ = [
+    "ConsensusResult",
+    "LouvainResult",
+    "MapEquationResult",
+    "Partition",
+    "SignificanceResult",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "TemporalCommunityResult",
+    "build_sliced_graph",
+    "collapse_to_stations",
+    "detect_temporal_communities",
+    "consensus_louvain",
+    "edge_betweenness",
+    "fast_greedy",
+    "fast_greedy_with_score",
+    "girvan_newman",
+    "infomap",
+    "label_propagation",
+    "louvain",
+    "map_equation",
+    "modularity",
+    "partition_significance",
+    "rewire_degree_preserving",
+]

@@ -1,0 +1,133 @@
+"""Girvan-Newman divisive community detection.
+
+The classic edge-betweenness algorithm: repeatedly remove the edge with
+the highest betweenness and keep the component split with the best
+modularity.  O(m^2 n)-ish, so it is practical only for the station-level
+graphs here (a few hundred nodes) — which is exactly where the paper's
+future-work algorithm comparison needs it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from ..config import CommunityConfig
+from ..exceptions import CommunityError
+from ..graphdb import NodeKey, WeightedGraph
+from .modularity import modularity
+from .partition import Partition
+
+
+def edge_betweenness(
+    graph: WeightedGraph, use_weights: bool = True
+) -> dict[tuple[NodeKey, NodeKey], float]:
+    """Brandes-style edge betweenness (weights as flows, cost 1/w)."""
+    scores: dict[tuple[NodeKey, NodeKey], float] = {}
+    nodes = list(graph.nodes())
+    costs: dict[NodeKey, dict[NodeKey, float]] = {
+        node: {
+            neighbour: (1.0 / weight if use_weights else 1.0)
+            for neighbour, weight in graph.neighbours(node).items()
+            if neighbour != node and weight > 0
+        }
+        for node in nodes
+    }
+
+    for source in nodes:
+        stack: list[NodeKey] = []
+        predecessors: dict[NodeKey, list[NodeKey]] = {n: [] for n in nodes}
+        sigma = {n: 0.0 for n in nodes}
+        sigma[source] = 1.0
+        distance: dict[NodeKey, float] = {}
+        seen = {source: 0.0}
+        counter = 0
+        heap: list[tuple[float, int, NodeKey]] = [(0.0, counter, source)]
+        while heap:
+            dist, _, current = heapq.heappop(heap)
+            if current in distance:
+                continue
+            distance[current] = dist
+            stack.append(current)
+            for neighbour, cost in costs[current].items():
+                alt = dist + cost
+                if neighbour in distance:
+                    if distance[neighbour] == alt:
+                        sigma[neighbour] += sigma[current]
+                        predecessors[neighbour].append(current)
+                    continue
+                if neighbour not in seen or alt < seen[neighbour]:
+                    seen[neighbour] = alt
+                    counter += 1
+                    heapq.heappush(heap, (alt, counter, neighbour))
+                    sigma[neighbour] = sigma[current]
+                    predecessors[neighbour] = [current]
+                elif seen[neighbour] == alt:
+                    sigma[neighbour] += sigma[current]
+                    predecessors[neighbour].append(current)
+
+        delta = {n: 0.0 for n in nodes}
+        while stack:
+            w = stack.pop()
+            for v in predecessors[w]:
+                share = (sigma[v] / sigma[w]) * (1.0 + delta[w])
+                key = (v, w) if (v, w) in scores or (w, v) not in scores else (w, v)
+                scores[key] = scores.get(key, 0.0) + share
+                delta[v] += share
+
+    # Each undirected pair counted from both endpoints.
+    merged: dict[tuple[NodeKey, NodeKey], float] = {}
+    for (u, v), value in scores.items():
+        key = (u, v) if (v, u) not in merged else (v, u)
+        merged[key] = merged.get(key, 0.0) + value / 2.0
+    return merged
+
+
+def _components_partition(graph: WeightedGraph) -> Partition:
+    return Partition.from_communities(graph.connected_components())
+
+
+def girvan_newman(
+    graph: WeightedGraph,
+    config: CommunityConfig | None = None,
+    max_communities: int | None = None,
+) -> Partition:
+    """Run Girvan-Newman; returns the best-modularity split found.
+
+    ``max_communities`` stops early once the split reaches that many
+    components (useful on larger graphs).
+    """
+    cfg = config or CommunityConfig()
+    if graph.total_weight <= 0:
+        raise CommunityError("girvan_newman needs a graph with positive weight")
+    working = graph.copy()
+    best = _components_partition(working)
+    best_score = modularity(graph, best, cfg.resolution)
+
+    while working.edge_count > 0:
+        scores = edge_betweenness(working)
+        if not scores:
+            break
+        (u, v), _ = max(
+            scores.items(), key=lambda item: (item[1], repr(item[0]))
+        )
+        _remove_edge(working, u, v)
+        current = _components_partition(working)
+        score = modularity(graph, current, cfg.resolution)
+        if score > best_score:
+            best_score = score
+            best = current
+        if (
+            max_communities is not None
+            and current.n_communities >= max_communities
+        ):
+            break
+    return best
+
+
+def _remove_edge(graph: WeightedGraph, u: NodeKey, v: NodeKey) -> None:
+    """Remove one undirected edge in place."""
+    adjacency = graph.neighbours(u)
+    adjacency.pop(v, None)
+    if u != v:
+        graph.neighbours(v).pop(u, None)

@@ -1,0 +1,51 @@
+"""Asynchronous weighted label propagation (paper's future-work list).
+
+Each node starts in its own community and repeatedly adopts the label
+carrying the largest total incident edge weight among its neighbours,
+ties broken with the seeded RNG.  Convergence is declared when a full
+sweep changes nothing (or after ``max_iters`` sweeps — LPA can
+oscillate on bipartite-ish structures).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..exceptions import CommunityError
+from ..graphdb import WeightedGraph
+from .partition import Partition
+
+
+def label_propagation(
+    graph: WeightedGraph, seed: int = 7, max_iters: int = 100
+) -> Partition:
+    """Run asynchronous LPA; returns the final partition."""
+    nodes = list(graph.nodes())
+    if not nodes:
+        raise CommunityError("label propagation needs a non-empty graph")
+    rng = random.Random(seed)
+    label = {node: index for index, node in enumerate(nodes)}
+
+    for _ in range(max_iters):
+        rng.shuffle(nodes)
+        changed = False
+        for node in nodes:
+            weights: dict[int, float] = {}
+            for neighbour, weight in graph.neighbours(node).items():
+                if neighbour == node:
+                    continue
+                weights[label[neighbour]] = weights.get(label[neighbour], 0.0) + weight
+            if not weights:
+                continue
+            best = max(weights.values())
+            candidates = sorted(
+                candidate for candidate, weight in weights.items()
+                if weight >= best - 1e-12
+            )
+            choice = candidates[rng.randrange(len(candidates))]
+            if choice != label[node]:
+                label[node] = choice
+                changed = True
+        if not changed:
+            break
+    return Partition.from_assignment(label)

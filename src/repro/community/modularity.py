@@ -1,0 +1,48 @@
+"""Newman modularity (paper eq. 2) over weighted undirected graphs.
+
+Conventions match ``networkx.algorithms.community.modularity`` so the
+test suite can use networkx as an oracle: *m* is the total edge weight
+with self-loops counted once, node strength counts self-loops twice,
+and
+
+    Q = sum_c [ L_c / m  -  gamma * (deg_c / (2 m))^2 ]
+
+where ``L_c`` is the intra-community edge weight and ``deg_c`` the total
+strength of the community's nodes.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import CommunityError
+from ..graphdb import WeightedGraph
+from .partition import Partition
+
+
+def modularity(
+    graph: WeightedGraph, partition: Partition, resolution: float = 1.0
+) -> float:
+    """Modularity Q of ``partition`` on ``graph``.
+
+    Every graph node must be assigned; extra assignments are ignored.
+    Returns 0.0 for an empty (weightless) graph, matching the "no
+    structure" reading.
+    """
+    total = graph.total_weight
+    if total <= 0:
+        return 0.0
+    intra: dict[int, float] = {}
+    strength: dict[int, float] = {}
+    for node in graph.nodes():
+        if node not in partition:
+            raise CommunityError(f"node {node!r} is not assigned to a community")
+        label = partition[node]
+        strength[label] = strength.get(label, 0.0) + graph.strength(node)
+    for u, v, weight in graph.edges():
+        if partition[u] == partition[v]:
+            label = partition[u]
+            intra[label] = intra.get(label, 0.0) + weight
+    two_m = 2.0 * total
+    score = 0.0
+    for label, deg in strength.items():
+        score += intra.get(label, 0.0) / total - resolution * (deg / two_m) ** 2
+    return score

@@ -1,0 +1,92 @@
+"""Partitions: node -> community assignments with convenience views."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+from ..exceptions import CommunityError
+
+NodeKey = Hashable
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An immutable assignment of nodes to integer community labels.
+
+    Labels are normalised at construction: communities are renumbered
+    1..k by decreasing size (ties broken by their smallest node's
+    repr), matching the paper's habit of numbering its communities.
+    """
+
+    assignment: Mapping[NodeKey, int]
+
+    @classmethod
+    def from_assignment(cls, assignment: Mapping[NodeKey, int]) -> "Partition":
+        """Build a normalised partition from any labelling."""
+        if not assignment:
+            raise CommunityError("cannot build an empty partition")
+        groups: dict[int, list[NodeKey]] = {}
+        for node, label in assignment.items():
+            groups.setdefault(label, []).append(node)
+        ordered = sorted(
+            groups.values(),
+            key=lambda members: (-len(members), min(repr(node) for node in members)),
+        )
+        relabelled: dict[NodeKey, int] = {}
+        for new_label, members in enumerate(ordered, start=1):
+            for node in members:
+                relabelled[node] = new_label
+        return cls(assignment=relabelled)
+
+    @classmethod
+    def from_communities(cls, communities: Iterable[Iterable[NodeKey]]) -> "Partition":
+        """Build from an iterable of node groups."""
+        assignment: dict[NodeKey, int] = {}
+        for label, members in enumerate(communities, start=1):
+            for node in members:
+                if node in assignment:
+                    raise CommunityError(f"node {node!r} appears in two communities")
+                assignment[node] = label
+        return cls.from_assignment(assignment)
+
+    def __getitem__(self, node: NodeKey) -> int:
+        return self.assignment[node]
+
+    def __contains__(self, node: NodeKey) -> bool:
+        return node in self.assignment
+
+    def __len__(self) -> int:
+        return len(self.assignment)
+
+    @property
+    def n_communities(self) -> int:
+        """Number of distinct communities."""
+        return len(set(self.assignment.values()))
+
+    def labels(self) -> list[int]:
+        """Sorted distinct community labels."""
+        return sorted(set(self.assignment.values()))
+
+    def communities(self) -> dict[int, set[NodeKey]]:
+        """Label -> member set."""
+        groups: dict[int, set[NodeKey]] = {}
+        for node, label in self.assignment.items():
+            groups.setdefault(label, set()).add(node)
+        return groups
+
+    def community_of(self, node: NodeKey) -> int:
+        """Label of ``node``'s community."""
+        return self.assignment[node]
+
+    def sizes(self) -> dict[int, int]:
+        """Label -> community size."""
+        sizes: dict[int, int] = {}
+        for label in self.assignment.values():
+            sizes[label] = sizes.get(label, 0) + 1
+        return sizes
+
+    def restricted_to(self, nodes: Iterable[NodeKey]) -> "Partition":
+        """The partition restricted to a node subset (renormalised)."""
+        keep = {node: self.assignment[node] for node in nodes if node in self.assignment}
+        return Partition.from_assignment(keep)

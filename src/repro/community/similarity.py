@@ -1,0 +1,77 @@
+"""Partition-similarity measures: NMI and ARI.
+
+The paper's future work calls for comparing community-detection
+algorithms; doing that quantitatively needs partition-agreement scores.
+Both classics are implemented over :class:`Partition` pairs sharing a
+node set: normalised mutual information (arithmetic normalisation, as
+in scikit-learn's default) and the adjusted Rand index.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import CommunityError
+from .partition import Partition
+
+
+def _contingency(a: Partition, b: Partition) -> tuple[dict, dict, dict, int]:
+    nodes = set(a.assignment)
+    if nodes != set(b.assignment):
+        raise CommunityError("partitions must cover the same node set")
+    joint: dict[tuple[int, int], int] = {}
+    count_a: dict[int, int] = {}
+    count_b: dict[int, int] = {}
+    for node in nodes:
+        label_a, label_b = a[node], b[node]
+        joint[(label_a, label_b)] = joint.get((label_a, label_b), 0) + 1
+        count_a[label_a] = count_a.get(label_a, 0) + 1
+        count_b[label_b] = count_b.get(label_b, 0) + 1
+    return joint, count_a, count_b, len(nodes)
+
+
+def normalized_mutual_information(a: Partition, b: Partition) -> float:
+    """NMI in [0, 1]; 1 for identical partitions.
+
+    Uses arithmetic-mean normalisation: NMI = 2 I(A;B) / (H(A)+H(B)).
+    Two trivial (single-community) partitions score 1 by convention.
+    """
+    joint, count_a, count_b, n = _contingency(a, b)
+
+    def entropy(counts: dict[int, int]) -> float:
+        return -sum(
+            (c / n) * math.log(c / n) for c in counts.values() if c > 0
+        )
+
+    h_a, h_b = entropy(count_a), entropy(count_b)
+    if h_a == 0.0 and h_b == 0.0:
+        return 1.0
+    if h_a == 0.0 or h_b == 0.0:
+        return 0.0
+    mutual = 0.0
+    for (label_a, label_b), c in joint.items():
+        p_joint = c / n
+        p_a = count_a[label_a] / n
+        p_b = count_b[label_b] / n
+        mutual += p_joint * math.log(p_joint / (p_a * p_b))
+    return max(0.0, min(1.0, 2.0 * mutual / (h_a + h_b)))
+
+
+def adjusted_rand_index(a: Partition, b: Partition) -> float:
+    """ARI in [-1, 1]; 1 for identical partitions, ~0 for random ones."""
+    joint, count_a, count_b, n = _contingency(a, b)
+
+    def comb2(x: int) -> float:
+        return x * (x - 1) / 2.0
+
+    sum_joint = sum(comb2(c) for c in joint.values())
+    sum_a = sum(comb2(c) for c in count_a.values())
+    sum_b = sum(comb2(c) for c in count_b.values())
+    total = comb2(n)
+    if total == 0:
+        return 1.0
+    expected = sum_a * sum_b / total
+    maximum = (sum_a + sum_b) / 2.0
+    if maximum == expected:
+        return 1.0
+    return (sum_joint - expected) / (maximum - expected)

@@ -1,0 +1,138 @@
+"""Multislice (temporal) community detection.
+
+The paper's G_Day and G_Hour graphs give every trip a unique edge
+carrying a day-of-week / hour-of-day property, and Louvain over them
+returns *different* partitions with *higher* modularity than the
+untimed G_Basic (0.25 -> 0.32 -> 0.54).  A station-node multigraph
+cannot do that — Louvain is blind to edge properties — so, as DESIGN.md
+documents, we realise the construction as the standard multislice
+network of Mucha et al. (2010):
+
+* each station is expanded into one copy per time slice in which it has
+  any trip activity;
+* a trip starting in slice *s* connects the two stations' slice-*s*
+  copies;
+* copies of the same station in circularly consecutive active slices
+  are joined by coupling edges of weight ``omega`` (scaled per station);
+* Louvain partitions the sliced graph; each station is then assigned to
+  the community that holds the largest share of its trip weight, which
+  is the station-level community structure the paper tabulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from ..config import TemporalCommunityConfig
+from ..exceptions import CommunityError
+from ..graphdb import WeightedGraph
+from .louvain import louvain
+from .partition import Partition
+
+StationKey = Hashable
+#: A sliced node: (station, slice index).
+SliceNode = tuple[StationKey, int]
+
+
+@dataclass(frozen=True)
+class TemporalCommunityResult:
+    """Output of multislice detection.
+
+    ``station_partition`` assigns whole stations (the paper's table
+    rows); ``slice_partition`` is the underlying partition of
+    (station, slice) copies; ``modularity`` is Louvain's score on the
+    sliced graph — the number the paper reports rising with temporal
+    granularity.
+    """
+
+    station_partition: Partition
+    slice_partition: Partition
+    modularity: float
+    n_slices: int
+
+    @property
+    def n_communities(self) -> int:
+        """Number of station-level communities."""
+        return self.station_partition.n_communities
+
+
+def build_sliced_graph(
+    trips: Iterable[tuple[StationKey, StationKey, int]],
+    n_slices: int,
+    coupling: float,
+) -> WeightedGraph:
+    """Build the multislice graph from ``(origin, destination, slice)``.
+
+    Coupling edges join a station's copies in circularly consecutive
+    *active* slices with weight ``coupling`` times the station's mean
+    per-active-slice strength, so the knob is scale-free in trip volume.
+    """
+    if n_slices <= 0:
+        raise CommunityError("n_slices must be positive")
+    graph = WeightedGraph()
+    station_slice_weight: dict[StationKey, dict[int, float]] = {}
+    for origin, destination, slice_index in trips:
+        if not 0 <= slice_index < n_slices:
+            raise CommunityError(
+                f"slice index {slice_index} outside [0, {n_slices})"
+            )
+        graph.add_edge((origin, slice_index), (destination, slice_index), 1.0)
+        for station in (origin, destination):
+            weights = station_slice_weight.setdefault(station, {})
+            weights[slice_index] = weights.get(slice_index, 0.0) + 1.0
+
+    if coupling > 0.0:
+        for station, weights in station_slice_weight.items():
+            active = sorted(weights)
+            if len(active) < 2:
+                continue
+            mean_strength = sum(weights.values()) / len(active)
+            omega = coupling * mean_strength
+            # Circular chain over the active slices.
+            for position, slice_index in enumerate(active):
+                next_slice = active[(position + 1) % len(active)]
+                if next_slice == slice_index:
+                    continue
+                graph.add_edge(
+                    (station, slice_index), (station, next_slice), omega
+                )
+    return graph
+
+
+def collapse_to_stations(
+    slice_partition: Partition,
+    trips: Iterable[tuple[StationKey, StationKey, int]],
+) -> Partition:
+    """Assign each station to the community holding most of its trips."""
+    weight: dict[StationKey, dict[int, float]] = {}
+    for origin, destination, slice_index in trips:
+        for station in (origin, destination):
+            label = slice_partition[(station, slice_index)]
+            by_label = weight.setdefault(station, {})
+            by_label[label] = by_label.get(label, 0.0) + 1.0
+    assignment = {
+        station: max(sorted(by_label), key=lambda label: by_label[label])
+        for station, by_label in weight.items()
+    }
+    return Partition.from_assignment(assignment)
+
+
+def detect_temporal_communities(
+    trips: Sequence[tuple[StationKey, StationKey, int]],
+    n_slices: int,
+    config: TemporalCommunityConfig | None = None,
+) -> TemporalCommunityResult:
+    """Full multislice pipeline: build, Louvain, collapse."""
+    cfg = config or TemporalCommunityConfig()
+    graph = build_sliced_graph(trips, n_slices, cfg.coupling)
+    if graph.node_count == 0:
+        raise CommunityError("no trips — nothing to detect communities on")
+    result = louvain(graph, cfg)
+    station_partition = collapse_to_stations(result.partition, trips)
+    return TemporalCommunityResult(
+        station_partition=station_partition,
+        slice_partition=result.partition,
+        modularity=result.modularity,
+        n_slices=n_slices,
+    )

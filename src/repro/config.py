@@ -1,0 +1,135 @@
+"""Configuration objects for the expansion pipeline.
+
+The paper fixes four rule thresholds (Section IV-B):
+
+* Rule 1, *Cluster-Boundary*: locations inside one cluster may be at most
+  100 m apart (complete-linkage diameter).
+* Rule 2, *Cluster-Proximity*: cluster centroids must be at least 50 m
+  apart.
+* Rule 3, *Degree-Threshold*: a candidate's degree must reach the minimum
+  degree found among the fixed stations.
+* Rule 4, *Secondary-Distance*: a new station must be at least 250 m from
+  every station.
+
+All of them are exposed here so that the ablation benches can sweep them.
+Distances are metres throughout the package unless a name says otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .exceptions import ConfigError
+
+#: Mean Earth radius in metres (IUGG value), used by every haversine call.
+EARTH_RADIUS_M = 6_371_008.8
+
+
+@dataclass(frozen=True)
+class ClusteringConfig:
+    """Parameters for the HAC condensation stage (paper Section IV-A).
+
+    Attributes
+    ----------
+    cluster_boundary_m:
+        Rule 1 — maximum distance between two locations in one cluster.
+        Complete linkage cut at this threshold enforces it by construction.
+    preassign_radius_m:
+        Locations within this radius of a fixed station are assigned to
+        that station before clustering (paper: 50 m).
+    linkage:
+        Linkage criterion; the paper uses ``"complete"``.  ``"single"``
+        and ``"average"`` are provided for the ablation study.
+    """
+
+    cluster_boundary_m: float = 100.0
+    preassign_radius_m: float = 50.0
+    linkage: str = "complete"
+
+    def __post_init__(self) -> None:
+        if self.cluster_boundary_m <= 0:
+            raise ConfigError("cluster_boundary_m must be positive")
+        if self.preassign_radius_m < 0:
+            raise ConfigError("preassign_radius_m must be non-negative")
+        if self.linkage not in ("complete", "single", "average"):
+            raise ConfigError(f"unknown linkage criterion: {self.linkage!r}")
+
+
+@dataclass(frozen=True)
+class SelectionConfig:
+    """Parameters for Algorithm 1 (paper Section IV-B).
+
+    Attributes
+    ----------
+    centroid_proximity_m:
+        Rule 2 — minimum spacing between cluster centroids (paper: 50 m).
+    secondary_distance_m:
+        Rule 4 — minimum distance from a new station to any other
+        station (paper: 250 m; Algorithm 1 writes it as 0.25 km).
+    degree_threshold:
+        Rule 3 override.  ``None`` (the default, and the paper's setting)
+        means "use the minimum degree among the fixed stations".
+    """
+
+    centroid_proximity_m: float = 50.0
+    secondary_distance_m: float = 250.0
+    degree_threshold: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.centroid_proximity_m < 0:
+            raise ConfigError("centroid_proximity_m must be non-negative")
+        if self.secondary_distance_m < 0:
+            raise ConfigError("secondary_distance_m must be non-negative")
+        if self.degree_threshold is not None and self.degree_threshold < 0:
+            raise ConfigError("degree_threshold must be non-negative")
+
+
+@dataclass(frozen=True)
+class CommunityConfig:
+    """Parameters for Louvain community detection (paper Section IV-C)."""
+
+    resolution: float = 1.0
+    seed: int = 7
+    max_passes: int = 50
+
+    def __post_init__(self) -> None:
+        if self.resolution <= 0:
+            raise ConfigError("resolution must be positive")
+        if self.max_passes <= 0:
+            raise ConfigError("max_passes must be positive")
+
+
+@dataclass(frozen=True)
+class TemporalCommunityConfig(CommunityConfig):
+    """Parameters for multislice (temporal) community detection.
+
+    ``coupling`` is the inter-slice coupling weight ω joining copies of
+    the same station in adjacent (circularly ordered) time slices,
+    expressed as a fraction of the station's mean incident trip weight.
+    Smaller values let slices diverge — more, finer communities and
+    higher modularity — which is exactly the paper's observed trend from
+    G_Basic to G_Hour.
+    """
+
+    coupling: float = 0.12
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.coupling < 0:
+            raise ConfigError("coupling must be non-negative")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Bundle of every stage's configuration, with the paper's defaults."""
+
+    clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
+    selection: SelectionConfig = field(default_factory=SelectionConfig)
+    community: CommunityConfig = field(default_factory=CommunityConfig)
+    temporal: TemporalCommunityConfig = field(
+        default_factory=TemporalCommunityConfig
+    )
+
+
+#: The configuration used for every headline experiment in the paper.
+PAPER_CONFIG = PipelineConfig()

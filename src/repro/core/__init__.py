@@ -1,0 +1,80 @@
+"""The paper's core contribution: the network-expansion pipeline."""
+
+from .candidates import (
+    CandidateGraphStats,
+    CandidateNetwork,
+    GroupKey,
+    build_candidate_network,
+)
+from .expansion import (
+    ExpansionResult,
+    N_DAY_SLICES,
+    N_HOUR_SLICES,
+    NetworkExpansionOptimiser,
+)
+from .graphs import (
+    KIND_FIXED,
+    KIND_SELECTED,
+    SelectedNetwork,
+    SelectedNetworkStats,
+    Station,
+    TripOD,
+    build_selected_network,
+)
+from .profiles import (
+    CommunityRow,
+    DAY_NAMES,
+    commute_peak_share,
+    community_table,
+    daily_profile,
+    hourly_profile,
+    midday_share,
+    self_containment,
+    weekend_share,
+)
+from .selection import (
+    CandidateScore,
+    REJECT_BELOW_DEGREE,
+    REJECT_NEAR_CANDIDATE,
+    REJECT_NEAR_STATION,
+    SelectionResult,
+    check_pairwise_distance,
+    select_stations,
+)
+from .validation import ValidationReport, validate_expansion
+
+__all__ = [
+    "CandidateGraphStats",
+    "CandidateNetwork",
+    "CandidateScore",
+    "CommunityRow",
+    "DAY_NAMES",
+    "ExpansionResult",
+    "GroupKey",
+    "KIND_FIXED",
+    "KIND_SELECTED",
+    "N_DAY_SLICES",
+    "N_HOUR_SLICES",
+    "NetworkExpansionOptimiser",
+    "REJECT_BELOW_DEGREE",
+    "REJECT_NEAR_CANDIDATE",
+    "REJECT_NEAR_STATION",
+    "SelectedNetwork",
+    "SelectedNetworkStats",
+    "SelectionResult",
+    "Station",
+    "TripOD",
+    "ValidationReport",
+    "build_candidate_network",
+    "build_selected_network",
+    "check_pairwise_distance",
+    "community_table",
+    "commute_peak_share",
+    "daily_profile",
+    "hourly_profile",
+    "midday_share",
+    "select_stations",
+    "self_containment",
+    "validate_expansion",
+    "weekend_share",
+]

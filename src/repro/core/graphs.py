@@ -1,0 +1,230 @@
+"""The selected network and the three temporal graph structures.
+
+After Algorithm 1, the network's node set is fixed: the pre-existing
+stations plus the selected candidates.  Every location is reassigned to
+its nearest station (paper Section IV-B step 3), trips become
+station-to-station origin-destination records, and the three structures
+of Section IV-C fall out:
+
+* **G_Basic** — stations as nodes, trip counts as undirected weights;
+* **G_Day** — each trip keyed by day of week (7 slices);
+* **G_Hour** — each trip keyed by start hour (24 slices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster import NearestStationAssigner
+from ..data import MobyDataset
+from ..geo import GeoPoint
+from ..graphdb import DirectedGraph, WeightedGraph
+from .candidates import CandidateNetwork
+from .selection import SelectionResult
+
+KIND_FIXED = "fixed"
+KIND_SELECTED = "selected"
+
+
+@dataclass(frozen=True)
+class Station:
+    """One station of the expanded network."""
+
+    station_id: int
+    point: GeoPoint
+    kind: str
+    name: str
+    source_cluster_id: int | None = None
+
+    @property
+    def is_new(self) -> bool:
+        """True for stations created by the expansion."""
+        return self.kind == KIND_SELECTED
+
+
+@dataclass(frozen=True)
+class TripOD:
+    """One trip after station reassignment."""
+
+    origin: int
+    destination: int
+    day_of_week: int
+    hour_of_day: int
+
+    @property
+    def is_loop(self) -> bool:
+        """True when the trip starts and ends at the same station."""
+        return self.origin == self.destination
+
+
+@dataclass
+class SelectedNetwork:
+    """The expanded station network plus its reassigned trips."""
+
+    stations: dict[int, Station]
+    location_to_station: dict[int, int]
+    trips: list[TripOD]
+
+    @property
+    def fixed_station_ids(self) -> list[int]:
+        """Ids of pre-existing stations."""
+        return sorted(
+            station_id
+            for station_id, station in self.stations.items()
+            if station.kind == KIND_FIXED
+        )
+
+    @property
+    def selected_station_ids(self) -> list[int]:
+        """Ids of newly selected stations."""
+        return sorted(
+            station_id
+            for station_id, station in self.stations.items()
+            if station.kind == KIND_SELECTED
+        )
+
+    # ------------------------------------------------------------------
+    # Graph structures
+    # ------------------------------------------------------------------
+
+    def directed_flow(self) -> DirectedGraph:
+        """Directed trip-count graph over stations."""
+        flow = DirectedGraph()
+        for station_id in self.stations:
+            flow.add_node(station_id)
+        for trip in self.trips:
+            flow.add_edge(trip.origin, trip.destination, 1.0)
+        return flow
+
+    def g_basic(self) -> WeightedGraph:
+        """The paper's G_Basic: undirected, weighted by trip count."""
+        graph = WeightedGraph()
+        for station_id in self.stations:
+            graph.add_node(station_id)
+        for trip in self.trips:
+            graph.add_edge(trip.origin, trip.destination, 1.0)
+        return graph
+
+    def day_sliced_trips(self) -> list[tuple[int, int, int]]:
+        """(origin, destination, day-of-week) triples for G_Day."""
+        return [
+            (trip.origin, trip.destination, trip.day_of_week)
+            for trip in self.trips
+        ]
+
+    def hour_sliced_trips(self) -> list[tuple[int, int, int]]:
+        """(origin, destination, hour-of-day) triples for G_Hour."""
+        return [
+            (trip.origin, trip.destination, trip.hour_of_day)
+            for trip in self.trips
+        ]
+
+    # ------------------------------------------------------------------
+    # Table III
+    # ------------------------------------------------------------------
+
+    def stats(self) -> "SelectedNetworkStats":
+        """The paper's Table III for this network."""
+        fixed = set(self.fixed_station_ids)
+        trips_from_fixed = sum(1 for trip in self.trips if trip.origin in fixed)
+        trips_to_fixed = sum(1 for trip in self.trips if trip.destination in fixed)
+        flow = self.directed_flow()
+        edges_from_fixed = 0
+        edges_to_fixed = 0
+        total_edges = 0
+        for u, v, _ in flow.edges():
+            total_edges += 1
+            if u in fixed:
+                edges_from_fixed += 1
+            if v in fixed:
+                edges_to_fixed += 1
+        n_trips = len(self.trips)
+        return SelectedNetworkStats(
+            n_fixed=len(fixed),
+            n_selected=len(self.selected_station_ids),
+            trips_from_fixed=trips_from_fixed,
+            trips_to_fixed=trips_to_fixed,
+            trips_from_selected=n_trips - trips_from_fixed,
+            trips_to_selected=n_trips - trips_to_fixed,
+            edges_from_fixed=edges_from_fixed,
+            edges_to_fixed=edges_to_fixed,
+            edges_from_selected=total_edges - edges_from_fixed,
+            edges_to_selected=total_edges - edges_to_fixed,
+            n_trips=n_trips,
+            n_directed_edges=total_edges,
+        )
+
+
+@dataclass(frozen=True)
+class SelectedNetworkStats:
+    """The counts of the paper's Table III."""
+
+    n_fixed: int
+    n_selected: int
+    trips_from_fixed: int
+    trips_to_fixed: int
+    trips_from_selected: int
+    trips_to_selected: int
+    edges_from_fixed: int
+    edges_to_fixed: int
+    edges_from_selected: int
+    edges_to_selected: int
+    n_trips: int
+    n_directed_edges: int
+
+
+def build_selected_network(
+    cleaned: MobyDataset,
+    candidates: CandidateNetwork,
+    selection: SelectionResult,
+) -> SelectedNetwork:
+    """Materialise the expanded network after Algorithm 1.
+
+    New stations take ids continuing after the largest fixed-station
+    id; every cleaned location is then reassigned to its nearest
+    station and the trips are projected onto station pairs.
+    """
+    stations: dict[int, Station] = {}
+    for station_id, point in candidates.station_points.items():
+        name = cleaned.location(station_id).name
+        stations[station_id] = Station(
+            station_id=station_id,
+            point=point,
+            kind=KIND_FIXED,
+            name=name or f"Station {station_id}",
+        )
+    next_id = max(stations) + 1 if stations else 0
+    for cluster_id in selection.selected_cluster_ids:
+        stations[next_id] = Station(
+            station_id=next_id,
+            point=candidates.cluster_centroids[cluster_id],
+            kind=KIND_SELECTED,
+            name=f"New station {next_id} (cluster {cluster_id})",
+            source_cluster_id=cluster_id,
+        )
+        next_id += 1
+
+    assigner = NearestStationAssigner(
+        {station_id: station.point for station_id, station in stations.items()}
+    )
+    location_to_station: dict[int, int] = {}
+    for record in cleaned.locations():
+        location_to_station[record.location_id], _ = assigner.nearest(
+            record.point()
+        )
+
+    trips: list[TripOD] = []
+    for rental in cleaned.rentals():
+        trips.append(
+            TripOD(
+                origin=location_to_station[rental.rental_location_id],
+                destination=location_to_station[rental.return_location_id],
+                day_of_week=rental.day_of_week,
+                hour_of_day=rental.hour_of_day,
+            )
+        )
+    return SelectedNetwork(
+        stations=stations,
+        location_to_station=location_to_station,
+        trips=trips,
+    )

@@ -1,0 +1,164 @@
+"""Station ranking and selection — the paper's Algorithm 1.
+
+The algorithm scores each candidate cluster by its degree in the
+candidate graph, zeroes the score of any candidate that fails Rule 3
+(degree below the minimum fixed-station degree) or sits within the
+Rule-4 secondary distance (250 m) of a pre-existing station, then
+repeatedly knocks out the lower-degree member of any surviving pair of
+candidates closer than 250 m to each other.  The survivors, in
+descending score order, become the new stations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SelectionConfig
+from ..geo import GeoPoint, GridIndex, haversine_m
+from .candidates import CandidateNetwork, GroupKey
+
+#: Rejection reasons recorded per candidate.
+REJECT_BELOW_DEGREE = "below_degree_threshold"
+REJECT_NEAR_STATION = "near_pre_existing_station"
+REJECT_NEAR_CANDIDATE = "near_higher_degree_candidate"
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """One candidate's outcome: final score and rejection reason (if any)."""
+
+    cluster_id: int
+    degree: int
+    score: int
+    rejection: str | None
+
+
+@dataclass
+class SelectionResult:
+    """Full output of Algorithm 1."""
+
+    degree_threshold: int
+    scores: list[CandidateScore] = field(default_factory=list)
+
+    @property
+    def selected_cluster_ids(self) -> list[int]:
+        """Cluster ids of the selected candidates, best score first."""
+        winners = [entry for entry in self.scores if entry.score > 0]
+        winners.sort(key=lambda entry: (-entry.score, entry.cluster_id))
+        return [entry.cluster_id for entry in winners]
+
+    @property
+    def n_selected(self) -> int:
+        """How many candidates became stations."""
+        return sum(1 for entry in self.scores if entry.score > 0)
+
+    def rejection_counts(self) -> dict[str, int]:
+        """Rejections by reason."""
+        counts: dict[str, int] = {}
+        for entry in self.scores:
+            if entry.rejection is not None:
+                counts[entry.rejection] = counts.get(entry.rejection, 0) + 1
+        return counts
+
+
+def select_stations(
+    network: CandidateNetwork, config: SelectionConfig | None = None
+) -> SelectionResult:
+    """Run Algorithm 1 over a candidate network."""
+    cfg = config or SelectionConfig()
+    undirected = network.undirected()
+
+    def degree_of(group: GroupKey) -> int:
+        return undirected.degree(group) if group in undirected else 0
+
+    # Line 1: the Rule-3 threshold from the fixed stations.
+    if cfg.degree_threshold is not None:
+        threshold = cfg.degree_threshold
+    else:
+        station_degrees = [
+            degree_of(("station", station_id))
+            for station_id in network.station_points
+        ]
+        threshold = min(station_degrees) if station_degrees else 0
+
+    # Lines 2-9: initial scoring against Rules 3 and 4.
+    station_index: GridIndex[int] = GridIndex(
+        cell_m=max(100.0, cfg.secondary_distance_m)
+    )
+    for station_id, point in network.station_points.items():
+        station_index.insert(station_id, point)
+
+    result = SelectionResult(degree_threshold=threshold)
+    alive: dict[int, tuple[int, GeoPoint]] = {}
+    for cluster_id in sorted(network.cluster_centroids):
+        degree = degree_of(("cluster", cluster_id))
+        centroid = network.cluster_centroids[cluster_id]
+        if degree < threshold:
+            result.scores.append(
+                CandidateScore(cluster_id, degree, 0, REJECT_BELOW_DEGREE)
+            )
+            continue
+        if station_index.within(centroid, cfg.secondary_distance_m):
+            result.scores.append(
+                CandidateScore(cluster_id, degree, 0, REJECT_NEAR_STATION)
+            )
+            continue
+        alive[cluster_id] = (degree, centroid)
+
+    # Lines 10-16: knock out near pairs, lower degree first, until the
+    # surviving set is pairwise farther than the secondary distance.
+    candidate_index: GridIndex[int] = GridIndex(
+        cell_m=max(100.0, cfg.secondary_distance_m)
+    )
+    for cluster_id, (_, centroid) in alive.items():
+        candidate_index.insert(cluster_id, centroid)
+
+    changed = True
+    while changed:
+        changed = False
+        # Visit candidates from the lowest degree upwards so the loser
+        # of each conflict is decided deterministically.
+        for cluster_id in sorted(alive, key=lambda cid: (alive[cid][0], cid)):
+            if cluster_id not in alive:
+                continue
+            degree, centroid = alive[cluster_id]
+            for other_id, _ in candidate_index.within(
+                centroid, cfg.secondary_distance_m
+            ):
+                if other_id == cluster_id or other_id not in alive:
+                    continue
+                other_degree, _ = alive[other_id]
+                loser = (
+                    cluster_id
+                    if (degree, -cluster_id) < (other_degree, -other_id)
+                    else other_id
+                )
+                result.scores.append(
+                    CandidateScore(
+                        loser, alive[loser][0], 0, REJECT_NEAR_CANDIDATE
+                    )
+                )
+                candidate_index.remove(loser)
+                del alive[loser]
+                changed = True
+                if loser == cluster_id:
+                    break
+
+    # Lines 17-18: survivors keep their degree as score.
+    for cluster_id, (degree, _) in alive.items():
+        result.scores.append(CandidateScore(cluster_id, degree, degree, None))
+    result.scores.sort(key=lambda entry: entry.cluster_id)
+    return result
+
+
+def check_pairwise_distance(
+    points: list[GeoPoint], minimum_m: float
+) -> list[tuple[int, int, float]]:
+    """All index pairs closer than ``minimum_m`` (audit helper)."""
+    violations: list[tuple[int, int, float]] = []
+    for i in range(len(points)):
+        for j in range(i + 1, len(points)):
+            distance = haversine_m(points[i], points[j])
+            if distance < minimum_m:
+                violations.append((i, j, distance))
+    return violations

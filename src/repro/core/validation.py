@@ -1,0 +1,161 @@
+"""Post-hoc validation of an expansion (paper's third contribution).
+
+The paper validates new stations by checking that they are not outliers
+— that they join communities alongside existing stations and observe
+the same activity patterns.  This module audits a finished
+:class:`~repro.core.expansion.ExpansionResult` against:
+
+* the four selection rules (cluster diameter, centroid spacing,
+  degree threshold, secondary distance);
+* community health (positive modularity, new stations spread over
+  communities rather than forming isolated ones);
+* behavioural similarity (each new station's degree lies within the
+  range spanned by the fixed stations' degrees, scaled tolerance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster import cluster_diameter_m
+from ..geo import haversine_m
+from .expansion import ExpansionResult
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of every validation check."""
+
+    checks: dict[str, bool] = field(default_factory=dict)
+    details: dict[str, str] = field(default_factory=dict)
+
+    def record(self, name: str, passed: bool, detail: str) -> None:
+        """Store one check's outcome."""
+        self.checks[name] = passed
+        self.details[name] = detail
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every check passed."""
+        return all(self.checks.values())
+
+    def failures(self) -> list[str]:
+        """Names of failed checks."""
+        return [name for name, passed in self.checks.items() if not passed]
+
+
+def validate_expansion(result: ExpansionResult) -> ValidationReport:
+    """Run the full audit over a pipeline result."""
+    report = ValidationReport()
+    config = result.selection
+    network = result.network
+    candidates = result.candidates
+
+    # Rule 1 — every selected cluster's diameter is within the boundary.
+    location_points = {
+        record.location_id: record.point()
+        for record in result.cleaned.locations()
+    }
+    selected_ids = set(result.selection.selected_cluster_ids)
+    worst_diameter = 0.0
+    for cluster in candidates.clustering.clusters:
+        if cluster.cluster_id in selected_ids:
+            worst_diameter = max(
+                worst_diameter, cluster_diameter_m(cluster, location_points)
+            )
+    boundary = 100.0
+    report.record(
+        "rule1_cluster_boundary",
+        worst_diameter <= boundary + 1e-6,
+        f"worst selected-cluster diameter {worst_diameter:.1f} m (limit {boundary:.0f} m)",
+    )
+
+    # Rule 4 — every new station is at least 250 m from every other station.
+    new_stations = [
+        network.stations[station_id] for station_id in network.selected_station_ids
+    ]
+    all_stations = list(network.stations.values())
+    min_spacing = float("inf")
+    for new in new_stations:
+        for other in all_stations:
+            if other.station_id == new.station_id:
+                continue
+            min_spacing = min(
+                min_spacing, haversine_m(new.point, other.point)
+            )
+    secondary = 250.0
+    report.record(
+        "rule4_secondary_distance",
+        (not new_stations) or min_spacing >= secondary - 1e-6,
+        f"closest new-station spacing {min_spacing:.1f} m (limit {secondary:.0f} m)",
+    )
+
+    # Rule 3 — every selected candidate met the degree threshold.
+    threshold = config.degree_threshold
+    below = [
+        entry
+        for entry in config.scores
+        if entry.score > 0 and entry.degree < threshold
+    ]
+    report.record(
+        "rule3_degree_threshold",
+        not below,
+        f"{len(below)} selected candidates below threshold {threshold}",
+    )
+
+    # Community health: positive modularity at every granularity.
+    report.record(
+        "modularity_positive",
+        result.basic.modularity > 0
+        and result.day.modularity > 0
+        and result.hour.modularity > 0,
+        "Q = {:.3f} / {:.3f} / {:.3f} (basic/day/hour)".format(
+            result.basic.modularity,
+            result.day.modularity,
+            result.hour.modularity,
+        ),
+    )
+
+    # New stations should join the community structure, not dominate a
+    # single isolated community.
+    partition = result.basic.partition
+    new_labels = {
+        partition[station_id]
+        for station_id in network.selected_station_ids
+        if station_id in partition
+    }
+    mixed = sum(
+        1
+        for label, members in partition.communities().items()
+        if label in new_labels
+        and any(
+            not network.stations[station_id].is_new
+            for station_id in members
+            if station_id in network.stations
+        )
+    )
+    report.record(
+        "new_stations_integrate",
+        (not new_labels) or mixed >= max(1, len(new_labels) // 2),
+        f"{mixed}/{len(new_labels)} communities containing new stations also hold old ones",
+    )
+
+    # Behavioural similarity: new-station degrees within the fixed range.
+    g_basic = network.g_basic()
+    fixed_degrees = [
+        g_basic.degree(station_id) for station_id in network.fixed_station_ids
+    ]
+    if fixed_degrees and new_stations:
+        low = 0
+        high = max(fixed_degrees) * 2
+        outliers = [
+            station.station_id
+            for station in new_stations
+            if not low <= g_basic.degree(station.station_id) <= high
+        ]
+        report.record(
+            "new_station_degrees_in_range",
+            not outliers,
+            f"{len(outliers)} new stations outside degree range [{low}, {high}]",
+        )
+    return report

@@ -1,0 +1,54 @@
+"""Relational substrate: typed tables, CSV IO and the cleaning pipeline."""
+
+from .cleaning import (
+    ALL_RULES,
+    CleaningReport,
+    RULE_DANGLING_LOCATION_ID,
+    RULE_MISSING_COORDINATES,
+    RULE_MISSING_LOCATION_ID,
+    RULE_NOT_ON_LAND,
+    RULE_OUTSIDE_DUBLIN,
+    RULE_UNREFERENCED_LOCATION,
+    RuleOutcome,
+    clean_dataset,
+)
+from .csvio import read_locations, read_rentals, write_locations, write_rentals
+from .dataset import DatasetSummary, MobyDataset
+from .records import LocationRecord, RentalRecord
+from .schema import (
+    ColumnSpec,
+    LOCATION_SCHEMA,
+    RENTAL_SCHEMA,
+    TableSchema,
+    schema_from_columns,
+)
+from .tables import Database, ForeignKey, Table
+
+__all__ = [
+    "ALL_RULES",
+    "CleaningReport",
+    "ColumnSpec",
+    "Database",
+    "DatasetSummary",
+    "ForeignKey",
+    "LOCATION_SCHEMA",
+    "LocationRecord",
+    "MobyDataset",
+    "RENTAL_SCHEMA",
+    "RULE_DANGLING_LOCATION_ID",
+    "RULE_MISSING_COORDINATES",
+    "RULE_MISSING_LOCATION_ID",
+    "RULE_NOT_ON_LAND",
+    "RULE_OUTSIDE_DUBLIN",
+    "RULE_UNREFERENCED_LOCATION",
+    "RentalRecord",
+    "RuleOutcome",
+    "Table",
+    "TableSchema",
+    "clean_dataset",
+    "read_locations",
+    "read_rentals",
+    "schema_from_columns",
+    "write_locations",
+    "write_rentals",
+]

@@ -1,0 +1,185 @@
+"""The six-rule cleaning pipeline from the paper (Section III).
+
+The paper removes, in order:
+
+1. Locations outside Dublin, and rentals that started or ended there.
+2. Locations that are not on land, and associated rentals.
+3. Locations missing latitude or longitude, and associated rentals.
+4. Rentals that do not report a Rental or Return Location ID.
+5. Rentals whose Rental/Return Location ID is not in the Location table.
+6. Locations never referenced by any remaining rental.
+
+Cleaning is non-destructive: :func:`clean_dataset` builds a fresh
+:class:`~repro.data.dataset.MobyDataset` and returns it together with a
+:class:`CleaningReport` recording exactly what each rule removed, so a
+Table-I style before/after comparison falls straight out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..geo import GeoPoint, in_dublin, on_land
+from .dataset import DatasetSummary, MobyDataset
+from .records import LocationRecord
+
+#: Rule identifiers, in application order.
+RULE_OUTSIDE_DUBLIN = "outside_dublin"
+RULE_NOT_ON_LAND = "not_on_land"
+RULE_MISSING_COORDINATES = "missing_coordinates"
+RULE_MISSING_LOCATION_ID = "missing_location_id"
+RULE_DANGLING_LOCATION_ID = "dangling_location_id"
+RULE_UNREFERENCED_LOCATION = "unreferenced_location"
+
+ALL_RULES = (
+    RULE_OUTSIDE_DUBLIN,
+    RULE_NOT_ON_LAND,
+    RULE_MISSING_COORDINATES,
+    RULE_MISSING_LOCATION_ID,
+    RULE_DANGLING_LOCATION_ID,
+    RULE_UNREFERENCED_LOCATION,
+)
+
+
+@dataclass
+class RuleOutcome:
+    """What one rule removed."""
+
+    rule: str
+    locations_removed: int = 0
+    rentals_removed: int = 0
+
+
+@dataclass
+class CleaningReport:
+    """Audit trail of a cleaning run, including Table-I counts."""
+
+    before: DatasetSummary
+    after: DatasetSummary
+    outcomes: list[RuleOutcome] = field(default_factory=list)
+
+    @property
+    def total_locations_removed(self) -> int:
+        """Locations removed across all rules."""
+        return sum(outcome.locations_removed for outcome in self.outcomes)
+
+    @property
+    def total_rentals_removed(self) -> int:
+        """Rentals removed across all rules."""
+        return sum(outcome.rentals_removed for outcome in self.outcomes)
+
+    def outcome(self, rule: str) -> RuleOutcome:
+        """Fetch the outcome of one named rule."""
+        for outcome in self.outcomes:
+            if outcome.rule == rule:
+                return outcome
+        raise KeyError(f"no outcome recorded for rule {rule!r}")
+
+
+def _location_admissible(record: LocationRecord, oracle: Callable[[GeoPoint], bool]) -> bool:
+    """Apply a geographic oracle; coordinate-less rows pass (handled later)."""
+    if not record.has_coordinates:
+        return True
+    return oracle(record.point())
+
+
+def _drop_locations(
+    dataset: MobyDataset,
+    doomed_location_ids: set[int],
+    outcome: RuleOutcome,
+) -> None:
+    """Remove locations and every rental touching them, updating the outcome."""
+    doomed_rentals: set[int] = set()
+    for location_id in doomed_location_ids:
+        doomed_rentals.update(dataset.rentals_touching_location(location_id))
+    for rental_id in sorted(doomed_rentals):
+        dataset.remove_rental(rental_id)
+    for location_id in sorted(doomed_location_ids):
+        dataset.remove_location(location_id)
+    outcome.locations_removed += len(doomed_location_ids)
+    outcome.rentals_removed += len(doomed_rentals)
+
+
+def clean_dataset(raw: MobyDataset) -> tuple[MobyDataset, CleaningReport]:
+    """Apply the six rules to a copy of ``raw``.
+
+    Returns the cleaned dataset and the per-rule audit report.  The
+    input dataset is left untouched.
+    """
+    dataset = MobyDataset.from_records(raw.locations(), raw.rentals())
+    report = CleaningReport(before=raw.summary(), after=raw.summary())
+
+    # Rule 1: outside Dublin.
+    outcome = RuleOutcome(RULE_OUTSIDE_DUBLIN)
+    doomed = {
+        record.location_id
+        for record in dataset.locations()
+        if not _location_admissible(record, in_dublin)
+    }
+    _drop_locations(dataset, doomed, outcome)
+    report.outcomes.append(outcome)
+
+    # Rule 2: not on land.
+    outcome = RuleOutcome(RULE_NOT_ON_LAND)
+    doomed = {
+        record.location_id
+        for record in dataset.locations()
+        if not _location_admissible(record, on_land)
+    }
+    _drop_locations(dataset, doomed, outcome)
+    report.outcomes.append(outcome)
+
+    # Rule 3: missing coordinates.
+    outcome = RuleOutcome(RULE_MISSING_COORDINATES)
+    doomed = {
+        record.location_id
+        for record in dataset.locations()
+        if not record.has_coordinates
+    }
+    _drop_locations(dataset, doomed, outcome)
+    report.outcomes.append(outcome)
+
+    # Rule 4: rentals without both location ids.
+    outcome = RuleOutcome(RULE_MISSING_LOCATION_ID)
+    doomed_rentals = [
+        rental.rental_id
+        for rental in dataset.rentals()
+        if not rental.has_location_ids
+    ]
+    for rental_id in doomed_rentals:
+        dataset.remove_rental(rental_id)
+    outcome.rentals_removed = len(doomed_rentals)
+    report.outcomes.append(outcome)
+
+    # Rule 5: rentals referencing unknown locations.
+    outcome = RuleOutcome(RULE_DANGLING_LOCATION_ID)
+    doomed_rentals = [
+        rental.rental_id
+        for rental in dataset.rentals()
+        if not (
+            dataset.has_location(rental.rental_location_id)  # type: ignore[arg-type]
+            and dataset.has_location(rental.return_location_id)  # type: ignore[arg-type]
+        )
+    ]
+    for rental_id in doomed_rentals:
+        dataset.remove_rental(rental_id)
+    outcome.rentals_removed = len(doomed_rentals)
+    report.outcomes.append(outcome)
+
+    # Rule 6: locations no remaining rental references.
+    outcome = RuleOutcome(RULE_UNREFERENCED_LOCATION)
+    referenced = dataset.referenced_location_ids()
+    doomed_locations = [
+        record.location_id
+        for record in dataset.locations()
+        if record.location_id not in referenced
+    ]
+    for location_id in doomed_locations:
+        dataset.remove_location(location_id)
+    outcome.locations_removed = len(doomed_locations)
+    report.outcomes.append(outcome)
+
+    dataset.db.check_integrity()
+    report.after = dataset.summary()
+    return dataset, report

@@ -1,0 +1,123 @@
+"""CSV persistence for the Moby tables.
+
+Datasets round-trip through two plain CSV files (``locations.csv`` and
+``rentals.csv``) so that experiments are inspectable and re-runnable
+outside Python.  Timestamps are written as ISO-8601; empty cells encode
+NULLs.
+"""
+
+from __future__ import annotations
+
+import csv
+from datetime import datetime
+from pathlib import Path
+from typing import Iterable
+
+from .records import LocationRecord, RentalRecord
+
+_LOCATION_FIELDS = ("location_id", "lat", "lon", "is_station", "name")
+_RENTAL_FIELDS = (
+    "rental_id",
+    "bike_id",
+    "started_at",
+    "ended_at",
+    "rental_location_id",
+    "return_location_id",
+)
+
+
+def _cell(value: object) -> str:
+    """Encode one value for CSV; None becomes an empty cell."""
+    if value is None:
+        return ""
+    if isinstance(value, datetime):
+        return value.isoformat()
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return str(value)
+
+
+def write_locations(path: str | Path, locations: Iterable[LocationRecord]) -> int:
+    """Write location records to ``path``; returns the row count."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_LOCATION_FIELDS)
+        for record in locations:
+            writer.writerow(
+                [
+                    _cell(record.location_id),
+                    _cell(record.lat),
+                    _cell(record.lon),
+                    _cell(record.is_station),
+                    _cell(record.name),
+                ]
+            )
+            count += 1
+    return count
+
+
+def write_rentals(path: str | Path, rentals: Iterable[RentalRecord]) -> int:
+    """Write rental records to ``path``; returns the row count."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_RENTAL_FIELDS)
+        for record in rentals:
+            writer.writerow(
+                [
+                    _cell(record.rental_id),
+                    _cell(record.bike_id),
+                    _cell(record.started_at),
+                    _cell(record.ended_at),
+                    _cell(record.rental_location_id),
+                    _cell(record.return_location_id),
+                ]
+            )
+            count += 1
+    return count
+
+
+def read_locations(path: str | Path) -> list[LocationRecord]:
+    """Read location records written by :func:`write_locations`."""
+    records: list[LocationRecord] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            records.append(
+                LocationRecord(
+                    location_id=int(row["location_id"]),
+                    lat=float(row["lat"]) if row["lat"] else None,
+                    lon=float(row["lon"]) if row["lon"] else None,
+                    is_station=row["is_station"] == "1",
+                    name=row["name"],
+                )
+            )
+    return records
+
+
+def read_rentals(path: str | Path) -> list[RentalRecord]:
+    """Read rental records written by :func:`write_rentals`."""
+    records: list[RentalRecord] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            records.append(
+                RentalRecord(
+                    rental_id=int(row["rental_id"]),
+                    bike_id=int(row["bike_id"]),
+                    started_at=datetime.fromisoformat(row["started_at"]),
+                    ended_at=datetime.fromisoformat(row["ended_at"]),
+                    rental_location_id=(
+                        int(row["rental_location_id"])
+                        if row["rental_location_id"]
+                        else None
+                    ),
+                    return_location_id=(
+                        int(row["return_location_id"])
+                        if row["return_location_id"]
+                        else None
+                    ),
+                )
+            )
+    return records

@@ -1,0 +1,220 @@
+"""The MobyDataset: both tables plus convenient typed access."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .csvio import read_locations, read_rentals, write_locations, write_rentals
+from .records import LocationRecord, RentalRecord
+from .schema import LOCATION_SCHEMA, RENTAL_SCHEMA
+from .tables import Database, Table
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """The counts reported in the paper's Table I."""
+
+    n_stations: int
+    n_rentals: int
+    n_locations: int
+
+    def as_row(self) -> dict[str, int]:
+        """Dict form used by the reporting layer."""
+        return {
+            "#stations": self.n_stations,
+            "#rental": self.n_rentals,
+            "#location": self.n_locations,
+        }
+
+
+class MobyDataset:
+    """Rental + Location tables with typed record access.
+
+    The underlying :class:`~repro.data.tables.Database` carries the
+    referential metadata (both rental foreign keys point at the
+    Location table) so the cleaning stage can enumerate violations.
+    """
+
+    def __init__(self) -> None:
+        self.db = Database()
+        self._locations: Table = self.db.create_table("locations", LOCATION_SCHEMA)
+        self._rentals: Table = self.db.create_table("rentals", RENTAL_SCHEMA)
+        self._locations.create_index("is_station")
+        self._rentals.create_index("rental_location_id")
+        self._rentals.create_index("return_location_id")
+        self.db.add_foreign_key("rentals", "rental_location_id", "locations")
+        self.db.add_foreign_key("rentals", "return_location_id", "locations")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls,
+        locations: Iterable[LocationRecord],
+        rentals: Iterable[RentalRecord],
+    ) -> "MobyDataset":
+        """Build a dataset from record iterables (no integrity checks)."""
+        dataset = cls()
+        for location in locations:
+            dataset.add_location(location)
+        for rental in rentals:
+            dataset.add_rental(rental)
+        return dataset
+
+    @classmethod
+    def from_csv(cls, directory: str | Path) -> "MobyDataset":
+        """Load ``locations.csv`` and ``rentals.csv`` from a directory."""
+        directory = Path(directory)
+        return cls.from_records(
+            read_locations(directory / "locations.csv"),
+            read_rentals(directory / "rentals.csv"),
+        )
+
+    def to_csv(self, directory: str | Path) -> None:
+        """Write both tables into ``directory`` (created if needed)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        write_locations(directory / "locations.csv", self.locations())
+        write_rentals(directory / "rentals.csv", self.rentals())
+
+    def add_location(self, record: LocationRecord) -> None:
+        """Insert one location row."""
+        self._locations.insert(
+            {
+                "location_id": record.location_id,
+                "lat": record.lat,
+                "lon": record.lon,
+                "is_station": record.is_station,
+                "name": record.name,
+            }
+        )
+
+    def add_rental(self, record: RentalRecord) -> None:
+        """Insert one rental row."""
+        self._rentals.insert(
+            {
+                "rental_id": record.rental_id,
+                "bike_id": record.bike_id,
+                "started_at": record.started_at,
+                "ended_at": record.ended_at,
+                "rental_location_id": record.rental_location_id,
+                "return_location_id": record.return_location_id,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Typed reads
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _location_from_row(row: dict) -> LocationRecord:
+        return LocationRecord(
+            location_id=row["location_id"],
+            lat=row["lat"],
+            lon=row["lon"],
+            is_station=row["is_station"],
+            name=row["name"],
+        )
+
+    @staticmethod
+    def _rental_from_row(row: dict) -> RentalRecord:
+        return RentalRecord(
+            rental_id=row["rental_id"],
+            bike_id=row["bike_id"],
+            started_at=row["started_at"],
+            ended_at=row["ended_at"],
+            rental_location_id=row["rental_location_id"],
+            return_location_id=row["return_location_id"],
+        )
+
+    def locations(self) -> Iterator[LocationRecord]:
+        """Iterate over all location records (id order)."""
+        for pk in sorted(self._locations.keys()):
+            yield self._location_from_row(self._locations.get(pk))
+
+    def rentals(self) -> Iterator[RentalRecord]:
+        """Iterate over all rental records (id order)."""
+        for pk in sorted(self._rentals.keys()):
+            yield self._rental_from_row(self._rentals.get(pk))
+
+    def stations(self) -> Iterator[LocationRecord]:
+        """Iterate over fixed-station location records."""
+        for row in self._locations.lookup("is_station", True):
+            yield self._location_from_row(row)
+
+    def location(self, location_id: int) -> LocationRecord:
+        """Fetch one location by id."""
+        return self._location_from_row(self._locations.get(location_id))
+
+    def has_location(self, location_id: int) -> bool:
+        """True when a location id exists."""
+        return location_id in self._locations
+
+    def rental(self, rental_id: int) -> RentalRecord:
+        """Fetch one rental by id."""
+        return self._rental_from_row(self._rentals.get(rental_id))
+
+    # ------------------------------------------------------------------
+    # Mutation used by cleaning
+    # ------------------------------------------------------------------
+
+    def remove_location(self, location_id: int) -> None:
+        """Delete one location row."""
+        self._locations.delete(location_id)
+
+    def remove_rental(self, rental_id: int) -> None:
+        """Delete one rental row."""
+        self._rentals.delete(rental_id)
+
+    def rentals_touching_location(self, location_id: int) -> set[int]:
+        """Ids of rentals that start or end at ``location_id``."""
+        ids = {
+            row["rental_id"]
+            for row in self._rentals.lookup("rental_location_id", location_id)
+        }
+        ids.update(
+            row["rental_id"]
+            for row in self._rentals.lookup("return_location_id", location_id)
+        )
+        return ids
+
+    def referenced_location_ids(self) -> set[int]:
+        """Location ids referenced by at least one rental."""
+        referenced: set[int] = set()
+        for rental in self.rentals():
+            if rental.rental_location_id is not None:
+                referenced.add(rental.rental_location_id)
+            if rental.return_location_id is not None:
+                referenced.add(rental.return_location_id)
+        return referenced
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    @property
+    def n_locations(self) -> int:
+        """Number of location rows."""
+        return len(self._locations)
+
+    @property
+    def n_rentals(self) -> int:
+        """Number of rental rows."""
+        return len(self._rentals)
+
+    @property
+    def n_stations(self) -> int:
+        """Number of fixed stations."""
+        return len(self._locations.lookup("is_station", True))
+
+    def summary(self) -> DatasetSummary:
+        """The Table-I counts for this dataset."""
+        return DatasetSummary(
+            n_stations=self.n_stations,
+            n_rentals=self.n_rentals,
+            n_locations=self.n_locations,
+        )

@@ -1,0 +1,105 @@
+"""Typed records mirroring Moby's two SQL tables (paper Section III).
+
+The operator's database has a *Rental* table (one row per logged rental,
+62,324 rows in the paper) and a *Location* table (one row per distinct
+pick-up or drop-off location, 14,239 rows).  Fixed charging stations are
+locations flagged ``is_station``.
+
+Raw records may be dirty — missing coordinates, dangling foreign keys —
+because exercising the cleaning rules requires representing the mess.
+``lat``/``lon`` are therefore optional on :class:`LocationRecord` and
+the id references on :class:`RentalRecord` are optional too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+
+from ..geo import GeoPoint
+
+
+@dataclass(frozen=True)
+class LocationRecord:
+    """One row of the Location table.
+
+    Attributes
+    ----------
+    location_id:
+        Primary key.
+    lat, lon:
+        WGS-84 coordinates; ``None`` models the paper's "missing
+        latitude or longitude" dirty rows.
+    is_station:
+        True for Moby's fixed charging stations.
+    name:
+        Human-readable label (stations are named; ad-hoc locations
+        carry an empty string).
+    """
+
+    location_id: int
+    lat: float | None
+    lon: float | None
+    is_station: bool = False
+    name: str = ""
+
+    @property
+    def has_coordinates(self) -> bool:
+        """True when both coordinates are present."""
+        return self.lat is not None and self.lon is not None
+
+    def point(self) -> GeoPoint:
+        """The record's position; raises TypeError when coordinates are missing."""
+        if not self.has_coordinates:
+            raise TypeError(
+                f"location {self.location_id} has no coordinates"
+            )
+        return GeoPoint(float(self.lat), float(self.lon))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class RentalRecord:
+    """One row of the Rental table.
+
+    Attributes
+    ----------
+    rental_id:
+        Primary key.
+    bike_id:
+        Identifier of the e-bike used.
+    started_at, ended_at:
+        Rental start / end timestamps.
+    rental_location_id, return_location_id:
+        Foreign keys into the Location table; ``None`` models the
+        paper's "does not report a Rental/Return Location ID" dirty rows.
+    """
+
+    rental_id: int
+    bike_id: int
+    started_at: datetime
+    ended_at: datetime
+    rental_location_id: int | None
+    return_location_id: int | None
+
+    @property
+    def has_location_ids(self) -> bool:
+        """True when both foreign keys are present."""
+        return (
+            self.rental_location_id is not None
+            and self.return_location_id is not None
+        )
+
+    @property
+    def duration_minutes(self) -> float:
+        """Rental duration in minutes (may be zero for bad rows)."""
+        return (self.ended_at - self.started_at).total_seconds() / 60.0
+
+    @property
+    def day_of_week(self) -> int:
+        """ISO day of week of the start time: Monday=0 .. Sunday=6."""
+        return self.started_at.weekday()
+
+    @property
+    def hour_of_day(self) -> int:
+        """Hour of day (0-23) when the rental started."""
+        return self.started_at.hour

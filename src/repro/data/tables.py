@@ -1,0 +1,218 @@
+"""A small in-memory relational engine.
+
+The paper stores the Moby data in two SQL tables and cleans them with
+referential rules ("Rental Location ID not in the Location table", ...).
+This module provides the minimum relational machinery those rules need:
+typed tables with a primary key, optional secondary indexes, filtered
+scans, and a :class:`Database` that registers foreign keys and can
+enumerate or enforce violations.
+
+It is intentionally not a query language — every consumer in this
+package needs only key lookup, index lookup and predicate scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from ..exceptions import (
+    DuplicateKeyError,
+    MissingRowError,
+    ReferentialIntegrityError,
+    SchemaError,
+)
+from .schema import TableSchema
+
+Row = dict[str, Any]
+
+
+class Table:
+    """One table: schema-validated rows keyed by primary key."""
+
+    def __init__(self, name: str, schema: TableSchema) -> None:
+        self.name = name
+        self.schema = schema
+        self._rows: dict[Any, Row] = {}
+        self._indexes: dict[str, dict[Any, set[Any]]] = {}
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+
+    def create_index(self, column: str) -> None:
+        """Create a secondary index on ``column`` (idempotent)."""
+        self.schema.column(column)  # validates the name
+        if column in self._indexes:
+            return
+        index: dict[Any, set[Any]] = {}
+        for pk, row in self._rows.items():
+            index.setdefault(row[column], set()).add(pk)
+        self._indexes[column] = index
+
+    def _index_add(self, row: Row) -> None:
+        pk = row[self.schema.primary_key]
+        for column, index in self._indexes.items():
+            index.setdefault(row[column], set()).add(pk)
+
+    def _index_remove(self, row: Row) -> None:
+        pk = row[self.schema.primary_key]
+        for column, index in self._indexes.items():
+            bucket = index.get(row[column])
+            if bucket is not None:
+                bucket.discard(pk)
+                if not bucket:
+                    del index[row[column]]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, row: Mapping[str, Any]) -> Row:
+        """Validate and insert a row; returns the stored dict."""
+        clean = self.schema.validate_row(row)
+        pk = clean[self.schema.primary_key]
+        if pk in self._rows:
+            raise DuplicateKeyError(f"{self.name}: duplicate key {pk!r}")
+        self._rows[pk] = clean
+        self._index_add(clean)
+        return clean
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def delete(self, pk: Any) -> Row:
+        """Delete by primary key, returning the removed row."""
+        row = self._rows.pop(pk, None)
+        if row is None:
+            raise MissingRowError(f"{self.name}: no row with key {pk!r}")
+        self._index_remove(row)
+        return row
+
+    def delete_where(self, predicate: Callable[[Row], bool]) -> int:
+        """Delete every row matching ``predicate``; returns the count."""
+        doomed = [pk for pk, row in self._rows.items() if predicate(row)]
+        for pk in doomed:
+            self.delete(pk)
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get(self, pk: Any) -> Row:
+        """Fetch by primary key; raises MissingRowError when absent."""
+        row = self._rows.get(pk)
+        if row is None:
+            raise MissingRowError(f"{self.name}: no row with key {pk!r}")
+        return dict(row)
+
+    def maybe_get(self, pk: Any) -> Row | None:
+        """Fetch by primary key or return None."""
+        row = self._rows.get(pk)
+        return dict(row) if row is not None else None
+
+    def __contains__(self, pk: Any) -> bool:
+        return pk in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def keys(self) -> Iterator[Any]:
+        """Iterate over primary keys."""
+        return iter(self._rows.keys())
+
+    def scan(self, predicate: Callable[[Row], bool] | None = None) -> Iterator[Row]:
+        """Iterate over (copies of) rows, optionally filtered."""
+        for row in self._rows.values():
+            if predicate is None or predicate(row):
+                yield dict(row)
+
+    def lookup(self, column: str, value: Any) -> list[Row]:
+        """Rows with ``row[column] == value``, via index when available."""
+        index = self._indexes.get(column)
+        if index is not None:
+            return [dict(self._rows[pk]) for pk in sorted(index.get(value, ()), key=repr)]
+        self.schema.column(column)
+        return [dict(row) for row in self._rows.values() if row[column] == value]
+
+    def distinct(self, column: str) -> set[Any]:
+        """Distinct values of ``column`` over all rows."""
+        index = self._indexes.get(column)
+        if index is not None:
+            return set(index.keys())
+        self.schema.column(column)
+        return {row[column] for row in self._rows.values()}
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """Declares ``child.column`` references ``parent``'s primary key.
+
+    Null references are permitted (they model the paper's missing-id
+    dirty rows); only non-null dangling references are violations.
+    """
+
+    child: str
+    column: str
+    parent: str
+
+
+class Database:
+    """A named collection of tables plus foreign-key metadata."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._foreign_keys: list[ForeignKey] = []
+
+    def create_table(self, name: str, schema: TableSchema) -> Table:
+        """Create and register a table; name must be fresh."""
+        if name in self._tables:
+            raise SchemaError(f"table {name!r} already exists")
+        table = Table(name, schema)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Fetch a table by name."""
+        table = self._tables.get(name)
+        if table is None:
+            raise SchemaError(f"no such table: {name!r}")
+        return table
+
+    def table_names(self) -> list[str]:
+        """Registered table names, sorted."""
+        return sorted(self._tables)
+
+    def add_foreign_key(self, child: str, column: str, parent: str) -> None:
+        """Register a foreign key for later violation checks."""
+        self.table(child).schema.column(column)
+        self.table(parent)
+        self._foreign_keys.append(ForeignKey(child, column, parent))
+
+    def foreign_key_violations(self) -> list[tuple[ForeignKey, Any]]:
+        """Enumerate ``(fk, child_pk)`` pairs with dangling references."""
+        violations: list[tuple[ForeignKey, Any]] = []
+        for fk in self._foreign_keys:
+            child = self.table(fk.child)
+            parent = self.table(fk.parent)
+            for row in child.scan():
+                ref = row[fk.column]
+                if ref is not None and ref not in parent:
+                    violations.append((fk, row[child.schema.primary_key]))
+        return violations
+
+    def check_integrity(self) -> None:
+        """Raise :class:`ReferentialIntegrityError` on any violation."""
+        violations = self.foreign_key_violations()
+        if violations:
+            fk, pk = violations[0]
+            raise ReferentialIntegrityError(
+                f"{len(violations)} violation(s); first: "
+                f"{fk.child}.{fk.column} row {pk!r} -> missing {fk.parent} row"
+            )

@@ -1,0 +1,98 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Sub-hierarchies mirror the
+package layout: data-layer errors, graph errors, clustering errors and
+pipeline (core) errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object holds an invalid or inconsistent value."""
+
+
+# ---------------------------------------------------------------------------
+# Geospatial layer
+# ---------------------------------------------------------------------------
+
+
+class GeoError(ReproError):
+    """Base class for geospatial errors."""
+
+
+class InvalidCoordinateError(GeoError):
+    """A latitude/longitude pair is outside the valid WGS-84 ranges."""
+
+
+class EmptyRegionError(GeoError):
+    """A spatial query or construction received an empty region."""
+
+
+# ---------------------------------------------------------------------------
+# Data layer
+# ---------------------------------------------------------------------------
+
+
+class DataError(ReproError):
+    """Base class for relational-layer errors."""
+
+
+class SchemaError(DataError):
+    """A row does not match the table schema."""
+
+
+class DuplicateKeyError(DataError):
+    """An insert would violate a unique (primary-key) constraint."""
+
+
+class MissingRowError(DataError):
+    """A lookup referenced a primary key that is not present."""
+
+
+class ReferentialIntegrityError(DataError):
+    """A foreign-key reference points at a non-existent row."""
+
+
+# ---------------------------------------------------------------------------
+# Graph layer
+# ---------------------------------------------------------------------------
+
+
+class GraphError(ReproError):
+    """Base class for property-graph errors."""
+
+
+class MissingNodeError(GraphError):
+    """An operation referenced a node id that is not in the graph."""
+
+
+class MissingRelationshipError(GraphError):
+    """An operation referenced a relationship id that is not in the graph."""
+
+
+# ---------------------------------------------------------------------------
+# Clustering / community layers
+# ---------------------------------------------------------------------------
+
+
+class ClusteringError(ReproError):
+    """Base class for clustering errors."""
+
+
+class CommunityError(ReproError):
+    """Base class for community-detection errors."""
+
+
+# ---------------------------------------------------------------------------
+# Pipeline layer
+# ---------------------------------------------------------------------------
+
+
+class PipelineError(ReproError):
+    """A stage of the expansion pipeline was invoked out of order."""

@@ -1,0 +1,19 @@
+"""Demand-forecasting substrate: series, baselines, evaluation."""
+
+from .baselines import (
+    CalendarProfileModel,
+    GlobalMeanModel,
+    SmoothedCalendarModel,
+)
+from .evaluation import ForecastScore, evaluate
+from .series import DemandPoint, DemandSeries
+
+__all__ = [
+    "CalendarProfileModel",
+    "DemandPoint",
+    "DemandSeries",
+    "ForecastScore",
+    "GlobalMeanModel",
+    "SmoothedCalendarModel",
+    "evaluate",
+]

@@ -1,0 +1,115 @@
+"""Demand-forecast baselines.
+
+The paper's related work reaches for graph convolutional networks; a
+credible library needs the baselines any such model must beat:
+
+* :class:`GlobalMeanModel` — one number per station;
+* :class:`CalendarProfileModel` — per-station (weekday-class, hour)
+  historical averages, the standard seasonal-naive baseline;
+* :class:`SmoothedCalendarModel` — the same with shrinkage towards the
+  station mean for sparse buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .series import DemandPoint, DemandSeries
+
+
+class GlobalMeanModel:
+    """Predicts each station's historical mean demand per bucket."""
+
+    def __init__(self) -> None:
+        self._means: dict[int, float] = {}
+        self._fallback = 0.0
+
+    def fit(self, series: DemandSeries) -> "GlobalMeanModel":
+        """Estimate per-station means from a training series."""
+        totals: dict[int, int] = {}
+        counts: dict[int, int] = {}
+        for point in series.points:
+            totals[point.station_id] = totals.get(point.station_id, 0) + point.count
+            counts[point.station_id] = counts.get(point.station_id, 0) + 1
+        self._means = {
+            station: totals[station] / counts[station] for station in totals
+        }
+        if counts:
+            self._fallback = sum(totals.values()) / sum(counts.values())
+        return self
+
+    def predict(self, point: DemandPoint) -> float:
+        """Forecast demand for one bucket."""
+        return self._means.get(point.station_id, self._fallback)
+
+
+@dataclass
+class _Bucket:
+    total: int = 0
+    count: int = 0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class CalendarProfileModel:
+    """Per-station (weekend?, hour) historical-average forecaster.
+
+    For daily series the hour key collapses, leaving a per-station
+    weekday/weekend average.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: dict[tuple[int, bool, int | None], _Bucket] = {}
+        self._station_mean = GlobalMeanModel()
+
+    def _key(self, point: DemandPoint) -> tuple[int, bool, int | None]:
+        return (point.station_id, point.is_weekend, point.hour)
+
+    def fit(self, series: DemandSeries) -> "CalendarProfileModel":
+        """Estimate the calendar buckets from a training series."""
+        self._station_mean.fit(series)
+        for point in series.points:
+            bucket = self._buckets.setdefault(self._key(point), _Bucket())
+            bucket.total += point.count
+            bucket.count += 1
+        return self
+
+    def predict(self, point: DemandPoint) -> float:
+        """Forecast demand for one bucket."""
+        bucket = self._buckets.get(self._key(point))
+        if bucket is None or bucket.count == 0:
+            return self._station_mean.predict(point)
+        return bucket.mean
+
+
+@dataclass
+class SmoothedCalendarModel:
+    """Calendar profile with shrinkage towards the station mean.
+
+    prediction = (n * bucket_mean + k * station_mean) / (n + k), with
+    ``k`` the shrinkage strength — sparse buckets lean on the station
+    mean, busy ones trust their own history.
+    """
+
+    shrinkage: float = 5.0
+    _calendar: CalendarProfileModel = field(default_factory=CalendarProfileModel)
+    _mean: GlobalMeanModel = field(default_factory=GlobalMeanModel)
+
+    def fit(self, series: DemandSeries) -> "SmoothedCalendarModel":
+        """Fit both components."""
+        self._calendar.fit(series)
+        self._mean.fit(series)
+        return self
+
+    def predict(self, point: DemandPoint) -> float:
+        """Shrunk forecast for one bucket."""
+        bucket = self._calendar._buckets.get(self._calendar._key(point))
+        station_mean = self._mean.predict(point)
+        if bucket is None or bucket.count == 0:
+            return station_mean
+        n = bucket.count
+        return (n * bucket.mean + self.shrinkage * station_mean) / (
+            n + self.shrinkage
+        )

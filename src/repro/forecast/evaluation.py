@@ -1,0 +1,49 @@
+"""Forecast evaluation: MAE/RMSE over a held-out demand series."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol
+
+from .series import DemandPoint, DemandSeries
+
+
+class Forecaster(Protocol):
+    """Anything with fit/predict over demand points."""
+
+    def fit(self, series: DemandSeries) -> "Forecaster": ...
+
+    def predict(self, point: DemandPoint) -> float: ...
+
+
+@dataclass(frozen=True)
+class ForecastScore:
+    """Error metrics of one model on one test series."""
+
+    model: str
+    mae: float
+    rmse: float
+    n_points: int
+
+
+def evaluate(
+    model: Forecaster, name: str, train: DemandSeries, test: DemandSeries
+) -> ForecastScore:
+    """Fit on ``train``, score on ``test``."""
+    if not test.points:
+        raise ValueError("test series is empty")
+    model.fit(train)
+    total_abs = 0.0
+    total_sq = 0.0
+    for point in test.points:
+        error = model.predict(point) - point.count
+        total_abs += abs(error)
+        total_sq += error * error
+    n = len(test.points)
+    return ForecastScore(
+        model=name,
+        mae=total_abs / n,
+        rmse=math.sqrt(total_sq / n),
+        n_points=n,
+    )

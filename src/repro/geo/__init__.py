@@ -1,0 +1,45 @@
+"""Geospatial substrate: points, distances, indexes and Dublin geography."""
+
+from .distance import (
+    bearing_deg,
+    destination_point,
+    equirectangular_m,
+    haversine_m,
+    local_projector,
+    meters_per_degree,
+)
+from .dublin import (
+    CITY_CENTER,
+    DUBLIN_BBOX,
+    DUBLIN_LAND,
+    LANDMARKS,
+    in_dublin,
+    is_admissible,
+    on_land,
+)
+from .index import GridIndex
+from .point import BoundingBox, GeoPoint, centroid, validate_coordinates
+from .polygon import Polygon, Region
+
+__all__ = [
+    "BoundingBox",
+    "CITY_CENTER",
+    "DUBLIN_BBOX",
+    "DUBLIN_LAND",
+    "GeoPoint",
+    "GridIndex",
+    "LANDMARKS",
+    "Polygon",
+    "Region",
+    "bearing_deg",
+    "centroid",
+    "destination_point",
+    "equirectangular_m",
+    "haversine_m",
+    "in_dublin",
+    "is_admissible",
+    "local_projector",
+    "meters_per_degree",
+    "on_land",
+    "validate_coordinates",
+]

@@ -1,0 +1,95 @@
+"""Great-circle distance functions.
+
+The paper (eq. 1) uses the haversine formula because it stays accurate at
+the very small distances that matter here (50-250 m thresholds), unlike
+the spherical law of cosines.  :func:`haversine_m` is the exact formula;
+:func:`equirectangular_m` is the fast approximation used internally by the
+spatial index, and :func:`local_projector` produces a metres-based planar
+projection for HAC and rendering.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..config import EARTH_RADIUS_M
+from .point import GeoPoint
+
+
+def haversine_m(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points in metres (paper eq. 1)."""
+    phi1 = math.radians(a.lat)
+    phi2 = math.radians(b.lat)
+    dphi = math.radians(b.lat - a.lat)
+    dlam = math.radians(b.lon - a.lon)
+    sin_dphi = math.sin(dphi / 2.0)
+    sin_dlam = math.sin(dlam / 2.0)
+    h = sin_dphi * sin_dphi + math.cos(phi1) * math.cos(phi2) * sin_dlam * sin_dlam
+    # Guard against rounding pushing h a hair above 1 for antipodal points.
+    h = min(1.0, h)
+    return 2.0 * EARTH_RADIUS_M * math.asin(math.sqrt(h))
+
+
+def equirectangular_m(a: GeoPoint, b: GeoPoint) -> float:
+    """Fast planar approximation of the distance in metres.
+
+    Accurate to well under 0.1 % at city scale; used only where many
+    distance evaluations dominate (spatial-index pruning).
+    """
+    mean_phi = math.radians((a.lat + b.lat) / 2.0)
+    x = math.radians(b.lon - a.lon) * math.cos(mean_phi)
+    y = math.radians(b.lat - a.lat)
+    return EARTH_RADIUS_M * math.hypot(x, y)
+
+
+def bearing_deg(a: GeoPoint, b: GeoPoint) -> float:
+    """Initial great-circle bearing from ``a`` to ``b`` in [0, 360)."""
+    phi1 = math.radians(a.lat)
+    phi2 = math.radians(b.lat)
+    dlam = math.radians(b.lon - a.lon)
+    y = math.sin(dlam) * math.cos(phi2)
+    x = math.cos(phi1) * math.sin(phi2) - math.sin(phi1) * math.cos(phi2) * math.cos(dlam)
+    return math.degrees(math.atan2(y, x)) % 360.0
+
+
+def destination_point(origin: GeoPoint, bearing: float, distance_m: float) -> GeoPoint:
+    """The point ``distance_m`` metres from ``origin`` along ``bearing``."""
+    delta = distance_m / EARTH_RADIUS_M
+    theta = math.radians(bearing)
+    phi1 = math.radians(origin.lat)
+    lam1 = math.radians(origin.lon)
+    sin_phi2 = math.sin(phi1) * math.cos(delta) + math.cos(phi1) * math.sin(delta) * math.cos(theta)
+    phi2 = math.asin(max(-1.0, min(1.0, sin_phi2)))
+    y = math.sin(theta) * math.sin(delta) * math.cos(phi1)
+    x = math.cos(delta) - math.sin(phi1) * math.sin(phi2)
+    lam2 = lam1 + math.atan2(y, x)
+    lon = math.degrees(lam2)
+    # Normalise to [-180, 180].
+    lon = (lon + 540.0) % 360.0 - 180.0
+    return GeoPoint(math.degrees(phi2), lon)
+
+
+def meters_per_degree(lat: float) -> tuple[float, float]:
+    """Local metres per degree of (latitude, longitude) at ``lat``."""
+    per_lat = math.pi * EARTH_RADIUS_M / 180.0
+    per_lon = per_lat * math.cos(math.radians(lat))
+    return per_lat, per_lon
+
+
+def local_projector(origin: GeoPoint) -> Callable[[GeoPoint], tuple[float, float]]:
+    """Return a function projecting points to planar (x, y) metres.
+
+    The projection is an equirectangular chart centred on ``origin``:
+    exact enough over a single city that Euclidean distance between
+    projected points matches haversine to a fraction of a percent.
+    """
+    per_lat, per_lon = meters_per_degree(origin.lat)
+
+    def project(point: GeoPoint) -> tuple[float, float]:
+        return (
+            (point.lon - origin.lon) * per_lon,
+            (point.lat - origin.lat) * per_lat,
+        )
+
+    return project

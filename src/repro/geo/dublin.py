@@ -1,0 +1,79 @@
+"""A coarse geographic model of Dublin.
+
+The cleaning rules in the paper remove locations "outside Dublin" and
+locations "not on land" (Dublin Bay).  This module provides the fixed
+geography those rules need: a city bounding box, a simplified coastline
+polygon with the bay carved out, and the landmarks the paper's
+discussion keeps returning to (the city centre, Phoenix Park,
+Blackrock / Dún Laoghaire).
+
+The polygon is deliberately coarse — a dozen vertices — because the
+pipeline only needs a land/water oracle at ~100 m fidelity, and the
+synthetic generator uses the same oracle, keeping the two consistent.
+"""
+
+from __future__ import annotations
+
+from .point import BoundingBox, GeoPoint
+from .polygon import Polygon, Region
+
+#: O'Connell Bridge — the conventional centre of Dublin.
+CITY_CENTER = GeoPoint(53.3473, -6.2591)
+
+#: Named places used by the synthetic city model and the discussion of
+#: community geography in the paper (Section V).
+LANDMARKS: dict[str, GeoPoint] = {
+    "city_center": CITY_CENTER,
+    "phoenix_park": GeoPoint(53.3558, -6.3298),
+    "dun_laoghaire": GeoPoint(53.2949, -6.1339),
+    "blackrock": GeoPoint(53.3015, -6.1778),
+    "heuston": GeoPoint(53.3464, -6.2941),
+    "connolly": GeoPoint(53.3531, -6.2489),
+    "dcu_glasnevin": GeoPoint(53.3860, -6.2570),
+    "ucd_belfield": GeoPoint(53.3067, -6.2210),
+    "grand_canal_dock": GeoPoint(53.3395, -6.2372),
+    "rathmines": GeoPoint(53.3210, -6.2655),
+    "drumcondra": GeoPoint(53.3680, -6.2530),
+    "smithfield": GeoPoint(53.3474, -6.2783),
+    "ballsbridge": GeoPoint(53.3284, -6.2294),
+    "clontarf": GeoPoint(53.3636, -6.1932),
+}
+
+#: Administrative extent used by the "outside Dublin" cleaning rule.
+DUBLIN_BBOX = BoundingBox(south=53.20, west=-6.45, north=53.45, east=-6.05)
+
+#: Simplified coastline: the shell covers the Dublin area with Dublin
+#: Bay indented between Howth (NE) and Dún Laoghaire (SE), so points in
+#: the bay fall outside the region and are flagged "not on land".
+_COAST_VERTICES: tuple[tuple[float, float], ...] = (
+    (53.45, -6.45),  # NW inland corner
+    (53.45, -6.10),  # north coast near Portmarnock
+    (53.40, -6.06),  # Howth peninsula
+    (53.37, -6.06),  # bay mouth, north arm
+    (53.36, -6.12),  # bay shore towards the port
+    (53.348, -6.19),  # Dublin Port, north wall
+    (53.345, -6.20),  # Liffey mouth
+    (53.340, -6.18),  # south wall
+    (53.320, -6.12),  # Booterstown shore
+    (53.300, -6.12),  # Dún Laoghaire harbour
+    (53.270, -6.09),  # Killiney
+    (53.20, -6.09),  # SE corner
+    (53.20, -6.45),  # SW inland corner
+)
+
+DUBLIN_LAND = Region(shell=Polygon.from_coords(_COAST_VERTICES))
+
+
+def in_dublin(point: GeoPoint) -> bool:
+    """True when the point lies inside the Dublin administrative box."""
+    return DUBLIN_BBOX.contains(point)
+
+
+def on_land(point: GeoPoint) -> bool:
+    """True when the point is on land (outside Dublin Bay)."""
+    return DUBLIN_LAND.contains(point)
+
+
+def is_admissible(point: GeoPoint) -> bool:
+    """Combined cleaning-rule oracle: inside Dublin *and* on land."""
+    return in_dublin(point) and on_land(point)

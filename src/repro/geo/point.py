@@ -1,0 +1,138 @@
+"""Geographic points and bounding boxes (WGS-84 degrees)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..exceptions import EmptyRegionError, InvalidCoordinateError
+
+LAT_MIN, LAT_MAX = -90.0, 90.0
+LON_MIN, LON_MAX = -180.0, 180.0
+
+
+def validate_coordinates(lat: float, lon: float) -> None:
+    """Raise :class:`InvalidCoordinateError` unless (lat, lon) is valid.
+
+    NaN values, infinities and out-of-range degrees are all rejected.
+    """
+    if not (math.isfinite(lat) and math.isfinite(lon)):
+        raise InvalidCoordinateError(f"non-finite coordinate: ({lat}, {lon})")
+    if not (LAT_MIN <= lat <= LAT_MAX):
+        raise InvalidCoordinateError(f"latitude {lat} outside [-90, 90]")
+    if not (LON_MIN <= lon <= LON_MAX):
+        raise InvalidCoordinateError(f"longitude {lon} outside [-180, 180]")
+
+
+@dataclass(frozen=True, order=True)
+class GeoPoint:
+    """An immutable latitude/longitude pair in decimal degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        validate_coordinates(self.lat, self.lon)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(lat, lon)``."""
+        return (self.lat, self.lon)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter((self.lat, self.lon))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.lat:.6f}, {self.lon:.6f})"
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned lat/lon rectangle.
+
+    The box is inclusive on all edges.  Boxes crossing the antimeridian
+    are not supported (Dublin is comfortably far from it).
+    """
+
+    south: float
+    west: float
+    north: float
+    east: float
+
+    def __post_init__(self) -> None:
+        validate_coordinates(self.south, self.west)
+        validate_coordinates(self.north, self.east)
+        if self.south > self.north:
+            raise InvalidCoordinateError(
+                f"south ({self.south}) exceeds north ({self.north})"
+            )
+        if self.west > self.east:
+            raise InvalidCoordinateError(
+                f"west ({self.west}) exceeds east ({self.east})"
+            )
+
+    @classmethod
+    def around(cls, points: Iterable[GeoPoint]) -> "BoundingBox":
+        """Return the tightest box containing every point.
+
+        Raises :class:`EmptyRegionError` when ``points`` is empty.
+        """
+        lats: list[float] = []
+        lons: list[float] = []
+        for point in points:
+            lats.append(point.lat)
+            lons.append(point.lon)
+        if not lats:
+            raise EmptyRegionError("cannot bound an empty set of points")
+        return cls(min(lats), min(lons), max(lats), max(lons))
+
+    def contains(self, point: GeoPoint) -> bool:
+        """Return True when the point lies inside the box (inclusive)."""
+        inside_lat = self.south <= point.lat <= self.north
+        inside_lon = self.west <= point.lon <= self.east
+        return inside_lat and inside_lon
+
+    def expand(self, margin_deg: float) -> "BoundingBox":
+        """Return a copy grown by ``margin_deg`` on every side (clamped)."""
+        return BoundingBox(
+            max(LAT_MIN, self.south - margin_deg),
+            max(LON_MIN, self.west - margin_deg),
+            min(LAT_MAX, self.north + margin_deg),
+            min(LON_MAX, self.east + margin_deg),
+        )
+
+    @property
+    def center(self) -> GeoPoint:
+        """The box's midpoint."""
+        return GeoPoint(
+            (self.south + self.north) / 2.0, (self.west + self.east) / 2.0
+        )
+
+    @property
+    def height_deg(self) -> float:
+        """North-south extent in degrees."""
+        return self.north - self.south
+
+    @property
+    def width_deg(self) -> float:
+        """East-west extent in degrees."""
+        return self.east - self.west
+
+
+def centroid(points: Iterable[GeoPoint]) -> GeoPoint:
+    """Arithmetic centroid of a set of points.
+
+    For the sub-kilometre clusters this package works with, the planar
+    average of degrees is indistinguishable from a true spherical
+    centroid.  Raises :class:`EmptyRegionError` on empty input.
+    """
+    total_lat = 0.0
+    total_lon = 0.0
+    count = 0
+    for point in points:
+        total_lat += point.lat
+        total_lon += point.lon
+        count += 1
+    if count == 0:
+        raise EmptyRegionError("cannot take the centroid of no points")
+    return GeoPoint(total_lat / count, total_lon / count)

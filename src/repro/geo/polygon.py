@@ -1,0 +1,88 @@
+"""Simple polygons on the lat/lon plane with point-in-polygon tests.
+
+The cleaning stage must decide whether a location is "on land" and
+"inside Dublin".  Over a single city the lat/lon plane is close enough
+to planar that the classic even-odd ray-casting test is exact for our
+purposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..exceptions import GeoError
+from .point import BoundingBox, GeoPoint
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """A simple (non-self-intersecting) polygon in lat/lon degrees.
+
+    Vertices are given in order (either winding); the closing edge back
+    to the first vertex is implicit.
+    """
+
+    vertices: tuple[GeoPoint, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) < 3:
+            raise GeoError("a polygon needs at least three vertices")
+
+    @classmethod
+    def from_coords(cls, coords: Sequence[tuple[float, float]]) -> "Polygon":
+        """Build from ``(lat, lon)`` tuples."""
+        return cls(tuple(GeoPoint(lat, lon) for lat, lon in coords))
+
+    @property
+    def bounding_box(self) -> BoundingBox:
+        """Tightest axis-aligned box containing the polygon."""
+        return BoundingBox.around(self.vertices)
+
+    def contains(self, point: GeoPoint) -> bool:
+        """Even-odd ray-casting point-in-polygon test.
+
+        A point exactly on an edge may land on either side; the data
+        pipeline never depends on boundary behaviour.
+        """
+        if not self.bounding_box.contains(point):
+            return False
+        x, y = point.lon, point.lat
+        inside = False
+        count = len(self.vertices)
+        for i in range(count):
+            a = self.vertices[i]
+            b = self.vertices[(i + 1) % count]
+            ay, ax = a.lat, a.lon
+            by, bx = b.lat, b.lon
+            crosses = (ay > y) != (by > y)
+            if not crosses:
+                continue
+            x_at_y = ax + (y - ay) * (bx - ax) / (by - ay)
+            if x < x_at_y:
+                inside = not inside
+        return inside
+
+    def area_deg2(self) -> float:
+        """Unsigned shoelace area in square degrees (diagnostics only)."""
+        total = 0.0
+        count = len(self.vertices)
+        for i in range(count):
+            a = self.vertices[i]
+            b = self.vertices[(i + 1) % count]
+            total += a.lon * b.lat - b.lon * a.lat
+        return abs(total) / 2.0
+
+
+@dataclass(frozen=True)
+class Region:
+    """A polygon with holes: contained = in shell and in no hole."""
+
+    shell: Polygon
+    holes: tuple[Polygon, ...] = ()
+
+    def contains(self, point: GeoPoint) -> bool:
+        """True when the point is in the shell but outside every hole."""
+        if not self.shell.contains(point):
+            return False
+        return not any(hole.contains(point) for hole in self.holes)

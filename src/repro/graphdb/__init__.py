@@ -1,0 +1,27 @@
+"""Property-graph substrate: the in-process Neo4j stand-in."""
+
+from .projection import (
+    DirectedGraph,
+    NodeKey,
+    WeightedGraph,
+    project_weighted,
+)
+from .io import (
+    property_graph_from_json,
+    property_graph_to_json,
+    weighted_graph_to_graphml,
+)
+from .property_graph import Node, PropertyGraph, Relationship
+
+__all__ = [
+    "DirectedGraph",
+    "Node",
+    "NodeKey",
+    "PropertyGraph",
+    "Relationship",
+    "WeightedGraph",
+    "project_weighted",
+    "property_graph_from_json",
+    "property_graph_to_json",
+    "weighted_graph_to_graphml",
+]

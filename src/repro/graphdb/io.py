@@ -1,0 +1,99 @@
+"""Graph serialisation: JSON and GraphML exports.
+
+Downstream users will want the candidate and selected graphs in tools
+like Gephi or igraph; these exporters cover the two common interchange
+formats for both the property graph and the analytical projections.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+from .projection import DirectedGraph, WeightedGraph
+from .property_graph import PropertyGraph
+
+
+def property_graph_to_json(graph: PropertyGraph) -> str:
+    """Serialise a property graph to a JSON document."""
+    document = {
+        "nodes": [
+            {
+                "id": node.node_id,
+                "labels": sorted(node.labels),
+                "properties": _jsonable(node.properties),
+            }
+            for node in graph.nodes()
+        ],
+        "relationships": [
+            {
+                "id": rel.rel_id,
+                "type": rel.rel_type,
+                "start": rel.start,
+                "end": rel.end,
+                "properties": _jsonable(rel.properties),
+            }
+            for rel in graph.relationships()
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def property_graph_from_json(text: str) -> PropertyGraph:
+    """Rebuild a property graph from :func:`property_graph_to_json`."""
+    document = json.loads(text)
+    graph = PropertyGraph()
+    for node in document["nodes"]:
+        graph.create_node(
+            labels=node["labels"],
+            properties=node["properties"],
+            node_id=node["id"],
+        )
+    for rel in document["relationships"]:
+        graph.create_relationship(
+            rel["start"], rel["type"], rel["end"], rel["properties"]
+        )
+    return graph
+
+
+def _jsonable(properties: dict) -> dict:
+    clean = {}
+    for key, value in properties.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            clean[key] = value
+        else:
+            clean[key] = str(value)
+    return clean
+
+
+def weighted_graph_to_graphml(
+    graph: WeightedGraph | DirectedGraph, path: str | Path | None = None
+) -> str:
+    """Serialise a projection to GraphML (weights as an edge key).
+
+    Accepts either projection type; directedness is declared in the
+    header.  When ``path`` is given, the document is also written there.
+    """
+    directed = isinstance(graph, DirectedGraph)
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        '<graphml xmlns="http://graphml.graphdrawing.org/xmlns">',
+        '  <key id="w" for="edge" attr.name="weight" attr.type="double"/>',
+        f'  <graph edgedefault="{"directed" if directed else "undirected"}">',
+    ]
+    for node in graph.nodes():
+        lines.append(f'    <node id="{escape(str(node))}"/>')
+    for u, v, weight in graph.edges():
+        lines.append(
+            f'    <edge source="{escape(str(u))}" target="{escape(str(v))}">'
+            f'<data key="w">{weight}</data></edge>'
+        )
+    lines.append("  </graph>")
+    lines.append("</graphml>")
+    text = "\n".join(lines)
+    if path is not None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return text

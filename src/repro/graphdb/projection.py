@@ -1,0 +1,268 @@
+"""Analytical graph projections (the GDS-style view of the store).
+
+Community detection and network metrics do not want property maps and
+relationship ids — they want compact weighted adjacency.  This module
+provides :class:`WeightedGraph` (undirected, the shape Louvain and
+modularity consume) and :class:`DirectedGraph` (for in/out flux), plus
+projection functions that aggregate a :class:`~repro.graphdb.
+property_graph.PropertyGraph`'s relationships into them.
+
+Conventions match networkx so the test suite can use it as an oracle:
+an undirected self-loop of weight *w* contributes *w* to the total
+edge weight and *2 w* to its node's strength.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Iterator
+
+from ..exceptions import GraphError
+from .property_graph import PropertyGraph, Relationship
+
+NodeKey = Hashable
+
+
+class WeightedGraph:
+    """An undirected weighted graph with O(1) adjacency access."""
+
+    def __init__(self) -> None:
+        self._adj: dict[NodeKey, dict[NodeKey, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: NodeKey) -> None:
+        """Ensure a node exists (isolated until edges arrive)."""
+        self._adj.setdefault(node, {})
+
+    def add_edge(self, u: NodeKey, v: NodeKey, weight: float = 1.0) -> None:
+        """Add (accumulate) undirected edge weight between u and v."""
+        if weight < 0:
+            raise GraphError("edge weights must be non-negative")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u][v] = self._adj[u].get(v, 0.0) + weight
+        if u != v:
+            self._adj[v][u] = self._adj[v].get(u, 0.0) + weight
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[tuple[NodeKey, NodeKey, float]]
+    ) -> "WeightedGraph":
+        """Build from ``(u, v, weight)`` triples."""
+        graph = cls()
+        for u, v, weight in edges:
+            graph.add_edge(u, v, weight)
+        return graph
+
+    def copy(self) -> "WeightedGraph":
+        """Deep copy."""
+        clone = WeightedGraph()
+        for u, neighbours in self._adj.items():
+            clone._adj[u] = dict(neighbours)
+        return clone
+
+    def subgraph(self, nodes: Iterable[NodeKey]) -> "WeightedGraph":
+        """Induced subgraph on ``nodes`` (unknown keys are ignored)."""
+        keep = {node for node in nodes if node in self._adj}
+        sub = WeightedGraph()
+        for u in keep:
+            sub.add_node(u)
+        seen: set[tuple[NodeKey, NodeKey]] = set()
+        for u in keep:
+            for v, weight in self._adj[u].items():
+                if v not in keep or (v, u) in seen:
+                    continue
+                seen.add((u, v))
+                sub.add_edge(u, v, weight)
+        return sub
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __contains__(self, node: NodeKey) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._adj)
+
+    def nodes(self) -> Iterator[NodeKey]:
+        """Iterate node keys (insertion order)."""
+        return iter(self._adj)
+
+    def has_edge(self, u: NodeKey, v: NodeKey) -> bool:
+        """True when an edge (u, v) exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def weight(self, u: NodeKey, v: NodeKey) -> float:
+        """Weight of edge (u, v), 0 when absent."""
+        return self._adj.get(u, {}).get(v, 0.0)
+
+    def neighbours(self, node: NodeKey) -> dict[NodeKey, float]:
+        """Adjacency map of ``node`` (includes a self-loop entry)."""
+        return self._adj[node]
+
+    def edges(self) -> Iterator[tuple[NodeKey, NodeKey, float]]:
+        """Iterate each undirected edge once (loops included)."""
+        seen: set[tuple[NodeKey, NodeKey]] = set()
+        for u, neighbours in self._adj.items():
+            for v, weight in neighbours.items():
+                if (v, u) in seen:
+                    continue
+                seen.add((u, v))
+                yield (u, v, weight)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges (loops counted once)."""
+        loops = sum(1 for u in self._adj if u in self._adj[u])
+        non_loops = sum(
+            len(neighbours) - (1 if u in neighbours else 0)
+            for u, neighbours in self._adj.items()
+        )
+        return loops + non_loops // 2
+
+    def degree(self, node: NodeKey) -> int:
+        """Number of distinct neighbours, excluding a self-loop."""
+        neighbours = self._adj[node]
+        return len(neighbours) - (1 if node in neighbours else 0)
+
+    def strength(self, node: NodeKey) -> float:
+        """Weighted degree; a self-loop counts twice (networkx rule)."""
+        neighbours = self._adj[node]
+        total = sum(neighbours.values())
+        return total + neighbours.get(node, 0.0)
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of edge weights, loops counted once (the *m* of modularity)."""
+        return sum(self.strength(node) for node in self._adj) / 2.0
+
+    def connected_components(self) -> list[set[NodeKey]]:
+        """Connected components via BFS, largest first."""
+        remaining = set(self._adj)
+        components: list[set[NodeKey]] = []
+        while remaining:
+            seed = next(iter(remaining))
+            frontier = [seed]
+            component = {seed}
+            remaining.discard(seed)
+            while frontier:
+                current = frontier.pop()
+                for neighbour in self._adj[current]:
+                    if neighbour in remaining:
+                        remaining.discard(neighbour)
+                        component.add(neighbour)
+                        frontier.append(neighbour)
+            components.append(component)
+        components.sort(key=len, reverse=True)
+        return components
+
+
+class DirectedGraph:
+    """A directed weighted graph (for trip flow and flux metrics)."""
+
+    def __init__(self) -> None:
+        self._out: dict[NodeKey, dict[NodeKey, float]] = {}
+        self._in: dict[NodeKey, dict[NodeKey, float]] = {}
+
+    def add_node(self, node: NodeKey) -> None:
+        """Ensure a node exists."""
+        self._out.setdefault(node, {})
+        self._in.setdefault(node, {})
+
+    def add_edge(self, u: NodeKey, v: NodeKey, weight: float = 1.0) -> None:
+        """Add (accumulate) directed edge weight u -> v."""
+        if weight < 0:
+            raise GraphError("edge weights must be non-negative")
+        self.add_node(u)
+        self.add_node(v)
+        self._out[u][v] = self._out[u].get(v, 0.0) + weight
+        self._in[v][u] = self._in[v].get(u, 0.0) + weight
+
+    def __contains__(self, node: NodeKey) -> bool:
+        return node in self._out
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    def nodes(self) -> Iterator[NodeKey]:
+        """Iterate node keys."""
+        return iter(self._out)
+
+    def successors(self, node: NodeKey) -> dict[NodeKey, float]:
+        """Outgoing adjacency of ``node``."""
+        return self._out[node]
+
+    def predecessors(self, node: NodeKey) -> dict[NodeKey, float]:
+        """Incoming adjacency of ``node``."""
+        return self._in[node]
+
+    def weight(self, u: NodeKey, v: NodeKey) -> float:
+        """Weight of edge u -> v, 0 when absent."""
+        return self._out.get(u, {}).get(v, 0.0)
+
+    def edges(self) -> Iterator[tuple[NodeKey, NodeKey, float]]:
+        """Iterate directed edges."""
+        for u, successors in self._out.items():
+            for v, weight in successors.items():
+                yield (u, v, weight)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of directed edges."""
+        return sum(len(successors) for successors in self._out.values())
+
+    def out_strength(self, node: NodeKey) -> float:
+        """Total outgoing weight."""
+        return sum(self._out[node].values())
+
+    def in_strength(self, node: NodeKey) -> float:
+        """Total incoming weight."""
+        return sum(self._in[node].values())
+
+    def flux(self, node: NodeKey) -> float:
+        """Net flow: incoming minus outgoing weight."""
+        return self.in_strength(node) - self.out_strength(node)
+
+    def undirected(self) -> WeightedGraph:
+        """Collapse directions, summing the two weights of each pair."""
+        graph = WeightedGraph()
+        for node in self._out:
+            graph.add_node(node)
+        done: set[tuple[NodeKey, NodeKey]] = set()
+        for u, successors in self._out.items():
+            for v in successors:
+                if (v, u) in done or (u, v) in done:
+                    continue
+                done.add((u, v))
+                weight = self.weight(u, v) + (self.weight(v, u) if u != v else 0.0)
+                graph.add_edge(u, v, weight)
+        return graph
+
+
+def project_weighted(
+    graph: PropertyGraph,
+    rel_type: str,
+    node_key: Callable[[int], NodeKey] | None = None,
+    weight: Callable[[Relationship], float] | None = None,
+) -> DirectedGraph:
+    """Aggregate a relationship type into a directed weighted graph.
+
+    ``node_key`` maps node ids to projection keys (identity by default);
+    ``weight`` maps each relationship to its weight contribution
+    (1.0 by default, i.e. counting).
+    """
+    key = node_key or (lambda node_id: node_id)
+    weigh = weight or (lambda rel: 1.0)
+    projected = DirectedGraph()
+    for rel in graph.relationships(rel_type):
+        projected.add_edge(key(rel.start), key(rel.end), weigh(rel))
+    return projected

@@ -1,0 +1,276 @@
+"""An in-process property graph (the repo's Neo4j stand-in).
+
+The model follows Neo4j's: *nodes* carry a set of labels and a property
+map; *relationships* are directed, typed edges between two nodes with
+their own property map.  Label and relationship-type indexes make the
+access patterns the pipeline needs (all ``Station`` nodes, all ``TRIP``
+relationships of a node) cheap.
+
+Nothing here is persistent or transactional on purpose — the paper uses
+the database as an analytical container, and so do we.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from ..exceptions import GraphError, MissingNodeError, MissingRelationshipError
+
+NodeId = int
+RelId = int
+
+
+@dataclass
+class Node:
+    """A graph node: id, labels and properties."""
+
+    node_id: NodeId
+    labels: frozenset[str]
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.properties[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Property lookup with default."""
+        return self.properties.get(key, default)
+
+    def has_label(self, label: str) -> bool:
+        """True when the node carries ``label``."""
+        return label in self.labels
+
+
+@dataclass
+class Relationship:
+    """A directed, typed edge with properties."""
+
+    rel_id: RelId
+    rel_type: str
+    start: NodeId
+    end: NodeId
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.properties[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Property lookup with default."""
+        return self.properties.get(key, default)
+
+    def other(self, node_id: NodeId) -> NodeId:
+        """The endpoint that is not ``node_id`` (itself for loops)."""
+        if node_id == self.start:
+            return self.end
+        if node_id == self.end:
+            return self.start
+        raise GraphError(f"node {node_id} is not an endpoint of rel {self.rel_id}")
+
+    @property
+    def is_loop(self) -> bool:
+        """True for self-relationships."""
+        return self.start == self.end
+
+
+class PropertyGraph:
+    """A mutable labelled property graph with index-backed scans."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[NodeId, Node] = {}
+        self._rels: dict[RelId, Relationship] = {}
+        self._next_node_id: NodeId = 0
+        self._next_rel_id: RelId = 0
+        self._label_index: dict[str, set[NodeId]] = {}
+        self._type_index: dict[str, set[RelId]] = {}
+        self._outgoing: dict[NodeId, set[RelId]] = {}
+        self._incoming: dict[NodeId, set[RelId]] = {}
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+
+    def create_node(
+        self,
+        labels: Iterable[str] = (),
+        properties: dict[str, Any] | None = None,
+        node_id: NodeId | None = None,
+    ) -> Node:
+        """Create a node; an explicit ``node_id`` must be fresh."""
+        if node_id is None:
+            node_id = self._next_node_id
+        if node_id in self._nodes:
+            raise GraphError(f"node id {node_id} already exists")
+        self._next_node_id = max(self._next_node_id, node_id + 1)
+        node = Node(node_id, frozenset(labels), dict(properties or {}))
+        self._nodes[node_id] = node
+        for label in node.labels:
+            self._label_index.setdefault(label, set()).add(node_id)
+        self._outgoing[node_id] = set()
+        self._incoming[node_id] = set()
+        return node
+
+    def node(self, node_id: NodeId) -> Node:
+        """Fetch a node; raises :class:`MissingNodeError` when absent."""
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise MissingNodeError(f"no node with id {node_id}")
+        return node
+
+    def has_node(self, node_id: NodeId) -> bool:
+        """True when the node exists."""
+        return node_id in self._nodes
+
+    def delete_node(self, node_id: NodeId) -> None:
+        """Delete a node and every incident relationship."""
+        node = self.node(node_id)
+        for rel_id in list(self._outgoing[node_id] | self._incoming[node_id]):
+            self.delete_relationship(rel_id)
+        for label in node.labels:
+            self._label_index[label].discard(node_id)
+        del self._outgoing[node_id]
+        del self._incoming[node_id]
+        del self._nodes[node_id]
+
+    def nodes(self, label: str | None = None) -> Iterator[Node]:
+        """Iterate nodes, optionally restricted to one label (id order)."""
+        if label is None:
+            ids: Iterable[NodeId] = sorted(self._nodes)
+        else:
+            ids = sorted(self._label_index.get(label, ()))
+        for node_id in ids:
+            yield self._nodes[node_id]
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    def count_nodes(self, label: str) -> int:
+        """Number of nodes with ``label``."""
+        return len(self._label_index.get(label, ()))
+
+    # ------------------------------------------------------------------
+    # Relationships
+    # ------------------------------------------------------------------
+
+    def create_relationship(
+        self,
+        start: NodeId,
+        rel_type: str,
+        end: NodeId,
+        properties: dict[str, Any] | None = None,
+    ) -> Relationship:
+        """Create a directed relationship ``start -[rel_type]-> end``."""
+        if start not in self._nodes:
+            raise MissingNodeError(f"start node {start} does not exist")
+        if end not in self._nodes:
+            raise MissingNodeError(f"end node {end} does not exist")
+        rel = Relationship(
+            self._next_rel_id, rel_type, start, end, dict(properties or {})
+        )
+        self._next_rel_id += 1
+        self._rels[rel.rel_id] = rel
+        self._type_index.setdefault(rel_type, set()).add(rel.rel_id)
+        self._outgoing[start].add(rel.rel_id)
+        self._incoming[end].add(rel.rel_id)
+        return rel
+
+    def relationship(self, rel_id: RelId) -> Relationship:
+        """Fetch a relationship by id."""
+        rel = self._rels.get(rel_id)
+        if rel is None:
+            raise MissingRelationshipError(f"no relationship with id {rel_id}")
+        return rel
+
+    def delete_relationship(self, rel_id: RelId) -> None:
+        """Delete one relationship."""
+        rel = self.relationship(rel_id)
+        self._type_index[rel.rel_type].discard(rel_id)
+        self._outgoing[rel.start].discard(rel_id)
+        self._incoming[rel.end].discard(rel_id)
+        del self._rels[rel_id]
+
+    def relationships(self, rel_type: str | None = None) -> Iterator[Relationship]:
+        """Iterate relationships, optionally of one type (id order)."""
+        if rel_type is None:
+            ids: Iterable[RelId] = sorted(self._rels)
+        else:
+            ids = sorted(self._type_index.get(rel_type, ()))
+        for rel_id in ids:
+            yield self._rels[rel_id]
+
+    @property
+    def relationship_count(self) -> int:
+        """Number of relationships."""
+        return len(self._rels)
+
+    def count_relationships(self, rel_type: str) -> int:
+        """Number of relationships of ``rel_type``."""
+        return len(self._type_index.get(rel_type, ()))
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def outgoing(
+        self, node_id: NodeId, rel_type: str | None = None
+    ) -> Iterator[Relationship]:
+        """Relationships leaving ``node_id`` (id order)."""
+        self.node(node_id)
+        for rel_id in sorted(self._outgoing[node_id]):
+            rel = self._rels[rel_id]
+            if rel_type is None or rel.rel_type == rel_type:
+                yield rel
+
+    def incoming(
+        self, node_id: NodeId, rel_type: str | None = None
+    ) -> Iterator[Relationship]:
+        """Relationships arriving at ``node_id`` (id order)."""
+        self.node(node_id)
+        for rel_id in sorted(self._incoming[node_id]):
+            rel = self._rels[rel_id]
+            if rel_type is None or rel.rel_type == rel_type:
+                yield rel
+
+    def incident(
+        self, node_id: NodeId, rel_type: str | None = None
+    ) -> Iterator[Relationship]:
+        """All relationships touching ``node_id``; loops appear once."""
+        self.node(node_id)
+        for rel_id in sorted(self._outgoing[node_id] | self._incoming[node_id]):
+            rel = self._rels[rel_id]
+            if rel_type is None or rel.rel_type == rel_type:
+                yield rel
+
+    def neighbours(self, node_id: NodeId, rel_type: str | None = None) -> set[NodeId]:
+        """Distinct adjacent node ids, ignoring direction and loops."""
+        out: set[NodeId] = set()
+        for rel in self.incident(node_id, rel_type):
+            if not rel.is_loop:
+                out.add(rel.other(node_id))
+        return out
+
+    def degree(
+        self, node_id: NodeId, rel_type: str | None = None, count_loops: bool = False
+    ) -> int:
+        """Number of distinct neighbours (optionally +1 for a loop)."""
+        degree = len(self.neighbours(node_id, rel_type))
+        if count_loops and any(
+            rel.is_loop for rel in self.incident(node_id, rel_type)
+        ):
+            degree += 1
+        return degree
+
+    # ------------------------------------------------------------------
+    # Bulk helpers
+    # ------------------------------------------------------------------
+
+    def find_nodes(
+        self, label: str, predicate: Callable[[Node], bool] | None = None
+    ) -> list[Node]:
+        """Nodes with ``label`` matching an optional predicate."""
+        return [
+            node
+            for node in self.nodes(label)
+            if predicate is None or predicate(node)
+        ]

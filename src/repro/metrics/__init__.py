@@ -1,0 +1,40 @@
+"""Network-metrics substrate."""
+
+from .assortativity import degree_assortativity
+from .centrality import betweenness_centrality, closeness_centrality, pagerank
+from .clustering_coeff import (
+    average_clustering,
+    clustering_coefficients,
+    local_clustering,
+)
+from .degree import (
+    degrees,
+    fluxes,
+    in_strengths,
+    min_degree,
+    out_strengths,
+    strengths,
+)
+from .gini import gini
+from .summary import FlowSummary, NetworkSummary, summarise, summarise_flow
+
+__all__ = [
+    "FlowSummary",
+    "NetworkSummary",
+    "average_clustering",
+    "betweenness_centrality",
+    "closeness_centrality",
+    "degree_assortativity",
+    "clustering_coefficients",
+    "degrees",
+    "fluxes",
+    "gini",
+    "in_strengths",
+    "local_clustering",
+    "min_degree",
+    "out_strengths",
+    "pagerank",
+    "strengths",
+    "summarise",
+    "summarise_flow",
+]

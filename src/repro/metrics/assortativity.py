@@ -1,0 +1,41 @@
+"""Degree assortativity — do hubs connect to hubs?
+
+A standard descriptor in the BSS network literature ([13], [23]):
+the Pearson correlation of degrees across edges.  Spatial
+infrastructure networks are typically disassortative (hubs serve
+leaves).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graphdb import WeightedGraph
+
+
+def degree_assortativity(graph: WeightedGraph) -> float:
+    """Pearson degree-degree correlation over edges (loops skipped).
+
+    Returns 0.0 when the graph has no variance to correlate (fewer
+    than two edges, or a regular graph).
+    """
+    pairs: list[tuple[int, int]] = []
+    degree = {node: graph.degree(node) for node in graph.nodes()}
+    for u, v, _ in graph.edges():
+        if u == v:
+            continue
+        # Each undirected edge contributes both orientations, which is
+        # the standard symmetric treatment.
+        pairs.append((degree[u], degree[v]))
+        pairs.append((degree[v], degree[u]))
+    if len(pairs) < 2:
+        return 0.0
+    n = len(pairs)
+    mean_x = sum(x for x, _ in pairs) / n
+    mean_y = sum(y for _, y in pairs) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in pairs) / n
+    var_x = sum((x - mean_x) ** 2 for x, _ in pairs) / n
+    var_y = sum((y - mean_y) ** 2 for _, y in pairs) / n
+    if var_x <= 0 or var_y <= 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)

@@ -1,0 +1,218 @@
+"""Centrality metrics: betweenness (Brandes), closeness and PageRank.
+
+All three appear in the related work the paper builds on ([13], [20],
+[21]) as standard descriptors of BSS networks.  Implementations follow
+the canonical definitions over weighted graphs, where edge *weights are
+interpreted as closeness* (trip counts): shortest-path algorithms use
+the reciprocal weight as the traversal cost, the usual transform for
+flow-like weights.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from ..graphdb import NodeKey, WeightedGraph
+
+_EPSILON = 1e-12
+
+
+def _costs(graph: WeightedGraph, use_weights: bool) -> dict[NodeKey, dict[NodeKey, float]]:
+    """Per-edge traversal costs: 1/weight, or 1 when unweighted."""
+    costs: dict[NodeKey, dict[NodeKey, float]] = {}
+    for node in graph.nodes():
+        costs[node] = {
+            neighbour: (1.0 / weight if use_weights else 1.0)
+            for neighbour, weight in graph.neighbours(node).items()
+            if neighbour != node and weight > 0
+        }
+    return costs
+
+
+def betweenness_centrality(
+    graph: WeightedGraph, use_weights: bool = False, normalised: bool = True
+) -> dict[NodeKey, float]:
+    """Brandes' exact betweenness centrality.
+
+    Unweighted mode runs BFS per source; weighted mode runs Dijkstra
+    with cost 1/weight.  Normalisation divides by (n-1)(n-2)/2 (the
+    undirected convention, matching networkx).
+    """
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    betweenness = {node: 0.0 for node in nodes}
+    costs = _costs(graph, use_weights)
+
+    for source in nodes:
+        # Single-source shortest paths with path counting.
+        stack: list[NodeKey] = []
+        predecessors: dict[NodeKey, list[NodeKey]] = {node: [] for node in nodes}
+        sigma = {node: 0.0 for node in nodes}
+        sigma[source] = 1.0
+        distance: dict[NodeKey, float] = {}
+
+        if not use_weights:
+            distance[source] = 0.0
+            queue: deque[NodeKey] = deque([source])
+            while queue:
+                current = queue.popleft()
+                stack.append(current)
+                for neighbour in costs[current]:
+                    alt = distance[current] + 1.0
+                    if neighbour not in distance:
+                        distance[neighbour] = alt
+                        queue.append(neighbour)
+                    if distance[neighbour] == alt:
+                        sigma[neighbour] += sigma[current]
+                        predecessors[neighbour].append(current)
+        else:
+            # Exact float comparisons, mirroring networkx's Dijkstra so
+            # tie counting (and therefore sigma) agrees with the oracle.
+            seen: dict[NodeKey, float] = {source: 0.0}
+            counter = 0
+            heap: list[tuple[float, int, NodeKey, NodeKey | None]] = [
+                (0.0, counter, source, None)
+            ]
+            while heap:
+                dist, _, current, _ = heapq.heappop(heap)
+                if current in distance:
+                    continue
+                distance[current] = dist
+                stack.append(current)
+                for neighbour, cost in costs[current].items():
+                    alt = dist + cost
+                    if neighbour in distance:
+                        if distance[neighbour] == alt:
+                            sigma[neighbour] += sigma[current]
+                            predecessors[neighbour].append(current)
+                        continue
+                    if neighbour not in seen or alt < seen[neighbour]:
+                        seen[neighbour] = alt
+                        counter += 1
+                        heapq.heappush(heap, (alt, counter, neighbour, current))
+                        sigma[neighbour] = sigma[current]
+                        predecessors[neighbour] = [current]
+                    elif seen[neighbour] == alt:
+                        sigma[neighbour] += sigma[current]
+                        predecessors[neighbour].append(current)
+
+        # Accumulation (dependency back-propagation).
+        delta = {node: 0.0 for node in nodes}
+        while stack:
+            w = stack.pop()
+            for v in predecessors[w]:
+                delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w])
+            if w != source:
+                betweenness[w] += delta[w]
+
+    # Each undirected pair was counted from both endpoints.
+    for node in betweenness:
+        betweenness[node] /= 2.0
+    if normalised and n > 2:
+        scale = 2.0 / ((n - 1) * (n - 2))
+        for node in betweenness:
+            betweenness[node] *= scale
+    return betweenness
+
+
+def closeness_centrality(
+    graph: WeightedGraph, use_weights: bool = False
+) -> dict[NodeKey, float]:
+    """Closeness with the Wasserman-Faust component correction.
+
+    closeness(u) = ((r-1)/(n-1)) * (r-1)/sum_d, where r is the size of
+    u's reachable set — the networkx convention, so disconnected graphs
+    behave sensibly.
+    """
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    costs = _costs(graph, use_weights)
+    closeness: dict[NodeKey, float] = {}
+    for source in nodes:
+        distance = _single_source_distances(source, costs, use_weights)
+        reachable = len(distance)
+        total = sum(distance.values())
+        if total > 0 and n > 1:
+            closeness[source] = ((reachable - 1) / (n - 1)) * ((reachable - 1) / total)
+        else:
+            closeness[source] = 0.0
+    return closeness
+
+
+def _single_source_distances(
+    source: NodeKey,
+    costs: dict[NodeKey, dict[NodeKey, float]],
+    use_weights: bool,
+) -> dict[NodeKey, float]:
+    """BFS or Dijkstra distances from ``source`` (source included at 0)."""
+    distance: dict[NodeKey, float] = {}
+    if not use_weights:
+        distance[source] = 0.0
+        queue: deque[NodeKey] = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbour in costs[current]:
+                if neighbour not in distance:
+                    distance[neighbour] = distance[current] + 1.0
+                    queue.append(neighbour)
+        return distance
+    counter = 0
+    heap: list[tuple[float, int, NodeKey]] = [(0.0, counter, source)]
+    while heap:
+        dist, _, current = heapq.heappop(heap)
+        if current in distance:
+            continue
+        distance[current] = dist
+        for neighbour, cost in costs[current].items():
+            if neighbour not in distance:
+                counter += 1
+                heapq.heappush(heap, (dist + cost, counter, neighbour))
+    return distance
+
+
+def pagerank(
+    graph: WeightedGraph,
+    damping: float = 0.85,
+    max_iters: int = 200,
+    tolerance: float = 1e-10,
+) -> dict[NodeKey, float]:
+    """Weighted PageRank by power iteration (undirected interpretation).
+
+    Transition probability from u to v is w(u,v)/strength(u); dangling
+    mass is redistributed uniformly.  Converges when the L1 change
+    drops below ``tolerance``.
+    """
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    if n == 0:
+        return {}
+    rank = {node: 1.0 / n for node in nodes}
+    out_weight = {
+        node: sum(
+            weight
+            for neighbour, weight in graph.neighbours(node).items()
+        ) + graph.neighbours(node).get(node, 0.0)
+        for node in nodes
+    }
+    for _ in range(max_iters):
+        next_rank = {node: (1.0 - damping) / n for node in nodes}
+        dangling = sum(rank[node] for node in nodes if out_weight[node] <= 0)
+        for node in nodes:
+            if out_weight[node] <= 0:
+                continue
+            share = damping * rank[node] / out_weight[node]
+            for neighbour, weight in graph.neighbours(node).items():
+                contribution = weight * share
+                if neighbour == node:
+                    contribution *= 2.0  # a loop keeps both weight "ends"
+                next_rank[neighbour] += contribution
+        if dangling > 0:
+            spread = damping * dangling / n
+            for node in nodes:
+                next_rank[node] += spread
+        change = sum(abs(next_rank[node] - rank[node]) for node in nodes)
+        rank = next_rank
+        if change < tolerance:
+            break
+    return rank

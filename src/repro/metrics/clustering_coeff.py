@@ -1,0 +1,38 @@
+"""Local clustering coefficients (spatial-distribution metric of [13])."""
+
+from __future__ import annotations
+
+from ..graphdb import NodeKey, WeightedGraph
+
+
+def local_clustering(graph: WeightedGraph, node: NodeKey) -> float:
+    """Fraction of a node's neighbour pairs that are themselves linked.
+
+    Self-loops are ignored; nodes with fewer than two neighbours score
+    0 (the networkx convention).
+    """
+    neighbours = [
+        other for other in graph.neighbours(node) if other != node
+    ]
+    k = len(neighbours)
+    if k < 2:
+        return 0.0
+    links = 0
+    for i in range(k):
+        for j in range(i + 1, k):
+            if graph.has_edge(neighbours[i], neighbours[j]):
+                links += 1
+    return 2.0 * links / (k * (k - 1))
+
+
+def clustering_coefficients(graph: WeightedGraph) -> dict[NodeKey, float]:
+    """Local clustering coefficient of every node."""
+    return {node: local_clustering(graph, node) for node in graph.nodes()}
+
+
+def average_clustering(graph: WeightedGraph) -> float:
+    """Mean local clustering coefficient (0 for an empty graph)."""
+    coefficients = clustering_coefficients(graph)
+    if not coefficients:
+        return 0.0
+    return sum(coefficients.values()) / len(coefficients)

@@ -1,0 +1,47 @@
+"""Degree, strength and flux metrics (paper Section II's metric set)."""
+
+from __future__ import annotations
+
+from ..graphdb import DirectedGraph, NodeKey, WeightedGraph
+
+
+def degrees(graph: WeightedGraph) -> dict[NodeKey, int]:
+    """Distinct-neighbour degree of every node (loops excluded)."""
+    return {node: graph.degree(node) for node in graph.nodes()}
+
+
+def strengths(graph: WeightedGraph) -> dict[NodeKey, float]:
+    """Weighted degree of every node (self-loops counted twice)."""
+    return {node: graph.strength(node) for node in graph.nodes()}
+
+
+def out_strengths(graph: DirectedGraph) -> dict[NodeKey, float]:
+    """Total outgoing weight of every node."""
+    return {node: graph.out_strength(node) for node in graph.nodes()}
+
+
+def in_strengths(graph: DirectedGraph) -> dict[NodeKey, float]:
+    """Total incoming weight of every node."""
+    return {node: graph.in_strength(node) for node in graph.nodes()}
+
+
+def fluxes(graph: DirectedGraph) -> dict[NodeKey, float]:
+    """Net flow (in minus out) of every node.
+
+    A persistently positive flux marks a bike sink (the node
+    accumulates bikes); negative marks a source — the quantity fleet
+    rebalancing teams care about.
+    """
+    return {node: graph.flux(node) for node in graph.nodes()}
+
+
+def min_degree(graph: WeightedGraph, nodes: list[NodeKey] | None = None) -> int:
+    """Smallest degree over ``nodes`` (default: all nodes).
+
+    This is the paper's Rule-3 threshold when evaluated over the fixed
+    stations.
+    """
+    pool = nodes if nodes is not None else list(graph.nodes())
+    if not pool:
+        raise ValueError("min_degree over an empty node set")
+    return min(graph.degree(node) for node in pool)

@@ -1,0 +1,30 @@
+"""Gini coefficient — the network-equity metric of [13], [24].
+
+Applied to station strengths it answers "how unevenly is trip volume
+spread over the network?": 0 is perfectly even, values towards 1 mean
+a few stations dominate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def gini(values: Iterable[float]) -> float:
+    """Gini coefficient of a set of non-negative values.
+
+    Uses the sorted-rank formula
+    G = (2 * sum_i i*x_(i) / (n * sum x)) - (n + 1) / n.
+    Returns 0.0 for empty input or an all-zero vector.
+    """
+    data = sorted(float(v) for v in values)
+    if not data:
+        return 0.0
+    if any(value < 0 for value in data):
+        raise ValueError("gini is defined for non-negative values")
+    total = sum(data)
+    if total == 0:
+        return 0.0
+    n = len(data)
+    weighted = sum(rank * value for rank, value in enumerate(data, start=1))
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n

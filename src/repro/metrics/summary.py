@@ -1,0 +1,72 @@
+"""Whole-network summaries combining the individual metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphdb import DirectedGraph, WeightedGraph
+from .clustering_coeff import average_clustering
+from .gini import gini
+
+
+@dataclass(frozen=True)
+class NetworkSummary:
+    """Global descriptors of one trip network."""
+
+    n_nodes: int
+    n_edges: int
+    total_weight: float
+    mean_degree: float
+    mean_strength: float
+    average_clustering: float
+    strength_gini: float
+    n_components: int
+    largest_component: int
+
+
+def summarise(graph: WeightedGraph) -> NetworkSummary:
+    """Compute the global descriptor set of an undirected trip graph."""
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    if n == 0:
+        return NetworkSummary(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, 0)
+    strengths = [graph.strength(node) for node in nodes]
+    degrees = [graph.degree(node) for node in nodes]
+    components = graph.connected_components()
+    return NetworkSummary(
+        n_nodes=n,
+        n_edges=graph.edge_count,
+        total_weight=graph.total_weight,
+        mean_degree=sum(degrees) / n,
+        mean_strength=sum(strengths) / n,
+        average_clustering=average_clustering(graph),
+        strength_gini=gini(strengths),
+        n_components=len(components),
+        largest_component=len(components[0]) if components else 0,
+    )
+
+
+@dataclass(frozen=True)
+class FlowSummary:
+    """Directed-flow descriptors (loops, flux balance)."""
+
+    n_nodes: int
+    n_directed_edges: int
+    n_self_loops: int
+    total_trips: float
+    max_abs_flux: float
+
+
+def summarise_flow(graph: DirectedGraph) -> FlowSummary:
+    """Compute directed-flow descriptors of a trip graph."""
+    nodes = list(graph.nodes())
+    loops = sum(1 for u, v, _ in graph.edges() if u == v)
+    total = sum(weight for _, _, weight in graph.edges())
+    max_flux = max((abs(graph.flux(node)) for node in nodes), default=0.0)
+    return FlowSummary(
+        n_nodes=len(nodes),
+        n_directed_edges=graph.edge_count,
+        n_self_loops=loops,
+        total_trips=total,
+        max_abs_flux=max_flux,
+    )

@@ -1,0 +1,36 @@
+"""Reporting: paper-style tables, experiment runners, comparisons."""
+
+from .comparison import PAPER, Comparison, compare, comparison_rows
+from .experiments import (
+    ExperimentOutput,
+    experiment_fig5,
+    experiment_fig7,
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+    experiment_table5,
+    experiment_table6,
+)
+from .markdown import render_markdown_report, write_markdown_report
+from .tables import format_series, format_table
+
+__all__ = [
+    "Comparison",
+    "ExperimentOutput",
+    "PAPER",
+    "compare",
+    "comparison_rows",
+    "experiment_fig5",
+    "experiment_fig7",
+    "experiment_table1",
+    "experiment_table2",
+    "experiment_table3",
+    "experiment_table4",
+    "experiment_table5",
+    "experiment_table6",
+    "format_series",
+    "format_table",
+    "render_markdown_report",
+    "write_markdown_report",
+]

@@ -1,0 +1,113 @@
+"""Paper-reported reference values and shape comparisons.
+
+``PAPER`` records every number the paper's tables report, so benches
+and EXPERIMENTS.md can put measured values side by side with them.
+:func:`within_factor` is the repo's notion of "the shape holds":
+measured and expected agree within a multiplicative factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Every reference number from the paper's evaluation section.
+PAPER: dict[str, dict[str, float]] = {
+    "table1": {
+        "original_stations": 95,
+        "original_rentals": 62_324,
+        "original_locations": 14_239,
+        "cleaned_stations": 92,
+        "cleaned_rentals": 61_872,
+        "cleaned_locations": 14_156,
+    },
+    "table2": {
+        "nodes": 1_172,
+        "undirected_edges": 8_240,
+        "undirected_edges_no_loops": 7_820,
+        "directed_edges": 16_042,
+        "directed_edges_no_loops": 15_604,
+        "trips": 61_872,
+    },
+    "table3": {
+        "pre_existing_stations": 92,
+        "selected_stations": 146,
+        "total_stations": 238,
+        "trips_from_pre_existing": 54_670,
+        "trips_to_pre_existing": 54_727,
+        "trips_from_selected": 7_202,
+        "trips_to_selected": 7_145,
+        "edges_from_pre_existing": 6_437,
+        "edges_to_pre_existing": 6_310,
+        "edges_from_selected": 2_072,
+        "edges_to_selected": 2_199,
+        "total_edges": 8_509,
+    },
+    "table4": {
+        "n_communities": 3,
+        "modularity": 0.25,
+        "self_containment": 0.74,
+    },
+    "table5": {
+        "n_communities": 7,
+        "modularity": 0.32,
+    },
+    "table6": {
+        "n_communities": 10,
+        "modularity": 0.54,
+    },
+}
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured data point."""
+
+    experiment: str
+    measure: str
+    expected: float
+    measured: float
+
+    @property
+    def ratio(self) -> float:
+        """measured / expected (inf when expected is 0)."""
+        if self.expected == 0:
+            return float("inf") if self.measured else 1.0
+        return self.measured / self.expected
+
+    def within_factor(self, factor: float) -> bool:
+        """True when measured is within ``factor``x of expected."""
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if self.expected == 0:
+            return self.measured == 0
+        return 1.0 / factor <= self.ratio <= factor
+
+
+def compare(
+    experiment: str, measured: dict[str, float]
+) -> list[Comparison]:
+    """Pair measured values with the paper's, by measure name."""
+    expected = PAPER.get(experiment, {})
+    return [
+        Comparison(
+            experiment=experiment,
+            measure=measure,
+            expected=expected[measure],
+            measured=value,
+        )
+        for measure, value in measured.items()
+        if measure in expected
+    ]
+
+
+def comparison_rows(comparisons: list[Comparison]) -> list[tuple[str, float, float, str]]:
+    """(measure, paper, measured, ratio-text) rows for the tables."""
+    return [
+        (
+            item.measure,
+            item.expected,
+            item.measured,
+            f"{item.ratio:.2f}x",
+        )
+        for item in comparisons
+    ]

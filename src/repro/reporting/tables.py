@@ -1,0 +1,68 @@
+"""Plain-text table formatting in the paper's style."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def render_row(values: Sequence[str]) -> str:
+        parts = []
+        for index, value in enumerate(values):
+            if _is_numeric(values[index]) and index > 0:
+                parts.append(value.rjust(widths[index]))
+            else:
+                parts.append(value.ljust(widths[index]))
+        return "| " + " | ".join(parts) + " |"
+
+    rule = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(rule)
+    lines.append(render_row(list(headers)))
+    lines.append(rule)
+    for row in cells:
+        lines.append(render_row(row))
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        return f"{value:,.3f}" if abs(value) < 100 else f"{value:,.1f}"
+    return str(value)
+
+
+def _is_numeric(text: str) -> bool:
+    stripped = text.replace(",", "").replace(".", "").replace("-", "")
+    return stripped.isdigit() and bool(stripped)
+
+
+def format_series(
+    name: str, labels: Sequence[str], values: Sequence[float]
+) -> str:
+    """Render one figure series as ``name: label=value ...``."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    body = " ".join(
+        f"{label}={value:.3f}" for label, value in zip(labels, values)
+    )
+    return f"{name}: {body}"

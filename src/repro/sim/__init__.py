@@ -1,0 +1,19 @@
+"""Fleet simulation substrate: service-level evaluation of expansions."""
+
+from .experiment import NetworkComparison, compare_networks, plan_to_hook
+from .fleet import (
+    FleetSimulator,
+    SimulationResult,
+    TripRequest,
+    requests_from_rentals,
+)
+
+__all__ = [
+    "FleetSimulator",
+    "NetworkComparison",
+    "SimulationResult",
+    "TripRequest",
+    "compare_networks",
+    "plan_to_hook",
+    "requests_from_rentals",
+]

@@ -1,0 +1,128 @@
+"""Before/after expansion experiments on the fleet simulator.
+
+:func:`compare_networks` replays identical demand against the original
+92-station network and the expanded one, optionally with the
+community-driven rebalancing plan active, and reports the service-rate
+deltas — the operational pay-off the paper's optimiser promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+
+from ..analysis import RebalancingPlan
+from ..cluster import NearestStationAssigner
+from ..core.expansion import ExpansionResult
+from ..geo import GeoPoint
+from .fleet import FleetSimulator, SimulationResult, requests_from_rentals
+
+
+@dataclass(frozen=True)
+class NetworkComparison:
+    """Service metrics for one network configuration."""
+
+    name: str
+    n_stations: int
+    result: SimulationResult
+
+
+def _station_requests(
+    result: ExpansionResult, station_points: dict[int, GeoPoint]
+):
+    """Map the cleaned rentals onto an arbitrary station set."""
+    assigner = NearestStationAssigner(station_points)
+    location_to_station = {
+        record.location_id: assigner.nearest(record.point())[0]
+        for record in result.cleaned.locations()
+    }
+    return requests_from_rentals(result.cleaned.rentals(), location_to_station)
+
+
+def plan_to_hook(plan: RebalancingPlan):
+    """Adapt a :class:`RebalancingPlan` into a simulator hook.
+
+    The paper's plan is a *weekend shift*: bikes move towards the
+    leisure communities on Friday night and must come back before the
+    working week, or the fleet strands where weekday demand is low.
+    The hook therefore applies the transfers forward on Fridays and in
+    reverse on Sundays.
+    """
+
+    def _moves(reverse: bool) -> list[tuple[int, int, int]]:
+        moves: list[tuple[int, int, int]] = []
+        for transfer in plan.transfers:
+            pickups = transfer.pickup_stations or []
+            dropoffs = transfer.dropoff_stations or []
+            if not pickups or not dropoffs:
+                continue
+            per_pair = max(1, transfer.n_bikes // len(pickups))
+            for index, pickup in enumerate(pickups):
+                dropoff = dropoffs[index % len(dropoffs)]
+                if reverse:
+                    moves.append((dropoff, pickup, per_pair))
+                else:
+                    moves.append((pickup, dropoff, per_pair))
+        return moves
+
+    def hook(now: datetime, bikes: dict[int, int]) -> list[tuple[int, int, int]]:
+        if now.weekday() == 4:  # Friday night: stock the weekend spots.
+            return _moves(reverse=False)
+        if now.weekday() == 6:  # Sunday night: bring bikes back.
+            return _moves(reverse=True)
+        return []
+
+    return hook
+
+
+def compare_networks(
+    result: ExpansionResult,
+    n_bikes: int = 95,
+    walk_radius_m: float = 300.0,
+    rebalancing_plan: RebalancingPlan | None = None,
+) -> list[NetworkComparison]:
+    """Replay demand against the original and expanded networks.
+
+    Returns comparisons for: the original fixed stations, the expanded
+    network, and (when a plan is given) the expanded network with
+    Friday-night rebalancing.
+    """
+    comparisons: list[NetworkComparison] = []
+
+    original_points = {
+        sid: result.network.stations[sid].point
+        for sid in result.network.fixed_station_ids
+    }
+    expanded_points = {
+        sid: station.point for sid, station in result.network.stations.items()
+    }
+
+    for name, points, hook in (
+        ("original", original_points, None),
+        ("expanded", expanded_points, None),
+        (
+            "expanded+rebalancing",
+            expanded_points,
+            plan_to_hook(rebalancing_plan) if rebalancing_plan else None,
+        ),
+    ):
+        if name.endswith("rebalancing") and hook is None:
+            continue
+        requests = _station_requests(result, points)
+        demand_weights: dict[int, float] = {}
+        for request in requests:
+            demand_weights[request.origin] = (
+                demand_weights.get(request.origin, 0.0) + 1.0
+            )
+        simulator = FleetSimulator(
+            points, n_bikes, walk_radius_m=walk_radius_m, rebalancing=hook
+        )
+        outcome = simulator.run(
+            requests, simulator.initial_bikes(demand_weights)
+        )
+        comparisons.append(
+            NetworkComparison(
+                name=name, n_stations=len(points), result=outcome
+            )
+        )
+    return comparisons

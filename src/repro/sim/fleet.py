@@ -1,0 +1,226 @@
+"""A discrete-event fleet simulator over a station network.
+
+The paper motivates its expansion and community analysis with
+operational efficiency — reduced bottlenecks, better redistribution —
+but evaluates only on historical data.  This simulator closes the loop:
+replay the trip demand against a *station-based* service model and
+measure how much of it each network configuration can actually serve.
+
+Model (documented simplifications):
+
+* bikes live at stations; a request at station *s* is served when *s*
+  holds a bike, or when some station within ``walk_radius_m`` does
+  (counted separately as a walk-served request);
+* served trips occupy a bike until the trip's duration elapses, then
+  the bike docks at the destination station;
+* unserved requests are lost (no queueing) — the paper's riders simply
+  walk away;
+* an optional nightly rebalancing hook moves bikes between stations.
+
+This is deliberately a service-level model, not a traffic simulation:
+it answers "how often does a rider find no bike nearby?", which is the
+quantity the expansion is supposed to improve.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import Callable, Iterable, Sequence
+
+from ..geo import GeoPoint, GridIndex
+
+
+@dataclass(frozen=True)
+class TripRequest:
+    """One demand event: a rider wants a bike at ``origin``."""
+
+    requested_at: datetime
+    origin: int
+    destination: int
+    duration_minutes: float
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate service metrics of one run."""
+
+    n_requests: int = 0
+    served_direct: int = 0
+    served_walk: int = 0
+    unserved: int = 0
+    stockout_minutes: dict[int, float] = field(default_factory=dict)
+    bikes_moved_by_rebalancing: int = 0
+
+    @property
+    def served(self) -> int:
+        """Requests served, directly or after a walk."""
+        return self.served_direct + self.served_walk
+
+    @property
+    def service_rate(self) -> float:
+        """Share of requests served."""
+        if self.n_requests == 0:
+            return 1.0
+        return self.served / self.n_requests
+
+    @property
+    def walk_rate(self) -> float:
+        """Share of served requests that required a walk."""
+        if self.served == 0:
+            return 0.0
+        return self.served_walk / self.served
+
+
+#: A rebalancing hook: given (date, bikes-per-station), return a list of
+#: (from_station, to_station, n_bikes) moves to apply.
+RebalancingHook = Callable[[datetime, dict[int, int]], list[tuple[int, int, int]]]
+
+
+class FleetSimulator:
+    """Replays trip requests against a station network."""
+
+    def __init__(
+        self,
+        station_points: dict[int, GeoPoint],
+        n_bikes: int,
+        walk_radius_m: float = 300.0,
+        rebalancing: RebalancingHook | None = None,
+        rebalancing_hour: int = 3,
+    ) -> None:
+        if not station_points:
+            raise ValueError("need at least one station")
+        if n_bikes <= 0:
+            raise ValueError("need a positive fleet size")
+        self._stations = dict(station_points)
+        self._n_bikes = n_bikes
+        self._walk_radius_m = walk_radius_m
+        self._rebalancing = rebalancing
+        self._rebalancing_hour = rebalancing_hour
+        self._index: GridIndex[int] = GridIndex(cell_m=max(100.0, walk_radius_m))
+        for station_id, point in self._stations.items():
+            self._index.insert(station_id, point)
+
+    # ------------------------------------------------------------------
+    # Initial fleet placement
+    # ------------------------------------------------------------------
+
+    def initial_bikes(
+        self, weights: dict[int, float] | None = None
+    ) -> dict[int, int]:
+        """Distribute the fleet over stations.
+
+        With ``weights`` (e.g. historical demand) the split is
+        proportional via largest remainder; otherwise round-robin over
+        station ids.
+        """
+        bikes = {station_id: 0 for station_id in self._stations}
+        ids = sorted(self._stations)
+        if weights is None:
+            for i in range(self._n_bikes):
+                bikes[ids[i % len(ids)]] += 1
+            return bikes
+        total = sum(max(0.0, weights.get(sid, 0.0)) for sid in ids) or 1.0
+        shares = {
+            sid: self._n_bikes * max(0.0, weights.get(sid, 0.0)) / total
+            for sid in ids
+        }
+        for sid in ids:
+            bikes[sid] = int(shares[sid])
+        remainder = self._n_bikes - sum(bikes.values())
+        for sid in sorted(ids, key=lambda s: shares[s] - int(shares[s]), reverse=True):
+            if remainder <= 0:
+                break
+            bikes[sid] += 1
+            remainder -= 1
+        return bikes
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        requests: Sequence[TripRequest],
+        initial_bikes: dict[int, int] | None = None,
+    ) -> SimulationResult:
+        """Replay ``requests`` (sorted by time) and return the metrics."""
+        bikes = dict(initial_bikes) if initial_bikes else self.initial_bikes()
+        unknown = set(bikes) - set(self._stations)
+        if unknown:
+            raise ValueError(f"bikes placed at unknown stations: {sorted(unknown)}")
+        result = SimulationResult()
+        # (arrival_time, sequence, destination) of in-flight bikes.
+        in_flight: list[tuple[datetime, int, int]] = []
+        sequence = 0
+        last_rebalance_date = None
+
+        for request in sorted(requests, key=lambda r: r.requested_at):
+            now = request.requested_at
+            # Land any bikes that have arrived.
+            while in_flight and in_flight[0][0] <= now:
+                _, _, destination = heapq.heappop(in_flight)
+                bikes[destination] = bikes.get(destination, 0) + 1
+            # Nightly rebalancing.
+            if (
+                self._rebalancing is not None
+                and now.hour >= self._rebalancing_hour
+                and last_rebalance_date != now.date()
+            ):
+                last_rebalance_date = now.date()
+                for from_station, to_station, n_moved in self._rebalancing(
+                    now, dict(bikes)
+                ):
+                    moved = min(n_moved, bikes.get(from_station, 0))
+                    bikes[from_station] -= moved
+                    bikes[to_station] = bikes.get(to_station, 0) + moved
+                    result.bikes_moved_by_rebalancing += moved
+
+            result.n_requests += 1
+            source = self._find_bike(request.origin, bikes)
+            if source is None:
+                result.unserved += 1
+                result.stockout_minutes[request.origin] = (
+                    result.stockout_minutes.get(request.origin, 0.0)
+                    + request.duration_minutes
+                )
+                continue
+            if source == request.origin:
+                result.served_direct += 1
+            else:
+                result.served_walk += 1
+            bikes[source] -= 1
+            arrival = now + timedelta(minutes=request.duration_minutes)
+            sequence += 1
+            heapq.heappush(in_flight, (arrival, sequence, request.destination))
+        return result
+
+    def _find_bike(self, origin: int, bikes: dict[int, int]) -> int | None:
+        """The station to take a bike from, or None when stocked out."""
+        if bikes.get(origin, 0) > 0:
+            return origin
+        for station_id, _ in self._index.within(
+            self._stations[origin], self._walk_radius_m
+        ):
+            if bikes.get(station_id, 0) > 0:
+                return station_id
+        return None
+
+
+def requests_from_rentals(
+    rentals: Iterable,
+    location_to_station: dict[int, int],
+) -> list[TripRequest]:
+    """Convert cleaned rental records into station-level requests."""
+    requests = [
+        TripRequest(
+            requested_at=rental.started_at,
+            origin=location_to_station[rental.rental_location_id],
+            destination=location_to_station[rental.return_location_id],
+            duration_minutes=max(1.0, rental.duration_minutes),
+        )
+        for rental in rentals
+    ]
+    requests.sort(key=lambda r: r.requested_at)
+    return requests

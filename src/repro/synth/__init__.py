@@ -1,0 +1,84 @@
+"""Synthetic data substrate: a calibrated stand-in for the Moby dataset."""
+
+from .city import (
+    ALL_PROFILES,
+    ALL_REGIONS,
+    PROFILE_EMPLOYMENT,
+    PROFILE_LEISURE_PARK,
+    PROFILE_LEISURE_SEA,
+    PROFILE_MIXED,
+    PROFILE_RESIDENTIAL,
+    REGION_CENTRAL,
+    REGION_SOUTH,
+    REGION_SUBURBAN,
+    Zone,
+    build_dublin_zones,
+    check_zones,
+    region_weights,
+)
+from .demand import (
+    DATA_END,
+    DATA_START,
+    all_days,
+    day_weight,
+    destination_factor,
+    hour_weights,
+    is_weekend,
+    origin_factor,
+)
+from .generator import (
+    GeneratedWorld,
+    GeneratorConfig,
+    SyntheticMobyGenerator,
+    generate_paper_dataset,
+)
+from .noise import DirtyDataInjector, NoiseConfig
+from .rng import Rng
+from .spots import Spot, generate_adhoc_spots, generate_stations
+from .trips import (
+    LocationPool,
+    PairPool,
+    TripSampler,
+    TripSamplerConfig,
+    apportion_days,
+)
+
+__all__ = [
+    "ALL_PROFILES",
+    "ALL_REGIONS",
+    "DATA_END",
+    "DATA_START",
+    "DirtyDataInjector",
+    "GeneratedWorld",
+    "GeneratorConfig",
+    "LocationPool",
+    "NoiseConfig",
+    "PairPool",
+    "PROFILE_EMPLOYMENT",
+    "PROFILE_LEISURE_PARK",
+    "PROFILE_LEISURE_SEA",
+    "PROFILE_MIXED",
+    "PROFILE_RESIDENTIAL",
+    "REGION_CENTRAL",
+    "REGION_SOUTH",
+    "REGION_SUBURBAN",
+    "Rng",
+    "Spot",
+    "SyntheticMobyGenerator",
+    "TripSampler",
+    "TripSamplerConfig",
+    "Zone",
+    "all_days",
+    "apportion_days",
+    "build_dublin_zones",
+    "check_zones",
+    "day_weight",
+    "destination_factor",
+    "generate_adhoc_spots",
+    "generate_paper_dataset",
+    "generate_stations",
+    "hour_weights",
+    "is_weekend",
+    "origin_factor",
+    "region_weights",
+]

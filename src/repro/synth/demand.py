@@ -1,0 +1,141 @@
+"""Temporal demand model: when trips happen and who generates them.
+
+Three layers, multiplied together:
+
+* a **seasonal/COVID** day-level curve over Jan 2020 - Sep 2021 (the
+  paper's data window lies almost entirely inside the pandemic);
+* a **day-of-week** factor (weekday commuting dominates overall volume);
+* an **hour-of-day** curve that depends on the day type (bimodal
+  commuter peaks on weekdays, a midday leisure hump at weekends).
+
+Zone-level *origin* and *destination* factors then skew which zones the
+trips touch at a given (day-of-week, hour): residential zones emit in
+the morning and absorb in the evening, employment zones do the reverse,
+leisure zones light up at weekends and midday.  These factors are what
+make the paper's G_Day / G_Hour communities separable.
+"""
+
+from __future__ import annotations
+
+from datetime import date, timedelta
+
+from .city import (
+    PROFILE_EMPLOYMENT,
+    PROFILE_LEISURE_PARK,
+    PROFILE_LEISURE_SEA,
+    PROFILE_MIXED,
+    PROFILE_RESIDENTIAL,
+)
+
+#: Data window used by the paper (Section III).
+DATA_START = date(2020, 1, 3)
+DATA_END = date(2021, 9, 19)
+
+#: Weekday (Mon..Sun) volume factors — weekday-heavy, as in the paper's
+#: finding that BSSs are predominantly used for commuting.
+DOW_FACTORS = (1.08, 1.10, 1.12, 1.10, 1.06, 0.82, 0.72)
+
+#: Hour-of-day probability masses (unnormalised).
+_WEEKDAY_HOURS = (
+    0.3, 0.2, 0.1, 0.1, 0.2, 0.6,   # 00-05
+    1.6, 4.2, 6.4, 4.4, 2.6, 2.8,   # 06-11
+    3.6, 3.2, 2.8, 3.0, 4.4, 6.6,   # 12-17
+    5.0, 3.2, 2.2, 1.6, 1.0, 0.6,   # 18-23
+)
+_WEEKEND_HOURS = (
+    0.5, 0.4, 0.3, 0.2, 0.2, 0.3,   # 00-05
+    0.6, 1.0, 1.8, 2.8, 4.0, 5.2,   # 06-11
+    5.8, 5.6, 5.0, 4.4, 3.8, 3.2,   # 12-17
+    2.8, 2.2, 1.6, 1.2, 0.8, 0.6,   # 18-23
+)
+
+#: Month-level factors capturing launch ramp-up, the first lockdown,
+#: the 2020 summer surge, the winter 20/21 lockdown and summer 2021.
+_MONTH_FACTORS: dict[tuple[int, int], float] = {
+    (2020, 1): 0.55, (2020, 2): 0.62, (2020, 3): 0.50, (2020, 4): 0.42,
+    (2020, 5): 0.70, (2020, 6): 1.05, (2020, 7): 1.25, (2020, 8): 1.30,
+    (2020, 9): 1.15, (2020, 10): 0.95, (2020, 11): 0.78, (2020, 12): 0.72,
+    (2021, 1): 0.58, (2021, 2): 0.62, (2021, 3): 0.80, (2021, 4): 1.00,
+    (2021, 5): 1.20, (2021, 6): 1.40, (2021, 7): 1.50, (2021, 8): 1.48,
+    (2021, 9): 1.35,
+}
+
+_COMMUTE_AM = set(range(6, 10))
+_COMMUTE_PM = set(range(16, 20))
+_MIDDAY = set(range(11, 16))
+
+
+def all_days(start: date = DATA_START, end: date = DATA_END) -> list[date]:
+    """Every calendar day in the (inclusive) data window."""
+    days: list[date] = []
+    day = start
+    while day <= end:
+        days.append(day)
+        day += timedelta(days=1)
+    return days
+
+
+def day_weight(day: date) -> float:
+    """Relative expected volume of one calendar day."""
+    month_factor = _MONTH_FACTORS.get((day.year, day.month), 1.0)
+    return month_factor * DOW_FACTORS[day.weekday()]
+
+
+def hour_weights(weekday: int) -> tuple[float, ...]:
+    """Hour-of-day weights for a given weekday (Mon=0..Sun=6)."""
+    return _WEEKDAY_HOURS if weekday < 5 else _WEEKEND_HOURS
+
+
+def is_weekend(weekday: int) -> bool:
+    """Saturday or Sunday."""
+    return weekday >= 5
+
+
+def origin_factor(profile: str, weekday: int, hour: int) -> float:
+    """How strongly a zone of ``profile`` *emits* trips at this time."""
+    weekend = is_weekend(weekday)
+    if profile == PROFILE_RESIDENTIAL:
+        if not weekend and hour in _COMMUTE_AM:
+            return 2.6
+        if not weekend and hour in _COMMUTE_PM:
+            return 0.7
+        return 0.9 if not weekend else 0.7
+    if profile == PROFILE_EMPLOYMENT:
+        if not weekend and hour in _COMMUTE_PM:
+            return 2.6
+        if not weekend and hour in _COMMUTE_AM:
+            return 0.7
+        return 1.0 if not weekend else 0.5
+    if profile in (PROFILE_LEISURE_PARK, PROFILE_LEISURE_SEA):
+        base = 2.2 if weekend else 0.55
+        if hour in _MIDDAY:
+            base *= 1.8
+        return base
+    if profile == PROFILE_MIXED:
+        return 1.0
+    raise ValueError(f"unknown profile: {profile!r}")
+
+
+def destination_factor(profile: str, weekday: int, hour: int) -> float:
+    """How strongly a zone of ``profile`` *absorbs* trips at this time."""
+    weekend = is_weekend(weekday)
+    if profile == PROFILE_RESIDENTIAL:
+        if not weekend and hour in _COMMUTE_PM:
+            return 2.6
+        if not weekend and hour in _COMMUTE_AM:
+            return 0.7
+        return 0.9
+    if profile == PROFILE_EMPLOYMENT:
+        if not weekend and hour in _COMMUTE_AM:
+            return 2.6
+        if not weekend and hour in _COMMUTE_PM:
+            return 0.7
+        return 1.0 if not weekend else 0.5
+    if profile in (PROFILE_LEISURE_PARK, PROFILE_LEISURE_SEA):
+        base = 2.2 if weekend else 0.55
+        if hour in _MIDDAY:
+            base *= 1.8
+        return base
+    if profile == PROFILE_MIXED:
+        return 1.0
+    raise ValueError(f"unknown profile: {profile!r}")

@@ -1,0 +1,218 @@
+"""Dirty-record injection.
+
+The paper's original tables contain a small amount of mess — locations
+outside Dublin, points in Dublin Bay, missing coordinates, rentals with
+missing or dangling location ids, and never-referenced locations — which
+the cleaning stage removes (Table I: 62,324 → 61,872 rentals,
+14,239 → 14,156 locations, 95 → 92 stations).  This module injects a
+calibrated amount of exactly those defects into a clean synthetic
+dataset so the cleaning pipeline has real work to do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from ..data.records import LocationRecord, RentalRecord
+from ..geo import GeoPoint
+from .rng import Rng
+
+#: A point comfortably north of the Dublin bounding box.
+_OUTSIDE_DUBLIN = GeoPoint(53.52, -6.30)
+#: A point in the middle of Dublin Bay (inside the bbox, off land).
+_IN_THE_BAY = GeoPoint(53.344, -6.10)
+#: A valid on-land point for never-referenced locations.
+_ON_LAND = GeoPoint(53.3402, -6.2500)
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """How much of each defect to inject (defaults hit Table I's deltas)."""
+
+    n_station_outside: int = 1
+    n_station_in_bay: int = 1
+    n_station_unreferenced: int = 1
+    n_locations_outside: int = 25
+    n_locations_in_bay: int = 20
+    n_locations_missing_coords: int = 20
+    n_locations_unreferenced: int = 15
+    rentals_per_bad_location: int = 2
+    rentals_per_bad_station: int = 15
+    n_rentals_missing_id: int = 150
+    n_rentals_dangling_id: int = 142
+
+    @property
+    def n_dirty_stations(self) -> int:
+        """Total stations that cleaning should remove."""
+        return (
+            self.n_station_outside
+            + self.n_station_in_bay
+            + self.n_station_unreferenced
+        )
+
+    @property
+    def n_dirty_locations(self) -> int:
+        """Total non-station locations that cleaning should remove."""
+        return (
+            self.n_locations_outside
+            + self.n_locations_in_bay
+            + self.n_locations_missing_coords
+            + self.n_locations_unreferenced
+        )
+
+
+class DirtyDataInjector:
+    """Creates the dirty location and rental records."""
+
+    def __init__(
+        self,
+        rng: Rng,
+        config: NoiseConfig,
+        next_location_id: int,
+        next_rental_id: int,
+        anchor_location_id: int,
+        n_bikes: int,
+    ) -> None:
+        self._rng = rng
+        self._config = config
+        self._next_location_id = next_location_id
+        self._next_rental_id = next_rental_id
+        # A known-good location used as the *other* endpoint of rentals
+        # that reference a dirty location (so only the dirty side is at
+        # fault, as in real data).
+        self._anchor_location_id = anchor_location_id
+        self._n_bikes = n_bikes
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _mint_location_id(self) -> int:
+        location_id = self._next_location_id
+        self._next_location_id += 1
+        return location_id
+
+    def _mint_rental_id(self) -> int:
+        rental_id = self._next_rental_id
+        self._next_rental_id += 1
+        return rental_id
+
+    def _random_timestamp(self) -> datetime:
+        base = datetime(2020, 1, 3)
+        offset_days = self._rng.randint(0, 600)
+        offset_minutes = self._rng.randint(8 * 60, 20 * 60)
+        return base + timedelta(days=offset_days, minutes=offset_minutes)
+
+    def _rental_touching(self, location_id: int) -> RentalRecord:
+        """A rental with one endpoint at ``location_id``."""
+        started_at = self._random_timestamp()
+        at_origin = self._rng.random() < 0.5
+        return RentalRecord(
+            rental_id=self._mint_rental_id(),
+            bike_id=self._rng.randint(1, self._n_bikes),
+            started_at=started_at,
+            ended_at=started_at + timedelta(minutes=self._rng.uniform(4, 40)),
+            rental_location_id=location_id if at_origin else self._anchor_location_id,
+            return_location_id=self._anchor_location_id if at_origin else location_id,
+        )
+
+    def _jittered(self, center: GeoPoint) -> GeoPoint:
+        return self._rng.jitter_point(center, 400.0)
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+
+    def inject(self) -> tuple[list[LocationRecord], list[RentalRecord]]:
+        """Build every dirty record; returns (locations, rentals)."""
+        cfg = self._config
+        locations: list[LocationRecord] = []
+        rentals: list[RentalRecord] = []
+
+        def add_bad_location(
+            point: GeoPoint | None,
+            is_station: bool,
+            n_rentals: int,
+            name: str,
+        ) -> None:
+            location_id = self._mint_location_id()
+            locations.append(
+                LocationRecord(
+                    location_id=location_id,
+                    lat=point.lat if point is not None else None,
+                    lon=point.lon if point is not None else None,
+                    is_station=is_station,
+                    name=name,
+                )
+            )
+            for _ in range(n_rentals):
+                rentals.append(self._rental_touching(location_id))
+
+        # Dirty stations.
+        for _ in range(cfg.n_station_outside):
+            add_bad_location(
+                self._jittered(_OUTSIDE_DUBLIN), True,
+                cfg.rentals_per_bad_station, "Station (decommissioned, Meath)",
+            )
+        for _ in range(cfg.n_station_in_bay):
+            add_bad_location(
+                _IN_THE_BAY, True,
+                cfg.rentals_per_bad_station, "Station (bad GPS, Dublin Bay)",
+            )
+        for _ in range(cfg.n_station_unreferenced):
+            add_bad_location(
+                self._rng.jitter_point(_ON_LAND, 300.0), True, 0,
+                "Station (never used)",
+            )
+
+        # Dirty non-station locations.
+        for _ in range(cfg.n_locations_outside):
+            add_bad_location(
+                self._jittered(_OUTSIDE_DUBLIN), False,
+                cfg.rentals_per_bad_location, "",
+            )
+        for _ in range(cfg.n_locations_in_bay):
+            add_bad_location(
+                self._rng.jitter_point(_IN_THE_BAY, 120.0), False,
+                cfg.rentals_per_bad_location, "",
+            )
+        for _ in range(cfg.n_locations_missing_coords):
+            add_bad_location(None, False, cfg.rentals_per_bad_location, "")
+        for _ in range(cfg.n_locations_unreferenced):
+            add_bad_location(
+                self._rng.jitter_point(_ON_LAND, 500.0), False, 0, "",
+            )
+
+        # Rentals with missing ids: drop one or both endpoints.
+        for _ in range(cfg.n_rentals_missing_id):
+            started_at = self._random_timestamp()
+            drop = self._rng.randint(0, 2)
+            rentals.append(
+                RentalRecord(
+                    rental_id=self._mint_rental_id(),
+                    bike_id=self._rng.randint(1, self._n_bikes),
+                    started_at=started_at,
+                    ended_at=started_at + timedelta(minutes=self._rng.uniform(4, 40)),
+                    rental_location_id=None if drop in (0, 2) else self._anchor_location_id,
+                    return_location_id=None if drop in (1, 2) else self._anchor_location_id,
+                )
+            )
+
+        # Rentals with dangling ids: reference ids far beyond any real row.
+        for _ in range(cfg.n_rentals_dangling_id):
+            started_at = self._random_timestamp()
+            ghost = 10_000_000 + self._rng.randint(0, 999_999)
+            at_origin = self._rng.random() < 0.5
+            rentals.append(
+                RentalRecord(
+                    rental_id=self._mint_rental_id(),
+                    bike_id=self._rng.randint(1, self._n_bikes),
+                    started_at=started_at,
+                    ended_at=started_at + timedelta(minutes=self._rng.uniform(4, 40)),
+                    rental_location_id=ghost if at_origin else self._anchor_location_id,
+                    return_location_id=self._anchor_location_id if at_origin else ghost,
+                )
+            )
+
+        return locations, rentals

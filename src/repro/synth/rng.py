@@ -1,0 +1,142 @@
+"""Deterministic random-number helpers for the synthetic generator.
+
+Everything in :mod:`repro.synth` draws from a single seeded
+:class:`random.Random` stream so that a dataset is fully reproducible
+from its seed.  This module adds the sampling primitives the generator
+needs beyond the stdlib: Poisson counts, categorical draws over weight
+mappings and metre-scale Gaussian jitter of geographic points.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Mapping, Sequence, TypeVar
+
+from ..geo import GeoPoint, meters_per_degree
+
+T = TypeVar("T")
+
+
+class Rng:
+    """A seeded random stream with domain-specific sampling helpers."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def fork(self, label: str) -> "Rng":
+        """Derive an independent, reproducible child stream.
+
+        Children are keyed by a string label so adding a new consumer
+        never perturbs the draws of existing ones.  The derivation uses
+        a stable hash — Python's builtin ``hash`` is salted per process
+        and would break cross-run reproducibility.
+        """
+        digest = hashlib.sha256(f"{self.seed}:{label}".encode()).digest()
+        return Rng(int.from_bytes(digest[:4], "big"))
+
+    # ------------------------------------------------------------------
+    # Thin pass-throughs
+    # ------------------------------------------------------------------
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high]."""
+        return self._random.randint(low, high)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        """Normal draw."""
+        return self._random.gauss(mu, sigma)
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Uniform choice from a non-empty sequence."""
+        return self._random.choice(items)
+
+    def shuffle(self, items: list[T]) -> None:
+        """In-place Fisher-Yates shuffle."""
+        self._random.shuffle(items)
+
+    def sample(self, items: Sequence[T], k: int) -> list[T]:
+        """Sample ``k`` distinct items."""
+        return self._random.sample(items, k)
+
+    # ------------------------------------------------------------------
+    # Distributions
+    # ------------------------------------------------------------------
+
+    def poisson(self, lam: float) -> int:
+        """Poisson draw.
+
+        Knuth's product method below ``lam`` = 30; a rounded normal
+        approximation above it (exact enough for workload sizing).
+        """
+        if lam < 0:
+            raise ValueError("lam must be non-negative")
+        if lam == 0:
+            return 0
+        if lam < 30.0:
+            threshold = math.exp(-lam)
+            count = 0
+            product = self._random.random()
+            while product > threshold:
+                count += 1
+                product *= self._random.random()
+            return count
+        draw = self._random.gauss(lam, math.sqrt(lam))
+        return max(0, round(draw))
+
+    def weighted_key(self, weights: Mapping[T, float]) -> T:
+        """Categorical draw over a key->weight mapping."""
+        items = list(weights.items())
+        total = sum(weight for _, weight in items)
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        target = self._random.random() * total
+        running = 0.0
+        for key, weight in items:
+            running += weight
+            if running >= target:
+                return key
+        return items[-1][0]
+
+    def weighted_index(self, weights: Sequence[float]) -> int:
+        """Categorical draw over a weight sequence; returns the index."""
+        total = sum(weights)
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        target = self._random.random() * total
+        running = 0.0
+        for index, weight in enumerate(weights):
+            running += weight
+            if running >= target:
+                return index
+        return len(weights) - 1
+
+    # ------------------------------------------------------------------
+    # Geography
+    # ------------------------------------------------------------------
+
+    def jitter_point(self, center: GeoPoint, sigma_m: float) -> GeoPoint:
+        """Gaussian jitter of a point by ``sigma_m`` metres per axis."""
+        per_lat, per_lon = meters_per_degree(center.lat)
+        dlat = self._random.gauss(0.0, sigma_m) / per_lat
+        dlon = self._random.gauss(0.0, sigma_m) / per_lon
+        return GeoPoint(center.lat + dlat, center.lon + dlon)
+
+    def point_in_disc(self, center: GeoPoint, radius_m: float) -> GeoPoint:
+        """Uniform point inside a disc of ``radius_m`` metres."""
+        per_lat, per_lon = meters_per_degree(center.lat)
+        radius = radius_m * math.sqrt(self._random.random())
+        angle = self._random.random() * 2.0 * math.pi
+        dlat = radius * math.sin(angle) / per_lat
+        dlon = radius * math.cos(angle) / per_lon
+        return GeoPoint(center.lat + dlat, center.lon + dlon)

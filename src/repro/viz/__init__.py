@@ -1,0 +1,25 @@
+"""Visualisation: dependency-free SVG maps and charts."""
+
+from .charts import render_profile_chart
+from .dendrogram import render_dendrogram
+from .map_render import (
+    MapProjection,
+    render_candidate_map,
+    render_community_map,
+    render_selected_map,
+)
+from .palette import COMMUNITY_COLOURS, colour_hex, colour_name
+from .svg import SvgCanvas
+
+__all__ = [
+    "COMMUNITY_COLOURS",
+    "MapProjection",
+    "SvgCanvas",
+    "colour_hex",
+    "colour_name",
+    "render_candidate_map",
+    "render_community_map",
+    "render_dendrogram",
+    "render_profile_chart",
+    "render_selected_map",
+]

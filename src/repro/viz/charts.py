@@ -1,0 +1,84 @@
+"""Grouped bar charts for the temporal usage profiles (Figures 5 and 7)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .palette import colour_hex
+from .svg import SvgCanvas
+
+_MARGIN_LEFT = 50.0
+_MARGIN_BOTTOM = 40.0
+_MARGIN_TOP = 30.0
+_MARGIN_RIGHT = 20.0
+
+
+def render_profile_chart(
+    profiles: Mapping[int, Sequence[float]],
+    bin_labels: Sequence[str],
+    title: str,
+    width: float = 1000.0,
+    height: float = 420.0,
+) -> SvgCanvas:
+    """Grouped bars: one group per time bin, one bar per community.
+
+    ``profiles`` maps community label -> per-bin shares (all the same
+    length as ``bin_labels``).
+    """
+    labels = sorted(profiles)
+    n_bins = len(bin_labels)
+    if n_bins == 0 or not labels:
+        raise ValueError("need at least one bin and one community")
+    for label in labels:
+        if len(profiles[label]) != n_bins:
+            raise ValueError(
+                f"community {label} has {len(profiles[label])} bins, expected {n_bins}"
+            )
+
+    canvas = SvgCanvas(width, height)
+    plot_width = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_height = height - _MARGIN_TOP - _MARGIN_BOTTOM
+    baseline = height - _MARGIN_BOTTOM
+    peak = max(
+        (max(profiles[label]) for label in labels), default=0.0
+    ) or 1.0
+
+    group_width = plot_width / n_bins
+    bar_width = max(1.0, group_width * 0.8 / len(labels))
+
+    # Axes.
+    canvas.line(_MARGIN_LEFT, _MARGIN_TOP, _MARGIN_LEFT, baseline, stroke="#333")
+    canvas.line(_MARGIN_LEFT, baseline, width - _MARGIN_RIGHT, baseline, stroke="#333")
+    canvas.text(_MARGIN_LEFT, 18, title, size=14)
+
+    for bin_index, bin_label in enumerate(bin_labels):
+        group_x = _MARGIN_LEFT + bin_index * group_width + group_width * 0.1
+        for bar_index, label in enumerate(labels):
+            share = profiles[label][bin_index]
+            bar_height = plot_height * share / peak
+            canvas.rect(
+                group_x + bar_index * bar_width,
+                baseline - bar_height,
+                bar_width,
+                bar_height,
+                fill=colour_hex(label),
+                opacity=0.9,
+            )
+        # Thin out x labels when there are many bins (hours).
+        if n_bins <= 10 or bin_index % 2 == 0:
+            canvas.text(
+                group_x + group_width * 0.4,
+                baseline + 16,
+                bin_label,
+                size=10,
+                anchor="middle",
+            )
+
+    # Legend.
+    legend_x = width - _MARGIN_RIGHT - 130.0
+    legend_y = _MARGIN_TOP
+    for offset, label in enumerate(labels):
+        y = legend_y + offset * 16.0
+        canvas.rect(legend_x, y, 12.0, 12.0, fill=colour_hex(label))
+        canvas.text(legend_x + 18.0, y + 10.0, f"Community {label}", size=10)
+    return canvas

@@ -1,0 +1,77 @@
+"""Dendrogram rendering for the HAC condensation stage.
+
+Visualises a :class:`~repro.cluster.linkage.Dendrogram` with the cut
+threshold drawn in, so the Section IV-A construction (complete linkage
+cut at 100 m) can be inspected for any cluster.
+"""
+
+from __future__ import annotations
+
+from ..cluster.linkage import Dendrogram
+from .svg import SvgCanvas
+
+_MARGIN = 40.0
+
+
+def render_dendrogram(
+    dendrogram: Dendrogram,
+    cut_height: float | None = None,
+    width: float = 800.0,
+    height: float = 400.0,
+    title: str = "HAC dendrogram",
+) -> SvgCanvas:
+    """Draw a dendrogram; merge height on the y axis (0 at the bottom).
+
+    ``cut_height`` adds the dashed-equivalent threshold line (drawn
+    solid red) used by the Cluster-Boundary rule.
+    """
+    canvas = SvgCanvas(width, height)
+    n = dendrogram.n_points
+    canvas.text(_MARGIN, 20, title, size=13)
+    if n == 0:
+        return canvas
+
+    max_height = max(
+        (merge.height for merge in dendrogram.merges), default=1.0
+    ) or 1.0
+    plot_width = width - 2 * _MARGIN
+    plot_height = height - 2 * _MARGIN
+    baseline = height - _MARGIN
+
+    def y_of(merge_height: float) -> float:
+        return baseline - plot_height * merge_height / max_height
+
+    # Leaf order: simple left-to-right by index (adequate for audit
+    # plots; ordering leaves to avoid crossings is cosmetic).
+    x_of: dict[int, float] = {
+        i: _MARGIN + plot_width * (i + 0.5) / n for i in range(n)
+    }
+    top_of: dict[int, float] = {i: baseline for i in range(n)}
+
+    next_index = n
+    for merge in dendrogram.merges:
+        xa, xb = x_of[merge.a], x_of[merge.b]
+        ya, yb = top_of[merge.a], top_of[merge.b]
+        y = y_of(merge.height)
+        canvas.line(xa, ya, xa, y, stroke="#333", stroke_width=1.0)
+        canvas.line(xb, yb, xb, y, stroke="#333", stroke_width=1.0)
+        canvas.line(xa, y, xb, y, stroke="#333", stroke_width=1.0)
+        x_of[next_index] = (xa + xb) / 2.0
+        top_of[next_index] = y
+        next_index += 1
+
+    # Axis and cut line.
+    canvas.line(_MARGIN, _MARGIN, _MARGIN, baseline, stroke="#888")
+    canvas.text(8, _MARGIN + 4, f"{max_height:.0f}", size=10)
+    canvas.text(8, baseline, "0", size=10)
+    if cut_height is not None and cut_height <= max_height:
+        y = y_of(cut_height)
+        canvas.line(
+            _MARGIN, y, width - _MARGIN, y, stroke="#d62728", stroke_width=1.2,
+            opacity=0.8,
+        )
+        canvas.text(
+            width - _MARGIN - 4, y - 4, f"cut {cut_height:.0f}",
+            size=10, fill="#d62728", anchor="end",
+        )
+    return canvas

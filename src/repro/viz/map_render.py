@@ -1,0 +1,151 @@
+"""Station-map rendering (Figures 1, 2, 3, 4 and 6).
+
+Maps are drawn on a local planar projection of the station extent.
+Three figure styles are supported:
+
+* :func:`render_candidate_map` — Figure 1: all candidate-graph nodes
+  (purple) and edges (yellow);
+* :func:`render_selected_map` — Figure 2: node radius scaled by
+  self-loop trips, edge width by directed weight, only the top
+  percentile of edges drawn;
+* :func:`render_community_map` — Figures 3/4/6: stations coloured by
+  community, new stations ringed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from ..community import Partition
+from ..core.graphs import SelectedNetwork
+from ..geo import BoundingBox, GeoPoint, local_projector
+from ..graphdb import DirectedGraph
+from .palette import colour_hex
+from .svg import SvgCanvas
+
+_MARGIN = 30.0
+
+
+class MapProjection:
+    """Maps geographic points onto canvas pixels."""
+
+    def __init__(
+        self, points: list[GeoPoint], width: float = 900.0
+    ) -> None:
+        if not points:
+            raise ValueError("cannot project an empty point set")
+        box = BoundingBox.around(points).expand(0.004)
+        project = local_projector(box.center)
+        xs, ys = zip(*(project(point) for point in points))
+        span_x = max(max(xs) - min(xs), 1.0)
+        span_y = max(max(ys) - min(ys), 1.0)
+        self._min_x, self._min_y = min(xs), min(ys)
+        self._project = project
+        usable = width - 2 * _MARGIN
+        self._scale = usable / max(span_x, span_y)
+        self.width = width
+        self.height = span_y * self._scale + 2 * _MARGIN
+
+    def to_canvas(self, point: GeoPoint) -> tuple[float, float]:
+        """Pixel coordinates of a geographic point (y grows downward)."""
+        x, y = self._project(point)
+        cx = _MARGIN + (x - self._min_x) * self._scale
+        cy = self.height - (_MARGIN + (y - self._min_y) * self._scale)
+        return cx, cy
+
+
+def render_candidate_map(
+    node_points: Mapping[object, GeoPoint],
+    flow: DirectedGraph,
+    width: float = 900.0,
+) -> SvgCanvas:
+    """Figure 1: the candidate graph (purple nodes, yellow edges)."""
+    projection = MapProjection(list(node_points.values()), width)
+    canvas = SvgCanvas(projection.width, projection.height)
+    for u, v, _ in flow.edges():
+        if u == v or u not in node_points or v not in node_points:
+            continue
+        x1, y1 = projection.to_canvas(node_points[u])
+        x2, y2 = projection.to_canvas(node_points[v])
+        canvas.line(x1, y1, x2, y2, stroke="#f2c200", stroke_width=0.4, opacity=0.35)
+    for point in node_points.values():
+        x, y = projection.to_canvas(point)
+        canvas.circle(x, y, 1.8, fill="#6a0dad", opacity=0.8)
+    canvas.text(_MARGIN, 18, "Candidate graph (HAC condensation)", size=14)
+    return canvas
+
+
+def render_selected_map(
+    network: SelectedNetwork,
+    width: float = 900.0,
+    edge_percentile: float = 0.99,
+) -> SvgCanvas:
+    """Figure 2: the selected graph with scaled nodes and top edges."""
+    points = {
+        station_id: station.point
+        for station_id, station in network.stations.items()
+    }
+    projection = MapProjection(list(points.values()), width)
+    canvas = SvgCanvas(projection.width, projection.height)
+
+    flow = network.directed_flow()
+    loops = {station_id: flow.weight(station_id, station_id) for station_id in points}
+    cross = sorted(
+        (weight for u, v, weight in flow.edges() if u != v), reverse=False
+    )
+    threshold = 0.0
+    if cross:
+        index = min(len(cross) - 1, int(edge_percentile * len(cross)))
+        threshold = cross[index]
+    max_weight = cross[-1] if cross else 1.0
+
+    for u, v, weight in flow.edges():
+        if u == v or weight < threshold:
+            continue
+        x1, y1 = projection.to_canvas(points[u])
+        x2, y2 = projection.to_canvas(points[v])
+        stroke_width = 0.5 + 4.0 * weight / max(max_weight, 1.0)
+        canvas.line(x1, y1, x2, y2, stroke="#444444", stroke_width=stroke_width, opacity=0.6)
+
+    max_loop = max(loops.values(), default=1.0) or 1.0
+    for station_id, station in network.stations.items():
+        x, y = projection.to_canvas(station.point)
+        radius = 1.5 + 6.0 * math.sqrt(loops[station_id] / max_loop)
+        fill = "#d62728" if station.is_new else "#1f77b4"
+        canvas.circle(x, y, radius, fill=fill, opacity=0.85)
+    canvas.text(
+        _MARGIN, 18,
+        "Selected graph: blue = pre-existing, red = new; node size = self-trips",
+        size=13,
+    )
+    return canvas
+
+
+def render_community_map(
+    network: SelectedNetwork,
+    partition: Partition,
+    title: str,
+    width: float = 900.0,
+) -> SvgCanvas:
+    """Figures 3/4/6: stations coloured by community assignment."""
+    points = {
+        station_id: station.point
+        for station_id, station in network.stations.items()
+        if station_id in partition
+    }
+    projection = MapProjection(list(points.values()), width)
+    canvas = SvgCanvas(projection.width, projection.height)
+    for station_id, point in points.items():
+        x, y = projection.to_canvas(point)
+        label = partition[station_id]
+        is_new = network.stations[station_id].is_new
+        canvas.circle(
+            x, y, 4.0,
+            fill=colour_hex(label),
+            stroke="#000000" if is_new else "none",
+            stroke_width=0.8,
+            opacity=0.9,
+        )
+    canvas.text(_MARGIN, 18, title, size=14)
+    return canvas

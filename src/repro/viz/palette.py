@@ -1,0 +1,35 @@
+"""The paper's community colour palette.
+
+Tables IV-VI name their communities Blue, Orange, Green, Red, Purple,
+Brown, Pink, Gray, Olive and Cyan — matplotlib's default ``tab10``
+cycle, which the figures clearly use.  We reproduce the same mapping
+from community label (1-based) to colour.
+"""
+
+from __future__ import annotations
+
+#: (name, hex) in the paper's community order.
+COMMUNITY_COLOURS: tuple[tuple[str, str], ...] = (
+    ("Blue", "#1f77b4"),
+    ("Orange", "#ff7f0e"),
+    ("Green", "#2ca02c"),
+    ("Red", "#d62728"),
+    ("Purple", "#9467bd"),
+    ("Brown", "#8c564b"),
+    ("Pink", "#e377c2"),
+    ("Gray", "#7f7f7f"),
+    ("Olive", "#bcbd22"),
+    ("Cyan", "#17becf"),
+)
+
+
+def colour_name(label: int) -> str:
+    """Colour name for a 1-based community label (cycles past 10)."""
+    name, _ = COMMUNITY_COLOURS[(label - 1) % len(COMMUNITY_COLOURS)]
+    return name
+
+
+def colour_hex(label: int) -> str:
+    """Hex colour for a 1-based community label (cycles past 10)."""
+    _, value = COMMUNITY_COLOURS[(label - 1) % len(COMMUNITY_COLOURS)]
+    return value

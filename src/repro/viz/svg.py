@@ -1,0 +1,144 @@
+"""A minimal SVG writer.
+
+Rendering the paper's figures needs nothing more than circles, lines,
+rectangles and text; this tiny builder keeps the repo free of plotting
+dependencies while producing inspectable vector output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serialises the document."""
+
+    def __init__(self, width: float, height: float, background: str = "white") -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._elements: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # ------------------------------------------------------------------
+    # Elements
+    # ------------------------------------------------------------------
+
+    def circle(
+        self,
+        cx: float,
+        cy: float,
+        r: float,
+        fill: str = "black",
+        stroke: str = "none",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        """Add a circle."""
+        self._elements.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{r:.2f}" '
+            f'fill="{fill}" stroke="{stroke}" stroke-width="{stroke_width:.2f}" '
+            f'opacity="{opacity:.3f}"/>'
+        )
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        """Add a line segment."""
+        self._elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width:.2f}" '
+            f'opacity="{opacity:.3f}"/>'
+        )
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        fill: str = "black",
+        stroke: str = "none",
+        opacity: float = 1.0,
+    ) -> None:
+        """Add a rectangle."""
+        self._elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{width:.2f}" '
+            f'height="{height:.2f}" fill="{fill}" stroke="{stroke}" '
+            f'opacity="{opacity:.3f}"/>'
+        )
+
+    def polyline(
+        self,
+        points: list[tuple[float, float]],
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        fill: str = "none",
+    ) -> None:
+        """Add a polyline through ``points``."""
+        coords = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self._elements.append(
+            f'<polyline points="{coords}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{stroke_width:.2f}"/>'
+        )
+
+    def polygon(
+        self,
+        points: list[tuple[float, float]],
+        fill: str = "none",
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        """Add a closed polygon."""
+        coords = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self._elements.append(
+            f'<polygon points="{coords}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{stroke_width:.2f}" opacity="{opacity:.3f}"/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: float = 12.0,
+        fill: str = "black",
+        anchor: str = "start",
+    ) -> None:
+        """Add a text label."""
+        self._elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size:.1f}" '
+            f'fill="{fill}" text-anchor="{anchor}" '
+            f'font-family="sans-serif">{escape(content)}</text>'
+        )
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def to_string(self) -> str:
+        """Serialise the SVG document."""
+        header = (
+            '<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width:.0f}" height="{self.height:.0f}" '
+            f'viewBox="0 0 {self.width:.0f} {self.height:.0f}">'
+        )
+        return "\n".join([header, *self._elements, "</svg>"])
+
+    def save(self, path: str | Path) -> Path:
+        """Write the document to ``path`` and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_string())
+        return path

@@ -1,0 +1,71 @@
+"""Shared fixtures.
+
+Two dataset scales are provided:
+
+* ``small_world`` / ``small_raw`` — a reduced synthetic city (fast;
+  most unit and integration tests use it);
+* ``paper_result`` — the full paper-calibrated pipeline run, built
+  once per session and shared by the calibration/integration tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import NetworkExpansionOptimiser
+from repro.synth import (
+    GeneratorConfig,
+    NoiseConfig,
+    SyntheticMobyGenerator,
+    TripSamplerConfig,
+)
+
+
+def small_generator_config(seed: int = 11) -> GeneratorConfig:
+    """A fast, reduced-scale generator configuration."""
+    return GeneratorConfig(
+        seed=seed,
+        n_stations=30,
+        n_adhoc_spots=220,
+        n_clean_rentals=6_000,
+        n_clean_locations=2_400,
+        n_bikes=40,
+        trips=TripSamplerConfig(),
+        noise=NoiseConfig(
+            n_locations_outside=6,
+            n_locations_in_bay=5,
+            n_locations_missing_coords=5,
+            n_locations_unreferenced=4,
+            n_rentals_missing_id=25,
+            n_rentals_dangling_id=20,
+            rentals_per_bad_station=5,
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A reduced generated world (raw dataset + latent layout)."""
+    return SyntheticMobyGenerator(
+        seed=11, config=small_generator_config(seed=11)
+    ).generate_world()
+
+
+@pytest.fixture(scope="session")
+def small_raw(small_world):
+    """The reduced raw dataset."""
+    return small_world.raw
+
+
+@pytest.fixture(scope="session")
+def small_result(small_raw):
+    """A full pipeline run over the reduced dataset."""
+    return NetworkExpansionOptimiser(small_raw).run()
+
+
+@pytest.fixture(scope="session")
+def paper_result():
+    """The full paper-calibrated pipeline run (seed 7).  Slow; shared."""
+    from repro.synth import generate_paper_dataset
+
+    return NetworkExpansionOptimiser(generate_paper_dataset(seed=7)).run()

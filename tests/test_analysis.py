@@ -1,0 +1,163 @@
+"""Tests for the analysis package (OD matrices, profiles, rebalancing)."""
+
+import pytest
+
+from repro.analysis import (
+    ODMatrix,
+    UNIFORM_WEEKEND_SHARE,
+    behavioural_outliers,
+    build_profiles,
+    mean_profile,
+    plan_weekend_rebalancing,
+    profile_distance,
+)
+from repro.community import Partition
+from repro.core import TripOD
+
+
+TRIPS = [
+    TripOD(1, 2, 0, 8),
+    TripOD(1, 2, 1, 9),
+    TripOD(2, 1, 0, 17),
+    TripOD(1, 1, 5, 13),
+    TripOD(3, 1, 6, 12),
+]
+
+
+class TestODMatrix:
+    def test_counts(self):
+        matrix = ODMatrix.from_trips(TRIPS)
+        assert matrix.station_ids == [1, 2, 3]
+        assert matrix.count(1, 2) == 2
+        assert matrix.count(2, 1) == 1
+        assert matrix.count(1, 1) == 1
+        assert matrix.count(3, 2) == 0
+
+    def test_totals(self):
+        matrix = ODMatrix.from_trips(TRIPS)
+        assert matrix.total == 5
+        assert matrix.out_totals()[1] == 3
+        assert matrix.in_totals()[1] == 3
+
+    def test_filtered(self):
+        weekend = ODMatrix.from_trips(
+            TRIPS, station_ids=[1, 2, 3], keep=lambda t: t.day_of_week >= 5
+        )
+        assert weekend.total == 2
+
+    def test_unknown_station_raises(self):
+        matrix = ODMatrix.from_trips(TRIPS)
+        with pytest.raises(KeyError):
+            matrix.count(99, 1)
+
+    def test_top_pairs(self):
+        matrix = ODMatrix.from_trips(TRIPS)
+        pairs = matrix.top_pairs(k=2)
+        assert pairs[0] == (1, 2, 2)
+
+    def test_top_pairs_with_loops(self):
+        matrix = ODMatrix.from_trips(TRIPS)
+        pairs = matrix.top_pairs(k=10, include_loops=True)
+        assert (1, 1, 1) in pairs
+
+    def test_collapse_to_communities(self):
+        partition = Partition.from_assignment({1: 0, 2: 0, 3: 1})
+        collapsed = ODMatrix.from_trips(TRIPS).collapse(partition)
+        assert collapsed.total == 5
+        assert collapsed.self_containment() == pytest.approx(4 / 5)
+
+    def test_empty_matrix(self):
+        matrix = ODMatrix.from_trips([])
+        assert matrix.total == 0
+        assert matrix.self_containment() == 0.0
+
+
+class TestStationProfiles:
+    def test_profiles_cover_all_stations(self, small_result):
+        profiles = build_profiles(small_result.network)
+        assert set(profiles) == set(small_result.network.stations)
+
+    def test_volume_and_balance(self, small_result):
+        profiles = build_profiles(small_result.network)
+        total_out = sum(p.trips_out for p in profiles.values())
+        assert total_out == len(small_result.network.trips)
+        for profile in profiles.values():
+            assert -1.0 <= profile.balance <= 1.0
+            assert sum(profile.hourly) == pytest.approx(1.0, abs=1e-9) or (
+                profile.trips_out == 0
+            )
+
+    def test_distance_zero_to_self(self, small_result):
+        profiles = build_profiles(small_result.network)
+        profile = next(iter(profiles.values()))
+        assert profile_distance(profile, profile) == 0.0
+
+    def test_outliers_ranked_descending(self, small_result):
+        profiles = build_profiles(small_result.network)
+        outliers = behavioural_outliers(profiles, top_k=5)
+        distances = [distance for _, distance in outliers]
+        assert distances == sorted(distances, reverse=True)
+
+    def test_outliers_require_reference(self, small_result):
+        profiles = build_profiles(small_result.network)
+        with pytest.raises(ValueError):
+            behavioural_outliers(profiles, reference_kind="nonexistent")
+
+    def test_mean_profile(self, small_result):
+        profiles = build_profiles(small_result.network)
+        mean = mean_profile(list(profiles.values()))
+        assert len(mean) == 24
+        assert mean_profile([]) == tuple(0.0 for _ in range(24))
+
+
+class TestRebalancing:
+    def test_plan_shape(self, small_result):
+        plan = plan_weekend_rebalancing(
+            small_result.network,
+            small_result.day.station_partition,
+            fleet_size=40,
+        )
+        assert plan.demands
+        assert all(
+            0.0 <= demand.weekend_share <= 1.0 for demand in plan.demands
+        )
+        # Donors and receivers partition by the uniform share.
+        for demand in plan.demands:
+            assert demand.is_receiver == (
+                demand.weekend_share > UNIFORM_WEEKEND_SHARE
+            )
+
+    def test_transfers_directed_donor_to_receiver(self, small_result):
+        plan = plan_weekend_rebalancing(
+            small_result.network,
+            small_result.day.station_partition,
+            fleet_size=40,
+        )
+        receiver_labels = {
+            d.community for d in plan.demands if d.is_receiver
+        }
+        for transfer in plan.transfers:
+            assert transfer.to_community in receiver_labels
+            assert transfer.from_community not in receiver_labels
+            assert transfer.n_bikes >= 1
+            assert transfer.pickup_stations
+            assert transfer.dropoff_stations
+
+    def test_budget_capped(self, small_result):
+        plan = plan_weekend_rebalancing(
+            small_result.network,
+            small_result.day.station_partition,
+            fleet_size=40,
+            max_moved_fraction=0.1,
+        )
+        # Per-transfer rounding can exceed the cap slightly but not
+        # wildly.
+        assert plan.total_bikes_moved <= 40
+
+    def test_invalid_fleet(self, small_result):
+        with pytest.raises(ValueError):
+            plan_weekend_rebalancing(
+                small_result.network,
+                small_result.day.station_partition,
+                fleet_size=0,
+            )

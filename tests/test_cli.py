@@ -1,0 +1,88 @@
+"""Tests for the command-line interface.
+
+The CLI is exercised with the reduced dataset by monkeypatching the
+generator's default configuration — the full paper-scale run is covered
+by the integration tests.
+"""
+
+import pytest
+
+from repro import cli
+from repro.synth import SyntheticMobyGenerator
+from tests.conftest import small_generator_config
+
+
+@pytest.fixture(autouse=True)
+def small_scale(monkeypatch):
+    """Make every CLI invocation use the fast reduced dataset."""
+    original_init = SyntheticMobyGenerator.__init__
+
+    def patched(self, seed=7, config=None):
+        if config is None:
+            config = small_generator_config(seed=seed)
+        original_init(self, seed=seed, config=config)
+
+    monkeypatch.setattr(SyntheticMobyGenerator, "__init__", patched)
+
+
+class TestGenerateAndClean:
+    def test_generate_writes_csvs(self, tmp_path, capsys):
+        code = cli.main(["generate", "--seed", "11", "--out", str(tmp_path / "data")])
+        assert code == 0
+        assert (tmp_path / "data" / "locations.csv").exists()
+        assert (tmp_path / "data" / "rentals.csv").exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_clean_roundtrip(self, tmp_path, capsys):
+        cli.main(["generate", "--seed", "11", "--out", str(tmp_path / "data")])
+        code = cli.main(
+            [
+                "clean",
+                "--data", str(tmp_path / "data"),
+                "--out", str(tmp_path / "cleaned"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert (tmp_path / "cleaned" / "rentals.csv").exists()
+
+
+class TestRun:
+    def test_run_prints_all_tables(self, capsys, tmp_path):
+        code = cli.main(
+            ["run", "--seed", "11", "--figures", str(tmp_path / "figs")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for table in ("TABLE I", "TABLE II", "TABLE III", "TABLE IV",
+                      "TABLE V", "TABLE VI"):
+            assert table in out
+        assert (tmp_path / "figs" / "fig2_selected_map.svg").exists()
+        assert (tmp_path / "figs" / "fig3_gbasic.svg").exists()
+
+    def test_run_over_csv_data(self, capsys, tmp_path):
+        cli.main(["generate", "--seed", "11", "--out", str(tmp_path / "data")])
+        capsys.readouterr()
+        code = cli.main(["run", "--data", str(tmp_path / "data")])
+        assert code == 0
+        assert "TABLE VI" in capsys.readouterr().out
+
+
+class TestRebalance:
+    def test_plan_printed(self, capsys):
+        code = cli.main(["rebalance", "--seed", "11", "--fleet", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "COMMUNITY DEMAND PROFILE" in out
+        assert "bikes move" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.main(["frobnicate"])

@@ -1,0 +1,93 @@
+"""Tests for the alternative condensation strategies."""
+
+import pytest
+
+from repro.cluster import cluster_diameter_m, grid_condense, kmeans_condense
+from repro.geo import GeoPoint, destination_point
+
+CENTER = GeoPoint(53.3473, -6.2591)
+
+
+def at(bearing: float, distance: float) -> GeoPoint:
+    return destination_point(CENTER, bearing, distance)
+
+
+@pytest.fixture
+def scattered_points() -> dict[int, GeoPoint]:
+    points = {}
+    index = 0
+    for ring in (300.0, 900.0, 1_800.0):
+        for bearing in range(0, 360, 30):
+            points[index] = at(float(bearing), ring)
+            index += 1
+    return points
+
+
+class TestGridCondense:
+    def test_partition_covers_everything(self, scattered_points):
+        result = grid_condense(scattered_points, {}, cell_m=200.0)
+        assignment = result.assignment()
+        assert set(assignment) == set(scattered_points)
+
+    def test_cell_size_bounds_diameter(self, scattered_points):
+        result = grid_condense(scattered_points, {}, cell_m=200.0)
+        for cluster in result.clusters:
+            # Grid diameter bound: cell diagonal (plus slack for the
+            # spherical projection).
+            assert cluster_diameter_m(cluster, scattered_points) <= 200.0 * 1.5
+
+    def test_larger_cells_fewer_clusters(self, scattered_points):
+        small = grid_condense(scattered_points, {}, cell_m=100.0)
+        large = grid_condense(scattered_points, {}, cell_m=1_000.0)
+        assert large.n_clusters <= small.n_clusters
+
+    def test_preassignment_respected(self, scattered_points):
+        stations = {999: CENTER}
+        near = dict(scattered_points)
+        near[500] = at(0.0, 20.0)
+        near[999] = CENTER
+        result = grid_condense(near, stations, cell_m=200.0)
+        assert 500 in result.station_members[999]
+
+    def test_cluster_ids_sequential(self, scattered_points):
+        result = grid_condense(scattered_points, {}, cell_m=150.0)
+        assert [c.cluster_id for c in result.clusters] == list(
+            range(result.n_clusters)
+        )
+
+
+class TestKmeansCondense:
+    def test_produces_k_clusters(self, scattered_points):
+        result = kmeans_condense(scattered_points, {}, k=6)
+        assert 1 <= result.n_clusters <= 6
+        assignment = result.assignment()
+        assert set(assignment) == set(scattered_points)
+
+    def test_k_capped_by_points(self):
+        points = {1: CENTER, 2: at(0.0, 500.0)}
+        result = kmeans_condense(points, {}, k=10)
+        assert result.n_clusters <= 2
+
+    def test_deterministic_for_seed(self, scattered_points):
+        a = kmeans_condense(scattered_points, {}, k=5, seed=3)
+        b = kmeans_condense(scattered_points, {}, k=5, seed=3)
+        assert a.assignment() == b.assignment()
+
+    def test_invalid_k(self, scattered_points):
+        with pytest.raises(ValueError):
+            kmeans_condense(scattered_points, {}, k=0)
+
+    def test_spatial_coherence(self, scattered_points):
+        # Clusters should be far tighter than the overall spread.
+        result = kmeans_condense(scattered_points, {}, k=8, seed=1)
+        diameters = [
+            cluster_diameter_m(c, scattered_points) for c in result.clusters
+        ]
+        assert max(diameters) < 3_000.0
+
+    def test_empty_leftover(self):
+        stations = {1: CENTER}
+        points = {1: CENTER, 2: at(0.0, 10.0)}
+        result = kmeans_condense(points, stations, k=3)
+        assert result.n_clusters == 0
+        assert result.station_members[1] == [1, 2]

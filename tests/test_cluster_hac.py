@@ -1,0 +1,154 @@
+"""Tests for geographic HAC with fixed stations."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    NearestStationAssigner,
+    cluster_diameter_m,
+    cluster_locations,
+    pairwise_haversine_matrix,
+    preassign_to_stations,
+    proximity_components,
+)
+from repro.config import ClusteringConfig
+from repro.exceptions import ClusteringError
+from repro.geo import GeoPoint, destination_point, haversine_m
+
+CENTER = GeoPoint(53.3473, -6.2591)
+
+
+def at(bearing: float, distance: float) -> GeoPoint:
+    return destination_point(CENTER, bearing, distance)
+
+
+class TestPairwiseMatrix:
+    def test_matches_scalar_haversine(self):
+        points = [CENTER, at(0.0, 500.0), at(90.0, 1200.0)]
+        matrix = pairwise_haversine_matrix(points)
+        for i in range(3):
+            for j in range(3):
+                assert matrix[i, j] == pytest.approx(
+                    haversine_m(points[i], points[j]), abs=1e-6
+                )
+
+    def test_zero_diagonal_and_symmetry(self):
+        points = [at(float(b), 300.0) for b in range(0, 360, 60)]
+        matrix = pairwise_haversine_matrix(points)
+        assert np.allclose(np.diag(matrix), 0.0)
+        assert np.allclose(matrix, matrix.T)
+
+
+class TestProximityComponents:
+    def test_two_clumps(self):
+        points = {
+            1: CENTER,
+            2: at(0.0, 50.0),
+            3: at(0.0, 90.0),
+            4: at(0.0, 2_000.0),
+            5: at(0.0, 2_060.0),
+        }
+        components = proximity_components([1, 2, 3, 4, 5], points, 100.0)
+        assert [set(c) for c in components] == [{1, 2, 3}, {4, 5}]
+
+    def test_chain_connects_transitively(self):
+        # 1-2, 2-3 within 100 m but 1-3 beyond: still one component.
+        points = {1: CENTER, 2: at(0.0, 90.0), 3: at(0.0, 180.0)}
+        components = proximity_components([1, 2, 3], points, 100.0)
+        assert len(components) == 1
+
+    def test_empty(self):
+        assert proximity_components([], {}, 100.0) == []
+
+
+class TestPreassignment:
+    def test_within_radius_goes_to_station(self):
+        stations = {0: CENTER}
+        locations = {0: CENTER, 1: at(45.0, 30.0), 2: at(45.0, 80.0)}
+        members, leftover = preassign_to_stations(locations, stations, 50.0)
+        assert members[0] == [0, 1]
+        assert leftover == [2]
+
+    def test_nearest_station_wins(self):
+        stations = {0: CENTER, 1: at(0.0, 80.0)}
+        locations = {0: CENTER, 1: at(0.0, 80.0), 2: at(0.0, 50.0)}
+        members, leftover = preassign_to_stations(locations, stations, 50.0)
+        assert 2 in members[1]  # 30 m from station 1, 50 m from station 0
+        assert leftover == []
+
+
+class TestClusterLocations:
+    def test_boundary_rule_enforced(self):
+        # A 300 m line of points at 40 m spacing: one proximity
+        # component, but complete-linkage cut at 100 m must split it.
+        points = {i: at(90.0, 40.0 * i) for i in range(8)}
+        result = cluster_locations(points, {}, ClusteringConfig())
+        assert result.n_clusters >= 3
+        for cluster in result.clusters:
+            assert cluster_diameter_m(cluster, points) <= 100.0 + 1e-6
+
+    def test_assignment_covers_everything(self):
+        points = {i: at(float(i * 37 % 360), 60.0 * (i % 6)) for i in range(30)}
+        stations = {0: points[0]}
+        result = cluster_locations(points, stations)
+        assignment = result.assignment()
+        assert set(assignment) == set(points)
+
+    def test_station_groups_absorb_near_locations(self):
+        stations = {0: CENTER}
+        points = {0: CENTER, 1: at(10.0, 20.0), 2: at(10.0, 600.0)}
+        result = cluster_locations(points, stations)
+        assert result.station_members[0] == [0, 1]
+        assert result.n_clusters == 1
+        assert result.clusters[0].member_location_ids == [2]
+
+    def test_centroid_is_member_mean(self):
+        a, b = at(90.0, 1_000.0), at(90.0, 1_040.0)
+        points = {1: a, 2: b}
+        result = cluster_locations(points, {})
+        [cluster] = result.clusters
+        assert cluster.centroid.lat == pytest.approx((a.lat + b.lat) / 2)
+        assert cluster.centroid.lon == pytest.approx((a.lon + b.lon) / 2)
+
+    def test_singleton_cluster(self):
+        points = {5: CENTER}
+        result = cluster_locations(points, {})
+        assert result.n_clusters == 1
+        assert result.clusters[0].size == 1
+        assert cluster_diameter_m(result.clusters[0], points) == 0.0
+
+    def test_cluster_ids_sequential(self):
+        points = {i: at(0.0, 500.0 * i) for i in range(5)}
+        result = cluster_locations(points, {})
+        assert [c.cluster_id for c in result.clusters] == list(range(5))
+
+    def test_small_world_rule1_holds(self, small_raw):
+        from repro.data import clean_dataset
+
+        cleaned, _ = clean_dataset(small_raw)
+        points = {r.location_id: r.point() for r in cleaned.locations()}
+        stations = {r.location_id: r.point() for r in cleaned.stations()}
+        result = cluster_locations(points, stations)
+        # Every location accounted for exactly once.
+        assignment = result.assignment()
+        assert set(assignment) == set(points)
+        # Rule 1 on every cluster.
+        for cluster in result.clusters:
+            assert cluster_diameter_m(cluster, points) <= 100.0 + 1e-6
+
+
+class TestNearestStationAssigner:
+    def test_assigns_to_nearest(self):
+        assigner = NearestStationAssigner({1: CENTER, 2: at(0.0, 1_000.0)})
+        station, distance = assigner.nearest(at(0.0, 900.0))
+        assert station == 2
+        assert distance == pytest.approx(100.0, abs=1.0)
+
+    def test_assign_all(self):
+        assigner = NearestStationAssigner({1: CENTER, 2: at(0.0, 1_000.0)})
+        mapping = assigner.assign_all({10: at(0.0, 100.0), 11: at(0.0, 950.0)})
+        assert mapping == {10: 1, 11: 2}
+
+    def test_empty_stations_rejected(self):
+        with pytest.raises(ClusteringError):
+            NearestStationAssigner({})

@@ -1,0 +1,138 @@
+"""Tests for from-scratch HAC, with scipy as the oracle."""
+
+import numpy as np
+import pytest
+from scipy.cluster.hierarchy import fcluster, linkage as scipy_linkage
+from scipy.spatial.distance import squareform
+
+from repro.cluster import (
+    LINKAGE_AVERAGE,
+    LINKAGE_COMPLETE,
+    LINKAGE_SINGLE,
+    cluster_at_threshold,
+    linkage_cluster,
+)
+from repro.exceptions import ClusteringError
+
+
+def random_matrix(rng: np.random.Generator, n: int) -> np.ndarray:
+    points = rng.uniform(0.0, 100.0, size=(n, 2))
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+def partition_signature(clusters: list[list[int]]) -> set[frozenset]:
+    return {frozenset(cluster) for cluster in clusters}
+
+
+def scipy_cut(matrix: np.ndarray, method: str, threshold: float) -> set[frozenset]:
+    condensed = squareform(matrix, checks=False)
+    links = scipy_linkage(condensed, method=method)
+    labels = fcluster(links, t=threshold, criterion="distance")
+    groups: dict[int, set[int]] = {}
+    for index, label in enumerate(labels):
+        groups.setdefault(label, set()).add(index)
+    return {frozenset(group) for group in groups.values()}
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("method", ["complete", "single", "average"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_threshold_cut_matches_scipy(self, method, seed):
+        rng = np.random.default_rng(seed)
+        matrix = random_matrix(rng, 40)
+        for threshold in (5.0, 15.0, 40.0):
+            ours = partition_signature(
+                cluster_at_threshold(matrix, threshold, method)
+            )
+            theirs = scipy_cut(matrix, method, threshold)
+            assert ours == theirs, f"{method} cut at {threshold} differs"
+
+    @pytest.mark.parametrize("method", ["complete", "single", "average"])
+    def test_merge_heights_match_scipy(self, method):
+        rng = np.random.default_rng(42)
+        matrix = random_matrix(rng, 25)
+        dendrogram = linkage_cluster(matrix, method)
+        ours = sorted(merge.height for merge in dendrogram.merges)
+        condensed = squareform(matrix, checks=False)
+        theirs = sorted(scipy_linkage(condensed, method=method)[:, 2])
+        assert np.allclose(ours, theirs)
+
+
+class TestDendrogram:
+    def test_single_point(self):
+        dendrogram = linkage_cluster(np.zeros((1, 1)))
+        assert dendrogram.merges == ()
+        assert dendrogram.cut(1.0) == [[0]]
+
+    def test_two_points(self):
+        matrix = np.array([[0.0, 3.0], [3.0, 0.0]])
+        dendrogram = linkage_cluster(matrix)
+        assert len(dendrogram.merges) == 1
+        assert dendrogram.merges[0].height == 3.0
+        assert dendrogram.cut(2.9) == [[0], [1]]
+        assert dendrogram.cut(3.0) == [[0, 1]]
+
+    def test_cut_at_zero_keeps_singletons(self):
+        rng = np.random.default_rng(5)
+        matrix = random_matrix(rng, 10)
+        assert len(linkage_cluster(matrix).cut(0.0)) == 10
+
+    def test_cut_at_infinity_is_one_cluster(self):
+        rng = np.random.default_rng(5)
+        matrix = random_matrix(rng, 10)
+        clusters = linkage_cluster(matrix).cut(float("inf"))
+        assert len(clusters) == 1
+        assert sorted(clusters[0]) == list(range(10))
+
+    def test_complete_linkage_diameter_guarantee(self):
+        rng = np.random.default_rng(9)
+        matrix = random_matrix(rng, 30)
+        threshold = 20.0
+        for cluster in cluster_at_threshold(matrix, threshold, LINKAGE_COMPLETE):
+            for i in cluster:
+                for j in cluster:
+                    assert matrix[i, j] <= threshold + 1e-9
+
+    def test_single_vs_complete_cluster_counts(self):
+        # Single linkage chains; complete linkage fragments — single
+        # can never produce more clusters at the same threshold.
+        rng = np.random.default_rng(3)
+        matrix = random_matrix(rng, 30)
+        threshold = 12.0
+        n_single = len(cluster_at_threshold(matrix, threshold, LINKAGE_SINGLE))
+        n_complete = len(cluster_at_threshold(matrix, threshold, LINKAGE_COMPLETE))
+        assert n_single <= n_complete
+
+    def test_average_between_single_and_complete(self):
+        rng = np.random.default_rng(13)
+        matrix = random_matrix(rng, 30)
+        threshold = 12.0
+        n_single = len(cluster_at_threshold(matrix, threshold, LINKAGE_SINGLE))
+        n_average = len(cluster_at_threshold(matrix, threshold, LINKAGE_AVERAGE))
+        n_complete = len(cluster_at_threshold(matrix, threshold, LINKAGE_COMPLETE))
+        assert n_single <= n_average <= n_complete
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(ClusteringError):
+            linkage_cluster(np.zeros((2, 3)))
+
+    def test_rejects_asymmetric(self):
+        matrix = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ClusteringError):
+            linkage_cluster(matrix)
+
+    def test_rejects_negative(self):
+        matrix = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(ClusteringError):
+            linkage_cluster(matrix)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ClusteringError):
+            linkage_cluster(np.zeros((0, 0)))
+
+    def test_rejects_unknown_linkage(self):
+        with pytest.raises(ClusteringError):
+            linkage_cluster(np.zeros((2, 2)), "ward")

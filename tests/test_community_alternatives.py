@@ -1,0 +1,172 @@
+"""Tests for label propagation, fast-greedy CNM and the map equation."""
+
+import math
+
+import pytest
+
+from repro.community import (
+    Partition,
+    fast_greedy,
+    fast_greedy_with_score,
+    infomap,
+    label_propagation,
+    louvain,
+    map_equation,
+    modularity,
+)
+from repro.config import CommunityConfig
+from repro.exceptions import CommunityError
+from repro.graphdb import WeightedGraph
+
+
+def two_cliques(k: int = 5, bridge_weight: float = 0.5) -> WeightedGraph:
+    graph = WeightedGraph()
+    for offset in (0, k):
+        for i in range(k):
+            for j in range(i + 1, k):
+                graph.add_edge(offset + i, offset + j, 1.0)
+    graph.add_edge(0, k, bridge_weight)
+    return graph
+
+
+def ring_of_cliques(n_cliques: int = 4, k: int = 5) -> WeightedGraph:
+    graph = WeightedGraph()
+    for c in range(n_cliques):
+        base = c * k
+        for i in range(k):
+            for j in range(i + 1, k):
+                graph.add_edge(base + i, base + j, 1.0)
+        graph.add_edge(base, ((c + 1) % n_cliques) * k, 0.5)
+    return graph
+
+
+class TestLabelPropagation:
+    def test_two_cliques(self):
+        partition = label_propagation(two_cliques(), seed=5)
+        assert partition[0] == partition[4]
+        assert partition[5] == partition[9]
+        assert partition[0] != partition[5]
+
+    def test_deterministic_given_seed(self):
+        graph = ring_of_cliques()
+        a = label_propagation(graph, seed=2)
+        b = label_propagation(graph, seed=2)
+        assert a.assignment == b.assignment
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(CommunityError):
+            label_propagation(WeightedGraph())
+
+    def test_isolated_node_keeps_own_label(self):
+        graph = two_cliques()
+        graph.add_node("lonely")
+        partition = label_propagation(graph, seed=1)
+        others = {partition[n] for n in graph.nodes() if n != "lonely"}
+        assert partition["lonely"] not in others
+
+
+class TestFastGreedy:
+    def test_two_cliques(self):
+        partition = fast_greedy(two_cliques())
+        assert partition.n_communities == 2
+
+    def test_ring_of_cliques(self):
+        partition = fast_greedy(ring_of_cliques())
+        assert partition.n_communities == 4
+
+    def test_score_close_to_louvain(self):
+        graph = ring_of_cliques(5, 6)
+        _, cnm_score = fast_greedy_with_score(graph)
+        louvain_score = louvain(graph).modularity
+        assert cnm_score >= louvain_score - 0.05
+
+    def test_weighted_graph(self):
+        graph = WeightedGraph.from_edges(
+            [(0, 1, 10.0), (1, 2, 10.0), (0, 2, 10.0),
+             (3, 4, 10.0), (4, 5, 10.0), (3, 5, 10.0),
+             (2, 3, 0.1)]
+        )
+        partition = fast_greedy(graph)
+        assert partition.n_communities == 2
+        assert partition[0] == partition[1] == partition[2]
+
+    def test_zero_weight_rejected(self):
+        graph = WeightedGraph()
+        graph.add_node(1)
+        with pytest.raises(CommunityError):
+            fast_greedy(graph)
+
+    def test_self_loops_tolerated(self):
+        graph = two_cliques()
+        graph.add_edge(0, 0, 2.0)
+        partition = fast_greedy(graph)
+        assert partition.n_communities == 2
+
+
+class TestMapEquation:
+    def test_codelength_positive(self):
+        graph = two_cliques()
+        partition = Partition.from_assignment(
+            {node: (0 if node < 5 else 1) for node in graph.nodes()}
+        )
+        assert map_equation(graph, partition) > 0.0
+
+    def test_good_partition_shorter_than_bad(self):
+        graph = ring_of_cliques()
+        good = Partition.from_assignment(
+            {node: node // 5 for node in graph.nodes()}
+        )
+        bad = Partition.from_assignment(
+            {node: node % 4 for node in graph.nodes()}
+        )
+        assert map_equation(graph, good) < map_equation(graph, bad)
+
+    def test_all_in_one_module_codelength_is_node_entropy(self):
+        graph = two_cliques()
+        partition = Partition.from_assignment({n: 0 for n in graph.nodes()})
+        # One module: no exit terms; L = H(visit rates).
+        total = 2.0 * graph.total_weight
+        entropy = -sum(
+            (graph.strength(n) / total) * math.log2(graph.strength(n) / total)
+            for n in graph.nodes()
+        )
+        assert map_equation(graph, partition) == pytest.approx(entropy)
+
+    def test_infomap_finds_cliques(self):
+        result = infomap(ring_of_cliques(), CommunityConfig(seed=4))
+        assert result.n_communities == 4
+        assert result.codelength == pytest.approx(
+            map_equation(ring_of_cliques(), result.partition)
+        )
+
+    def test_infomap_beats_singletons(self):
+        graph = ring_of_cliques()
+        result = infomap(graph, CommunityConfig(seed=4))
+        singletons = Partition.from_assignment(
+            {node: index for index, node in enumerate(graph.nodes())}
+        )
+        assert result.codelength < map_equation(graph, singletons)
+
+    def test_zero_weight_rejected(self):
+        graph = WeightedGraph()
+        graph.add_node(1)
+        partition = Partition.from_assignment({1: 0})
+        with pytest.raises(CommunityError):
+            map_equation(graph, partition)
+
+    def test_all_algorithms_agree_on_clear_structure(self):
+        graph = ring_of_cliques(3, 7)
+        expected = {
+            frozenset(range(c * 7, (c + 1) * 7)) for c in range(3)
+        }
+        for algorithm in (
+            lambda g: louvain(g).partition,
+            fast_greedy,
+            lambda g: label_propagation(g, seed=9),
+            lambda g: infomap(g).partition,
+        ):
+            partition = algorithm(graph)
+            found = {
+                frozenset(members) for members in partition.communities().values()
+            }
+            assert found == expected

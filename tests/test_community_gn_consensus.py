@@ -1,0 +1,113 @@
+"""Tests for Girvan-Newman and consensus clustering."""
+
+import networkx as nx
+import pytest
+
+from repro.community import (
+    consensus_louvain,
+    edge_betweenness,
+    girvan_newman,
+    louvain,
+)
+from repro.config import CommunityConfig
+from repro.exceptions import CommunityError
+from repro.graphdb import WeightedGraph
+
+
+def two_cliques(k: int = 5, bridge_weight: float = 0.5) -> WeightedGraph:
+    graph = WeightedGraph()
+    for offset in (0, k):
+        for i in range(k):
+            for j in range(i + 1, k):
+                graph.add_edge(offset + i, offset + j, 1.0)
+    graph.add_edge(0, k, bridge_weight)
+    return graph
+
+
+class TestEdgeBetweenness:
+    def test_matches_networkx_unweighted(self):
+        nxg = nx.gnm_random_graph(14, 25, seed=3)
+        graph = WeightedGraph()
+        for node in nxg.nodes():
+            graph.add_node(node)
+        for u, v in nxg.edges():
+            graph.add_edge(u, v, 1.0)
+        ours = edge_betweenness(graph, use_weights=False)
+        theirs = nx.edge_betweenness_centrality(nxg, normalized=False)
+        for (u, v), value in theirs.items():
+            mine = ours.get((u, v), ours.get((v, u), 0.0))
+            assert mine == pytest.approx(value, abs=1e-9)
+
+    def test_bridge_has_highest_betweenness(self):
+        graph = two_cliques()
+        scores = edge_betweenness(graph)
+        top = max(scores.items(), key=lambda item: item[1])[0]
+        assert set(top) == {0, 5}
+
+    def test_path_graph(self):
+        graph = WeightedGraph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        scores = edge_betweenness(graph, use_weights=False)
+        def get(u, v):
+            return scores.get((u, v), scores.get((v, u), 0.0))
+        assert get(0, 1) == pytest.approx(2.0)  # pairs (0,1), (0,2)
+        assert get(1, 2) == pytest.approx(2.0)
+
+
+class TestGirvanNewman:
+    def test_two_cliques(self):
+        partition = girvan_newman(two_cliques())
+        assert partition.n_communities == 2
+        assert partition[0] == partition[4]
+        assert partition[5] == partition[9]
+
+    def test_agrees_with_louvain_on_clear_structure(self):
+        graph = two_cliques(k=6)
+        gn = girvan_newman(graph)
+        lv = louvain(graph, CommunityConfig(seed=2)).partition
+        assert gn.n_communities == lv.n_communities == 2
+
+    def test_max_communities_early_stop(self):
+        partition = girvan_newman(two_cliques(), max_communities=2)
+        assert partition.n_communities <= 3
+
+    def test_original_graph_untouched(self):
+        graph = two_cliques()
+        edges_before = graph.edge_count
+        girvan_newman(graph)
+        assert graph.edge_count == edges_before
+
+    def test_zero_weight_rejected(self):
+        graph = WeightedGraph()
+        graph.add_node("a")
+        with pytest.raises(CommunityError):
+            girvan_newman(graph)
+
+
+class TestConsensus:
+    def test_stable_structure_is_recovered(self):
+        graph = two_cliques(k=6)
+        result = consensus_louvain(graph, n_runs=6)
+        assert result.n_communities == 2
+        assert result.stability > 0.95
+
+    def test_stability_reported_between_zero_and_one(self):
+        graph = two_cliques()
+        result = consensus_louvain(graph, n_runs=4)
+        assert 0.0 <= result.stability <= 1.0
+        assert result.n_runs == 4
+
+    def test_requires_multiple_runs(self):
+        with pytest.raises(CommunityError):
+            consensus_louvain(two_cliques(), n_runs=1)
+
+    def test_threshold_validated(self):
+        with pytest.raises(CommunityError):
+            consensus_louvain(two_cliques(), threshold=0.0)
+        with pytest.raises(CommunityError):
+            consensus_louvain(two_cliques(), threshold=1.5)
+
+    def test_high_threshold_fragments(self):
+        graph = two_cliques(bridge_weight=4.0)
+        loose = consensus_louvain(graph, n_runs=6, threshold=0.3)
+        strict = consensus_louvain(graph, n_runs=6, threshold=1.0)
+        assert strict.n_communities >= loose.n_communities

@@ -1,0 +1,188 @@
+"""Tests for Louvain, modularity and Partition, with networkx oracles."""
+
+import networkx as nx
+import pytest
+
+from repro.community import Partition, louvain, modularity
+from repro.config import CommunityConfig
+from repro.exceptions import CommunityError
+from repro.graphdb import WeightedGraph
+
+
+def two_cliques(k: int = 5, bridge_weight: float = 0.5) -> WeightedGraph:
+    graph = WeightedGraph()
+    for offset in (0, k):
+        for i in range(k):
+            for j in range(i + 1, k):
+                graph.add_edge(offset + i, offset + j, 1.0)
+    graph.add_edge(0, k, bridge_weight)
+    return graph
+
+
+def to_networkx(graph: WeightedGraph) -> nx.Graph:
+    nxg = nx.Graph()
+    nxg.add_nodes_from(graph.nodes())
+    for u, v, w in graph.edges():
+        nxg.add_edge(u, v, weight=w)
+    return nxg
+
+
+class TestPartition:
+    def test_normalised_labels_by_size(self):
+        partition = Partition.from_assignment(
+            {"a": 9, "b": 9, "c": 9, "d": 4, "e": 4, "f": 1}
+        )
+        assert partition["a"] == 1
+        assert partition["d"] == 2
+        assert partition["f"] == 3
+        assert partition.n_communities == 3
+
+    def test_sizes_and_communities(self):
+        partition = Partition.from_assignment({"a": 0, "b": 0, "c": 1})
+        assert partition.sizes() == {1: 2, 2: 1}
+        assert partition.communities()[1] == {"a", "b"}
+
+    def test_from_communities(self):
+        partition = Partition.from_communities([["a", "b"], ["c"]])
+        assert partition["a"] == partition["b"] != partition["c"]
+
+    def test_overlapping_communities_rejected(self):
+        with pytest.raises(CommunityError):
+            Partition.from_communities([["a"], ["a", "b"]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CommunityError):
+            Partition.from_assignment({})
+
+    def test_restricted_to(self):
+        partition = Partition.from_assignment({"a": 0, "b": 0, "c": 1, "d": 2})
+        restricted = partition.restricted_to(["a", "c"])
+        assert len(restricted) == 2
+        assert restricted.n_communities == 2
+
+    def test_labels(self):
+        partition = Partition.from_assignment({"a": 5, "b": 7})
+        assert partition.labels() == [1, 2]
+
+
+class TestModularity:
+    def test_matches_networkx_on_random_graphs(self):
+        for seed in range(4):
+            nxg = nx.gnm_random_graph(24, 60, seed=seed)
+            for index, (u, v) in enumerate(nxg.edges()):
+                nxg[u][v]["weight"] = 1.0 + (index % 5)
+            graph = WeightedGraph()
+            graph.add_node(0)
+            for u, v, data in nxg.edges(data=True):
+                graph.add_edge(u, v, data["weight"])
+            for node in nxg.nodes():
+                graph.add_node(node)
+            assignment = {node: node % 3 for node in nxg.nodes()}
+            ours = modularity(graph, Partition.from_assignment(assignment))
+            groups = [
+                {n for n in nxg.nodes() if n % 3 == label} for label in range(3)
+            ]
+            theirs = nx.algorithms.community.modularity(nxg, groups)
+            assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_matches_networkx_with_self_loops(self):
+        nxg = nx.Graph()
+        nxg.add_weighted_edges_from([(0, 1, 2.0), (1, 2, 1.0), (2, 2, 3.0)])
+        graph = WeightedGraph.from_edges([(0, 1, 2.0), (1, 2, 1.0), (2, 2, 3.0)])
+        partition = Partition.from_assignment({0: 0, 1: 0, 2: 1})
+        theirs = nx.algorithms.community.modularity(nxg, [{0, 1}, {2}])
+        assert modularity(graph, partition) == pytest.approx(theirs, abs=1e-12)
+
+    def test_single_community_score(self):
+        graph = two_cliques()
+        nodes = list(graph.nodes())
+        partition = Partition.from_assignment({node: 0 for node in nodes})
+        assert modularity(graph, partition) == pytest.approx(0.0, abs=1e-12)
+
+    def test_resolution_shifts_score(self):
+        graph = two_cliques()
+        partition = Partition.from_assignment(
+            {node: (0 if node < 5 else 1) for node in graph.nodes()}
+        )
+        base = modularity(graph, partition, resolution=1.0)
+        high = modularity(graph, partition, resolution=2.0)
+        assert high < base
+
+    def test_unassigned_node_raises(self):
+        graph = two_cliques()
+        partition = Partition.from_assignment({0: 0})
+        with pytest.raises(CommunityError):
+            modularity(graph, partition)
+
+    def test_empty_graph_scores_zero(self):
+        graph = WeightedGraph()
+        graph.add_node("a")
+        partition = Partition.from_assignment({"a": 0})
+        assert modularity(graph, partition) == 0.0
+
+
+class TestLouvain:
+    def test_two_cliques_found(self):
+        result = louvain(two_cliques(), CommunityConfig(seed=1))
+        assert result.n_communities == 2
+        left = {result.partition[i] for i in range(5)}
+        right = {result.partition[i] for i in range(5, 10)}
+        assert len(left) == 1 and len(right) == 1 and left != right
+
+    def test_modularity_reported_matches_recomputation(self):
+        graph = two_cliques()
+        result = louvain(graph)
+        assert result.modularity == pytest.approx(
+            modularity(graph, result.partition)
+        )
+
+    def test_deterministic_given_seed(self):
+        graph = two_cliques(k=6)
+        a = louvain(graph, CommunityConfig(seed=3))
+        b = louvain(graph, CommunityConfig(seed=3))
+        assert a.partition.assignment == b.partition.assignment
+
+    def test_quality_close_to_networkx(self):
+        for seed in range(3):
+            nxg = nx.planted_partition_graph(4, 12, 0.8, 0.05, seed=seed)
+            graph = WeightedGraph()
+            for node in nxg.nodes():
+                graph.add_node(node)
+            for u, v in nxg.edges():
+                graph.add_edge(u, v, 1.0)
+            ours = louvain(graph, CommunityConfig(seed=seed)).modularity
+            theirs = nx.algorithms.community.modularity(
+                nxg, nx.algorithms.community.louvain_communities(nxg, seed=seed)
+            )
+            assert ours >= theirs - 0.05
+
+    def test_planted_partition_recovered(self):
+        nxg = nx.planted_partition_graph(3, 16, 0.9, 0.02, seed=11)
+        graph = WeightedGraph()
+        for u, v in nxg.edges():
+            graph.add_edge(u, v, 1.0)
+        result = louvain(graph, CommunityConfig(seed=11))
+        assert result.n_communities == 3
+        for block in range(3):
+            labels = {
+                result.partition[node]
+                for node in range(block * 16, (block + 1) * 16)
+                if node in result.partition
+            }
+            assert len(labels) == 1
+
+    def test_levels_hierarchy(self):
+        result = louvain(two_cliques(k=6), CommunityConfig(seed=2))
+        assert len(result.levels) >= 1
+        assert result.levels[-1].assignment == result.partition.assignment
+
+    def test_weighted_edges_matter(self):
+        # A strong bridge merges the cliques.
+        merged = louvain(two_cliques(bridge_weight=200.0), CommunityConfig(seed=1))
+        assert merged.n_communities < 2 or merged.partition[0] == merged.partition[5]
+
+    def test_zero_weight_graph_rejected(self):
+        graph = WeightedGraph()
+        graph.add_node("a")
+        with pytest.raises(CommunityError):
+            louvain(graph)

@@ -1,0 +1,104 @@
+"""Tests for NMI and ARI partition-similarity measures."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.community import (
+    Partition,
+    adjusted_rand_index,
+    normalized_mutual_information,
+)
+from repro.exceptions import CommunityError
+
+A = Partition.from_assignment({1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 2})
+SAME_AS_A = Partition.from_assignment({1: 9, 2: 9, 3: 4, 4: 4, 5: 7, 6: 7})
+DIFFERENT = Partition.from_assignment({1: 0, 2: 1, 3: 0, 4: 1, 5: 0, 6: 1})
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        assert normalized_mutual_information(A, SAME_AS_A) == pytest.approx(1.0)
+
+    def test_range(self):
+        value = normalized_mutual_information(A, DIFFERENT)
+        assert 0.0 <= value <= 1.0
+
+    def test_independent_partitions_score_low(self):
+        assert normalized_mutual_information(A, DIFFERENT) < 0.35
+
+    def test_single_community_convention(self):
+        ones = Partition.from_assignment({1: 0, 2: 0, 3: 0})
+        other_ones = Partition.from_assignment({1: 5, 2: 5, 3: 5})
+        assert normalized_mutual_information(ones, other_ones) == 1.0
+
+    def test_trivial_vs_structured(self):
+        ones = Partition.from_assignment({n: 0 for n in range(1, 7)})
+        assert normalized_mutual_information(A, ones) == 0.0
+
+    def test_mismatched_nodes_rejected(self):
+        small = Partition.from_assignment({1: 0})
+        with pytest.raises(CommunityError):
+            normalized_mutual_information(A, small)
+
+    def test_symmetry(self):
+        assert normalized_mutual_information(
+            A, DIFFERENT
+        ) == pytest.approx(normalized_mutual_information(DIFFERENT, A))
+
+
+class TestARI:
+    def test_identical_partitions(self):
+        assert adjusted_rand_index(A, SAME_AS_A) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        assert abs(adjusted_rand_index(A, DIFFERENT)) < 0.4
+
+    def test_symmetry(self):
+        assert adjusted_rand_index(A, DIFFERENT) == pytest.approx(
+            adjusted_rand_index(DIFFERENT, A)
+        )
+
+    def test_singletons_vs_one_block(self):
+        singletons = Partition.from_assignment({n: n for n in range(1, 7)})
+        block = Partition.from_assignment({n: 0 for n in range(1, 7)})
+        assert adjusted_rand_index(singletons, block) == pytest.approx(0.0)
+
+    def test_mismatched_nodes_rejected(self):
+        small = Partition.from_assignment({1: 0})
+        with pytest.raises(CommunityError):
+            adjusted_rand_index(A, small)
+
+
+class TestSimilarityProperties:
+    @given(
+        st.dictionaries(
+            st.integers(0, 15), st.integers(0, 3), min_size=2, max_size=16
+        )
+    )
+    def test_self_similarity_is_one(self, assignment):
+        partition = Partition.from_assignment(assignment)
+        assert normalized_mutual_information(
+            partition, partition
+        ) == pytest.approx(1.0)
+        assert adjusted_rand_index(partition, partition) == pytest.approx(1.0)
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 15), st.integers(0, 3), min_size=2, max_size=16
+        ),
+        st.dictionaries(
+            st.integers(0, 15), st.integers(0, 3), min_size=2, max_size=16
+        ),
+    )
+    def test_bounded(self, assignment_a, assignment_b):
+        nodes = set(assignment_a) | set(assignment_b)
+        a = Partition.from_assignment(
+            {n: assignment_a.get(n, 0) for n in nodes}
+        )
+        b = Partition.from_assignment(
+            {n: assignment_b.get(n, 0) for n in nodes}
+        )
+        nmi = normalized_mutual_information(a, b)
+        ari = adjusted_rand_index(a, b)
+        assert 0.0 <= nmi <= 1.0
+        assert -1.0 <= ari <= 1.0

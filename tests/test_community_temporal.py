@@ -1,0 +1,131 @@
+"""Tests for multislice (temporal) community detection."""
+
+import pytest
+
+from repro.community import (
+    build_sliced_graph,
+    collapse_to_stations,
+    detect_temporal_communities,
+    louvain,
+)
+from repro.config import TemporalCommunityConfig
+from repro.exceptions import CommunityError
+
+
+def commuter_world() -> list[tuple[str, str, int]]:
+    """Two station groups: one active in slice 0, one in slice 1."""
+    trips = []
+    for _ in range(30):
+        trips.append(("a1", "a2", 0))
+        trips.append(("a2", "a1", 0))
+        trips.append(("b1", "b2", 1))
+        trips.append(("b2", "b1", 1))
+    # A little cross traffic so the graph is connected.
+    trips.append(("a1", "b1", 0))
+    trips.append(("b1", "a1", 1))
+    return trips
+
+
+class TestBuildSlicedGraph:
+    def test_nodes_are_station_slice_pairs(self):
+        graph = build_sliced_graph([("x", "y", 0)], n_slices=2, coupling=0.0)
+        assert ("x", 0) in graph
+        assert ("y", 0) in graph
+        assert ("x", 1) not in graph
+
+    def test_trip_weights_accumulate(self):
+        graph = build_sliced_graph(
+            [("x", "y", 0), ("x", "y", 0), ("y", "x", 0)], 2, 0.0
+        )
+        assert graph.weight(("x", 0), ("y", 0)) == 3.0
+
+    def test_coupling_edges_join_active_slices(self):
+        trips = [("x", "y", 0), ("x", "y", 2)]
+        graph = build_sliced_graph(trips, 3, coupling=1.0)
+        assert graph.weight(("x", 0), ("x", 2)) > 0.0
+        # y also appears in slices 0 and 2.
+        assert graph.weight(("y", 0), ("y", 2)) > 0.0
+
+    def test_no_coupling_for_single_slice_station(self):
+        graph = build_sliced_graph([("x", "y", 1)], 3, coupling=5.0)
+        assert graph.node_count == 2
+        assert graph.edge_count == 1
+
+    def test_coupling_scales_with_activity(self):
+        trips = [("x", "y", 0)] * 10 + [("x", "y", 1)] * 10
+        weak = build_sliced_graph(trips, 2, coupling=0.1)
+        strong = build_sliced_graph(trips, 2, coupling=1.0)
+        assert strong.weight(("x", 0), ("x", 1)) == pytest.approx(
+            10.0 * weak.weight(("x", 0), ("x", 1))
+        )
+
+    def test_bad_slice_index_rejected(self):
+        with pytest.raises(CommunityError):
+            build_sliced_graph([("x", "y", 7)], 7, 0.0)
+        with pytest.raises(CommunityError):
+            build_sliced_graph([("x", "y", -1)], 7, 0.0)
+
+    def test_bad_slice_count_rejected(self):
+        with pytest.raises(CommunityError):
+            build_sliced_graph([], 0, 0.0)
+
+
+class TestCollapse:
+    def test_majority_assignment(self):
+        trips = commuter_world()
+        graph = build_sliced_graph(trips, 2, coupling=0.2)
+        result = louvain(graph)
+        stations = collapse_to_stations(result.partition, trips)
+        assert set(stations.assignment) == {"a1", "a2", "b1", "b2"}
+
+    def test_every_station_assigned_once(self):
+        trips = commuter_world()
+        outcome = detect_temporal_communities(
+            trips, 2, TemporalCommunityConfig(coupling=0.2)
+        )
+        assert len(outcome.station_partition) == 4
+
+
+class TestDetectTemporalCommunities:
+    def test_temporal_groups_separate(self):
+        outcome = detect_temporal_communities(
+            commuter_world(), 2, TemporalCommunityConfig(coupling=0.2)
+        )
+        partition = outcome.station_partition
+        assert partition["a1"] == partition["a2"]
+        assert partition["b1"] == partition["b2"]
+        assert partition["a1"] != partition["b1"]
+
+    def test_modularity_positive(self):
+        outcome = detect_temporal_communities(
+            commuter_world(), 2, TemporalCommunityConfig(coupling=0.2)
+        )
+        assert outcome.modularity > 0.0
+
+    def test_no_trips_rejected(self):
+        with pytest.raises(CommunityError):
+            detect_temporal_communities([], 7, TemporalCommunityConfig())
+
+    def test_strong_coupling_merges_slices(self):
+        # With overwhelming coupling each station's copies stick
+        # together, so stations with shared trips merge across slices.
+        trips = [("x", "y", s) for s in range(4)] * 5
+        outcome = detect_temporal_communities(
+            trips, 4, TemporalCommunityConfig(coupling=50.0)
+        )
+        assert outcome.n_communities <= 2
+
+    def test_finer_slicing_does_not_lower_modularity(self, small_result):
+        # The paper's headline trend: G_Basic <= G_Day <= G_Hour.
+        basic = small_result.basic.modularity
+        day = small_result.day.modularity
+        hour = small_result.hour.modularity
+        assert basic <= day + 0.02
+        assert day <= hour + 0.02
+
+    def test_slice_partition_consistent_with_station_partition(self, small_result):
+        outcome = small_result.day
+        # Station partition labels drawn from slice partition communities.
+        assert outcome.station_partition.n_communities <= (
+            outcome.slice_partition.n_communities
+        )

@@ -1,0 +1,97 @@
+"""Tests for the configuration objects and their validation."""
+
+import pytest
+
+from repro.config import (
+    ClusteringConfig,
+    CommunityConfig,
+    EARTH_RADIUS_M,
+    PAPER_CONFIG,
+    PipelineConfig,
+    SelectionConfig,
+    TemporalCommunityConfig,
+)
+from repro.exceptions import ConfigError
+
+
+class TestPaperDefaults:
+    def test_paper_thresholds(self):
+        assert PAPER_CONFIG.clustering.cluster_boundary_m == 100.0
+        assert PAPER_CONFIG.clustering.preassign_radius_m == 50.0
+        assert PAPER_CONFIG.clustering.linkage == "complete"
+        assert PAPER_CONFIG.selection.secondary_distance_m == 250.0
+        assert PAPER_CONFIG.selection.centroid_proximity_m == 50.0
+        assert PAPER_CONFIG.selection.degree_threshold is None
+
+    def test_earth_radius_reasonable(self):
+        assert 6.35e6 < EARTH_RADIUS_M < 6.4e6
+
+    def test_configs_frozen(self):
+        with pytest.raises(AttributeError):
+            PAPER_CONFIG.clustering.cluster_boundary_m = 1.0  # type: ignore[misc]
+
+
+class TestValidation:
+    def test_clustering_rejects_bad_boundary(self):
+        with pytest.raises(ConfigError):
+            ClusteringConfig(cluster_boundary_m=0.0)
+        with pytest.raises(ConfigError):
+            ClusteringConfig(preassign_radius_m=-1.0)
+
+    def test_clustering_rejects_unknown_linkage(self):
+        with pytest.raises(ConfigError):
+            ClusteringConfig(linkage="ward")
+
+    def test_selection_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            SelectionConfig(secondary_distance_m=-1.0)
+        with pytest.raises(ConfigError):
+            SelectionConfig(centroid_proximity_m=-1.0)
+        with pytest.raises(ConfigError):
+            SelectionConfig(degree_threshold=-1)
+
+    def test_community_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            CommunityConfig(resolution=0.0)
+        with pytest.raises(ConfigError):
+            CommunityConfig(max_passes=0)
+
+    def test_temporal_inherits_and_extends(self):
+        config = TemporalCommunityConfig(coupling=0.5, resolution=2.0)
+        assert config.coupling == 0.5
+        assert config.resolution == 2.0
+        with pytest.raises(ConfigError):
+            TemporalCommunityConfig(coupling=-0.1)
+        with pytest.raises(ConfigError):
+            TemporalCommunityConfig(resolution=0.0)
+
+    def test_pipeline_composition(self):
+        config = PipelineConfig(
+            selection=SelectionConfig(secondary_distance_m=400.0)
+        )
+        assert config.selection.secondary_distance_m == 400.0
+        assert config.clustering.cluster_boundary_m == 100.0
+
+
+class TestExceptionsHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        from repro import exceptions
+
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, exceptions.ReproError) or (
+                    obj is exceptions.ReproError
+                )
+
+    def test_catching_base_class(self):
+        from repro.exceptions import GraphError, MissingNodeError, ReproError
+
+        try:
+            raise MissingNodeError("x")
+        except GraphError:
+            pass
+        try:
+            raise MissingNodeError("x")
+        except ReproError:
+            pass

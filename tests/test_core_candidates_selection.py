@@ -1,0 +1,170 @@
+"""Tests for candidate generation and Algorithm 1."""
+
+import pytest
+
+from repro.config import ClusteringConfig, SelectionConfig
+from repro.core import (
+    REJECT_BELOW_DEGREE,
+    REJECT_NEAR_CANDIDATE,
+    REJECT_NEAR_STATION,
+    build_candidate_network,
+    select_stations,
+)
+from repro.data import LocationRecord, MobyDataset, RentalRecord
+from repro.geo import GeoPoint, destination_point, haversine_m
+
+CENTER = GeoPoint(53.3473, -6.2591)
+
+
+def at(bearing: float, distance: float) -> GeoPoint:
+    return destination_point(CENTER, bearing, distance)
+
+
+def _rental(rental_id: int, origin: int, destination: int) -> RentalRecord:
+    from datetime import datetime
+
+    return RentalRecord(
+        rental_id=rental_id,
+        bike_id=1,
+        started_at=datetime(2020, 6, 1, 9),
+        ended_at=datetime(2020, 6, 1, 9, 20),
+        rental_location_id=origin,
+        return_location_id=destination,
+    )
+
+
+def tiny_world() -> MobyDataset:
+    """Two stations, one strong far cluster, one near-station location.
+
+    Locations: 0, 1 stations; 2 within 50 m of station 0; 3 and 4 form a
+    cluster 600 m out; 5 is a weak singleton 1.5 km out.
+    """
+    locations = [
+        LocationRecord(0, CENTER.lat, CENTER.lon, is_station=True, name="S0"),
+        LocationRecord(1, *at(90.0, 400.0).as_tuple(), is_station=True, name="S1"),
+        LocationRecord(2, *at(0.0, 30.0).as_tuple()),
+        LocationRecord(3, *at(180.0, 600.0).as_tuple()),
+        LocationRecord(4, *at(180.0, 640.0).as_tuple()),
+        LocationRecord(5, *at(270.0, 1_500.0).as_tuple()),
+    ]
+    rentals = [
+        _rental(1, 0, 1),
+        _rental(2, 1, 0),
+        _rental(3, 2, 3),   # station-0 group -> cluster A
+        _rental(4, 3, 0),
+        _rental(5, 4, 1),
+        _rental(6, 3, 1),
+        _rental(7, 5, 0),   # singleton -> station 0
+    ]
+    return MobyDataset.from_records(locations, rentals)
+
+
+class TestCandidateNetwork:
+    @pytest.fixture
+    def network(self):
+        return build_candidate_network(tiny_world())
+
+    def test_preassignment(self, network):
+        assert network.location_to_group[2] == ("station", 0)
+
+    def test_cluster_formation(self, network):
+        group_3 = network.location_to_group[3]
+        group_4 = network.location_to_group[4]
+        assert group_3 == group_4
+        assert group_3[0] == "cluster"
+        assert network.location_to_group[5][0] == "cluster"
+        assert network.n_candidates == 2
+
+    def test_flow_weights(self, network):
+        cluster_a = network.location_to_group[3]
+        assert network.flow.weight(("station", 0), cluster_a) == 1.0
+        assert network.flow.weight(cluster_a, ("station", 0)) == 1.0
+
+    def test_stats(self, network):
+        stats = network.stats()
+        assert stats.n_nodes == 4
+        assert stats.n_trips == 7
+        assert stats.n_directed_edges == stats.n_directed_edges_no_loops
+        rows = dict(stats.as_rows())
+        assert rows["#trips"] == 7
+
+    def test_group_point(self, network):
+        assert network.group_point(("station", 0)) == CENTER
+        cluster_a = network.location_to_group[3]
+        centroid = network.group_point(cluster_a)
+        assert 590.0 < haversine_m(CENTER, centroid) < 650.0
+
+    def test_custom_config(self):
+        # A huge pre-assignment radius swallows everything.
+        network = build_candidate_network(
+            tiny_world(), ClusteringConfig(preassign_radius_m=5_000.0)
+        )
+        assert network.n_candidates == 0
+
+
+class TestSelection:
+    def test_far_strong_cluster_selected(self):
+        network = build_candidate_network(tiny_world())
+        result = select_stations(network, SelectionConfig())
+        # Min station degree is 2 (each station links to the other and
+        # cluster A).  Cluster A has degree 2, is 600 m out: selected.
+        cluster_a = network.location_to_group[3][1]
+        assert cluster_a in result.selected_cluster_ids
+
+    def test_weak_candidate_rejected_by_degree(self):
+        network = build_candidate_network(tiny_world())
+        result = select_stations(network, SelectionConfig())
+        singleton = network.location_to_group[5][1]
+        entry = next(s for s in result.scores if s.cluster_id == singleton)
+        assert entry.rejection == REJECT_BELOW_DEGREE
+        assert entry.score == 0
+
+    def test_near_station_rejected(self):
+        network = build_candidate_network(tiny_world())
+        result = select_stations(
+            network, SelectionConfig(secondary_distance_m=700.0)
+        )
+        cluster_a = network.location_to_group[3][1]
+        entry = next(s for s in result.scores if s.cluster_id == cluster_a)
+        assert entry.rejection == REJECT_NEAR_STATION
+
+    def test_degree_threshold_override(self):
+        network = build_candidate_network(tiny_world())
+        result = select_stations(
+            network, SelectionConfig(degree_threshold=100)
+        )
+        assert result.n_selected == 0
+        assert result.degree_threshold == 100
+
+    def test_scores_cover_every_candidate(self):
+        network = build_candidate_network(tiny_world())
+        result = select_stations(network)
+        assert {s.cluster_id for s in result.scores} == set(
+            network.cluster_centroids
+        )
+
+    def test_selected_sorted_by_score(self, small_result):
+        scores = {
+            s.cluster_id: s.score for s in small_result.selection.scores
+        }
+        order = small_result.selection.selected_cluster_ids
+        values = [scores[cid] for cid in order]
+        assert values == sorted(values, reverse=True)
+
+    def test_mutual_knockout(self, small_result):
+        # After Algorithm 1, surviving candidates are pairwise >= 250 m
+        # apart and >= 250 m from every pre-existing station.
+        network = small_result.candidates
+        selected = small_result.selection.selected_cluster_ids
+        points = [network.cluster_centroids[cid] for cid in selected]
+        for i, a in enumerate(points):
+            for b in points[i + 1:]:
+                assert haversine_m(a, b) >= 250.0 - 1e-6
+            for station_point in network.station_points.values():
+                assert haversine_m(a, station_point) >= 250.0 - 1e-6
+
+    def test_rejection_counts_sum(self, small_result):
+        result = small_result.selection
+        assert result.n_selected + sum(
+            result.rejection_counts().values()
+        ) == len(result.scores)

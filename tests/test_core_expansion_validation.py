@@ -1,0 +1,65 @@
+"""Tests for the pipeline orchestrator and post-hoc validation."""
+
+import pytest
+
+from repro import NetworkExpansionOptimiser, PipelineConfig, validate_expansion
+from repro.config import SelectionConfig
+
+
+class TestOptimiserStages:
+    def test_stages_cached(self, small_raw):
+        optimiser = NetworkExpansionOptimiser(small_raw)
+        first = optimiser.condense()
+        second = optimiser.condense()
+        assert first is second
+        assert optimiser.select() is optimiser.select()
+        assert optimiser.build_network() is optimiser.build_network()
+
+    def test_clean_preserves_raw(self, small_raw):
+        before = small_raw.n_rentals
+        NetworkExpansionOptimiser(small_raw).clean()
+        assert small_raw.n_rentals == before
+
+    def test_run_bundles_everything(self, small_result):
+        assert small_result.cleaned.n_rentals > 0
+        assert small_result.candidates.n_candidates > 0
+        assert small_result.n_new_stations > 0
+        assert small_result.n_total_stations == len(
+            small_result.network.stations
+        )
+
+    def test_custom_config_threading(self, small_raw):
+        config = PipelineConfig(
+            selection=SelectionConfig(degree_threshold=10_000)
+        )
+        optimiser = NetworkExpansionOptimiser(small_raw, config)
+        assert optimiser.select().n_selected == 0
+
+    def test_community_stages(self, small_result):
+        assert small_result.basic.n_communities >= 2
+        assert small_result.day.n_slices == 7
+        assert small_result.hour.n_slices == 24
+
+    def test_all_stations_partitioned_basic(self, small_result):
+        partition = small_result.basic.partition
+        for station_id in small_result.network.stations:
+            assert station_id in partition
+
+
+class TestValidation:
+    def test_small_run_passes(self, small_result):
+        report = validate_expansion(small_result)
+        assert report.all_passed, report.failures()
+
+    def test_report_details_populated(self, small_result):
+        report = validate_expansion(small_result)
+        assert set(report.checks) == set(report.details)
+        assert "rule1_cluster_boundary" in report.checks
+        assert "rule4_secondary_distance" in report.checks
+        assert "modularity_positive" in report.checks
+
+    def test_failures_list(self, small_result):
+        report = validate_expansion(small_result)
+        report.record("synthetic_failure", False, "injected")
+        assert not report.all_passed
+        assert report.failures() == ["synthetic_failure"]

@@ -1,0 +1,182 @@
+"""Tests for the selected network, trip projection and profiles."""
+
+import pytest
+
+from repro.community import Partition
+from repro.core import (
+    DAY_NAMES,
+    Station,
+    TripOD,
+    community_table,
+    commute_peak_share,
+    daily_profile,
+    hourly_profile,
+    midday_share,
+    self_containment,
+    weekend_share,
+)
+from repro.geo import GeoPoint
+
+
+def stations_fixture() -> dict[int, Station]:
+    return {
+        1: Station(1, GeoPoint(53.34, -6.26), "fixed", "A"),
+        2: Station(2, GeoPoint(53.35, -6.25), "fixed", "B"),
+        3: Station(3, GeoPoint(53.36, -6.24), "selected", "C", 17),
+    }
+
+
+TRIPS = [
+    TripOD(1, 2, day_of_week=0, hour_of_day=8),
+    TripOD(2, 1, day_of_week=0, hour_of_day=9),
+    TripOD(1, 1, day_of_week=5, hour_of_day=13),
+    TripOD(3, 3, day_of_week=6, hour_of_day=12),
+    TripOD(1, 3, day_of_week=2, hour_of_day=17),
+]
+
+PARTITION = Partition.from_assignment({1: 0, 2: 0, 3: 1})
+
+
+class TestTripOD:
+    def test_loop_detection(self):
+        assert TripOD(1, 1, 0, 0).is_loop
+        assert not TripOD(1, 2, 0, 0).is_loop
+
+
+class TestCommunityTable:
+    def test_rows(self):
+        rows = community_table(TRIPS, PARTITION, stations_fixture())
+        assert len(rows) == 2
+        first = rows[0]
+        assert first.n_old_stations == 2
+        assert first.n_new_stations == 0
+        assert first.trips_within == 3
+        assert first.trips_out == 1
+        assert first.trips_in == 0
+        assert first.trips_total == 4
+        second = rows[1]
+        assert second.n_new_stations == 1
+        assert second.trips_within == 1
+        assert second.trips_in == 1
+
+    def test_station_totals(self):
+        rows = community_table(TRIPS, PARTITION, stations_fixture())
+        assert sum(row.n_stations for row in rows) == 3
+
+    def test_within_plus_cross_counts_trips(self):
+        rows = community_table(TRIPS, PARTITION, stations_fixture())
+        within = sum(row.trips_within for row in rows)
+        out = sum(row.trips_out for row in rows)
+        into = sum(row.trips_in for row in rows)
+        assert within + out == len(TRIPS)
+        assert out == into
+
+
+class TestSelfContainment:
+    def test_value(self):
+        assert self_containment(TRIPS, PARTITION) == pytest.approx(4 / 5)
+
+    def test_empty(self):
+        assert self_containment([], PARTITION) == 0.0
+
+
+class TestProfiles:
+    def test_daily_profile_normalised(self):
+        profiles = daily_profile(TRIPS, PARTITION)
+        for values in profiles.values():
+            assert len(values) == 7
+            assert sum(values) == pytest.approx(1.0)
+
+    def test_daily_attribution_to_origin(self):
+        profiles = daily_profile(TRIPS, PARTITION)
+        # Community 2 = station 3: one origin trip, on Sunday.
+        assert profiles[2][6] == 1.0
+
+    def test_hourly_profile(self):
+        profiles = hourly_profile(TRIPS, PARTITION)
+        for values in profiles.values():
+            assert len(values) == 24
+        assert profiles[2][12] == 1.0
+
+    def test_empty_community_zeroes(self):
+        partition = Partition.from_assignment({1: 0, 2: 0, 3: 1})
+        profiles = daily_profile(
+            [TripOD(1, 2, 0, 8)], partition
+        )
+        assert profiles[2] == [0.0] * 7
+
+    def test_share_helpers(self):
+        profile = [0.0] * 7
+        profile[5] = 0.4
+        profile[6] = 0.1
+        assert weekend_share(profile) == pytest.approx(0.5)
+        hourly = [0.0] * 24
+        hourly[8] = 0.3
+        hourly[17] = 0.2
+        hourly[12] = 0.5
+        assert commute_peak_share(hourly) == pytest.approx(0.5)
+        assert midday_share(hourly) == pytest.approx(0.5)
+
+    def test_share_helpers_validate_length(self):
+        with pytest.raises(ValueError):
+            weekend_share([0.0] * 6)
+        with pytest.raises(ValueError):
+            commute_peak_share([0.0] * 23)
+        with pytest.raises(ValueError):
+            midday_share([0.0] * 25)
+
+    def test_day_names(self):
+        assert len(DAY_NAMES) == 7
+        assert DAY_NAMES[0] == "Mon"
+
+
+class TestSelectedNetwork:
+    def test_station_partition_kinds(self, small_result):
+        network = small_result.network
+        fixed = network.fixed_station_ids
+        selected = network.selected_station_ids
+        assert len(fixed) + len(selected) == len(network.stations)
+        assert small_result.selection.n_selected == len(selected)
+
+    def test_trips_preserved(self, small_result):
+        assert len(small_result.network.trips) == small_result.cleaned.n_rentals
+
+    def test_every_location_assigned(self, small_result):
+        network = small_result.network
+        assert set(network.location_to_station) == {
+            record.location_id for record in small_result.cleaned.locations()
+        }
+        assert set(network.location_to_station.values()) <= set(network.stations)
+
+    def test_g_basic_consistency(self, small_result):
+        g_basic = small_result.network.g_basic()
+        assert g_basic.total_weight == pytest.approx(
+            len(small_result.network.trips)
+        )
+        assert g_basic.node_count == len(small_result.network.stations)
+
+    def test_stats_totals(self, small_result):
+        stats = small_result.network.stats()
+        assert stats.trips_from_fixed + stats.trips_from_selected == stats.n_trips
+        assert stats.trips_to_fixed + stats.trips_to_selected == stats.n_trips
+        assert (
+            stats.edges_from_fixed + stats.edges_from_selected
+            == stats.n_directed_edges
+        )
+
+    def test_sliced_trips_shapes(self, small_result):
+        network = small_result.network
+        day = network.day_sliced_trips()
+        hour = network.hour_sliced_trips()
+        assert len(day) == len(hour) == len(network.trips)
+        assert all(0 <= slice_index < 7 for _, _, slice_index in day)
+        assert all(0 <= slice_index < 24 for _, _, slice_index in hour)
+
+    def test_new_station_points_are_cluster_centroids(self, small_result):
+        candidates = small_result.candidates
+        for station_id in small_result.network.selected_station_ids:
+            station = small_result.network.stations[station_id]
+            assert station.source_cluster_id is not None
+            assert station.point == candidates.cluster_centroids[
+                station.source_cluster_id
+            ]

@@ -1,0 +1,246 @@
+"""Unit tests for the in-memory relational engine."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.data import (
+    ColumnSpec,
+    Database,
+    LOCATION_SCHEMA,
+    RENTAL_SCHEMA,
+    Table,
+    TableSchema,
+    schema_from_columns,
+)
+from repro.exceptions import (
+    DuplicateKeyError,
+    MissingRowError,
+    ReferentialIntegrityError,
+    SchemaError,
+)
+
+SIMPLE = schema_from_columns(
+    [("id", int, False), ("name", str, False), ("score", float, True)],
+    primary_key="id",
+)
+
+
+def make_table() -> Table:
+    return Table("things", SIMPLE)
+
+
+class TestSchema:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("bad", list)  # type: ignore[arg-type]
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                columns=(ColumnSpec("a", int), ColumnSpec("a", int)),
+                primary_key="a",
+            )
+
+    def test_pk_must_exist(self):
+        with pytest.raises(SchemaError):
+            schema_from_columns([("a", int, False)], primary_key="b")
+
+    def test_pk_not_nullable(self):
+        with pytest.raises(SchemaError):
+            schema_from_columns([("a", int, True)], primary_key="a")
+
+    def test_int_widens_to_float(self):
+        spec = ColumnSpec("x", float, False)
+        assert spec.validate(3) == 3.0
+        assert isinstance(spec.validate(3), float)
+
+    def test_bool_is_not_int(self):
+        spec = ColumnSpec("x", int, False)
+        with pytest.raises(SchemaError):
+            spec.validate(True)
+
+    def test_null_rules(self):
+        nullable = ColumnSpec("x", int, True)
+        assert nullable.validate(None) is None
+        strict = ColumnSpec("x", int, False)
+        with pytest.raises(SchemaError):
+            strict.validate(None)
+
+    def test_validate_row_extra_column(self):
+        with pytest.raises(SchemaError):
+            SIMPLE.validate_row({"id": 1, "name": "a", "bogus": 2})
+
+    def test_missing_nullable_becomes_none(self):
+        row = SIMPLE.validate_row({"id": 1, "name": "a"})
+        assert row["score"] is None
+
+    def test_column_lookup(self):
+        assert SIMPLE.column("name").py_type is str
+        with pytest.raises(SchemaError):
+            SIMPLE.column("ghost")
+
+
+class TestTable:
+    def test_insert_and_get(self):
+        table = make_table()
+        table.insert({"id": 1, "name": "a", "score": 2.0})
+        assert table.get(1)["name"] == "a"
+
+    def test_get_returns_copy(self):
+        table = make_table()
+        table.insert({"id": 1, "name": "a", "score": None})
+        row = table.get(1)
+        row["name"] = "mutated"
+        assert table.get(1)["name"] == "a"
+
+    def test_duplicate_pk_rejected(self):
+        table = make_table()
+        table.insert({"id": 1, "name": "a", "score": None})
+        with pytest.raises(DuplicateKeyError):
+            table.insert({"id": 1, "name": "b", "score": None})
+
+    def test_missing_get_raises(self):
+        with pytest.raises(MissingRowError):
+            make_table().get(99)
+
+    def test_maybe_get(self):
+        table = make_table()
+        assert table.maybe_get(1) is None
+        table.insert({"id": 1, "name": "a", "score": None})
+        assert table.maybe_get(1) is not None
+
+    def test_delete(self):
+        table = make_table()
+        table.insert({"id": 1, "name": "a", "score": None})
+        removed = table.delete(1)
+        assert removed["name"] == "a"
+        assert len(table) == 0
+        with pytest.raises(MissingRowError):
+            table.delete(1)
+
+    def test_delete_where(self):
+        table = make_table()
+        table.insert_many(
+            {"id": i, "name": "even" if i % 2 == 0 else "odd", "score": None}
+            for i in range(10)
+        )
+        removed = table.delete_where(lambda row: row["name"] == "even")
+        assert removed == 5
+        assert len(table) == 5
+
+    def test_scan_with_predicate(self):
+        table = make_table()
+        table.insert_many(
+            {"id": i, "name": str(i), "score": float(i)} for i in range(5)
+        )
+        hits = list(table.scan(lambda row: row["score"] > 2.0))
+        assert {row["id"] for row in hits} == {3, 4}
+
+    def test_lookup_without_index(self):
+        table = make_table()
+        table.insert({"id": 1, "name": "x", "score": None})
+        table.insert({"id": 2, "name": "x", "score": None})
+        assert {row["id"] for row in table.lookup("name", "x")} == {1, 2}
+
+    def test_lookup_with_index(self):
+        table = make_table()
+        table.create_index("name")
+        table.insert({"id": 1, "name": "x", "score": None})
+        table.insert({"id": 2, "name": "y", "score": None})
+        assert [row["id"] for row in table.lookup("name", "x")] == [1]
+
+    def test_index_tracks_deletes(self):
+        table = make_table()
+        table.create_index("name")
+        table.insert({"id": 1, "name": "x", "score": None})
+        table.delete(1)
+        assert table.lookup("name", "x") == []
+
+    def test_index_created_after_rows(self):
+        table = make_table()
+        table.insert({"id": 1, "name": "x", "score": None})
+        table.create_index("name")
+        assert [row["id"] for row in table.lookup("name", "x")] == [1]
+
+    def test_distinct(self):
+        table = make_table()
+        table.insert_many(
+            {"id": i, "name": "a" if i < 3 else "b", "score": None}
+            for i in range(5)
+        )
+        assert table.distinct("name") == {"a", "b"}
+
+    def test_contains_and_keys(self):
+        table = make_table()
+        table.insert({"id": 42, "name": "x", "score": None})
+        assert 42 in table
+        assert list(table.keys()) == [42]
+
+
+class TestDatabase:
+    def _db(self) -> Database:
+        db = Database()
+        parent = db.create_table("parents", schema_from_columns(
+            [("id", int, False)], primary_key="id"
+        ))
+        child = db.create_table("children", schema_from_columns(
+            [("id", int, False), ("parent_id", int, True)], primary_key="id"
+        ))
+        db.add_foreign_key("children", "parent_id", "parents")
+        parent.insert({"id": 1})
+        child.insert({"id": 10, "parent_id": 1})
+        return db
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table("t", SIMPLE)
+        with pytest.raises(SchemaError):
+            db.create_table("t", SIMPLE)
+
+    def test_missing_table_raises(self):
+        with pytest.raises(SchemaError):
+            Database().table("ghost")
+
+    def test_integrity_ok(self):
+        self._db().check_integrity()
+
+    def test_dangling_reference_detected(self):
+        db = self._db()
+        db.table("children").insert({"id": 11, "parent_id": 99})
+        violations = db.foreign_key_violations()
+        assert len(violations) == 1
+        assert violations[0][1] == 11
+        with pytest.raises(ReferentialIntegrityError):
+            db.check_integrity()
+
+    def test_null_reference_allowed(self):
+        db = self._db()
+        db.table("children").insert({"id": 12, "parent_id": None})
+        db.check_integrity()
+
+    def test_table_names(self):
+        assert self._db().table_names() == ["children", "parents"]
+
+
+class TestMobySchemas:
+    def test_location_schema_roundtrip(self):
+        table = Table("locations", LOCATION_SCHEMA)
+        table.insert(
+            {"location_id": 1, "lat": 53.3, "lon": -6.2, "is_station": True, "name": "x"}
+        )
+        assert table.get(1)["is_station"] is True
+
+    def test_rental_schema_accepts_datetime(self):
+        table = Table("rentals", RENTAL_SCHEMA)
+        table.insert(
+            {
+                "rental_id": 1,
+                "bike_id": 2,
+                "started_at": datetime(2020, 5, 1, 8, 0),
+                "ended_at": datetime(2020, 5, 1, 8, 30),
+                "rental_location_id": None,
+                "return_location_id": 3,
+            }
+        )
+        assert table.get(1)["rental_location_id"] is None

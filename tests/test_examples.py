@@ -1,0 +1,80 @@
+"""Smoke tests: every example script runs end to end.
+
+The examples are patched onto the reduced dataset (like the CLI tests)
+so the whole set runs in seconds; full-scale behaviour is covered by
+the integration tests and benches.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.synth import SyntheticMobyGenerator
+from tests.conftest import small_generator_config
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def small_scale(monkeypatch, tmp_path):
+    """Reduced dataset + isolated working directory for outputs."""
+    original_init = SyntheticMobyGenerator.__init__
+
+    def patched(self, seed=7, config=None):
+        if config is None:
+            config = small_generator_config(seed=seed)
+        original_init(self, seed=seed, config=config)
+
+    monkeypatch.setattr(SyntheticMobyGenerator, "__init__", patched)
+    (tmp_path / "examples" / "output").mkdir(parents=True)
+    monkeypatch.chdir(tmp_path)
+
+
+def _run_example(name: str) -> None:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "expansion_planning",
+        "temporal_communities",
+        "rebalancing",
+        "network_health",
+        "service_simulation",
+        "demand_forecasting",
+    ],
+)
+def test_example_runs(name, capsys):
+    _run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_expansion_planning_writes_map(capsys):
+    _run_example("expansion_planning")
+    assert Path("examples/output/expansion_map.svg").exists()
+
+
+def test_temporal_communities_writes_charts(capsys):
+    _run_example("temporal_communities")
+    for artifact in (
+        "communities_gbasic.svg",
+        "communities_gday.svg",
+        "communities_ghour.svg",
+        "profiles_daily.svg",
+        "profiles_hourly.svg",
+    ):
+        assert Path("examples/output") / artifact
+        assert (Path("examples/output") / artifact).exists()

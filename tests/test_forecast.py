@@ -1,0 +1,156 @@
+"""Tests for demand series and forecast baselines."""
+
+from datetime import date, datetime
+
+import pytest
+
+from repro.data import RentalRecord
+from repro.forecast import (
+    CalendarProfileModel,
+    DemandPoint,
+    DemandSeries,
+    GlobalMeanModel,
+    SmoothedCalendarModel,
+    evaluate,
+)
+
+
+def rental(rental_id: int, day: int, hour: int, origin: int = 1) -> RentalRecord:
+    start = datetime(2020, 6, day, hour, 15)
+    return RentalRecord(
+        rental_id=rental_id,
+        bike_id=1,
+        started_at=start,
+        ended_at=datetime(2020, 6, day, hour, 45),
+        rental_location_id=origin,
+        return_location_id=2,
+    )
+
+
+LOC_TO_STATION = {1: 10, 2: 20, 3: 10}
+
+
+class TestDemandSeries:
+    def test_daily_aggregation_dense(self):
+        rentals = [rental(1, 1, 8), rental(2, 1, 9), rental(3, 3, 8)]
+        series = DemandSeries.from_rentals(rentals, LOC_TO_STATION)
+        # Days 1-3 inclusive, one station observed at origins.
+        assert len(series) == 3
+        counts = {(p.day, p.count) for p in series.points}
+        assert (date(2020, 6, 1), 2) in counts
+        assert (date(2020, 6, 2), 0) in counts
+        assert (date(2020, 6, 3), 1) in counts
+
+    def test_hourly_aggregation(self):
+        rentals = [rental(1, 1, 8), rental(2, 1, 8)]
+        series = DemandSeries.from_rentals(rentals, LOC_TO_STATION, hourly=True)
+        assert len(series) == 24
+        by_hour = {p.hour: p.count for p in series.points}
+        assert by_hour[8] == 2
+        assert by_hour[9] == 0
+
+    def test_station_ids_parameter(self):
+        rentals = [rental(1, 1, 8)]
+        series = DemandSeries.from_rentals(
+            rentals, LOC_TO_STATION, station_ids=[10, 20]
+        )
+        assert series.stations() == [10, 20]
+        assert series.total_demand() == 1
+
+    def test_empty(self):
+        series = DemandSeries.from_rentals([], LOC_TO_STATION)
+        assert len(series) == 0
+        assert series.total_demand() == 0
+
+    def test_split_by_date(self):
+        rentals = [rental(i, day, 9) for i, day in enumerate([1, 2, 3, 4], 1)]
+        series = DemandSeries.from_rentals(rentals, LOC_TO_STATION)
+        train, test = series.split_by_date(date(2020, 6, 3))
+        assert all(p.day < date(2020, 6, 3) for p in train.points)
+        assert all(p.day >= date(2020, 6, 3) for p in test.points)
+        assert len(train) + len(test) == len(series)
+
+    def test_weekend_flag(self):
+        point = DemandPoint(1, date(2020, 6, 6), None, 3)  # a Saturday
+        assert point.is_weekend
+        assert point.weekday == 5
+
+
+class TestModels:
+    def _series(self) -> DemandSeries:
+        rentals = []
+        rid = 1
+        for day in range(1, 29):  # four weeks of June 2020
+            weekday = date(2020, 6, day).weekday()
+            n = 4 if weekday < 5 else 1
+            for _ in range(n):
+                rentals.append(rental(rid, day, 8))
+                rid += 1
+        return DemandSeries.from_rentals(rentals, LOC_TO_STATION)
+
+    def test_global_mean(self):
+        series = self._series()
+        model = GlobalMeanModel().fit(series)
+        point = series.points[0]
+        expected = series.total_demand() / len(series)
+        assert model.predict(point) == pytest.approx(expected)
+
+    def test_global_mean_fallback_for_unknown_station(self):
+        model = GlobalMeanModel().fit(self._series())
+        ghost = DemandPoint(999, date(2020, 6, 1), None, 0)
+        assert model.predict(ghost) > 0
+
+    def test_calendar_model_learns_weekday_split(self):
+        series = self._series()
+        model = CalendarProfileModel().fit(series)
+        weekday_point = DemandPoint(10, date(2020, 6, 29), None, 0)  # Monday
+        weekend_point = DemandPoint(10, date(2020, 6, 27), None, 0)  # Saturday
+        assert model.predict(weekday_point) == pytest.approx(4.0)
+        assert model.predict(weekend_point) == pytest.approx(1.0)
+
+    def test_smoothed_model_between_bucket_and_mean(self):
+        series = self._series()
+        smoothed = SmoothedCalendarModel(shrinkage=5.0).fit(series)
+        calendar = CalendarProfileModel().fit(series)
+        mean = GlobalMeanModel().fit(series)
+        point = DemandPoint(10, date(2020, 6, 29), None, 0)
+        lo, hi = sorted([calendar.predict(point), mean.predict(point)])
+        assert lo <= smoothed.predict(point) <= hi
+
+    def test_calendar_beats_global_mean_on_seasonal_data(self):
+        series = self._series()
+        train, test = series.split_by_date(date(2020, 6, 22))
+        mean_score = evaluate(GlobalMeanModel(), "mean", train, test)
+        calendar_score = evaluate(CalendarProfileModel(), "calendar", train, test)
+        assert calendar_score.mae < mean_score.mae
+
+    def test_evaluate_empty_test_rejected(self):
+        series = self._series()
+        with pytest.raises(ValueError):
+            evaluate(GlobalMeanModel(), "mean", series, DemandSeries([], False))
+
+    def test_scores_reported(self):
+        series = self._series()
+        train, test = series.split_by_date(date(2020, 6, 22))
+        score = evaluate(SmoothedCalendarModel(), "smoothed", train, test)
+        assert score.model == "smoothed"
+        assert score.mae >= 0
+        assert score.rmse >= score.mae
+        assert score.n_points == len(test)
+
+    def test_on_pipeline_output(self, small_result):
+        series = DemandSeries.from_rentals(
+            small_result.cleaned.rentals(),
+            small_result.network.location_to_station,
+        )
+        assert series.total_demand() == small_result.cleaned.n_rentals
+        train, test = series.split_by_date(date(2021, 6, 1))
+        scores = [
+            evaluate(GlobalMeanModel(), "mean", train, test),
+            evaluate(CalendarProfileModel(), "calendar", train, test),
+            evaluate(SmoothedCalendarModel(), "smoothed", train, test),
+        ]
+        assert all(score.mae > 0 for score in scores)
+        by_name = {score.model: score.mae for score in scores}
+        # Seasonal structure exists, so calendar-aware models win.
+        assert by_name["smoothed"] <= by_name["mean"] + 1e-9

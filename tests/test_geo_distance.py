@@ -1,0 +1,123 @@
+"""Unit tests for repro.geo.distance (haversine et al.)."""
+
+import math
+
+import pytest
+
+from repro.config import EARTH_RADIUS_M
+from repro.geo import (
+    GeoPoint,
+    bearing_deg,
+    destination_point,
+    equirectangular_m,
+    haversine_m,
+    local_projector,
+    meters_per_degree,
+)
+
+DUBLIN = GeoPoint(53.3473, -6.2591)
+PHOENIX_PARK = GeoPoint(53.3558, -6.3298)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(DUBLIN, DUBLIN) == 0.0
+
+    def test_symmetry(self):
+        assert haversine_m(DUBLIN, PHOENIX_PARK) == pytest.approx(
+            haversine_m(PHOENIX_PARK, DUBLIN)
+        )
+
+    def test_known_city_scale_distance(self):
+        # O'Connell Bridge to Phoenix Park gate is ~4.8 km.
+        distance = haversine_m(DUBLIN, PHOENIX_PARK)
+        assert 4_000 < distance < 6_000
+
+    def test_equator_degree(self):
+        # One degree of longitude at the equator ~= 111.19 km.
+        d = haversine_m(GeoPoint(0.0, 0.0), GeoPoint(0.0, 1.0))
+        assert d == pytest.approx(math.pi * EARTH_RADIUS_M / 180.0, rel=1e-9)
+
+    def test_antipodal_does_not_crash(self):
+        d = haversine_m(GeoPoint(0.0, 0.0), GeoPoint(0.0, 180.0))
+        assert d == pytest.approx(math.pi * EARTH_RADIUS_M, rel=1e-6)
+
+    def test_small_distance_accuracy(self):
+        # 50 m at Dublin latitude.
+        a = GeoPoint(53.35, -6.26)
+        b = destination_point(a, 90.0, 50.0)
+        assert haversine_m(a, b) == pytest.approx(50.0, abs=0.01)
+
+
+class TestEquirectangular:
+    def test_close_to_haversine_at_city_scale(self):
+        approx = equirectangular_m(DUBLIN, PHOENIX_PARK)
+        exact = haversine_m(DUBLIN, PHOENIX_PARK)
+        assert approx == pytest.approx(exact, rel=1e-3)
+
+    def test_zero(self):
+        assert equirectangular_m(DUBLIN, DUBLIN) == 0.0
+
+
+class TestBearing:
+    def test_due_north(self):
+        assert bearing_deg(GeoPoint(0.0, 0.0), GeoPoint(1.0, 0.0)) == pytest.approx(0.0)
+
+    def test_due_east(self):
+        assert bearing_deg(GeoPoint(0.0, 0.0), GeoPoint(0.0, 1.0)) == pytest.approx(90.0)
+
+    def test_due_south(self):
+        assert bearing_deg(GeoPoint(1.0, 0.0), GeoPoint(0.0, 0.0)) == pytest.approx(180.0)
+
+    def test_range(self):
+        bearing = bearing_deg(DUBLIN, PHOENIX_PARK)
+        assert 0.0 <= bearing < 360.0
+
+
+class TestDestinationPoint:
+    @pytest.mark.parametrize("bearing", [0.0, 45.0, 90.0, 180.0, 270.0])
+    def test_round_trip_distance(self, bearing):
+        target = destination_point(DUBLIN, bearing, 1_000.0)
+        assert haversine_m(DUBLIN, target) == pytest.approx(1_000.0, abs=0.01)
+
+    def test_north_increases_latitude(self):
+        target = destination_point(DUBLIN, 0.0, 500.0)
+        assert target.lat > DUBLIN.lat
+        assert target.lon == pytest.approx(DUBLIN.lon, abs=1e-9)
+
+    def test_zero_distance_is_identity(self):
+        target = destination_point(DUBLIN, 123.0, 0.0)
+        assert target.lat == pytest.approx(DUBLIN.lat)
+        assert target.lon == pytest.approx(DUBLIN.lon)
+
+
+class TestMetersPerDegree:
+    def test_latitude_constant(self):
+        per_lat_a, _ = meters_per_degree(0.0)
+        per_lat_b, _ = meters_per_degree(53.0)
+        assert per_lat_a == pytest.approx(per_lat_b)
+
+    def test_longitude_shrinks_with_latitude(self):
+        _, at_equator = meters_per_degree(0.0)
+        _, at_dublin = meters_per_degree(53.35)
+        assert at_dublin < at_equator
+        assert at_dublin == pytest.approx(at_equator * math.cos(math.radians(53.35)))
+
+
+class TestLocalProjector:
+    def test_origin_maps_to_zero(self):
+        project = local_projector(DUBLIN)
+        assert project(DUBLIN) == (0.0, 0.0)
+
+    def test_euclidean_matches_haversine_locally(self):
+        project = local_projector(DUBLIN)
+        other = destination_point(DUBLIN, 37.0, 800.0)
+        x, y = project(other)
+        assert math.hypot(x, y) == pytest.approx(800.0, rel=2e-3)
+
+    def test_axes_orientation(self):
+        project = local_projector(DUBLIN)
+        north = destination_point(DUBLIN, 0.0, 100.0)
+        east = destination_point(DUBLIN, 90.0, 100.0)
+        assert project(north)[1] > 0
+        assert project(east)[0] > 0

@@ -1,0 +1,142 @@
+"""Unit tests for the grid spatial index."""
+
+import pytest
+
+from repro.exceptions import EmptyRegionError
+from repro.geo import GeoPoint, GridIndex, destination_point, haversine_m
+
+CENTER = GeoPoint(53.3473, -6.2591)
+
+
+def ring_points(n: int, radius_m: float) -> list[GeoPoint]:
+    return [
+        destination_point(CENTER, 360.0 * i / n, radius_m) for i in range(n)
+    ]
+
+
+class TestInsertRemove:
+    def test_len_and_contains(self):
+        index: GridIndex[str] = GridIndex()
+        index.insert("a", CENTER)
+        assert len(index) == 1
+        assert "a" in index
+        assert "b" not in index
+
+    def test_position_roundtrip(self):
+        index: GridIndex[str] = GridIndex()
+        index.insert("a", CENTER)
+        assert index.position("a") == CENTER
+
+    def test_reinsert_moves(self):
+        index: GridIndex[str] = GridIndex()
+        index.insert("a", CENTER)
+        moved = destination_point(CENTER, 0.0, 5_000.0)
+        index.insert("a", moved)
+        assert len(index) == 1
+        assert index.position("a") == moved
+        assert index.within(CENTER, 100.0) == []
+
+    def test_remove(self):
+        index: GridIndex[str] = GridIndex()
+        index.insert("a", CENTER)
+        index.remove("a")
+        assert len(index) == 0
+
+    def test_remove_missing_raises(self):
+        index: GridIndex[str] = GridIndex()
+        with pytest.raises(KeyError):
+            index.remove("ghost")
+
+    def test_extend(self):
+        index: GridIndex[int] = GridIndex()
+        index.extend((i, point) for i, point in enumerate(ring_points(5, 100.0)))
+        assert len(index) == 5
+
+    def test_iteration(self):
+        index: GridIndex[int] = GridIndex()
+        index.insert(1, CENTER)
+        index.insert(2, destination_point(CENTER, 0.0, 100.0))
+        assert sorted(index) == [1, 2]
+
+
+class TestWithin:
+    def test_radius_filter_exact(self):
+        index: GridIndex[int] = GridIndex(cell_m=100.0)
+        near = destination_point(CENTER, 10.0, 80.0)
+        far = destination_point(CENTER, 10.0, 120.0)
+        index.insert(1, near)
+        index.insert(2, far)
+        hits = index.within(CENTER, 100.0)
+        assert [key for key, _ in hits] == [1]
+
+    def test_sorted_by_distance(self):
+        index: GridIndex[int] = GridIndex()
+        for i, radius in enumerate([90.0, 30.0, 60.0]):
+            index.insert(i, destination_point(CENTER, 45.0, radius))
+        hits = index.within(CENTER, 200.0)
+        assert [key for key, _ in hits] == [1, 2, 0]
+
+    def test_distances_are_haversine(self):
+        index: GridIndex[int] = GridIndex()
+        point = destination_point(CENTER, 200.0, 55.0)
+        index.insert(7, point)
+        [(key, distance)] = index.within(CENTER, 100.0)
+        assert distance == pytest.approx(haversine_m(CENTER, point))
+
+    def test_zero_radius(self):
+        index: GridIndex[int] = GridIndex()
+        index.insert(1, CENTER)
+        hits = index.within(CENTER, 0.0)
+        assert [key for key, _ in hits] == [1]
+
+    def test_negative_radius_raises(self):
+        index: GridIndex[int] = GridIndex()
+        with pytest.raises(ValueError):
+            index.within(CENTER, -1.0)
+
+    def test_large_radius_spanning_many_cells(self):
+        index: GridIndex[int] = GridIndex(cell_m=50.0)
+        points = ring_points(24, 900.0)
+        index.extend(enumerate(points))
+        hits = index.within(CENTER, 1_000.0)
+        assert len(hits) == 24
+
+
+class TestNearest:
+    def test_matches_brute_force(self):
+        index: GridIndex[int] = GridIndex(cell_m=100.0)
+        points = ring_points(40, 500.0) + ring_points(15, 3_000.0)
+        index.extend(enumerate(points))
+        query = destination_point(CENTER, 123.0, 777.0)
+        key, distance = index.nearest(query)
+        brute = min(
+            range(len(points)), key=lambda i: haversine_m(query, points[i])
+        )
+        assert key == brute
+        assert distance == pytest.approx(haversine_m(query, points[brute]))
+
+    def test_exclude_self(self):
+        index: GridIndex[str] = GridIndex()
+        index.insert("me", CENTER)
+        index.insert("other", destination_point(CENTER, 0.0, 300.0))
+        key, _ = index.nearest(CENTER, exclude="me")
+        assert key == "other"
+
+    def test_empty_raises(self):
+        index: GridIndex[int] = GridIndex()
+        with pytest.raises(EmptyRegionError):
+            index.nearest(CENTER)
+
+    def test_only_excluded_raises(self):
+        index: GridIndex[str] = GridIndex()
+        index.insert("me", CENTER)
+        with pytest.raises(EmptyRegionError):
+            index.nearest(CENTER, exclude="me")
+
+    def test_distant_single_point_found(self):
+        index: GridIndex[str] = GridIndex(cell_m=50.0)
+        far = destination_point(CENTER, 60.0, 20_000.0)
+        index.insert("far", far)
+        key, distance = index.nearest(CENTER)
+        assert key == "far"
+        assert distance == pytest.approx(haversine_m(CENTER, far))

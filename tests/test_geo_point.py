@@ -1,0 +1,129 @@
+"""Unit tests for repro.geo.point."""
+
+import math
+
+import pytest
+
+from repro.exceptions import EmptyRegionError, InvalidCoordinateError
+from repro.geo import BoundingBox, GeoPoint, centroid, validate_coordinates
+
+
+class TestValidateCoordinates:
+    def test_accepts_valid(self):
+        validate_coordinates(53.35, -6.26)
+
+    def test_accepts_extremes(self):
+        validate_coordinates(90.0, 180.0)
+        validate_coordinates(-90.0, -180.0)
+
+    @pytest.mark.parametrize("lat,lon", [(91, 0), (-91, 0), (0, 181), (0, -181)])
+    def test_rejects_out_of_range(self, lat, lon):
+        with pytest.raises(InvalidCoordinateError):
+            validate_coordinates(lat, lon)
+
+    @pytest.mark.parametrize(
+        "lat,lon", [(float("nan"), 0), (0, float("nan")), (float("inf"), 0)]
+    )
+    def test_rejects_non_finite(self, lat, lon):
+        with pytest.raises(InvalidCoordinateError):
+            validate_coordinates(lat, lon)
+
+
+class TestGeoPoint:
+    def test_construction_and_fields(self):
+        point = GeoPoint(53.3473, -6.2591)
+        assert point.lat == 53.3473
+        assert point.lon == -6.2591
+
+    def test_invalid_raises(self):
+        with pytest.raises(InvalidCoordinateError):
+            GeoPoint(123.0, 0.0)
+
+    def test_as_tuple(self):
+        assert GeoPoint(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    def test_iterable_unpacking(self):
+        lat, lon = GeoPoint(10.0, 20.0)
+        assert (lat, lon) == (10.0, 20.0)
+
+    def test_equality_and_hash(self):
+        assert GeoPoint(1.0, 2.0) == GeoPoint(1.0, 2.0)
+        assert hash(GeoPoint(1.0, 2.0)) == hash(GeoPoint(1.0, 2.0))
+        assert GeoPoint(1.0, 2.0) != GeoPoint(2.0, 1.0)
+
+    def test_ordering(self):
+        assert GeoPoint(1.0, 2.0) < GeoPoint(2.0, 0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            GeoPoint(1.0, 2.0).lat = 3.0  # type: ignore[misc]
+
+
+class TestBoundingBox:
+    def test_contains_inside(self):
+        box = BoundingBox(53.2, -6.5, 53.5, -6.0)
+        assert box.contains(GeoPoint(53.35, -6.26))
+
+    def test_contains_boundary_inclusive(self):
+        box = BoundingBox(53.2, -6.5, 53.5, -6.0)
+        assert box.contains(GeoPoint(53.2, -6.5))
+        assert box.contains(GeoPoint(53.5, -6.0))
+
+    def test_excludes_outside(self):
+        box = BoundingBox(53.2, -6.5, 53.5, -6.0)
+        assert not box.contains(GeoPoint(53.6, -6.26))
+        assert not box.contains(GeoPoint(53.35, -5.9))
+
+    def test_invalid_orientation_raises(self):
+        with pytest.raises(InvalidCoordinateError):
+            BoundingBox(53.5, -6.5, 53.2, -6.0)
+        with pytest.raises(InvalidCoordinateError):
+            BoundingBox(53.2, -6.0, 53.5, -6.5)
+
+    def test_around_points(self):
+        box = BoundingBox.around(
+            [GeoPoint(1.0, 2.0), GeoPoint(-1.0, 5.0), GeoPoint(0.5, 3.0)]
+        )
+        assert box.south == -1.0
+        assert box.north == 1.0
+        assert box.west == 2.0
+        assert box.east == 5.0
+
+    def test_around_empty_raises(self):
+        with pytest.raises(EmptyRegionError):
+            BoundingBox.around([])
+
+    def test_expand(self):
+        box = BoundingBox(53.2, -6.5, 53.5, -6.0).expand(0.1)
+        assert box.south == pytest.approx(53.1)
+        assert box.east == pytest.approx(-5.9)
+
+    def test_expand_clamps_at_poles(self):
+        box = BoundingBox(89.5, 0.0, 90.0, 1.0).expand(1.0)
+        assert box.north == 90.0
+
+    def test_center(self):
+        box = BoundingBox(0.0, 0.0, 10.0, 20.0)
+        assert box.center == GeoPoint(5.0, 10.0)
+
+    def test_spans(self):
+        box = BoundingBox(0.0, 0.0, 10.0, 20.0)
+        assert box.height_deg == 10.0
+        assert box.width_deg == 20.0
+
+
+class TestCentroid:
+    def test_single_point(self):
+        assert centroid([GeoPoint(3.0, 4.0)]) == GeoPoint(3.0, 4.0)
+
+    def test_mean_of_points(self):
+        result = centroid([GeoPoint(0.0, 0.0), GeoPoint(2.0, 4.0)])
+        assert result == GeoPoint(1.0, 2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyRegionError):
+            centroid([])
+
+    def test_accepts_generator(self):
+        result = centroid(GeoPoint(float(i), 0.0) for i in range(5))
+        assert math.isclose(result.lat, 2.0)

@@ -1,0 +1,90 @@
+"""Unit tests for polygons and the Dublin geography model."""
+
+import pytest
+
+from repro.exceptions import GeoError
+from repro.geo import (
+    DUBLIN_BBOX,
+    GeoPoint,
+    LANDMARKS,
+    Polygon,
+    Region,
+    in_dublin,
+    is_admissible,
+    on_land,
+)
+
+SQUARE = Polygon.from_coords([(0.0, 0.0), (0.0, 10.0), (10.0, 10.0), (10.0, 0.0)])
+
+
+class TestPolygon:
+    def test_needs_three_vertices(self):
+        with pytest.raises(GeoError):
+            Polygon.from_coords([(0.0, 0.0), (1.0, 1.0)])
+
+    def test_contains_center(self):
+        assert SQUARE.contains(GeoPoint(5.0, 5.0))
+
+    def test_excludes_outside(self):
+        assert not SQUARE.contains(GeoPoint(11.0, 5.0))
+        assert not SQUARE.contains(GeoPoint(5.0, -0.1))
+
+    def test_concave_polygon(self):
+        # A "C" shape (notch spans lon 2-4 below lat 4): points in the
+        # notch are outside, arms and bar are inside.
+        concave = Polygon.from_coords(
+            [(0, 0), (6, 0), (6, 6), (0, 6), (0, 4), (4, 4), (4, 2), (0, 2)]
+        )
+        assert concave.contains(GeoPoint(1.0, 1.0))   # left arm
+        assert concave.contains(GeoPoint(1.0, 5.0))   # right arm
+        assert concave.contains(GeoPoint(5.0, 3.0))   # top bar
+        assert not concave.contains(GeoPoint(1.0, 3.0))  # notch
+
+    def test_bounding_box(self):
+        box = SQUARE.bounding_box
+        assert box.south == 0.0 and box.north == 10.0
+
+    def test_bbox_short_circuit(self):
+        assert not SQUARE.contains(GeoPoint(50.0, 50.0))
+
+    def test_area(self):
+        assert SQUARE.area_deg2() == pytest.approx(100.0)
+
+
+class TestRegion:
+    def test_hole_excluded(self):
+        hole = Polygon.from_coords([(4.0, 4.0), (4.0, 6.0), (6.0, 6.0), (6.0, 4.0)])
+        region = Region(shell=SQUARE, holes=(hole,))
+        assert region.contains(GeoPoint(1.0, 1.0))
+        assert not region.contains(GeoPoint(5.0, 5.0))
+
+    def test_no_holes(self):
+        region = Region(shell=SQUARE)
+        assert region.contains(GeoPoint(5.0, 5.0))
+
+
+class TestDublinModel:
+    def test_city_center_is_admissible(self):
+        assert is_admissible(LANDMARKS["city_center"])
+
+    def test_all_landmarks_admissible(self):
+        for name, point in LANDMARKS.items():
+            assert in_dublin(point), name
+            assert on_land(point), name
+
+    def test_bay_point_not_on_land(self):
+        bay = GeoPoint(53.344, -6.10)
+        assert in_dublin(bay)
+        assert not on_land(bay)
+
+    def test_north_of_dublin_outside(self):
+        assert not in_dublin(GeoPoint(53.52, -6.30))
+
+    def test_irish_sea_outside_everything(self):
+        point = GeoPoint(53.35, -5.90)
+        assert not in_dublin(point)
+        assert not is_admissible(point)
+
+    def test_bbox_matches_constants(self):
+        assert DUBLIN_BBOX.contains(LANDMARKS["city_center"])
+        assert not DUBLIN_BBOX.contains(GeoPoint(53.0, -6.3))

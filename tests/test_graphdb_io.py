@@ -1,0 +1,77 @@
+"""Tests for graph serialisation (JSON, GraphML)."""
+
+import xml.etree.ElementTree as ET
+
+from repro.graphdb import (
+    DirectedGraph,
+    PropertyGraph,
+    WeightedGraph,
+    property_graph_from_json,
+    property_graph_to_json,
+    weighted_graph_to_graphml,
+)
+
+
+def sample_store() -> PropertyGraph:
+    graph = PropertyGraph()
+    a = graph.create_node(["Station"], {"name": "A", "lat": 53.34})
+    b = graph.create_node(["Candidate"], {"name": "B"})
+    graph.create_relationship(a.node_id, "TRIP", b.node_id, {"day": 3})
+    graph.create_relationship(b.node_id, "TRIP", b.node_id, {"day": 5})
+    return graph
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_structure(self):
+        original = sample_store()
+        restored = property_graph_from_json(property_graph_to_json(original))
+        assert restored.node_count == original.node_count
+        assert restored.relationship_count == original.relationship_count
+        assert restored.node(0)["name"] == "A"
+        assert restored.node(0).has_label("Station")
+        rels = list(restored.relationships("TRIP"))
+        assert [rel["day"] for rel in rels] == [3, 5]
+
+    def test_round_trip_twice_stable(self):
+        once = property_graph_to_json(sample_store())
+        twice = property_graph_to_json(property_graph_from_json(once))
+        assert once == twice
+
+    def test_non_scalar_properties_stringified(self):
+        graph = PropertyGraph()
+        graph.create_node(properties={"point": (1, 2)})
+        text = property_graph_to_json(graph)
+        assert "(1, 2)" in text
+
+
+class TestGraphML:
+    def test_undirected_document(self):
+        graph = WeightedGraph.from_edges([("a", "b", 2.0), ("b", "c", 1.5)])
+        text = weighted_graph_to_graphml(graph)
+        root = ET.fromstring(text)
+        ns = "{http://graphml.graphdrawing.org/xmlns}"
+        graph_el = root.find(f"{ns}graph")
+        assert graph_el is not None
+        assert graph_el.get("edgedefault") == "undirected"
+        assert len(graph_el.findall(f"{ns}node")) == 3
+        assert len(graph_el.findall(f"{ns}edge")) == 2
+
+    def test_directed_document(self):
+        graph = DirectedGraph()
+        graph.add_edge("x", "y", 3.0)
+        text = weighted_graph_to_graphml(graph)
+        root = ET.fromstring(text)
+        ns = "{http://graphml.graphdrawing.org/xmlns}"
+        assert root.find(f"{ns}graph").get("edgedefault") == "directed"
+
+    def test_writes_file(self, tmp_path):
+        graph = WeightedGraph.from_edges([(1, 2, 1.0)])
+        path = tmp_path / "nested" / "graph.graphml"
+        weighted_graph_to_graphml(graph, path)
+        assert path.exists()
+        ET.fromstring(path.read_text())  # valid XML
+
+    def test_escapes_node_names(self):
+        graph = WeightedGraph.from_edges([("a<b>&", "c", 1.0)])
+        text = weighted_graph_to_graphml(graph)
+        ET.fromstring(text)  # must stay well-formed

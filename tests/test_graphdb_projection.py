@@ -1,0 +1,154 @@
+"""Tests for the weighted/directed graph projections."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphdb import (
+    DirectedGraph,
+    PropertyGraph,
+    WeightedGraph,
+    project_weighted,
+)
+
+
+def triangle() -> WeightedGraph:
+    return WeightedGraph.from_edges([("a", "b", 2.0), ("b", "c", 3.0), ("a", "c", 1.0)])
+
+
+class TestWeightedGraph:
+    def test_edge_accumulation(self):
+        graph = WeightedGraph()
+        graph.add_edge("a", "b", 1.0)
+        graph.add_edge("a", "b", 2.5)
+        assert graph.weight("a", "b") == 3.5
+        assert graph.weight("b", "a") == 3.5
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphError):
+            WeightedGraph().add_edge("a", "b", -1.0)
+
+    def test_isolated_node(self):
+        graph = WeightedGraph()
+        graph.add_node("lonely")
+        assert "lonely" in graph
+        assert graph.degree("lonely") == 0
+        assert graph.strength("lonely") == 0.0
+
+    def test_self_loop_strength_counts_twice(self):
+        graph = WeightedGraph()
+        graph.add_edge("a", "a", 2.0)
+        assert graph.strength("a") == 4.0
+        assert graph.total_weight == 2.0
+
+    def test_total_weight(self):
+        assert triangle().total_weight == 6.0
+
+    def test_edge_count_with_loops(self):
+        graph = triangle()
+        graph.add_edge("a", "a", 1.0)
+        assert graph.edge_count == 4
+
+    def test_edges_iterates_each_once(self):
+        edges = list(triangle().edges())
+        assert len(edges) == 3
+        keys = {frozenset((u, v)) for u, v, _ in edges}
+        assert keys == {
+            frozenset(("a", "b")), frozenset(("b", "c")), frozenset(("a", "c"))
+        }
+
+    def test_degree_excludes_loops(self):
+        graph = triangle()
+        graph.add_edge("a", "a", 5.0)
+        assert graph.degree("a") == 2
+
+    def test_subgraph(self):
+        graph = triangle()
+        graph.add_edge("a", "a", 1.5)
+        sub = graph.subgraph(["a", "b", "ghost"])
+        assert sub.node_count == 2
+        assert sub.weight("a", "b") == 2.0
+        assert sub.weight("a", "a") == 1.5
+        assert not sub.has_edge("b", "c")
+
+    def test_copy_is_independent(self):
+        graph = triangle()
+        clone = graph.copy()
+        clone.add_edge("a", "b", 10.0)
+        assert graph.weight("a", "b") == 2.0
+
+    def test_connected_components(self):
+        graph = triangle()
+        graph.add_edge("x", "y", 1.0)
+        graph.add_node("z")
+        components = graph.connected_components()
+        assert [len(c) for c in components] == [3, 2, 1]
+
+    def test_from_edges(self):
+        graph = WeightedGraph.from_edges([(1, 2, 4.0)])
+        assert graph.node_count == 2
+
+
+class TestDirectedGraph:
+    def test_directionality(self):
+        graph = DirectedGraph()
+        graph.add_edge("a", "b", 3.0)
+        assert graph.weight("a", "b") == 3.0
+        assert graph.weight("b", "a") == 0.0
+
+    def test_strengths_and_flux(self):
+        graph = DirectedGraph()
+        graph.add_edge("a", "b", 3.0)
+        graph.add_edge("b", "a", 1.0)
+        graph.add_edge("c", "a", 2.0)
+        assert graph.out_strength("a") == 3.0
+        assert graph.in_strength("a") == 3.0
+        assert graph.flux("a") == 0.0
+        assert graph.flux("b") == pytest.approx(2.0)
+        assert graph.flux("c") == -2.0
+
+    def test_edge_count(self):
+        graph = DirectedGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "a")
+        graph.add_edge("a", "a")
+        assert graph.edge_count == 3
+
+    def test_undirected_collapse(self):
+        graph = DirectedGraph()
+        graph.add_edge("a", "b", 3.0)
+        graph.add_edge("b", "a", 1.0)
+        graph.add_edge("c", "c", 2.0)
+        undirected = graph.undirected()
+        assert undirected.weight("a", "b") == 4.0
+        assert undirected.weight("c", "c") == 2.0
+        assert undirected.edge_count == 2
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphError):
+            DirectedGraph().add_edge("a", "b", -0.5)
+
+
+class TestProjection:
+    def test_project_counts_relationships(self):
+        store = PropertyGraph()
+        a = store.create_node().node_id
+        b = store.create_node().node_id
+        store.create_relationship(a, "TRIP", b)
+        store.create_relationship(a, "TRIP", b)
+        store.create_relationship(b, "TRIP", a)
+        store.create_relationship(a, "OTHER", b)
+        flow = project_weighted(store, "TRIP")
+        assert flow.weight(a, b) == 2.0
+        assert flow.weight(b, a) == 1.0
+
+    def test_project_with_custom_weight_and_key(self):
+        store = PropertyGraph()
+        a = store.create_node().node_id
+        b = store.create_node().node_id
+        store.create_relationship(a, "TRIP", b, {"n": 5.0})
+        flow = project_weighted(
+            store, "TRIP",
+            node_key=lambda node_id: f"node{node_id}",
+            weight=lambda rel: rel["n"],
+        )
+        assert flow.weight("node0", "node1") == 5.0

@@ -1,0 +1,135 @@
+"""Tests for the property-graph store."""
+
+import pytest
+
+from repro.exceptions import GraphError, MissingNodeError, MissingRelationshipError
+from repro.graphdb import PropertyGraph
+
+
+def trip_graph() -> PropertyGraph:
+    graph = PropertyGraph()
+    a = graph.create_node(["Station"], {"name": "A"})
+    b = graph.create_node(["Station"], {"name": "B"})
+    c = graph.create_node(["Candidate"], {"name": "C"})
+    graph.create_relationship(a.node_id, "TRIP", b.node_id, {"day": 0})
+    graph.create_relationship(b.node_id, "TRIP", a.node_id, {"day": 1})
+    graph.create_relationship(a.node_id, "TRIP", c.node_id, {"day": 2})
+    graph.create_relationship(c.node_id, "TRIP", c.node_id, {"day": 3})
+    return graph
+
+
+class TestNodes:
+    def test_create_and_fetch(self):
+        graph = PropertyGraph()
+        node = graph.create_node(["Station"], {"name": "A"})
+        assert graph.node(node.node_id)["name"] == "A"
+        assert node.has_label("Station")
+
+    def test_explicit_id(self):
+        graph = PropertyGraph()
+        node = graph.create_node(node_id=42)
+        assert node.node_id == 42
+        # Auto ids continue beyond explicit ones.
+        assert graph.create_node().node_id == 43
+
+    def test_duplicate_id_rejected(self):
+        graph = PropertyGraph()
+        graph.create_node(node_id=1)
+        with pytest.raises(GraphError):
+            graph.create_node(node_id=1)
+
+    def test_missing_node_raises(self):
+        with pytest.raises(MissingNodeError):
+            PropertyGraph().node(7)
+
+    def test_label_index(self):
+        graph = trip_graph()
+        assert graph.count_nodes("Station") == 2
+        assert graph.count_nodes("Candidate") == 1
+        assert graph.count_nodes("Ghost") == 0
+        names = [node["name"] for node in graph.nodes("Station")]
+        assert names == ["A", "B"]
+
+    def test_delete_node_removes_relationships(self):
+        graph = trip_graph()
+        graph.delete_node(0)
+        assert graph.node_count == 2
+        assert graph.count_relationships("TRIP") == 1  # only C->C left
+
+    def test_get_with_default(self):
+        graph = PropertyGraph()
+        node = graph.create_node(properties={"x": 1})
+        assert node.get("x") == 1
+        assert node.get("missing", "d") == "d"
+
+
+class TestRelationships:
+    def test_create_requires_endpoints(self):
+        graph = PropertyGraph()
+        node = graph.create_node()
+        with pytest.raises(MissingNodeError):
+            graph.create_relationship(node.node_id, "TRIP", 99)
+        with pytest.raises(MissingNodeError):
+            graph.create_relationship(99, "TRIP", node.node_id)
+
+    def test_type_index(self):
+        graph = trip_graph()
+        assert graph.count_relationships("TRIP") == 4
+        assert graph.count_relationships("GHOST") == 0
+
+    def test_properties(self):
+        graph = trip_graph()
+        days = [rel["day"] for rel in graph.relationships("TRIP")]
+        assert days == [0, 1, 2, 3]
+
+    def test_delete_relationship(self):
+        graph = trip_graph()
+        first = next(graph.relationships("TRIP"))
+        graph.delete_relationship(first.rel_id)
+        assert graph.count_relationships("TRIP") == 3
+        with pytest.raises(MissingRelationshipError):
+            graph.relationship(first.rel_id)
+
+    def test_other_endpoint(self):
+        graph = trip_graph()
+        rel = next(graph.relationships("TRIP"))
+        assert rel.other(rel.start) == rel.end
+        assert rel.other(rel.end) == rel.start
+        with pytest.raises(GraphError):
+            rel.other(12345)
+
+    def test_loop_detection(self):
+        graph = trip_graph()
+        loops = [rel for rel in graph.relationships() if rel.is_loop]
+        assert len(loops) == 1
+
+
+class TestTraversal:
+    def test_outgoing_incoming(self):
+        graph = trip_graph()
+        assert len(list(graph.outgoing(0, "TRIP"))) == 2
+        assert len(list(graph.incoming(0, "TRIP"))) == 1
+
+    def test_incident_counts_loop_once(self):
+        graph = trip_graph()
+        assert len(list(graph.incident(2, "TRIP"))) == 2  # A->C and C->C
+
+    def test_neighbours_ignore_loops_and_direction(self):
+        graph = trip_graph()
+        assert graph.neighbours(0) == {1, 2}
+        assert graph.neighbours(2) == {0}
+
+    def test_degree(self):
+        graph = trip_graph()
+        assert graph.degree(0) == 2
+        assert graph.degree(2) == 1
+        assert graph.degree(2, count_loops=True) == 2
+
+    def test_find_nodes_with_predicate(self):
+        graph = trip_graph()
+        hits = graph.find_nodes("Station", lambda n: n["name"] == "B")
+        assert [node.node_id for node in hits] == [1]
+
+    def test_traversal_of_missing_node_raises(self):
+        with pytest.raises(MissingNodeError):
+            list(trip_graph().outgoing(99))

@@ -1,0 +1,129 @@
+"""End-to-end calibration tests against the paper's numbers.
+
+These run the full paper-scale pipeline (seed 7) once per session and
+assert the *shape* criteria from DESIGN.md: exact Table-I counts (the
+generator is calibrated to them), factor-level agreement on the graph
+sizes, the selection outcome, the ~74 % self-containment, and the
+rising-modularity trend across temporal granularities.
+"""
+
+import pytest
+
+from repro import validate_expansion
+from repro.core import self_containment
+from repro.reporting import (
+    PAPER,
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+    experiment_table5,
+    experiment_table6,
+)
+
+pytestmark = pytest.mark.slow
+
+
+class TestTable1Exact:
+    def test_original_counts(self, paper_result):
+        report = paper_result.cleaning_report
+        assert report.before.n_stations == 95
+        assert report.before.n_rentals == 62_324
+        assert report.before.n_locations == 14_239
+
+    def test_cleaned_counts(self, paper_result):
+        report = paper_result.cleaning_report
+        assert report.after.n_stations == 92
+        assert report.after.n_rentals == 61_872
+        assert report.after.n_locations == 14_156
+
+
+class TestTable2Shape:
+    def test_all_measures_within_factor(self, paper_result):
+        output = experiment_table2(paper_result)
+        for item in output.comparisons():
+            assert item.within_factor(1.35), (
+                f"{item.measure}: paper {item.expected}, got {item.measured}"
+            )
+
+    def test_bidirectionality(self, paper_result):
+        stats = paper_result.candidates.stats()
+        ratio = (
+            stats.n_directed_edges_no_loops
+            / stats.n_undirected_edges_no_loops
+        )
+        assert 1.5 <= ratio <= 2.0
+
+
+class TestTable3Shape:
+    def test_selected_station_count(self, paper_result):
+        expected = PAPER["table3"]["selected_stations"]
+        assert expected / 1.5 <= paper_result.n_new_stations <= expected * 1.5
+
+    def test_fixed_majority_of_trips(self, paper_result):
+        stats = paper_result.network.stats()
+        assert stats.trips_from_fixed > 2 * stats.trips_from_selected
+
+    def test_totals_preserved(self, paper_result):
+        stats = paper_result.network.stats()
+        assert stats.n_trips == 61_872
+
+
+class TestCommunityShape:
+    def test_community_counts(self, paper_result):
+        assert 3 <= paper_result.basic.n_communities <= 5  # paper: 3
+        assert 5 <= paper_result.day.n_communities <= 10  # paper: 7
+        assert 8 <= paper_result.hour.n_communities <= 14  # paper: 10
+
+    def test_modularity_rises_with_granularity(self, paper_result):
+        assert (
+            paper_result.basic.modularity
+            < paper_result.day.modularity
+            < paper_result.hour.modularity
+        )
+
+    def test_self_containment_near_paper(self, paper_result):
+        value = self_containment(
+            paper_result.network.trips, paper_result.basic.partition
+        )
+        assert 0.64 <= value <= 0.84  # paper: ~0.74
+
+    def test_weekend_community_exists(self, paper_result):
+        from repro.core import daily_profile, weekend_share
+
+        profiles = daily_profile(
+            paper_result.network.trips, paper_result.day.station_partition
+        )
+        shares = [weekend_share(profile) for profile in profiles.values()]
+        assert max(shares) > 0.4      # a leisure community
+        assert min(shares) < 0.15     # a commuter community
+
+    def test_hour_communities_differentiate(self, paper_result):
+        from repro.core import commute_peak_share, hourly_profile, midday_share
+
+        profiles = hourly_profile(
+            paper_result.network.trips, paper_result.hour.station_partition
+        )
+        commute = [commute_peak_share(p) for p in profiles.values()]
+        midday = [midday_share(p) for p in profiles.values()]
+        assert max(commute) > 0.5
+        assert max(midday) > 0.3
+
+
+class TestPipelineHealth:
+    def test_validation_passes(self, paper_result):
+        report = validate_expansion(paper_result)
+        assert report.all_passed, report.failures()
+
+    def test_all_experiment_runners_work(self, paper_result):
+        outputs = [
+            experiment_table1(paper_result.cleaning_report),
+            experiment_table2(paper_result),
+            experiment_table3(paper_result),
+            experiment_table4(paper_result),
+            experiment_table5(paper_result),
+            experiment_table6(paper_result),
+        ]
+        for output in outputs:
+            assert output.text
+            assert output.measured

@@ -1,0 +1,208 @@
+"""Tests for the network metrics, using networkx as the oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.graphdb import DirectedGraph, WeightedGraph
+from repro.metrics import (
+    average_clustering,
+    betweenness_centrality,
+    closeness_centrality,
+    clustering_coefficients,
+    degrees,
+    fluxes,
+    gini,
+    min_degree,
+    pagerank,
+    strengths,
+    summarise,
+    summarise_flow,
+)
+
+
+def random_graph(seed: int, weighted: bool = False) -> tuple[WeightedGraph, nx.Graph]:
+    nxg = nx.gnm_random_graph(20, 45, seed=seed)
+    graph = WeightedGraph()
+    for node in nxg.nodes():
+        graph.add_node(node)
+    for index, (u, v) in enumerate(nxg.edges()):
+        weight = 1.0 + (index % 4) if weighted else 1.0
+        nxg[u][v]["weight"] = weight
+        graph.add_edge(u, v, weight)
+    return graph, nxg
+
+
+class TestDegreeMetrics:
+    def test_degrees_and_strengths(self):
+        graph = WeightedGraph.from_edges([("a", "b", 2.0), ("a", "c", 3.0)])
+        assert degrees(graph) == {"a": 2, "b": 1, "c": 1}
+        assert strengths(graph)["a"] == 5.0
+
+    def test_min_degree(self):
+        graph = WeightedGraph.from_edges([("a", "b", 1.0), ("a", "c", 1.0)])
+        assert min_degree(graph) == 1
+        assert min_degree(graph, ["a"]) == 2
+
+    def test_min_degree_empty_raises(self):
+        graph = WeightedGraph()
+        with pytest.raises(ValueError):
+            min_degree(graph)
+
+    def test_flux(self):
+        flow = DirectedGraph()
+        flow.add_edge("a", "b", 5.0)
+        flow.add_edge("b", "a", 2.0)
+        assert fluxes(flow) == {"a": -3.0, "b": 3.0}
+
+
+class TestBetweenness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_unweighted_matches_networkx(self, seed):
+        graph, nxg = random_graph(seed)
+        ours = betweenness_centrality(graph)
+        theirs = nx.betweenness_centrality(nxg)
+        for node in nxg.nodes():
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-9)
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_weighted_matches_networkx(self, seed):
+        graph, nxg = random_graph(seed, weighted=True)
+        # networkx uses the distance attribute directly; our weights are
+        # flows, so give networkx the reciprocal as distance.
+        for u, v in nxg.edges():
+            nxg[u][v]["distance"] = 1.0 / nxg[u][v]["weight"]
+        ours = betweenness_centrality(graph, use_weights=True)
+        theirs = nx.betweenness_centrality(nxg, weight="distance")
+        for node in nxg.nodes():
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-6)
+
+    def test_path_graph_center(self):
+        graph = WeightedGraph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        scores = betweenness_centrality(graph)
+        assert scores[1] == pytest.approx(1.0)
+        assert scores[0] == 0.0
+
+    def test_unnormalised(self):
+        graph = WeightedGraph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        scores = betweenness_centrality(graph, normalised=False)
+        assert scores[1] == pytest.approx(1.0)  # one pair routes through
+
+
+class TestCloseness:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_networkx(self, seed):
+        graph, nxg = random_graph(seed)
+        ours = closeness_centrality(graph)
+        theirs = nx.closeness_centrality(nxg)
+        for node in nxg.nodes():
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-9)
+
+    def test_disconnected_component_correction(self):
+        graph = WeightedGraph.from_edges([(0, 1, 1.0), (2, 3, 1.0)])
+        nxg = nx.Graph([(0, 1), (2, 3)])
+        ours = closeness_centrality(graph)
+        theirs = nx.closeness_centrality(nxg)
+        for node in nxg.nodes():
+            assert ours[node] == pytest.approx(theirs[node])
+
+    def test_isolated_node_zero(self):
+        graph = WeightedGraph()
+        graph.add_node("x")
+        assert closeness_centrality(graph)["x"] == 0.0
+
+
+class TestPageRank:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_networkx(self, seed):
+        graph, nxg = random_graph(seed, weighted=True)
+        ours = pagerank(graph)
+        theirs = nx.pagerank(nxg, weight="weight", tol=1e-12, max_iter=500)
+        for node in nxg.nodes():
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-6)
+
+    def test_sums_to_one(self):
+        graph, _ = random_graph(2)
+        assert sum(pagerank(graph).values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_dangling_nodes_handled(self):
+        graph = WeightedGraph.from_edges([(0, 1, 1.0)])
+        graph.add_node(2)  # isolated
+        ranks = pagerank(graph)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+        assert ranks[2] > 0
+
+    def test_empty_graph(self):
+        assert pagerank(WeightedGraph()) == {}
+
+
+class TestClusteringCoefficient:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        graph, nxg = random_graph(seed)
+        ours = clustering_coefficients(graph)
+        theirs = nx.clustering(nxg)
+        for node in nxg.nodes():
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-12)
+
+    def test_triangle_is_one(self):
+        graph = WeightedGraph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
+        assert clustering_coefficients(graph) == {0: 1.0, 1: 1.0, 2: 1.0}
+        assert average_clustering(graph) == 1.0
+
+    def test_low_degree_zero(self):
+        graph = WeightedGraph.from_edges([(0, 1, 1.0)])
+        assert clustering_coefficients(graph)[0] == 0.0
+
+    def test_average_of_empty_graph(self):
+        assert average_clustering(WeightedGraph()) == 0.0
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini([5.0] * 10) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_winner_approaches_one(self):
+        values = [0.0] * 99 + [100.0]
+        assert gini(values) == pytest.approx(0.99, abs=1e-9)
+
+    def test_known_value(self):
+        # gini([1,2,3,4]) = (2*(1*1+2*2+3*3+4*4)/(4*10)) - 5/4 = 0.25
+        assert gini([1, 2, 3, 4]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0.0, 0.0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini([1.0, -2.0])
+
+    def test_scale_invariant(self):
+        values = [1.0, 5.0, 2.0, 9.0]
+        assert gini(values) == pytest.approx(gini([v * 7 for v in values]))
+
+
+class TestSummaries:
+    def test_summarise(self):
+        graph = WeightedGraph.from_edges(
+            [(0, 1, 2.0), (1, 2, 1.0), (0, 2, 1.0), (3, 4, 1.0)]
+        )
+        summary = summarise(graph)
+        assert summary.n_nodes == 5
+        assert summary.n_edges == 4
+        assert summary.n_components == 2
+        assert summary.largest_component == 3
+        assert summary.total_weight == 5.0
+
+    def test_summarise_empty(self):
+        summary = summarise(WeightedGraph())
+        assert summary.n_nodes == 0
+
+    def test_summarise_flow(self):
+        flow = DirectedGraph()
+        flow.add_edge(0, 1, 3.0)
+        flow.add_edge(1, 1, 2.0)
+        summary = summarise_flow(flow)
+        assert summary.n_self_loops == 1
+        assert summary.total_trips == 5.0
+        assert summary.max_abs_flux == 3.0

@@ -1,0 +1,74 @@
+"""Coverage for small helpers not exercised elsewhere."""
+
+import pytest
+
+from repro.core import Station, check_pairwise_distance
+from repro.geo import GeoPoint, LANDMARKS, bearing_deg, destination_point, haversine_m
+from repro.synth import REGION_CENTRAL, build_dublin_zones, region_weights
+
+CENTER = GeoPoint(53.3473, -6.2591)
+
+
+class TestCheckPairwiseDistance:
+    def test_no_violations_when_spread(self):
+        points = [
+            destination_point(CENTER, bearing, 1_000.0)
+            for bearing in (0.0, 120.0, 240.0)
+        ]
+        assert check_pairwise_distance(points, 250.0) == []
+
+    def test_violations_reported_with_distance(self):
+        points = [CENTER, destination_point(CENTER, 0.0, 100.0)]
+        violations = check_pairwise_distance(points, 250.0)
+        assert len(violations) == 1
+        i, j, distance = violations[0]
+        assert (i, j) == (0, 1)
+        assert distance == pytest.approx(100.0, abs=0.5)
+
+    def test_empty_and_single(self):
+        assert check_pairwise_distance([], 100.0) == []
+        assert check_pairwise_distance([CENTER], 100.0) == []
+
+
+class TestStationDataclass:
+    def test_is_new(self):
+        fixed = Station(1, CENTER, "fixed", "A")
+        selected = Station(2, CENTER, "selected", "B", source_cluster_id=9)
+        assert not fixed.is_new
+        assert selected.is_new
+        assert selected.source_cluster_id == 9
+
+
+class TestDublinGeography:
+    def test_landmark_distances_sane(self):
+        # Phoenix Park is 4-6 km from the centre; Dún Laoghaire 10-13 km.
+        centre = LANDMARKS["city_center"]
+        assert 3_000 < haversine_m(centre, LANDMARKS["phoenix_park"]) < 7_000
+        assert 9_000 < haversine_m(centre, LANDMARKS["dun_laoghaire"]) < 14_000
+
+    def test_dun_laoghaire_southeast_of_centre(self):
+        bearing = bearing_deg(
+            LANDMARKS["city_center"], LANDMARKS["dun_laoghaire"]
+        )
+        assert 120.0 < bearing < 180.0
+
+    def test_phoenix_park_west_of_centre(self):
+        bearing = bearing_deg(
+            LANDMARKS["city_center"], LANDMARKS["phoenix_park"]
+        )
+        assert 270.0 < bearing < 330.0
+
+
+class TestZoneGeometry:
+    def test_central_zones_near_centre(self):
+        centre = LANDMARKS["city_center"]
+        for zone in build_dublin_zones():
+            distance = haversine_m(centre, zone.center)
+            if zone.region == REGION_CENTRAL:
+                assert distance < 5_000, zone.name
+            assert distance < 15_000, zone.name
+
+    def test_region_weights_ordering(self):
+        weights = region_weights(build_dublin_zones())
+        # Paper: the green (central) community carries the most trips.
+        assert weights["central"] > weights["south"] >= weights["suburban"]

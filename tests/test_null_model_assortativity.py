@@ -1,0 +1,136 @@
+"""Tests for the degree-preserving null model and assortativity."""
+
+import networkx as nx
+import pytest
+
+from repro.community import (
+    Partition,
+    louvain,
+    partition_significance,
+    rewire_degree_preserving,
+)
+from repro.exceptions import CommunityError
+from repro.graphdb import WeightedGraph
+from repro.metrics import degree_assortativity
+
+
+def ring_of_cliques(n_cliques: int = 4, k: int = 5) -> WeightedGraph:
+    graph = WeightedGraph()
+    for c in range(n_cliques):
+        base = c * k
+        for i in range(k):
+            for j in range(i + 1, k):
+                graph.add_edge(base + i, base + j, 1.0)
+        graph.add_edge(base, ((c + 1) % n_cliques) * k, 1.0)
+    return graph
+
+
+class TestRewiring:
+    def test_degrees_preserved(self):
+        graph = ring_of_cliques()
+        rewired = rewire_degree_preserving(graph, seed=3)
+        for node in graph.nodes():
+            assert rewired.degree(node) == graph.degree(node)
+
+    def test_edge_count_preserved(self):
+        graph = ring_of_cliques()
+        rewired = rewire_degree_preserving(graph, seed=3)
+        assert rewired.edge_count == graph.edge_count
+
+    def test_actually_rewires(self):
+        graph = ring_of_cliques(5, 6)
+        rewired = rewire_degree_preserving(graph, seed=3)
+        original_edges = {frozenset((u, v)) for u, v, _ in graph.edges()}
+        new_edges = {frozenset((u, v)) for u, v, _ in rewired.edges()}
+        assert original_edges != new_edges
+
+    def test_no_new_self_loops(self):
+        graph = ring_of_cliques()
+        rewired = rewire_degree_preserving(graph, seed=5)
+        assert not any(u == v for u, v, _ in rewired.edges())
+
+    def test_self_loops_kept(self):
+        graph = ring_of_cliques()
+        graph.add_edge(0, 0, 2.0)
+        rewired = rewire_degree_preserving(graph, seed=5)
+        assert rewired.weight(0, 0) == 2.0
+
+    def test_tiny_graph_copied(self):
+        graph = WeightedGraph.from_edges([(0, 1, 1.0)])
+        rewired = rewire_degree_preserving(graph)
+        assert rewired.weight(0, 1) == 1.0
+
+    def test_deterministic(self):
+        graph = ring_of_cliques()
+        a = rewire_degree_preserving(graph, seed=9)
+        b = rewire_degree_preserving(graph, seed=9)
+        assert {frozenset((u, v)) for u, v, _ in a.edges()} == {
+            frozenset((u, v)) for u, v, _ in b.edges()
+        }
+
+
+class TestSignificance:
+    def test_real_structure_significant(self):
+        graph = ring_of_cliques(5, 6)
+        partition = louvain(graph).partition
+        result = partition_significance(graph, partition, n_samples=8)
+        assert result.observed > result.null_mean
+        assert result.z_score > 2.0
+        assert result.is_significant
+
+    def test_random_graph_not_strongly_significant(self):
+        nxg = nx.gnm_random_graph(30, 120, seed=1)
+        graph = WeightedGraph()
+        for node in nxg.nodes():
+            graph.add_node(node)
+        for u, v in nxg.edges():
+            graph.add_edge(u, v, 1.0)
+        partition = louvain(graph).partition
+        result = partition_significance(graph, partition, n_samples=8)
+        # A dense random graph's best partition is what the null gives:
+        # the z-score must be far below a planted structure's.
+        planted = partition_significance(
+            ring_of_cliques(5, 6),
+            louvain(ring_of_cliques(5, 6)).partition,
+            n_samples=8,
+        )
+        assert result.z_score < planted.z_score
+
+    def test_needs_samples(self):
+        graph = ring_of_cliques()
+        partition = Partition.from_assignment(
+            {node: 0 for node in graph.nodes()}
+        )
+        with pytest.raises(CommunityError):
+            partition_significance(graph, partition, n_samples=1)
+
+
+class TestAssortativity:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_networkx(self, seed):
+        nxg = nx.gnm_random_graph(25, 60, seed=seed)
+        graph = WeightedGraph()
+        for node in nxg.nodes():
+            graph.add_node(node)
+        for u, v in nxg.edges():
+            graph.add_edge(u, v, 1.0)
+        ours = degree_assortativity(graph)
+        theirs = nx.degree_assortativity_coefficient(nxg)
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_star_is_disassortative(self):
+        graph = WeightedGraph.from_edges(
+            [(0, i, 1.0) for i in range(1, 8)] + [(1, 2, 1.0)]
+        )
+        assert degree_assortativity(graph) < 0
+
+    def test_regular_graph_returns_zero(self):
+        # A cycle: every degree is 2, no variance.
+        graph = WeightedGraph.from_edges(
+            [(i, (i + 1) % 6, 1.0) for i in range(6)]
+        )
+        assert degree_assortativity(graph) == 0.0
+
+    def test_too_small_returns_zero(self):
+        graph = WeightedGraph.from_edges([(0, 1, 1.0)])
+        assert degree_assortativity(graph) == 0.0

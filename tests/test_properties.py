@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) on the core substrates."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import cluster_at_threshold, pairwise_haversine_matrix
+from repro.community import Partition, louvain, modularity
+from repro.config import CommunityConfig
+from repro.geo import (
+    BoundingBox,
+    GeoPoint,
+    GridIndex,
+    destination_point,
+    equirectangular_m,
+    haversine_m,
+)
+from repro.graphdb import WeightedGraph
+from repro.metrics import gini
+
+# Dublin-ish coordinate strategies keep distances city-scale.
+lat_st = st.floats(min_value=53.20, max_value=53.45, allow_nan=False)
+lon_st = st.floats(min_value=-6.45, max_value=-6.05, allow_nan=False)
+point_st = st.builds(GeoPoint, lat_st, lon_st)
+
+
+class TestHaversineProperties:
+    @given(point_st, point_st)
+    def test_symmetry(self, a, b):
+        assert haversine_m(a, b) == haversine_m(b, a)
+
+    @given(point_st, point_st)
+    def test_non_negative_and_identity(self, a, b):
+        distance = haversine_m(a, b)
+        assert distance >= 0.0
+        if a == b:
+            assert distance == 0.0
+
+    @given(point_st, point_st, point_st)
+    def test_triangle_inequality(self, a, b, c):
+        assert haversine_m(a, c) <= (
+            haversine_m(a, b) + haversine_m(b, c) + 1e-6
+        )
+
+    @given(point_st, point_st)
+    def test_equirectangular_close_at_city_scale(self, a, b):
+        exact = haversine_m(a, b)
+        approx = equirectangular_m(a, b)
+        assert abs(exact - approx) <= max(1.0, exact * 0.002)
+
+    @given(
+        point_st,
+        st.floats(min_value=0.0, max_value=359.99),
+        st.floats(min_value=0.0, max_value=5_000.0),
+    )
+    def test_destination_point_distance(self, origin, bearing, distance):
+        target = destination_point(origin, bearing, distance)
+        assert abs(haversine_m(origin, target) - distance) <= 0.5
+
+
+class TestBoundingBoxProperties:
+    @given(st.lists(point_st, min_size=1, max_size=20))
+    def test_box_contains_all_inputs(self, points):
+        box = BoundingBox.around(points)
+        assert all(box.contains(point) for point in points)
+
+
+class TestGridIndexProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(point_st, min_size=1, max_size=40, unique=True),
+        point_st,
+        st.floats(min_value=10.0, max_value=3_000.0),
+    )
+    def test_within_matches_brute_force(self, points, query, radius):
+        index: GridIndex[int] = GridIndex(cell_m=150.0)
+        index.extend(enumerate(points))
+        hits = {key for key, _ in index.within(query, radius)}
+        brute = {
+            i for i, point in enumerate(points)
+            if haversine_m(query, point) <= radius
+        }
+        assert hits == brute
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(point_st, min_size=1, max_size=40, unique=True), point_st)
+    def test_nearest_matches_brute_force(self, points, query):
+        index: GridIndex[int] = GridIndex(cell_m=150.0)
+        index.extend(enumerate(points))
+        key, distance = index.nearest(query)
+        best = min(haversine_m(query, point) for point in points)
+        assert distance == best
+
+
+class TestLinkageProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(point_st, min_size=2, max_size=25, unique=True),
+        st.floats(min_value=20.0, max_value=2_000.0),
+    )
+    def test_cut_is_partition_and_respects_diameter(self, points, threshold):
+        matrix = pairwise_haversine_matrix(points)
+        clusters = cluster_at_threshold(matrix, threshold, "complete")
+        flat = sorted(i for cluster in clusters for i in cluster)
+        assert flat == list(range(len(points)))
+        for cluster in clusters:
+            for i in cluster:
+                for j in cluster:
+                    assert matrix[i, j] <= threshold + 1e-6
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(point_st, min_size=2, max_size=20, unique=True))
+    def test_monotone_cluster_count(self, points):
+        matrix = pairwise_haversine_matrix(points)
+        low = len(cluster_at_threshold(matrix, 50.0, "complete"))
+        high = len(cluster_at_threshold(matrix, 500.0, "complete"))
+        assert high <= low
+
+
+def graph_strategy() -> st.SearchStrategy[WeightedGraph]:
+    edge = st.tuples(
+        st.integers(0, 12), st.integers(0, 12),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+
+    def build(edges) -> WeightedGraph:
+        graph = WeightedGraph()
+        for u, v, w in edges:
+            graph.add_edge(u, v, w)
+        return graph
+
+    return st.lists(edge, min_size=1, max_size=40).map(build)
+
+
+class TestCommunityProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(graph_strategy())
+    def test_louvain_outputs_valid_partition(self, graph):
+        result = louvain(graph, CommunityConfig(seed=1))
+        assert set(result.partition.assignment) == set(graph.nodes())
+        assert -1.0 <= result.modularity <= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph_strategy())
+    def test_louvain_no_worse_than_singletons(self, graph):
+        result = louvain(graph, CommunityConfig(seed=1))
+        singletons = Partition.from_assignment(
+            {node: index for index, node in enumerate(graph.nodes())}
+        )
+        assert result.modularity >= modularity(graph, singletons) - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph_strategy(), st.integers(min_value=1, max_value=4))
+    def test_modularity_bounded(self, graph, k):
+        partition = Partition.from_assignment(
+            {node: hash(node) % k for node in graph.nodes()}
+        )
+        score = modularity(graph, partition)
+        assert -1.0 <= score <= 1.0
+
+
+class TestGiniProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+    def test_bounded(self, values):
+        score = gini(values)
+        assert -1e-9 <= score <= 1.0
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=1e5), min_size=1, max_size=40),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_scale_invariance(self, values, factor):
+        assert abs(gini(values) - gini([v * factor for v in values])) < 1e-7
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=40))
+    def test_adding_equal_share_reduces_inequality(self, values):
+        if sum(values) == 0:
+            return
+        boosted = [v + 50.0 for v in values]
+        assert gini(boosted) <= gini(values) + 1e-9
+
+
+class TestPartitionProperties:
+    @given(st.dictionaries(st.integers(0, 30), st.integers(0, 5), min_size=1))
+    def test_normalisation_preserves_grouping(self, assignment):
+        partition = Partition.from_assignment(assignment)
+        for a in assignment:
+            for b in assignment:
+                same_before = assignment[a] == assignment[b]
+                same_after = partition[a] == partition[b]
+                assert same_before == same_after
+
+    @given(st.dictionaries(st.integers(0, 30), st.integers(0, 5), min_size=1))
+    def test_labels_contiguous_from_one(self, assignment):
+        partition = Partition.from_assignment(assignment)
+        labels = partition.labels()
+        assert labels == list(range(1, len(labels) + 1))
+
+    @given(st.dictionaries(st.integers(0, 30), st.integers(0, 5), min_size=1))
+    def test_sizes_sorted_descending(self, assignment):
+        partition = Partition.from_assignment(assignment)
+        sizes = [partition.sizes()[label] for label in partition.labels()]
+        assert sizes == sorted(sizes, reverse=True)

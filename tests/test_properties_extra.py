@@ -1,0 +1,125 @@
+"""Additional property-based tests: CSV round-trips, simulator
+conservation laws, table-engine invariants."""
+
+from datetime import datetime, timedelta
+
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    LocationRecord,
+    MobyDataset,
+    RentalRecord,
+    read_locations,
+    read_rentals,
+    write_locations,
+    write_rentals,
+)
+from repro.geo import GeoPoint, destination_point
+from repro.sim import FleetSimulator, TripRequest
+
+CENTER = GeoPoint(53.3473, -6.2591)
+
+location_st = st.builds(
+    LocationRecord,
+    st.integers(0, 10_000),
+    st.one_of(st.none(), st.floats(-89.0, 89.0, allow_nan=False)),
+    st.one_of(st.none(), st.floats(-179.0, 179.0, allow_nan=False)),
+    st.booleans(),
+    st.text(
+        alphabet=st.characters(
+            blacklist_categories=("Cs", "Cc"), blacklist_characters="\r\n"
+        ),
+        max_size=20,
+    ),
+)
+
+timestamp_st = st.datetimes(
+    min_value=datetime(2020, 1, 1), max_value=datetime(2021, 9, 30)
+).map(lambda ts: ts.replace(microsecond=0))
+
+rental_st = st.builds(
+    RentalRecord,
+    st.integers(0, 10_000),
+    st.integers(1, 95),
+    timestamp_st,
+    timestamp_st,
+    st.one_of(st.none(), st.integers(0, 10_000)),
+    st.one_of(st.none(), st.integers(0, 10_000)),
+)
+
+
+class TestCsvRoundTripProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(records=st.lists(location_st, max_size=20, unique_by=lambda r: r.location_id))
+    def test_locations_round_trip(self, tmp_path_factory, records):
+        path = tmp_path_factory.mktemp("csv") / "locations.csv"
+        write_locations(path, records)
+        assert read_locations(path) == records
+
+    @settings(max_examples=25, deadline=None)
+    @given(records=st.lists(rental_st, max_size=20, unique_by=lambda r: r.rental_id))
+    def test_rentals_round_trip(self, tmp_path_factory, records):
+        path = tmp_path_factory.mktemp("csv") / "rentals.csv"
+        write_rentals(path, records)
+        assert read_rentals(path) == records
+
+
+class TestDatasetInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(location_st, max_size=15, unique_by=lambda r: r.location_id),
+        st.lists(rental_st, max_size=15, unique_by=lambda r: r.rental_id),
+    )
+    def test_cleaning_never_grows_and_always_consistent(self, locations, rentals):
+        from repro.data import clean_dataset
+
+        raw = MobyDataset.from_records(locations, rentals)
+        cleaned, report = clean_dataset(raw)
+        assert cleaned.n_rentals <= raw.n_rentals
+        assert cleaned.n_locations <= raw.n_locations
+        assert report.before.n_rentals == raw.n_rentals
+        assert report.after.n_rentals == cleaned.n_rentals
+        cleaned.db.check_integrity()
+        # Every surviving rental references surviving locations inside
+        # Dublin, and every surviving location is referenced.
+        referenced = cleaned.referenced_location_ids()
+        for record in cleaned.locations():
+            assert record.location_id in referenced
+            assert record.has_coordinates
+
+
+def _stations() -> dict[int, GeoPoint]:
+    return {
+        i: destination_point(CENTER, 45.0 * i, 600.0 * (1 + i % 3))
+        for i in range(6)
+    }
+
+
+request_st = st.builds(
+    TripRequest,
+    st.datetimes(
+        min_value=datetime(2020, 6, 1), max_value=datetime(2020, 6, 7)
+    ),
+    st.integers(0, 5),
+    st.integers(0, 5),
+    st.floats(min_value=1.0, max_value=120.0, allow_nan=False),
+)
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(request_st, max_size=60), st.integers(1, 12))
+    def test_requests_conserved_and_bikes_conserved(self, requests, n_bikes):
+        simulator = FleetSimulator(_stations(), n_bikes=n_bikes)
+        result = simulator.run(requests)
+        assert result.served + result.unserved == result.n_requests
+        assert result.n_requests == len(requests)
+        assert 0.0 <= result.service_rate <= 1.0
+        assert 0.0 <= result.walk_rate <= 1.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(request_st, max_size=40))
+    def test_more_bikes_never_serve_less(self, requests):
+        few = FleetSimulator(_stations(), n_bikes=1).run(requests)
+        many = FleetSimulator(_stations(), n_bikes=30).run(requests)
+        assert many.served >= few.served

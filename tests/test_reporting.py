@@ -1,0 +1,158 @@
+"""Tests for table formatting, experiments and paper comparisons."""
+
+import pytest
+
+from repro.reporting import (
+    Comparison,
+    PAPER,
+    compare,
+    comparison_rows,
+    experiment_fig5,
+    experiment_fig7,
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+    experiment_table5,
+    experiment_table6,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_structure(self):
+        text = format_table(
+            ["Measure", "Value"],
+            [["#nodes", 1172], ["#trips", 61872]],
+            title="TABLE X",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "TABLE X"
+        assert lines[1].startswith("+-")
+        assert "| #nodes" in text
+        assert "1,172" in text
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_float_formatting(self):
+        text = format_table(["m", "v"], [["q", 0.254]])
+        assert "0.254" in text
+
+    def test_bool_formatting(self):
+        text = format_table(["m", "v"], [["ok", True]])
+        assert "yes" in text
+
+
+class TestFormatSeries:
+    def test_format(self):
+        text = format_series("community 1", ["Mon", "Tue"], [0.5, 0.25])
+        assert text == "community 1: Mon=0.500 Tue=0.250"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", ["a"], [1.0, 2.0])
+
+
+class TestComparison:
+    def test_ratio(self):
+        item = Comparison("table2", "nodes", 1000.0, 1200.0)
+        assert item.ratio == pytest.approx(1.2)
+        assert item.within_factor(1.25)
+        assert not item.within_factor(1.1)
+
+    def test_within_factor_lower_side(self):
+        item = Comparison("t", "m", 1000.0, 600.0)
+        assert item.within_factor(2.0)
+        assert not item.within_factor(1.5)
+
+    def test_zero_expected(self):
+        item = Comparison("t", "m", 0.0, 0.0)
+        assert item.within_factor(2.0)
+        item = Comparison("t", "m", 0.0, 5.0)
+        assert not item.within_factor(2.0)
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            Comparison("t", "m", 1.0, 1.0).within_factor(0.5)
+
+    def test_compare_filters_to_known_measures(self):
+        items = compare("table2", {"nodes": 1100.0, "bogus": 1.0})
+        assert [item.measure for item in items] == ["nodes"]
+        assert items[0].expected == PAPER["table2"]["nodes"]
+
+    def test_comparison_rows(self):
+        rows = comparison_rows([Comparison("t", "m", 2.0, 4.0)])
+        assert rows == [("m", 2.0, 4.0, "2.00x")]
+
+
+class TestPaperConstants:
+    def test_all_experiments_present(self):
+        assert set(PAPER) == {
+            "table1", "table2", "table3", "table4", "table5", "table6"
+        }
+
+    def test_paper_internal_consistency(self):
+        table3 = PAPER["table3"]
+        assert (
+            table3["pre_existing_stations"] + table3["selected_stations"]
+            == table3["total_stations"]
+        )
+        assert (
+            table3["edges_from_pre_existing"] + table3["edges_from_selected"]
+            == table3["total_edges"]
+        )
+
+
+class TestExperimentRunners:
+    def test_table1(self, small_result):
+        output = experiment_table1(small_result.cleaning_report)
+        assert output.experiment == "table1"
+        assert "TABLE I" in output.text
+        assert output.measured["cleaned_rentals"] < output.measured["original_rentals"]
+
+    def test_table2(self, small_result):
+        output = experiment_table2(small_result)
+        assert output.measured["trips"] == small_result.cleaned.n_rentals
+        assert "#undirected edges" in output.text
+
+    def test_table3(self, small_result):
+        output = experiment_table3(small_result)
+        assert (
+            output.measured["pre_existing_stations"]
+            + output.measured["selected_stations"]
+            == output.measured["total_stations"]
+        )
+
+    def test_table4_5_6(self, small_result):
+        for runner, name in (
+            (experiment_table4, "table4"),
+            (experiment_table5, "table5"),
+            (experiment_table6, "table6"),
+        ):
+            output = runner(small_result)
+            assert output.experiment == name
+            assert output.measured["n_communities"] >= 1
+            assert "modularity" in output.text
+
+    def test_self_containment_recorded(self, small_result):
+        output = experiment_table4(small_result)
+        assert 0.0 < output.measured["self_containment"] <= 1.0
+
+    def test_fig5(self, small_result):
+        output = experiment_fig5(small_result)
+        assert output.series
+        for values in output.series.values():
+            assert len(values) == 7
+
+    def test_fig7(self, small_result):
+        output = experiment_fig7(small_result)
+        for values in output.series.values():
+            assert len(values) == 24
+
+    def test_comparisons_available(self, small_result):
+        output = experiment_table2(small_result)
+        items = output.comparisons()
+        assert {item.measure for item in items} == set(PAPER["table2"])

@@ -1,0 +1,29 @@
+"""Tests for the markdown report generator."""
+
+from repro.reporting import render_markdown_report, write_markdown_report
+
+
+class TestMarkdownReport:
+    def test_contains_every_section(self, small_result):
+        text = render_markdown_report(small_result, title="Test report")
+        assert text.startswith("# Test report")
+        for heading in (
+            "Table I", "Table II", "Table III", "Table IV",
+            "Table V", "Table VI", "Figure 5", "Figure 7",
+        ):
+            assert f"## {heading}" in text
+
+    def test_contains_comparison_tables(self, small_result):
+        text = render_markdown_report(small_result)
+        assert "| Measure | Paper | Measured | Ratio |" in text
+
+    def test_validation_status_included(self, small_result):
+        text = render_markdown_report(small_result)
+        assert "validation:" in text
+
+    def test_write_creates_file(self, small_result, tmp_path):
+        path = write_markdown_report(
+            small_result, tmp_path / "nested" / "report.md"
+        )
+        assert path.exists()
+        assert path.read_text().startswith("#")

@@ -1,0 +1,182 @@
+"""Tests for the fleet simulator."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.geo import GeoPoint, destination_point
+from repro.sim import (
+    FleetSimulator,
+    TripRequest,
+    compare_networks,
+    requests_from_rentals,
+)
+
+CENTER = GeoPoint(53.3473, -6.2591)
+FAR = destination_point(CENTER, 90.0, 2_000.0)
+NEAR = destination_point(CENTER, 0.0, 200.0)
+
+STATIONS = {1: CENTER, 2: FAR, 3: NEAR}
+
+
+def request(minute: int, origin: int, destination: int, duration: float = 10.0):
+    return TripRequest(
+        requested_at=datetime(2020, 6, 1, 9, 0) + timedelta(minutes=minute),
+        origin=origin,
+        destination=destination,
+        duration_minutes=duration,
+    )
+
+
+class TestInitialBikes:
+    def test_round_robin(self):
+        sim = FleetSimulator(STATIONS, n_bikes=7)
+        bikes = sim.initial_bikes()
+        assert sum(bikes.values()) == 7
+        assert max(bikes.values()) - min(bikes.values()) <= 1
+
+    def test_weighted(self):
+        sim = FleetSimulator(STATIONS, n_bikes=10)
+        bikes = sim.initial_bikes({1: 8.0, 2: 1.0, 3: 1.0})
+        assert sum(bikes.values()) == 10
+        assert bikes[1] == 8
+
+    def test_weighted_handles_missing_station_weight(self):
+        sim = FleetSimulator(STATIONS, n_bikes=6)
+        bikes = sim.initial_bikes({1: 1.0})
+        assert sum(bikes.values()) == 6
+        assert bikes[1] == 6
+
+
+class TestServing:
+    def test_direct_service(self):
+        sim = FleetSimulator(STATIONS, n_bikes=3)
+        result = sim.run([request(0, 1, 2)], {1: 1, 2: 1, 3: 1})
+        assert result.served_direct == 1
+        assert result.unserved == 0
+
+    def test_stockout_unserved(self):
+        sim = FleetSimulator(STATIONS, n_bikes=1, walk_radius_m=50.0)
+        result = sim.run(
+            [request(0, 1, 2), request(1, 1, 2)], {1: 1, 2: 0, 3: 0}
+        )
+        assert result.served == 1
+        assert result.unserved == 1
+        assert result.stockout_minutes[1] > 0
+
+    def test_walk_service_within_radius(self):
+        # Station 3 is 200 m from station 1; walk radius 300 m.
+        sim = FleetSimulator(STATIONS, n_bikes=1, walk_radius_m=300.0)
+        result = sim.run([request(0, 1, 2)], {1: 0, 2: 0, 3: 1})
+        assert result.served_walk == 1
+        assert result.walk_rate == 1.0
+
+    def test_no_walk_beyond_radius(self):
+        # Only station 2 (2 km away) has a bike.
+        sim = FleetSimulator(STATIONS, n_bikes=1, walk_radius_m=300.0)
+        result = sim.run([request(0, 1, 2)], {1: 0, 2: 1, 3: 0})
+        assert result.unserved == 1
+
+    def test_bike_lands_at_destination(self):
+        sim = FleetSimulator(STATIONS, n_bikes=1, walk_radius_m=10.0)
+        requests = [
+            request(0, 1, 2, duration=5.0),
+            request(30, 2, 1, duration=5.0),  # uses the landed bike
+        ]
+        result = sim.run(requests, {1: 1, 2: 0, 3: 0})
+        assert result.served == 2
+
+    def test_bike_not_available_before_arrival(self):
+        sim = FleetSimulator(STATIONS, n_bikes=1, walk_radius_m=10.0)
+        requests = [
+            request(0, 1, 2, duration=60.0),
+            request(5, 2, 1, duration=5.0),  # bike still in flight
+        ]
+        result = sim.run(requests, {1: 1, 2: 0, 3: 0})
+        assert result.served == 1
+        assert result.unserved == 1
+
+    def test_service_rate(self):
+        sim = FleetSimulator(STATIONS, n_bikes=1, walk_radius_m=10.0)
+        result = sim.run(
+            [request(i, 1, 2, duration=300.0) for i in range(4)],
+            {1: 1, 2: 0, 3: 0},
+        )
+        assert result.service_rate == pytest.approx(0.25)
+
+    def test_empty_requests(self):
+        sim = FleetSimulator(STATIONS, n_bikes=2)
+        result = sim.run([])
+        assert result.n_requests == 0
+        assert result.service_rate == 1.0
+
+    def test_unknown_station_in_bikes_rejected(self):
+        sim = FleetSimulator(STATIONS, n_bikes=1)
+        with pytest.raises(ValueError):
+            sim.run([], {99: 1})
+
+
+class TestRebalancing:
+    def test_nightly_hook_runs_once_per_day(self):
+        calls = []
+
+        def hook(now, bikes):
+            calls.append(now.date())
+            return [(2, 1, 1)]
+
+        sim = FleetSimulator(
+            STATIONS, n_bikes=1, walk_radius_m=10.0, rebalancing=hook
+        )
+        requests = [
+            request(0, 1, 2, duration=5.0),
+            request(10, 1, 2, duration=5.0),
+            TripRequest(datetime(2020, 6, 2, 9, 0), 1, 2, 5.0),
+        ]
+        result = sim.run(requests, {1: 0, 2: 1, 3: 0})
+        assert len(calls) == 2  # once per simulated day
+        assert result.bikes_moved_by_rebalancing >= 1
+        # The moved bike makes the first request servable.
+        assert result.served >= 1
+
+    def test_hook_cannot_move_more_than_available(self):
+        def hook(now, bikes):
+            return [(2, 1, 100)]
+
+        sim = FleetSimulator(
+            STATIONS, n_bikes=1, walk_radius_m=10.0, rebalancing=hook
+        )
+        result = sim.run([request(0, 1, 2)], {1: 0, 2: 1, 3: 0})
+        assert result.bikes_moved_by_rebalancing == 1
+
+
+class TestValidation:
+    def test_requires_station(self):
+        with pytest.raises(ValueError):
+            FleetSimulator({}, n_bikes=1)
+
+    def test_requires_bikes(self):
+        with pytest.raises(ValueError):
+            FleetSimulator(STATIONS, n_bikes=0)
+
+
+class TestIntegration:
+    def test_requests_from_rentals(self, small_result):
+        requests = requests_from_rentals(
+            small_result.cleaned.rentals(),
+            small_result.network.location_to_station,
+        )
+        assert len(requests) == small_result.cleaned.n_rentals
+        times = [r.requested_at for r in requests]
+        assert times == sorted(times)
+
+    def test_compare_networks_expansion_helps(self, small_result):
+        comparisons = compare_networks(
+            small_result, n_bikes=40, walk_radius_m=250.0
+        )
+        by_name = {c.name: c for c in comparisons}
+        assert set(by_name) == {"original", "expanded"}
+        assert by_name["expanded"].n_stations > by_name["original"].n_stations
+        # Every request is accounted for in both runs.
+        for comparison in comparisons:
+            outcome = comparison.result
+            assert outcome.served + outcome.unserved == outcome.n_requests

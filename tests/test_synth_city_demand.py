@@ -1,0 +1,114 @@
+"""Tests for the city model and temporal demand curves."""
+
+import pytest
+
+from repro.geo import is_admissible
+from repro.synth import (
+    ALL_REGIONS,
+    DATA_END,
+    DATA_START,
+    PROFILE_EMPLOYMENT,
+    PROFILE_LEISURE_PARK,
+    PROFILE_MIXED,
+    PROFILE_RESIDENTIAL,
+    all_days,
+    build_dublin_zones,
+    check_zones,
+    day_weight,
+    destination_factor,
+    hour_weights,
+    is_weekend,
+    origin_factor,
+    region_weights,
+)
+
+
+class TestZones:
+    def test_builtin_zones_valid(self):
+        check_zones(build_dublin_zones())
+
+    def test_zone_centres_admissible(self):
+        for zone in build_dublin_zones():
+            assert is_admissible(zone.center), zone.name
+
+    def test_region_weights_shape(self):
+        weights = region_weights(build_dublin_zones())
+        assert set(weights) == set(ALL_REGIONS)
+        # The paper: ~half the trips touch the central community.
+        assert weights["central"] == max(weights.values())
+        assert sum(weights.values()) == pytest.approx(1.0, abs=0.011)
+
+    def test_check_rejects_bad_weights(self):
+        zones = build_dublin_zones()[:3]
+        with pytest.raises(ValueError):
+            check_zones(zones)
+
+
+class TestCalendar:
+    def test_window_boundaries(self):
+        days = all_days()
+        assert days[0] == DATA_START
+        assert days[-1] == DATA_END
+        # Jan 2020 - Sep 2021: ~626 days.
+        assert len(days) == 626
+
+    def test_day_weight_positive(self):
+        assert all(day_weight(day) > 0 for day in all_days())
+
+    def test_summer_beats_lockdown(self):
+        from datetime import date
+
+        assert day_weight(date(2021, 7, 14)) > 2 * day_weight(date(2021, 1, 13))
+
+    def test_weekday_beats_sunday(self):
+        from datetime import date
+
+        # Same week: Wednesday vs Sunday.
+        assert day_weight(date(2020, 7, 8)) > day_weight(date(2020, 7, 12))
+
+
+class TestHourCurves:
+    def test_pmf_lengths(self):
+        assert len(hour_weights(0)) == 24
+        assert len(hour_weights(6)) == 24
+
+    def test_weekday_bimodal(self):
+        curve = hour_weights(1)
+        assert curve[8] > curve[12] > curve[3]
+        assert curve[17] > curve[12]
+
+    def test_weekend_midday_peak(self):
+        curve = hour_weights(6)
+        assert max(curve) == max(curve[11:15])
+
+    def test_is_weekend(self):
+        assert not is_weekend(4)
+        assert is_weekend(5)
+        assert is_weekend(6)
+
+
+class TestZoneFactors:
+    def test_residential_morning_origin_peak(self):
+        am = origin_factor(PROFILE_RESIDENTIAL, 1, 8)
+        pm = origin_factor(PROFILE_RESIDENTIAL, 1, 17)
+        assert am > 2 * pm
+
+    def test_employment_mirrors_residential(self):
+        assert destination_factor(PROFILE_EMPLOYMENT, 1, 8) > 2.0
+        assert origin_factor(PROFILE_EMPLOYMENT, 1, 17) > 2.0
+
+    def test_leisure_weekend_boost(self):
+        weekday = origin_factor(PROFILE_LEISURE_PARK, 2, 13)
+        weekend = origin_factor(PROFILE_LEISURE_PARK, 6, 13)
+        assert weekend > 2 * weekday
+
+    def test_mixed_flat(self):
+        for weekday in (0, 6):
+            for hour in (3, 8, 13, 18):
+                assert origin_factor(PROFILE_MIXED, weekday, hour) == 1.0
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            origin_factor("nightlife", 0, 23)
+        with pytest.raises(ValueError):
+            destination_factor("nightlife", 0, 23)

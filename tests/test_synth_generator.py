@@ -1,0 +1,151 @@
+"""Tests for the synthetic generator (spots, trips, noise, top level)."""
+
+import pytest
+
+from repro.data import clean_dataset
+from repro.geo import haversine_m, is_admissible
+from repro.synth import (
+    NoiseConfig,
+    Rng,
+    SyntheticMobyGenerator,
+    apportion_days,
+    all_days,
+    build_dublin_zones,
+    generate_adhoc_spots,
+    generate_stations,
+)
+from tests.conftest import small_generator_config
+
+
+class TestStations:
+    def test_count_and_spacing(self):
+        zones = build_dublin_zones()
+        stations = generate_stations(zones, Rng(3), 40, min_spacing_m=220.0)
+        assert len(stations) == 40
+        for i, a in enumerate(stations):
+            for b in stations[i + 1:]:
+                assert haversine_m(a.point, b.point) >= 219.0
+
+    def test_all_admissible(self):
+        stations = generate_stations(build_dublin_zones(), Rng(3), 40)
+        assert all(is_admissible(spot.point) for spot in stations)
+
+    def test_ids_sequential(self):
+        stations = generate_stations(build_dublin_zones(), Rng(3), 10)
+        assert [s.spot_id for s in stations] == list(range(10))
+
+    def test_popularity_has_peripheral_tail(self):
+        stations = generate_stations(build_dublin_zones(), Rng(3), 60)
+        popularities = sorted(s.popularity for s in stations)
+        assert popularities[0] < 0.1
+        assert popularities[-1] > 1.0
+
+
+class TestAdhocSpots:
+    def test_count_and_ids(self):
+        zones = build_dublin_zones()
+        stations = generate_stations(zones, Rng(3), 20)
+        spots = generate_adhoc_spots(zones, Rng(4), 150, stations, first_id=20)
+        assert len(spots) == 150
+        assert min(s.spot_id for s in spots) == 20
+        assert len({s.spot_id for s in spots}) == 150
+
+    def test_zone_apportionment_tracks_weights(self):
+        zones = build_dublin_zones()
+        stations = generate_stations(zones, Rng(3), 20)
+        spots = generate_adhoc_spots(zones, Rng(4), 200, stations, first_id=20)
+        by_zone = {}
+        for spot in spots:
+            by_zone[spot.zone.name] = by_zone.get(spot.zone.name, 0) + 1
+        heaviest = max(zones, key=lambda z: z.weight)
+        assert by_zone[heaviest.name] == max(by_zone.values())
+
+    def test_all_admissible(self):
+        zones = build_dublin_zones()
+        stations = generate_stations(zones, Rng(3), 20)
+        spots = generate_adhoc_spots(zones, Rng(4), 100, stations)
+        assert all(is_admissible(spot.point) for spot in spots)
+
+
+class TestApportionment:
+    def test_exact_total(self):
+        days = all_days()
+        counts = apportion_days(Rng(5), 10_000, days)
+        assert sum(counts) == 10_000
+        assert len(counts) == len(days)
+
+
+class TestGeneratedDataset:
+    def test_raw_counts_match_config(self, small_world):
+        config = small_generator_config()
+        raw = small_world.raw
+        noise = config.noise
+        assert raw.n_stations == config.n_stations + noise.n_dirty_stations
+        expected_rentals = (
+            config.n_clean_rentals
+            + noise.n_rentals_missing_id
+            + noise.n_rentals_dangling_id
+            + noise.rentals_per_bad_station * 2  # outside + bay stations
+            + noise.rentals_per_bad_location
+            * (
+                noise.n_locations_outside
+                + noise.n_locations_in_bay
+                + noise.n_locations_missing_coords
+            )
+        )
+        assert raw.n_rentals == expected_rentals
+
+    def test_cleaning_restores_clean_counts(self, small_world):
+        config = small_generator_config()
+        cleaned, _ = clean_dataset(small_world.raw)
+        assert cleaned.n_stations == config.n_stations
+        assert cleaned.n_rentals == config.n_clean_rentals
+        assert cleaned.n_locations == pytest.approx(
+            config.n_clean_locations, abs=30
+        )
+
+    def test_deterministic_given_seed(self):
+        config = small_generator_config(seed=21)
+        a = SyntheticMobyGenerator(seed=21, config=config).generate()
+        b = SyntheticMobyGenerator(seed=21, config=config).generate()
+        assert a.n_locations == b.n_locations
+        assert [r.rental_id for r in a.rentals()][:50] == [
+            r.rental_id for r in b.rentals()
+        ][:50]
+        first_a = next(a.rentals())
+        first_b = next(b.rentals())
+        assert first_a == first_b
+
+    def test_seeds_differ(self):
+        config_a = small_generator_config(seed=1)
+        config_b = small_generator_config(seed=2)
+        a = SyntheticMobyGenerator(seed=1, config=config_a).generate()
+        b = SyntheticMobyGenerator(seed=2, config=config_b).generate()
+        assert next(a.rentals()) != next(b.rentals())
+
+    def test_trip_timestamps_in_window(self, small_raw):
+        for rental in small_raw.rentals():
+            assert rental.started_at <= rental.ended_at
+            assert 2020 <= rental.started_at.year <= 2021
+
+    def test_bike_ids_in_range(self, small_raw):
+        config = small_generator_config()
+        for rental in small_raw.rentals():
+            assert 1 <= rental.bike_id <= config.n_bikes
+
+    def test_station_locations_flagged(self, small_world):
+        stations = [l for l in small_world.raw.locations() if l.is_station]
+        clean_station_names = [s for s in stations if s.name.startswith("Station ")]
+        assert len(clean_station_names) >= small_generator_config().n_stations
+
+    def test_latent_world_exposed(self, small_world):
+        assert len(small_world.stations) == small_generator_config().n_stations
+        assert len(small_world.spots) == small_generator_config().n_adhoc_spots
+        assert len(small_world.zones) > 0
+
+
+class TestNoiseConfig:
+    def test_dirty_counts(self):
+        noise = NoiseConfig()
+        assert noise.n_dirty_stations == 3
+        assert noise.n_dirty_locations == 80

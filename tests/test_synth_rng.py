@@ -1,0 +1,100 @@
+"""Tests for the deterministic RNG helpers."""
+
+import math
+
+import pytest
+
+from repro.geo import GeoPoint, haversine_m
+from repro.synth import Rng
+
+CENTER = GeoPoint(53.3473, -6.2591)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a, b = Rng(5), Rng(5)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        assert Rng(1).random() != Rng(2).random()
+
+    def test_fork_is_stable_across_instances(self):
+        a = Rng(7).fork("trips")
+        b = Rng(7).fork("trips")
+        assert a.random() == b.random()
+
+    def test_fork_labels_independent(self):
+        root = Rng(7)
+        assert root.fork("a").random() != root.fork("b").random()
+
+    def test_fork_does_not_consume_parent(self):
+        root = Rng(7)
+        before = Rng(7).random()
+        root.fork("x")
+        assert root.random() == before
+
+
+class TestDistributions:
+    def test_poisson_mean_small_lambda(self):
+        rng = Rng(3)
+        draws = [rng.poisson(4.0) for _ in range(4000)]
+        assert sum(draws) / len(draws) == pytest.approx(4.0, rel=0.05)
+
+    def test_poisson_mean_large_lambda(self):
+        rng = Rng(3)
+        draws = [rng.poisson(200.0) for _ in range(1000)]
+        assert sum(draws) / len(draws) == pytest.approx(200.0, rel=0.02)
+
+    def test_poisson_zero(self):
+        assert Rng(1).poisson(0.0) == 0
+
+    def test_poisson_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Rng(1).poisson(-1.0)
+
+    def test_weighted_key_distribution(self):
+        rng = Rng(9)
+        weights = {"a": 1.0, "b": 3.0}
+        draws = [rng.weighted_key(weights) for _ in range(4000)]
+        share_b = draws.count("b") / len(draws)
+        assert share_b == pytest.approx(0.75, abs=0.03)
+
+    def test_weighted_key_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            Rng(1).weighted_key({"a": 0.0})
+
+    def test_weighted_index(self):
+        rng = Rng(4)
+        draws = [rng.weighted_index([0.0, 1.0, 0.0]) for _ in range(100)]
+        assert set(draws) == {1}
+
+    def test_weighted_index_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Rng(1).weighted_index([])
+
+
+class TestGeography:
+    def test_jitter_point_scale(self):
+        rng = Rng(11)
+        distances = [
+            haversine_m(CENTER, rng.jitter_point(CENTER, 20.0))
+            for _ in range(500)
+        ]
+        mean = sum(distances) / len(distances)
+        # Rayleigh mean for sigma=20 is 20 * sqrt(pi/2) ~= 25.
+        assert mean == pytest.approx(20.0 * math.sqrt(math.pi / 2.0), rel=0.1)
+
+    def test_point_in_disc_radius_bound(self):
+        rng = Rng(12)
+        for _ in range(300):
+            point = rng.point_in_disc(CENTER, 400.0)
+            assert haversine_m(CENTER, point) <= 401.0
+
+    def test_point_in_disc_spread(self):
+        rng = Rng(13)
+        inside_half = sum(
+            haversine_m(CENTER, rng.point_in_disc(CENTER, 100.0)) <= 50.0
+            for _ in range(2000)
+        )
+        # Uniform disc: a quarter of points land within half the radius.
+        assert inside_half / 2000 == pytest.approx(0.25, abs=0.04)

@@ -1,0 +1,162 @@
+"""Tests for the pair pool and trip sampler internals."""
+
+import pytest
+
+from repro.geo import haversine_m
+from repro.synth import (
+    LocationPool,
+    PairPool,
+    Rng,
+    TripSampler,
+    TripSamplerConfig,
+    build_dublin_zones,
+    generate_adhoc_spots,
+    generate_stations,
+)
+
+
+@pytest.fixture(scope="module")
+def layout():
+    zones = build_dublin_zones()
+    stations = generate_stations(zones, Rng(3), 20)
+    adhoc = generate_adhoc_spots(zones, Rng(4), 120, stations, first_id=20)
+    return zones, stations, adhoc
+
+
+class TestPairPool:
+    def test_pairs_unique_and_nonempty(self, layout):
+        _, stations, adhoc = layout
+        pool = PairPool(stations + adhoc, Rng(5), TripSamplerConfig())
+        keys = {
+            (min(u.spot_id, v.spot_id), max(u.spot_id, v.spot_id))
+            for u, v, _ in pool.pairs
+        }
+        assert len(keys) == len(pool.pairs)
+        assert len(pool.pairs) > len(stations + adhoc)
+
+    def test_no_self_pairs(self, layout):
+        _, stations, adhoc = layout
+        pool = PairPool(stations + adhoc, Rng(5), TripSamplerConfig())
+        assert all(u.spot_id != v.spot_id for u, v, _ in pool.pairs)
+
+    def test_pairs_prefer_short_distances(self, layout):
+        _, stations, adhoc = layout
+        pool = PairPool(stations + adhoc, Rng(5), TripSamplerConfig())
+        distances = [
+            haversine_m(u.point, v.point) for u, v, _ in pool.pairs
+        ]
+        mean_pair = sum(distances) / len(distances)
+        # Mean pair distance must be far below the city's diameter.
+        assert mean_pair < 6_000.0
+
+    def test_sample_directed_returns_pool_pairs(self, layout):
+        _, stations, adhoc = layout
+        pool = PairPool(stations + adhoc, Rng(5), TripSamplerConfig())
+        keys = {
+            (min(u.spot_id, v.spot_id), max(u.spot_id, v.spot_id))
+            for u, v, _ in pool.pairs
+        }
+        rng = Rng(6)
+        for _ in range(200):
+            origin, destination = pool.sample_directed(rng, 2, 8)
+            key = (
+                min(origin.spot_id, destination.spot_id),
+                max(origin.spot_id, destination.spot_id),
+            )
+            assert key in keys
+
+    def test_commute_time_shifts_destinations(self, layout):
+        # At 8 am on a weekday, employment zones must absorb a larger
+        # share of destinations than at 8 am on a Sunday.
+        _, stations, adhoc = layout
+        pool = PairPool(stations + adhoc, Rng(5), TripSamplerConfig())
+        rng = Rng(7)
+
+        def employment_share(weekday: int) -> float:
+            hits = 0
+            for _ in range(2000):
+                _, destination = pool.sample_directed(rng, weekday, 8)
+                hits += destination.zone.profile == "employment"
+            return hits / 2000
+
+        assert employment_share(1) > employment_share(6) * 1.3
+
+
+class TestLocationPool:
+    def _spot(self, layout):
+        _, stations, adhoc = layout
+        return adhoc[0]
+
+    def test_budget_respected(self, layout):
+        spot = self._spot(layout)
+        spot.location_ids.clear()
+        pool = LocationPool(
+            Rng(8), target_locations=10, expected_events=1000,
+            first_location_id=100,
+        )
+        for _ in range(1000):
+            pool.location_for_event(spot, spot.point)
+        assert pool.created == pytest.approx(10, abs=4)
+
+    def test_ids_sequential_from_first(self, layout):
+        spot = self._spot(layout)
+        spot.location_ids.clear()
+        pool = LocationPool(
+            Rng(9), target_locations=5, expected_events=5,
+            first_location_id=500,
+        )
+        for _ in range(5):
+            pool.location_for_event(spot, spot.point)
+        assert [r.location_id for r in pool.records] == list(
+            range(500, 500 + pool.created)
+        )
+
+    def test_forced_mint_when_spot_has_no_locations(self, layout):
+        spot = self._spot(layout)
+        spot.location_ids.clear()
+        pool = LocationPool(
+            Rng(10), target_locations=0, expected_events=10,
+            first_location_id=0,
+        )
+        location_id = pool.location_for_event(spot, spot.point)
+        assert location_id == 0
+        assert pool.created == 1
+
+
+class TestTripSampler:
+    def test_generate_count_and_order(self, layout):
+        zones, stations, adhoc = layout
+        for spot in stations + adhoc:
+            spot.location_ids.clear()
+        for spot in stations:
+            spot.location_ids.append(spot.spot_id)
+        sampler = TripSampler(zones, stations, adhoc, Rng(11))
+        rentals, pool = sampler.generate(
+            500,
+            lambda n: LocationPool(Rng(12), 300, n, first_location_id=20),
+            n_bikes=10,
+        )
+        assert len(rentals) == 500
+        # Trips are emitted day by day (times within a day are random).
+        dates = [r.started_at.date() for r in rentals]
+        assert dates == sorted(dates)
+        assert all(1 <= r.bike_id <= 10 for r in rentals)
+
+    def test_round_trips_present(self, layout):
+        zones, stations, adhoc = layout
+        for spot in stations + adhoc:
+            spot.location_ids.clear()
+        for spot in stations:
+            spot.location_ids.append(spot.spot_id)
+        config = TripSamplerConfig(
+            p_round_trip_leisure=1.0, p_round_trip_other=1.0
+        )
+        sampler = TripSampler(zones, stations, adhoc, Rng(13), config)
+        rentals, _ = sampler.generate(
+            50,
+            lambda n: LocationPool(Rng(14), 100, n, first_location_id=20),
+            n_bikes=5,
+        )
+        # Every trip is a round trip: origin/destination share a spot,
+        # though GPS fixes may differ; durations still positive.
+        assert all(r.ended_at > r.started_at for r in rentals)

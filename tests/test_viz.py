@@ -1,0 +1,132 @@
+"""Tests for the SVG renderer, palettes, maps and charts."""
+
+import pytest
+
+from repro.viz import (
+    COMMUNITY_COLOURS,
+    MapProjection,
+    SvgCanvas,
+    colour_hex,
+    colour_name,
+    render_candidate_map,
+    render_community_map,
+    render_profile_chart,
+    render_selected_map,
+)
+from repro.geo import GeoPoint, destination_point
+
+CENTER = GeoPoint(53.3473, -6.2591)
+
+
+class TestSvgCanvas:
+    def test_document_structure(self):
+        canvas = SvgCanvas(200, 100)
+        canvas.circle(10, 10, 5, fill="#ff0000")
+        canvas.line(0, 0, 10, 10)
+        canvas.rect(5, 5, 20, 10)
+        canvas.text(1, 1, "hello <world> & more")
+        text = canvas.to_string()
+        assert text.startswith("<svg ")
+        assert text.endswith("</svg>")
+        assert "<circle" in text and "<line" in text and "<rect" in text
+        assert "hello &lt;world&gt; &amp; more" in text
+
+    def test_polyline_and_polygon(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.polyline([(0, 0), (10, 10), (20, 0)])
+        canvas.polygon([(0, 0), (10, 10), (20, 0)], fill="#eee")
+        text = canvas.to_string()
+        assert "<polyline" in text and "<polygon" in text
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(50, 50)
+        path = canvas.save(tmp_path / "nested" / "out.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(0, 10)
+
+
+class TestPalette:
+    def test_paper_colour_names(self):
+        names = [colour_name(label) for label in range(1, 11)]
+        assert names == [
+            "Blue", "Orange", "Green", "Red", "Purple",
+            "Brown", "Pink", "Gray", "Olive", "Cyan",
+        ]
+
+    def test_cycling(self):
+        assert colour_name(11) == colour_name(1)
+        assert colour_hex(12) == colour_hex(2)
+
+    def test_hex_format(self):
+        for label in range(1, len(COMMUNITY_COLOURS) + 1):
+            value = colour_hex(label)
+            assert value.startswith("#") and len(value) == 7
+
+
+class TestMapProjection:
+    def test_points_land_inside_canvas(self):
+        points = [
+            destination_point(CENTER, bearing, 1_000.0)
+            for bearing in range(0, 360, 30)
+        ]
+        projection = MapProjection(points, width=500.0)
+        for point in points:
+            x, y = projection.to_canvas(point)
+            assert 0 <= x <= 500
+            assert 0 <= y <= projection.height
+
+    def test_north_is_up(self):
+        north = destination_point(CENTER, 0.0, 500.0)
+        south = destination_point(CENTER, 180.0, 500.0)
+        projection = MapProjection([north, south, CENTER])
+        assert projection.to_canvas(north)[1] < projection.to_canvas(south)[1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MapProjection([])
+
+
+class TestFigureRenderers:
+    def test_candidate_map(self, small_result):
+        network = small_result.candidates
+        points = {
+            ("station", sid): p for sid, p in network.station_points.items()
+        }
+        points.update(
+            (("cluster", cid), p)
+            for cid, p in network.cluster_centroids.items()
+        )
+        canvas = render_candidate_map(points, network.flow)
+        text = canvas.to_string()
+        assert text.count("<circle") == len(points)
+
+    def test_selected_map(self, small_result):
+        canvas = render_selected_map(small_result.network)
+        text = canvas.to_string()
+        assert text.count("<circle") == len(small_result.network.stations)
+
+    def test_community_map(self, small_result):
+        canvas = render_community_map(
+            small_result.network, small_result.basic.partition, "G_Basic"
+        )
+        assert "G_Basic" in canvas.to_string()
+
+    def test_profile_chart(self):
+        profiles = {1: [0.1] * 7, 2: [0.2] * 7}
+        canvas = render_profile_chart(
+            profiles, ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"], "Fig 5"
+        )
+        text = canvas.to_string()
+        assert text.count("<rect") >= 14  # at least one bar per (comm, day)
+
+    def test_profile_chart_validates_lengths(self):
+        with pytest.raises(ValueError):
+            render_profile_chart({1: [0.5] * 6}, ["a"] * 7, "bad")
+
+    def test_profile_chart_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_profile_chart({}, [], "bad")

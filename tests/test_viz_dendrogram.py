@@ -1,0 +1,36 @@
+"""Tests for the dendrogram renderer."""
+
+import numpy as np
+
+from repro.cluster import linkage_cluster
+from repro.viz import render_dendrogram
+
+
+def small_dendrogram():
+    points = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0], [11.0, 0.0]])
+    diff = points[:, None, :] - points[None, :, :]
+    matrix = np.sqrt((diff**2).sum(axis=2))
+    return linkage_cluster(matrix)
+
+
+class TestRenderDendrogram:
+    def test_document_contains_all_merges(self):
+        dendrogram = small_dendrogram()
+        canvas = render_dendrogram(dendrogram, title="test")
+        text = canvas.to_string()
+        # Each merge draws three line segments, plus the axis line.
+        assert text.count("<line") >= 3 * len(dendrogram.merges) + 1
+        assert "test" in text
+
+    def test_cut_line_drawn(self):
+        canvas = render_dendrogram(small_dendrogram(), cut_height=2.0)
+        assert "cut 2" in canvas.to_string()
+
+    def test_cut_above_max_omitted(self):
+        canvas = render_dendrogram(small_dendrogram(), cut_height=1e9)
+        assert "cut" not in canvas.to_string()
+
+    def test_single_point_dendrogram(self):
+        dendrogram = linkage_cluster(np.zeros((1, 1)))
+        canvas = render_dendrogram(dendrogram)
+        assert canvas.to_string().startswith("<svg")
