@@ -9,12 +9,29 @@ synthetic stand-in for the proprietary Moby Bikes dataset:
 >>> result.basic.modularity > 0
 True
 
+The methodology is executed as a staged DAG by
+:class:`~repro.pipeline.PipelineRunner` (``clean`` -> ``candidates``
+-> ``selection`` -> ``network`` -> ``basic``/``day``/``hour``), with
+content-addressed caching of every stage value and parallel fan-out of
+the temporal community slices.  ``NetworkExpansionOptimiser`` is a
+thin facade over it; both produce identical results, pinned by the
+golden regression suite in ``tests/test_golden_paper.py``:
+
+>>> from repro import PipelineRunner
+>>> runner = PipelineRunner(generate_paper_dataset())  # cache_dir=..., jobs=...
+>>> runner.run().selection.n_selected > 0
+True
+
+Parameter grids share one cache through :func:`~repro.pipeline.run_sweep`
+(CLI: ``repro sweep``), so a sweep only recomputes the stages a config
+actually changes — see ``examples/scenario_sweep.py``.
+
 Sub-packages: :mod:`repro.geo` (geospatial substrate), :mod:`repro.data`
 (relational tables + cleaning), :mod:`repro.synth` (dataset generator),
 :mod:`repro.graphdb` (property graph), :mod:`repro.cluster` (HAC),
 :mod:`repro.community` (Louvain & friends), :mod:`repro.metrics`,
-:mod:`repro.core` (the expansion pipeline), :mod:`repro.viz` and
-:mod:`repro.reporting`.
+:mod:`repro.core` (the expansion pipeline), :mod:`repro.pipeline` (the
+staged runner), :mod:`repro.viz` and :mod:`repro.reporting`.
 """
 
 from .config import (
@@ -32,9 +49,10 @@ from .core import (
 )
 from .data import MobyDataset, clean_dataset
 from .exceptions import ReproError
+from .pipeline import PipelineRunner, StageCache, config_grid, run_sweep
 from .synth import SyntheticMobyGenerator, generate_paper_dataset
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ClusteringConfig",
@@ -44,11 +62,15 @@ __all__ = [
     "NetworkExpansionOptimiser",
     "PAPER_CONFIG",
     "PipelineConfig",
+    "PipelineRunner",
     "ReproError",
     "SelectionConfig",
+    "StageCache",
     "SyntheticMobyGenerator",
     "TemporalCommunityConfig",
     "clean_dataset",
+    "config_grid",
     "generate_paper_dataset",
+    "run_sweep",
     "validate_expansion",
 ]

@@ -1,11 +1,14 @@
 """Command-line interface.
 
-Five subcommands cover the library's end-to-end workflow:
+Six subcommands cover the library's end-to-end workflow:
 
 * ``generate`` — write the calibrated synthetic dataset to CSV;
 * ``clean`` — run the six-rule cleaning pipeline over a CSV dataset;
 * ``run`` — the full expansion pipeline: prints every paper table and
-  (optionally) renders the figures;
+  (optionally) renders the figures; ``--cache-dir`` warms a stage
+  cache, ``--jobs`` fans the temporal slices out over workers;
+* ``sweep`` — run a parameter grid (``--set section.field=v1,v2``)
+  through the staged runner with one shared cache;
 * ``rebalance`` — build the Friday-night rebalancing plan;
 * ``report`` — write the paper-vs-measured markdown report.
 
@@ -22,6 +25,8 @@ from typing import Sequence
 from .analysis import plan_weekend_rebalancing
 from .core import NetworkExpansionOptimiser
 from .data import MobyDataset, clean_dataset
+from .exceptions import ConfigError
+from .pipeline import config_grid, run_sweep
 from .reporting import (
     experiment_table1,
     experiment_table2,
@@ -30,6 +35,7 @@ from .reporting import (
     experiment_table5,
     experiment_table6,
     format_table,
+    sweep_summary,
 )
 from .synth import SyntheticMobyGenerator
 
@@ -65,6 +71,29 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="run over a CSV dataset instead of generating one")
     run.add_argument("--figures", type=Path, default=None,
                      help="directory to render the paper figures into")
+    run.add_argument("--cache-dir", type=Path, default=None,
+                     help="stage cache directory (a second run skips every "
+                          "already-computed stage)")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="worker budget for parallel stage/slice fan-out")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a parameter grid through the staged runner"
+    )
+    sweep.add_argument("--seed", type=int, default=7,
+                       help="seed for the synthetic dataset (ignored with --data)")
+    sweep.add_argument("--data", type=Path, default=None,
+                       help="sweep over a CSV dataset instead of generating one")
+    sweep.add_argument("--set", dest="axes", action="append", default=[],
+                       metavar="SECTION.FIELD=V1,V2,...",
+                       help="one sweep axis as comma-separated values; repeat "
+                            "for a cross product (e.g. --set temporal.coupling=0.08,0.12)")
+    sweep.add_argument("--cache-dir", type=Path, default=None,
+                       help="stage cache shared by every scenario")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="scenarios to run concurrently")
+    sweep.add_argument("--executor", choices=("thread", "process"),
+                       default="thread", help="worker pool backend")
 
     rebalance = subparsers.add_parser(
         "rebalance", help="plan Friday-night fleet rebalancing"
@@ -113,9 +142,33 @@ def _cmd_clean(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_axis(spec: str) -> tuple[str, list]:
+    """Parse one ``--set section.field=v1,v2`` sweep axis."""
+    path, _, raw_values = spec.partition("=")
+    if not raw_values or "." not in path:
+        raise ConfigError(
+            f"bad sweep axis {spec!r}; expected SECTION.FIELD=V1,V2,..."
+        )
+
+    def coerce(text: str):
+        text = text.strip()
+        if text.lower() == "none":
+            return None
+        for kind in (int, float):
+            try:
+                return kind(text)
+            except ValueError:
+                continue
+        return text
+
+    return path.strip(), [coerce(value) for value in raw_values.split(",")]
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     raw = _load_dataset(args)
-    optimiser = NetworkExpansionOptimiser(raw)
+    optimiser = NetworkExpansionOptimiser(
+        raw, cache_dir=args.cache_dir, jobs=args.jobs
+    )
     result = optimiser.run()
     for output in (
         experiment_table1(result.cleaning_report),
@@ -143,6 +196,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 result.network, partition, name
             ).save(args.figures / f"{name}.svg")
         print(f"figures written to {args.figures}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .config import PAPER_CONFIG
+
+    axes: dict[str, list] = {}
+    for spec in args.axes:
+        path, values = _parse_axis(spec)
+        if path in axes:
+            raise ConfigError(
+                f"sweep axis {path!r} given twice; list every value in one "
+                f"--set (e.g. --set {path}=v1,v2)"
+            )
+        axes[path] = values
+    grid = config_grid(PAPER_CONFIG, axes)
+    raw = _load_dataset(args)
+    results = run_sweep(
+        raw,
+        [config for _, config in grid],
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        executor=args.executor,
+    )
+    labels = [
+        ", ".join(f"{path}={value}" for path, value in overrides.items())
+        or "paper defaults"
+        for overrides, _ in grid
+    ]
+    print(
+        sweep_summary(
+            list(zip(labels, results)),
+            title=f"SCENARIO SWEEP ({len(results)} configs)",
+        )
+    )
     return 0
 
 
@@ -200,6 +288,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "clean": _cmd_clean,
     "run": _cmd_run,
+    "sweep": _cmd_sweep,
     "rebalance": _cmd_rebalance,
     "report": _cmd_report,
 }

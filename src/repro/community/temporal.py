@@ -22,7 +22,7 @@ network of Mucha et al. (2010):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Sequence
+from typing import Callable, Hashable, Iterable, Sequence
 
 from ..config import TemporalCommunityConfig
 from ..exceptions import CommunityError
@@ -33,6 +33,9 @@ from .partition import Partition
 StationKey = Hashable
 #: A sliced node: (station, slice index).
 SliceNode = tuple[StationKey, int]
+#: A map-like callable for the per-slice aggregation fan-out (the
+#: builtin ``map``, an executor's ``.map``, or ``PipelineRunner.map``).
+SliceMapper = Callable[[Callable, Iterable], Iterable]
 
 
 @dataclass(frozen=True)
@@ -57,30 +60,78 @@ class TemporalCommunityResult:
         return self.station_partition.n_communities
 
 
+def slice_trip_buckets(
+    trips: Iterable[tuple[StationKey, StationKey, int]],
+    n_slices: int,
+) -> list[list[tuple[StationKey, StationKey]]]:
+    """Partition trips into per-slice buckets (trip order preserved)."""
+    if n_slices <= 0:
+        raise CommunityError("n_slices must be positive")
+    buckets: list[list[tuple[StationKey, StationKey]]] = [
+        [] for _ in range(n_slices)
+    ]
+    for origin, destination, slice_index in trips:
+        if not 0 <= slice_index < n_slices:
+            raise CommunityError(
+                f"slice index {slice_index} outside [0, {n_slices})"
+            )
+        buckets[slice_index].append((origin, destination))
+    return buckets
+
+
+def aggregate_slice(
+    bucket: Sequence[tuple[StationKey, StationKey]],
+) -> tuple[
+    dict[tuple[StationKey, StationKey], float], dict[StationKey, float]
+]:
+    """Aggregate one slice's trips: edge weights + station strengths.
+
+    Pure and order-deterministic (dicts keep first-seen order), so the
+    per-slice fan-out yields the same merged graph as a serial pass.
+    Module-level so process pools can pickle it.
+    """
+    edges: dict[tuple[StationKey, StationKey], float] = {}
+    stations: dict[StationKey, float] = {}
+    for origin, destination in bucket:
+        edges[(origin, destination)] = edges.get((origin, destination), 0.0) + 1.0
+        stations[origin] = stations.get(origin, 0.0) + 1.0
+        stations[destination] = stations.get(destination, 0.0) + 1.0
+    return edges, stations
+
+
 def build_sliced_graph(
     trips: Iterable[tuple[StationKey, StationKey, int]],
     n_slices: int,
     coupling: float,
+    mapper: SliceMapper | None = None,
 ) -> WeightedGraph:
     """Build the multislice graph from ``(origin, destination, slice)``.
 
     Coupling edges join a station's copies in circularly consecutive
     *active* slices with weight ``coupling`` times the station's mean
     per-active-slice strength, so the knob is scale-free in trip volume.
+
+    Construction is canonical — trips are bucketed by slice, each
+    bucket aggregated independently (``mapper`` fans the buckets out
+    over workers), and the aggregates merged in slice order — so the
+    resulting graph is identical whether the aggregation ran serially
+    or in parallel.  (This ordering replaced the original
+    trip-interleaved insertion; node sets and edge weights are
+    unchanged but Louvain's seeded visit order — and hence the exact
+    G_Day/G_Hour partitions — shifted within the calibrated ranges.
+    The current numbers are pinned by ``tests/test_golden_paper.py``.)
     """
-    if n_slices <= 0:
-        raise CommunityError("n_slices must be positive")
+    buckets = slice_trip_buckets(trips, n_slices)
+    aggregates = list((mapper or map)(aggregate_slice, buckets))
     graph = WeightedGraph()
     station_slice_weight: dict[StationKey, dict[int, float]] = {}
-    for origin, destination, slice_index in trips:
-        if not 0 <= slice_index < n_slices:
-            raise CommunityError(
-                f"slice index {slice_index} outside [0, {n_slices})"
+    for slice_index, (edges, stations) in enumerate(aggregates):
+        for (origin, destination), weight in edges.items():
+            graph.add_edge(
+                (origin, slice_index), (destination, slice_index), weight
             )
-        graph.add_edge((origin, slice_index), (destination, slice_index), 1.0)
-        for station in (origin, destination):
-            weights = station_slice_weight.setdefault(station, {})
-            weights[slice_index] = weights.get(slice_index, 0.0) + 1.0
+        for station, weight in stations.items():
+            station_slice_weight.setdefault(station, {})[slice_index] = weight
 
     if coupling > 0.0:
         for station, weights in station_slice_weight.items():
@@ -122,10 +173,15 @@ def detect_temporal_communities(
     trips: Sequence[tuple[StationKey, StationKey, int]],
     n_slices: int,
     config: TemporalCommunityConfig | None = None,
+    mapper: SliceMapper | None = None,
 ) -> TemporalCommunityResult:
-    """Full multislice pipeline: build, Louvain, collapse."""
+    """Full multislice pipeline: build, Louvain, collapse.
+
+    ``mapper`` (optional) fans the per-slice aggregation out over
+    workers; the result is identical to the serial path.
+    """
     cfg = config or TemporalCommunityConfig()
-    graph = build_sliced_graph(trips, n_slices, cfg.coupling)
+    graph = build_sliced_graph(trips, n_slices, cfg.coupling, mapper=mapper)
     if graph.node_count == 0:
         raise CommunityError("no trips — nothing to detect communities on")
     result = louvain(graph, cfg)

@@ -17,7 +17,8 @@ Distances are metres throughout the package unless a name says otherwise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
 
 from .exceptions import ConfigError
 
@@ -129,6 +130,32 @@ class PipelineConfig:
     temporal: TemporalCommunityConfig = field(
         default_factory=TemporalCommunityConfig
     )
+
+    def derive(self, overrides: Mapping[str, Any]) -> "PipelineConfig":
+        """A copy with dotted-path ``overrides`` applied.
+
+        Keys name a section and a field, e.g. ``"temporal.coupling"``
+        or ``"selection.secondary_distance_m"``.  Sweep grids are built
+        this way (see :func:`repro.pipeline.config_grid`).
+
+        >>> PAPER_CONFIG.derive({"temporal.coupling": 0.2}).temporal.coupling
+        0.2
+        """
+        sections = {f.name: getattr(self, f.name) for f in fields(self)}
+        for path, value in overrides.items():
+            section_name, _, field_name = path.partition(".")
+            if section_name not in sections or not field_name:
+                raise ConfigError(
+                    f"unknown config path {path!r}; expected "
+                    f"'<section>.<field>' with section in {sorted(sections)}"
+                )
+            section = sections[section_name]
+            if field_name not in {f.name for f in fields(section)}:
+                raise ConfigError(
+                    f"section {section_name!r} has no field {field_name!r}"
+                )
+            sections[section_name] = replace(section, **{field_name: value})
+        return PipelineConfig(**sections)
 
 
 #: The configuration used for every headline experiment in the paper.

@@ -1,9 +1,15 @@
 """The end-to-end network-expansion pipeline (the paper's methodology).
 
-:class:`NetworkExpansionOptimiser` chains the three steps of Section IV
-— graph construction, station ranking and selection, and community
-detection at three temporal granularities — over a raw dataset.  Each
-stage can also be invoked on its own for the benches.
+:class:`NetworkExpansionOptimiser` is a thin facade over the staged
+:class:`~repro.pipeline.PipelineRunner`: it chains the three steps of
+Section IV — graph construction, station ranking and selection, and
+community detection at three temporal granularities — over a raw
+dataset.  Each stage can still be invoked on its own for the benches,
+and the runner underneath adds content-addressed caching (pass
+``cache_dir``) and parallel fan-out (pass ``jobs``); for a given
+pipeline version, cached, parallel, facade and direct-runner execution
+all produce identical results, pinned by the golden suite in
+``tests/test_golden_paper.py``.
 
 >>> from repro.synth import generate_paper_dataset
 >>> from repro.core import NetworkExpansionOptimiser
@@ -14,62 +20,61 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
 
-from ..community import (
-    LouvainResult,
-    TemporalCommunityResult,
-    detect_temporal_communities,
-    louvain,
-)
+from ..community import LouvainResult, TemporalCommunityResult
 from ..config import PAPER_CONFIG, PipelineConfig
-from ..data import CleaningReport, MobyDataset, clean_dataset
-from ..exceptions import PipelineError
-from .candidates import CandidateNetwork, build_candidate_network
-from .graphs import SelectedNetwork, build_selected_network
-from .selection import SelectionResult, select_stations
+from ..data import CleaningReport, MobyDataset
+from ..pipeline.cache import StageCache
+from ..pipeline.runner import (
+    N_DAY_SLICES,
+    N_HOUR_SLICES,
+    PipelineRunner,
+    config_grid,
+    run_sweep,
+)
+from .candidates import CandidateNetwork
+from .graphs import SelectedNetwork
+from .results import ExpansionResult
+from .selection import SelectionResult
 
-N_DAY_SLICES = 7
-N_HOUR_SLICES = 24
-
-
-@dataclass
-class ExpansionResult:
-    """Everything the pipeline produced, stage by stage."""
-
-    cleaned: MobyDataset
-    cleaning_report: CleaningReport
-    candidates: CandidateNetwork
-    selection: SelectionResult
-    network: SelectedNetwork
-    basic: LouvainResult
-    day: TemporalCommunityResult
-    hour: TemporalCommunityResult
-
-    @property
-    def n_new_stations(self) -> int:
-        """How many stations the expansion added."""
-        return self.selection.n_selected
-
-    @property
-    def n_total_stations(self) -> int:
-        """Stations after expansion."""
-        return len(self.network.stations)
+__all__ = [
+    "ExpansionResult",
+    "N_DAY_SLICES",
+    "N_HOUR_SLICES",
+    "NetworkExpansionOptimiser",
+]
 
 
 class NetworkExpansionOptimiser:
-    """Stages and runs the full expansion pipeline over a raw dataset."""
+    """Stages and runs the full expansion pipeline over a raw dataset.
+
+    A facade over :class:`~repro.pipeline.PipelineRunner`; the public
+    stage methods and the :class:`ExpansionResult` shape are unchanged
+    from the pre-runner implementation.
+    """
 
     def __init__(
-        self, raw: MobyDataset, config: PipelineConfig = PAPER_CONFIG
+        self,
+        raw: MobyDataset,
+        config: PipelineConfig = PAPER_CONFIG,
+        *,
+        cache: StageCache | None = None,
+        cache_dir: str | Path | None = None,
+        jobs: int = 1,
+        executor: str = "thread",
     ) -> None:
         self.raw = raw
         self.config = config
-        self._cleaned: MobyDataset | None = None
-        self._report: CleaningReport | None = None
-        self._candidates: CandidateNetwork | None = None
-        self._selection: SelectionResult | None = None
-        self._network: SelectedNetwork | None = None
+        self.runner = PipelineRunner(
+            raw,
+            config,
+            cache=cache,
+            cache_dir=cache_dir,
+            jobs=jobs,
+            executor=executor,
+        )
 
     # ------------------------------------------------------------------
     # Stages
@@ -77,54 +82,31 @@ class NetworkExpansionOptimiser:
 
     def clean(self) -> tuple[MobyDataset, CleaningReport]:
         """Stage 0: apply the six cleaning rules."""
-        if self._cleaned is None:
-            self._cleaned, self._report = clean_dataset(self.raw)
-        assert self._report is not None
-        return self._cleaned, self._report
+        return self.runner.stage("clean")
 
     def condense(self) -> CandidateNetwork:
         """Stage 1: HAC condensation into the candidate graph."""
-        if self._candidates is None:
-            cleaned, _ = self.clean()
-            self._candidates = build_candidate_network(
-                cleaned, self.config.clustering
-            )
-        return self._candidates
+        return self.runner.stage("candidates")
 
     def select(self) -> SelectionResult:
         """Stage 2: Algorithm 1 over the candidate graph."""
-        if self._selection is None:
-            self._selection = select_stations(
-                self.condense(), self.config.selection
-            )
-        return self._selection
+        return self.runner.stage("selection")
 
     def build_network(self) -> SelectedNetwork:
         """Stage 2b: reassign locations and trips to the expanded network."""
-        if self._network is None:
-            cleaned, _ = self.clean()
-            self._network = build_selected_network(
-                cleaned, self.condense(), self.select()
-            )
-        return self._network
+        return self.runner.stage("network")
 
     def detect_basic(self) -> LouvainResult:
         """Stage 3a: Louvain on G_Basic."""
-        return louvain(self.build_network().g_basic(), self.config.community)
+        return self.runner.stage("basic")
 
     def detect_day(self) -> TemporalCommunityResult:
         """Stage 3b: multislice Louvain on G_Day (7 slices)."""
-        network = self.build_network()
-        return detect_temporal_communities(
-            network.day_sliced_trips(), N_DAY_SLICES, self.config.temporal
-        )
+        return self.runner.stage("day")
 
     def detect_hour(self) -> TemporalCommunityResult:
         """Stage 3c: multislice Louvain on G_Hour (24 slices)."""
-        network = self.build_network()
-        return detect_temporal_communities(
-            network.hour_sliced_trips(), N_HOUR_SLICES, self.config.temporal
-        )
+        return self.runner.stage("hour")
 
     # ------------------------------------------------------------------
     # One-shot
@@ -132,16 +114,29 @@ class NetworkExpansionOptimiser:
 
     def run(self) -> ExpansionResult:
         """Run every stage and bundle the results."""
-        cleaned, report = self.clean()
-        if cleaned.n_rentals == 0:
-            raise PipelineError("cleaning removed every rental — nothing to do")
-        return ExpansionResult(
-            cleaned=cleaned,
-            cleaning_report=report,
-            candidates=self.condense(),
-            selection=self.select(),
-            network=self.build_network(),
-            basic=self.detect_basic(),
-            day=self.detect_day(),
-            hour=self.detect_hour(),
+        return self.runner.run()
+
+    def run_sweep(
+        self,
+        configs: Sequence[PipelineConfig] | Mapping[str, Sequence[Any]],
+        *,
+        jobs: int = 1,
+        executor: str = "thread",
+    ) -> list[ExpansionResult]:
+        """Run a parameter grid over this dataset, sharing the cache.
+
+        ``configs`` is either explicit :class:`PipelineConfig` objects
+        or a mapping of dotted-path axes (``{"temporal.coupling":
+        [0.1, 0.2]}``) expanded as a cross product around this
+        optimiser's config.  Stages a config does not change are
+        computed once for the whole sweep.
+        """
+        if isinstance(configs, Mapping):
+            configs = [config for _, config in config_grid(self.config, configs)]
+        return run_sweep(
+            self.raw,
+            configs,
+            cache=self.runner.cache,
+            jobs=jobs,
+            executor=executor,
         )

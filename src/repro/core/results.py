@@ -1,0 +1,41 @@
+"""The bundled output of a full expansion pipeline run.
+
+Lives in its own module so both the staged runner
+(:mod:`repro.pipeline`) and the legacy facade
+(:mod:`repro.core.expansion`) can produce the identical shape without
+importing each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..community import LouvainResult, TemporalCommunityResult
+from ..data import CleaningReport, MobyDataset
+from .candidates import CandidateNetwork
+from .graphs import SelectedNetwork
+from .selection import SelectionResult
+
+
+@dataclass
+class ExpansionResult:
+    """Everything the pipeline produced, stage by stage."""
+
+    cleaned: MobyDataset
+    cleaning_report: CleaningReport
+    candidates: CandidateNetwork
+    selection: SelectionResult
+    network: SelectedNetwork
+    basic: LouvainResult
+    day: TemporalCommunityResult
+    hour: TemporalCommunityResult
+
+    @property
+    def n_new_stations(self) -> int:
+        """How many stations the expansion added."""
+        return self.selection.n_selected
+
+    @property
+    def n_total_stations(self) -> int:
+        """Stations after expansion."""
+        return len(self.network.stations)

@@ -1,0 +1,43 @@
+"""Staged pipeline runner: the expansion DAG with caching + parallelism.
+
+The paper's methodology (Section IV) is a strict stage DAG::
+
+    clean ──> candidates ──> selection ──> network ──┬──> basic
+                                                     ├──> day
+                                                     └──> hour
+
+:class:`PipelineRunner` executes that DAG with content-addressed
+caching — every stage value is keyed by a fingerprint chaining the
+dataset digest, the stage's relevant configuration sections, and its
+parents' keys — backed by an in-memory LRU and an optional on-disk
+cache directory.  Independent stages and the temporal slice
+aggregation fan out over ``concurrent.futures`` workers, and
+:func:`run_sweep` shares one cache across a whole parameter grid so a
+sweep only recomputes the stages a config actually changes.
+
+:class:`~repro.core.NetworkExpansionOptimiser` is a thin facade over
+this runner; use the runner directly for sweeps, warm caches and
+parallel execution.
+"""
+
+from .cache import StageCache
+from .fingerprint import config_digest, dataset_digest, fingerprint
+from .runner import (
+    EXPANSION_STAGES,
+    PipelineRunner,
+    config_grid,
+    run_sweep,
+)
+from .stage import Stage
+
+__all__ = [
+    "EXPANSION_STAGES",
+    "PipelineRunner",
+    "Stage",
+    "StageCache",
+    "config_digest",
+    "config_grid",
+    "dataset_digest",
+    "fingerprint",
+    "run_sweep",
+]

@@ -1,0 +1,132 @@
+"""Two-level stage cache: in-memory LRU over an optional disk store.
+
+Values are keyed by the content-addressed fingerprints from
+:mod:`repro.pipeline.fingerprint`.  The memory tier is a bounded LRU
+shared by every runner holding the same :class:`StageCache`; the disk
+tier (one pickle per key, written atomically) makes warm runs survive
+process boundaries — a second ``repro run --cache-dir`` skips every
+stage.  Per-key locks serialise concurrent computation of the same
+stage so a sweep never does the shared work twice.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+#: Sentinel returned by :meth:`StageCache.get` on a miss (``None`` is a
+#: legitimate cached value).
+MISS = object()
+
+
+class StageCache:
+    """LRU memory cache with an optional on-disk pickle tier."""
+
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        memory_slots: int = 64,
+    ) -> None:
+        if memory_slots < 0:
+            raise ValueError("memory_slots must be non-negative")
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.memory_slots = memory_slots
+        self._memory: OrderedDict[str, Any] = OrderedDict()
+        self._mutex = threading.Lock()
+        self._key_locks: dict[str, threading.Lock] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        """The cached value for ``key``, or :data:`MISS`."""
+        with self._mutex:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return self._memory[key]
+        value = self._read_disk(key)
+        if value is MISS:
+            with self._mutex:
+                self.misses += 1
+            return MISS
+        with self._mutex:
+            self.hits += 1
+            self._remember(key, value)
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` in both tiers."""
+        with self._mutex:
+            self.stores += 1
+            self._remember(key, value)
+        self._write_disk(key, value)
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not MISS
+
+    def clear_memory(self) -> None:
+        """Drop the memory tier (the disk tier is untouched)."""
+        with self._mutex:
+            self._memory.clear()
+
+    @contextmanager
+    def lock(self, key: str) -> Iterator[None]:
+        """Serialise concurrent computation of the same key."""
+        with self._mutex:
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            yield
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _remember(self, key: str, value: Any) -> None:
+        if self.memory_slots == 0:
+            return
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_slots:
+            self._memory.popitem(last=False)
+
+    def _path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}.pkl"
+
+    def _read_disk(self, key: str) -> Any:
+        if self.cache_dir is None:
+            return MISS
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # Any unreadable entry — truncated write, version-skewed
+            # pickle (ModuleNotFoundError/TypeError/...), plain garbage
+            # — is a miss: recomputing is always safe.
+            return MISS
+
+    def _write_disk(self, key: str, value: Any) -> None:
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        # Atomic publish: a concurrent reader sees the old file or the
+        # complete new one, never a partial pickle.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)

@@ -1,0 +1,83 @@
+"""Content-addressed fingerprints for pipeline stages.
+
+A stage's cache key is a SHA-256 digest chaining together everything
+that can change its output: the dataset digest (for root stages), the
+configuration sections the stage actually reads, and the keys of its
+parent stages.  Changing the selection thresholds therefore invalidates
+``selection`` and everything downstream of it while leaving the
+``candidates`` stage warm — the granularity the sweep runner relies on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from pathlib import Path
+from typing import Any
+
+from ..data import MobyDataset
+
+
+def _token(value: Any) -> str:
+    """A deterministic, order-independent string form of ``value``."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _token(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        name = type(value).__name__
+        return f"{name}({','.join(f'{k}={v}' for k, v in sorted(fields.items()))})"
+    if isinstance(value, dict):
+        items = ",".join(
+            f"{_token(k)}:{_token(v)}" for k, v in sorted(value.items(), key=repr)
+        )
+        return f"{{{items}}}"
+    if isinstance(value, (list, tuple)):
+        return f"[{','.join(_token(v) for v in value)}]"
+    if isinstance(value, (set, frozenset)):
+        return f"{{{','.join(sorted(_token(v) for v in value))}}}"
+    if isinstance(value, Path):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    return repr(value)
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 hex digest of the tokenised ``parts``."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(_token(part).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def config_digest(config: Any) -> str:
+    """Fingerprint of one configuration object (any dataclass)."""
+    return fingerprint(config)
+
+
+def dataset_digest(dataset: MobyDataset) -> str:
+    """Digest of a dataset's full record content (id order).
+
+    Two datasets with identical rows — whether generated, loaded from
+    CSV, or round-tripped — share a digest, so cache entries survive
+    serialisation boundaries.
+    """
+    digest = hashlib.sha256()
+    for location in dataset.locations():
+        digest.update(
+            (
+                f"L|{location.location_id}|{location.lat!r}|{location.lon!r}"
+                f"|{location.is_station}|{location.name}"
+            ).encode("utf-8")
+        )
+    for rental in dataset.rentals():
+        digest.update(
+            (
+                f"R|{rental.rental_id}|{rental.bike_id}|{rental.started_at}"
+                f"|{rental.ended_at}|{rental.rental_location_id}"
+                f"|{rental.return_location_id}"
+            ).encode("utf-8")
+        )
+    return digest.hexdigest()

@@ -1,0 +1,439 @@
+"""The staged pipeline runner and the multi-scenario sweep driver.
+
+``PipelineRunner`` executes the expansion stage DAG declared in
+:data:`EXPANSION_STAGES`.  Each stage value is looked up in a
+:class:`~repro.pipeline.cache.StageCache` under its content-addressed
+fingerprint before the body runs, and execution counts are kept per
+stage so tests (and benches) can assert that a warm run recomputes
+nothing.  With ``jobs > 1`` the independent community stages run
+concurrently and the temporal stages fan their per-slice aggregation
+out over the same worker budget.
+"""
+
+from __future__ import annotations
+
+import itertools
+import shutil
+import tempfile
+import threading
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..community.louvain import louvain
+from ..community.temporal import detect_temporal_communities
+from ..config import PAPER_CONFIG, PipelineConfig
+from ..core.candidates import build_candidate_network
+from ..core.graphs import build_selected_network
+from ..core.results import ExpansionResult
+from ..core.selection import select_stations
+from ..data import MobyDataset
+from ..data.cleaning import clean_dataset
+from ..exceptions import PipelineError
+from .cache import MISS, StageCache
+from .fingerprint import dataset_digest, fingerprint
+from .stage import Stage
+
+N_DAY_SLICES = 7
+N_HOUR_SLICES = 24
+
+#: Bump when a stage's semantics change: old cache entries become
+#: unreachable instead of silently stale.
+CACHE_SCHEMA_VERSION = 1
+
+_EXECUTOR_KINDS = ("thread", "process")
+
+
+# ---------------------------------------------------------------------------
+# Stage bodies (module-level so process pools can pickle them)
+# ---------------------------------------------------------------------------
+
+
+def _stage_clean(runner: "PipelineRunner") -> tuple:
+    return clean_dataset(runner.raw)
+
+
+def _stage_candidates(runner: "PipelineRunner", clean: tuple):
+    cleaned, _ = clean
+    return build_candidate_network(cleaned, runner.config.clustering)
+
+
+def _stage_selection(runner: "PipelineRunner", candidates):
+    return select_stations(candidates, runner.config.selection)
+
+
+def _stage_network(runner: "PipelineRunner", clean: tuple, candidates, selection):
+    cleaned, _ = clean
+    return build_selected_network(cleaned, candidates, selection)
+
+
+def _stage_basic(runner: "PipelineRunner", network):
+    return louvain(network.g_basic(), runner.config.community)
+
+
+def _stage_day(runner: "PipelineRunner", network):
+    return detect_temporal_communities(
+        network.day_sliced_trips(),
+        N_DAY_SLICES,
+        runner.config.temporal,
+        mapper=runner.map,
+    )
+
+
+def _stage_hour(runner: "PipelineRunner", network):
+    return detect_temporal_communities(
+        network.hour_sliced_trips(),
+        N_HOUR_SLICES,
+        runner.config.temporal,
+        mapper=runner.map,
+    )
+
+
+#: The expansion DAG (paper Section IV), in topological order.
+EXPANSION_STAGES: tuple[Stage, ...] = (
+    Stage("clean", (), _stage_clean),
+    Stage("candidates", ("clean",), _stage_candidates, ("clustering",)),
+    Stage("selection", ("candidates",), _stage_selection, ("selection",)),
+    Stage("network", ("clean", "candidates", "selection"), _stage_network),
+    Stage("basic", ("network",), _stage_basic, ("community",)),
+    Stage("day", ("network",), _stage_day, ("temporal",)),
+    Stage("hour", ("network",), _stage_hour, ("temporal",)),
+)
+
+
+class PipelineRunner:
+    """Executes the expansion DAG with caching and parallel fan-out.
+
+    Parameters
+    ----------
+    raw:
+        The raw dataset the pipeline consumes.
+    config:
+        Stage configuration bundle (the paper's defaults).
+    stages:
+        The DAG to run; defaults to :data:`EXPANSION_STAGES`.
+    cache:
+        A shared :class:`StageCache` (e.g. across a sweep).  When
+        omitted, a private cache is created from ``cache_dir``.
+    cache_dir:
+        Optional on-disk cache directory for cross-process warm runs.
+    jobs:
+        Worker budget.  ``1`` (default) runs everything serially;
+        results are identical either way.
+    executor:
+        ``"thread"`` or ``"process"`` — backend for the temporal slice
+        fan-out.  Stage-level fan-out always uses threads (stage values
+        stay in-process).
+    """
+
+    def __init__(
+        self,
+        raw: MobyDataset,
+        config: PipelineConfig = PAPER_CONFIG,
+        *,
+        stages: Sequence[Stage] = EXPANSION_STAGES,
+        cache: StageCache | None = None,
+        cache_dir: str | Path | None = None,
+        jobs: int = 1,
+        executor: str = "thread",
+        raw_digest: str | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise PipelineError("jobs must be at least 1")
+        if executor not in _EXECUTOR_KINDS:
+            raise PipelineError(
+                f"unknown executor {executor!r}; expected one of {_EXECUTOR_KINDS}"
+            )
+        self.raw = raw
+        self.config = config
+        self.stages: dict[str, Stage] = {}
+        for stage in stages:
+            if stage.name in self.stages:
+                raise PipelineError(f"duplicate stage name {stage.name!r}")
+            self.stages[stage.name] = stage
+        for stage in stages:
+            for dep in stage.inputs:
+                if dep not in self.stages:
+                    raise PipelineError(
+                        f"stage {stage.name!r} inputs unknown stage {dep!r}"
+                    )
+        self.cache = cache if cache is not None else StageCache(cache_dir)
+        self.jobs = jobs
+        self.executor = executor
+        self.executions: dict[str, int] = {}
+        self._values: dict[str, Any] = {}
+        self._keys: dict[str, str] = {}
+        self._raw_digest = raw_digest
+        self._process_pool: ProcessPoolExecutor | None = None
+        self._pool_mutex = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Fingerprints
+    # ------------------------------------------------------------------
+
+    @property
+    def raw_digest(self) -> str:
+        """Digest of the raw dataset (computed once, lazily)."""
+        if self._raw_digest is None:
+            self._raw_digest = dataset_digest(self.raw)
+        return self._raw_digest
+
+    def key(self, name: str) -> str:
+        """Content-addressed cache key of stage ``name``.
+
+        Root stages are keyed off the dataset digest; every other stage
+        chains its parents' keys, so an upstream change invalidates the
+        whole downstream cone and nothing else.
+        """
+        if name not in self._keys:
+            stage = self.stages[name]
+            parents = [self.key(dep) for dep in stage.inputs]
+            sections = {
+                section: getattr(self.config, section)
+                for section in stage.config_sections
+            }
+            self._keys[name] = fingerprint(
+                "stage",
+                CACHE_SCHEMA_VERSION,
+                stage.name,
+                sections,
+                parents if parents else self.raw_digest,
+            )
+        return self._keys[name]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def stage(self, name: str) -> Any:
+        """The value of stage ``name`` (memo -> cache -> execute)."""
+        if name in self._values:
+            return self._values[name]
+        stage = self.stages[name]
+        inputs = [self.stage(dep) for dep in stage.inputs]
+        key = self.key(name)
+        with self.cache.lock(key):
+            value = self.cache.get(key)
+            if value is MISS:
+                value = stage.fn(self, *inputs)
+                self.executions[name] = self.executions.get(name, 0) + 1
+                self.cache.put(key, value)
+        self._values[name] = value
+        return value
+
+    def values(self) -> dict[str, Any]:
+        """Every stage value, computing any that are still pending."""
+        try:
+            self._run_dag()
+        finally:
+            self.close()
+        return dict(self._values)
+
+    def run(self) -> ExpansionResult:
+        """Run the full DAG and bundle the paper's result shape."""
+        cleaned, report = self.stage("clean")
+        if cleaned.n_rentals == 0:
+            raise PipelineError("cleaning removed every rental — nothing to do")
+        try:
+            self._run_dag()
+        finally:
+            self.close()
+        return ExpansionResult(
+            cleaned=cleaned,
+            cleaning_report=report,
+            candidates=self._values["candidates"],
+            selection=self._values["selection"],
+            network=self._values["network"],
+            basic=self._values["basic"],
+            day=self._values["day"],
+            hour=self._values["hour"],
+        )
+
+    def _topological_order(self) -> list[str]:
+        order: list[str] = []
+        seen: set[str] = set()
+
+        def visit(name: str, trail: tuple[str, ...]) -> None:
+            if name in seen:
+                return
+            if name in trail:
+                raise PipelineError(f"stage cycle through {name!r}")
+            for dep in self.stages[name].inputs:
+                visit(dep, trail + (name,))
+            seen.add(name)
+            order.append(name)
+
+        for name in self.stages:
+            visit(name, ())
+        return order
+
+    def _run_dag(self) -> None:
+        order = self._topological_order()
+        if self.jobs == 1:
+            for name in order:
+                self.stage(name)
+            return
+        computed = set(self._values)
+        remaining = {
+            name: set(self.stages[name].inputs) - computed
+            for name in order
+            if name not in computed
+        }
+        # Stage-level fan-out stays on threads: values are shared
+        # in-process and the bodies drop to worker pools themselves.
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            futures: dict[Any, str] = {}
+            while remaining or futures:
+                ready = [name for name, deps in remaining.items() if not deps]
+                for name in ready:
+                    del remaining[name]
+                    futures[pool.submit(self.stage, name)] = name
+                if not futures:
+                    raise PipelineError("stage cycle in pipeline DAG")
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    finished = futures.pop(future)
+                    future.result()  # re-raise stage errors
+                    for deps in remaining.values():
+                        deps.discard(finished)
+
+    # ------------------------------------------------------------------
+    # Intra-stage fan-out
+    # ------------------------------------------------------------------
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """Map ``fn`` over ``items`` on the configured worker budget.
+
+        Results keep input order, so parallel output is identical to
+        the serial path.  Used by the temporal stages to aggregate the
+        7 day / 24 hour slices concurrently.  Concurrent process-backed
+        fan-outs share one pool (see :meth:`close`); thread pools are
+        cheap and made per call.
+        """
+        items = list(items)
+        if self.jobs == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        if self.executor == "process":
+            return list(self._shared_process_pool().map(fn, items))
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            return list(pool.map(fn, items))
+
+    def _shared_process_pool(self) -> Executor:
+        with self._pool_mutex:
+            if self._process_pool is None:
+                self._process_pool = ProcessPoolExecutor(max_workers=self.jobs)
+            return self._process_pool
+
+    def close(self) -> None:
+        """Shut down the shared process pool, if one was started."""
+        with self._pool_mutex:
+            pool, self._process_pool = self._process_pool, None
+        if pool is not None:
+            pool.shutdown()
+
+    def __enter__(self) -> "PipelineRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Multi-scenario sweeps
+# ---------------------------------------------------------------------------
+
+
+def config_grid(
+    base: PipelineConfig, axes: Mapping[str, Sequence[Any]]
+) -> list[tuple[dict[str, Any], PipelineConfig]]:
+    """Cross product of dotted-path override axes.
+
+    >>> from repro.config import PAPER_CONFIG
+    >>> grid = config_grid(PAPER_CONFIG, {"temporal.coupling": [0.1, 0.2]})
+    >>> [overrides["temporal.coupling"] for overrides, _ in grid]
+    [0.1, 0.2]
+    """
+    if not axes:
+        return [({}, base)]
+    keys = list(axes)
+    grid: list[tuple[dict[str, Any], PipelineConfig]] = []
+    for combo in itertools.product(*(axes[key] for key in keys)):
+        overrides = dict(zip(keys, combo))
+        grid.append((overrides, base.derive(overrides)))
+    return grid
+
+
+def _sweep_one(args: tuple) -> ExpansionResult:
+    raw, config, cache_dir, digest = args
+    runner = PipelineRunner(
+        raw, config, cache_dir=cache_dir, raw_digest=digest
+    )
+    return runner.run()
+
+
+def run_sweep(
+    raw: MobyDataset,
+    configs: Sequence[PipelineConfig],
+    *,
+    cache: StageCache | None = None,
+    cache_dir: str | Path | None = None,
+    jobs: int = 1,
+    executor: str = "thread",
+) -> list[ExpansionResult]:
+    """Run the pipeline once per config, sharing every common stage.
+
+    All configs run over the same dataset and share one cache, so the
+    stages a config does not change (typically ``clean`` and often
+    ``candidates``/``network``) are computed once for the whole grid.
+    Results come back in ``configs`` order.
+
+    With ``executor="process"`` the workers can only share stage
+    values through a disk cache; when neither ``cache_dir`` nor a
+    disk-backed ``cache`` is given, a temporary directory carries the
+    sharing for the duration of the sweep (the caller's in-memory
+    cache cannot be warmed across process boundaries).
+    """
+    if executor not in _EXECUTOR_KINDS:
+        raise PipelineError(
+            f"unknown executor {executor!r}; expected one of {_EXECUTOR_KINDS}"
+        )
+    if not configs:
+        return []
+    digest = dataset_digest(raw)
+    if executor == "process" and jobs > 1:
+        if cache_dir is None and cache is not None:
+            cache_dir = cache.cache_dir
+        temp_dir = None
+        if cache_dir is None:
+            temp_dir = tempfile.mkdtemp(prefix="repro-sweep-cache-")
+            cache_dir = temp_dir
+        try:
+            # Per-key locks don't reach across processes, so a cold
+            # fan-out would recompute the shared stage prefix in every
+            # worker.  Run the first config in this process to warm the
+            # disk cache, then fan the rest out against it.
+            first = _sweep_one((raw, configs[0], cache_dir, digest))
+            tasks = [(raw, config, cache_dir, digest) for config in configs[1:]]
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                return [first, *pool.map(_sweep_one, tasks)]
+        finally:
+            if temp_dir is not None:
+                shutil.rmtree(temp_dir, ignore_errors=True)
+
+    shared = cache if cache is not None else StageCache(cache_dir)
+
+    def one(config: PipelineConfig) -> ExpansionResult:
+        return PipelineRunner(
+            raw, config, cache=shared, raw_digest=digest
+        ).run()
+
+    if jobs == 1 or len(configs) <= 1:
+        return [one(config) for config in configs]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(one, configs))

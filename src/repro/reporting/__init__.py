@@ -11,6 +11,7 @@ from .experiments import (
     experiment_table4,
     experiment_table5,
     experiment_table6,
+    sweep_summary,
 )
 from .markdown import render_markdown_report, write_markdown_report
 from .tables import format_series, format_table
@@ -32,5 +33,6 @@ __all__ = [
     "format_series",
     "format_table",
     "render_markdown_report",
+    "sweep_summary",
     "write_markdown_report",
 ]

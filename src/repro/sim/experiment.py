@@ -28,15 +28,39 @@ class NetworkComparison:
 
 
 def _station_requests(
-    result: ExpansionResult, station_points: dict[int, GeoPoint]
+    result: ExpansionResult,
+    station_points: dict[int, GeoPoint],
+    cache: dict | None = None,
 ):
-    """Map the cleaned rentals onto an arbitrary station set."""
+    """Map the cleaned rentals onto an arbitrary station set.
+
+    Building the assigner and sweeping every cleaned location is the
+    expensive part of a comparison, and several comparisons replay the
+    same station set (e.g. "expanded" with and without rebalancing).
+    ``cache`` memoises the request list per (cleaned dataset, station
+    set with coordinates) so each set pays for one assignment pass;
+    pass a dict kept across calls to share the pass between whole
+    before/after experiments over the same result.
+    """
+    key = (id(result.cleaned), frozenset(station_points.items()))
+    if cache is not None and key in cache:
+        # The entry pins the cleaned dataset it was built from, so the
+        # id() in the key cannot be recycled while the entry lives;
+        # the identity check guards the impossible-in-practice rest.
+        cached_source, requests = cache[key]
+        if cached_source is result.cleaned:
+            return requests
     assigner = NearestStationAssigner(station_points)
     location_to_station = {
         record.location_id: assigner.nearest(record.point())[0]
         for record in result.cleaned.locations()
     }
-    return requests_from_rentals(result.cleaned.rentals(), location_to_station)
+    requests = requests_from_rentals(
+        result.cleaned.rentals(), location_to_station
+    )
+    if cache is not None:
+        cache[key] = (result.cleaned, requests)
+    return requests
 
 
 def plan_to_hook(plan: RebalancingPlan):
@@ -80,14 +104,19 @@ def compare_networks(
     n_bikes: int = 95,
     walk_radius_m: float = 300.0,
     rebalancing_plan: RebalancingPlan | None = None,
+    request_cache: dict | None = None,
 ) -> list[NetworkComparison]:
     """Replay demand against the original and expanded networks.
 
     Returns comparisons for: the original fixed stations, the expanded
     network, and (when a plan is given) the expanded network with
-    Friday-night rebalancing.
+    Friday-night rebalancing.  The two expanded comparisons share one
+    nearest-station assignment pass; pass ``request_cache`` (any dict
+    you keep around) to share passes across repeated calls too.
     """
     comparisons: list[NetworkComparison] = []
+    if request_cache is None:
+        request_cache = {}
 
     original_points = {
         sid: result.network.stations[sid].point
@@ -108,7 +137,7 @@ def compare_networks(
     ):
         if name.endswith("rebalancing") and hook is None:
             continue
-        requests = _station_requests(result, points)
+        requests = _station_requests(result, points, cache=request_cache)
         demand_weights: dict[int, float] = {}
         for request in requests:
             demand_weights[request.origin] = (

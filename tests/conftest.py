@@ -65,7 +65,32 @@ def small_result(small_raw):
 
 @pytest.fixture(scope="session")
 def paper_result():
-    """The full paper-calibrated pipeline run (seed 7).  Slow; shared."""
+    """The full paper-calibrated pipeline run (seed 7).  Slow; shared.
+
+    Runs through the legacy :class:`NetworkExpansionOptimiser` facade.
+    """
     from repro.synth import generate_paper_dataset
 
     return NetworkExpansionOptimiser(generate_paper_dataset(seed=7)).run()
+
+
+@pytest.fixture(scope="session")
+def paper_runner_result():
+    """The same paper run, straight through :class:`PipelineRunner`.
+
+    Executed with ``jobs=2`` so the golden suite also pins the
+    parallel path to the serial facade numbers.  Slow; shared.
+    """
+    from repro import PipelineRunner
+    from repro.synth import generate_paper_dataset
+
+    return PipelineRunner(generate_paper_dataset(seed=7), jobs=2).run()
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate tests/goldens/*.json from the current pipeline",
+    )

@@ -69,6 +69,78 @@ class TestRun:
         assert "TABLE VI" in capsys.readouterr().out
 
 
+class TestSweep:
+    def test_sweep_end_to_end(self, tmp_path, capsys):
+        cli.main(["generate", "--seed", "11", "--out", str(tmp_path / "data")])
+        capsys.readouterr()
+        code = cli.main(
+            [
+                "sweep",
+                "--data", str(tmp_path / "data"),
+                "--set", "temporal.coupling=0.05,0.25",
+                "--jobs", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SCENARIO SWEEP (2 configs)" in out
+        assert "temporal.coupling=0.05" in out
+        assert "temporal.coupling=0.25" in out
+
+    def test_sweep_defaults_to_single_paper_config(self, capsys):
+        code = cli.main(["sweep", "--seed", "11"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SCENARIO SWEEP (1 configs)" in out
+        assert "paper defaults" in out
+
+    def test_bad_axis_rejected(self):
+        from repro.exceptions import ConfigError
+
+        with pytest.raises(ConfigError):
+            cli.main(["sweep", "--seed", "11", "--set", "coupling"])
+
+    def test_duplicate_axis_rejected(self):
+        from repro.exceptions import ConfigError
+
+        with pytest.raises(ConfigError):
+            cli.main(
+                [
+                    "sweep", "--seed", "11",
+                    "--set", "temporal.coupling=0.05",
+                    "--set", "temporal.coupling=0.25",
+                ]
+            )
+
+
+class TestCacheDir:
+    def test_second_run_skips_every_stage(self, tmp_path, capsys, monkeypatch):
+        from repro.pipeline import runner as runner_module
+
+        cli.main(["generate", "--seed", "11", "--out", str(tmp_path / "data")])
+        calls = {"count": 0}
+        original = runner_module.build_candidate_network
+
+        def counting(*args, **kwargs):
+            calls["count"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(runner_module, "build_candidate_network", counting)
+        argv = [
+            "run",
+            "--data", str(tmp_path / "data"),
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert cli.main(argv) == 0
+        assert calls["count"] == 1
+        capsys.readouterr()
+        # Warm run: every stage comes from the on-disk cache.
+        assert cli.main(argv) == 0
+        assert calls["count"] == 1
+        assert "TABLE VI" in capsys.readouterr().out
+
+
 class TestRebalance:
     def test_plan_printed(self, capsys):
         code = cli.main(["rebalance", "--seed", "11", "--fleet", "40"])

@@ -54,6 +54,7 @@ def _run_example(name: str) -> None:
         "network_health",
         "service_simulation",
         "demand_forecasting",
+        "scenario_sweep",
     ],
 )
 def test_example_runs(name, capsys):
