@@ -26,6 +26,18 @@ Parameter grids share one cache through :func:`~repro.pipeline.run_sweep`
 (CLI: ``repro sweep``), so a sweep only recomputes the stages a config
 actually changes — see ``examples/scenario_sweep.py``.
 
+For serving, :mod:`repro.service` wraps the runner in a typed
+scenario/job API: :class:`~repro.service.ScenarioSpec` requests are
+fingerprinted, deduplicated and executed by an
+:class:`~repro.service.ExpansionService` whose JSON result envelopes
+are shared verbatim by the Python API, the CLI (``--format json``)
+and the ``repro serve`` HTTP endpoints:
+
+>>> from repro.service import DatasetRef, ExpansionService, ScenarioSpec
+>>> service = ExpansionService()
+>>> spec = ScenarioSpec(dataset=DatasetRef.synthetic(7))  # doctest: +SKIP
+>>> service.run(spec)["outputs"]["run"]["headline"]  # doctest: +SKIP
+
 Sub-packages: :mod:`repro.geo` (geospatial substrate), :mod:`repro.data`
 (relational tables + cleaning), :mod:`repro.synth` (dataset generator),
 :mod:`repro.graphdb` (property graph), :mod:`repro.cluster` (HAC),
@@ -50,20 +62,24 @@ from .core import (
 from .data import MobyDataset, clean_dataset
 from .exceptions import ReproError
 from .pipeline import PipelineRunner, StageCache, config_grid, run_sweep
+from .service import DatasetRef, ExpansionService, ScenarioSpec
 from .synth import SyntheticMobyGenerator, generate_paper_dataset
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ClusteringConfig",
     "CommunityConfig",
+    "DatasetRef",
     "ExpansionResult",
+    "ExpansionService",
     "MobyDataset",
     "NetworkExpansionOptimiser",
     "PAPER_CONFIG",
     "PipelineConfig",
     "PipelineRunner",
     "ReproError",
+    "ScenarioSpec",
     "SelectionConfig",
     "StageCache",
     "SyntheticMobyGenerator",

@@ -11,10 +11,12 @@ points from weekday flux.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from ..community import Partition
 from ..core.graphs import SelectedNetwork
 from ..core.profiles import daily_profile, weekend_share
+from ..serialize import check_envelope
 
 #: A uniform week puts 2/7 of trips on the weekend.
 UNIFORM_WEEKEND_SHARE = 2.0 / 7.0
@@ -72,6 +74,57 @@ class RebalancingPlan:
     def total_bikes_moved(self) -> int:
         """Bikes moved across all transfers."""
         return sum(t.n_bikes for t in self.transfers)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe envelope of the full plan."""
+        return {
+            "type": "RebalancingPlan",
+            "demands": [
+                {
+                    "community": demand.community,
+                    "n_stations": demand.n_stations,
+                    "trips": demand.trips,
+                    "weekend_share": demand.weekend_share,
+                }
+                for demand in self.demands
+            ],
+            "transfers": [
+                {
+                    "from_community": transfer.from_community,
+                    "to_community": transfer.to_community,
+                    "n_bikes": transfer.n_bikes,
+                    "pickup_stations": list(transfer.pickup_stations),
+                    "dropoff_stations": list(transfer.dropoff_stations),
+                }
+                for transfer in self.transfers
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RebalancingPlan":
+        """Exact inverse of :meth:`to_dict`."""
+        check_envelope(payload, "RebalancingPlan")
+        return cls(
+            demands=[
+                CommunityDemand(
+                    community=entry["community"],
+                    n_stations=entry["n_stations"],
+                    trips=entry["trips"],
+                    weekend_share=entry["weekend_share"],
+                )
+                for entry in payload["demands"]
+            ],
+            transfers=[
+                Transfer(
+                    from_community=entry["from_community"],
+                    to_community=entry["to_community"],
+                    n_bikes=entry["n_bikes"],
+                    pickup_stations=list(entry["pickup_stations"]),
+                    dropoff_stations=list(entry["dropoff_stations"]),
+                )
+                for entry in payload["transfers"]
+            ],
+        )
 
 
 def plan_weekend_rebalancing(

@@ -1,6 +1,6 @@
-"""Command-line interface.
+"""Command-line interface — a thin client over :mod:`repro.service`.
 
-Six subcommands cover the library's end-to-end workflow:
+Seven subcommands cover the library's end-to-end workflow:
 
 * ``generate`` — write the calibrated synthetic dataset to CSV;
 * ``clean`` — run the six-rule cleaning pipeline over a CSV dataset;
@@ -10,7 +10,17 @@ Six subcommands cover the library's end-to-end workflow:
 * ``sweep`` — run a parameter grid (``--set section.field=v1,v2``)
   through the staged runner with one shared cache;
 * ``rebalance`` — build the Friday-night rebalancing plan;
-* ``report`` — write the paper-vs-measured markdown report.
+* ``report`` — write the full paper-vs-measured markdown report;
+* ``serve`` — expose the same service over HTTP (``/v1/runs``,
+  ``/v1/sweeps``, ``/v1/jobs/<id>``, ``/v1/results/<fp>``,
+  ``/v1/healthz``).
+
+``run``, ``sweep``, ``rebalance`` and ``report`` all build a
+:class:`~repro.service.ScenarioSpec`, submit it to an in-process
+:class:`~repro.service.ExpansionService`, and render the resulting
+envelope — exactly what an HTTP client of ``repro serve`` receives.
+``--format json`` prints the canonical envelope verbatim, byte-
+identical to the ``POST /v1/runs`` response for the same scenario.
 
 Invoke as ``python -m repro <subcommand> --help``.
 """
@@ -22,22 +32,37 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from .analysis import plan_weekend_rebalancing
-from .core import NetworkExpansionOptimiser
+from .analysis.rebalancing import RebalancingPlan
+from .core.results import ExpansionResult
 from .data import MobyDataset, clean_dataset
 from .exceptions import ConfigError
-from .pipeline import config_grid, run_sweep
-from .reporting import (
-    experiment_table1,
-    experiment_table2,
-    experiment_table3,
-    experiment_table4,
-    experiment_table5,
-    experiment_table6,
-    format_table,
-    sweep_summary,
+from .reporting import experiment_table1, format_table
+from .service import (
+    DatasetRef,
+    ExpansionService,
+    ScenarioSpec,
+    canonical_envelope,
+    make_server,
 )
 from .synth import SyntheticMobyGenerator
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options every service-backed subcommand shares."""
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="stage cache directory (a second run skips "
+                             "every already-computed stage)")
+    parser.add_argument("--cache-bytes", type=int, default=None,
+                        help="evict least-recently-used cache pickles once "
+                             "the cache directory exceeds this many bytes")
+    parser.add_argument("--cache-entries", type=int, default=None,
+                        help="evict least-recently-used cache pickles once "
+                             "the cache directory exceeds this many entries")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker budget for parallel stage/slice fan-out")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="text renders the paper tables; json prints the "
+                             "canonical result envelope")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -71,11 +96,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="run over a CSV dataset instead of generating one")
     run.add_argument("--figures", type=Path, default=None,
                      help="directory to render the paper figures into")
-    run.add_argument("--cache-dir", type=Path, default=None,
-                     help="stage cache directory (a second run skips every "
-                          "already-computed stage)")
-    run.add_argument("--jobs", type=int, default=1,
-                     help="worker budget for parallel stage/slice fan-out")
+    _add_service_arguments(run)
 
     sweep = subparsers.add_parser(
         "sweep", help="run a parameter grid through the staged runner"
@@ -88,12 +109,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SECTION.FIELD=V1,V2,...",
                        help="one sweep axis as comma-separated values; repeat "
                             "for a cross product (e.g. --set temporal.coupling=0.08,0.12)")
-    sweep.add_argument("--cache-dir", type=Path, default=None,
-                       help="stage cache shared by every scenario")
-    sweep.add_argument("--jobs", type=int, default=1,
-                       help="scenarios to run concurrently")
     sweep.add_argument("--executor", choices=("thread", "process"),
                        default="thread", help="worker pool backend")
+    _add_service_arguments(sweep)
 
     rebalance = subparsers.add_parser(
         "rebalance", help="plan Friday-night fleet rebalancing"
@@ -101,6 +119,7 @@ def _build_parser() -> argparse.ArgumentParser:
     rebalance.add_argument("--seed", type=int, default=7)
     rebalance.add_argument("--fleet", type=int, default=95,
                            help="fleet size in bikes")
+    _add_service_arguments(rebalance)
 
     report = subparsers.add_parser(
         "report", help="write the full paper-vs-measured markdown report"
@@ -108,13 +127,66 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=7)
     report.add_argument("--out", type=Path, required=True,
                         help="markdown file to write")
+    _add_service_arguments(report)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve the expansion service over HTTP"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8722)
+    serve.add_argument("--cache-dir", type=Path, default=None,
+                       help="stage cache directory shared by every request")
+    serve.add_argument("--cache-bytes", type=int, default=None,
+                       help="LRU-evict cache pickles beyond this many bytes")
+    serve.add_argument("--cache-entries", type=int, default=None,
+                       help="LRU-evict cache pickles beyond this many entries")
+    serve.add_argument("--results-dir", type=Path, default=None,
+                       help="directory persisting result envelopes by "
+                            "fingerprint (served at /v1/results/<fp>)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrently executing jobs")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker budget inside each pipeline run")
     return parser
 
 
-def _load_dataset(args: argparse.Namespace) -> MobyDataset:
+# ---------------------------------------------------------------------------
+# Service plumbing shared by run/sweep/rebalance/report
+# ---------------------------------------------------------------------------
+
+
+def _dataset_ref(args: argparse.Namespace) -> DatasetRef:
     if getattr(args, "data", None) is not None:
-        return MobyDataset.from_csv(args.data)
-    return SyntheticMobyGenerator(seed=args.seed).generate()
+        return DatasetRef.csv(args.data)
+    return DatasetRef.synthetic(args.seed)
+
+
+def _make_service(args: argparse.Namespace) -> ExpansionService:
+    """An in-process service wired from the subcommand's arguments.
+
+    With ``--cache-dir`` the result envelopes persist next to the stage
+    pickles (under ``<cache-dir>/results``), so a fully warm scenario
+    is served without touching the pipeline at all.
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    return ExpansionService(
+        cache_dir=cache_dir,
+        cache_bytes=getattr(args, "cache_bytes", None),
+        cache_entries=getattr(args, "cache_entries", None),
+        results_dir=None if cache_dir is None else cache_dir / "results",
+        pipeline_jobs=getattr(args, "jobs", 1),
+        sweep_executor=getattr(args, "executor", "thread"),
+    )
+
+
+def _run_scenario(args: argparse.Namespace, spec: ScenarioSpec) -> dict:
+    with _make_service(args) as service:
+        return service.run(spec)
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -165,11 +237,21 @@ def _parse_axis(spec: str) -> tuple[str, list]:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    raw = _load_dataset(args)
-    optimiser = NetworkExpansionOptimiser(
-        raw, cache_dir=args.cache_dir, jobs=args.jobs
+    envelope = _run_scenario(
+        args, ScenarioSpec(dataset=_dataset_ref(args), outputs=("run",))
     )
-    result = optimiser.run()
+    if args.format == "json":
+        print(canonical_envelope(envelope))
+        return 0
+    from .reporting import (
+        experiment_table2,
+        experiment_table3,
+        experiment_table4,
+        experiment_table5,
+        experiment_table6,
+    )
+
+    result = ExpansionResult.from_dict(envelope["outputs"]["run"])
     for output in (
         experiment_table1(result.cleaning_report),
         experiment_table2(result),
@@ -200,8 +282,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .config import PAPER_CONFIG
-
     axes: dict[str, list] = {}
     for spec in args.axes:
         path, values = _parse_axis(spec)
@@ -211,37 +291,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"--set (e.g. --set {path}=v1,v2)"
             )
         axes[path] = values
-    grid = config_grid(PAPER_CONFIG, axes)
-    raw = _load_dataset(args)
-    results = run_sweep(
-        raw,
-        [config for _, config in grid],
-        cache_dir=args.cache_dir,
-        jobs=args.jobs,
-        executor=args.executor,
+    envelope = _run_scenario(
+        args,
+        ScenarioSpec(
+            dataset=_dataset_ref(args), outputs=("sweep",), sweep_axes=axes
+        ),
     )
-    labels = [
-        ", ".join(f"{path}={value}" for path, value in overrides.items())
-        or "paper defaults"
-        for overrides, _ in grid
-    ]
-    print(
-        sweep_summary(
-            list(zip(labels, results)),
-            title=f"SCENARIO SWEEP ({len(results)} configs)",
-        )
-    )
+    if args.format == "json":
+        print(canonical_envelope(envelope))
+        return 0
+    print(envelope["outputs"]["sweep"]["table"])
     return 0
 
 
 def _cmd_rebalance(args: argparse.Namespace) -> int:
-    raw = SyntheticMobyGenerator(seed=args.seed).generate()
-    optimiser = NetworkExpansionOptimiser(raw)
-    optimiser.build_network()
-    day = optimiser.detect_day()
-    plan = plan_weekend_rebalancing(
-        optimiser.build_network(), day.station_partition, args.fleet
+    envelope = _run_scenario(
+        args,
+        ScenarioSpec(
+            dataset=_dataset_ref(args),
+            outputs=("rebalance",),
+            fleet_size=args.fleet,
+        ),
     )
+    if args.format == "json":
+        print(canonical_envelope(envelope))
+        return 0
+    plan = RebalancingPlan.from_dict(envelope["outputs"]["rebalance"]["plan"])
     rows = [
         [
             demand.community,
@@ -273,14 +348,42 @@ def _cmd_rebalance(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from .reporting import write_markdown_report
-
-    raw = SyntheticMobyGenerator(seed=args.seed).generate()
-    result = NetworkExpansionOptimiser(raw).run()
-    path = write_markdown_report(
-        result, args.out, title=f"Expansion pipeline report (seed {args.seed})"
+    envelope = _run_scenario(
+        args,
+        ScenarioSpec(
+            dataset=_dataset_ref(args),
+            outputs=("report",),
+            report_title=f"Expansion pipeline report (seed {args.seed})",
+        ),
     )
-    print(f"report written to {path}")
+    path = Path(args.out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(envelope["outputs"]["report"]["markdown"])
+    if args.format == "json":
+        print(canonical_envelope(envelope))
+    else:
+        print(f"report written to {path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    service = ExpansionService(
+        cache_dir=args.cache_dir,
+        cache_bytes=args.cache_bytes,
+        cache_entries=args.cache_entries,
+        results_dir=args.results_dir,
+        max_workers=args.workers,
+        pipeline_jobs=args.jobs,
+    )
+    server = make_server(service, host=args.host, port=args.port)
+    print(f"repro service listening on {server.url}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        service.close()
     return 0
 
 
@@ -291,6 +394,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "rebalance": _cmd_rebalance,
     "report": _cmd_report,
+    "serve": _cmd_serve,
 }
 
 

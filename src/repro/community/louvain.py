@@ -14,10 +14,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from ..config import CommunityConfig
 from ..exceptions import CommunityError
 from ..graphdb import NodeKey, WeightedGraph
+from ..serialize import check_envelope
 from .modularity import modularity
 from .partition import Partition
 
@@ -34,6 +36,27 @@ class LouvainResult:
     def n_communities(self) -> int:
         """Number of communities in the final partition."""
         return self.partition.n_communities
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe envelope, hierarchy levels included."""
+        return {
+            "type": "LouvainResult",
+            "partition": self.partition.to_dict(),
+            "modularity": self.modularity,
+            "levels": [level.to_dict() for level in self.levels],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "LouvainResult":
+        """Exact inverse of :meth:`to_dict`."""
+        check_envelope(payload, "LouvainResult")
+        return cls(
+            partition=Partition.from_dict(payload["partition"]),
+            modularity=payload["modularity"],
+            levels=tuple(
+                Partition.from_dict(level) for level in payload["levels"]
+            ),
+        )
 
 
 class _LocalState:

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Mapping
+from typing import Any, Hashable, Iterable, Mapping
 
 from ..exceptions import CommunityError
+from ..serialize import check_envelope, decode_assignment, encode_assignment
 
 NodeKey = Hashable
 
@@ -90,3 +91,24 @@ class Partition:
         """The partition restricted to a node subset (renormalised)."""
         keep = {node: self.assignment[node] for node in nodes if node in self.assignment}
         return Partition.from_assignment(keep)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe envelope (tuple node keys become lists)."""
+        return {
+            "type": "Partition",
+            "assignment": encode_assignment(self.assignment),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Partition":
+        """Rebuild a partition from :meth:`to_dict` output.
+
+        Labels are restored verbatim (they were normalised when the
+        original partition was built), so the round trip is exact.
+        """
+        check_envelope(payload, "Partition")
+        return cls(assignment=decode_assignment(payload["assignment"]))

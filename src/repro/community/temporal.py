@@ -22,11 +22,12 @@ network of Mucha et al. (2010):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterable, Sequence
+from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
 
 from ..config import TemporalCommunityConfig
 from ..exceptions import CommunityError
 from ..graphdb import WeightedGraph
+from ..serialize import check_envelope
 from .louvain import louvain
 from .partition import Partition
 
@@ -58,6 +59,29 @@ class TemporalCommunityResult:
     def n_communities(self) -> int:
         """Number of station-level communities."""
         return self.station_partition.n_communities
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe envelope, both partition granularities included."""
+        return {
+            "type": "TemporalCommunityResult",
+            "station_partition": self.station_partition.to_dict(),
+            "slice_partition": self.slice_partition.to_dict(),
+            "modularity": self.modularity,
+            "n_slices": self.n_slices,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: Mapping[str, Any]
+    ) -> "TemporalCommunityResult":
+        """Exact inverse of :meth:`to_dict`."""
+        check_envelope(payload, "TemporalCommunityResult")
+        return cls(
+            station_partition=Partition.from_dict(payload["station_partition"]),
+            slice_partition=Partition.from_dict(payload["slice_partition"]),
+            modularity=payload["modularity"],
+            n_slices=payload["n_slices"],
+        )
 
 
 def slice_trip_buckets(

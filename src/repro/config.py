@@ -131,29 +131,48 @@ class PipelineConfig:
         default_factory=TemporalCommunityConfig
     )
 
+    @classmethod
+    def validate_override_path(cls, path: str) -> tuple[str, str]:
+        """Split a dotted override key, rejecting unknown targets.
+
+        Every consumer of ``section.field`` override keys — sweep-grid
+        axes, :meth:`derive`, and ``repro.service.ScenarioSpec`` — goes
+        through this one check, so an unknown key always fails with the
+        same clear :class:`ConfigError` instead of being dropped.
+        """
+        sections = {f.name: f.default_factory for f in fields(cls)}
+        section_name, _, field_name = path.partition(".")
+        if section_name not in sections or not field_name:
+            raise ConfigError(
+                f"unknown config path {path!r}; expected "
+                f"'<section>.<field>' with section in {sorted(sections)}"
+            )
+        valid_fields = sorted(
+            f.name for f in fields(sections[section_name]())
+        )
+        if field_name not in valid_fields:
+            raise ConfigError(
+                f"section {section_name!r} has no field {field_name!r}; "
+                f"valid fields: {valid_fields}"
+            )
+        return section_name, field_name
+
     def derive(self, overrides: Mapping[str, Any]) -> "PipelineConfig":
         """A copy with dotted-path ``overrides`` applied.
 
         Keys name a section and a field, e.g. ``"temporal.coupling"``
         or ``"selection.secondary_distance_m"``.  Sweep grids are built
-        this way (see :func:`repro.pipeline.config_grid`).
+        this way (see :func:`repro.pipeline.config_grid`).  Unknown
+        keys raise :class:`ConfigError`; invalid values are rejected by
+        the section's own ``__post_init__`` validation.
 
         >>> PAPER_CONFIG.derive({"temporal.coupling": 0.2}).temporal.coupling
         0.2
         """
         sections = {f.name: getattr(self, f.name) for f in fields(self)}
         for path, value in overrides.items():
-            section_name, _, field_name = path.partition(".")
-            if section_name not in sections or not field_name:
-                raise ConfigError(
-                    f"unknown config path {path!r}; expected "
-                    f"'<section>.<field>' with section in {sorted(sections)}"
-                )
+            section_name, field_name = self.validate_override_path(path)
             section = sections[section_name]
-            if field_name not in {f.name for f in fields(section)}:
-                raise ConfigError(
-                    f"section {section_name!r} has no field {field_name!r}"
-                )
             sections[section_name] = replace(section, **{field_name: value})
         return PipelineConfig(**sections)
 

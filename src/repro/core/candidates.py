@@ -50,6 +50,29 @@ class CandidateGraphStats:
             ("#trips", self.n_trips),
         ]
 
+    def to_dict(self) -> dict[str, int]:
+        """JSON-safe envelope (field name -> count)."""
+        return {
+            "n_nodes": self.n_nodes,
+            "n_undirected_edges": self.n_undirected_edges,
+            "n_undirected_edges_no_loops": self.n_undirected_edges_no_loops,
+            "n_directed_edges": self.n_directed_edges,
+            "n_directed_edges_no_loops": self.n_directed_edges_no_loops,
+            "n_trips": self.n_trips,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CandidateGraphStats":
+        """Exact inverse of :meth:`to_dict`."""
+        return cls(**{key: payload[key] for key in (
+            "n_nodes",
+            "n_undirected_edges",
+            "n_undirected_edges_no_loops",
+            "n_directed_edges",
+            "n_directed_edges_no_loops",
+            "n_trips",
+        )})
+
 
 @dataclass
 class CandidateNetwork:

@@ -14,11 +14,13 @@ of Section IV-C fall out:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from ..cluster import NearestStationAssigner
 from ..data import MobyDataset
 from ..geo import GeoPoint
 from ..graphdb import DirectedGraph, WeightedGraph
+from ..serialize import check_envelope
 from .candidates import CandidateNetwork
 from .selection import SelectionResult
 
@@ -118,6 +120,71 @@ class SelectedNetwork:
             (trip.origin, trip.destination, trip.hour_of_day)
             for trip in self.trips
         ]
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe envelope carrying the complete network.
+
+        Stations, the location assignment and every OD trip are all
+        included, so :meth:`from_dict` rebuilds a fully functional
+        network — graph views, Table III and the rebalancing planner
+        work identically on the round-tripped object.
+        """
+        return {
+            "type": "SelectedNetwork",
+            "stations": [
+                {
+                    "station_id": station.station_id,
+                    "lat": station.point.lat,
+                    "lon": station.point.lon,
+                    "kind": station.kind,
+                    "name": station.name,
+                    "source_cluster_id": station.source_cluster_id,
+                }
+                for _, station in sorted(self.stations.items())
+            ],
+            "location_to_station": sorted(
+                [location_id, station_id]
+                for location_id, station_id in self.location_to_station.items()
+            ),
+            "trips": [
+                [trip.origin, trip.destination, trip.day_of_week, trip.hour_of_day]
+                for trip in self.trips
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SelectedNetwork":
+        """Exact inverse of :meth:`to_dict`."""
+        check_envelope(payload, "SelectedNetwork")
+        return cls(
+            stations={
+                entry["station_id"]: Station(
+                    station_id=entry["station_id"],
+                    point=GeoPoint(entry["lat"], entry["lon"]),
+                    kind=entry["kind"],
+                    name=entry["name"],
+                    source_cluster_id=entry["source_cluster_id"],
+                )
+                for entry in payload["stations"]
+            },
+            location_to_station={
+                location_id: station_id
+                for location_id, station_id in payload["location_to_station"]
+            },
+            trips=[
+                TripOD(
+                    origin=origin,
+                    destination=destination,
+                    day_of_week=day,
+                    hour_of_day=hour,
+                )
+                for origin, destination, day, hour in payload["trips"]
+            ],
+        )
 
     # ------------------------------------------------------------------
     # Table III

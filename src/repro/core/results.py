@@ -4,17 +4,66 @@ Lives in its own module so both the staged runner
 (:mod:`repro.pipeline`) and the legacy facade
 (:mod:`repro.core.expansion`) can produce the identical shape without
 importing each other.
+
+:meth:`ExpansionResult.to_dict` is the run envelope served by
+:mod:`repro.service`: everything the reporting and analysis layers
+consume — the cleaning report, Algorithm 1's full scoring, the
+expanded network with its OD trips, and the three community
+structures — serialised JSON-safe, plus the :meth:`headline` numbers
+pinned by the golden suite.  The two bulky intermediates that nothing
+downstream of the pipeline needs in full (the cleaned dataset and the
+candidate graph) are carried as summary views; a round-tripped result
+therefore renders every paper table and figure and feeds the
+rebalancing planner, but cannot be pushed back through the pipeline
+or re-validated against the raw per-location data.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 from ..community import LouvainResult, TemporalCommunityResult
 from ..data import CleaningReport, MobyDataset
-from .candidates import CandidateNetwork
+from ..serialize import check_envelope
+from .candidates import CandidateGraphStats, CandidateNetwork
 from .graphs import SelectedNetwork
 from .selection import SelectionResult
+
+#: Modularity digits kept in :meth:`ExpansionResult.headline`; matches
+#: the golden suite's pin (guards against float noise, nothing more).
+HEADLINE_MODULARITY_DECIMALS = 9
+
+
+@dataclass(frozen=True)
+class DatasetSummaryView:
+    """Stand-in for a cleaned :class:`MobyDataset` after a round trip.
+
+    Carries only the Table-I counts; the per-record data stays behind
+    in the process that ran the pipeline.
+    """
+
+    n_stations: int
+    n_rentals: int
+    n_locations: int
+
+
+@dataclass(frozen=True)
+class CandidateSummaryView:
+    """Stand-in for a :class:`CandidateNetwork` after a round trip.
+
+    Exposes the pieces the reporting layer reads — :meth:`stats` and
+    the node counts — without the clustering or the flow graph.
+    """
+
+    n_stations: int
+    n_candidates: int
+    n_trips: int
+    _stats: CandidateGraphStats
+
+    def stats(self) -> CandidateGraphStats:
+        """The paper's Table II counts."""
+        return self._stats
 
 
 @dataclass
@@ -39,3 +88,119 @@ class ExpansionResult:
     def n_total_stations(self) -> int:
         """Stations after expansion."""
         return len(self.network.stations)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def headline(self) -> dict[str, dict[str, Any]]:
+        """The headline numbers of Tables I-VI, golden-suite shaped.
+
+        Keys mirror ``tests/goldens/paper_seed7.json`` exactly, so an
+        envelope's headline block can be compared against the pinned
+        fixture byte for byte.
+        """
+        candidate_stats = self.candidates.stats()
+        network_stats = self.network.stats()
+        report = self.cleaning_report
+        return {
+            "table1_dataset": {
+                "original_stations": report.before.n_stations,
+                "original_rentals": report.before.n_rentals,
+                "original_locations": report.before.n_locations,
+                "cleaned_stations": report.after.n_stations,
+                "cleaned_rentals": report.after.n_rentals,
+                "cleaned_locations": report.after.n_locations,
+            },
+            "table2_candidates": {
+                "nodes": candidate_stats.n_nodes,
+                "undirected_edges": candidate_stats.n_undirected_edges,
+                "undirected_edges_no_loops": candidate_stats.n_undirected_edges_no_loops,
+                "directed_edges": candidate_stats.n_directed_edges,
+                "directed_edges_no_loops": candidate_stats.n_directed_edges_no_loops,
+                "trips": candidate_stats.n_trips,
+            },
+            "table3_selected": {
+                "n_fixed": network_stats.n_fixed,
+                "n_selected": network_stats.n_selected,
+                "n_trips": network_stats.n_trips,
+                "n_directed_edges": network_stats.n_directed_edges,
+            },
+            "table4_gbasic": {
+                "n_communities": self.basic.n_communities,
+                "modularity": round(
+                    self.basic.modularity, HEADLINE_MODULARITY_DECIMALS
+                ),
+            },
+            "table5_gday": {
+                "n_communities": self.day.n_communities,
+                "n_slices": self.day.n_slices,
+                "modularity": round(
+                    self.day.modularity, HEADLINE_MODULARITY_DECIMALS
+                ),
+            },
+            "table6_ghour": {
+                "n_communities": self.hour.n_communities,
+                "n_slices": self.hour.n_slices,
+                "modularity": round(
+                    self.hour.modularity, HEADLINE_MODULARITY_DECIMALS
+                ),
+            },
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-safe run envelope (see the module docstring)."""
+        return {
+            "type": "ExpansionResult",
+            "headline": self.headline(),
+            "cleaned": {
+                "n_stations": self.cleaned.n_stations,
+                "n_rentals": self.cleaned.n_rentals,
+                "n_locations": self.cleaned.n_locations,
+            },
+            "cleaning_report": self.cleaning_report.to_dict(),
+            "candidates": {
+                "n_stations": self.candidates.n_stations,
+                "n_candidates": self.candidates.n_candidates,
+                "n_trips": self.candidates.n_trips,
+                "stats": self.candidates.stats().to_dict(),
+            },
+            "selection": self.selection.to_dict(),
+            "network": self.network.to_dict(),
+            "basic": self.basic.to_dict(),
+            "day": self.day.to_dict(),
+            "hour": self.hour.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExpansionResult":
+        """Rebuild a served result from :meth:`to_dict` output.
+
+        ``cleaned`` and ``candidates`` come back as summary views (see
+        :class:`DatasetSummaryView` / :class:`CandidateSummaryView`);
+        everything else is restored in full, so every ``experiment_*``
+        table/figure and the rebalancing planner run unchanged and
+        :meth:`headline` reproduces the original numbers exactly.
+        """
+        check_envelope(payload, "ExpansionResult")
+        cleaned = payload["cleaned"]
+        candidates = payload["candidates"]
+        return cls(
+            cleaned=DatasetSummaryView(
+                n_stations=cleaned["n_stations"],
+                n_rentals=cleaned["n_rentals"],
+                n_locations=cleaned["n_locations"],
+            ),
+            cleaning_report=CleaningReport.from_dict(payload["cleaning_report"]),
+            candidates=CandidateSummaryView(
+                n_stations=candidates["n_stations"],
+                n_candidates=candidates["n_candidates"],
+                n_trips=candidates["n_trips"],
+                _stats=CandidateGraphStats.from_dict(candidates["stats"]),
+            ),
+            selection=SelectionResult.from_dict(payload["selection"]),
+            network=SelectedNetwork.from_dict(payload["network"]),
+            basic=LouvainResult.from_dict(payload["basic"]),
+            day=TemporalCommunityResult.from_dict(payload["day"]),
+            hour=TemporalCommunityResult.from_dict(payload["hour"]),
+        )

@@ -12,9 +12,11 @@ descending score order, become the new stations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from ..config import SelectionConfig
 from ..geo import GeoPoint, GridIndex, haversine_m
+from ..serialize import check_envelope
 from .candidates import CandidateNetwork, GroupKey
 
 #: Rejection reasons recorded per candidate.
@@ -59,6 +61,39 @@ class SelectionResult:
             if entry.rejection is not None:
                 counts[entry.rejection] = counts.get(entry.rejection, 0) + 1
         return counts
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe envelope: threshold plus every candidate's outcome."""
+        return {
+            "type": "SelectionResult",
+            "degree_threshold": self.degree_threshold,
+            "scores": [
+                {
+                    "cluster_id": entry.cluster_id,
+                    "degree": entry.degree,
+                    "score": entry.score,
+                    "rejection": entry.rejection,
+                }
+                for entry in self.scores
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SelectionResult":
+        """Exact inverse of :meth:`to_dict`."""
+        check_envelope(payload, "SelectionResult")
+        return cls(
+            degree_threshold=payload["degree_threshold"],
+            scores=[
+                CandidateScore(
+                    cluster_id=entry["cluster_id"],
+                    degree=entry["degree"],
+                    score=entry["score"],
+                    rejection=entry["rejection"],
+                )
+                for entry in payload["scores"]
+            ],
+        )
 
 
 def select_stations(

@@ -18,9 +18,10 @@ Table-I style before/after comparison falls straight out.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable, Mapping
 
 from ..geo import GeoPoint, in_dublin, on_land
+from ..serialize import check_envelope
 from .dataset import DatasetSummary, MobyDataset
 from .records import LocationRecord
 
@@ -75,6 +76,39 @@ class CleaningReport:
             if outcome.rule == rule:
                 return outcome
         raise KeyError(f"no outcome recorded for rule {rule!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe envelope (Table-I counts + per-rule removals)."""
+        return {
+            "type": "CleaningReport",
+            "before": self.before.to_dict(),
+            "after": self.after.to_dict(),
+            "outcomes": [
+                {
+                    "rule": outcome.rule,
+                    "locations_removed": outcome.locations_removed,
+                    "rentals_removed": outcome.rentals_removed,
+                }
+                for outcome in self.outcomes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CleaningReport":
+        """Exact inverse of :meth:`to_dict`."""
+        check_envelope(payload, "CleaningReport")
+        return cls(
+            before=DatasetSummary.from_dict(payload["before"]),
+            after=DatasetSummary.from_dict(payload["after"]),
+            outcomes=[
+                RuleOutcome(
+                    rule=outcome["rule"],
+                    locations_removed=outcome["locations_removed"],
+                    rentals_removed=outcome["rentals_removed"],
+                )
+                for outcome in payload["outcomes"]
+            ],
+        )
 
 
 def _location_admissible(record: LocationRecord, oracle: Callable[[GeoPoint], bool]) -> bool:

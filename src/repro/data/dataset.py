@@ -28,6 +28,23 @@ class DatasetSummary:
             "#location": self.n_locations,
         }
 
+    def to_dict(self) -> dict[str, int]:
+        """JSON-safe envelope."""
+        return {
+            "n_stations": self.n_stations,
+            "n_rentals": self.n_rentals,
+            "n_locations": self.n_locations,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DatasetSummary":
+        """Exact inverse of :meth:`to_dict`."""
+        return cls(
+            n_stations=payload["n_stations"],
+            n_rentals=payload["n_rentals"],
+            n_locations=payload["n_locations"],
+        )
+
 
 class MobyDataset:
     """Rental + Location tables with typed record access.

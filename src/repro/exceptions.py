@@ -96,3 +96,16 @@ class CommunityError(ReproError):
 
 class PipelineError(ReproError):
     """A stage of the expansion pipeline was invoked out of order."""
+
+
+# ---------------------------------------------------------------------------
+# Service layer
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """A scenario/job request to the service layer was invalid or failed."""
+
+
+class JobFailedError(ServiceError):
+    """A submitted job finished with an error; the message carries it."""

@@ -7,6 +7,12 @@ tier (one pickle per key, written atomically) makes warm runs survive
 process boundaries — a second ``repro run --cache-dir`` skips every
 stage.  Per-key locks serialise concurrent computation of the same
 stage so a sweep never does the shared work twice.
+
+Long-lived cache directories (a sweep server, ``repro serve``) can
+bound the disk tier with ``max_bytes``/``max_entries``: after every
+store the least-recently-used pickles are evicted until both limits
+hold again.  Recency is tracked through file mtimes — refreshed on
+every disk hit — so eviction order survives process restarts.
 """
 
 from __future__ import annotations
@@ -31,17 +37,28 @@ class StageCache:
         self,
         cache_dir: str | Path | None = None,
         memory_slots: int = 64,
+        *,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
     ) -> None:
         if memory_slots < 0:
             raise ValueError("memory_slots must be non-negative")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive")
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.memory_slots = memory_slots
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
         self._memory: OrderedDict[str, Any] = OrderedDict()
         self._mutex = threading.Lock()
         self._key_locks: dict[str, threading.Lock] = {}
+        self._evict_mutex = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     # Lookup / store
@@ -109,12 +126,17 @@ class StageCache:
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
+                value = pickle.load(handle)
         except Exception:
             # Any unreadable entry — truncated write, version-skewed
             # pickle (ModuleNotFoundError/TypeError/...), plain garbage
             # — is a miss: recomputing is always safe.
             return MISS
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
+        return value
 
     def _write_disk(self, key: str, value: Any) -> None:
         if self.cache_dir is None:
@@ -130,3 +152,45 @@ class StageCache:
             os.replace(tmp, path)
         except OSError:
             tmp.unlink(missing_ok=True)
+            return
+        self._evict_disk(keep=path.name)
+
+    def _evict_disk(self, keep: str) -> None:
+        """Drop LRU pickles until the disk tier fits the size limits.
+
+        ``keep`` names the just-written entry, which is never evicted —
+        even a degenerate ``max_bytes=0`` keeps the latest value until
+        the next store replaces it.  Best-effort by design: entries
+        deleted under a concurrent reader simply read as misses.
+        """
+        if self.max_bytes is None and self.max_entries is None:
+            return
+        with self._evict_mutex:
+            try:
+                entries = []
+                for path in self.cache_dir.glob("*.pkl"):
+                    stat = path.stat()
+                    entries.append((stat.st_mtime, path, stat.st_size))
+            except OSError:
+                return
+            entries.sort()  # oldest mtime first
+            total_bytes = sum(size for _, _, size in entries)
+            n_entries = len(entries)
+            for _, path, size in entries:
+                over_bytes = (
+                    self.max_bytes is not None and total_bytes > self.max_bytes
+                )
+                over_entries = (
+                    self.max_entries is not None and n_entries > self.max_entries
+                )
+                if not (over_bytes or over_entries):
+                    break
+                if path.name == keep:
+                    continue
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total_bytes -= size
+                n_entries -= 1
+                self.evictions += 1

@@ -82,6 +82,25 @@ class Comparison:
             return self.measured == 0
         return 1.0 / factor <= self.ratio <= factor
 
+    def to_dict(self) -> dict[str, float | str]:
+        """JSON-safe envelope."""
+        return {
+            "experiment": self.experiment,
+            "measure": self.measure,
+            "expected": self.expected,
+            "measured": self.measured,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Comparison":
+        """Exact inverse of :meth:`to_dict`."""
+        return cls(
+            experiment=payload["experiment"],
+            measure=payload["measure"],
+            expected=payload["expected"],
+            measured=payload["measured"],
+        )
+
 
 def compare(
     experiment: str, measured: dict[str, float]

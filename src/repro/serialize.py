@@ -1,0 +1,73 @@
+"""JSON-safe serialisation primitives shared by the result envelopes.
+
+Every result type that can leave the process (see
+:mod:`repro.service`) round-trips through plain dicts built from JSON
+scalars, lists and string-keyed objects.  Two pieces of machinery live
+here so the result modules do not have to import the service layer:
+
+* a node-key codec — graph node keys are ints, strings or (nested)
+  tuples such as ``("station", 17)`` and ``(station_id, slice)``;
+  tuples become JSON lists and are restored as tuples on decode;
+* :func:`canonical_json` — the one serialisation used everywhere an
+  envelope is stored, served or printed, so the Python API, the CLI's
+  ``--format json`` and the HTTP front-end emit byte-identical bytes
+  for the same envelope.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+#: Version stamp written into every envelope; bump on incompatible
+#: envelope shape changes so stale stored results are rejected loudly.
+ENVELOPE_VERSION = 1
+
+
+def encode_node(node: Any) -> Any:
+    """JSON-safe form of a graph node key (tuples become lists)."""
+    if isinstance(node, tuple):
+        return [encode_node(part) for part in node]
+    if isinstance(node, (int, float, str, bool)) or node is None:
+        return node
+    raise TypeError(f"node key {node!r} is not JSON-serialisable")
+
+
+def decode_node(encoded: Any) -> Any:
+    """Inverse of :func:`encode_node` (lists become tuples)."""
+    if isinstance(encoded, list):
+        return tuple(decode_node(part) for part in encoded)
+    return encoded
+
+
+def encode_assignment(assignment: Any) -> list[list[Any]]:
+    """A node->label mapping as a deterministically ordered pair list."""
+    pairs = [
+        [encode_node(node), label] for node, label in assignment.items()
+    ]
+    pairs.sort(key=lambda pair: json.dumps(pair[0]))
+    return pairs
+
+
+def decode_assignment(pairs: list[list[Any]]) -> dict[Any, int]:
+    """Inverse of :func:`encode_assignment`."""
+    return {decode_node(node): label for node, label in pairs}
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical text form of an envelope (stable key order)."""
+    return json.dumps(
+        payload, sort_keys=True, indent=2, ensure_ascii=False
+    )
+
+
+def check_envelope(payload: Any, expected_type: str) -> dict:
+    """Validate an envelope's ``type`` tag before decoding it."""
+    if not isinstance(payload, dict):
+        raise TypeError(f"envelope must be a dict, got {type(payload).__name__}")
+    found = payload.get("type")
+    if found != expected_type:
+        raise ValueError(
+            f"expected a {expected_type!r} envelope, got {found!r}"
+        )
+    return payload

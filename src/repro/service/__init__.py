@@ -1,0 +1,57 @@
+"""repro.service — the typed scenario/job API every surface shares.
+
+Three skins over one service layer:
+
+* **Python** — build a :class:`ScenarioSpec`, hand it to an
+  :class:`ExpansionService`, get a JSON-safe result envelope back::
+
+      from repro.service import DatasetRef, ExpansionService, ScenarioSpec
+
+      service = ExpansionService(cache_dir="cache")
+      envelope = service.run(ScenarioSpec(dataset=DatasetRef.synthetic(7)))
+      envelope["outputs"]["run"]["headline"]["table4_gbasic"]
+
+* **HTTP** — ``repro serve`` exposes the same service as
+  ``POST /v1/runs``, ``POST /v1/sweeps``, ``GET /v1/jobs/<id>``,
+  ``GET /v1/results/<fingerprint>`` and ``GET /v1/healthz``.
+* **CLI** — ``repro run/sweep/rebalance/report`` are thin clients that
+  render the same envelopes (``--format json`` prints them verbatim).
+
+Identical concurrent requests are deduplicated by spec fingerprint;
+completed envelopes persist in a :class:`ResultsStore`; all pipeline
+work shares one :class:`~repro.pipeline.cache.StageCache`.
+"""
+
+from .http import ServiceHTTPServer, make_server
+from .jobs import DONE, FAILED, PENDING, RUNNING, Job
+from .service import ExpansionService, canonical_envelope
+from .spec import (
+    ALL_OUTPUTS,
+    OUTPUT_REBALANCE,
+    OUTPUT_REPORT,
+    OUTPUT_RUN,
+    OUTPUT_SWEEP,
+    DatasetRef,
+    ScenarioSpec,
+)
+from .store import ResultsStore
+
+__all__ = [
+    "ALL_OUTPUTS",
+    "DONE",
+    "DatasetRef",
+    "ExpansionService",
+    "FAILED",
+    "Job",
+    "OUTPUT_REBALANCE",
+    "OUTPUT_REPORT",
+    "OUTPUT_RUN",
+    "OUTPUT_SWEEP",
+    "PENDING",
+    "RUNNING",
+    "ResultsStore",
+    "ScenarioSpec",
+    "ServiceHTTPServer",
+    "canonical_envelope",
+    "make_server",
+]

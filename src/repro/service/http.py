@@ -1,0 +1,211 @@
+"""The stdlib HTTP front-end over :class:`ExpansionService`.
+
+``repro serve`` binds a :class:`ThreadingHTTPServer` (one thread per
+connection, no third-party dependencies) whose handler translates five
+routes onto the service:
+
+* ``POST /v1/runs`` — submit a run scenario.  With ``"wait": true``
+  (the default) the response is the result envelope itself, in
+  canonical JSON — byte-identical to what the CLI's ``--format json``
+  prints and ``GET /v1/results/<fp>`` serves.  With ``"wait": false``
+  the response is ``202 Accepted`` with the job document.
+* ``POST /v1/sweeps`` — same, for sweep scenarios (``sweep_axes``).
+* ``GET /v1/jobs/<id>`` — job status document.
+* ``GET /v1/results/<fingerprint>`` — a stored envelope's bytes.
+* ``GET /v1/healthz`` — service counters (executions, cache, jobs).
+
+Bodies are :class:`ScenarioSpec` dicts; the ``type`` tag and the
+``outputs`` list may be omitted (each endpoint fills in its default),
+so ``{"dataset": {"kind": "synthetic", "seed": 7}}`` is a complete
+request.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from ..exceptions import JobFailedError, ReproError
+from ..serialize import canonical_json
+from .jobs import Job
+from .spec import OUTPUT_RUN, OUTPUT_SWEEP, ScenarioSpec
+from .service import ExpansionService
+
+#: Cap request bodies well above any realistic spec.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ExpansionService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: ExpansionService):
+        super().__init__(address, _Handler)
+        self.service = service
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Background lifecycle (tests and embedded use)
+    # ------------------------------------------------------------------
+
+    def start_background(self) -> "ServiceHTTPServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and join the background thread."""
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.server_close()
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound socket (useful with port 0)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # Quiet by default: the CLI prints one line per request instead of
+    # BaseHTTPRequestHandler's stderr chatter.
+    def log_message(self, format: str, *args: Any) -> None:
+        pass
+
+    @property
+    def service(self) -> ExpansionService:
+        return self.server.service
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/v1/healthz":
+            self._send_json(200, self.service.stats())
+        elif path.startswith("/v1/jobs/"):
+            self._get_job(path.removeprefix("/v1/jobs/"))
+        elif path.startswith("/v1/results/"):
+            self._get_result(path.removeprefix("/v1/results/"))
+        else:
+            self._send_error(404, f"no such resource: {path}")
+
+    def do_POST(self) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/v1/runs":
+            self._submit(default_outputs=(OUTPUT_RUN,))
+        elif path == "/v1/sweeps":
+            self._submit(default_outputs=(OUTPUT_SWEEP,))
+        else:
+            self._send_error(404, f"no such resource: {path}")
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _submit(self, default_outputs: tuple[str, ...]) -> None:
+        try:
+            body = self._read_body()
+            wait = bool(body.pop("wait", True))
+            timeout = body.pop("timeout", None)
+            if timeout is not None:
+                timeout = float(timeout)
+            body.setdefault("outputs", list(default_outputs))
+            spec = ScenarioSpec.from_dict(body)
+        except (ReproError, ValueError, TypeError, KeyError) as error:
+            self._send_error(400, str(error))
+            return
+        try:
+            job = self.service.submit(spec)
+        except ReproError as error:
+            self._send_error(400, str(error))
+            return
+        if not wait:
+            self._send_json(202, job.to_dict())
+            return
+        try:
+            envelope = job.wait(timeout)
+        except JobFailedError as error:
+            self._send_error(500, str(error))
+            return
+        except ReproError as error:  # timeout
+            self._send_json(202, job.to_dict(), note=str(error))
+            return
+        # Serve the stored canonical bytes; envelopes are multi-MB, so
+        # re-serialising per request would dominate warm latency.
+        self._send_text(200, job.canonical or canonical_json(envelope))
+
+    def _get_job(self, job_id: str) -> None:
+        job: Job | None = self.service.job(job_id)
+        if job is None:
+            self._send_error(404, f"no such job: {job_id}")
+        else:
+            self._send_json(200, job.to_dict())
+
+    def _get_result(self, fingerprint: str) -> None:
+        try:
+            text = self.service.results.raw(fingerprint)
+        except ValueError as error:
+            self._send_error(400, str(error))
+            return
+        if text is None:
+            self._send_error(404, f"no result stored for {fingerprint}")
+        else:
+            self._send_text(200, text)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            # The body stays unread; drop the connection after the 400
+            # so keep-alive does not parse those bytes as a request.
+            self.close_connection = True
+            raise ValueError(f"request body over {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b"{}"
+        payload = json.loads(raw.decode("utf-8") or "{}")
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _send_text(
+        self, status: int, text: str, content_type: str = "application/json"
+    ) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_json(self, status: int, payload: dict, note: str | None = None) -> None:
+        if note is not None:
+            payload = {**payload, "note": note}
+        self._send_text(status, canonical_json(payload))
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send_text(status, canonical_json({"error": message}))
+
+
+def make_server(
+    service: ExpansionService, host: str = "127.0.0.1", port: int = 8722
+) -> ServiceHTTPServer:
+    """Bind (but do not start) the HTTP front-end.
+
+    ``port=0`` binds an ephemeral port — read it back from ``.url``.
+    """
+    return ServiceHTTPServer((host, port), service)

@@ -1,0 +1,118 @@
+"""Job objects: one submitted scenario moving through the service.
+
+A job is the unit the HTTP API reports on (``GET /v1/jobs/<id>``) and
+the handle :meth:`ExpansionService.submit` hands back.  Identical
+concurrent submissions share one job — the fingerprint, not the job
+id, is a result's durable identity (``GET /v1/results/<fp>``), so job
+metadata (timestamps, status) deliberately stays *outside* the result
+envelope, keeping envelopes byte-identical across surfaces.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..exceptions import JobFailedError, ServiceError
+from .spec import ScenarioSpec
+
+#: Job lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One scenario submission and its (eventual) result envelope."""
+
+    job_id: str
+    spec: ScenarioSpec
+    fingerprint: str
+    status: str = PENDING
+    error: str | None = None
+    created_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: How many submissions this job absorbed (1 + deduplicated ones).
+    subscribers: int = 1
+    _event: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
+    _envelope: dict | None = field(default=None, repr=False, compare=False)
+    #: The envelope's canonical-JSON text, set by the service alongside
+    #: :meth:`complete` so surfaces can serve the stored bytes without
+    #: re-serialising multi-MB envelopes per request.
+    canonical: str | None = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (driven by the service)
+    # ------------------------------------------------------------------
+
+    def mark_running(self) -> None:
+        self.status = RUNNING
+        self.started_at = time.time()
+
+    def complete(self, envelope: dict) -> None:
+        self._envelope = envelope
+        self.status = DONE
+        self.finished_at = time.time()
+        self._event.set()
+
+    def fail(self, error: str) -> None:
+        self.error = error
+        self.status = FAILED
+        self.finished_at = time.time()
+        self._event.set()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """True once the job is done or failed."""
+        return self.status in (DONE, FAILED)
+
+    def wait(self, timeout: float | None = None) -> dict:
+        """Block until the job finishes and return its envelope.
+
+        Raises :class:`JobFailedError` if the job failed and
+        :class:`ServiceError` on timeout.
+        """
+        if not self._event.wait(timeout):
+            raise ServiceError(
+                f"job {self.job_id} did not finish within {timeout}s"
+            )
+        if self.status == FAILED:
+            raise JobFailedError(
+                f"job {self.job_id} failed: {self.error}"
+            )
+        assert self._envelope is not None
+        return self._envelope
+
+    def envelope(self) -> dict | None:
+        """The result envelope, or ``None`` while unfinished/failed."""
+        return self._envelope
+
+    def to_dict(self) -> dict[str, Any]:
+        """Job status document (the ``/v1/jobs/<id>`` body)."""
+        payload: dict[str, Any] = {
+            "type": "Job",
+            "job_id": self.job_id,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "spec": self.spec.to_dict(),
+            "subscribers": self.subscribers,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.status == DONE:
+            payload["result_url"] = f"/v1/results/{self.fingerprint}"
+        return payload

@@ -1,0 +1,350 @@
+"""`ExpansionService`: the one engine behind every API surface.
+
+The Python API, the CLI and the HTTP front-end all reduce to the same
+three calls — build a :class:`~repro.service.spec.ScenarioSpec`,
+``submit()`` it, ``wait()`` on the job — so behaviour (caching,
+deduplication, result persistence) is defined here exactly once.
+
+Request flow::
+
+    submit(spec)
+      └─ resolve dataset ref ──► content digest
+           └─ spec.fingerprint(digest)
+                ├─ identical job already in flight?  join it (dedup)
+                ├─ envelope in the results store?    done, no compute
+                └─ else: queue on the bounded worker pool
+                     └─ PipelineRunner against the shared StageCache
+                          └─ envelope ──► results store
+
+Two clients racing on the same scenario therefore share one pipeline
+execution, and a scenario computed by any surface is warm for all of
+them — the stage cache dedupes *stage* work across different specs,
+the results store and in-flight table dedupe *whole scenarios*.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Mapping
+
+#: Resolved (dataset, digest) pairs kept in memory; a sweep over many
+#: seeds must not accumulate full datasets without bound.
+DATASET_CACHE_SLOTS = 8
+
+from ..analysis.rebalancing import plan_weekend_rebalancing
+from ..data import MobyDataset
+from ..exceptions import ServiceError
+from ..pipeline.cache import StageCache
+from ..pipeline.fingerprint import dataset_digest
+from ..pipeline.runner import PipelineRunner, run_sweep
+from ..reporting import sweep_summary
+from ..reporting.markdown import render_markdown_report
+from ..serialize import ENVELOPE_VERSION, canonical_json
+from ..synth import SyntheticMobyGenerator
+from .jobs import Job
+from .spec import (
+    OUTPUT_REBALANCE,
+    OUTPUT_REPORT,
+    OUTPUT_RUN,
+    OUTPUT_SWEEP,
+    ScenarioSpec,
+)
+from .store import ResultsStore
+
+
+class ExpansionService:
+    """Runs scenario specs as deduplicated jobs over shared caches.
+
+    Parameters
+    ----------
+    cache:
+        A shared :class:`StageCache`; built from ``cache_dir`` /
+        ``cache_bytes`` / ``cache_entries`` when omitted.
+    results_dir:
+        Directory persisting result envelopes by fingerprint (in-memory
+        when omitted).
+    max_workers:
+        Bound on concurrently executing jobs.
+    pipeline_jobs:
+        Worker budget *inside* one pipeline run (stage/slice fan-out).
+    sweep_executor:
+        ``"thread"`` or ``"process"`` — backend for sweep fan-out.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: StageCache | None = None,
+        cache_dir: str | Path | None = None,
+        cache_bytes: int | None = None,
+        cache_entries: int | None = None,
+        results_dir: str | Path | None = None,
+        max_workers: int = 2,
+        pipeline_jobs: int = 1,
+        sweep_executor: str = "thread",
+    ) -> None:
+        if max_workers < 1:
+            raise ServiceError("max_workers must be at least 1")
+        if pipeline_jobs < 1:
+            raise ServiceError("pipeline_jobs must be at least 1")
+        self.sweep_executor = sweep_executor
+        self.cache = cache if cache is not None else StageCache(
+            cache_dir, max_bytes=cache_bytes, max_entries=cache_entries
+        )
+        self.results = ResultsStore(results_dir)
+        self.pipeline_jobs = pipeline_jobs
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-service"
+        )
+        self._mutex = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[str, Job] = {}
+        self._named_datasets: dict[str, MobyDataset] = {}
+        self._datasets: OrderedDict[tuple, tuple[MobyDataset, str]] = (
+            OrderedDict()
+        )
+        self._job_counter = 0
+        #: How many times a pipeline actually executed (not deduplicated,
+        #: not served from the results store).  The dedup tests and the
+        #: ``/v1/healthz`` document read this.
+        self.pipeline_executions = 0
+
+    # ------------------------------------------------------------------
+    # Datasets
+    # ------------------------------------------------------------------
+
+    def register_dataset(self, name: str, dataset: MobyDataset) -> None:
+        """Expose an in-process dataset to ``named`` refs."""
+        with self._mutex:
+            self._named_datasets[name] = dataset
+            self._datasets.pop(("named", name), None)
+
+    def _resolve_dataset(self, spec: ScenarioSpec) -> tuple[MobyDataset, str]:
+        """(raw dataset, content digest) for a spec's dataset ref.
+
+        Resolutions are memoised in a small LRU; csv entries are keyed
+        by the files' identity (mtime/size), so editing a dataset on
+        disk invalidates the cached digest instead of serving stale
+        results until restart.
+        """
+        ref = spec.dataset
+        if ref.kind == "synthetic":
+            key: tuple = ("synthetic", ref.seed)
+        elif ref.kind == "csv":
+            root = Path(ref.path).resolve()
+            stamp = []
+            for name in ("locations.csv", "rentals.csv"):
+                try:
+                    stat = (root / name).stat()
+                    stamp.append((name, stat.st_mtime_ns, stat.st_size))
+                except OSError:
+                    stamp.append((name, None, None))
+            key = ("csv", str(root), tuple(stamp))
+        else:
+            key = ("named", ref.name)
+        with self._mutex:
+            cached = self._datasets.get(key)
+            if cached is not None:
+                self._datasets.move_to_end(key)
+                return cached
+        if ref.kind == "synthetic":
+            raw = SyntheticMobyGenerator(seed=ref.seed).generate()
+        elif ref.kind == "csv":
+            try:
+                raw = MobyDataset.from_csv(ref.path)
+            except Exception as error:
+                raise ServiceError(
+                    f"cannot load csv dataset from {ref.path!r}: {error}"
+                ) from error
+        else:
+            with self._mutex:
+                raw = self._named_datasets.get(ref.name)
+            if raw is None:
+                raise ServiceError(f"no dataset registered as {ref.name!r}")
+        resolved = (raw, dataset_digest(raw))
+        with self._mutex:
+            self._datasets[key] = resolved
+            self._datasets.move_to_end(key)
+            while len(self._datasets) > DATASET_CACHE_SLOTS:
+                self._datasets.popitem(last=False)
+        return resolved
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: ScenarioSpec | Mapping[str, Any]) -> Job:
+        """Queue a scenario; identical in-flight requests share one job."""
+        if isinstance(spec, Mapping):
+            spec = ScenarioSpec.from_dict(spec)
+        raw, digest = self._resolve_dataset(spec)
+        fingerprint = spec.fingerprint(digest)
+        with self._mutex:
+            inflight = self._inflight.get(fingerprint)
+            if inflight is not None:
+                inflight.subscribers += 1
+                return inflight
+            self._job_counter += 1
+            job = Job(
+                job_id=f"job-{self._job_counter:06d}",
+                spec=spec,
+                fingerprint=fingerprint,
+            )
+            self._jobs[job.job_id] = job
+            self._inflight[fingerprint] = job
+        self._pool.submit(self._execute, job, raw, digest)
+        return job
+
+    def run(
+        self,
+        spec: ScenarioSpec | Mapping[str, Any],
+        timeout: float | None = None,
+    ) -> dict:
+        """Submit and wait; returns the result envelope."""
+        return self.submit(spec).wait(timeout)
+
+    def job(self, job_id: str) -> Job | None:
+        """Look a job up by id."""
+        with self._mutex:
+            return self._jobs.get(job_id)
+
+    def stats(self) -> dict[str, Any]:
+        """Service counters (the ``/v1/healthz`` document)."""
+        with self._mutex:
+            n_jobs = len(self._jobs)
+            n_inflight = len(self._inflight)
+        return {
+            "status": "ok",
+            "jobs": n_jobs,
+            "in_flight": n_inflight,
+            "pipeline_executions": self.pipeline_executions,
+            "results_stored": len(self.results),
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "stores": self.cache.stores,
+                "evictions": self.cache.evictions,
+            },
+        }
+
+    def close(self) -> None:
+        """Finish queued jobs and shut the worker pool down."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ExpansionService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _execute(self, job: Job, raw: MobyDataset, digest: str) -> None:
+        try:
+            stored_text = self.results.raw(job.fingerprint)
+            if stored_text is not None:
+                job.canonical = stored_text
+                job.complete(json.loads(stored_text))
+                return
+            job.mark_running()
+            with self._mutex:
+                self.pipeline_executions += 1
+            envelope = self._build_envelope(job.spec, raw, digest)
+            envelope["fingerprint"] = job.fingerprint
+            job.canonical = self.results.put(job.fingerprint, envelope)
+            job.complete(envelope)
+        except Exception as error:
+            job.fail(f"{type(error).__name__}: {error}")
+        finally:
+            with self._mutex:
+                self._inflight.pop(job.fingerprint, None)
+
+    def _build_envelope(
+        self, spec: ScenarioSpec, raw: MobyDataset, digest: str
+    ) -> dict[str, Any]:
+        """Compute every requested output into one envelope dict."""
+        config = spec.config()
+        outputs: dict[str, Any] = {}
+        result = None
+        if {OUTPUT_RUN, OUTPUT_REBALANCE, OUTPUT_REPORT} & set(spec.outputs):
+            runner = PipelineRunner(
+                raw,
+                config,
+                cache=self.cache,
+                jobs=self.pipeline_jobs,
+                raw_digest=digest,
+            )
+            result = runner.run()
+        if OUTPUT_RUN in spec.outputs:
+            outputs[OUTPUT_RUN] = result.to_dict()
+        if OUTPUT_SWEEP in spec.outputs:
+            outputs[OUTPUT_SWEEP] = self._sweep_output(spec, raw, digest)
+        if OUTPUT_REBALANCE in spec.outputs:
+            plan = plan_weekend_rebalancing(
+                result.network,
+                result.day.station_partition,
+                spec.fleet_size,
+            )
+            outputs[OUTPUT_REBALANCE] = {
+                "fleet_size": spec.fleet_size,
+                "plan": plan.to_dict(),
+            }
+        if OUTPUT_REPORT in spec.outputs:
+            outputs[OUTPUT_REPORT] = {
+                "title": spec.report_title,
+                "markdown": render_markdown_report(
+                    result, title=spec.report_title
+                ),
+            }
+        return {
+            "type": "ResultEnvelope",
+            "envelope_version": ENVELOPE_VERSION,
+            "spec": spec.to_dict(),
+            "dataset_digest": digest,
+            "outputs": outputs,
+        }
+
+    def _sweep_output(
+        self, spec: ScenarioSpec, raw: MobyDataset, digest: str
+    ) -> dict[str, Any]:
+        grid = spec.sweep_grid()
+        results = run_sweep(
+            raw,
+            [config for _, config in grid],
+            cache=self.cache,
+            jobs=self.pipeline_jobs,
+            executor=self.sweep_executor,
+        )
+        labels = [
+            ", ".join(f"{path}={value}" for path, value in overrides.items())
+            or "paper defaults"
+            for overrides, _ in grid
+        ]
+        return {
+            "axes": {
+                path: list(values) for path, values in sorted(spec.sweep_axes)
+            },
+            "scenarios": [
+                {
+                    "label": label,
+                    "overrides": overrides,
+                    "headline": result.headline(),
+                }
+                for label, (overrides, _), result in zip(labels, grid, results)
+            ],
+            "table": sweep_summary(
+                list(zip(labels, results)),
+                title=f"SCENARIO SWEEP ({len(results)} configs)",
+            ),
+        }
+
+
+def canonical_envelope(envelope: dict) -> str:
+    """The canonical text every surface serves for ``envelope``."""
+    return canonical_json(envelope)

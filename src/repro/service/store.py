@@ -1,0 +1,87 @@
+"""The results store: completed envelopes keyed by spec fingerprint.
+
+Envelopes are stored as their :func:`repro.serialize.canonical_json`
+bytes — the exact bytes every surface serves — either on disk (one
+``<fingerprint>.json`` per result, written atomically like the stage
+cache's pickles) or in memory when no directory is given.  A warm
+store lets a restarted service answer ``GET /v1/results/<fp>`` and
+repeated submissions without touching the pipeline at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+from ..serialize import canonical_json
+
+_FINGERPRINT_SAFE = set("0123456789abcdef")
+
+
+def _checked(fingerprint: str) -> str:
+    """Reject anything that is not a plain hex digest (path safety)."""
+    if not fingerprint or any(c not in _FINGERPRINT_SAFE for c in fingerprint):
+        raise ValueError(f"bad result fingerprint {fingerprint!r}")
+    return fingerprint
+
+
+class ResultsStore:
+    """Canonical-JSON envelope store, disk-backed or in-memory."""
+
+    def __init__(self, results_dir: str | Path | None = None) -> None:
+        self.results_dir = Path(results_dir) if results_dir is not None else None
+        self._memory: dict[str, str] = {}
+        self._mutex = threading.Lock()
+
+    def raw(self, fingerprint: str) -> str | None:
+        """The stored canonical-JSON text, or ``None``."""
+        _checked(fingerprint)
+        if self.results_dir is None:
+            with self._mutex:
+                return self._memory.get(fingerprint)
+        try:
+            return (self.results_dir / f"{fingerprint}.json").read_text()
+        except OSError:
+            return None
+
+    def get(self, fingerprint: str) -> dict | None:
+        """The stored envelope as a dict, or ``None``."""
+        text = self.raw(fingerprint)
+        if text is None:
+            return None
+        try:
+            return json.loads(text)
+        except ValueError:
+            return None  # truncated/garbled entry: treat as a miss
+
+    def put(self, fingerprint: str, envelope: dict) -> str:
+        """Store ``envelope``; returns the canonical text written."""
+        _checked(fingerprint)
+        text = canonical_json(envelope)
+        if self.results_dir is None:
+            with self._mutex:
+                self._memory[fingerprint] = text
+            return text
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        path = self.results_dir / f"{fingerprint}.json"
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+        try:
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+        return text
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.raw(fingerprint) is not None
+
+    def __len__(self) -> int:
+        if self.results_dir is None:
+            with self._mutex:
+                return len(self._memory)
+        try:
+            return sum(1 for _ in self.results_dir.glob("*.json"))
+        except OSError:
+            return 0

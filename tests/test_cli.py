@@ -150,6 +150,93 @@ class TestRebalance:
         assert "bikes move" in out
 
 
+class TestJsonFormat:
+    """``--format json`` prints the canonical service envelope."""
+
+    def test_run_json_envelope(self, capsys):
+        import json
+
+        assert cli.main(["run", "--seed", "11", "--format", "json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["type"] == "ResultEnvelope"
+        assert envelope["spec"]["outputs"] == ["run"]
+        headline = envelope["outputs"]["run"]["headline"]
+        assert headline["table1_dataset"]["cleaned_rentals"] > 0
+
+    def test_run_json_matches_python_service_bytes(self, capsys):
+        from repro.service import (
+            DatasetRef,
+            ExpansionService,
+            ScenarioSpec,
+            canonical_envelope,
+        )
+
+        assert cli.main(["run", "--seed", "11", "--format", "json"]) == 0
+        printed = capsys.readouterr().out
+        with ExpansionService() as service:
+            envelope = service.run(
+                ScenarioSpec(dataset=DatasetRef.synthetic(11)), timeout=600
+            )
+        assert printed == canonical_envelope(envelope) + "\n"
+
+    def test_sweep_json_envelope(self, capsys):
+        import json
+
+        assert cli.main(
+            [
+                "sweep", "--seed", "11",
+                "--set", "temporal.coupling=0.05,0.25",
+                "--format", "json",
+            ]
+        ) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert len(envelope["outputs"]["sweep"]["scenarios"]) == 2
+
+    def test_rebalance_json_envelope(self, capsys):
+        import json
+
+        assert cli.main(
+            ["rebalance", "--seed", "11", "--fleet", "40", "--format", "json"]
+        ) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        plan = envelope["outputs"]["rebalance"]["plan"]
+        assert plan["type"] == "RebalancingPlan"
+
+    def test_report_json_envelope(self, capsys):
+        import json
+
+        assert cli.main(
+            ["report", "--seed", "11", "--out", "/dev/null", "--format", "json"]
+        ) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["outputs"]["report"]["markdown"].startswith("#")
+
+
+class TestServeParser:
+    def test_serve_arguments_parse(self):
+        args = cli._build_parser().parse_args(
+            [
+                "serve", "--port", "0", "--cache-bytes", "1048576",
+                "--cache-entries", "32", "--workers", "3",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.cache_bytes == 1_048_576
+        assert args.cache_entries == 32
+        assert args.workers == 3
+
+    def test_run_accepts_cache_limits(self, tmp_path):
+        assert cli.main(
+            [
+                "run", "--seed", "11",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--cache-entries", "3",
+            ]
+        ) == 0
+        # Only the 3 most recent of the 7 stage pickles survive.
+        assert len(list((tmp_path / "cache").glob("*.pkl"))) == 3
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -73,6 +73,48 @@ class TestValidation:
         assert config.clustering.cluster_boundary_m == 100.0
 
 
+class TestOverridePaths:
+    """Dotted ``section.field`` keys fail loudly, never silently."""
+
+    def test_derive_applies_known_paths(self):
+        derived = PAPER_CONFIG.derive(
+            {"temporal.coupling": 0.2, "selection.secondary_distance_m": 400.0}
+        )
+        assert derived.temporal.coupling == 0.2
+        assert derived.selection.secondary_distance_m == 400.0
+        # The original is untouched (derive copies).
+        assert PAPER_CONFIG.temporal.coupling == 0.12
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "bogus.coupling",       # unknown section
+            "temporal.bogus",       # unknown field
+            "coupling",             # no section
+            "temporal.",            # empty field
+            "",                     # empty path
+            "temporal.coupling.x",  # too many segments
+            "community.coupling",   # field of a different section
+        ],
+    )
+    def test_derive_rejects_unknown_paths(self, path):
+        with pytest.raises(ConfigError):
+            PAPER_CONFIG.derive({path: 1})
+
+    def test_unknown_field_error_lists_valid_fields(self):
+        with pytest.raises(ConfigError, match="valid fields"):
+            PAPER_CONFIG.derive({"temporal.bogus": 1})
+
+    def test_derive_rejects_invalid_values(self):
+        with pytest.raises(ConfigError):
+            PAPER_CONFIG.derive({"temporal.coupling": -1.0})
+
+    def test_validate_override_path_splits(self):
+        assert PipelineConfig.validate_override_path("temporal.coupling") == (
+            "temporal", "coupling"
+        )
+
+
 class TestExceptionsHierarchy:
     def test_everything_derives_from_repro_error(self):
         from repro import exceptions

@@ -82,6 +82,54 @@ class TestCacheSemantics:
         assert cache.get("b") == 2
         assert cache.get("c") == 3
 
+    def test_disk_eviction_by_entries(self, tmp_path):
+        cache = StageCache(tmp_path, memory_slots=0, max_entries=2)
+        for key in ("a", "b", "c", "d"):
+            cache.put(key, key * 4)
+        assert sorted(p.stem for p in tmp_path.glob("*.pkl")) == ["c", "d"]
+        assert cache.get("a") is MISS
+        assert cache.get("d") == "dddd"
+        assert cache.evictions == 2
+
+    def test_disk_eviction_is_lru_not_fifo(self, tmp_path):
+        import os
+        import time
+
+        cache = StageCache(tmp_path, memory_slots=0, max_entries=2)
+        cache.put("old", 1)
+        # Backdate "old", then read it: the disk hit must refresh its
+        # recency so the *unread* entry is the one evicted.
+        past = time.time() - 3600
+        os.utime(tmp_path / "old.pkl", (past, past))
+        cache.put("middle", 2)
+        os.utime(tmp_path / "middle.pkl", (past + 1, past + 1))
+        assert cache.get("old") == 1  # refreshes old.pkl's mtime
+        cache.put("new", 3)
+        assert cache.get("middle") is MISS
+        assert cache.get("old") == 1
+        assert cache.get("new") == 3
+
+    def test_disk_eviction_by_bytes_keeps_latest(self, tmp_path):
+        cache = StageCache(tmp_path, memory_slots=0, max_bytes=1)
+        cache.put("a", list(range(100)))
+        cache.put("b", list(range(100)))
+        # The just-written entry always survives, however tight the cap.
+        assert [p.stem for p in tmp_path.glob("*.pkl")] == ["b"]
+        assert cache.get("b") == list(range(100))
+
+    def test_unlimited_cache_never_evicts(self, tmp_path):
+        cache = StageCache(tmp_path, memory_slots=0)
+        for index in range(10):
+            cache.put(f"k{index}", index)
+        assert len(list(tmp_path.glob("*.pkl"))) == 10
+        assert cache.evictions == 0
+
+    def test_bad_limits_rejected(self):
+        with pytest.raises(ValueError):
+            StageCache(max_bytes=-1)
+        with pytest.raises(ValueError):
+            StageCache(max_entries=0)
+
 
 class TestFingerprints:
     def test_config_change_invalidates_only_downstream(self, small_raw):

@@ -1,0 +1,203 @@
+"""ExpansionService: jobs, deduplication, persistence, failure paths."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import JobFailedError, ServiceError
+from repro.service import (
+    DONE,
+    DatasetRef,
+    ExpansionService,
+    ScenarioSpec,
+)
+
+
+@pytest.fixture(scope="module")
+def stage_cache_dir(tmp_path_factory):
+    """One disk stage cache shared by every service in this module.
+
+    The first pipeline run warms it; later services recompute nothing,
+    keeping the module fast while still counting executions per service.
+    """
+    return tmp_path_factory.mktemp("service-stage-cache")
+
+
+@pytest.fixture()
+def service(small_raw, stage_cache_dir):
+    with ExpansionService(cache_dir=stage_cache_dir, max_workers=4) as svc:
+        svc.register_dataset("small", small_raw)
+        yield svc
+
+
+def small_spec(**kwargs) -> ScenarioSpec:
+    kwargs.setdefault("dataset", DatasetRef.named("small"))
+    return ScenarioSpec(**kwargs)
+
+
+class TestRun:
+    def test_run_returns_envelope(self, service, small_result):
+        envelope = service.run(small_spec(), timeout=300)
+        assert envelope["type"] == "ResultEnvelope"
+        assert envelope["outputs"]["run"]["headline"] == small_result.headline()
+        assert envelope["spec"]["outputs"] == ["run"]
+        assert envelope["fingerprint"]
+
+    def test_job_lifecycle_document(self, service):
+        job = service.submit(small_spec())
+        job.wait(300)
+        assert job.status == DONE
+        payload = job.to_dict()
+        assert payload["result_url"].endswith(job.fingerprint)
+        assert service.job(job.job_id) is job
+        assert service.job("job-999999") is None
+
+    def test_rebalance_and_report_outputs(self, service):
+        envelope = service.run(
+            small_spec(
+                outputs=("run", "rebalance", "report"),
+                fleet_size=40,
+                report_title="svc",
+            ),
+            timeout=300,
+        )
+        plan = envelope["outputs"]["rebalance"]["plan"]
+        assert plan["type"] == "RebalancingPlan"
+        assert envelope["outputs"]["rebalance"]["fleet_size"] == 40
+        assert envelope["outputs"]["report"]["markdown"].startswith("# svc")
+
+    def test_sweep_output(self, service):
+        envelope = service.run(
+            small_spec(
+                outputs=("sweep",),
+                sweep_axes={"temporal.coupling": [0.05, 0.25]},
+            ),
+            timeout=300,
+        )
+        sweep = envelope["outputs"]["sweep"]
+        assert [s["label"] for s in sweep["scenarios"]] == [
+            "temporal.coupling=0.05",
+            "temporal.coupling=0.25",
+        ]
+        assert "SCENARIO SWEEP (2 configs)" in sweep["table"]
+
+    def test_submit_accepts_spec_dicts(self, service):
+        envelope = service.run(
+            {
+                "type": "ScenarioSpec",
+                "dataset": {"kind": "named", "name": "small"},
+                "outputs": ["run"],
+            },
+            timeout=300,
+        )
+        assert envelope["outputs"]["run"]["type"] == "ExpansionResult"
+
+
+class TestDeduplication:
+    N_CLIENTS = 8
+
+    def test_concurrent_identical_requests_run_once(self, small_raw, stage_cache_dir, tmp_path):
+        # A private results store so nothing is pre-computed for this
+        # fingerprint; the shared stage cache does not matter here —
+        # executions are counted per job, not per stage.
+        with ExpansionService(
+            cache_dir=stage_cache_dir, results_dir=tmp_path / "results", max_workers=4
+        ) as svc:
+            svc.register_dataset("small", small_raw)
+            spec = small_spec(overrides={"community.seed": 1234})
+            barrier = threading.Barrier(self.N_CLIENTS)
+            jobs = []
+
+            def client():
+                barrier.wait()
+                jobs.append(svc.submit(spec))
+
+            threads = [
+                threading.Thread(target=client) for _ in range(self.N_CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            envelopes = [job.wait(300) for job in jobs]
+
+            assert svc.pipeline_executions == 1
+            assert len({job.job_id for job in jobs}) == 1
+            assert jobs[0].subscribers == self.N_CLIENTS
+            assert all(env == envelopes[0] for env in envelopes)
+
+    def test_resubmission_after_completion_serves_stored_result(self, service):
+        first = service.run(small_spec(), timeout=300)
+        executions = service.pipeline_executions
+        second = service.run(small_spec(), timeout=300)
+        assert second == first
+        assert service.pipeline_executions == executions
+
+    def test_distinct_specs_execute_separately(self, service):
+        spec_a = small_spec(overrides={"community.seed": 1})
+        spec_b = small_spec(overrides={"community.seed": 2})
+        job_a = service.submit(spec_a)
+        job_b = service.submit(spec_b)
+        assert job_a.fingerprint != job_b.fingerprint
+        env_a = job_a.wait(300)
+        env_b = job_b.wait(300)
+        assert env_a["fingerprint"] != env_b["fingerprint"]
+
+
+class TestResultsStore:
+    def test_envelopes_survive_service_restarts(self, small_raw, stage_cache_dir, tmp_path):
+        results_dir = tmp_path / "results"
+        spec = small_spec()
+        with ExpansionService(
+            cache_dir=stage_cache_dir, results_dir=results_dir
+        ) as first:
+            first.register_dataset("small", small_raw)
+            envelope = first.run(spec, timeout=300)
+        with ExpansionService(
+            cache_dir=stage_cache_dir, results_dir=results_dir
+        ) as second:
+            second.register_dataset("small", small_raw)
+            again = second.run(spec, timeout=300)
+            assert again == envelope
+            assert second.pipeline_executions == 0
+
+    def test_bad_fingerprint_rejected(self, service):
+        with pytest.raises(ValueError):
+            service.results.raw("../../etc/passwd")
+
+
+class TestFailures:
+    def test_missing_named_dataset(self, service):
+        with pytest.raises(ServiceError):
+            service.submit(ScenarioSpec(dataset=DatasetRef.named("nope")))
+
+    def test_missing_csv_dataset(self, service, tmp_path):
+        with pytest.raises(ServiceError):
+            service.submit(
+                ScenarioSpec(dataset=DatasetRef.csv(tmp_path / "nope"))
+            )
+
+    def test_failed_job_raises_on_wait(self, small_raw, tmp_path):
+        # An unclusterable config: degree_threshold so high that no
+        # candidate survives is fine, but an empty-cleaned dataset is a
+        # guaranteed PipelineError; simulate by registering a dataset
+        # whose rentals were all stripped.
+        from repro.data import MobyDataset
+
+        empty = MobyDataset.from_records(
+            list(small_raw.locations())[:5], []
+        )
+        with ExpansionService() as svc:
+            svc.register_dataset("empty", empty)
+            job = svc.submit(ScenarioSpec(dataset=DatasetRef.named("empty")))
+            with pytest.raises(JobFailedError):
+                job.wait(300)
+            assert job.status == "failed"
+            assert job.error
+
+    def test_stats_shape(self, service):
+        service.run(small_spec(), timeout=300)
+        stats = service.stats()
+        assert stats["status"] == "ok"
+        assert stats["jobs"] >= 1
+        assert "cache" in stats and "evictions" in stats["cache"]

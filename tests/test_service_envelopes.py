@@ -1,0 +1,166 @@
+"""Result envelopes: JSON round trips that preserve every headline number.
+
+The fast tests exercise the reduced dataset; the slow one checks the
+paper-scale envelope's headline block against the golden fixture the
+regression suite pins (``tests/goldens/paper_seed7.json``).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import plan_weekend_rebalancing
+from repro.community import LouvainResult, Partition, TemporalCommunityResult
+from repro.core.graphs import SelectedNetwork
+from repro.core.results import ExpansionResult
+from repro.core.selection import SelectionResult
+from repro.data.cleaning import CleaningReport
+from repro.reporting import (
+    Comparison,
+    ExperimentOutput,
+    experiment_table1,
+    experiment_table2,
+    experiment_table3,
+    experiment_table4,
+    experiment_table5,
+    experiment_table6,
+)
+from repro.serialize import canonical_json, decode_node, encode_node
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "paper_seed7.json"
+
+
+def roundtrip(value):
+    """to_dict -> JSON text -> from_dict, through real serialisation."""
+    payload = json.loads(json.dumps(value.to_dict()))
+    return type(value).from_dict(payload)
+
+
+class TestNodeCodec:
+    def test_scalars_pass_through(self):
+        for node in (7, "station", 2.5, True, None):
+            assert decode_node(encode_node(node)) == node
+
+    def test_tuples_roundtrip(self):
+        for node in (("station", 17), (3, 0), ("a", ("b", 1))):
+            assert decode_node(encode_node(node)) == node
+
+    def test_unserialisable_key_rejected(self):
+        with pytest.raises(TypeError):
+            encode_node(object())
+
+
+class TestComponentEnvelopes:
+    def test_partition_roundtrip_with_tuple_nodes(self):
+        partition = Partition.from_assignment(
+            {(1, 0): 1, (1, 1): 1, (2, 0): 2, ("s", 3): 2}
+        )
+        assert roundtrip(partition) == partition
+
+    def test_cleaning_report(self, small_result):
+        report = small_result.cleaning_report
+        back = roundtrip(report)
+        assert back == report
+        assert experiment_table1(back).text == experiment_table1(report).text
+
+    def test_selection_result(self, small_result):
+        selection = small_result.selection
+        back = roundtrip(selection)
+        assert back == selection
+        assert back.selected_cluster_ids == selection.selected_cluster_ids
+        assert back.rejection_counts() == selection.rejection_counts()
+
+    def test_louvain_result(self, small_result):
+        back = roundtrip(small_result.basic)
+        assert back == small_result.basic
+        assert isinstance(back, LouvainResult)
+        assert back.levels == small_result.basic.levels
+
+    def test_temporal_result(self, small_result):
+        back = roundtrip(small_result.day)
+        assert back == small_result.day
+        assert isinstance(back, TemporalCommunityResult)
+
+    def test_selected_network(self, small_result):
+        network = small_result.network
+        back = roundtrip(network)
+        assert back.stations == network.stations
+        assert back.trips == network.trips
+        assert back.stats() == network.stats()
+
+    def test_wrong_envelope_type_rejected(self, small_result):
+        with pytest.raises(ValueError):
+            SelectionResult.from_dict(small_result.basic.to_dict())
+        with pytest.raises(TypeError):
+            CleaningReport.from_dict("not a dict")
+
+
+class TestReportingEnvelopes:
+    def test_experiment_output_roundtrip(self, small_result):
+        output = experiment_table4(small_result)
+        back = roundtrip(output)
+        assert back == output
+        assert [c.to_dict() for c in back.comparisons()] == [
+            c.to_dict() for c in output.comparisons()
+        ]
+
+    def test_comparison_roundtrip(self):
+        item = Comparison("table4", "modularity", 0.25, 0.26)
+        assert Comparison.from_dict(item.to_dict()) == item
+
+
+class TestExpansionEnvelope:
+    def test_byte_stable_roundtrip(self, small_result):
+        blob = canonical_json(small_result.to_dict())
+        back = ExpansionResult.from_dict(json.loads(blob))
+        assert canonical_json(back.to_dict()) == blob
+
+    def test_headline_preserved(self, small_result):
+        back = roundtrip(small_result)
+        assert back.headline() == small_result.headline()
+        assert back.n_new_stations == small_result.n_new_stations
+        assert back.n_total_stations == small_result.n_total_stations
+
+    def test_every_table_renders_identically(self, small_result):
+        back = roundtrip(small_result)
+        assert (
+            experiment_table1(back.cleaning_report).text
+            == experiment_table1(small_result.cleaning_report).text
+        )
+        for experiment in (
+            experiment_table2,
+            experiment_table3,
+            experiment_table4,
+            experiment_table5,
+            experiment_table6,
+        ):
+            assert experiment(back).text == experiment(small_result).text
+
+    def test_rebalancing_runs_on_roundtripped_network(self, small_result):
+        back = roundtrip(small_result)
+        original = plan_weekend_rebalancing(
+            small_result.network, small_result.day.station_partition, 40
+        )
+        served = plan_weekend_rebalancing(
+            back.network, back.day.station_partition, 40
+        )
+        assert served.to_dict() == original.to_dict()
+
+    def test_summary_views_carry_counts(self, small_result):
+        back = roundtrip(small_result)
+        assert back.cleaned.n_rentals == small_result.cleaned.n_rentals
+        assert back.candidates.n_candidates == small_result.candidates.n_candidates
+        assert back.candidates.stats() == small_result.candidates.stats()
+
+
+@pytest.mark.slow
+class TestGoldenHeadline:
+    """The envelope's headline block vs the pinned golden fixture."""
+
+    def test_paper_envelope_headline_matches_goldens(self, paper_result):
+        goldens = json.loads(GOLDEN_PATH.read_text())
+        envelope = paper_result.to_dict()
+        assert envelope["headline"] == goldens
+        back = ExpansionResult.from_dict(json.loads(json.dumps(envelope)))
+        assert back.headline() == goldens

@@ -1,0 +1,182 @@
+"""End-to-end HTTP tests against an ephemeral ``repro serve`` port."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import (
+    DatasetRef,
+    ExpansionService,
+    ScenarioSpec,
+    canonical_envelope,
+    make_server,
+)
+
+
+@pytest.fixture(scope="module")
+def server(small_raw, tmp_path_factory):
+    service = ExpansionService(
+        cache_dir=tmp_path_factory.mktemp("http-stage-cache"), max_workers=4
+    )
+    service.register_dataset("small", small_raw)
+    http_server = make_server(service, port=0).start_background()
+    yield http_server
+    http_server.stop()
+    service.close()
+
+
+def request(server, path, body=None, method=None):
+    """(status, bytes) for one HTTP exchange; errors are not raised."""
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        server.url + path, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=300) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+RUN_BODY = {"dataset": {"kind": "named", "name": "small"}}
+
+
+class TestHealthz:
+    def test_ok(self, server):
+        status, body = request(server, "/v1/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert "pipeline_executions" in payload
+
+
+class TestRuns:
+    def test_post_run_returns_canonical_envelope(self, server, small_result):
+        status, body = request(server, "/v1/runs", RUN_BODY)
+        assert status == 200
+        envelope = json.loads(body)
+        assert envelope["outputs"]["run"]["headline"] == small_result.headline()
+        # The HTTP bytes ARE the canonical envelope serialisation.
+        assert body.decode() == canonical_envelope(envelope)
+
+    def test_result_endpoint_serves_identical_bytes(self, server):
+        status, body = request(server, "/v1/runs", RUN_BODY)
+        fingerprint = json.loads(body)["fingerprint"]
+        status, stored = request(server, f"/v1/results/{fingerprint}")
+        assert status == 200
+        assert stored == body
+
+    def test_python_api_yields_identical_bytes(self, server, small_raw):
+        _, body = request(server, "/v1/runs", RUN_BODY)
+        envelope = server.service.run(
+            ScenarioSpec(dataset=DatasetRef.named("small")), timeout=300
+        )
+        assert canonical_envelope(envelope).encode() == body
+
+    def test_async_submission_via_jobs_endpoint(self, server):
+        status, body = request(
+            server, "/v1/runs", {**RUN_BODY, "wait": False}
+        )
+        assert status == 202
+        job = json.loads(body)
+        job_id = job["job_id"]
+        deadline = threading.Event()
+        for _ in range(600):
+            status, body = request(server, f"/v1/jobs/{job_id}")
+            assert status == 200
+            if json.loads(body)["status"] in ("done", "failed"):
+                break
+            deadline.wait(0.05)
+        payload = json.loads(body)
+        assert payload["status"] == "done"
+        status, _ = request(server, payload["result_url"])
+        assert status == 200
+
+    def test_concurrent_identical_requests_execute_once(self, server):
+        executions_before = server.service.pipeline_executions
+        body = {
+            "dataset": {"kind": "named", "name": "small"},
+            "overrides": {"community.seed": 777},
+        }
+        barrier = threading.Barrier(6)
+        responses = []
+
+        def client():
+            barrier.wait()
+            responses.append(request(server, "/v1/runs", body))
+
+        threads = [threading.Thread(target=client) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert [status for status, _ in responses] == [200] * 6
+        bodies = {payload for _, payload in responses}
+        assert len(bodies) == 1  # byte-identical envelopes for everyone
+        assert server.service.pipeline_executions == executions_before + 1
+
+
+class TestSweeps:
+    def test_post_sweep(self, server):
+        status, body = request(
+            server,
+            "/v1/sweeps",
+            {
+                "dataset": {"kind": "named", "name": "small"},
+                "sweep_axes": {"temporal.coupling": [0.05, 0.25]},
+            },
+        )
+        assert status == 200
+        sweep = json.loads(body)["outputs"]["sweep"]
+        assert len(sweep["scenarios"]) == 2
+
+
+class TestErrors:
+    def test_unknown_route_404(self, server):
+        status, body = request(server, "/v1/nonsense")
+        assert status == 404
+        assert "error" in json.loads(body)
+
+    def test_unknown_job_404(self, server):
+        status, _ = request(server, "/v1/jobs/job-424242")
+        assert status == 404
+
+    def test_unknown_result_404(self, server):
+        status, _ = request(server, "/v1/results/" + "0" * 64)
+        assert status == 404
+
+    def test_bad_fingerprint_400(self, server):
+        status, _ = request(server, "/v1/results/NOT-HEX")
+        assert status == 400
+
+    def test_bad_override_400(self, server):
+        status, body = request(
+            server,
+            "/v1/runs",
+            {**RUN_BODY, "overrides": {"temporal.bogus": 1}},
+        )
+        assert status == 400
+        assert "temporal" in json.loads(body)["error"]
+
+    def test_unknown_dataset_400(self, server):
+        status, _ = request(
+            server, "/v1/runs", {"dataset": {"kind": "named", "name": "nope"}}
+        )
+        assert status == 400
+
+    def test_malformed_json_400(self, server):
+        req = urllib.request.Request(
+            server.url + "/v1/runs", data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=60) as resp:
+                status = resp.status
+        except urllib.error.HTTPError as error:
+            status = error.code
+        assert status == 400

@@ -1,0 +1,171 @@
+"""ScenarioSpec / DatasetRef: validation, canonical fingerprints, JSON."""
+
+import pytest
+
+from repro.exceptions import ConfigError, ServiceError
+from repro.service import DatasetRef, ScenarioSpec
+
+DIGEST = "ab" * 32
+
+
+class TestDatasetRef:
+    def test_synthetic_roundtrip(self):
+        ref = DatasetRef.synthetic(11)
+        assert DatasetRef.from_dict(ref.to_dict()) == ref
+        assert ref.to_dict() == {"kind": "synthetic", "seed": 11}
+
+    def test_csv_and_named_roundtrip(self):
+        for ref in (DatasetRef.csv("/tmp/data"), DatasetRef.named("x")):
+            assert DatasetRef.from_dict(ref.to_dict()) == ref
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServiceError):
+            DatasetRef(kind="postgres")
+
+    def test_csv_needs_path(self):
+        with pytest.raises(ServiceError):
+            DatasetRef(kind="csv")
+
+    def test_named_needs_name(self):
+        with pytest.raises(ServiceError):
+            DatasetRef(kind="named")
+
+
+class TestSpecValidation:
+    def test_defaults_request_a_run(self):
+        spec = ScenarioSpec()
+        assert spec.outputs == ("run",)
+        assert spec.dataset == DatasetRef.synthetic(7)
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(ServiceError):
+            ScenarioSpec(outputs=("run", "forecast"))
+
+    def test_empty_outputs_rejected(self):
+        with pytest.raises(ServiceError):
+            ScenarioSpec(outputs=())
+
+    def test_duplicate_outputs_rejected(self):
+        with pytest.raises(ServiceError):
+            ScenarioSpec(outputs=("run", "run"))
+
+    def test_unknown_override_path_rejected(self):
+        # The same validation PipelineConfig.derive applies (satellite:
+        # unknown section.field keys must fail loudly, never be ignored).
+        with pytest.raises(ConfigError):
+            ScenarioSpec(overrides={"temporal.bogus": 1.0})
+        with pytest.raises(ConfigError):
+            ScenarioSpec(overrides={"bogus.coupling": 1.0})
+
+    def test_invalid_override_value_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioSpec(overrides={"temporal.coupling": -1.0})
+
+    def test_invalid_sweep_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioSpec(
+                outputs=("sweep",), sweep_axes={"temporal.bogus": [0.1]}
+            )
+        with pytest.raises(ConfigError):
+            ScenarioSpec(
+                outputs=("sweep",), sweep_axes={"temporal.coupling": [-5.0]}
+            )
+
+    def test_sweep_axes_require_sweep_output(self):
+        with pytest.raises(ServiceError):
+            ScenarioSpec(sweep_axes={"temporal.coupling": [0.1]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ServiceError):
+            ScenarioSpec(outputs=("sweep",), sweep_axes={"temporal.coupling": []})
+
+    def test_nonpositive_fleet_rejected(self):
+        with pytest.raises(ServiceError):
+            ScenarioSpec(outputs=("rebalance",), fleet_size=0)
+
+    def test_duplicate_override_key_rejected(self):
+        with pytest.raises(ServiceError):
+            ScenarioSpec(
+                overrides=[("temporal.coupling", 0.1), ("temporal.coupling", 0.2)]
+            )
+
+    def test_config_applies_overrides(self):
+        spec = ScenarioSpec(overrides={"temporal.coupling": 0.2})
+        assert spec.config().temporal.coupling == 0.2
+
+
+class TestFingerprint:
+    def test_identical_specs_share_a_fingerprint(self):
+        a = ScenarioSpec(overrides={"temporal.coupling": 0.2})
+        b = ScenarioSpec(overrides={"temporal.coupling": 0.2})
+        assert a.fingerprint(DIGEST) == b.fingerprint(DIGEST)
+
+    def test_override_order_is_canonicalised(self):
+        a = ScenarioSpec(
+            overrides=[("temporal.coupling", 0.2), ("community.seed", 3)]
+        )
+        b = ScenarioSpec(
+            overrides=[("community.seed", 3), ("temporal.coupling", 0.2)]
+        )
+        assert a.fingerprint(DIGEST) == b.fingerprint(DIGEST)
+
+    def test_different_overrides_differ(self):
+        a = ScenarioSpec(overrides={"temporal.coupling": 0.2})
+        b = ScenarioSpec(overrides={"temporal.coupling": 0.3})
+        assert a.fingerprint(DIGEST) != b.fingerprint(DIGEST)
+
+    def test_dataset_digest_matters(self):
+        spec = ScenarioSpec()
+        assert spec.fingerprint(DIGEST) != spec.fingerprint("cd" * 32)
+
+    def test_fleet_size_only_counts_when_rebalancing(self):
+        run_a = ScenarioSpec(fleet_size=10)
+        run_b = ScenarioSpec(fleet_size=99)
+        assert run_a.fingerprint(DIGEST) == run_b.fingerprint(DIGEST)
+        reb_a = ScenarioSpec(outputs=("rebalance",), fleet_size=10)
+        reb_b = ScenarioSpec(outputs=("rebalance",), fleet_size=99)
+        assert reb_a.fingerprint(DIGEST) != reb_b.fingerprint(DIGEST)
+
+    def test_report_title_only_counts_when_reporting(self):
+        a = ScenarioSpec(report_title="x")
+        b = ScenarioSpec(report_title="y")
+        assert a.fingerprint(DIGEST) == b.fingerprint(DIGEST)
+        ra = ScenarioSpec(outputs=("report",), report_title="x")
+        rb = ScenarioSpec(outputs=("report",), report_title="y")
+        assert ra.fingerprint(DIGEST) != rb.fingerprint(DIGEST)
+
+
+class TestSpecSerialisation:
+    def test_roundtrip(self):
+        spec = ScenarioSpec(
+            dataset=DatasetRef.synthetic(11),
+            overrides={"temporal.coupling": 0.2},
+            outputs=("run", "sweep", "rebalance", "report"),
+            sweep_axes={"community.resolution": [0.8, 1.2]},
+            fleet_size=40,
+            report_title="t",
+        )
+        back = ScenarioSpec.from_dict(spec.to_dict())
+        assert back == spec
+        assert back.fingerprint(DIGEST) == spec.fingerprint(DIGEST)
+
+    def test_from_dict_fills_defaults(self):
+        spec = ScenarioSpec.from_dict({"type": "ScenarioSpec"})
+        assert spec == ScenarioSpec()
+
+    def test_type_tag_is_optional(self):
+        # Plain dicts (HTTP bodies, submit({...})) may omit the tag.
+        spec = ScenarioSpec.from_dict(
+            {"dataset": {"kind": "synthetic", "seed": 11}}
+        )
+        assert spec.dataset == DatasetRef.synthetic(11)
+
+    def test_wrong_type_tag_rejected(self):
+        with pytest.raises(ServiceError):
+            ScenarioSpec.from_dict({"type": "Job"})
+
+    def test_output_parameters_omitted_unless_requested(self):
+        payload = ScenarioSpec().to_dict()
+        assert "fleet_size" not in payload
+        assert "sweep_axes" not in payload
+        assert "report_title" not in payload
