@@ -1,0 +1,41 @@
+"""Kernel bench — the rewritten hot kernels vs their references.
+
+Runs the same head-to-head measurements ``repro bench`` persists into
+``BENCH_pipeline.json``, at paper scale, printing a table instead of
+appending to the trajectory: Louvain on the G_Hour multislice graph
+and the pipeline's geo-query mix (pre-assignment ``within``, proximity
+components, nearest-station reassignment), each against the verbatim
+pre-optimisation snapshot in :mod:`repro.perf.baseline`.  Exactness is
+asserted, not assumed — a kernel that drifts from its reference fails
+the bench.
+"""
+
+from repro.perf.bench import _bench_louvain, _geo_kernel_bench
+from repro.reporting import format_table
+
+
+def test_kernels_vs_reference(paper_expansion, output_dir):
+    result = paper_expansion
+    rows = []
+    for kernel in (
+        _bench_louvain(result.network, scale=1, reps=2),
+        _geo_kernel_bench(result.cleaned, result.network, scale=1, reps=2),
+    ):
+        assert kernel["exact"], f"{kernel['name']} drifted from its reference"
+        rows.append(
+            [
+                kernel["name"],
+                f"{kernel['baseline_s']:.3f}s",
+                f"{kernel['optimised_s']:.3f}s",
+                f"{kernel['speedup']:.2f}x",
+                "bit-identical",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["Kernel", "Reference", "Optimised", "Speedup", "Exactness"],
+            rows,
+            title="HOT KERNELS VS PRE-OPTIMISATION REFERENCES (paper scale)",
+        )
+    )

@@ -60,6 +60,11 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
                              "the cache directory exceeds this many entries")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker budget for parallel stage/slice fan-out")
+    parser.add_argument("--executor", choices=("thread", "process"),
+                        default="thread",
+                        help="worker pool backend; 'process' fans stages out "
+                             "over worker processes, sharing values through "
+                             "the on-disk stage cache")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="text renders the paper tables; json prints the "
                              "canonical result envelope")
@@ -96,6 +101,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="run over a CSV dataset instead of generating one")
     run.add_argument("--figures", type=Path, default=None,
                      help="directory to render the paper figures into")
+    run.add_argument("--timings", action="store_true",
+                     help="print the per-stage wall-clock breakdown after "
+                          "the tables")
     _add_service_arguments(run)
 
     sweep = subparsers.add_parser(
@@ -109,8 +117,6 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SECTION.FIELD=V1,V2,...",
                        help="one sweep axis as comma-separated values; repeat "
                             "for a cross product (e.g. --set temporal.coupling=0.08,0.12)")
-    sweep.add_argument("--executor", choices=("thread", "process"),
-                       default="thread", help="worker pool backend")
     _add_service_arguments(sweep)
 
     rebalance = subparsers.add_parser(
@@ -147,6 +153,28 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="concurrently executing jobs")
     serve.add_argument("--jobs", type=int, default=1,
                        help="worker budget inside each pipeline run")
+    serve.add_argument("--executor", choices=("thread", "process"),
+                       default="thread",
+                       help="stage fan-out backend inside each run; "
+                            "'process' keeps slow jobs off the GIL")
+    serve.add_argument("--retain-jobs", type=int, default=1024,
+                       help="keep at most this many finished jobs in the "
+                            "job table (oldest pruned first)")
+
+    bench = subparsers.add_parser(
+        "bench", help="run the calibrated benchmark matrix and append to "
+                      "BENCH_pipeline.json"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="paper scale only, no baseline-kernel rerun")
+    bench.add_argument("--out", type=Path, default=None,
+                       help="trajectory file (default: BENCH_pipeline.json "
+                            "at the repo root / current directory)")
+    bench.add_argument("--scales", default="1,2,4",
+                       help="comma-separated workload scales (trip volume "
+                            "multipliers)")
+    bench.add_argument("--label", default=None,
+                       help="label stored on the trajectory entry")
     return parser
 
 
@@ -175,13 +203,19 @@ def _make_service(args: argparse.Namespace) -> ExpansionService:
         cache_entries=getattr(args, "cache_entries", None),
         results_dir=None if cache_dir is None else cache_dir / "results",
         pipeline_jobs=getattr(args, "jobs", 1),
+        pipeline_executor=getattr(args, "executor", "thread"),
         sweep_executor=getattr(args, "executor", "thread"),
     )
 
 
-def _run_scenario(args: argparse.Namespace, spec: ScenarioSpec) -> dict:
+def _run_scenario(
+    args: argparse.Namespace, spec: ScenarioSpec
+) -> tuple[dict, dict | None]:
+    """Run a spec on an in-process service; returns (envelope, timings)."""
     with _make_service(args) as service:
-        return service.run(spec)
+        job = service.submit(spec)
+        envelope = job.wait()
+        return envelope, job.timings
 
 
 # ---------------------------------------------------------------------------
@@ -237,11 +271,18 @@ def _parse_axis(spec: str) -> tuple[str, list]:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    envelope = _run_scenario(
+    envelope, timings = _run_scenario(
         args, ScenarioSpec(dataset=_dataset_ref(args), outputs=("run",))
     )
     if args.format == "json":
         print(canonical_envelope(envelope))
+        if args.timings and timings is not None:
+            # stdout stays pure canonical JSON; the breakdown goes to
+            # stderr so `--format json --timings` honours both flags.
+            from .perf import PerfReport
+
+            print("PER-STAGE WALL CLOCK", file=sys.stderr)
+            print(PerfReport.from_dict(timings).render(indent=2), file=sys.stderr)
         return 0
     from .reporting import (
         experiment_table2,
@@ -278,6 +319,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 result.network, partition, name
             ).save(args.figures / f"{name}.svg")
         print(f"figures written to {args.figures}")
+    if args.timings and timings is not None:
+        from .perf import PerfReport
+
+        print("PER-STAGE WALL CLOCK")
+        print(PerfReport.from_dict(timings).render(indent=2))
     return 0
 
 
@@ -291,7 +337,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"--set (e.g. --set {path}=v1,v2)"
             )
         axes[path] = values
-    envelope = _run_scenario(
+    envelope, _ = _run_scenario(
         args,
         ScenarioSpec(
             dataset=_dataset_ref(args), outputs=("sweep",), sweep_axes=axes
@@ -305,7 +351,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_rebalance(args: argparse.Namespace) -> int:
-    envelope = _run_scenario(
+    envelope, _ = _run_scenario(
         args,
         ScenarioSpec(
             dataset=_dataset_ref(args),
@@ -348,7 +394,7 @@ def _cmd_rebalance(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    envelope = _run_scenario(
+    envelope, _ = _run_scenario(
         args,
         ScenarioSpec(
             dataset=_dataset_ref(args),
@@ -374,6 +420,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         results_dir=args.results_dir,
         max_workers=args.workers,
         pipeline_jobs=args.jobs,
+        pipeline_executor=args.executor,
+        retain_jobs=args.retain_jobs,
     )
     server = make_server(service, host=args.host, port=args.port)
     print(f"repro service listening on {server.url}")
@@ -387,6 +435,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf.bench import run_bench
+
+    scales = tuple(int(part) for part in str(args.scales).split(",") if part)
+    entry = run_bench(
+        scales=scales,
+        quick=args.quick,
+        out=args.out,
+        label=args.label,
+        echo=print,
+    )
+    headline = entry["end_to_end"][0]
+    notes = []
+    if "speedup_vs_origin" in entry:
+        notes.append(f"{entry['speedup_vs_origin']:.2f}x vs trajectory origin")
+    if "speedup_vs_reference_kernels" in headline:
+        notes.append(
+            f"{headline['speedup_vs_reference_kernels']:.2f}x vs "
+            "pre-optimisation kernels in this tree"
+        )
+    suffix = f" ({'; '.join(notes)})" if notes else ""
+    print(f"cold paper run: {headline['wall_s']:.2f}s{suffix}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "clean": _cmd_clean,
@@ -395,6 +468,7 @@ _COMMANDS = {
     "rebalance": _cmd_rebalance,
     "report": _cmd_report,
     "serve": _cmd_serve,
+    "bench": _cmd_bench,
 }
 
 

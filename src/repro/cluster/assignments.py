@@ -27,8 +27,10 @@ class NearestStationAssigner:
         return self._index.nearest(point)
 
     def assign_all(self, points: dict[int, GeoPoint]) -> dict[int, int]:
-        """Map each input id to its nearest station id."""
+        """Map each input id to its nearest station id (batch query)."""
+        point_ids = list(points)
+        results = self._index.nearest_many([points[pid] for pid in point_ids])
         return {
-            point_id: self.nearest(point)[0]
-            for point_id, point in points.items()
+            point_id: station_id
+            for point_id, (station_id, _) in zip(point_ids, results)
         }

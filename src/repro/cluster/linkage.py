@@ -100,7 +100,12 @@ def _validate_matrix(distances: np.ndarray) -> np.ndarray:
     return matrix
 
 
-def linkage_cluster(distances: np.ndarray, linkage: str = LINKAGE_COMPLETE) -> Dendrogram:
+def linkage_cluster(
+    distances: np.ndarray,
+    linkage: str = LINKAGE_COMPLETE,
+    *,
+    validate: bool = True,
+) -> Dendrogram:
     """Run HAC over a full symmetric distance matrix.
 
     Parameters
@@ -109,6 +114,12 @@ def linkage_cluster(distances: np.ndarray, linkage: str = LINKAGE_COMPLETE) -> D
         (n, n) symmetric matrix of pairwise dissimilarities.
     linkage:
         ``"complete"`` (paper's choice), ``"single"`` or ``"average"``.
+    validate:
+        Check shape/symmetry/non-negativity first.  Trusted internal
+        callers building the matrix themselves (symmetric by
+        construction, e.g. :func:`repro.cluster.hac.cluster_locations`)
+        pass ``False``; validation never changes the result for valid
+        input.
 
     Returns
     -------
@@ -118,7 +129,10 @@ def linkage_cluster(distances: np.ndarray, linkage: str = LINKAGE_COMPLETE) -> D
     """
     if linkage not in _LINKAGES:
         raise ClusteringError(f"unknown linkage: {linkage!r}")
-    matrix = _validate_matrix(distances).copy()
+    if validate:
+        matrix = _validate_matrix(distances).copy()
+    else:
+        matrix = np.asarray(distances, dtype=np.float64).copy()
     n = matrix.shape[0]
     if n == 1:
         return Dendrogram(n_points=1, merges=())

@@ -8,10 +8,22 @@ partitioning and weighted-edge support — all present here.
 
 Determinism: node visit order is shuffled with a seeded RNG, so results
 are reproducible for a given (graph, seed).
+
+Implementation note: the local-moving and aggregation phases run on an
+integer-indexed flattening of the graph — adjacency as prebuilt
+``(index, weight)`` pair lists, cached strengths, community labels and
+scratch accumulators as flat lists — because hashing the
+``(station, slice)`` tuple keys of the multislice graphs dominated the
+historical dict-keyed kernel.  Every float is accumulated in the same
+order as that kernel (snapshotted in :mod:`repro.perf.baseline`), so
+results are bit-identical; ``tests/test_community_louvain.py`` pins the
+equivalence on seeded random graphs and the golden suite pins it at
+paper scale.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Any, Mapping
@@ -22,6 +34,14 @@ from ..graphdb import NodeKey, WeightedGraph
 from ..serialize import check_envelope
 from .modularity import modularity
 from .partition import Partition
+
+#: Strict-improvement threshold: a move must beat staying put by more
+#: than this.  Maximum-gain ties break to the smallest community label;
+#: when two candidate gains land within one threshold window of each
+#: other the historical ascending-label fold is replayed exactly
+#: (see ``_LocalState._fold_candidate``), so selection matches the
+#: pre-rewrite kernel bit for bit in every case.
+_GAIN_EPS = 1e-12
 
 
 @dataclass(frozen=True)
@@ -60,81 +80,256 @@ class LouvainResult:
 
 
 class _LocalState:
-    """Mutable state of one local-moving pass over one (meta-)graph."""
+    """Mutable state of one local-moving pass over one (meta-)graph.
 
-    def __init__(self, graph: WeightedGraph, resolution: float) -> None:
-        self.graph = graph
+    ``nodes[i]`` is the key of the node at index ``i``; ``adj[i]`` its
+    full adjacency (self-loop included) as ``(index, weight)`` pairs in
+    the underlying graph's insertion order — the order every float
+    accumulation below depends on.
+    """
+
+    def __init__(
+        self,
+        nodes: list[NodeKey],
+        adj: list[list[tuple[int, float]]],
+        resolution: float,
+    ) -> None:
+        self.nodes = nodes
+        self.adj = adj
         self.resolution = resolution
-        self.m = graph.total_weight
+        # Same accumulation order as WeightedGraph.strength /
+        # total_weight: adjacency values in insertion order, the loop
+        # counted twice; m sums node strengths in node order.
+        strength: list[float] = []
+        # Loop-free adjacency view for the sweep; rows without a
+        # self-loop (the common case) share the full row's list.
+        sweep_adj: list[list[tuple[int, float]]] = []
+        for index, pairs in enumerate(adj):
+            loop = 0.0
+            total = 0.0
+            has_loop = False
+            for neighbour, weight in pairs:
+                total += weight
+                if neighbour == index:
+                    loop = weight
+                    has_loop = True
+            strength.append(total + loop)
+            sweep_adj.append(
+                [pair for pair in pairs if pair[0] != index] if has_loop else pairs
+            )
+        self.strength = strength
+        self._sweep_adj = sweep_adj
+        self.m = sum(strength) / 2.0
         if self.m <= 0:
             raise CommunityError("Louvain needs a graph with positive weight")
-        self.community: dict[NodeKey, int] = {}
-        self.comm_strength: dict[int, float] = {}
-        for index, node in enumerate(graph.nodes()):
-            self.community[node] = index
-            self.comm_strength[index] = graph.strength(node)
+        self.two_m = 2.0 * self.m
+        n = len(nodes)
+        self.community: list[int] = list(range(n))
+        self.comm_strength: list[float] = list(strength)
+        # Scratch for per-move neighbour-community weights, reused
+        # across moves and invalidated by stamp instead of clearing.
+        self._scratch: list[float] = [0.0] * n
+        self._mark: list[int] = [0] * n
+        self._stamp = 0
 
-    def neighbour_community_weights(self, node: NodeKey) -> dict[int, float]:
-        """Community -> total weight of edges from ``node`` (loops skipped)."""
-        weights: dict[int, float] = {}
-        for neighbour, weight in self.graph.neighbours(node).items():
-            if neighbour == node:
-                continue
-            label = self.community[neighbour]
-            weights[label] = weights.get(label, 0.0) + weight
-        return weights
+    @classmethod
+    def from_graph(cls, graph: WeightedGraph, resolution: float) -> "_LocalState":
+        """Flatten a :class:`WeightedGraph` (level 0 of the hierarchy)."""
+        nodes = list(graph.nodes())
+        index_of = {node: index for index, node in enumerate(nodes)}
+        adj = [
+            [
+                (index_of[neighbour], weight)
+                for neighbour, weight in graph.neighbours(node).items()
+            ]
+            for node in nodes
+        ]
+        return cls(nodes, adj, resolution)
 
-    def move_node(self, node: NodeKey) -> bool:
-        """Try to improve modularity by relocating ``node``; True if moved."""
-        current = self.community[node]
-        strength = self.graph.strength(node)
-        neighbour_weights = self.neighbour_community_weights(node)
+    def community_map(self) -> dict[NodeKey, int]:
+        """Node key -> community label, for the compaction layer."""
+        return dict(zip(self.nodes, self.community))
 
-        # Detach the node.
-        self.comm_strength[current] -= strength
-        weight_to_current = neighbour_weights.get(current, 0.0)
+    # ------------------------------------------------------------------
+    # Local moving
+    # ------------------------------------------------------------------
 
-        best_label = current
-        best_gain = weight_to_current - (
-            self.resolution * strength * self.comm_strength[current] / (2.0 * self.m)
-        )
-        for label, weight in sorted(
-            neighbour_weights.items(), key=lambda item: item[0]
-        ):
-            if label == current:
-                continue
-            gain = weight - (
-                self.resolution * strength * self.comm_strength[label] / (2.0 * self.m)
-            )
-            if gain > best_gain + 1e-12:
-                best_gain = gain
-                best_label = label
-
-        self.community[node] = best_label
-        self.comm_strength[best_label] = (
-            self.comm_strength.get(best_label, 0.0) + strength
-        )
-        return best_label != current
+    def move_node(self, index: int) -> bool:
+        """Try to improve modularity by relocating node ``index``."""
+        return self._sweep((index,))
 
     def one_pass(self, rng: random.Random) -> bool:
-        """One sweep over all nodes; True when anything moved."""
-        nodes = list(self.graph.nodes())
-        rng.shuffle(nodes)
+        """One sweep over all nodes; True when anything moved.
+
+        Shuffling index positions consumes the RNG identically to a
+        shuffle of the node-key list, so visit order (and every
+        downstream number) matches the historical kernel.
+        """
+        order = list(range(len(self.nodes)))
+        rng.shuffle(order)
+        return self._sweep(order)
+
+    def _sweep(self, order) -> bool:
+        """Visit ``order``'s nodes once each; True when anything moved.
+
+        The move body is inlined here (one function call per pass, not
+        per node).  For each node: accumulate neighbour-community
+        weights and track the best move in the same scan — a
+        community's weight only grows, so its partial gains never
+        exceed its final gain and the final gain is the last partial,
+        which makes the running maximum over partials equal the
+        maximum over final gains, min label on ties.  The candidates'
+        comm_strength entries are stable during the scan (only the
+        current community gets detached, and it is excluded from the
+        scan), so partial gains use the same operands a separate final
+        evaluation would.
+        """
+        community = self.community
+        comm_strength = self.comm_strength
+        node_strength = self.strength
+        sweep_adj = self._sweep_adj
+        scratch = self._scratch
+        mark = self._mark
+        two_m = self.two_m
+        resolution = self.resolution
+        stamp = self._stamp
+        neg_inf = -math.inf
         moved = False
-        for node in nodes:
-            if self.move_node(node):
+
+        for index in order:
+            stamp += 1
+            current = community[index]
+            strength = node_strength[index]
+            res_strength = resolution * strength
+
+            move_label = -1
+            move_gain = neg_inf
+            runner_up = neg_inf
+            for neighbour, weight in sweep_adj[index]:
+                label = community[neighbour]
+                if mark[label] != stamp:
+                    mark[label] = stamp
+                    accumulated = scratch[label] = weight
+                else:
+                    accumulated = scratch[label] = scratch[label] + weight
+                if label == current:
+                    continue
+                gain = accumulated - (res_strength * comm_strength[label] / two_m)
+                if gain > move_gain:
+                    runner_up = move_gain
+                    move_gain = gain
+                    move_label = label
+                elif gain == move_gain:
+                    if label < move_label:
+                        move_label = label
+                elif gain > runner_up:
+                    runner_up = gain
+
+            # Detach the node (and re-attach below even when staying
+            # put — the float trajectory is part of exactness).
+            comm_strength[current] -= strength
+            weight_to_current = scratch[current] if mark[current] == stamp else 0.0
+            best_gain = weight_to_current - (
+                res_strength * comm_strength[current] / two_m
+            )
+            if move_label >= 0 and runner_up >= move_gain - 2.0 * _GAIN_EPS:
+                # A runner-up gain sits inside the hysteresis window:
+                # the historical ascending-label fold could settle on
+                # it instead of the maximum.  Replay that fold exactly
+                # (rare — it needs two candidate gains within ~1e-12).
+                move_label = self._fold_candidate(
+                    index, current, res_strength, best_gain, stamp
+                )
+                if move_label != current:
+                    community[index] = move_label
+                    comm_strength[move_label] += strength
+                    moved = True
+                else:
+                    comm_strength[current] += strength
+            elif move_label >= 0 and move_gain > best_gain + _GAIN_EPS:
+                community[index] = move_label
+                comm_strength[move_label] += strength
                 moved = True
+            else:
+                comm_strength[current] += strength
+
+        self._stamp = stamp
         return moved
 
+    def _fold_candidate(
+        self,
+        index: int,
+        current: int,
+        res_strength: float,
+        stay_gain: float,
+        stamp: int,
+    ) -> int:
+        """The historical ascending-label fold over this node's options.
 
-def _aggregate(graph: WeightedGraph, community: dict[NodeKey, int]) -> WeightedGraph:
-    """Collapse communities into super-nodes (intra weight -> loops)."""
-    meta = WeightedGraph()
-    for node in graph.nodes():
-        meta.add_node(community[node])
-    for u, v, weight in graph.edges():
-        meta.add_edge(community[u], community[v], weight)
-    return meta
+        Replays the pre-rewrite selection verbatim: labels in ascending
+        order, a candidate displaces the running best only by beating
+        it by more than :data:`_GAIN_EPS`.  Only consulted when two
+        candidate gains fall inside one hysteresis window of each other
+        — the single-scan maximum is provably identical otherwise — so
+        the ``sorted()`` here is off the hot path.
+        """
+        community = self.community
+        comm_strength = self.comm_strength
+        scratch = self._scratch
+        mark = self._mark
+        two_m = self.two_m
+        labels = sorted(
+            {
+                community[neighbour]
+                for neighbour, _ in self._sweep_adj[index]
+                if mark[community[neighbour]] == stamp
+            }
+        )
+        best_label = current
+        best_gain = stay_gain
+        for label in labels:
+            if label == current:
+                continue
+            gain = scratch[label] - (res_strength * comm_strength[label] / two_m)
+            if gain > best_gain + _GAIN_EPS:
+                best_gain = gain
+                best_label = label
+        return best_label
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def aggregate(self, compact: list[int]) -> "_LocalState":
+        """Collapse communities into the next level's state.
+
+        ``compact`` maps each node index to its compacted community
+        label.  Replicates the historical ``WeightedGraph`` aggregation
+        exactly: meta-nodes appear in first-appearance order scanning
+        nodes in index order, and edge weights accumulate scanning each
+        undirected edge once — lower-index endpoint first, adjacency
+        insertion order within a row, loops included.
+        """
+        pos_of: dict[int, int] = {}
+        meta_nodes: list[NodeKey] = []
+        for label in compact:
+            if label not in pos_of:
+                pos_of[label] = len(meta_nodes)
+                meta_nodes.append(label)
+        meta_adj_maps: list[dict[int, float]] = [{} for _ in meta_nodes]
+        for u, pairs in enumerate(self.adj):
+            mu = pos_of[compact[u]]
+            row = meta_adj_maps[mu]
+            for v, weight in pairs:
+                if v < u:
+                    continue
+                mv = pos_of[compact[v]]
+                row[mv] = row.get(mv, 0.0) + weight
+                if mu != mv:
+                    other = meta_adj_maps[mv]
+                    other[mu] = other.get(mu, 0.0) + weight
+        meta_adj = [list(row.items()) for row in meta_adj_maps]
+        return _LocalState(meta_nodes, meta_adj, self.resolution)
 
 
 def louvain(
@@ -151,11 +346,10 @@ def louvain(
 
     # node -> community in terms of the *original* nodes.
     mapping: dict[NodeKey, NodeKey] = {node: node for node in graph.nodes()}
-    working = graph
+    state = _LocalState.from_graph(graph, cfg.resolution)
     levels: list[Partition] = []
 
     for _ in range(cfg.max_passes):
-        state = _LocalState(working, cfg.resolution)
         improved_any = False
         for _ in range(cfg.max_passes):
             if not state.one_pass(rng):
@@ -164,14 +358,17 @@ def louvain(
         if not improved_any:
             break
         # Compact labels and record this level on the original nodes.
-        labels = sorted(set(state.community.values()))
-        compact = {label: index for index, label in enumerate(labels)}
-        community = {node: compact[label] for node, label in state.community.items()}
+        assignment = state.community_map()
+        labels = sorted(set(state.community))
+        compact_of = {label: index for index, label in enumerate(labels)}
+        community = {node: compact_of[label] for node, label in assignment.items()}
         mapping = {node: community[mapping[node]] for node in mapping}
         levels.append(Partition.from_assignment(mapping))
-        if len(labels) == len(state.community):
+        if len(labels) == len(assignment):
             break  # no aggregation happened; fixed point
-        working = _aggregate(working, community)
+        state = state.aggregate(
+            [compact_of[label] for label in state.community]
+        )
 
     if not levels:
         # Graph was already optimal as singletons.

@@ -27,20 +27,38 @@ def modularity(
     Returns 0.0 for an empty (weightless) graph, matching the "no
     structure" reading.
     """
-    total = graph.total_weight
+    # One pass over the adjacency, accumulating every sum in the same
+    # order the naive strength()/edges() traversal did, so the returned
+    # float is bit-identical to the historical implementation.
+    assignment = partition.assignment
+    position: dict = {}
+    node_strength: list[float] = []
+    for node in graph.nodes():
+        position[node] = len(node_strength)
+        neighbours = graph.neighbours(node)
+        node_strength.append(sum(neighbours.values()) + neighbours.get(node, 0.0))
+    total = sum(node_strength) / 2.0
     if total <= 0:
         return 0.0
-    intra: dict[int, float] = {}
+    labels: list[int] = []
     strength: dict[int, float] = {}
-    for node in graph.nodes():
-        if node not in partition:
+    for node, node_deg in zip(graph.nodes(), node_strength):
+        if node not in assignment:
             raise CommunityError(f"node {node!r} is not assigned to a community")
-        label = partition[node]
-        strength[label] = strength.get(label, 0.0) + graph.strength(node)
-    for u, v, weight in graph.edges():
-        if partition[u] == partition[v]:
-            label = partition[u]
-            intra[label] = intra.get(label, 0.0) + weight
+        label = assignment[node]
+        labels.append(label)
+        strength[label] = strength.get(label, 0.0) + node_deg
+    # edges() yields each undirected edge once, at its lower-position
+    # endpoint, in adjacency insertion order within a row.
+    intra: dict[int, float] = {}
+    for node in graph.nodes():
+        u_pos = position[node]
+        label = labels[u_pos]
+        for neighbour, weight in graph.neighbours(node).items():
+            if position[neighbour] < u_pos:
+                continue
+            if labels[position[neighbour]] == label:
+                intra[label] = intra.get(label, 0.0) + weight
     two_m = 2.0 * total
     score = 0.0
     for label, deg in strength.items():

@@ -131,21 +131,35 @@ def build_sliced_graph(
 ) -> WeightedGraph:
     """Build the multislice graph from ``(origin, destination, slice)``.
 
+    Convenience wrapper bucketing the trip triples and delegating to
+    :func:`build_sliced_graph_from_buckets`.
+    """
+    return build_sliced_graph_from_buckets(
+        slice_trip_buckets(trips, n_slices), coupling, mapper=mapper
+    )
+
+
+def build_sliced_graph_from_buckets(
+    buckets: Sequence[Sequence[tuple[StationKey, StationKey]]],
+    coupling: float,
+    mapper: SliceMapper | None = None,
+) -> WeightedGraph:
+    """Build the multislice graph from per-slice OD buckets.
+
     Coupling edges join a station's copies in circularly consecutive
     *active* slices with weight ``coupling`` times the station's mean
     per-active-slice strength, so the knob is scale-free in trip volume.
 
-    Construction is canonical — trips are bucketed by slice, each
-    bucket aggregated independently (``mapper`` fans the buckets out
-    over workers), and the aggregates merged in slice order — so the
-    resulting graph is identical whether the aggregation ran serially
-    or in parallel.  (This ordering replaced the original
-    trip-interleaved insertion; node sets and edge weights are
-    unchanged but Louvain's seeded visit order — and hence the exact
-    G_Day/G_Hour partitions — shifted within the calibrated ranges.
-    The current numbers are pinned by ``tests/test_golden_paper.py``.)
+    Construction is canonical — each bucket is aggregated independently
+    (``mapper`` fans the buckets out over workers) and the aggregates
+    merged in slice order — so the resulting graph is identical whether
+    the aggregation ran serially or in parallel.  (This ordering
+    replaced the original trip-interleaved insertion; node sets and
+    edge weights are unchanged but Louvain's seeded visit order — and
+    hence the exact G_Day/G_Hour partitions — shifted within the
+    calibrated ranges.  The current numbers are pinned by
+    ``tests/test_golden_paper.py``.)
     """
-    buckets = slice_trip_buckets(trips, n_slices)
     aggregates = list((mapper or map)(aggregate_slice, buckets))
     graph = WeightedGraph()
     station_slice_weight: dict[StationKey, dict[int, float]] = {}
@@ -180,12 +194,33 @@ def collapse_to_stations(
     trips: Iterable[tuple[StationKey, StationKey, int]],
 ) -> Partition:
     """Assign each station to the community holding most of its trips."""
-    weight: dict[StationKey, dict[int, float]] = {}
+    buckets: dict[int, list[tuple[StationKey, StationKey]]] = {}
     for origin, destination, slice_index in trips:
-        for station in (origin, destination):
-            label = slice_partition[(station, slice_index)]
-            by_label = weight.setdefault(station, {})
-            by_label[label] = by_label.get(label, 0.0) + 1.0
+        buckets.setdefault(slice_index, []).append((origin, destination))
+    return collapse_buckets_to_stations(
+        slice_partition, sorted(buckets.items())
+    )
+
+
+def collapse_buckets_to_stations(
+    slice_partition: Partition,
+    indexed_buckets: Iterable[
+        tuple[int, Sequence[tuple[StationKey, StationKey]]]
+    ],
+) -> Partition:
+    """:func:`collapse_to_stations` over ``(slice, bucket)`` pairs.
+
+    Per-station community weights are exact sums of 1.0s and the
+    partition normalises its labels, so the slice-major iteration
+    yields the identical station partition the trip-ordered pass did.
+    """
+    weight: dict[StationKey, dict[int, float]] = {}
+    for slice_index, bucket in indexed_buckets:
+        for origin, destination in bucket:
+            for station in (origin, destination):
+                label = slice_partition[(station, slice_index)]
+                by_label = weight.setdefault(station, {})
+                by_label[label] = by_label.get(label, 0.0) + 1.0
     assignment = {
         station: max(sorted(by_label), key=lambda label: by_label[label])
         for station, by_label in weight.items()
@@ -204,15 +239,34 @@ def detect_temporal_communities(
     ``mapper`` (optional) fans the per-slice aggregation out over
     workers; the result is identical to the serial path.
     """
+    return detect_temporal_communities_from_buckets(
+        slice_trip_buckets(trips, n_slices), config, mapper=mapper
+    )
+
+
+def detect_temporal_communities_from_buckets(
+    buckets: Sequence[Sequence[tuple[StationKey, StationKey]]],
+    config: TemporalCommunityConfig | None = None,
+    mapper: SliceMapper | None = None,
+) -> TemporalCommunityResult:
+    """Full multislice pipeline over prebuilt per-slice OD buckets.
+
+    The temporal pipeline stages feed this directly from
+    :meth:`SelectedNetwork.day_slice_buckets` /
+    :meth:`~SelectedNetwork.hour_slice_buckets`, skipping the
+    intermediate per-stage trip-triple lists.
+    """
     cfg = config or TemporalCommunityConfig()
-    graph = build_sliced_graph(trips, n_slices, cfg.coupling, mapper=mapper)
+    graph = build_sliced_graph_from_buckets(buckets, cfg.coupling, mapper=mapper)
     if graph.node_count == 0:
         raise CommunityError("no trips — nothing to detect communities on")
     result = louvain(graph, cfg)
-    station_partition = collapse_to_stations(result.partition, trips)
+    station_partition = collapse_buckets_to_stations(
+        result.partition, enumerate(buckets)
+    )
     return TemporalCommunityResult(
         station_partition=station_partition,
         slice_partition=result.partition,
         modularity=result.modularity,
-        n_slices=n_slices,
+        n_slices=len(buckets),
     )

@@ -148,9 +148,9 @@ def build_candidate_network(
         flow.add_node(("cluster", cluster.cluster_id))
 
     n_trips = 0
-    for rental in cleaned.rentals():
-        origin = location_to_group[rental.rental_location_id]
-        destination = location_to_group[rental.return_location_id]
+    for row in cleaned.rental_rows():
+        origin = location_to_group[row["rental_location_id"]]
+        destination = location_to_group[row["return_location_id"]]
         flow.add_edge(origin, destination, 1.0)
         n_trips += 1
 

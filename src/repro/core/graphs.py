@@ -18,6 +18,7 @@ from typing import Any, Mapping
 
 from ..cluster import NearestStationAssigner
 from ..data import MobyDataset
+from ..exceptions import CommunityError
 from ..geo import GeoPoint
 from ..graphdb import DirectedGraph, WeightedGraph
 from ..serialize import check_envelope
@@ -120,6 +121,32 @@ class SelectedNetwork:
             (trip.origin, trip.destination, trip.hour_of_day)
             for trip in self.trips
         ]
+
+    def day_slice_buckets(self) -> list[list[tuple[int, int]]]:
+        """G_Day's 7 per-slice OD buckets, built in one pass over trips.
+
+        Equivalent to bucketing :meth:`day_sliced_trips` but without
+        materialising the intermediate triple list (trip order within
+        each slice is preserved, so the resulting multislice graph is
+        identical).
+        """
+        buckets: list[list[tuple[int, int]]] = [[] for _ in range(7)]
+        for trip in self.trips:
+            day = trip.day_of_week
+            if not 0 <= day < 7:
+                raise CommunityError(f"slice index {day} outside [0, 7)")
+            buckets[day].append((trip.origin, trip.destination))
+        return buckets
+
+    def hour_slice_buckets(self) -> list[list[tuple[int, int]]]:
+        """G_Hour's 24 per-slice OD buckets, one pass over trips."""
+        buckets: list[list[tuple[int, int]]] = [[] for _ in range(24)]
+        for trip in self.trips:
+            hour = trip.hour_of_day
+            if not 0 <= hour < 24:
+                raise CommunityError(f"slice index {hour} outside [0, 24)")
+            buckets[hour].append((trip.origin, trip.destination))
+        return buckets
 
     # ------------------------------------------------------------------
     # Serialisation
@@ -274,20 +301,19 @@ def build_selected_network(
     assigner = NearestStationAssigner(
         {station_id: station.point for station_id, station in stations.items()}
     )
-    location_to_station: dict[int, int] = {}
-    for record in cleaned.locations():
-        location_to_station[record.location_id], _ = assigner.nearest(
-            record.point()
-        )
+    location_to_station = assigner.assign_all(
+        {record.location_id: record.point() for record in cleaned.locations()}
+    )
 
     trips: list[TripOD] = []
-    for rental in cleaned.rentals():
+    for row in cleaned.rental_rows():
+        started_at = row["started_at"]
         trips.append(
             TripOD(
-                origin=location_to_station[rental.rental_location_id],
-                destination=location_to_station[rental.return_location_id],
-                day_of_week=rental.day_of_week,
-                hour_of_day=rental.hour_of_day,
+                origin=location_to_station[row["rental_location_id"]],
+                destination=location_to_station[row["return_location_id"]],
+                day_of_week=started_at.weekday(),
+                hour_of_day=started_at.hour,
             )
         )
     return SelectedNetwork(

@@ -20,7 +20,7 @@ or re-validated against the raw per-location data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from ..community import LouvainResult, TemporalCommunityResult
@@ -78,6 +78,12 @@ class ExpansionResult:
     basic: LouvainResult
     day: TemporalCommunityResult
     hour: TemporalCommunityResult
+    #: Optional wall-clock instrumentation (a ``PerfReport`` envelope)
+    #: recorded when the producing runner carried a ``StageTimer``.
+    #: Wall times vary run to run, so the block is *excluded* from the
+    #: canonical envelope unless present — stored results and the
+    #: golden byte-identity guarantees are unaffected by default.
+    timings: dict[str, Any] | None = field(default=None, compare=False)
 
     @property
     def n_new_stations(self) -> int:
@@ -150,7 +156,7 @@ class ExpansionResult:
 
     def to_dict(self) -> dict[str, Any]:
         """The JSON-safe run envelope (see the module docstring)."""
-        return {
+        envelope = {
             "type": "ExpansionResult",
             "headline": self.headline(),
             "cleaned": {
@@ -171,6 +177,9 @@ class ExpansionResult:
             "day": self.day.to_dict(),
             "hour": self.hour.to_dict(),
         }
+        if self.timings is not None:
+            envelope["timings"] = self.timings
+        return envelope
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ExpansionResult":
@@ -203,4 +212,5 @@ class ExpansionResult:
             basic=LouvainResult.from_dict(payload["basic"]),
             day=TemporalCommunityResult.from_dict(payload["day"]),
             hour=TemporalCommunityResult.from_dict(payload["hour"]),
+            timings=payload.get("timings"),
         )

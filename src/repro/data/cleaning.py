@@ -141,7 +141,7 @@ def clean_dataset(raw: MobyDataset) -> tuple[MobyDataset, CleaningReport]:
     Returns the cleaned dataset and the per-rule audit report.  The
     input dataset is left untouched.
     """
-    dataset = MobyDataset.from_records(raw.locations(), raw.rentals())
+    dataset = raw.copy()
     report = CleaningReport(before=raw.summary(), after=raw.summary())
 
     # Rule 1: outside Dublin.
@@ -174,12 +174,13 @@ def clean_dataset(raw: MobyDataset) -> tuple[MobyDataset, CleaningReport]:
     _drop_locations(dataset, doomed, outcome)
     report.outcomes.append(outcome)
 
-    # Rule 4: rentals without both location ids.
+    # Rule 4: rentals without both location ids.  (Rules 4 and 5 scan
+    # raw rows — same predicates, no per-rental record objects.)
     outcome = RuleOutcome(RULE_MISSING_LOCATION_ID)
     doomed_rentals = [
-        rental.rental_id
-        for rental in dataset.rentals()
-        if not rental.has_location_ids
+        row["rental_id"]
+        for row in dataset.rental_rows()
+        if row["rental_location_id"] is None or row["return_location_id"] is None
     ]
     for rental_id in doomed_rentals:
         dataset.remove_rental(rental_id)
@@ -189,11 +190,11 @@ def clean_dataset(raw: MobyDataset) -> tuple[MobyDataset, CleaningReport]:
     # Rule 5: rentals referencing unknown locations.
     outcome = RuleOutcome(RULE_DANGLING_LOCATION_ID)
     doomed_rentals = [
-        rental.rental_id
-        for rental in dataset.rentals()
+        row["rental_id"]
+        for row in dataset.rental_rows()
         if not (
-            dataset.has_location(rental.rental_location_id)  # type: ignore[arg-type]
-            and dataset.has_location(rental.return_location_id)  # type: ignore[arg-type]
+            dataset.has_location(row["rental_location_id"])
+            and dataset.has_location(row["return_location_id"])
         )
     ]
     for rental_id in doomed_rentals:

@@ -82,6 +82,18 @@ class MobyDataset:
             dataset.add_rental(rental)
         return dataset
 
+    def copy(self) -> "MobyDataset":
+        """A deep copy of both tables (trusted row copy, pk order).
+
+        Identical to ``from_records(self.locations(), self.rentals())``
+        but without re-materialising records or re-validating rows —
+        the cleaning stage's non-destructive copy runs through here.
+        """
+        clone = MobyDataset()
+        clone._locations.copy_rows_from(self._locations)
+        clone._rentals.copy_rows_from(self._rentals)
+        return clone
+
     @classmethod
     def from_csv(cls, directory: str | Path) -> "MobyDataset":
         """Load ``locations.csv`` and ``rentals.csv`` from a directory."""
@@ -158,6 +170,19 @@ class MobyDataset:
         for pk in sorted(self._rentals.keys()):
             yield self._rental_from_row(self._rentals.get(pk))
 
+    def rental_rows(self) -> Iterator[dict]:
+        """Raw rental rows in id order (live dicts — read-only!).
+
+        The hot full-table scans (cleaning rules, trip projection)
+        read columns straight off the stored rows instead of
+        materialising a :class:`RentalRecord` per rental per pass.
+        """
+        return self._rentals.sorted_rows()
+
+    def location_rows(self) -> Iterator[dict]:
+        """Raw location rows in id order (live dicts — read-only!)."""
+        return self._locations.sorted_rows()
+
     def stations(self) -> Iterator[LocationRecord]:
         """Iterate over fixed-station location records."""
         for row in self._locations.lookup("is_station", True):
@@ -202,11 +227,11 @@ class MobyDataset:
     def referenced_location_ids(self) -> set[int]:
         """Location ids referenced by at least one rental."""
         referenced: set[int] = set()
-        for rental in self.rentals():
-            if rental.rental_location_id is not None:
-                referenced.add(rental.rental_location_id)
-            if rental.return_location_id is not None:
-                referenced.add(rental.return_location_id)
+        for row in self._rentals.sorted_rows():
+            if row["rental_location_id"] is not None:
+                referenced.add(row["rental_location_id"])
+            if row["return_location_id"] is not None:
+                referenced.add(row["return_location_id"])
         return referenced
 
     # ------------------------------------------------------------------

@@ -86,6 +86,24 @@ class Table:
             count += 1
         return count
 
+    def copy_rows_from(self, other: "Table") -> int:
+        """Trusted bulk copy of another table's rows, in pk order.
+
+        The source rows were validated when ``other`` ingested them, so
+        schema validation is skipped; rows are copied, never aliased.
+        Returns the number of rows copied.
+        """
+        count = 0
+        source = other._rows
+        for pk in sorted(source):
+            if pk in self._rows:
+                raise DuplicateKeyError(f"{self.name}: duplicate key {pk!r}")
+            row = dict(source[pk])
+            self._rows[pk] = row
+            self._index_add(row)
+            count += 1
+        return count
+
     def delete(self, pk: Any) -> Row:
         """Delete by primary key, returning the removed row."""
         row = self._rows.pop(pk, None)
@@ -132,6 +150,18 @@ class Table:
         for row in self._rows.values():
             if predicate is None or predicate(row):
                 yield dict(row)
+
+    def sorted_rows(self) -> Iterator[Row]:
+        """Iterate the *live* stored rows in primary-key order.
+
+        No defensive copies — this is the zero-overhead path for the
+        pipeline's read-only full-table scans.  Callers must not mutate
+        the yielded dicts (use :meth:`scan` for copies) and must not
+        insert or delete while iterating.
+        """
+        rows = self._rows
+        for pk in sorted(rows):
+            yield rows[pk]
 
     def lookup(self, column: str, value: Any) -> list[Row]:
         """Rows with ``row[column] == value``, via index when available."""

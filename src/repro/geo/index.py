@@ -5,18 +5,54 @@ questions about tens of thousands of points: "what is the nearest station
 to X?" and "which locations lie within r metres of X?".  A uniform grid
 keyed on quantised lat/lon answers both in expected O(1) per query at
 city scale, with the exact haversine distance used for the final checks.
+
+Two layers keep the exact check off the hot path without changing any
+result:
+
+* every stored point carries its planar (x, y) metres at the reference
+  latitude, and candidates are discarded on squared planar distance
+  before haversine runs — the planar cutoff carries a conservative
+  slack (:data:`PREFILTER_SLACK`/:data:`PREFILTER_PAD_M`, valid while
+  every point sits within :data:`PREFILTER_LAT_BAND_DEG` degrees of the
+  reference latitude; the prefilter disables itself otherwise), so no
+  candidate inside the exact radius is ever skipped;
+* the occupied-cell bounding box is maintained incrementally, so
+  ``nearest``'s ring bound costs O(1) per query instead of a scan over
+  every occupied cell.
+
+``tests/test_geo_index.py`` pins query results against brute-force
+haversine over every key.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Generic, Hashable, Iterable, Iterator, TypeVar
+from typing import Generic, Hashable, Iterable, Iterator, Sequence, TypeVar
 
+from ..config import EARTH_RADIUS_M
 from ..exceptions import EmptyRegionError
-from .distance import haversine_m, meters_per_degree
+from .distance import meters_per_degree
 from .point import GeoPoint
 
+_radians = math.radians
+_sin = math.sin
+_cos = math.cos
+_asin = math.asin
+_sqrt = math.sqrt
+
 K = TypeVar("K", bound=Hashable)
+
+#: Relative + absolute slack of the planar prefilter.  Within the
+#: latitude band (and below the max reference latitude, where the
+#: worst-case longitude-scale drift cos(ref)/cos(ref+band) stays under
+#: ~8 %) the planar distance overestimates haversine by at most that
+#: drift plus sub-metre curvature terms, so a 10 % + 25 m cutoff can
+#: never discard a point the exact check would keep.  Indexes centred
+#: closer to a pole than the max simply run without the prefilter.
+PREFILTER_SLACK = 1.10
+PREFILTER_PAD_M = 25.0
+PREFILTER_LAT_BAND_DEG = 2.0
+PREFILTER_MAX_REFERENCE_LAT_DEG = 66.0
 
 
 class GridIndex(Generic[K]):
@@ -36,11 +72,28 @@ class GridIndex(Generic[K]):
         if cell_m <= 0:
             raise ValueError("cell_m must be positive")
         self._cell_m = cell_m
+        self._reference_lat = reference_lat
         per_lat, per_lon = meters_per_degree(reference_lat)
+        self._per_lat = per_lat
+        self._per_lon = per_lon
         self._lat_step = cell_m / per_lat
         self._lon_step = cell_m / per_lon
-        self._cells: dict[tuple[int, int], dict[K, GeoPoint]] = {}
+        #: cell -> {key: (point, x, y, cos_phi)} with (x, y) planar
+        #: metres and cos_phi the precomputed haversine latitude term.
+        self._cells: dict[
+            tuple[int, int], dict[K, tuple[GeoPoint, float, float, float]]
+        ] = {}
         self._points: dict[K, GeoPoint] = {}
+        #: Occupied-cell bounding box; None means "recompute lazily"
+        #: (set after a removal on the boundary), False means empty.
+        self._extent: tuple[int, int, int, int] | None | bool = False
+        #: True while every indexed point is close enough to the
+        #: reference latitude for the planar prefilter to be safe (and
+        #: the reference itself is far enough from the poles for the
+        #: slack to cover the longitude-scale drift).
+        self._prefilter_ok = (
+            abs(reference_lat) <= PREFILTER_MAX_REFERENCE_LAT_DEG
+        )
 
     # ------------------------------------------------------------------
     # Mutation
@@ -57,7 +110,26 @@ class GridIndex(Generic[K]):
         if key in self._points:
             self.remove(key)
         self._points[key] = point
-        self._cells.setdefault(self._cell_of(point), {})[key] = point
+        cell = self._cell_of(point)
+        self._cells.setdefault(cell, {})[key] = (
+            point,
+            point.lon * self._per_lon,
+            point.lat * self._per_lat,
+            _cos(_radians(point.lat)),
+        )
+        if abs(point.lat - self._reference_lat) > PREFILTER_LAT_BAND_DEG:
+            self._prefilter_ok = False
+        extent = self._extent
+        if extent is False:
+            self._extent = (cell[0], cell[0], cell[1], cell[1])
+        elif extent is not None:
+            row_min, row_max, col_min, col_max = extent
+            self._extent = (
+                min(row_min, cell[0]),
+                max(row_max, cell[0]),
+                min(col_min, cell[1]),
+                max(col_max, cell[1]),
+            )
 
     def remove(self, key: K) -> None:
         """Remove ``key``; raises KeyError when absent."""
@@ -67,6 +139,12 @@ class GridIndex(Generic[K]):
         del bucket[key]
         if not bucket:
             del self._cells[cell]
+            if not self._cells:
+                self._extent = False
+            elif self._extent is not None and self._extent is not False:
+                row_min, row_max, col_min, col_max = self._extent
+                if cell[0] in (row_min, row_max) or cell[1] in (col_min, col_max):
+                    self._extent = None  # boundary shrank; recompute lazily
 
     def extend(self, items: Iterable[tuple[K, GeoPoint]]) -> None:
         """Bulk-insert ``(key, point)`` pairs."""
@@ -94,29 +172,66 @@ class GridIndex(Generic[K]):
     # Queries
     # ------------------------------------------------------------------
 
+    def _planar(self, point: GeoPoint) -> tuple[float, float]:
+        return (point.lon * self._per_lon, point.lat * self._per_lat)
+
+    def _cutoff_sq(self, center: GeoPoint, radius_m: float) -> float:
+        """Squared planar cutoff for an exact radius, or +inf when the
+        prefilter cannot be trusted for this centre/index."""
+        if not self._prefilter_ok or abs(
+            center.lat - self._reference_lat
+        ) > PREFILTER_LAT_BAND_DEG:
+            return math.inf
+        cutoff = radius_m * PREFILTER_SLACK + PREFILTER_PAD_M
+        return cutoff * cutoff
+
     def within(self, center: GeoPoint, radius_m: float) -> list[tuple[K, float]]:
         """All keys within ``radius_m`` metres of ``center``.
 
         Returns ``(key, distance_m)`` pairs sorted by distance.  The
-        grid prunes candidates; haversine makes the final decision.
+        grid prunes candidates, the planar prefilter discards the bulk
+        of the remainder; haversine makes the final decision.
         """
         if radius_m < 0:
             raise ValueError("radius_m must be non-negative")
         lat_span = math.ceil(radius_m / self._cell_m)
         lon_span = lat_span
         row0, col0 = self._cell_of(center)
+        qx, qy = self._planar(center)
+        cutoff_sq = self._cutoff_sq(center, radius_m)
+        cells = self._cells
+        # Inlined haversine (bit-identical to distance.haversine_m):
+        # the query-side radian/cosine terms hoist out of the loop and
+        # the point-side ones were precomputed at insert.
+        qlat = center.lat
+        qlon = center.lon
+        cos_phi1 = _cos(_radians(qlat))
         hits: list[tuple[K, float]] = []
+        append = hits.append
         for row in range(row0 - lat_span, row0 + lat_span + 1):
             for col in range(col0 - lon_span, col0 + lon_span + 1):
-                bucket = self._cells.get((row, col))
+                bucket = cells.get((row, col))
                 if not bucket:
                     continue
-                for key, point in bucket.items():
-                    distance = haversine_m(center, point)
+                for key, (point, x, y, cos_phi2) in bucket.items():
+                    dx = x - qx
+                    dy = y - qy
+                    if dx * dx + dy * dy > cutoff_sq:
+                        continue
+                    sin_dphi = _sin(_radians(point.lat - qlat) / 2.0)
+                    sin_dlam = _sin(_radians(point.lon - qlon) / 2.0)
+                    h = sin_dphi * sin_dphi + cos_phi1 * cos_phi2 * sin_dlam * sin_dlam
+                    distance = 2.0 * EARTH_RADIUS_M * _asin(_sqrt(min(1.0, h)))
                     if distance <= radius_m:
-                        hits.append((key, distance))
+                        append((key, distance))
         hits.sort(key=lambda pair: (pair[1], str(pair[0])))
         return hits
+
+    def within_many(
+        self, centers: Sequence[GeoPoint], radius_m: float
+    ) -> list[list[tuple[K, float]]]:
+        """:meth:`within` for a batch of centres, in input order."""
+        return [self.within(center, radius_m) for center in centers]
 
     def nearest(self, center: GeoPoint, exclude: K | None = None) -> tuple[K, float]:
         """Nearest key to ``center`` and its distance in metres.
@@ -130,6 +245,15 @@ class GridIndex(Generic[K]):
         if eligible <= 0:
             raise EmptyRegionError("nearest() on an empty index")
         row0, col0 = self._cell_of(center)
+        qx, qy = self._planar(center)
+        prefilter = self._prefilter_ok and abs(
+            center.lat - self._reference_lat
+        ) <= PREFILTER_LAT_BAND_DEG
+        cutoff_sq = math.inf
+        cells = self._cells
+        qlat = center.lat
+        qlon = center.lon
+        cos_phi1 = _cos(_radians(qlat))
         best_key: K | None = None
         best_distance = math.inf
         # Enough rings to cover every occupied cell, whatever happens.
@@ -137,16 +261,31 @@ class GridIndex(Generic[K]):
         ring = 0
         while ring <= last_ring:
             for row, col in self._ring_cells(row0, col0, ring):
-                bucket = self._cells.get((row, col))
+                bucket = cells.get((row, col))
                 if not bucket:
                     continue
-                for key, point in bucket.items():
+                for key, (point, x, y, cos_phi2) in bucket.items():
                     if key == exclude:
                         continue
-                    distance = haversine_m(center, point)
+                    dx = x - qx
+                    dy = y - qy
+                    if dx * dx + dy * dy > cutoff_sq:
+                        continue
+                    sin_dphi = _sin(_radians(point.lat - qlat) / 2.0)
+                    sin_dlam = _sin(_radians(point.lon - qlon) / 2.0)
+                    h = (
+                        sin_dphi * sin_dphi
+                        + cos_phi1 * cos_phi2 * sin_dlam * sin_dlam
+                    )
+                    distance = 2.0 * EARTH_RADIUS_M * _asin(_sqrt(min(1.0, h)))
                     if distance < best_distance:
                         best_key = key
                         best_distance = distance
+                        if prefilter:
+                            cutoff = (
+                                best_distance * PREFILTER_SLACK + PREFILTER_PAD_M
+                            )
+                            cutoff_sq = cutoff * cutoff
             if best_key is not None:
                 # A hit at ring r is guaranteed minimal once every ring
                 # whose nearest possible point could still beat it has
@@ -159,11 +298,102 @@ class GridIndex(Generic[K]):
             raise EmptyRegionError("nearest() found no eligible key")
         return best_key, best_distance
 
+    def nearest_many(
+        self, centers: Sequence[GeoPoint], exclude: K | None = None
+    ) -> list[tuple[K, float]]:
+        """:meth:`nearest` for a batch of centres, in input order."""
+        return [self.nearest(center, exclude) for center in centers]
+
+    def neighbour_pairs(self, radius_m: float) -> Iterator[tuple[K, K]]:
+        """Every unordered key pair within ``radius_m``, yielded once.
+
+        Pair order is arbitrary — the consumer (proximity-graph
+        union-find) is order-independent.  Cells are matched with their
+        "forward" neighbours so each candidate pair is examined exactly
+        once; the planar prefilter and exact haversine then decide.
+        """
+        if radius_m < 0:
+            raise ValueError("radius_m must be non-negative")
+        span = math.ceil(radius_m / self._cell_m)
+        offsets = [(0, dc) for dc in range(1, span + 1)] + [
+            (dr, dc)
+            for dr in range(1, span + 1)
+            for dc in range(-span, span + 1)
+        ]
+        use_prefilter = self._prefilter_ok
+        cutoff = radius_m * PREFILTER_SLACK + PREFILTER_PAD_M
+        cutoff_sq = cutoff * cutoff if use_prefilter else math.inf
+        cells = self._cells
+        two_r = 2.0 * EARTH_RADIUS_M
+        for (row, col), bucket in cells.items():
+            entries = list(bucket.items())
+            # Pairs inside the cell.
+            for i, (key_a, (point_a, xa, ya, cos_a)) in enumerate(entries):
+                lat_a = point_a.lat
+                lon_a = point_a.lon
+                for key_b, (point_b, xb, yb, cos_b) in entries[i + 1 :]:
+                    dx = xb - xa
+                    dy = yb - ya
+                    if dx * dx + dy * dy > cutoff_sq:
+                        continue
+                    sin_dphi = _sin(_radians(point_b.lat - lat_a) / 2.0)
+                    sin_dlam = _sin(_radians(point_b.lon - lon_a) / 2.0)
+                    h = sin_dphi * sin_dphi + cos_a * cos_b * sin_dlam * sin_dlam
+                    if two_r * _asin(_sqrt(min(1.0, h))) <= radius_m:
+                        yield (key_a, key_b)
+            # Pairs against forward neighbour cells.
+            for d_row, d_col in offsets:
+                other = cells.get((row + d_row, col + d_col))
+                if not other:
+                    continue
+                for key_a, (point_a, xa, ya, cos_a) in entries:
+                    lat_a = point_a.lat
+                    lon_a = point_a.lon
+                    for key_b, (point_b, xb, yb, cos_b) in other.items():
+                        dx = xb - xa
+                        dy = yb - ya
+                        if dx * dx + dy * dy > cutoff_sq:
+                            continue
+                        sin_dphi = _sin(_radians(point_b.lat - lat_a) / 2.0)
+                        sin_dlam = _sin(_radians(point_b.lon - lon_a) / 2.0)
+                        h = (
+                            sin_dphi * sin_dphi
+                            + cos_a * cos_b * sin_dlam * sin_dlam
+                        )
+                        if two_r * _asin(_sqrt(min(1.0, h))) <= radius_m:
+                            yield (key_a, key_b)
+
     def _extent_rings(self, row0: int, col0: int) -> int:
-        """How many rings are needed to cover every occupied cell."""
-        spread = 0
-        for row, col in self._cells:
-            spread = max(spread, abs(row - row0), abs(col - col0))
+        """How many rings are needed to cover every occupied cell.
+
+        Served from the incrementally maintained bounding box; after a
+        boundary removal the box is rebuilt once, here.  A box corner
+        may overshoot the true occupied spread — the extra rings are
+        empty, so results are unaffected.
+        """
+        extent = self._extent
+        if extent is False:
+            return 1
+        if extent is None:
+            row_min = col_min = math.inf
+            row_max = col_max = -math.inf
+            for row, col in self._cells:
+                if row < row_min:
+                    row_min = row
+                if row > row_max:
+                    row_max = row
+                if col < col_min:
+                    col_min = col
+                if col > col_max:
+                    col_max = col
+            extent = self._extent = (row_min, row_max, col_min, col_max)
+        row_min, row_max, col_min, col_max = extent
+        spread = max(
+            abs(row_min - row0),
+            abs(row_max - row0),
+            abs(col_min - col0),
+            abs(col_max - col0),
+        )
         return spread + 1
 
     @staticmethod

@@ -1,0 +1,17 @@
+"""Performance instrumentation and the benchmark trajectory harness.
+
+* :class:`StageTimer` / :class:`PerfReport` — zero-dependency nestable
+  wall-clock instrumentation, threaded through
+  :class:`~repro.pipeline.PipelineRunner` (``timer=``) and surfaced as
+  the ``timings`` block on :class:`~repro.core.results.ExpansionResult`
+  envelopes and job documents.
+* :mod:`repro.perf.bench` — the ``repro bench`` workload matrix that
+  appends to ``BENCH_pipeline.json`` (the persisted benchmark
+  trajectory).
+* :mod:`repro.perf.baseline` — pre-optimisation reference kernels the
+  benches measure against and the exactness tests compare with.
+"""
+
+from .timer import NULL_TIMER, PerfReport, StageTimer
+
+__all__ = ["NULL_TIMER", "PerfReport", "StageTimer"]

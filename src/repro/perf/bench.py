@@ -1,0 +1,349 @@
+"""The ``repro bench`` workload matrix and the persisted trajectory.
+
+One bench invocation measures, on the current machine:
+
+* **end-to-end** — a cold serial pipeline run per workload scale
+  (paper trip volume x1 / x2 / x4 on the calibrated synthetic city),
+  with per-stage wall times from :class:`~repro.perf.StageTimer`;
+* **baseline end-to-end** — the same paper-scale run on the
+  pre-optimisation kernels (:mod:`repro.perf.baseline`), so the
+  recorded speedup is measured by this harness, not claimed;
+* **kernels** — the rewritten hot kernels head-to-head against their
+  reference implementations on the scaled workloads (Louvain on the
+  G_Hour multislice graph; the pipeline's geo-query mix of proximity
+  components, pre-assignment ``within`` and nearest-station
+  reassignment), asserting bit-identical results while timing;
+* **parallel** — the paper scenario under ``jobs=4`` with the
+  process executor (disk-cache rendezvous).
+
+Results append to ``BENCH_pipeline.json`` — the benchmark trajectory.
+Every entry carries the git revision, so the file reads as a perf
+history of the repository; CI uploads it per-commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from ..community.louvain import louvain
+from ..community.temporal import build_sliced_graph_from_buckets
+from ..config import PAPER_CONFIG
+from ..pipeline.runner import PipelineRunner
+from ..synth import GeneratorConfig, SyntheticMobyGenerator
+from .baseline import (
+    BASELINE_STAGES,
+    baseline_kernels,
+    baseline_louvain,
+    baseline_nearest,
+    baseline_preassign_to_stations,
+    baseline_proximity_components,
+)
+from .timer import StageTimer
+
+#: Paper-calibrated base counts (GeneratorConfig defaults).
+_BASE_RENTALS = 61_872
+_BASE_BIKES = 95
+
+DEFAULT_TRAJECTORY = "BENCH_pipeline.json"
+
+
+def workload_config(scale: int) -> GeneratorConfig:
+    """The scale-``k`` workload: k-fold trip volume on the paper city.
+
+    Locations and stations stay at paper scale — the synthetic city's
+    geometry (station spacing, HAC component sizes) is calibrated and
+    does not scale safely — so ``scale`` multiplies demand: rentals and
+    fleet size.
+    """
+    if scale < 1:
+        raise ValueError("scale must be at least 1")
+    return GeneratorConfig(
+        seed=7,
+        n_clean_rentals=_BASE_RENTALS * scale,
+        n_bikes=_BASE_BIKES * scale,
+    )
+
+
+def _best_of(fn: Callable[[], Any], reps: int) -> tuple[float, Any]:
+    """(best wall seconds, last return value) over ``reps`` calls."""
+    best = float("inf")
+    value = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _stage_walls(timer: StageTimer) -> dict[str, float]:
+    return {
+        section["name"].removeprefix("stage:"): round(section["wall_s"], 4)
+        for section in timer.report().sections
+    }
+
+
+def _git_rev(anchor: Path) -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=anchor if anchor.is_dir() else anchor.parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def _bench_louvain(network, scale: int, reps: int) -> dict[str, Any]:
+    graph = build_sliced_graph_from_buckets(
+        network.hour_slice_buckets(), PAPER_CONFIG.temporal.coupling
+    )
+    config = PAPER_CONFIG.temporal
+    optimised_s, new = _best_of(lambda: louvain(graph, config), reps)
+    baseline_s, old = _best_of(lambda: baseline_louvain(graph, config), 1)
+    exact = (
+        new.partition == old.partition
+        and new.modularity == old.modularity
+        and new.levels == old.levels
+    )
+    if not exact:
+        raise RuntimeError(
+            "louvain_hour drifted from its reference implementation — "
+            "a speedup over wrong results is meaningless; refusing to "
+            "record it"
+        )
+    return {
+        "name": "louvain_hour",
+        "scale": scale,
+        "n_nodes": graph.node_count,
+        "n_edges": graph.edge_count,
+        "optimised_s": round(optimised_s, 4),
+        "baseline_s": round(baseline_s, 4),
+        "speedup": round(baseline_s / optimised_s, 2),
+        "throughput_edges_per_s": round(graph.edge_count / optimised_s),
+        "exact": exact,
+    }
+
+
+def _geo_kernel_bench(cleaned, network, scale: int, reps: int) -> dict[str, Any]:
+    """Time the pipeline's geo-query workloads, optimised vs reference.
+
+    Mirrors what the pipeline actually asks of the spatial index on
+    this workload: proximity components over the dockless locations
+    (the HAC precondition), the 50 m pre-assignment ``within`` sweep,
+    and the nearest-station reassignment of every cleaned location
+    against the expanded station set.  Results are checked identical
+    while timing.
+    """
+    from ..cluster.hac import preassign_to_stations, proximity_components
+    from ..geo import GridIndex
+
+    cfg = PAPER_CONFIG.clustering
+    location_points = {
+        record.location_id: record.point() for record in cleaned.locations()
+    }
+    station_points = {
+        record.location_id: record.point() for record in cleaned.stations()
+    }
+
+    pre_new_s, pre_new = _best_of(
+        lambda: preassign_to_stations(
+            location_points, station_points, cfg.preassign_radius_m
+        ),
+        reps,
+    )
+    pre_old_s, pre_old = _best_of(
+        lambda: baseline_preassign_to_stations(
+            location_points, station_points, cfg.preassign_radius_m
+        ),
+        1,
+    )
+    leftover = pre_new[1]
+
+    prox_new_s, prox_new = _best_of(
+        lambda: proximity_components(
+            leftover, location_points, cfg.cluster_boundary_m
+        ),
+        reps,
+    )
+    prox_old_s, prox_old = _best_of(
+        lambda: baseline_proximity_components(
+            leftover, location_points, cfg.cluster_boundary_m
+        ),
+        1,
+    )
+
+    station_index: GridIndex[int] = GridIndex(cell_m=250.0)
+    for station_id, station in network.stations.items():
+        station_index.insert(station_id, station.point)
+    queries = list(location_points.values())
+    near_new_s, near_new = _best_of(
+        lambda: station_index.nearest_many(queries), reps
+    )
+    near_old_s, near_old = _best_of(
+        lambda: [baseline_nearest(station_index, query) for query in queries], 1
+    )
+
+    optimised_s = pre_new_s + prox_new_s + near_new_s
+    baseline_s = pre_old_s + prox_old_s + near_old_s
+    n_queries = 2 * len(location_points) + len(leftover)
+    if not (pre_new == pre_old and prox_new == prox_old and near_new == near_old):
+        raise RuntimeError(
+            "geo_queries drifted from the reference implementations — "
+            "refusing to record a speedup over wrong results"
+        )
+    return {
+        "name": "geo_queries",
+        "scale": scale,
+        "n_locations": len(location_points),
+        "n_stations": len(network.stations),
+        "n_queries": n_queries,
+        "optimised_s": round(optimised_s, 4),
+        "baseline_s": round(baseline_s, 4),
+        "speedup": round(baseline_s / optimised_s, 2),
+        "throughput_queries_per_s": round(n_queries / optimised_s),
+        "exact": pre_new == pre_old and prox_new == prox_old and near_new == near_old,
+        "parts": {
+            "preassign_within": {
+                "optimised_s": round(pre_new_s, 4),
+                "baseline_s": round(pre_old_s, 4),
+                "speedup": round(pre_old_s / pre_new_s, 2),
+            },
+            "proximity_components": {
+                "optimised_s": round(prox_new_s, 4),
+                "baseline_s": round(prox_old_s, 4),
+                "speedup": round(prox_old_s / prox_new_s, 2),
+            },
+            "nearest_assign": {
+                "optimised_s": round(near_new_s, 4),
+                "baseline_s": round(near_old_s, 4),
+                "speedup": round(near_old_s / near_new_s, 2),
+            },
+        },
+    }
+
+
+def _load_trajectory(path: Path) -> dict[str, Any]:
+    if path.exists():
+        payload = json.loads(path.read_text())
+        if payload.get("type") == "BenchTrajectory":
+            return payload
+    return {"type": "BenchTrajectory", "entries": []}
+
+
+def run_bench(
+    scales: Sequence[int] = (1, 2, 4),
+    *,
+    quick: bool = False,
+    out: str | Path | None = None,
+    label: str | None = None,
+    echo: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Run the matrix, append the entry to the trajectory, return it."""
+    say = echo or (lambda message: None)
+    path = Path(out) if out is not None else Path.cwd() / DEFAULT_TRAJECTORY
+    if quick:
+        scales = tuple(scales[:1]) or (1,)
+    reps = 1 if quick else 2
+
+    end_to_end: list[dict[str, Any]] = []
+    kernels: list[dict[str, Any]] = []
+    paper_raw = None
+
+    for scale in scales:
+        say(f"bench: generating scale-{scale} workload ...")
+        raw = SyntheticMobyGenerator(seed=7, config=workload_config(scale)).generate()
+        if scale == 1:
+            paper_raw = raw
+        say(f"bench: cold end-to-end run (scale {scale}) ...")
+        timer = StageTimer()
+        start = time.perf_counter()
+        result = PipelineRunner(raw, timer=timer).run()
+        wall = time.perf_counter() - start
+        entry: dict[str, Any] = {
+            "scale": scale,
+            "n_rentals": raw.n_rentals,
+            "n_locations": raw.n_locations,
+            "jobs": 1,
+            "wall_s": round(wall, 3),
+            "stages": _stage_walls(timer),
+        }
+        end_to_end.append(entry)
+
+        say(f"bench: kernels (scale {scale}) ...")
+        kernels.append(_bench_louvain(result.network, scale, reps))
+        kernels.append(
+            _geo_kernel_bench(result.cleaned, result.network, scale, reps)
+        )
+
+    parallel: list[dict[str, Any]] = []
+    if not quick and paper_raw is not None:
+        say("bench: baseline end-to-end (pre-optimisation kernels) ...")
+        baseline_timer = StageTimer()
+        with baseline_kernels():
+            start = time.perf_counter()
+            PipelineRunner(
+                paper_raw, stages=BASELINE_STAGES, timer=baseline_timer
+            ).run()
+            baseline_wall = time.perf_counter() - start
+        # Same-tree rerun on the snapshotted pre-optimisation kernels:
+        # isolates the kernel rewrites from the shared-stage wins.
+        end_to_end[0]["reference_kernels_wall_s"] = round(baseline_wall, 3)
+        end_to_end[0]["reference_kernels_stages"] = _stage_walls(baseline_timer)
+        end_to_end[0]["speedup_vs_reference_kernels"] = round(
+            baseline_wall / end_to_end[0]["wall_s"], 2
+        )
+
+        for executor in ("thread", "process"):
+            say(f"bench: parallel run (jobs=4, {executor} executor) ...")
+            start = time.perf_counter()
+            PipelineRunner(paper_raw, jobs=4, executor=executor).run()
+            parallel.append(
+                {
+                    "scale": 1,
+                    "jobs": 4,
+                    "executor": executor,
+                    "wall_s": round(time.perf_counter() - start, 3),
+                }
+            )
+
+    entry = {
+        "label": label or ("quick" if quick else "full"),
+        "git_rev": _git_rev(path.parent),
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+        "end_to_end": end_to_end,
+        "kernels": kernels,
+    }
+    if parallel:
+        entry["parallel"] = parallel
+
+    trajectory = _load_trajectory(path)
+    # The trajectory's first entry is the origin (the pre-optimisation
+    # tree); every later entry records its paper-scale speedup against
+    # it so the history reads as a cumulative trend on this machine.
+    if trajectory["entries"]:
+        origin = trajectory["entries"][0]["end_to_end"][0]
+        if origin.get("scale") == 1 and end_to_end and end_to_end[0]["scale"] == 1:
+            entry["speedup_vs_origin"] = round(
+                origin["wall_s"] / end_to_end[0]["wall_s"], 2
+            )
+    trajectory["entries"].append(entry)
+    path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    say(f"bench: trajectory appended to {path}")
+    return entry

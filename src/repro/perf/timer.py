@@ -1,0 +1,177 @@
+"""Zero-dependency pipeline instrumentation.
+
+:class:`StageTimer` measures named sections on the monotonic clock
+(``time.perf_counter``).  Sections nest — each thread keeps its own
+stack, so a stage timed on a worker thread attributes its children
+correctly — and repeated sections aggregate (wall time summed, calls
+counted).  A disabled timer is a no-op whose ``section`` context
+costs two attribute reads, so instrumentation can stay threaded
+through the hot path permanently.
+
+:class:`PerfReport` is the immutable result: a tree of
+``(name, wall_s, calls, meta)`` nodes, JSON-safe via :meth:`to_dict`
+and printable via :meth:`render`.  The benchmark harness
+(:mod:`repro.perf.bench`) persists these blocks into
+``BENCH_pipeline.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping
+
+
+class _Node:
+    """One mutable aggregation node of the timing tree."""
+
+    __slots__ = ("name", "wall_s", "calls", "meta", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.wall_s = 0.0
+        self.calls = 0
+        self.meta: dict[str, Any] = {}
+        self.children: dict[str, _Node] = {}
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "calls": self.calls,
+        }
+        if self.meta:
+            payload["meta"] = dict(self.meta)
+        if self.children:
+            payload["children"] = [
+                child.to_dict() for child in self.children.values()
+            ]
+        return payload
+
+
+class PerfReport:
+    """A frozen snapshot of a :class:`StageTimer`'s tree."""
+
+    def __init__(self, sections: list[dict[str, Any]]) -> None:
+        self.sections = sections
+
+    @property
+    def total_s(self) -> float:
+        """Summed wall time of the top-level sections."""
+        return sum(section["wall_s"] for section in self.sections)
+
+    def section(self, name: str) -> dict[str, Any] | None:
+        """A top-level section by name, or None."""
+        for section in self.sections:
+            if section["name"] == name:
+                return section
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe envelope (the ``timings`` block)."""
+        return {
+            "type": "PerfReport",
+            "total_s": self.total_s,
+            "sections": self.sections,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PerfReport":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(sections=list(payload.get("sections", [])))
+
+    def render(self, indent: int = 0) -> str:
+        """A readable fixed-width tree of the recorded sections."""
+        lines: list[str] = []
+
+        def walk(node: dict[str, Any], depth: int) -> None:
+            label = "  " * depth + node["name"]
+            calls = node["calls"]
+            suffix = f" x{calls}" if calls > 1 else ""
+            meta = node.get("meta") or {}
+            tags = "".join(f" [{key}={value}]" for key, value in meta.items())
+            lines.append(
+                f"{' ' * indent}{label:<40} {node['wall_s']:>9.3f}s{suffix}{tags}"
+            )
+            for child in node.get("children", ()):
+                walk(child, depth + 1)
+
+        for section in self.sections:
+            walk(section, 0)
+        lines.append(f"{' ' * indent}{'total':<40} {self.total_s:>9.3f}s")
+        return "\n".join(lines)
+
+
+class StageTimer:
+    """Aggregating, nestable, thread-aware wall-clock timer."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._mutex = threading.Lock()
+        self._top: dict[str, _Node] = {}
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def _stack(self) -> list[_Node]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _child(self, name: str) -> _Node:
+        stack = self._stack()
+        with self._mutex:
+            siblings = stack[-1].children if stack else self._top
+            node = siblings.get(name)
+            if node is None:
+                node = siblings[name] = _Node(name)
+        return node
+
+    @contextmanager
+    def section(self, name: str, **meta: Any) -> Iterator[None]:
+        """Time a section; nested sections become children of it."""
+        if not self.enabled:
+            yield
+            return
+        node = self._child(name)
+        stack = self._stack()
+        stack.append(node)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            stack.pop()
+            with self._mutex:
+                node.wall_s += elapsed
+                node.calls += 1
+                if meta:
+                    node.meta.update(meta)
+
+    def add(self, name: str, wall_s: float, calls: int = 1, **meta: Any) -> None:
+        """Record an externally measured duration under ``name``."""
+        if not self.enabled:
+            return
+        node = self._child(name)
+        with self._mutex:
+            node.wall_s += wall_s
+            node.calls += calls
+            if meta:
+                node.meta.update(meta)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def report(self) -> PerfReport:
+        """Snapshot the tree (safe to call while sections still run)."""
+        with self._mutex:
+            return PerfReport([node.to_dict() for node in self._top.values()])
+
+
+#: A shared disabled timer for call sites that always pass one.
+NULL_TIMER = StageTimer(enabled=False)

@@ -16,6 +16,7 @@ import itertools
 import shutil
 import tempfile
 import threading
+import time
 from concurrent.futures import (
     FIRST_COMPLETED,
     Executor,
@@ -27,7 +28,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..community.louvain import louvain
-from ..community.temporal import detect_temporal_communities
+from ..community.temporal import detect_temporal_communities_from_buckets
 from ..config import PAPER_CONFIG, PipelineConfig
 from ..core.candidates import build_candidate_network
 from ..core.graphs import build_selected_network
@@ -36,6 +37,7 @@ from ..core.selection import select_stations
 from ..data import MobyDataset
 from ..data.cleaning import clean_dataset
 from ..exceptions import PipelineError
+from ..perf.timer import NULL_TIMER, StageTimer
 from .cache import MISS, StageCache
 from .fingerprint import dataset_digest, fingerprint
 from .stage import Stage
@@ -78,21 +80,57 @@ def _stage_basic(runner: "PipelineRunner", network):
 
 
 def _stage_day(runner: "PipelineRunner", network):
-    return detect_temporal_communities(
-        network.day_sliced_trips(),
-        N_DAY_SLICES,
+    return detect_temporal_communities_from_buckets(
+        network.day_slice_buckets(),
         runner.config.temporal,
         mapper=runner.map,
     )
 
 
 def _stage_hour(runner: "PipelineRunner", network):
-    return detect_temporal_communities(
-        network.hour_sliced_trips(),
-        N_HOUR_SLICES,
+    return detect_temporal_communities_from_buckets(
+        network.hour_slice_buckets(),
         runner.config.temporal,
         mapper=runner.map,
     )
+
+
+# ---------------------------------------------------------------------------
+# Process-pool stage execution (module-level for picklability)
+# ---------------------------------------------------------------------------
+
+#: Per-worker runner, built once by the pool initializer so the raw
+#: dataset is pickled to each worker exactly once.
+_WORKER_RUNNER: "PipelineRunner | None" = None
+
+
+def _process_worker_init(raw, config, stages, cache_dir, digest) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = PipelineRunner(
+        raw,
+        config,
+        stages=stages,
+        cache_dir=cache_dir,
+        jobs=1,
+        raw_digest=digest,
+    )
+
+
+def _process_worker_stage(name: str) -> tuple[str, int, float]:
+    """Compute one stage in the worker; the disk cache carries the value.
+
+    Parent stage values arrive through the same on-disk
+    :class:`StageCache` (the scheduler only submits a stage once its
+    inputs are persisted), and the computed value is persisted for the
+    parent and for sibling workers before the call returns.  The
+    returned wall time is measured *inside* the worker, so parent-side
+    timings exclude worker-slot queue wait.
+    """
+    runner = _WORKER_RUNNER
+    assert runner is not None, "worker initializer did not run"
+    start = time.perf_counter()
+    runner.stage(name)
+    return name, runner.executions.get(name, 0), time.perf_counter() - start
 
 
 #: The expansion DAG (paper Section IV), in topological order.
@@ -128,8 +166,14 @@ class PipelineRunner:
         results are identical either way.
     executor:
         ``"thread"`` or ``"process"`` — backend for the temporal slice
-        fan-out.  Stage-level fan-out always uses threads (stage values
-        stay in-process).
+        fan-out.  With ``"process"`` and ``jobs > 1`` the *stage* fan-out
+        also moves to worker processes, with the on-disk
+        :class:`StageCache` as the cross-process rendezvous (see
+        :meth:`_run_dag_process`).
+    timer:
+        Optional :class:`~repro.perf.StageTimer`; every stage records a
+        ``stage:<name>`` section (with a ``cached`` flag) and the run's
+        report lands on :attr:`ExpansionResult.timings`.
     """
 
     def __init__(
@@ -143,6 +187,7 @@ class PipelineRunner:
         jobs: int = 1,
         executor: str = "thread",
         raw_digest: str | None = None,
+        timer: "StageTimer | None" = None,
     ) -> None:
         if jobs < 1:
             raise PipelineError("jobs must be at least 1")
@@ -166,6 +211,7 @@ class PipelineRunner:
         self.cache = cache if cache is not None else StageCache(cache_dir)
         self.jobs = jobs
         self.executor = executor
+        self.timer = timer
         self.executions: dict[str, int] = {}
         self._values: dict[str, Any] = {}
         self._keys: dict[str, str] = {}
@@ -218,12 +264,16 @@ class PipelineRunner:
         stage = self.stages[name]
         inputs = [self.stage(dep) for dep in stage.inputs]
         key = self.key(name)
-        with self.cache.lock(key):
-            value = self.cache.get(key)
-            if value is MISS:
-                value = stage.fn(self, *inputs)
-                self.executions[name] = self.executions.get(name, 0) + 1
-                self.cache.put(key, value)
+        timer = self.timer if self.timer is not None else NULL_TIMER
+        with timer.section(f"stage:{name}"):
+            with self.cache.lock(key):
+                value = self.cache.get(key)
+                cached = value is not MISS
+                if not cached:
+                    value = stage.fn(self, *inputs)
+                    self.executions[name] = self.executions.get(name, 0) + 1
+                    self.cache.put(key, value)
+        timer.add(f"stage:{name}", 0.0, calls=0, cached=cached)
         self._values[name] = value
         return value
 
@@ -253,6 +303,9 @@ class PipelineRunner:
             basic=self._values["basic"],
             day=self._values["day"],
             hour=self._values["hour"],
+            timings=(
+                self.timer.report().to_dict() if self.timer is not None else None
+            ),
         )
 
     def _topological_order(self) -> list[str]:
@@ -279,14 +332,17 @@ class PipelineRunner:
             for name in order:
                 self.stage(name)
             return
+        if self.executor == "process":
+            self._run_dag_process(order)
+            return
         computed = set(self._values)
         remaining = {
             name: set(self.stages[name].inputs) - computed
             for name in order
             if name not in computed
         }
-        # Stage-level fan-out stays on threads: values are shared
-        # in-process and the bodies drop to worker pools themselves.
+        # Thread-backed stage fan-out: values are shared in-process and
+        # the bodies drop to worker pools themselves.
         with ThreadPoolExecutor(max_workers=self.jobs) as pool:
             futures: dict[Any, str] = {}
             while remaining or futures:
@@ -302,6 +358,107 @@ class PipelineRunner:
                     future.result()  # re-raise stage errors
                     for deps in remaining.values():
                         deps.discard(finished)
+
+    def _run_dag_process(self, order: list[str]) -> None:
+        """Stage fan-out over worker processes.
+
+        The on-disk :class:`StageCache` is the cross-process
+        rendezvous: workers read their inputs from it and persist their
+        outputs to it, and the parent loads every value back when its
+        future completes.  When the runner's cache has no disk tier —
+        or is size-bounded, where a concurrent run's LRU eviction could
+        delete a stage pickle between the worker's write and the
+        parent's read — a temporary eviction-exempt directory carries
+        the rendezvous for this run only.  Stage bodies and the raw
+        dataset must be picklable (the built-in
+        :data:`EXPANSION_STAGES` are).
+        """
+        temp_dir: str | None = None
+        if (
+            self.cache.cache_dir is not None
+            and self.cache.max_bytes is None
+            and self.cache.max_entries is None
+        ):
+            rendezvous = self.cache
+        else:
+            temp_dir = tempfile.mkdtemp(prefix="repro-pipeline-cache-")
+            rendezvous = StageCache(temp_dir)
+        try:
+            # Serve warm stages straight from the runner's own cache —
+            # workers only ever see the rendezvous, so anything they
+            # would otherwise recompute is loaded (and re-published)
+            # here first.  This also covers stages already computed
+            # in-parent (e.g. ``clean`` via run()'s sanity check).
+            for name in order:
+                if name not in self._values:
+                    value = self.cache.get(self.key(name))
+                    if value is not MISS:
+                        self._values[name] = value
+                        if self.timer is not None:
+                            self.timer.add(f"stage:{name}", 0.0, cached=True)
+            for name, value in self._values.items():
+                if name in self.stages:
+                    key = self.key(name)
+                    if rendezvous.get(key) is MISS:
+                        rendezvous.put(key, value)
+            computed = set(self._values)
+            remaining = {
+                name: set(self.stages[name].inputs) - computed
+                for name in order
+                if name not in computed
+            }
+            if not remaining:
+                return  # fully warm; no worker pool needed
+            timer = self.timer
+            with ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_process_worker_init,
+                initargs=(
+                    self.raw,
+                    self.config,
+                    tuple(self.stages.values()),
+                    rendezvous.cache_dir,
+                    self.raw_digest,
+                ),
+            ) as pool:
+                futures: dict[Any, str] = {}
+                while remaining or futures:
+                    ready = [name for name, deps in remaining.items() if not deps]
+                    for name in ready:
+                        del remaining[name]
+                        futures[pool.submit(_process_worker_stage, name)] = name
+                    if not futures:
+                        raise PipelineError("stage cycle in pipeline DAG")
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        finished = futures.pop(future)
+                        _, executions, stage_wall = future.result()  # re-raise
+                        if executions:
+                            self.executions[finished] = (
+                                self.executions.get(finished, 0) + executions
+                            )
+                        value = rendezvous.get(self.key(finished))
+                        if value is MISS:
+                            raise PipelineError(
+                                f"stage {finished!r} missing from the "
+                                "cross-process rendezvous after the worker "
+                                "finished — the rendezvous disk is likely "
+                                "full or was cleared externally"
+                            )
+                        self._values[finished] = value
+                        if rendezvous is not self.cache:
+                            self.cache.put(self.key(finished), value)
+                        if timer is not None:
+                            timer.add(
+                                f"stage:{finished}",
+                                stage_wall,
+                                cached=executions == 0,
+                            )
+                        for deps in remaining.values():
+                            deps.discard(finished)
+        finally:
+            if temp_dir is not None:
+                shutil.rmtree(temp_dir, ignore_errors=True)
 
     # ------------------------------------------------------------------
     # Intra-stage fan-out

@@ -26,6 +26,7 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs
 
 from ..exceptions import JobFailedError, ReproError
 from ..serialize import canonical_json
@@ -35,6 +36,53 @@ from .service import ExpansionService
 
 #: Cap request bodies well above any realistic spec.
 MAX_BODY_BYTES = 1 << 20
+
+
+def _headline_view(envelope: dict) -> dict:
+    """A ``fields=headline`` reduction of a stored result envelope.
+
+    Keeps the request/identity metadata and each output's headline-size
+    content; the multi-MB blocks (the expanded network, the
+    ``slice_partition`` of every temporal structure, the hierarchy
+    levels) are dropped.  First step of the ROADMAP's envelope
+    streaming/pagination item.
+    """
+    slim: dict[str, Any] = {
+        key: envelope[key]
+        for key in (
+            "type",
+            "envelope_version",
+            "fingerprint",
+            "spec",
+            "dataset_digest",
+        )
+        if key in envelope
+    }
+    slim["fields"] = "headline"
+    outputs: dict[str, Any] = {}
+    for name, payload in envelope.get("outputs", {}).items():
+        if name == "run":
+            outputs[name] = {"headline": payload.get("headline")}
+        elif name == "sweep":
+            outputs[name] = {
+                "axes": payload.get("axes"),
+                "scenarios": [
+                    {
+                        "label": scenario.get("label"),
+                        "overrides": scenario.get("overrides"),
+                        "headline": scenario.get("headline"),
+                    }
+                    for scenario in payload.get("scenarios", [])
+                ],
+            }
+        elif name == "rebalance":
+            outputs[name] = payload  # already headline-sized
+        elif name == "report":
+            outputs[name] = {"title": payload.get("title")}
+        else:
+            outputs[name] = payload
+    slim["outputs"] = outputs
+    return slim
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -92,13 +140,14 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:
-        path = self.path.split("?", 1)[0].rstrip("/")
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/")
         if path == "/v1/healthz":
             self._send_json(200, self.service.stats())
         elif path.startswith("/v1/jobs/"):
             self._get_job(path.removeprefix("/v1/jobs/"))
         elif path.startswith("/v1/results/"):
-            self._get_result(path.removeprefix("/v1/results/"))
+            self._get_result(path.removeprefix("/v1/results/"), query)
         else:
             self._send_error(404, f"no such resource: {path}")
 
@@ -154,7 +203,12 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_json(200, job.to_dict())
 
-    def _get_result(self, fingerprint: str) -> None:
+    def _get_result(self, fingerprint: str, query: str = "") -> None:
+        try:
+            fields = self._fields_param(query)
+        except ValueError as error:
+            self._send_error(400, str(error))
+            return
         try:
             text = self.service.results.raw(fingerprint)
         except ValueError as error:
@@ -162,8 +216,23 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if text is None:
             self._send_error(404, f"no result stored for {fingerprint}")
+        elif fields == "headline":
+            self._send_text(200, canonical_json(_headline_view(json.loads(text))))
         else:
             self._send_text(200, text)
+
+    @staticmethod
+    def _fields_param(query: str) -> str | None:
+        """The validated ``fields`` query parameter, or None."""
+        values = parse_qs(query).get("fields")
+        if not values:
+            return None
+        if values != ["headline"]:
+            raise ValueError(
+                f"unsupported fields selection {values!r}; "
+                "only fields=headline is available"
+            )
+        return "headline"
 
     # ------------------------------------------------------------------
     # Plumbing

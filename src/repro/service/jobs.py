@@ -47,6 +47,10 @@ class Job:
     #: :meth:`complete` so surfaces can serve the stored bytes without
     #: re-serialising multi-MB envelopes per request.
     canonical: str | None = field(default=None, repr=False, compare=False)
+    #: Per-stage wall-clock block (a ``PerfReport`` envelope) recorded
+    #: while the job's pipeline ran.  Job metadata only — never part of
+    #: the result envelope, which stays byte-identical across surfaces.
+    timings: dict | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Lifecycle (driven by the service)
@@ -113,6 +117,8 @@ class Job:
         }
         if self.error is not None:
             payload["error"] = self.error
+        if self.timings is not None:
+            payload["timings"] = self.timings
         if self.status == DONE:
             payload["result_url"] = f"/v1/results/{self.fingerprint}"
         return payload

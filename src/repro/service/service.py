@@ -38,6 +38,7 @@ DATASET_CACHE_SLOTS = 8
 from ..analysis.rebalancing import plan_weekend_rebalancing
 from ..data import MobyDataset
 from ..exceptions import ServiceError
+from ..perf import StageTimer
 from ..pipeline.cache import StageCache
 from ..pipeline.fingerprint import dataset_digest
 from ..pipeline.runner import PipelineRunner, run_sweep
@@ -71,8 +72,18 @@ class ExpansionService:
         Bound on concurrently executing jobs.
     pipeline_jobs:
         Worker budget *inside* one pipeline run (stage/slice fan-out).
+    pipeline_executor:
+        ``"thread"`` or ``"process"`` — backend for the stage fan-out
+        inside each run.  ``"process"`` keeps one slow scenario from
+        starving the GIL-bound worker threads; it needs a disk-backed
+        cache (``cache_dir``) to share stage values across processes,
+        and falls back to a per-run temporary rendezvous otherwise.
     sweep_executor:
         ``"thread"`` or ``"process"`` — backend for sweep fan-out.
+    retain_jobs:
+        Keep at most this many *terminal* (done/failed) jobs in the
+        job table, pruned oldest-first; in-flight jobs never count
+        against the limit.  ``None`` disables pruning.
     """
 
     def __init__(
@@ -85,13 +96,19 @@ class ExpansionService:
         results_dir: str | Path | None = None,
         max_workers: int = 2,
         pipeline_jobs: int = 1,
+        pipeline_executor: str = "thread",
         sweep_executor: str = "thread",
+        retain_jobs: int | None = 1024,
     ) -> None:
         if max_workers < 1:
             raise ServiceError("max_workers must be at least 1")
         if pipeline_jobs < 1:
             raise ServiceError("pipeline_jobs must be at least 1")
+        if retain_jobs is not None and retain_jobs < 1:
+            raise ServiceError("retain_jobs must be positive (or None)")
+        self.pipeline_executor = pipeline_executor
         self.sweep_executor = sweep_executor
+        self.retain_jobs = retain_jobs
         self.cache = cache if cache is not None else StageCache(
             cache_dir, max_bytes=cache_bytes, max_entries=cache_entries
         )
@@ -112,6 +129,8 @@ class ExpansionService:
         #: not served from the results store).  The dedup tests and the
         #: ``/v1/healthz`` document read this.
         self.pipeline_executions = 0
+        #: Terminal jobs dropped by the retention policy.
+        self.jobs_pruned = 0
 
     # ------------------------------------------------------------------
     # Datasets
@@ -196,8 +215,29 @@ class ExpansionService:
             )
             self._jobs[job.job_id] = job
             self._inflight[fingerprint] = job
+            self._prune_jobs_locked()
         self._pool.submit(self._execute, job, raw, digest)
         return job
+
+    def _prune_jobs_locked(self) -> None:
+        """Drop the oldest terminal jobs beyond :attr:`retain_jobs`.
+
+        Caller holds the mutex.  The job *table* is what grows without
+        bound on a long-lived service — result envelopes live in the
+        results store under their fingerprint, so pruning a job never
+        loses a result, only its status document.
+        """
+        if self.retain_jobs is None:
+            return
+        # Only terminal jobs count against the limit — a burst of
+        # in-flight work must never push finished documents out early.
+        terminal = [
+            job_id for job_id, job in self._jobs.items() if job.finished
+        ]  # insertion = age order
+        excess = len(terminal) - self.retain_jobs
+        for job_id in terminal[:max(0, excess)]:
+            del self._jobs[job_id]
+            self.jobs_pruned += 1
 
     def run(
         self,
@@ -220,6 +260,8 @@ class ExpansionService:
         return {
             "status": "ok",
             "jobs": n_jobs,
+            "jobs_pruned": self.jobs_pruned,
+            "retain_jobs": self.retain_jobs,
             "in_flight": n_inflight,
             "pipeline_executions": self.pipeline_executions,
             "results_stored": len(self.results),
@@ -255,8 +297,13 @@ class ExpansionService:
             job.mark_running()
             with self._mutex:
                 self.pipeline_executions += 1
-            envelope = self._build_envelope(job.spec, raw, digest)
+            timer = StageTimer()
+            envelope = self._build_envelope(job.spec, raw, digest, timer)
             envelope["fingerprint"] = job.fingerprint
+            # Timings are job metadata (they vary run to run), not part
+            # of the canonical envelope — envelopes stay byte-identical
+            # across surfaces and replays.
+            job.timings = timer.report().to_dict()
             job.canonical = self.results.put(job.fingerprint, envelope)
             job.complete(envelope)
         except Exception as error:
@@ -266,7 +313,11 @@ class ExpansionService:
                 self._inflight.pop(job.fingerprint, None)
 
     def _build_envelope(
-        self, spec: ScenarioSpec, raw: MobyDataset, digest: str
+        self,
+        spec: ScenarioSpec,
+        raw: MobyDataset,
+        digest: str,
+        timer: "StageTimer | None" = None,
     ) -> dict[str, Any]:
         """Compute every requested output into one envelope dict."""
         config = spec.config()
@@ -278,11 +329,17 @@ class ExpansionService:
                 config,
                 cache=self.cache,
                 jobs=self.pipeline_jobs,
+                executor=self.pipeline_executor,
                 raw_digest=digest,
+                timer=timer,
             )
             result = runner.run()
         if OUTPUT_RUN in spec.outputs:
-            outputs[OUTPUT_RUN] = result.to_dict()
+            run_output = result.to_dict()
+            # Wall-clock timings are job metadata, not canonical result
+            # content — drop them so envelopes replay byte-identically.
+            run_output.pop("timings", None)
+            outputs[OUTPUT_RUN] = run_output
         if OUTPUT_SWEEP in spec.outputs:
             outputs[OUTPUT_SWEEP] = self._sweep_output(spec, raw, digest)
         if OUTPUT_REBALANCE in spec.outputs:

@@ -1,0 +1,210 @@
+"""Process-executor stage fan-out + the new service surface features.
+
+The process path's contract: ``jobs > 1, executor="process"`` computes
+the same results as the serial path, with the on-disk stage cache as
+the cross-process rendezvous — a second run over the same cache
+recomputes nothing, in any process.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.perf import PerfReport
+from repro.pipeline import PipelineRunner
+from repro.pipeline.cache import StageCache
+from repro.service import (
+    DatasetRef,
+    ExpansionService,
+    ScenarioSpec,
+    make_server,
+)
+
+
+class TestProcessExecutor:
+    def test_matches_serial_and_hits_shared_disk_cache(self, small_raw, tmp_path):
+        serial = PipelineRunner(small_raw).run()
+        cache_dir = tmp_path / "stage-cache"
+        cold = PipelineRunner(
+            small_raw, cache=StageCache(cache_dir), jobs=4, executor="process"
+        )
+        cold_result = cold.run()
+        assert cold_result.headline() == serial.headline()
+        assert cold_result.basic.partition == serial.basic.partition
+        assert cold_result.day.station_partition == serial.day.station_partition
+        assert cold_result.hour.station_partition == serial.hour.station_partition
+        assert sum(cold.executions.values()) == len(cold.stages)
+        assert len(list(cache_dir.glob("*.pkl"))) == len(cold.stages)
+
+        # A fresh runner (fresh memory tier, as a new process would
+        # have) must serve every stage from the shared disk cache.
+        warm = PipelineRunner(
+            small_raw, cache=StageCache(cache_dir), jobs=4, executor="process"
+        )
+        warm_result = warm.run()
+        assert warm.executions == {}
+        assert warm_result.headline() == serial.headline()
+
+    def test_without_disk_cache_uses_temp_rendezvous(self, small_raw):
+        runner = PipelineRunner(small_raw, jobs=4, executor="process")
+        result = runner.run()
+        assert result.headline() == PipelineRunner(small_raw).run().headline()
+
+    def test_bounded_cache_never_doubles_as_rendezvous(self, small_raw, tmp_path):
+        """An LRU-bounded disk cache can evict a stage pickle between a
+        worker's write and the parent's read — the rendezvous must be a
+        separate eviction-exempt directory."""
+        cache = StageCache(
+            tmp_path / "tiny-cache", memory_slots=0, max_entries=1
+        )
+        runner = PipelineRunner(small_raw, cache=cache, jobs=4, executor="process")
+        result = runner.run()
+        assert result.headline() == PipelineRunner(small_raw).run().headline()
+        # eviction kept the bounded tier at its limit throughout
+        assert len(list((tmp_path / "tiny-cache").glob("*.pkl"))) <= 1
+
+    def test_warm_parent_cache_skips_the_worker_pool(self, small_raw, tmp_path):
+        cache_dir = tmp_path / "stage-cache"
+        PipelineRunner(small_raw, cache=StageCache(cache_dir)).run()
+        warm = PipelineRunner(
+            small_raw, cache=StageCache(cache_dir), jobs=4, executor="process"
+        )
+        assert warm.run().headline() == PipelineRunner(small_raw).run().headline()
+        assert warm.executions == {}
+
+    def test_service_process_executor(self, small_raw, tmp_path):
+        with ExpansionService(
+            cache_dir=tmp_path / "cache",
+            pipeline_jobs=4,
+            pipeline_executor="process",
+        ) as service:
+            service.register_dataset("small", small_raw)
+            envelope = service.run(
+                ScenarioSpec(dataset=DatasetRef.named("small")), timeout=600
+            )
+        with ExpansionService() as reference:
+            reference.register_dataset("small", small_raw)
+            expected = reference.run(
+                ScenarioSpec(dataset=DatasetRef.named("small")), timeout=600
+            )
+        assert envelope["outputs"]["run"] == expected["outputs"]["run"]
+
+
+class TestJobRetention:
+    def test_terminal_jobs_pruned_oldest_first(self, small_raw, tmp_path):
+        with ExpansionService(
+            cache_dir=tmp_path / "cache", retain_jobs=3, max_workers=1
+        ) as service:
+            service.register_dataset("small", small_raw)
+            jobs = []
+            for seed_fleet in range(6):
+                job = service.submit(
+                    ScenarioSpec(
+                        dataset=DatasetRef.named("small"),
+                        outputs=("rebalance",),
+                        fleet_size=10 + seed_fleet,
+                    )
+                )
+                job.wait(600)
+                jobs.append(job)
+            # trigger one more submission so pruning sees terminal jobs
+            final = service.submit(
+                ScenarioSpec(
+                    dataset=DatasetRef.named("small"),
+                    outputs=("rebalance",),
+                    fleet_size=99,
+                )
+            )
+            final.wait(600)
+            stats = service.stats()
+            assert stats["jobs"] <= 3 + 1  # retained + possibly in-flight row
+            assert stats["jobs_pruned"] >= 3
+            assert stats["retain_jobs"] == 3
+            # oldest pruned, newest retained
+            assert service.job(jobs[0].job_id) is None
+            assert service.job(final.job_id) is final
+            # pruning a job never loses its result envelope
+            assert service.results.raw(jobs[0].fingerprint) is not None
+
+    def test_in_flight_jobs_never_pruned(self, small_raw):
+        with ExpansionService(retain_jobs=1, max_workers=2) as service:
+            service.register_dataset("small", small_raw)
+            job = service.submit(ScenarioSpec(dataset=DatasetRef.named("small")))
+            job.wait(600)
+            assert service.job(job.job_id) is job  # newest terminal retained
+
+    def test_rejects_bad_retention(self):
+        with pytest.raises(Exception):
+            ExpansionService(retain_jobs=0)
+
+
+class TestJobTimings:
+    def test_job_document_carries_stage_timings(self, small_raw, tmp_path):
+        with ExpansionService(cache_dir=tmp_path / "cache") as service:
+            service.register_dataset("small", small_raw)
+            job = service.submit(ScenarioSpec(dataset=DatasetRef.named("small")))
+            envelope = job.wait(600)
+        payload = job.to_dict()
+        assert "timings" in payload
+        report = PerfReport.from_dict(payload["timings"])
+        assert report.section("stage:hour") is not None
+        assert report.total_s >= 0
+        # timings never leak into the canonical result envelope
+        assert "timings" not in envelope["outputs"]["run"]
+
+
+class TestHeadlineFields:
+    @pytest.fixture()
+    def server(self, small_raw, tmp_path):
+        service = ExpansionService(cache_dir=tmp_path / "cache")
+        service.register_dataset("small", small_raw)
+        server = make_server(service, port=0).start_background()
+        try:
+            yield server
+        finally:
+            server.stop()
+            service.close()
+
+    def _post(self, server, path, body):
+        request = urllib.request.Request(
+            server.url + path,
+            data=json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=600) as response:
+            return response.status, json.loads(response.read())
+
+    def _get(self, server, path):
+        with urllib.request.urlopen(server.url + path, timeout=600) as response:
+            return response.status, json.loads(response.read())
+
+    def test_headline_view_skips_bulk_payloads(self, server):
+        status, envelope = self._post(
+            server, "/v1/runs", {"dataset": {"kind": "named", "name": "small"}}
+        )
+        assert status == 200
+        fingerprint = envelope["fingerprint"]
+        status, slim = self._get(
+            server, f"/v1/results/{fingerprint}?fields=headline"
+        )
+        assert status == 200
+        assert slim["fields"] == "headline"
+        assert slim["fingerprint"] == fingerprint
+        run_view = slim["outputs"]["run"]
+        assert run_view == {"headline": envelope["outputs"]["run"]["headline"]}
+        assert "network" not in run_view
+        assert len(json.dumps(slim)) < len(json.dumps(envelope)) / 10
+
+    def test_unsupported_fields_selection_is_rejected(self, server):
+        status, envelope = self._post(
+            server, "/v1/runs", {"dataset": {"kind": "named", "name": "small"}}
+        )
+        url = f"{server.url}/v1/results/{envelope['fingerprint']}?fields=everything"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(url, timeout=60)
+        assert excinfo.value.code == 400
