@@ -1,6 +1,6 @@
 """Command-line interface — a thin client over :mod:`repro.service`.
 
-Seven subcommands cover the library's end-to-end workflow:
+The subcommands cover the library's end-to-end workflow:
 
 * ``generate`` — write the calibrated synthetic dataset to CSV;
 * ``clean`` — run the six-rule cleaning pipeline over a CSV dataset;
@@ -11,9 +11,8 @@ Seven subcommands cover the library's end-to-end workflow:
   through the staged runner with one shared cache;
 * ``rebalance`` — build the Friday-night rebalancing plan;
 * ``report`` — write the full paper-vs-measured markdown report;
-* ``serve`` — expose the same service over HTTP (``/v1/runs``,
-  ``/v1/sweeps``, ``/v1/jobs/<id>``, ``/v1/results/<fp>``,
-  ``/v1/healthz``).
+* ``serve`` — expose the same service over HTTP (see ``docs/API.md``);
+* ``bench`` — append a benchmark entry to ``BENCH_pipeline.json``.
 
 ``run``, ``sweep``, ``rebalance`` and ``report`` all build a
 :class:`~repro.service.ScenarioSpec`, submit it to an in-process
@@ -22,15 +21,28 @@ envelope — exactly what an HTTP client of ``repro serve`` receives.
 ``--format json`` prints the canonical envelope verbatim, byte-
 identical to the ``POST /v1/runs`` response for the same scenario.
 
+Three subcommands are clients of a *running* ``repro serve`` instead
+(they take ``--url``):
+
+* ``datasets`` — ``push``/``list``/``rm`` named datasets that later
+  run specs can reference as ``{"kind": "named", "name": ...}``;
+* ``results`` — fetch a stored envelope by fingerprint, whole or as a
+  headline view, a paginated section, or an NDJSON slice stream;
+* ``cancel`` — request cooperative cancellation of a queued or
+  running job.
+
 Invoke as ``python -m repro <subcommand> --help``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import urllib.error
+import urllib.request
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
 from .analysis.rebalancing import RebalancingPlan
 from .core.results import ExpansionResult
@@ -160,6 +172,71 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--retain-jobs", type=int, default=1024,
                        help="keep at most this many finished jobs in the "
                             "job table (oldest pruned first)")
+    serve.add_argument("--datasets-dir", type=Path, default=None,
+                       help="directory persisting uploaded named datasets "
+                            "(PUT /v1/datasets/<name>); memory-only when "
+                            "omitted")
+    serve.add_argument("--max-dataset-bytes", type=int, default=None,
+                       help="reject a single dataset upload over this many "
+                            "serialised bytes (default: 64MiB)")
+    serve.add_argument("--max-datasets-bytes", type=int, default=None,
+                       help="LRU-evict stored datasets once the store "
+                            "exceeds this many bytes")
+    serve.add_argument("--max-datasets", type=int, default=None,
+                       help="LRU-evict stored datasets beyond this count")
+
+    datasets = subparsers.add_parser(
+        "datasets", help="manage named datasets on a running repro serve"
+    )
+    dataset_commands = datasets.add_subparsers(
+        dest="datasets_command", required=True
+    )
+    push = dataset_commands.add_parser(
+        "push", help="upload a dataset under a name (PUT /v1/datasets/<name>)"
+    )
+    push.add_argument("name", help="dataset name (later run specs use "
+                                   '{"kind": "named", "name": <name>})')
+    push.add_argument("--url", default="http://127.0.0.1:8722",
+                      help="base URL of the running server")
+    push.add_argument("--data", type=Path, default=None,
+                      help="CSV directory to upload (default: generate the "
+                           "synthetic dataset from --seed)")
+    push.add_argument("--seed", type=int, default=7,
+                      help="synthetic seed when --data is not given")
+    listing = dataset_commands.add_parser(
+        "list", help="list stored datasets (GET /v1/datasets)"
+    )
+    listing.add_argument("--url", default="http://127.0.0.1:8722")
+    remove = dataset_commands.add_parser(
+        "rm", help="delete a named dataset (DELETE /v1/datasets/<name>)"
+    )
+    remove.add_argument("name")
+    remove.add_argument("--url", default="http://127.0.0.1:8722")
+
+    results = subparsers.add_parser(
+        "results", help="fetch a stored result envelope from a running server"
+    )
+    results.add_argument("fingerprint", help="result fingerprint (from a job "
+                                             "document or sweep scenario)")
+    results.add_argument("--url", default="http://127.0.0.1:8722")
+    results.add_argument("--fields", choices=("headline",), default=None,
+                         help="headline: the ~1.5KB summary view")
+    results.add_argument("--section", default=None, metavar="DOTTED.PATH",
+                         help="address one envelope subtree, e.g. "
+                              "outputs.run.day.slice_partition.assignment")
+    results.add_argument("--page", type=int, default=None,
+                         help="1-based page of a list section")
+    results.add_argument("--page-size", type=int, default=None,
+                         help="items per page (server default: 500)")
+    results.add_argument("--stream", choices=("day", "hour"), default=None,
+                         help="stream this temporal block's per-slice "
+                              "assignment as NDJSON instead")
+
+    cancel = subparsers.add_parser(
+        "cancel", help="request cancellation of a job (DELETE /v1/jobs/<id>)"
+    )
+    cancel.add_argument("job_id")
+    cancel.add_argument("--url", default="http://127.0.0.1:8722")
 
     bench = subparsers.add_parser(
         "bench", help="run the calibrated benchmark matrix and append to "
@@ -176,6 +253,62 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--label", default=None,
                        help="label stored on the trajectory entry")
     return parser
+
+
+# ---------------------------------------------------------------------------
+# HTTP client plumbing shared by datasets/results/cancel
+# ---------------------------------------------------------------------------
+
+
+def _http_request(
+    url: str,
+    method: str = "GET",
+    body: Any | None = None,
+    timeout: float = 600.0,
+) -> tuple[int, str]:
+    """One JSON exchange with a running server; (status, body text).
+
+    HTTP error statuses come back as values, not exceptions — the
+    subcommands print the server's ``{"error": ...}`` document and
+    exit non-zero.  Connection failures raise ``URLError`` and are
+    translated by :func:`_client_call`.
+    """
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        url,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+def _client_call(
+    url: str, method: str = "GET", body: Any | None = None
+) -> tuple[int, str] | None:
+    """:func:`_http_request` with connection errors reported, not raised."""
+    try:
+        return _http_request(url, method, body)
+    except urllib.error.URLError as error:
+        print(
+            f"cannot reach {url}: {error.reason} "
+            "(is `repro serve` running?)",
+            file=sys.stderr,
+        )
+        return None
+
+
+def _print_response(status: int, text: str) -> int:
+    """Print a server response; non-2xx goes to stderr with exit 1."""
+    if 200 <= status < 300:
+        print(text)
+        return 0
+    print(text, file=sys.stderr)
+    return 1
 
 
 # ---------------------------------------------------------------------------
@@ -413,6 +546,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.datasets import DEFAULT_MAX_DATASET_BYTES
+
     service = ExpansionService(
         cache_dir=args.cache_dir,
         cache_bytes=args.cache_bytes,
@@ -422,6 +557,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pipeline_jobs=args.jobs,
         pipeline_executor=args.executor,
         retain_jobs=args.retain_jobs,
+        datasets_dir=args.datasets_dir,
+        max_dataset_bytes=(
+            args.max_dataset_bytes
+            if args.max_dataset_bytes is not None
+            else DEFAULT_MAX_DATASET_BYTES
+        ),
+        max_datasets_bytes=args.max_datasets_bytes,
+        max_datasets=args.max_datasets,
     )
     server = make_server(service, host=args.host, port=args.port)
     print(f"repro service listening on {server.url}")
@@ -433,6 +576,71 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.server_close()
         service.close()
     return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    base = args.url.rstrip("/")
+    if args.datasets_command == "push":
+        if args.data is not None:
+            dataset = MobyDataset.from_csv(args.data)
+        else:
+            dataset = SyntheticMobyGenerator(seed=args.seed).generate()
+        response = _client_call(
+            f"{base}/v1/datasets/{args.name}", "PUT", dataset.to_dict()
+        )
+    elif args.datasets_command == "list":
+        response = _client_call(f"{base}/v1/datasets")
+    else:  # rm
+        response = _client_call(f"{base}/v1/datasets/{args.name}", "DELETE")
+    if response is None:
+        return 1
+    return _print_response(*response)
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    base = args.url.rstrip("/")
+    if args.stream is not None:
+        if args.fields or args.section or args.page or args.page_size:
+            raise ConfigError("--stream excludes --fields/--section/--page")
+        url = (
+            f"{base}/v1/results/{args.fingerprint}/slices"
+            f"?output=run&block={args.stream}"
+        )
+        try:
+            request = urllib.request.Request(url)
+            with urllib.request.urlopen(request, timeout=600) as response:
+                # NDJSON: relay the stream line by line as it arrives.
+                for line in response:
+                    sys.stdout.write(line.decode("utf-8"))
+            return 0
+        except urllib.error.HTTPError as error:
+            print(error.read().decode("utf-8"), file=sys.stderr)
+            return 1
+        except urllib.error.URLError as error:
+            print(f"cannot reach {base}: {error.reason}", file=sys.stderr)
+            return 1
+    query: list[str] = []
+    if args.fields:
+        query.append(f"fields={args.fields}")
+    if args.section:
+        query.append(f"section={args.section}")
+    if args.page is not None:
+        query.append(f"page={args.page}")
+    if args.page_size is not None:
+        query.append(f"page_size={args.page_size}")
+    suffix = f"?{'&'.join(query)}" if query else ""
+    response = _client_call(f"{base}/v1/results/{args.fingerprint}{suffix}")
+    if response is None:
+        return 1
+    return _print_response(*response)
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    base = args.url.rstrip("/")
+    response = _client_call(f"{base}/v1/jobs/{args.job_id}", "DELETE")
+    if response is None:
+        return 1
+    return _print_response(*response)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -468,6 +676,9 @@ _COMMANDS = {
     "rebalance": _cmd_rebalance,
     "report": _cmd_report,
     "serve": _cmd_serve,
+    "datasets": _cmd_datasets,
+    "results": _cmd_results,
+    "cancel": _cmd_cancel,
     "bench": _cmd_bench,
 }
 

@@ -9,9 +9,10 @@ NULLs.
 from __future__ import annotations
 
 import csv
+from contextlib import nullcontext
 from datetime import datetime
 from pathlib import Path
-from typing import Iterable
+from typing import IO, ContextManager, Iterable
 
 from .records import LocationRecord, RentalRecord
 
@@ -37,10 +38,23 @@ def _cell(value: object) -> str:
     return str(value)
 
 
-def write_locations(path: str | Path, locations: Iterable[LocationRecord]) -> int:
+def _open_for_write(target: str | Path | IO[str]) -> ContextManager[IO[str]]:
+    """``target`` as a writable handle — paths opened, handles passed through.
+
+    Accepting an open text handle lets callers serialise to memory
+    (the dataset store sizes uploads before persisting anything).
+    """
+    if hasattr(target, "write"):
+        return nullcontext(target)  # caller owns the handle's lifetime
+    return open(target, "w", newline="")
+
+
+def write_locations(
+    path: str | Path | IO[str], locations: Iterable[LocationRecord]
+) -> int:
     """Write location records to ``path``; returns the row count."""
     count = 0
-    with open(path, "w", newline="") as handle:
+    with _open_for_write(path) as handle:
         writer = csv.writer(handle)
         writer.writerow(_LOCATION_FIELDS)
         for record in locations:
@@ -57,10 +71,12 @@ def write_locations(path: str | Path, locations: Iterable[LocationRecord]) -> in
     return count
 
 
-def write_rentals(path: str | Path, rentals: Iterable[RentalRecord]) -> int:
+def write_rentals(
+    path: str | Path | IO[str], rentals: Iterable[RentalRecord]
+) -> int:
     """Write rental records to ``path``; returns the row count."""
     count = 0
-    with open(path, "w", newline="") as handle:
+    with _open_for_write(path) as handle:
         writer = csv.writer(handle)
         writer.writerow(_RENTAL_FIELDS)
         for record in rentals:

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from datetime import datetime
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator, Mapping
 
 from .csvio import read_locations, read_rentals, write_locations, write_rentals
 from .records import LocationRecord, RentalRecord
@@ -109,6 +110,86 @@ class MobyDataset:
         directory.mkdir(parents=True, exist_ok=True)
         write_locations(directory / "locations.csv", self.locations())
         write_rentals(directory / "rentals.csv", self.rentals())
+
+    # ------------------------------------------------------------------
+    # JSON round trip (dataset uploads over HTTP)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe envelope with compact list rows (see :meth:`from_dict`).
+
+        Rows are positional lists in column order — half the bytes of
+        per-field objects, which matters because this is the body of a
+        ``PUT /v1/datasets/<name>`` upload.  Timestamps are ISO-8601
+        strings; ``None`` cells stay ``null``.
+        """
+        return {
+            "type": "MobyDataset",
+            "locations": [
+                [loc.location_id, loc.lat, loc.lon, loc.is_station, loc.name]
+                for loc in self.locations()
+            ],
+            "rentals": [
+                [
+                    rental.rental_id,
+                    rental.bike_id,
+                    rental.started_at.isoformat(),
+                    rental.ended_at.isoformat(),
+                    rental.rental_location_id,
+                    rental.return_location_id,
+                ]
+                for rental in self.rentals()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MobyDataset":
+        """Exact inverse of :meth:`to_dict`.
+
+        Raises :class:`ValueError`/:class:`TypeError` on malformed rows
+        so the HTTP layer can turn a bad upload into a ``400``.
+        """
+        if not isinstance(payload, Mapping):
+            raise TypeError("a dataset payload must be a JSON object")
+        if payload.get("type", "MobyDataset") != "MobyDataset":
+            raise ValueError(
+                f"expected a 'MobyDataset' envelope, got {payload['type']!r}"
+            )
+        locations = []
+        for row in payload.get("locations", []):
+            if not isinstance(row, (list, tuple)) or len(row) != 5:
+                raise ValueError(f"bad location row {row!r}; expected "
+                                 "[id, lat, lon, is_station, name]")
+            location_id, lat, lon, is_station, name = row
+            locations.append(
+                LocationRecord(
+                    location_id=int(location_id),
+                    lat=None if lat is None else float(lat),
+                    lon=None if lon is None else float(lon),
+                    is_station=bool(is_station),
+                    name=str(name),
+                )
+            )
+        rentals = []
+        for row in payload.get("rentals", []):
+            if not isinstance(row, (list, tuple)) or len(row) != 6:
+                raise ValueError(
+                    f"bad rental row {row!r}; expected [id, bike_id, "
+                    "started_at, ended_at, rental_location_id, "
+                    "return_location_id]"
+                )
+            rental_id, bike_id, started, ended, pickup, dropoff = row
+            rentals.append(
+                RentalRecord(
+                    rental_id=int(rental_id),
+                    bike_id=int(bike_id),
+                    started_at=datetime.fromisoformat(started),
+                    ended_at=datetime.fromisoformat(ended),
+                    rental_location_id=None if pickup is None else int(pickup),
+                    return_location_id=None if dropoff is None else int(dropoff),
+                )
+            )
+        return cls.from_records(locations, rentals)
 
     def add_location(self, record: LocationRecord) -> None:
         """Insert one location row."""

@@ -98,6 +98,15 @@ class PipelineError(ReproError):
     """A stage of the expansion pipeline was invoked out of order."""
 
 
+class PipelineCancelledError(PipelineError):
+    """A pipeline run observed its cancellation check at a stage boundary.
+
+    Raised *between* stages, never inside a stage body, so every value
+    already computed was stored atomically and the stage cache stays
+    consistent.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Service layer
 # ---------------------------------------------------------------------------
@@ -109,3 +118,11 @@ class ServiceError(ReproError):
 
 class JobFailedError(ServiceError):
     """A submitted job finished with an error; the message carries it."""
+
+
+class JobCancelledError(ServiceError):
+    """A submitted job was cancelled before it produced an envelope."""
+
+
+class DatasetTooLargeError(ServiceError):
+    """A dataset upload exceeds the store's size caps (HTTP 413)."""

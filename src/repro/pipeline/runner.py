@@ -36,7 +36,7 @@ from ..core.results import ExpansionResult
 from ..core.selection import select_stations
 from ..data import MobyDataset
 from ..data.cleaning import clean_dataset
-from ..exceptions import PipelineError
+from ..exceptions import PipelineCancelledError, PipelineError
 from ..perf.timer import NULL_TIMER, StageTimer
 from .cache import MISS, StageCache
 from .fingerprint import dataset_digest, fingerprint
@@ -174,6 +174,14 @@ class PipelineRunner:
         Optional :class:`~repro.perf.StageTimer`; every stage records a
         ``stage:<name>`` section (with a ``cached`` flag) and the run's
         report lands on :attr:`ExpansionResult.timings`.
+    cancel:
+        Optional zero-argument callable polled at every stage boundary
+        (before a stage body runs, and before new stages are scheduled
+        on a worker pool).  Returning ``True`` aborts the run with
+        :class:`~repro.exceptions.PipelineCancelledError`.  Stage
+        bodies are never interrupted mid-flight, so everything already
+        computed is cached consistently and a resubmitted run resumes
+        from those warm stages.
     """
 
     def __init__(
@@ -188,6 +196,7 @@ class PipelineRunner:
         executor: str = "thread",
         raw_digest: str | None = None,
         timer: "StageTimer | None" = None,
+        cancel: Callable[[], bool] | None = None,
     ) -> None:
         if jobs < 1:
             raise PipelineError("jobs must be at least 1")
@@ -212,6 +221,7 @@ class PipelineRunner:
         self.jobs = jobs
         self.executor = executor
         self.timer = timer
+        self.cancel = cancel
         self.executions: dict[str, int] = {}
         self._values: dict[str, Any] = {}
         self._keys: dict[str, str] = {}
@@ -257,10 +267,20 @@ class PipelineRunner:
     # Execution
     # ------------------------------------------------------------------
 
+    def check_cancel(self) -> None:
+        """Raise :class:`PipelineCancelledError` if cancellation was asked.
+
+        Called between stages only — never inside a body — so the stage
+        cache always holds complete values when the run unwinds.
+        """
+        if self.cancel is not None and self.cancel():
+            raise PipelineCancelledError("pipeline run cancelled")
+
     def stage(self, name: str) -> Any:
         """The value of stage ``name`` (memo -> cache -> execute)."""
         if name in self._values:
             return self._values[name]
+        self.check_cancel()
         stage = self.stages[name]
         inputs = [self.stage(dep) for dep in stage.inputs]
         key = self.key(name)
@@ -423,6 +443,10 @@ class PipelineRunner:
             ) as pool:
                 futures: dict[Any, str] = {}
                 while remaining or futures:
+                    # Workers cannot see the parent's cancel flag, so the
+                    # scheduling loop is the process executor's boundary:
+                    # in-flight stages drain, no new ones are submitted.
+                    self.check_cancel()
                     ready = [name for name, deps in remaining.items() if not deps]
                     for name in ready:
                         del remaining[name]
@@ -542,6 +566,7 @@ def run_sweep(
     cache_dir: str | Path | None = None,
     jobs: int = 1,
     executor: str = "thread",
+    cancel: Callable[[], bool] | None = None,
 ) -> list[ExpansionResult]:
     """Run the pipeline once per config, sharing every common stage.
 
@@ -555,6 +580,11 @@ def run_sweep(
     disk-backed ``cache`` is given, a temporary directory carries the
     sharing for the duration of the sweep (the caller's in-memory
     cache cannot be warmed across process boundaries).
+
+    ``cancel`` is threaded into every serial/thread-backed runner (the
+    per-stage boundary checks of :class:`PipelineRunner`); with the
+    process executor it is only polled before the fan-out starts —
+    worker processes cannot observe the parent's flag.
     """
     if executor not in _EXECUTOR_KINDS:
         raise PipelineError(
@@ -562,6 +592,8 @@ def run_sweep(
         )
     if not configs:
         return []
+    if cancel is not None and cancel():
+        raise PipelineCancelledError("sweep cancelled before it started")
     digest = dataset_digest(raw)
     if executor == "process" and jobs > 1:
         if cache_dir is None and cache is not None:
@@ -587,7 +619,7 @@ def run_sweep(
 
     def one(config: PipelineConfig) -> ExpansionResult:
         return PipelineRunner(
-            raw, config, cache=shared, raw_digest=digest
+            raw, config, cache=shared, raw_digest=digest, cancel=cancel
         ).run()
 
     if jobs == 1 or len(configs) <= 1:

@@ -2,8 +2,9 @@
 
 Every result type that can leave the process (see
 :mod:`repro.service`) round-trips through plain dicts built from JSON
-scalars, lists and string-keyed objects.  Two pieces of machinery live
-here so the result modules do not have to import the service layer:
+scalars, lists and string-keyed objects.  Three pieces of machinery
+live here so the result modules do not have to import the service
+layer:
 
 * a node-key codec — graph node keys are ints, strings or (nested)
   tuples such as ``("station", 17)`` and ``(station_id, slice)``;
@@ -11,7 +12,11 @@ here so the result modules do not have to import the service layer:
 * :func:`canonical_json` — the one serialisation used everywhere an
   envelope is stored, served or printed, so the Python API, the CLI's
   ``--format json`` and the HTTP front-end emit byte-identical bytes
-  for the same envelope.
+  for the same envelope;
+* section addressing (:func:`resolve_section`, :func:`paginate`) — the
+  streaming/pagination layer of ``GET /v1/results/<fp>`` slices stored
+  envelopes into deliverable pieces without ever re-shipping the
+  multi-MB whole.
 """
 
 from __future__ import annotations
@@ -21,7 +26,12 @@ from typing import Any
 
 #: Version stamp written into every envelope; bump on incompatible
 #: envelope shape changes so stale stored results are rejected loudly.
-ENVELOPE_VERSION = 1
+#: v2: sweep scenarios carry per-child ``fingerprint``/``result_url``.
+ENVELOPE_VERSION = 2
+
+#: Default/maximum items per page of a paginated envelope section.
+DEFAULT_PAGE_SIZE = 500
+MAX_PAGE_SIZE = 10_000
 
 
 def encode_node(node: Any) -> Any:
@@ -59,6 +69,78 @@ def canonical_json(payload: Any) -> str:
     return json.dumps(
         payload, sort_keys=True, indent=2, ensure_ascii=False
     )
+
+
+def resolve_section(envelope: Any, section: str) -> Any:
+    """The subtree of ``envelope`` addressed by a dotted ``section`` path.
+
+    Path components index dicts by key and lists by non-negative
+    integer, e.g. ``outputs.run.day.slice_partition.assignment`` or
+    ``outputs.sweep.scenarios.0``.  Raises :class:`KeyError` with a
+    readable message when a component does not resolve — the HTTP layer
+    maps that onto a 404.
+
+    >>> resolve_section({"a": {"b": [10, 20]}}, "a.b.1")
+    20
+    """
+    if not section:
+        raise KeyError("empty section path")
+    value = envelope
+    walked: list[str] = []
+    for part in section.split("."):
+        walked.append(part)
+        if isinstance(value, dict):
+            if part not in value:
+                raise KeyError(
+                    f"no section {'.'.join(walked)!r} in this envelope"
+                )
+            value = value[part]
+        elif isinstance(value, list):
+            if not part.isdigit() or int(part) >= len(value):
+                raise KeyError(
+                    f"no section {'.'.join(walked)!r}: list index out of "
+                    f"range (length {len(value)})"
+                )
+            value = value[int(part)]
+        else:
+            raise KeyError(
+                f"no section {'.'.join(walked)!r}: "
+                f"{type(value).__name__} is not traversable"
+            )
+    return value
+
+
+def paginate(
+    items: list, page: int, page_size: int = DEFAULT_PAGE_SIZE
+) -> dict[str, Any]:
+    """One 1-based ``page`` of ``items`` plus reassembly bookkeeping.
+
+    The returned document carries everything a client needs to fetch
+    the remaining pages and splice the section back together
+    byte-identically: concatenating ``items`` across pages 1..``pages``
+    reproduces the original list exactly.
+
+    >>> page = paginate(list(range(5)), page=2, page_size=2)
+    >>> (page["items"], page["pages"], page["total"])
+    ([2, 3], 3, 5)
+    """
+    if not isinstance(items, list):
+        raise ValueError(
+            f"only list sections can be paginated, not {type(items).__name__}"
+        )
+    if page_size < 1 or page_size > MAX_PAGE_SIZE:
+        raise ValueError(f"page_size must be in 1..{MAX_PAGE_SIZE}")
+    pages = max(1, -(-len(items) // page_size))
+    if page < 1 or page > pages:
+        raise ValueError(f"page must be in 1..{pages}")
+    start = (page - 1) * page_size
+    return {
+        "page": page,
+        "pages": pages,
+        "page_size": page_size,
+        "total": len(items),
+        "items": items[start : start + page_size],
+    }
 
 
 def check_envelope(payload: Any, expected_type: str) -> dict:

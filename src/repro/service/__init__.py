@@ -11,19 +11,27 @@ Three skins over one service layer:
       envelope = service.run(ScenarioSpec(dataset=DatasetRef.synthetic(7)))
       envelope["outputs"]["run"]["headline"]["table4_gbasic"]
 
-* **HTTP** — ``repro serve`` exposes the same service as
-  ``POST /v1/runs``, ``POST /v1/sweeps``, ``GET /v1/jobs/<id>``,
-  ``GET /v1/results/<fingerprint>`` and ``GET /v1/healthz``.
+* **HTTP** — ``repro serve`` exposes the same service over the routes
+  in :data:`repro.service.http.ROUTES`: scenario submission
+  (``POST /v1/runs``, ``POST /v1/sweeps``), job status and
+  cancellation (``GET``/``DELETE /v1/jobs/<id>``), named dataset
+  management (``PUT``/``GET``/``DELETE /v1/datasets/<name>``), and
+  result retrieval — whole, ``?fields=headline``, paginated
+  ``?section=...&page=N``, or NDJSON slice streaming
+  (``/v1/results/<fp>/slices``).  See ``docs/API.md``.
 * **CLI** — ``repro run/sweep/rebalance/report`` are thin clients that
-  render the same envelopes (``--format json`` prints them verbatim).
+  render the same envelopes (``--format json`` prints them verbatim);
+  ``repro datasets/results/cancel`` speak to a running server.
 
 Identical concurrent requests are deduplicated by spec fingerprint;
-completed envelopes persist in a :class:`ResultsStore`; all pipeline
-work shares one :class:`~repro.pipeline.cache.StageCache`.
+completed envelopes persist in a :class:`ResultsStore`; uploaded
+datasets live in a content-digested :class:`DatasetStore`; all
+pipeline work shares one :class:`~repro.pipeline.cache.StageCache`.
 """
 
-from .http import ServiceHTTPServer, make_server
-from .jobs import DONE, FAILED, PENDING, RUNNING, Job
+from .datasets import DatasetStore
+from .http import ROUTES, ServiceHTTPServer, make_server
+from .jobs import CANCELLED, DONE, FAILED, PENDING, RUNNING, Job
 from .service import ExpansionService, canonical_envelope
 from .spec import (
     ALL_OUTPUTS,
@@ -38,8 +46,10 @@ from .store import ResultsStore
 
 __all__ = [
     "ALL_OUTPUTS",
+    "CANCELLED",
     "DONE",
     "DatasetRef",
+    "DatasetStore",
     "ExpansionService",
     "FAILED",
     "Job",
@@ -48,6 +58,7 @@ __all__ = [
     "OUTPUT_RUN",
     "OUTPUT_SWEEP",
     "PENDING",
+    "ROUTES",
     "RUNNING",
     "ResultsStore",
     "ScenarioSpec",

@@ -1,41 +1,81 @@
 """The stdlib HTTP front-end over :class:`ExpansionService`.
 
 ``repro serve`` binds a :class:`ThreadingHTTPServer` (one thread per
-connection, no third-party dependencies) whose handler translates five
-routes onto the service:
+connection, no third-party dependencies) whose handler translates the
+routes in :data:`ROUTES` onto the service.  The full request/response
+reference with curl examples lives in ``docs/API.md``; a test diffs
+that document against :data:`ROUTES` so the two cannot drift.
 
-* ``POST /v1/runs`` — submit a run scenario.  With ``"wait": true``
-  (the default) the response is the result envelope itself, in
-  canonical JSON — byte-identical to what the CLI's ``--format json``
-  prints and ``GET /v1/results/<fp>`` serves.  With ``"wait": false``
-  the response is ``202 Accepted`` with the job document.
-* ``POST /v1/sweeps`` — same, for sweep scenarios (``sweep_axes``).
-* ``GET /v1/jobs/<id>`` — job status document.
-* ``GET /v1/results/<fingerprint>`` — a stored envelope's bytes.
-* ``GET /v1/healthz`` — service counters (executions, cache, jobs).
+Scenario submission bodies are :class:`ScenarioSpec` dicts; the
+``type`` tag and the ``outputs`` list may be omitted (each endpoint
+fills in its default), so ``{"dataset": {"kind": "synthetic",
+"seed": 7}}`` is a complete request.
 
-Bodies are :class:`ScenarioSpec` dicts; the ``type`` tag and the
-``outputs`` list may be omitted (each endpoint fills in its default),
-so ``{"dataset": {"kind": "synthetic", "seed": 7}}`` is a complete
-request.
+Result delivery scales down from "the whole envelope" — multi-MB at
+paper scale — through three progressively narrower views:
+
+* ``?fields=headline``: a ~1.5 KB summary (identity + headline blocks);
+* ``?section=<dotted.path>[&page=N&page_size=M]``: one addressed
+  subtree, list sections paginated so a client reassembles exactly the
+  bytes of the stored envelope without one oversized response;
+* ``/v1/results/<fp>/slices``: the per-slice community assignment as
+  NDJSON, written chunk by chunk — the serialised whole never exists
+  on either side of the socket.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import Any, Iterable, Iterator
 from urllib.parse import parse_qs
 
-from ..exceptions import JobFailedError, ReproError
-from ..serialize import canonical_json
+from ..data import MobyDataset
+from ..exceptions import (
+    DatasetTooLargeError,
+    JobCancelledError,
+    JobFailedError,
+    ReproError,
+)
+from ..serialize import (
+    DEFAULT_PAGE_SIZE,
+    canonical_json,
+    paginate,
+    resolve_section,
+)
 from .jobs import Job
 from .spec import OUTPUT_RUN, OUTPUT_SWEEP, ScenarioSpec
 from .service import ExpansionService
 
-#: Cap request bodies well above any realistic spec.
+#: Cap scenario request bodies well above any realistic spec.
 MAX_BODY_BYTES = 1 << 20
+
+#: Cap dataset upload bodies; the JSON row form of the paper-scale
+#: dataset is ~10 MB, so this leaves an order of magnitude of headroom
+#: while still bounding per-request memory.
+MAX_DATASET_BODY_BYTES = 128 << 20
+
+#: Every route the front-end serves, as ``(method, path template)``.
+#: This is the registry ``docs/API.md`` is diffed against — add the
+#: handler and the documentation together.
+ROUTES: tuple[tuple[str, str], ...] = (
+    ("GET", "/v1/healthz"),
+    ("POST", "/v1/runs"),
+    ("POST", "/v1/sweeps"),
+    ("GET", "/v1/jobs/<id>"),
+    ("DELETE", "/v1/jobs/<id>"),
+    ("GET", "/v1/results/<fingerprint>"),
+    ("GET", "/v1/results/<fingerprint>/slices"),
+    ("GET", "/v1/datasets"),
+    ("GET", "/v1/datasets/<name>"),
+    ("PUT", "/v1/datasets/<name>"),
+    ("DELETE", "/v1/datasets/<name>"),
+)
+
+#: The temporal blocks ``/slices`` can stream, in envelope order.
+_SLICE_BLOCKS = ("day", "hour")
 
 
 def _headline_view(envelope: dict) -> dict:
@@ -44,8 +84,7 @@ def _headline_view(envelope: dict) -> dict:
     Keeps the request/identity metadata and each output's headline-size
     content; the multi-MB blocks (the expanded network, the
     ``slice_partition`` of every temporal structure, the hierarchy
-    levels) are dropped.  First step of the ROADMAP's envelope
-    streaming/pagination item.
+    levels) are dropped.
     """
     slim: dict[str, Any] = {
         key: envelope[key]
@@ -70,6 +109,8 @@ def _headline_view(envelope: dict) -> dict:
                     {
                         "label": scenario.get("label"),
                         "overrides": scenario.get("overrides"),
+                        "fingerprint": scenario.get("fingerprint"),
+                        "result_url": scenario.get("result_url"),
                         "headline": scenario.get("headline"),
                     }
                     for scenario in payload.get("scenarios", [])
@@ -83,6 +124,55 @@ def _headline_view(envelope: dict) -> dict:
             outputs[name] = payload
     slim["outputs"] = outputs
     return slim
+
+
+def _slice_stream_lines(
+    envelope: dict, fingerprint: str, output: str, block: str
+) -> Iterator[str]:
+    """NDJSON lines for one temporal block's per-slice assignment.
+
+    The first line is a header (stream identity plus slice/entry
+    counts); each following line carries one slice's share of the
+    ``slice_partition`` assignment, pairs in their stored order.
+    Concatenating every line's ``assignment`` and sorting by the JSON
+    encoding of the node key reproduces the envelope's assignment list
+    exactly (that is the canonical order it was stored in).
+    """
+    outputs = envelope.get("outputs", {})
+    if output not in outputs:
+        raise KeyError(f"envelope has no {output!r} output")
+    if block not in _SLICE_BLOCKS:
+        raise KeyError(
+            f"unknown temporal block {block!r}; expected one of "
+            f"{_SLICE_BLOCKS}"
+        )
+    temporal = outputs[output].get(block)
+    if not isinstance(temporal, dict) or "slice_partition" not in temporal:
+        raise KeyError(
+            f"output {output!r} carries no {block!r} slice partition "
+            "(headline-only or non-run output?)"
+        )
+    pairs = temporal["slice_partition"]["assignment"]
+    by_slice: dict[int, list] = {}
+    for pair in pairs:
+        # Node keys are encoded (station, slice) tuples — slice last.
+        by_slice.setdefault(pair[0][-1], []).append(pair)
+    compact = {"sort_keys": True, "separators": (",", ":")}
+    yield json.dumps(
+        {
+            "type": "SliceStream",
+            "fingerprint": fingerprint,
+            "output": output,
+            "block": block,
+            "n_slices": temporal.get("n_slices", len(by_slice)),
+            "total_entries": len(pairs),
+        },
+        **compact,
+    ) + "\n"
+    for index in sorted(by_slice):
+        yield json.dumps(
+            {"slice": index, "assignment": by_slice[index]}, **compact
+        ) + "\n"
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -144,10 +234,21 @@ class _Handler(BaseHTTPRequestHandler):
         path = path.rstrip("/")
         if path == "/v1/healthz":
             self._send_json(200, self.service.stats())
+        elif path == "/v1/datasets":
+            self._send_json(
+                200,
+                {"type": "DatasetList", "datasets": self.service.datasets.list()},
+            )
+        elif path.startswith("/v1/datasets/"):
+            self._get_dataset(path.removeprefix("/v1/datasets/"))
         elif path.startswith("/v1/jobs/"):
             self._get_job(path.removeprefix("/v1/jobs/"))
         elif path.startswith("/v1/results/"):
-            self._get_result(path.removeprefix("/v1/results/"), query)
+            rest = path.removeprefix("/v1/results/")
+            if rest.endswith("/slices"):
+                self._stream_slices(rest.removesuffix("/slices"), query)
+            else:
+                self._get_result(rest, query)
         else:
             self._send_error(404, f"no such resource: {path}")
 
@@ -160,8 +261,24 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_error(404, f"no such resource: {path}")
 
+    def do_PUT(self) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path.startswith("/v1/datasets/"):
+            self._put_dataset(path.removeprefix("/v1/datasets/"))
+        else:
+            self._send_error(404, f"no such resource: {path}")
+
+    def do_DELETE(self) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path.startswith("/v1/jobs/"):
+            self._cancel_job(path.removeprefix("/v1/jobs/"))
+        elif path.startswith("/v1/datasets/"):
+            self._delete_dataset(path.removeprefix("/v1/datasets/"))
+        else:
+            self._send_error(404, f"no such resource: {path}")
+
     # ------------------------------------------------------------------
-    # Handlers
+    # Scenario submission
     # ------------------------------------------------------------------
 
     def _submit(self, default_outputs: tuple[str, ...]) -> None:
@@ -189,12 +306,20 @@ class _Handler(BaseHTTPRequestHandler):
         except JobFailedError as error:
             self._send_error(500, str(error))
             return
+        except JobCancelledError:
+            # Another client cancelled the job this request had joined.
+            self._send_json(409, job.to_dict(), note="job was cancelled")
+            return
         except ReproError as error:  # timeout
             self._send_json(202, job.to_dict(), note=str(error))
             return
         # Serve the stored canonical bytes; envelopes are multi-MB, so
         # re-serialising per request would dominate warm latency.
         self._send_text(200, job.canonical or canonical_json(envelope))
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
 
     def _get_job(self, job_id: str) -> None:
         job: Job | None = self.service.job(job_id)
@@ -203,48 +328,163 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_json(200, job.to_dict())
 
+    def _cancel_job(self, job_id: str) -> None:
+        job = self.service.cancel(job_id)
+        if job is None:
+            self._send_error(404, f"no such job: {job_id}")
+        elif job.finished and job.status != "cancelled":
+            # The job won the race — its result stands.
+            self._send_json(200, job.to_dict(), note="job already finished")
+        else:
+            self._send_json(202, job.to_dict())
+
+    # ------------------------------------------------------------------
+    # Results: whole, headline, paginated section, NDJSON slices
+    # ------------------------------------------------------------------
+
     def _get_result(self, fingerprint: str, query: str = "") -> None:
+        params = parse_qs(query)
         try:
-            fields = self._fields_param(query)
-        except ValueError as error:
-            self._send_error(400, str(error))
-            return
-        try:
+            fields = self._single_param(params, "fields")
+            section = self._single_param(params, "section")
+            if fields is not None and fields != "headline":
+                raise ValueError(
+                    f"unsupported fields selection {fields!r}; "
+                    "only fields=headline is available"
+                )
+            if fields is not None and section is not None:
+                raise ValueError("fields and section are mutually exclusive")
             text = self.service.results.raw(fingerprint)
         except ValueError as error:
             self._send_error(400, str(error))
             return
         if text is None:
             self._send_error(404, f"no result stored for {fingerprint}")
-        elif fields == "headline":
-            self._send_text(200, canonical_json(_headline_view(json.loads(text))))
+            return
+        if fields == "headline":
+            self._send_text(
+                200, canonical_json(_headline_view(json.loads(text)))
+            )
+        elif section is not None:
+            self._get_section(fingerprint, json.loads(text), section, params)
         else:
             self._send_text(200, text)
 
-    @staticmethod
-    def _fields_param(query: str) -> str | None:
-        """The validated ``fields`` query parameter, or None."""
-        values = parse_qs(query).get("fields")
-        if not values:
-            return None
-        if values != ["headline"]:
-            raise ValueError(
-                f"unsupported fields selection {values!r}; "
-                "only fields=headline is available"
+    def _get_section(
+        self, fingerprint: str, envelope: dict, section: str, params: dict
+    ) -> None:
+        try:
+            value = resolve_section(envelope, section)
+        except KeyError as error:
+            self._send_error(404, str(error.args[0]))
+            return
+        document: dict[str, Any] = {
+            "type": "ResultSection",
+            "fingerprint": fingerprint,
+            "section": section,
+        }
+        try:
+            page = self._single_param(params, "page")
+            page_size = self._single_param(params, "page_size")
+            if page is not None:
+                document.update(
+                    paginate(
+                        value,
+                        page=int(page),
+                        page_size=(
+                            int(page_size)
+                            if page_size is not None
+                            else DEFAULT_PAGE_SIZE
+                        ),
+                    )
+                )
+            elif page_size is not None:
+                raise ValueError("page_size without page")
+            else:
+                document["value"] = value
+        except ValueError as error:
+            self._send_error(400, str(error))
+            return
+        self._send_text(200, canonical_json(document))
+
+    def _stream_slices(self, fingerprint: str, query: str) -> None:
+        params = parse_qs(query)
+        try:
+            output = self._single_param(params, "output") or "run"
+            block = self._single_param(params, "block") or "day"
+            text = self.service.results.raw(fingerprint)
+        except ValueError as error:
+            self._send_error(400, str(error))
+            return
+        if text is None:
+            self._send_error(404, f"no result stored for {fingerprint}")
+            return
+        try:
+            lines = _slice_stream_lines(
+                json.loads(text), fingerprint, output, block
             )
-        return "headline"
+            first = next(lines)  # resolve errors before any bytes go out
+        except KeyError as error:
+            self._send_error(404, str(error.args[0]))
+            return
+        self._send_chunked([first], lines)
+
+    # ------------------------------------------------------------------
+    # Datasets
+    # ------------------------------------------------------------------
+
+    def _get_dataset(self, name: str) -> None:
+        meta = self.service.datasets.meta(name)
+        if meta is None:
+            self._send_error(404, f"no dataset named {name!r}")
+        else:
+            self._send_json(200, meta)
+
+    def _put_dataset(self, name: str) -> None:
+        try:
+            body = self._read_body(limit=MAX_DATASET_BODY_BYTES)
+            dataset = MobyDataset.from_dict(body)
+        except (ReproError, ValueError, TypeError, KeyError) as error:
+            self._send_error(400, str(error))
+            return
+        try:
+            overwrote = name in self.service.datasets
+            meta = self.service.register_dataset(name, dataset)
+        except DatasetTooLargeError as error:
+            self._send_error(413, str(error))
+            return
+        except ReproError as error:
+            self._send_error(400, str(error))
+            return
+        self._send_json(200 if overwrote else 201, meta)
+
+    def _delete_dataset(self, name: str) -> None:
+        if self.service.delete_dataset(name):
+            self._send_json(200, {"deleted": name})
+        else:
+            self._send_error(404, f"no dataset named {name!r}")
 
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
 
-    def _read_body(self) -> dict:
+    @staticmethod
+    def _single_param(params: dict, name: str) -> str | None:
+        """The at-most-once query parameter ``name``, or None."""
+        values = params.get(name)
+        if not values:
+            return None
+        if len(values) > 1:
+            raise ValueError(f"query parameter {name!r} given twice")
+        return values[0]
+
+    def _read_body(self, limit: int = MAX_BODY_BYTES) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
-        if length > MAX_BODY_BYTES:
+        if length > limit:
             # The body stays unread; drop the connection after the 400
             # so keep-alive does not parse those bytes as a request.
             self.close_connection = True
-            raise ValueError(f"request body over {MAX_BODY_BYTES} bytes")
+            raise ValueError(f"request body over {limit} bytes")
         raw = self.rfile.read(length) if length else b"{}"
         payload = json.loads(raw.decode("utf-8") or "{}")
         if not isinstance(payload, dict):
@@ -260,6 +500,28 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
+
+    def _send_chunked(
+        self,
+        head: Iterable[str],
+        rest: Iterator[str],
+        content_type: str = "application/x-ndjson",
+    ) -> None:
+        """Stream ``head`` then ``rest`` with chunked transfer encoding.
+
+        One chunk per NDJSON line: the full response body never exists
+        as a single string, which is the point of the streaming route.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        for line in itertools.chain(head, rest):
+            data = line.encode("utf-8")
+            self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+            self.wfile.write(data)
+            self.wfile.write(b"\r\n")
+        self.wfile.write(b"0\r\n\r\n")
 
     def _send_json(self, status: int, payload: dict, note: str | None = None) -> None:
         if note is not None:

@@ -15,7 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..exceptions import JobFailedError, ServiceError
+from ..exceptions import JobCancelledError, JobFailedError, ServiceError
 from .spec import ScenarioSpec
 
 #: Job lifecycle states.
@@ -23,6 +23,7 @@ PENDING = "pending"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
+CANCELLED = "cancelled"
 
 
 @dataclass
@@ -51,24 +52,48 @@ class Job:
     #: while the job's pipeline ran.  Job metadata only — never part of
     #: the result envelope, which stays byte-identical across surfaces.
     timings: dict | None = field(default=None, repr=False, compare=False)
+    #: Set by :meth:`request_cancel`; the pipeline polls it at stage
+    #: boundaries (cancellation is cooperative — a running stage body
+    #: always finishes, so the stage cache never holds a torn value).
+    cancel_event: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Lifecycle (driven by the service)
     # ------------------------------------------------------------------
 
     def mark_running(self) -> None:
+        """Transition pending -> running (the worker picked the job up)."""
         self.status = RUNNING
         self.started_at = time.time()
 
     def complete(self, envelope: dict) -> None:
+        """Terminal success: record the envelope and release waiters."""
         self._envelope = envelope
         self.status = DONE
         self.finished_at = time.time()
         self._event.set()
 
     def fail(self, error: str) -> None:
+        """Terminal failure: record the message and release waiters."""
         self.error = error
         self.status = FAILED
+        self.finished_at = time.time()
+        self._event.set()
+
+    def request_cancel(self) -> None:
+        """Flag the job for cooperative cancellation.
+
+        A no-op once the job is terminal — cancelling a finished job
+        never un-finishes it (the race a client loses gracefully).
+        """
+        if not self.finished:
+            self.cancel_event.set()
+
+    def mark_cancelled(self) -> None:
+        """Terminal cancellation: no envelope; waiters get the error."""
+        self.status = CANCELLED
         self.finished_at = time.time()
         self._event.set()
 
@@ -78,13 +103,19 @@ class Job:
 
     @property
     def finished(self) -> bool:
-        """True once the job is done or failed."""
-        return self.status in (DONE, FAILED)
+        """True once the job is done, failed or cancelled."""
+        return self.status in (DONE, FAILED, CANCELLED)
+
+    @property
+    def cancel_requested(self) -> bool:
+        """True while a cancel is pending but the job is not terminal."""
+        return self.cancel_event.is_set() and not self.finished
 
     def wait(self, timeout: float | None = None) -> dict:
         """Block until the job finishes and return its envelope.
 
-        Raises :class:`JobFailedError` if the job failed and
+        Raises :class:`JobFailedError` if the job failed,
+        :class:`JobCancelledError` if it was cancelled, and
         :class:`ServiceError` on timeout.
         """
         if not self._event.wait(timeout):
@@ -95,6 +126,8 @@ class Job:
             raise JobFailedError(
                 f"job {self.job_id} failed: {self.error}"
             )
+        if self.status == CANCELLED:
+            raise JobCancelledError(f"job {self.job_id} was cancelled")
         assert self._envelope is not None
         return self._envelope
 
@@ -114,6 +147,7 @@ class Job:
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "cancel_requested": self.cancel_requested,
         }
         if self.error is not None:
             payload["error"] = self.error

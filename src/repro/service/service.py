@@ -37,7 +37,7 @@ DATASET_CACHE_SLOTS = 8
 
 from ..analysis.rebalancing import plan_weekend_rebalancing
 from ..data import MobyDataset
-from ..exceptions import ServiceError
+from ..exceptions import PipelineCancelledError, ServiceError
 from ..perf import StageTimer
 from ..pipeline.cache import StageCache
 from ..pipeline.fingerprint import dataset_digest
@@ -46,6 +46,7 @@ from ..reporting import sweep_summary
 from ..reporting.markdown import render_markdown_report
 from ..serialize import ENVELOPE_VERSION, canonical_json
 from ..synth import SyntheticMobyGenerator
+from .datasets import DEFAULT_MAX_DATASET_BYTES, DatasetStore
 from .jobs import Job
 from .spec import (
     OUTPUT_REBALANCE,
@@ -81,9 +82,13 @@ class ExpansionService:
     sweep_executor:
         ``"thread"`` or ``"process"`` — backend for sweep fan-out.
     retain_jobs:
-        Keep at most this many *terminal* (done/failed) jobs in the
-        job table, pruned oldest-first; in-flight jobs never count
-        against the limit.  ``None`` disables pruning.
+        Keep at most this many *terminal* (done/failed/cancelled) jobs
+        in the job table, pruned oldest-first; in-flight jobs never
+        count against the limit.  ``None`` disables pruning.
+    datasets:
+        A :class:`DatasetStore` for ``named`` dataset refs; built from
+        ``datasets_dir`` and the ``dataset*`` caps when omitted
+        (memory-only without a directory).
     """
 
     def __init__(
@@ -99,6 +104,11 @@ class ExpansionService:
         pipeline_executor: str = "thread",
         sweep_executor: str = "thread",
         retain_jobs: int | None = 1024,
+        datasets: DatasetStore | None = None,
+        datasets_dir: str | Path | None = None,
+        max_dataset_bytes: int | None = DEFAULT_MAX_DATASET_BYTES,
+        max_datasets_bytes: int | None = None,
+        max_datasets: int | None = None,
     ) -> None:
         if max_workers < 1:
             raise ServiceError("max_workers must be at least 1")
@@ -113,6 +123,12 @@ class ExpansionService:
             cache_dir, max_bytes=cache_bytes, max_entries=cache_entries
         )
         self.results = ResultsStore(results_dir)
+        self.datasets = datasets if datasets is not None else DatasetStore(
+            datasets_dir,
+            max_dataset_bytes=max_dataset_bytes,
+            max_total_bytes=max_datasets_bytes,
+            max_datasets=max_datasets,
+        )
         self.pipeline_jobs = pipeline_jobs
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-service"
@@ -120,7 +136,6 @@ class ExpansionService:
         self._mutex = threading.Lock()
         self._jobs: dict[str, Job] = {}
         self._inflight: dict[str, Job] = {}
-        self._named_datasets: dict[str, MobyDataset] = {}
         self._datasets: OrderedDict[tuple, tuple[MobyDataset, str]] = (
             OrderedDict()
         )
@@ -136,19 +151,29 @@ class ExpansionService:
     # Datasets
     # ------------------------------------------------------------------
 
-    def register_dataset(self, name: str, dataset: MobyDataset) -> None:
-        """Expose an in-process dataset to ``named`` refs."""
-        with self._mutex:
-            self._named_datasets[name] = dataset
-            self._datasets.pop(("named", name), None)
+    def register_dataset(self, name: str, dataset: MobyDataset) -> dict:
+        """Store ``dataset`` under ``name`` for ``named`` refs.
+
+        The metadata document returned is what ``PUT /v1/datasets/<name>``
+        responds with (name, content digest, row counts, bytes).
+        Overwrites replace content and digest; scenarios already
+        resolved against the old content keep their results — the spec
+        fingerprint tracks the digest, not the name.
+        """
+        return self.datasets.put(name, dataset)
+
+    def delete_dataset(self, name: str) -> bool:
+        """Drop a named dataset; returns whether it existed."""
+        return self.datasets.delete(name)
 
     def _resolve_dataset(self, spec: ScenarioSpec) -> tuple[MobyDataset, str]:
         """(raw dataset, content digest) for a spec's dataset ref.
 
         Resolutions are memoised in a small LRU; csv entries are keyed
-        by the files' identity (mtime/size), so editing a dataset on
-        disk invalidates the cached digest instead of serving stale
-        results until restart.
+        by the files' identity (mtime/size) and named entries by the
+        store's content digest, so editing a dataset on disk or
+        overwriting a name invalidates the memo instead of serving
+        stale results until restart.
         """
         ref = spec.dataset
         if ref.kind == "synthetic":
@@ -164,7 +189,14 @@ class ExpansionService:
                     stamp.append((name, None, None))
             key = ("csv", str(root), tuple(stamp))
         else:
-            key = ("named", ref.name)
+            # The digest is only the memo key here; the pair actually
+            # handed out below is taken atomically from the store, so a
+            # racing overwrite costs at most a memo miss — never a
+            # digest paired with the wrong rows.
+            named_digest = self.datasets.digest(ref.name)
+            if named_digest is None:
+                raise ServiceError(f"no dataset registered as {ref.name!r}")
+            key = ("named", ref.name, named_digest)
         with self._mutex:
             cached = self._datasets.get(key)
             if cached is not None:
@@ -172,6 +204,7 @@ class ExpansionService:
                 return cached
         if ref.kind == "synthetic":
             raw = SyntheticMobyGenerator(seed=ref.seed).generate()
+            resolved = (raw, dataset_digest(raw))
         elif ref.kind == "csv":
             try:
                 raw = MobyDataset.from_csv(ref.path)
@@ -179,12 +212,16 @@ class ExpansionService:
                 raise ServiceError(
                     f"cannot load csv dataset from {ref.path!r}: {error}"
                 ) from error
+            resolved = (raw, dataset_digest(raw))
         else:
-            with self._mutex:
-                raw = self._named_datasets.get(ref.name)
-            if raw is None:
+            # Atomic (rows, digest) — the store digested the rows at
+            # put time under the same lock, so this never recomputes
+            # and never mixes versions.  Re-key the memo on the digest
+            # the pair actually carries.
+            resolved = self.datasets.get_with_digest(ref.name)
+            if resolved is None:
                 raise ServiceError(f"no dataset registered as {ref.name!r}")
-        resolved = (raw, dataset_digest(raw))
+            key = ("named", ref.name, resolved[1])
         with self._mutex:
             self._datasets[key] = resolved
             self._datasets.move_to_end(key)
@@ -252,6 +289,23 @@ class ExpansionService:
         with self._mutex:
             return self._jobs.get(job_id)
 
+    def cancel(self, job_id: str) -> Job | None:
+        """Request cooperative cancellation of a job.
+
+        Returns the job (``None`` if unknown).  A queued job is
+        cancelled before it starts; a running one stops at its next
+        stage boundary, so every stage value already computed stays
+        cached and consistent.  A job that finishes first simply stays
+        ``done`` — losing the race never discards a result.  Note the
+        cancel applies to the *job*, which deduplicated submissions may
+        share: every waiter of a cancelled job sees
+        :class:`~repro.exceptions.JobCancelledError`.
+        """
+        job = self.job(job_id)
+        if job is not None:
+            job.request_cancel()
+        return job
+
     def stats(self) -> dict[str, Any]:
         """Service counters (the ``/v1/healthz`` document)."""
         with self._mutex:
@@ -265,6 +319,11 @@ class ExpansionService:
             "in_flight": n_inflight,
             "pipeline_executions": self.pipeline_executions,
             "results_stored": len(self.results),
+            "datasets": {
+                "stored": len(self.datasets),
+                "bytes": self.datasets.total_bytes(),
+                "evictions": self.datasets.evictions,
+            },
             "cache": {
                 "hits": self.cache.hits,
                 "misses": self.cache.misses,
@@ -289,16 +348,29 @@ class ExpansionService:
 
     def _execute(self, job: Job, raw: MobyDataset, digest: str) -> None:
         try:
+            if job.cancel_event.is_set():
+                # Cancelled while queued: never starts, reports cancelled
+                # (a stored result is deliberately NOT served — the
+                # client asked this job to stop, not for its answer).
+                job.mark_cancelled()
+                return
             stored_text = self.results.raw(job.fingerprint)
             if stored_text is not None:
-                job.canonical = stored_text
-                job.complete(json.loads(stored_text))
-                return
+                stored = self._current_envelope(stored_text)
+                if stored is not None:
+                    job.canonical = stored_text
+                    job.complete(stored)
+                    return
+                # Garbled or written by an older envelope schema (e.g.
+                # v1 sweeps without child fingerprints): recompute and
+                # overwrite, instead of silently serving a stale shape.
             job.mark_running()
             with self._mutex:
                 self.pipeline_executions += 1
             timer = StageTimer()
-            envelope = self._build_envelope(job.spec, raw, digest, timer)
+            envelope = self._build_envelope(
+                job.spec, raw, digest, timer, cancel=job.cancel_event.is_set
+            )
             envelope["fingerprint"] = job.fingerprint
             # Timings are job metadata (they vary run to run), not part
             # of the canonical envelope — envelopes stay byte-identical
@@ -306,11 +378,34 @@ class ExpansionService:
             job.timings = timer.report().to_dict()
             job.canonical = self.results.put(job.fingerprint, envelope)
             job.complete(envelope)
+        except PipelineCancelledError:
+            job.mark_cancelled()
         except Exception as error:
             job.fail(f"{type(error).__name__}: {error}")
         finally:
             with self._mutex:
                 self._inflight.pop(job.fingerprint, None)
+
+    @staticmethod
+    def _current_envelope(stored_text: str) -> dict | None:
+        """Parse a stored envelope; ``None`` unless it is current-schema.
+
+        The envelope version is what makes the results store safe to
+        persist across upgrades: a stale-shape envelope (or a truncated
+        file) reads as a miss for *new submissions*, which recompute
+        and overwrite it.  Direct ``GET /v1/results/<fp>`` still serves
+        whatever bytes are stored — fetching by explicit fingerprint
+        means "give me exactly that stored result".
+        """
+        try:
+            stored = json.loads(stored_text)
+        except ValueError:
+            return None
+        if not isinstance(stored, dict):
+            return None
+        if stored.get("envelope_version") != ENVELOPE_VERSION:
+            return None
+        return stored
 
     def _build_envelope(
         self,
@@ -318,6 +413,7 @@ class ExpansionService:
         raw: MobyDataset,
         digest: str,
         timer: "StageTimer | None" = None,
+        cancel: "Any | None" = None,
     ) -> dict[str, Any]:
         """Compute every requested output into one envelope dict."""
         config = spec.config()
@@ -332,6 +428,7 @@ class ExpansionService:
                 executor=self.pipeline_executor,
                 raw_digest=digest,
                 timer=timer,
+                cancel=cancel,
             )
             result = runner.run()
         if OUTPUT_RUN in spec.outputs:
@@ -341,7 +438,9 @@ class ExpansionService:
             run_output.pop("timings", None)
             outputs[OUTPUT_RUN] = run_output
         if OUTPUT_SWEEP in spec.outputs:
-            outputs[OUTPUT_SWEEP] = self._sweep_output(spec, raw, digest)
+            outputs[OUTPUT_SWEEP] = self._sweep_output(
+                spec, raw, digest, cancel=cancel
+            )
         if OUTPUT_REBALANCE in spec.outputs:
             plan = plan_weekend_rebalancing(
                 result.network,
@@ -368,8 +467,22 @@ class ExpansionService:
         }
 
     def _sweep_output(
-        self, spec: ScenarioSpec, raw: MobyDataset, digest: str
+        self,
+        spec: ScenarioSpec,
+        raw: MobyDataset,
+        digest: str,
+        cancel: "Any | None" = None,
     ) -> dict[str, Any]:
+        """The sweep block, with every child individually addressable.
+
+        Each grid point is also persisted in the results store as a
+        complete single-run envelope under the fingerprint of the
+        equivalent run spec (base overrides merged with the grid
+        point's).  The sweep block lists those fingerprints, so clients
+        can fetch one child's full envelope — paginated or streamed —
+        without re-downloading the sweep; and a later ``POST /v1/runs``
+        for that exact scenario is served from the store, no compute.
+        """
         grid = spec.sweep_grid()
         results = run_sweep(
             raw,
@@ -377,24 +490,48 @@ class ExpansionService:
             cache=self.cache,
             jobs=self.pipeline_jobs,
             executor=self.sweep_executor,
+            cancel=cancel,
         )
         labels = [
             ", ".join(f"{path}={value}" for path, value in overrides.items())
             or "paper defaults"
             for overrides, _ in grid
         ]
+        scenarios = []
+        for label, (overrides, _), result in zip(labels, grid, results):
+            child_spec = ScenarioSpec(
+                dataset=spec.dataset,
+                overrides={**dict(spec.overrides), **overrides},
+                outputs=(OUTPUT_RUN,),
+            )
+            child_fingerprint = child_spec.fingerprint(digest)
+            child_run = result.to_dict()
+            child_run.pop("timings", None)
+            self.results.put(
+                child_fingerprint,
+                {
+                    "type": "ResultEnvelope",
+                    "envelope_version": ENVELOPE_VERSION,
+                    "fingerprint": child_fingerprint,
+                    "spec": child_spec.to_dict(),
+                    "dataset_digest": digest,
+                    "outputs": {OUTPUT_RUN: child_run},
+                },
+            )
+            scenarios.append(
+                {
+                    "label": label,
+                    "overrides": overrides,
+                    "fingerprint": child_fingerprint,
+                    "result_url": f"/v1/results/{child_fingerprint}",
+                    "headline": result.headline(),
+                }
+            )
         return {
             "axes": {
                 path: list(values) for path, values in sorted(spec.sweep_axes)
             },
-            "scenarios": [
-                {
-                    "label": label,
-                    "overrides": overrides,
-                    "headline": result.headline(),
-                }
-                for label, (overrides, _), result in zip(labels, grid, results)
-            ],
+            "scenarios": scenarios,
             "table": sweep_summary(
                 list(zip(labels, results)),
                 title=f"SCENARIO SWEEP ({len(results)} configs)",

@@ -1,0 +1,78 @@
+"""Documentation stays true: route diff and markdown link integrity.
+
+Two invariants:
+
+* ``docs/API.md`` documents **exactly** the routes the HTTP front-end
+  registers (``repro.service.http.ROUTES``) — adding an endpoint
+  without documenting it, or documenting a removed one, fails here;
+* every relative link in the repository's markdown resolves to a real
+  file, so README/docs/ROADMAP never point at moved or deleted paths.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.service.http import ROUTES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+API_DOC = REPO_ROOT / "docs" / "API.md"
+
+#: Markdown files under link-check.  Kept explicit (not a glob over the
+#: whole tree) so generated/vendored files can never break CI.
+MARKDOWN_FILES = sorted(
+    [
+        REPO_ROOT / "README.md",
+        REPO_ROOT / "ROADMAP.md",
+        *(REPO_ROOT / "docs").glob("*.md"),
+    ]
+)
+
+_ROUTE_HEADING = re.compile(
+    r"^### `(GET|POST|PUT|DELETE) (/[^`]*)`", re.MULTILINE
+)
+_MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+class TestApiRouteDiff:
+    def test_documented_routes_match_registered_handlers(self):
+        documented = set(_ROUTE_HEADING.findall(API_DOC.read_text()))
+        registered = set(ROUTES)
+        missing_docs = registered - documented
+        stale_docs = documented - registered
+        assert not missing_docs, (
+            f"routes served but undocumented in docs/API.md: {sorted(missing_docs)}"
+        )
+        assert not stale_docs, (
+            f"routes documented but not served: {sorted(stale_docs)}"
+        )
+
+    def test_route_registry_is_nonempty_and_wellformed(self):
+        assert len(ROUTES) >= 5
+        for method, path in ROUTES:
+            assert method in ("GET", "POST", "PUT", "DELETE")
+            assert path.startswith("/v1/")
+
+
+class TestMarkdownLinks:
+    @pytest.mark.parametrize(
+        "markdown", MARKDOWN_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT))
+    )
+    def test_relative_links_resolve(self, markdown):
+        broken = []
+        for target in _MARKDOWN_LINK.findall(markdown.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (markdown.parent / path).resolve()
+            if not resolved.exists():
+                broken.append(target)
+        assert not broken, f"broken relative links in {markdown.name}: {broken}"
+
+    def test_link_check_covers_the_docs_suite(self):
+        names = {path.name for path in MARKDOWN_FILES}
+        assert {"README.md", "ROADMAP.md", "API.md", "ARCHITECTURE.md",
+                "BENCHMARKS.md"} <= names

@@ -165,6 +165,24 @@ class TestResultsStore:
         with pytest.raises(ValueError):
             service.results.raw("../../etc/passwd")
 
+    def test_stale_envelope_schema_is_recomputed_not_served(self, service):
+        """A persisted envelope from an older schema reads as a miss."""
+        spec = small_spec(overrides={"community.seed": 31337})
+        raw, digest = service._resolve_dataset(spec)
+        fingerprint = spec.fingerprint(digest)
+        service.results.put(
+            fingerprint,
+            {"type": "ResultEnvelope", "envelope_version": 1, "outputs": {}},
+        )
+        executions = service.pipeline_executions
+        envelope = service.run(spec, timeout=300)
+        assert service.pipeline_executions == executions + 1  # recomputed
+        from repro.serialize import ENVELOPE_VERSION
+
+        assert envelope["envelope_version"] == ENVELOPE_VERSION
+        stored = service.results.get(fingerprint)
+        assert stored["envelope_version"] == ENVELOPE_VERSION  # overwritten
+
 
 class TestFailures:
     def test_missing_named_dataset(self, service):

@@ -136,6 +136,284 @@ class TestSweeps:
         assert len(sweep["scenarios"]) == 2
 
 
+class TestDatasets:
+    def test_upload_run_by_name_delete(self, server, small_raw):
+        """The dataset-management happy path, end to end over HTTP."""
+        status, body = request(
+            server, "/v1/datasets/uploaded", small_raw.to_dict(), "PUT"
+        )
+        assert status == 201
+        meta = json.loads(body)
+        assert meta["name"] == "uploaded" and meta["digest"]
+        # Visible in the listing and individually.
+        status, body = request(server, "/v1/datasets")
+        assert status == 200
+        assert "uploaded" in {d["name"] for d in json.loads(body)["datasets"]}
+        status, body = request(server, "/v1/datasets/uploaded")
+        assert json.loads(body)["digest"] == meta["digest"]
+        # Runnable by name; identical rows share results with the
+        # registered "small" dataset (same content digest).
+        status, body = request(
+            server, "/v1/runs", {"dataset": {"kind": "named", "name": "uploaded"}}
+        )
+        assert status == 200
+        assert json.loads(body)["dataset_digest"] == meta["digest"]
+        # Re-upload is an overwrite (200), delete makes it 404.
+        status, _ = request(
+            server, "/v1/datasets/uploaded", small_raw.to_dict(), "PUT"
+        )
+        assert status == 200
+        status, _ = request(server, "/v1/datasets/uploaded", method="DELETE")
+        assert status == 200
+        status, _ = request(server, "/v1/datasets/uploaded")
+        assert status == 404
+        status, _ = request(server, "/v1/datasets/uploaded", method="DELETE")
+        assert status == 404
+
+    def test_bad_upload_rejected(self, server):
+        status, body = request(
+            server, "/v1/datasets/bad", {"locations": [[1]]}, "PUT"
+        )
+        assert status == 400
+        assert "location row" in json.loads(body)["error"]
+
+    def test_path_hostile_name_rejected(self, server, small_raw):
+        status, _ = request(
+            server, "/v1/datasets/..%2Fescape", small_raw.to_dict(), "PUT"
+        )
+        assert status == 400
+
+    def test_oversized_upload_413(self, small_raw):
+        from repro.service import ExpansionService, make_server
+
+        service = ExpansionService(max_dataset_bytes=128)
+        http_server = make_server(service, port=0).start_background()
+        try:
+            status, body = request(
+                http_server, "/v1/datasets/big", small_raw.to_dict(), "PUT"
+            )
+            assert status == 413
+            assert "cap" in json.loads(body)["error"]
+        finally:
+            http_server.stop()
+            service.close()
+
+
+class TestResultViews:
+    @pytest.fixture(scope="class")
+    def stored(self, server):
+        """(fingerprint, envelope dict, canonical bytes) of a stored run."""
+        status, body = request(server, "/v1/runs", RUN_BODY)
+        assert status == 200
+        envelope = json.loads(body)
+        return envelope["fingerprint"], envelope, body
+
+    def test_headline_view_is_small_and_identified(self, server, stored):
+        fingerprint, envelope, body = stored
+        status, slim = request(server, f"/v1/results/{fingerprint}?fields=headline")
+        assert status == 200
+        view = json.loads(slim)
+        assert view["fingerprint"] == fingerprint
+        assert view["outputs"]["run"]["headline"] == envelope["outputs"]["run"]["headline"]
+        assert len(slim) < len(body) // 10
+
+    def test_section_without_page_returns_subtree(self, server, stored):
+        fingerprint, envelope, _ = stored
+        status, body = request(
+            server, f"/v1/results/{fingerprint}?section=outputs.run.headline"
+        )
+        assert status == 200
+        document = json.loads(body)
+        assert document["type"] == "ResultSection"
+        assert document["value"] == envelope["outputs"]["run"]["headline"]
+
+    def test_paginated_slice_partition_reassembles_byte_identical(
+        self, server, stored
+    ):
+        """The acceptance path: page through, splice back, compare bytes."""
+        fingerprint, envelope, body = stored
+        section = "outputs.run.day.slice_partition.assignment"
+        items = []
+        page, pages = 1, 1
+        while page <= pages:
+            status, chunk = request(
+                server,
+                f"/v1/results/{fingerprint}?section={section}"
+                f"&page={page}&page_size=200",
+            )
+            assert status == 200
+            document = json.loads(chunk)
+            assert document["page"] == page
+            pages = document["pages"]
+            items.extend(document["items"])
+            page += 1
+        assert pages > 1  # the section genuinely needed multiple pages
+        assert document["total"] == len(items)
+        spliced = json.loads(body)
+        spliced["outputs"]["run"]["day"]["slice_partition"]["assignment"] = items
+        assert canonical_envelope(spliced).encode() == body
+
+    def test_ndjson_slice_stream_covers_the_full_assignment(self, server, stored):
+        fingerprint, envelope, _ = stored
+        req = urllib.request.Request(
+            server.url + f"/v1/results/{fingerprint}/slices?block=day"
+        )
+        with urllib.request.urlopen(req, timeout=300) as response:
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            lines = [json.loads(line) for line in response]
+        header, slices = lines[0], lines[1:]
+        assert header["type"] == "SliceStream"
+        assert header["block"] == "day"
+        assert len(slices) == header["n_slices"]
+        assert [line["slice"] for line in slices] == sorted(
+            line["slice"] for line in slices
+        )
+        reassembled = [
+            pair for line in slices for pair in line["assignment"]
+        ]
+        reassembled.sort(key=lambda pair: json.dumps(pair[0]))
+        original = envelope["outputs"]["run"]["day"]["slice_partition"]["assignment"]
+        assert reassembled == original
+        assert header["total_entries"] == len(original)
+
+    def test_section_errors(self, server, stored):
+        fingerprint, _, _ = stored
+        status, _ = request(
+            server, f"/v1/results/{fingerprint}?section=outputs.nope"
+        )
+        assert status == 404
+        status, _ = request(
+            server,
+            f"/v1/results/{fingerprint}?section=outputs.run.headline&page=1",
+        )
+        assert status == 400  # not a list
+        status, _ = request(
+            server,
+            f"/v1/results/{fingerprint}"
+            "?section=outputs.run.day.slice_partition.assignment&page=9999",
+        )
+        assert status == 400  # page out of range
+        status, _ = request(
+            server,
+            f"/v1/results/{fingerprint}?fields=headline&section=outputs",
+        )
+        assert status == 400  # mutually exclusive
+        status, _ = request(
+            server, f"/v1/results/{fingerprint}/slices?block=century"
+        )
+        assert status == 404
+
+    def test_sweep_children_individually_addressable(self, server):
+        status, body = request(
+            server,
+            "/v1/sweeps",
+            {
+                "dataset": {"kind": "named", "name": "small"},
+                "sweep_axes": {"temporal.coupling": [0.07, 0.21]},
+            },
+        )
+        assert status == 200
+        scenarios = json.loads(body)["outputs"]["sweep"]["scenarios"]
+        assert all(s["fingerprint"] for s in scenarios)
+        child = scenarios[0]
+        status, child_body = request(server, child["result_url"])
+        assert status == 200
+        child_envelope = json.loads(child_body)
+        assert child_envelope["spec"]["overrides"] == child["overrides"]
+        assert (
+            child_envelope["outputs"]["run"]["headline"] == child["headline"]
+        )
+        # Running the child scenario directly serves the stored bytes —
+        # no recompute, byte-identical envelope.
+        executions = server.service.pipeline_executions
+        status, direct = request(
+            server,
+            "/v1/runs",
+            {
+                "dataset": {"kind": "named", "name": "small"},
+                "overrides": child["overrides"],
+            },
+        )
+        assert status == 200
+        assert direct == child_body
+        assert server.service.pipeline_executions == executions
+
+
+class TestCancellation:
+    def test_delete_unknown_job_404(self, server):
+        status, _ = request(server, "/v1/jobs/job-424242", method="DELETE")
+        assert status == 404
+
+    def test_cancel_finished_job_reports_done(self, server):
+        status, body = request(server, "/v1/runs", {**RUN_BODY, "wait": False})
+        job_id = json.loads(body)["job_id"]
+        for _ in range(600):
+            status, body = request(server, f"/v1/jobs/{job_id}")
+            if json.loads(body)["status"] in ("done", "failed"):
+                break
+            threading.Event().wait(0.05)
+        assert json.loads(body)["status"] == "done"
+        status, body = request(server, f"/v1/jobs/{job_id}", method="DELETE")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "done"
+        assert payload["note"] == "job already finished"
+
+    def test_cancel_pending_job_reports_cancelled(self, small_raw, tmp_path):
+        """A single-worker server with a busy lane cancels the queued job."""
+        from repro.service import ExpansionService, make_server
+
+        service = ExpansionService(max_workers=1)
+        service.register_dataset("small", small_raw)
+        http_server = make_server(service, port=0).start_background()
+        try:
+            request(
+                http_server,
+                "/v1/runs",
+                {
+                    "dataset": {"kind": "named", "name": "small"},
+                    "overrides": {"community.seed": 971},
+                    "wait": False,
+                },
+            )
+            status, body = request(
+                http_server,
+                "/v1/runs",
+                {
+                    "dataset": {"kind": "named", "name": "small"},
+                    "overrides": {"community.seed": 972},
+                    "wait": False,
+                },
+            )
+            job_id = json.loads(body)["job_id"]
+            status, body = request(
+                http_server, f"/v1/jobs/{job_id}", method="DELETE"
+            )
+            assert status == 202
+            assert json.loads(body)["cancel_requested"] is True
+            for _ in range(600):
+                status, body = request(http_server, f"/v1/jobs/{job_id}")
+                if json.loads(body)["status"] in ("done", "failed", "cancelled"):
+                    break
+                threading.Event().wait(0.05)
+            assert json.loads(body)["status"] == "cancelled"
+            # The route stays useful afterwards: the same scenario can be
+            # resubmitted and completes against the intact stage cache.
+            status, body = request(
+                http_server,
+                "/v1/runs",
+                {
+                    "dataset": {"kind": "named", "name": "small"},
+                    "overrides": {"community.seed": 972},
+                },
+            )
+            assert status == 200
+            assert json.loads(body)["outputs"]["run"]["type"] == "ExpansionResult"
+        finally:
+            http_server.stop()
+            service.close()
+
+
 class TestErrors:
     def test_unknown_route_404(self, server):
         status, body = request(server, "/v1/nonsense")
