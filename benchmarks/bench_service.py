@@ -9,18 +9,27 @@ in-process service):
 * **dedup speedup** — N concurrent identical *cold* requests share one
   pipeline execution; the batch finishes in roughly the time of one
   run instead of N, and the service counters prove a single execution.
+
+Both measurements are appended to ``BENCH_pipeline.json`` as a
+``service``-labelled trajectory entry (same provenance block as
+``repro bench``), so the serving path has a perf history per revision
+instead of numbers that evaporate with the terminal.
 """
 
 import json
 import threading
 import time
 import urllib.request
+from pathlib import Path
 
+from repro.perf.bench import append_entry, entry_header
 from repro.reporting import format_table
 from repro.service import ExpansionService, make_server
 from repro.synth import generate_paper_dataset
 
 from conftest import OUTPUT_DIR
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 N_WARM_REQUESTS = 25
 N_CONCURRENT_CLIENTS = 6
@@ -117,6 +126,21 @@ def test_service_throughput_and_dedup(benchmark):
                 title="SERVICE FRONT-END: WARM THROUGHPUT + REQUEST DEDUP",
             )
         )
+
+        # Fold the serving-path numbers into the same persisted
+        # trajectory the pipeline benches append to.
+        entry = entry_header("service", anchor=REPO_ROOT)
+        entry["service"] = {
+            "warm_requests": N_WARM_REQUESTS,
+            "warm_latency_ms": round(warm_seconds * 1000, 2),
+            "warm_requests_per_s": round(requests_per_second, 1),
+            "cold_single_s": round(single_cold_seconds, 3),
+            "cold_batch_clients": N_CONCURRENT_CLIENTS,
+            "cold_batch_s": round(concurrent_seconds, 3),
+            "dedup_speedup": round(speedup, 2),
+        }
+        path = append_entry(entry, REPO_ROOT / "BENCH_pipeline.json")
+        print(f"service entry appended to {path}")
     finally:
         server.stop()
         service.close()

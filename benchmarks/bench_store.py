@@ -1,0 +1,61 @@
+"""Storage subsystem — warm get/put per backend.
+
+Times one :class:`~repro.store.Namespace` operation per benchmark
+round against each backend kind (``memory``, ``dir``, ``sharded``)
+with a stage-pickle-sized payload, so layout/atomic-publish overheads
+stay visible as backends evolve.  The sharded layout should cost
+within noise of the flat one — its win is directory fan-out at 100k+
+entries, not per-operation speed.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.store import Namespace, make_backend
+
+#: A mid-sized stage pickle: big enough that I/O dominates Python
+#: overhead, small enough for tight benchmark rounds.
+PAYLOAD = bytes(range(256)) * 256  # 64 KiB
+
+#: Enough warm entries that directory scans and shard fan-out are real.
+N_ENTRIES = 64
+
+_counter = itertools.count()
+
+
+def make_namespace(kind: str, tmp_path) -> Namespace:
+    root = None if kind == "memory" else tmp_path / kind
+    return Namespace(make_backend(kind, root), suffix=".pkl")
+
+
+def warm(namespace: Namespace) -> list[str]:
+    keys = [f"{i:04x}{'ab' * 30}" for i in range(N_ENTRIES)]
+    for key in keys:
+        namespace.put(key, PAYLOAD)
+    return keys
+
+
+@pytest.mark.parametrize("kind", ["memory", "dir", "sharded"])
+def test_store_warm_get(benchmark, kind, tmp_path):
+    namespace = make_namespace(kind, tmp_path)
+    keys = warm(namespace)
+    cycle = itertools.cycle(keys)
+
+    def get_one():
+        assert namespace.get(next(cycle)) is not None
+
+    benchmark(get_one)
+    assert namespace.misses == 0
+
+
+@pytest.mark.parametrize("kind", ["memory", "dir", "sharded"])
+def test_store_warm_put(benchmark, kind, tmp_path):
+    namespace = make_namespace(kind, tmp_path)
+    keys = warm(namespace)
+    cycle = itertools.cycle(keys)
+
+    benchmark(lambda: namespace.put(next(cycle), PAYLOAD))
+    assert namespace.entries() == N_ENTRIES

@@ -8,6 +8,7 @@ The subcommands cover the library's end-to-end workflow:
   (optionally) renders the figures; ``--cache-dir`` warms a stage
   cache, ``--jobs`` fans the temporal slices out over workers;
 * ``sweep`` — run a parameter grid (``--set section.field=v1,v2``)
+  and/or a dataset axis (``--datasets a,b,c`` over named datasets)
   through the staged runner with one shared cache;
 * ``rebalance`` — build the Friday-night rebalancing plan;
 * ``report`` — write the full paper-vs-measured markdown report;
@@ -20,6 +21,11 @@ The subcommands cover the library's end-to-end workflow:
 envelope — exactly what an HTTP client of ``repro serve`` receives.
 ``--format json`` prints the canonical envelope verbatim, byte-
 identical to the ``POST /v1/runs`` response for the same scenario.
+``--store-dir`` points every service-backed subcommand at the same
+storage tree a ``repro serve --store-dir`` persists (stage cache,
+results, datasets, job journal — see :mod:`repro.store`), so CLI runs
+and the server share warm state; ``--cache-dir`` remains a deprecated
+stage-cache-only alias.
 
 Three subcommands are clients of a *running* ``repro serve`` instead
 (they take ``--url``):
@@ -61,9 +67,20 @@ from .synth import SyntheticMobyGenerator
 
 def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
     """Options every service-backed subcommand shares."""
+    parser.add_argument("--store-dir", type=Path, default=None,
+                        help="root of the shared storage subsystem: stage "
+                             "cache, result envelopes, named datasets and "
+                             "the job journal all live under this one tree "
+                             "(see repro.store)")
+    parser.add_argument("--store-backend", choices=("dir", "sharded"),
+                        default=None,
+                        help="on-disk layout under --store-dir: 'dir' (flat, "
+                             "the default) or 'sharded' (digest-prefix "
+                             "fan-out for very large stores)")
     parser.add_argument("--cache-dir", type=Path, default=None,
-                        help="stage cache directory (a second run skips "
-                             "every already-computed stage)")
+                        help="deprecated alias: stage cache directory "
+                             "(use --store-dir, which also persists results "
+                             "and datasets)")
     parser.add_argument("--cache-bytes", type=int, default=None,
                         help="evict least-recently-used cache pickles once "
                              "the cache directory exceeds this many bytes")
@@ -129,6 +146,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SECTION.FIELD=V1,V2,...",
                        help="one sweep axis as comma-separated values; repeat "
                             "for a cross product (e.g. --set temporal.coupling=0.08,0.12)")
+    sweep.add_argument("--datasets", default=None, metavar="NAME1,NAME2,...",
+                       help="sweep the config grid over these named datasets "
+                            "(stored under --store-dir by 'repro datasets "
+                            "push' against a server on the same store, or "
+                            "registered in-process); one envelope, every "
+                            "(dataset, config) child individually "
+                            "addressable")
     _add_service_arguments(sweep)
 
     rebalance = subparsers.add_parser(
@@ -152,15 +176,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8722)
+    serve.add_argument("--store-dir", type=Path, default=None,
+                       help="one directory tree persisting everything: stage "
+                            "cache, result envelopes, named datasets and the "
+                            "job journal — a restarted serve over the same "
+                            "store lists prior jobs, serves their results "
+                            "and re-queues the ones left pending")
+    serve.add_argument("--store-backend", choices=("dir", "sharded"),
+                       default=None,
+                       help="on-disk layout under --store-dir ('sharded' "
+                            "fans entries out by digest prefix)")
     serve.add_argument("--cache-dir", type=Path, default=None,
-                       help="stage cache directory shared by every request")
+                       help="deprecated alias: stage cache directory only "
+                            "(use --store-dir)")
     serve.add_argument("--cache-bytes", type=int, default=None,
                        help="LRU-evict cache pickles beyond this many bytes")
     serve.add_argument("--cache-entries", type=int, default=None,
                        help="LRU-evict cache pickles beyond this many entries")
     serve.add_argument("--results-dir", type=Path, default=None,
-                       help="directory persisting result envelopes by "
-                            "fingerprint (served at /v1/results/<fp>)")
+                       help="deprecated alias: results directory only "
+                            "(use --store-dir)")
     serve.add_argument("--workers", type=int, default=2,
                        help="concurrently executing jobs")
     serve.add_argument("--jobs", type=int, default=1,
@@ -173,9 +208,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="keep at most this many finished jobs in the "
                             "job table (oldest pruned first)")
     serve.add_argument("--datasets-dir", type=Path, default=None,
-                       help="directory persisting uploaded named datasets "
-                            "(PUT /v1/datasets/<name>); memory-only when "
-                            "omitted")
+                       help="deprecated alias: datasets directory only "
+                            "(use --store-dir); memory-only when neither "
+                            "is given")
     serve.add_argument("--max-dataset-bytes", type=int, default=None,
                        help="reject a single dataset upload over this many "
                             "serialised bytes (default: 64MiB)")
@@ -325,11 +360,36 @@ def _dataset_ref(args: argparse.Namespace) -> DatasetRef:
 def _make_service(args: argparse.Namespace) -> ExpansionService:
     """An in-process service wired from the subcommand's arguments.
 
-    With ``--cache-dir`` the result envelopes persist next to the stage
-    pickles (under ``<cache-dir>/results``), so a fully warm scenario
-    is served without touching the pipeline at all.
+    With ``--store-dir`` everything (stage pickles, result envelopes,
+    named datasets, the job journal) persists under one tree — the same
+    tree a ``repro serve --store-dir`` uses, so CLI runs and the server
+    share warm stages, stored results and uploaded datasets.  The
+    deprecated ``--cache-dir`` alias keeps its historical behaviour:
+    stage pickles there, result envelopes under ``<cache-dir>/results``.
     """
+    store_dir = getattr(args, "store_dir", None)
     cache_dir = getattr(args, "cache_dir", None)
+    if store_dir is None and getattr(args, "store_backend", None):
+        # Same verdict `repro serve` reaches (StoreError from Store):
+        # a backend choice without a tree is a mistake, never a no-op.
+        raise ConfigError("--store-backend requires --store-dir")
+    if store_dir is not None:
+        # Same per-component precedence as `repro serve`: an explicit
+        # --cache-dir overrides the store's stage namespace, so both
+        # surfaces always read/write the same stage-cache tree.
+        return ExpansionService(
+            store_dir=store_dir,
+            store_backend=getattr(args, "store_backend", None),
+            cache_dir=cache_dir,
+            cache_bytes=getattr(args, "cache_bytes", None),
+            cache_entries=getattr(args, "cache_entries", None),
+            pipeline_jobs=getattr(args, "jobs", 1),
+            pipeline_executor=getattr(args, "executor", "thread"),
+            sweep_executor=getattr(args, "executor", "thread"),
+            # One-shot commands must not hijack a serve's journalled
+            # backlog; pending jobs stay queued for a resuming server.
+            resume_jobs=False,
+        )
     return ExpansionService(
         cache_dir=cache_dir,
         cache_bytes=getattr(args, "cache_bytes", None),
@@ -470,10 +530,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"--set (e.g. --set {path}=v1,v2)"
             )
         axes[path] = values
+    sweep_datasets = tuple(
+        name.strip() for name in (args.datasets or "").split(",") if name.strip()
+    )
     envelope, _ = _run_scenario(
         args,
         ScenarioSpec(
-            dataset=_dataset_ref(args), outputs=("sweep",), sweep_axes=axes
+            dataset=_dataset_ref(args),
+            outputs=("sweep",),
+            sweep_axes=axes,
+            sweep_datasets=sweep_datasets,
         ),
     )
     if args.format == "json":
@@ -549,6 +615,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.datasets import DEFAULT_MAX_DATASET_BYTES
 
     service = ExpansionService(
+        store_dir=args.store_dir,
+        store_backend=args.store_backend,
         cache_dir=args.cache_dir,
         cache_bytes=args.cache_bytes,
         cache_entries=args.cache_entries,

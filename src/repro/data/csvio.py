@@ -94,10 +94,21 @@ def write_rentals(
     return count
 
 
-def read_locations(path: str | Path) -> list[LocationRecord]:
+def _open_for_read(source: str | Path | IO[str]) -> ContextManager[IO[str]]:
+    """``source`` as a readable handle — paths opened, handles passed through.
+
+    The handle form lets the dataset store parse entries straight from
+    backend bytes without materialising files.
+    """
+    if hasattr(source, "read"):
+        return nullcontext(source)  # caller owns the handle's lifetime
+    return open(source, newline="")
+
+
+def read_locations(path: str | Path | IO[str]) -> list[LocationRecord]:
     """Read location records written by :func:`write_locations`."""
     records: list[LocationRecord] = []
-    with open(path, newline="") as handle:
+    with _open_for_read(path) as handle:
         reader = csv.DictReader(handle)
         for row in reader:
             records.append(
@@ -112,10 +123,10 @@ def read_locations(path: str | Path) -> list[LocationRecord]:
     return records
 
 
-def read_rentals(path: str | Path) -> list[RentalRecord]:
+def read_rentals(path: str | Path | IO[str]) -> list[RentalRecord]:
     """Read rental records written by :func:`write_rentals`."""
     records: list[RentalRecord] = []
-    with open(path, newline="") as handle:
+    with _open_for_read(path) as handle:
         reader = csv.DictReader(handle)
         for row in reader:
             records.append(

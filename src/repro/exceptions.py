@@ -108,6 +108,32 @@ class PipelineCancelledError(PipelineError):
 
 
 # ---------------------------------------------------------------------------
+# Storage layer
+# ---------------------------------------------------------------------------
+
+
+class StoreError(ReproError):
+    """Base class for errors raised by the :mod:`repro.store` subsystem."""
+
+
+class StoreKeyError(StoreError, ValueError):
+    """A storage key does not match its namespace's canonical encoding.
+
+    Also a :class:`ValueError`, so surfaces that validated keys before
+    the storage subsystem existed (HTTP 400 on a malformed result
+    fingerprint) keep working unchanged.
+    """
+
+
+class StoreQuotaError(StoreError):
+    """An entry cannot be stored within the namespace's byte/entry quotas.
+
+    Only raised by namespaces configured to *reject* oversized entries;
+    quota-bounded caches silently evict instead.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Service layer
 # ---------------------------------------------------------------------------
 

@@ -243,6 +243,58 @@ def _load_trajectory(path: Path) -> dict[str, Any]:
     return {"type": "BenchTrajectory", "entries": []}
 
 
+def entry_header(label: str, *, quick: bool = False, anchor: Path | None = None) -> dict[str, Any]:
+    """The provenance block every trajectory entry carries.
+
+    ``anchor`` locates the git checkout the revision is read from
+    (defaults to the working directory).
+    """
+    return {
+        "label": label,
+        "git_rev": _git_rev(anchor if anchor is not None else Path.cwd()),
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def _origin_headline(trajectory: dict[str, Any]) -> dict[str, Any] | None:
+    """The first entry's paper-scale end-to-end block, or ``None``.
+
+    >>> _origin_headline({"entries": [
+    ...     {"label": "service", "service": {}},
+    ...     {"label": "origin", "end_to_end": [{"scale": 1, "wall_s": 6.5}]},
+    ... ]})
+    {'scale': 1, 'wall_s': 6.5}
+    """
+    for entry in trajectory.get("entries", ()):
+        blocks = entry.get("end_to_end")
+        if blocks:
+            return blocks[0]
+    return None
+
+
+def _write_trajectory(path: Path, trajectory: dict[str, Any]) -> None:
+    path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+
+
+def append_entry(entry: dict[str, Any], out: str | Path | None = None) -> Path:
+    """Append one entry to the persisted trajectory; returns its path.
+
+    The shared sink for every bench surface — ``repro bench``'s
+    workload matrix and the service-front-end bench both land in the
+    same ``BENCH_pipeline.json`` history instead of printing numbers
+    that evaporate with the terminal.
+    """
+    path = Path(out) if out is not None else Path.cwd() / DEFAULT_TRAJECTORY
+    trajectory = _load_trajectory(path)
+    trajectory["entries"].append(entry)
+    _write_trajectory(path, trajectory)
+    return path
+
+
 def run_bench(
     scales: Sequence[int] = (1, 2, 4),
     *,
@@ -319,31 +371,27 @@ def run_bench(
                 }
             )
 
-    entry = {
-        "label": label or ("quick" if quick else "full"),
-        "git_rev": _git_rev(path.parent),
-        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        "quick": quick,
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "cpus": os.cpu_count(),
-        "end_to_end": end_to_end,
-        "kernels": kernels,
-    }
+    entry = entry_header(
+        label or ("quick" if quick else "full"), quick=quick, anchor=path.parent
+    )
+    entry["end_to_end"] = end_to_end
+    entry["kernels"] = kernels
     if parallel:
         entry["parallel"] = parallel
 
+    # The trajectory's origin is its first *end-to-end* entry (the
+    # pre-optimisation tree); every later entry records its paper-scale
+    # speedup against it so the history reads as a cumulative trend on
+    # this machine.  Entries of other shapes (the service bench) are
+    # skipped, so one of them landing first cannot break the bench.
     trajectory = _load_trajectory(path)
-    # The trajectory's first entry is the origin (the pre-optimisation
-    # tree); every later entry records its paper-scale speedup against
-    # it so the history reads as a cumulative trend on this machine.
-    if trajectory["entries"]:
-        origin = trajectory["entries"][0]["end_to_end"][0]
+    origin = _origin_headline(trajectory)
+    if origin is not None:
         if origin.get("scale") == 1 and end_to_end and end_to_end[0]["scale"] == 1:
             entry["speedup_vs_origin"] = round(
                 origin["wall_s"] / end_to_end[0]["wall_s"], 2
             )
     trajectory["entries"].append(entry)
-    path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    _write_trajectory(path, trajectory)
     say(f"bench: trajectory appended to {path}")
     return entry

@@ -1,37 +1,82 @@
-"""Two-level stage cache: in-memory LRU over an optional disk store.
+"""Two-level stage cache: in-memory LRU over an optional byte store.
 
 Values are keyed by the content-addressed fingerprints from
-:mod:`repro.pipeline.fingerprint`.  The memory tier is a bounded LRU
-shared by every runner holding the same :class:`StageCache`; the disk
-tier (one pickle per key, written atomically) makes warm runs survive
-process boundaries — a second ``repro run --cache-dir`` skips every
-stage.  Per-key locks serialise concurrent computation of the same
-stage so a sweep never does the shared work twice.
+:mod:`repro.pipeline.fingerprint`.  The memory tier is a bounded
+:class:`~repro.store.ObjectLRU` of live values shared by every runner
+holding the same :class:`StageCache`; the durable tier is a
+:class:`~repro.store.Namespace` of pickled entries (one ``<key>.pkl``
+per stage, written atomically) that makes warm runs survive process
+boundaries — a second ``repro run --cache-dir`` skips every stage.
+Per-key locks serialise concurrent computation of the same stage so a
+sweep never does the shared work twice.
 
-Long-lived cache directories (a sweep server, ``repro serve``) can
-bound the disk tier with ``max_bytes``/``max_entries``: after every
-store the least-recently-used pickles are evicted until both limits
-hold again.  Recency is tracked through file mtimes — refreshed on
-every disk hit — so eviction order survives process restarts.
+All storage *policy* — atomic publish, byte/entry quotas, LRU-by-access
+eviction whose order survives restarts (file mtimes), backend layout
+(flat or digest-sharded) — lives in :mod:`repro.store`; this class only
+translates stage values to and from pickle bytes.
 """
 
 from __future__ import annotations
 
-import os
 import pickle
+import re
 import threading
-from collections import OrderedDict
-from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any
+
+from ..store import (
+    DirBackend,
+    Namespace,
+    ObjectLRU,
+    ShardedDirBackend,
+    make_backend,
+)
 
 #: Sentinel returned by :meth:`StageCache.get` on a miss (``None`` is a
 #: legitimate cached value).
 MISS = object()
 
+#: Stage keys are hex fingerprints in production; tests and benches use
+#: short labels, so the canonical encoding is name-like, path-safe.
+_STAGE_KEY = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+
+
+def stage_namespace(
+    backend: Any,
+    *,
+    max_bytes: int | None = None,
+    max_entries: int | None = None,
+) -> Namespace:
+    """The canonical stage-cache namespace policy over ``backend``."""
+    return Namespace(
+        backend,
+        key_pattern=_STAGE_KEY,
+        key_label="stage key",
+        suffix=".pkl",
+        max_bytes=max_bytes,
+        max_entries=max_entries,
+    )
+
 
 class StageCache:
-    """LRU memory cache with an optional on-disk pickle tier."""
+    """LRU memory tier over an optional durable pickle namespace.
+
+    Parameters
+    ----------
+    cache_dir:
+        Legacy convenience: a flat directory backing the durable tier
+        (equivalent to passing a ``dir``-backend namespace rooted
+        there).  ``None`` with no ``namespace`` means memory-tier only.
+    memory_slots:
+        Bound on live values retained in process (0 disables the tier).
+    max_bytes / max_entries:
+        Durable-tier quotas; least-recently-used entries are evicted
+        after every store until both hold (see
+        :meth:`repro.store.Namespace.evict`).
+    namespace:
+        A prebuilt durable-tier namespace (e.g. from a shared
+        :class:`repro.store.Store`); overrides ``cache_dir``.
+    """
 
     def __init__(
         self,
@@ -40,25 +85,74 @@ class StageCache:
         *,
         max_bytes: int | None = None,
         max_entries: int | None = None,
+        namespace: Namespace | None = None,
     ) -> None:
         if memory_slots < 0:
             raise ValueError("memory_slots must be non-negative")
-        if max_bytes is not None and max_bytes < 0:
-            raise ValueError("max_bytes must be non-negative")
-        if max_entries is not None and max_entries < 1:
-            raise ValueError("max_entries must be positive")
-        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if namespace is None and cache_dir is not None:
+            namespace = stage_namespace(
+                DirBackend(cache_dir), max_bytes=max_bytes, max_entries=max_entries
+            )
+        elif namespace is None:
+            # Quota validation must not silently vanish with the tier.
+            if max_bytes is not None and max_bytes < 0:
+                raise ValueError("max_bytes must be non-negative")
+            if max_entries is not None and max_entries < 1:
+                raise ValueError("max_entries must be positive")
+        self.namespace = namespace
         self.memory_slots = memory_slots
-        self.max_bytes = max_bytes
-        self.max_entries = max_entries
-        self._memory: OrderedDict[str, Any] = OrderedDict()
-        self._mutex = threading.Lock()
-        self._key_locks: dict[str, threading.Lock] = {}
-        self._evict_mutex = threading.Lock()
+        self._memory = ObjectLRU(memory_slots)
         self.hits = 0
         self.misses = 0
         self.stores = 0
-        self.evictions = 0
+        self._mutex = threading.Lock()
+        self._key_locks: dict[str, threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def cache_dir(self) -> Path | None:
+        """Root of the durable tier when it is directory-backed."""
+        if self.namespace is not None and isinstance(
+            self.namespace.backend, DirBackend
+        ):
+            return self.namespace.backend.root
+        return None
+
+    @property
+    def max_bytes(self) -> int | None:
+        return self.namespace.max_bytes if self.namespace is not None else None
+
+    @property
+    def max_entries(self) -> int | None:
+        return self.namespace.max_entries if self.namespace is not None else None
+
+    @property
+    def evictions(self) -> int:
+        """Durable-tier evictions (the namespace's counter)."""
+        return self.namespace.evictions if self.namespace is not None else 0
+
+    def spec(self) -> tuple[str, str] | None:
+        """(backend kind, root) a worker process can rebuild this cache from.
+
+        ``None`` when the durable tier is absent or memory-backed —
+        those cannot carry values across a process boundary.
+        """
+        backend = self.namespace.backend if self.namespace is not None else None
+        if not isinstance(backend, DirBackend):
+            return None
+        kind = "sharded" if isinstance(backend, ShardedDirBackend) else "dir"
+        return (kind, str(backend.root))
+
+    @classmethod
+    def from_spec(cls, spec: tuple[str, str] | None) -> "StageCache":
+        """Rebuild an (unbounded) cache over the directory ``spec`` names."""
+        if spec is None:
+            return cls()
+        kind, root = spec
+        return cls(namespace=stage_namespace(make_backend(kind, root)))
 
     # ------------------------------------------------------------------
     # Lookup / store
@@ -66,131 +160,65 @@ class StageCache:
 
     def get(self, key: str) -> Any:
         """The cached value for ``key``, or :data:`MISS`."""
-        with self._mutex:
-            if key in self._memory:
-                self._memory.move_to_end(key)
+        value = self._memory.get(key, MISS)
+        if value is not MISS:
+            with self._mutex:
                 self.hits += 1
-                return self._memory[key]
-        value = self._read_disk(key)
+            return value
+        value = self._read_durable(key)
         if value is MISS:
             with self._mutex:
                 self.misses += 1
             return MISS
         with self._mutex:
             self.hits += 1
-            self._remember(key, value)
+        self._memory.put(key, value)
         return value
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` in both tiers."""
         with self._mutex:
             self.stores += 1
-            self._remember(key, value)
-        self._write_disk(key, value)
+        self._memory.put(key, value)
+        if self.namespace is not None:
+            try:
+                self.namespace.put(
+                    key, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+            except OSError:
+                pass  # a full/readonly disk degrades to a memory cache
 
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not MISS
 
     def clear_memory(self) -> None:
-        """Drop the memory tier (the disk tier is untouched)."""
-        with self._mutex:
-            self._memory.clear()
+        """Drop the memory tier (the durable tier is untouched)."""
+        self._memory.clear()
 
-    @contextmanager
-    def lock(self, key: str) -> Iterator[None]:
+    def lock(self, key: str):
         """Serialise concurrent computation of the same key."""
+        if self.namespace is not None:
+            return self.namespace.lock(key)
         with self._mutex:
-            key_lock = self._key_locks.setdefault(key, threading.Lock())
-        with key_lock:
-            yield
+            return self._key_locks.setdefault(key, threading.Lock())
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    def _remember(self, key: str, value: Any) -> None:
-        if self.memory_slots == 0:
-            return
-        self._memory[key] = value
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.memory_slots:
-            self._memory.popitem(last=False)
-
-    def _path(self, key: str) -> Path:
-        assert self.cache_dir is not None
-        return self.cache_dir / f"{key}.pkl"
-
-    def _read_disk(self, key: str) -> Any:
-        if self.cache_dir is None:
+    def _read_durable(self, key: str) -> Any:
+        if self.namespace is None:
             return MISS
-        path = self._path(key)
         try:
-            with open(path, "rb") as handle:
-                value = pickle.load(handle)
+            data = self.namespace.get(key)
+        except OSError:
+            return MISS
+        if data is None:
+            return MISS
+        try:
+            return pickle.loads(data)
         except Exception:
             # Any unreadable entry — truncated write, version-skewed
             # pickle (ModuleNotFoundError/TypeError/...), plain garbage
             # — is a miss: recomputing is always safe.
             return MISS
-        try:
-            os.utime(path)  # refresh LRU recency
-        except OSError:
-            pass
-        return value
-
-    def _write_disk(self, key: str, value: Any) -> None:
-        if self.cache_dir is None:
-            return
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        path = self._path(key)
-        # Atomic publish: a concurrent reader sees the old file or the
-        # complete new one, never a partial pickle.
-        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
-        try:
-            with open(tmp, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except OSError:
-            tmp.unlink(missing_ok=True)
-            return
-        self._evict_disk(keep=path.name)
-
-    def _evict_disk(self, keep: str) -> None:
-        """Drop LRU pickles until the disk tier fits the size limits.
-
-        ``keep`` names the just-written entry, which is never evicted —
-        even a degenerate ``max_bytes=0`` keeps the latest value until
-        the next store replaces it.  Best-effort by design: entries
-        deleted under a concurrent reader simply read as misses.
-        """
-        if self.max_bytes is None and self.max_entries is None:
-            return
-        with self._evict_mutex:
-            try:
-                entries = []
-                for path in self.cache_dir.glob("*.pkl"):
-                    stat = path.stat()
-                    entries.append((stat.st_mtime, path, stat.st_size))
-            except OSError:
-                return
-            entries.sort()  # oldest mtime first
-            total_bytes = sum(size for _, _, size in entries)
-            n_entries = len(entries)
-            for _, path, size in entries:
-                over_bytes = (
-                    self.max_bytes is not None and total_bytes > self.max_bytes
-                )
-                over_entries = (
-                    self.max_entries is not None and n_entries > self.max_entries
-                )
-                if not (over_bytes or over_entries):
-                    break
-                if path.name == keep:
-                    continue
-                try:
-                    path.unlink()
-                except OSError:
-                    continue
-                total_bytes -= size
-                n_entries -= 1
-                self.evictions += 1

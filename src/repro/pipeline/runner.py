@@ -104,13 +104,13 @@ def _stage_hour(runner: "PipelineRunner", network):
 _WORKER_RUNNER: "PipelineRunner | None" = None
 
 
-def _process_worker_init(raw, config, stages, cache_dir, digest) -> None:
+def _process_worker_init(raw, config, stages, cache_spec, digest) -> None:
     global _WORKER_RUNNER
     _WORKER_RUNNER = PipelineRunner(
         raw,
         config,
         stages=stages,
-        cache_dir=cache_dir,
+        cache=StageCache.from_spec(cache_spec),
         jobs=1,
         raw_digest=digest,
     )
@@ -395,7 +395,7 @@ class PipelineRunner:
         """
         temp_dir: str | None = None
         if (
-            self.cache.cache_dir is not None
+            self.cache.spec() is not None
             and self.cache.max_bytes is None
             and self.cache.max_entries is None
         ):
@@ -437,7 +437,7 @@ class PipelineRunner:
                     self.raw,
                     self.config,
                     tuple(self.stages.values()),
-                    rendezvous.cache_dir,
+                    rendezvous.spec(),
                     self.raw_digest,
                 ),
             ) as pool:
@@ -551,9 +551,9 @@ def config_grid(
 
 
 def _sweep_one(args: tuple) -> ExpansionResult:
-    raw, config, cache_dir, digest = args
+    raw, config, cache_spec, digest = args
     runner = PipelineRunner(
-        raw, config, cache_dir=cache_dir, raw_digest=digest
+        raw, config, cache=StageCache.from_spec(cache_spec), raw_digest=digest
     )
     return runner.run()
 
@@ -596,19 +596,22 @@ def run_sweep(
         raise PipelineCancelledError("sweep cancelled before it started")
     digest = dataset_digest(raw)
     if executor == "process" and jobs > 1:
-        if cache_dir is None and cache is not None:
-            cache_dir = cache.cache_dir
+        cache_spec: tuple[str, str] | None = None
+        if cache is not None:
+            cache_spec = cache.spec()
+        elif cache_dir is not None:
+            cache_spec = ("dir", str(cache_dir))
         temp_dir = None
-        if cache_dir is None:
+        if cache_spec is None:
             temp_dir = tempfile.mkdtemp(prefix="repro-sweep-cache-")
-            cache_dir = temp_dir
+            cache_spec = ("dir", temp_dir)
         try:
             # Per-key locks don't reach across processes, so a cold
             # fan-out would recompute the shared stage prefix in every
             # worker.  Run the first config in this process to warm the
             # disk cache, then fan the rest out against it.
-            first = _sweep_one((raw, configs[0], cache_dir, digest))
-            tasks = [(raw, config, cache_dir, digest) for config in configs[1:]]
+            first = _sweep_one((raw, configs[0], cache_spec, digest))
+            tasks = [(raw, config, cache_spec, digest) for config in configs[1:]]
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 return [first, *pool.map(_sweep_one, tasks)]
         finally:

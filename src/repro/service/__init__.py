@@ -27,11 +27,16 @@ Identical concurrent requests are deduplicated by spec fingerprint;
 completed envelopes persist in a :class:`ResultsStore`; uploaded
 datasets live in a content-digested :class:`DatasetStore`; all
 pipeline work shares one :class:`~repro.pipeline.cache.StageCache`.
+Every one of those stores — plus the :class:`JobStore` journal that
+makes jobs survive restarts — is a thin adapter over one namespace of
+the pluggable storage subsystem (:mod:`repro.store`), rooted together
+under ``ExpansionService(store_dir=...)`` / ``repro serve
+--store-dir``.
 """
 
 from .datasets import DatasetStore
 from .http import ROUTES, ServiceHTTPServer, make_server
-from .jobs import CANCELLED, DONE, FAILED, PENDING, RUNNING, Job
+from .jobs import CANCELLED, DONE, FAILED, PENDING, RUNNING, Job, JobStore
 from .service import ExpansionService, canonical_envelope
 from .spec import (
     ALL_OUTPUTS,
@@ -53,6 +58,7 @@ __all__ = [
     "ExpansionService",
     "FAILED",
     "Job",
+    "JobStore",
     "OUTPUT_REBALANCE",
     "OUTPUT_REPORT",
     "OUTPUT_RUN",

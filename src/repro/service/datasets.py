@@ -3,52 +3,67 @@
 A :class:`DatasetStore` keeps client-supplied trip datasets addressable
 by name, so a :class:`~repro.service.spec.DatasetRef` of kind
 ``named`` can target an uploaded dataset in a later ``POST /v1/runs``
-— and a *dataset sweep* becomes a plain list of run specs that differ
-only in ``dataset.name``, all sharing one stage cache.
+— and a *dataset sweep* (``ScenarioSpec.sweep_datasets``) is a plain
+list of run specs that differ only in ``dataset.name``, all sharing
+one stage cache.
 
-Storage is content-fingerprinted and size-capped:
+Each dataset is one multi-part entry in a
+:class:`~repro.store.Namespace`: the canonical CSV pair
+(``locations.csv`` / ``rentals.csv``) plus a ``meta.json`` holding the
+same :func:`~repro.pipeline.fingerprint.dataset_digest` the cache
+layer keys on — computed once at ``put`` time, never recomputed on
+resolve.  Under a directory backend that is one directory per name,
+doubling as a ``repro run --data`` input.  All storage policy is the
+namespace's:
 
-* every stored dataset carries the same
-  :func:`~repro.pipeline.fingerprint.dataset_digest` the cache layer
-  keys on, computed once at ``put`` time — resolving a named ref never
-  re-digests the rows;
-* datasets serialise to the canonical CSV pair (``locations.csv`` /
-  ``rentals.csv``, one directory per name), so a store directory
-  doubles as a ``repro run --data`` input;
-* ``max_dataset_bytes`` rejects a single oversized upload outright,
-  while ``max_total_bytes`` / ``max_datasets`` bound the whole store by
-  evicting the least-recently-*used* other datasets (an access
-  refreshes recency, mirroring the stage cache's LRU).
+* ``max_dataset_bytes`` rejects a single oversized upload outright
+  (and so does an upload that could not fit even after evicting
+  everything else), while ``max_total_bytes`` / ``max_datasets`` bound
+  the whole store by LRU-evicting the least-recently-*used* other
+  datasets — an access refreshes recency, and recency survives
+  restarts through the backend's persisted access stamps;
+* ``meta.json`` is the entry's recency anchor — deleted first on an
+  overwrite, written last — so a crash mid-upload (fresh or
+  replacement) leaves a partial entry that reads as absent, never a
+  mix of old and new content under a stale digest; a restarted store
+  adopts exactly the complete entries.
 
-Without a root directory the store is memory-only — the mode the
-in-process test services use — with identical semantics; byte sizes
-are still exact because caps are enforced on the serialised CSV text
-either way.
+Without a root the namespace is memory-backed — the mode in-process
+test services use — with identical semantics; byte caps are exact
+either way because they are enforced on the serialised CSV text.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import re
-import threading
 import time
-from collections import OrderedDict
 from io import StringIO
 from pathlib import Path
 from typing import Any
 
 from ..data import MobyDataset
-from ..data.csvio import write_locations, write_rentals
-from ..exceptions import DatasetTooLargeError, ServiceError
+from ..data.csvio import (
+    read_locations,
+    read_rentals,
+    write_locations,
+    write_rentals,
+)
+from ..exceptions import DatasetTooLargeError, ServiceError, StoreQuotaError
 from ..pipeline.fingerprint import dataset_digest
+from ..store import NAME_KEY, DirBackend, MemoryBackend, Namespace
 
-#: Dataset names become path components; keep them boring.
-_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+#: Dataset names become path components; the storage layer's canonical
+#: name-key pattern keeps them boring.
+_NAME_RE = NAME_KEY
 
 #: Default per-upload cap — far above the paper-scale dataset (~8 MB
 #: of CSV) but low enough that one client cannot fill a disk.
 DEFAULT_MAX_DATASET_BYTES = 64 << 20
+
+#: The files making up one stored dataset; ``meta.json`` is the
+#: recency anchor and only the CSV pair counts against byte quotas.
+_PARTS = ("locations.csv", "rentals.csv", "meta.json")
+_ACCOUNTED = ("locations.csv", "rentals.csv")
 
 
 def check_dataset_name(name: str) -> str:
@@ -78,8 +93,29 @@ def _csv_pair(dataset: MobyDataset) -> tuple[str, str]:
     return locations.getvalue(), rentals.getvalue()
 
 
+def datasets_namespace(
+    backend,
+    *,
+    max_dataset_bytes: int | None = DEFAULT_MAX_DATASET_BYTES,
+    max_total_bytes: int | None = None,
+    max_datasets: int | None = None,
+) -> Namespace:
+    """The canonical dataset namespace policy over ``backend``."""
+    return Namespace(
+        backend,
+        key_pattern=_NAME_RE,
+        key_label="dataset",
+        parts=_PARTS,
+        accounted_parts=_ACCOUNTED,
+        max_bytes=max_total_bytes,
+        max_entries=max_datasets,
+        max_entry_bytes=max_dataset_bytes,
+        reject_oversize=True,
+    )
+
+
 class DatasetStore:
-    """Named, digested, size-capped dataset storage (disk or memory)."""
+    """Named, digested, size-capped dataset storage over one namespace."""
 
     def __init__(
         self,
@@ -88,6 +124,7 @@ class DatasetStore:
         max_dataset_bytes: int | None = DEFAULT_MAX_DATASET_BYTES,
         max_total_bytes: int | None = None,
         max_datasets: int | None = None,
+        namespace: Namespace | None = None,
     ) -> None:
         if max_dataset_bytes is not None and max_dataset_bytes < 1:
             raise ServiceError("max_dataset_bytes must be positive (or None)")
@@ -95,26 +132,52 @@ class DatasetStore:
             raise ServiceError("max_total_bytes must be positive (or None)")
         if max_datasets is not None and max_datasets < 1:
             raise ServiceError("max_datasets must be positive (or None)")
-        self.root = Path(root) if root is not None else None
-        self.max_dataset_bytes = max_dataset_bytes
-        self.max_total_bytes = max_total_bytes
-        self.max_datasets = max_datasets
-        self._mutex = threading.Lock()
-        #: Per-name locks ordering disk writes against disk reads of the
-        #: same dataset, so an overwrite can never interleave with a
-        #: load (torn locations/rentals pair) and a (rows, digest) pair
-        #: handed out is always mutually consistent.  Lock order: a name
-        #: lock is taken *before* the store mutex, never after.
-        self._name_locks: dict[str, threading.Lock] = {}
-        #: name -> (meta, dataset | None); ordered oldest-used first.
-        #: In disk mode the dataset object is not retained — the CSVs
-        #: are the source of truth and the service memoises upstream.
-        self._entries: OrderedDict[str, tuple[dict, MobyDataset | None]] = (
-            OrderedDict()
-        )
-        self.evictions = 0
-        if self.root is not None:
-            self._load_existing()
+        if namespace is None:
+            backend = DirBackend(root) if root is not None else MemoryBackend()
+            namespace = datasets_namespace(
+                backend,
+                max_dataset_bytes=max_dataset_bytes,
+                max_total_bytes=max_total_bytes,
+                max_datasets=max_datasets,
+            )
+        self.namespace = namespace
+
+    # ------------------------------------------------------------------
+    # Cap attributes (forwarded so callers can retune a live store)
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> Path | None:
+        backend = self.namespace.backend
+        return backend.root if isinstance(backend, DirBackend) else None
+
+    @property
+    def max_dataset_bytes(self) -> int | None:
+        return self.namespace.max_entry_bytes
+
+    @max_dataset_bytes.setter
+    def max_dataset_bytes(self, value: int | None) -> None:
+        self.namespace.max_entry_bytes = value
+
+    @property
+    def max_total_bytes(self) -> int | None:
+        return self.namespace.max_bytes
+
+    @max_total_bytes.setter
+    def max_total_bytes(self, value: int | None) -> None:
+        self.namespace.max_bytes = value
+
+    @property
+    def max_datasets(self) -> int | None:
+        return self.namespace.max_entries
+
+    @max_datasets.setter
+    def max_datasets(self, value: int | None) -> None:
+        self.namespace.max_entries = value
+
+    @property
+    def evictions(self) -> int:
+        return self.namespace.evictions
 
     # ------------------------------------------------------------------
     # Store / fetch / drop
@@ -128,42 +191,40 @@ class DatasetStore:
         LRU-evicted as needed to honour the store-wide caps.  An upload
         that alone exceeds ``max_dataset_bytes`` — or that cannot fit
         even after evicting everything else — is rejected with
-        :class:`ServiceError` and the store is left unchanged.
+        :class:`DatasetTooLargeError` and the store is left unchanged.
         """
         check_dataset_name(name)
         locations_csv, rentals_csv = _csv_pair(dataset)
-        n_bytes = len(locations_csv.encode("utf-8")) + len(
-            rentals_csv.encode("utf-8")
-        )
-        if self.max_dataset_bytes is not None and n_bytes > self.max_dataset_bytes:
-            raise DatasetTooLargeError(
-                f"dataset {name!r} is {n_bytes} bytes serialised; the "
-                f"per-dataset cap is {self.max_dataset_bytes}"
-            )
-        if self.max_total_bytes is not None and n_bytes > self.max_total_bytes:
-            raise DatasetTooLargeError(
-                f"dataset {name!r} is {n_bytes} bytes serialised; the "
-                f"whole store is capped at {self.max_total_bytes}"
-            )
         meta = {
             "type": "Dataset",
             "name": name,
             "digest": dataset_digest(dataset),
-            "bytes": n_bytes,
+            "bytes": (
+                len(locations_csv.encode("utf-8"))
+                + len(rentals_csv.encode("utf-8"))
+            ),
             "n_locations": dataset.n_locations,
             "n_rentals": dataset.n_rentals,
             "n_stations": dataset.n_stations,
             "created_at": time.time(),
         }
-        with self._name_lock(name):
-            with self._mutex:
-                if self.root is not None:
-                    self._write_disk(name, locations_csv, rentals_csv, meta)
-                    self._entries[name] = (meta, None)
-                else:
-                    self._entries[name] = (meta, dataset)
-                self._entries.move_to_end(name)
-                self._evict_locked(keep=name)
+        # The name lock orders this write against reads of the same
+        # dataset, so a (rows, digest) pair handed out is always
+        # mutually consistent and never a torn CSV pair.
+        with self.namespace.lock(name):
+            try:
+                self.namespace.put_entry(
+                    name,
+                    {
+                        "locations.csv": locations_csv.encode("utf-8"),
+                        "rentals.csv": rentals_csv.encode("utf-8"),
+                        "meta.json": json.dumps(meta, sort_keys=True).encode(
+                            "utf-8"
+                        ),
+                    },
+                )
+            except StoreQuotaError as error:
+                raise DatasetTooLargeError(str(error)) from error
         return dict(meta)
 
     def get(self, name: str) -> MobyDataset | None:
@@ -174,165 +235,87 @@ class DatasetStore:
     def get_with_digest(self, name: str) -> tuple[MobyDataset, str] | None:
         """An atomically consistent (rows, content digest) pair.
 
-        The name lock is held across the metadata snapshot and the row
+        The name lock is held across the metadata read and the row
         load, so a concurrent overwrite can never pair the new rows
         with the old digest (or hand out a torn CSV pair).  This is the
         resolution path the service fingerprints scenarios through.
         """
-        with self._name_lock(name):
-            with self._mutex:
-                entry = self._entries.get(name)
-                if entry is None:
-                    return None
-                self._entries.move_to_end(name)
-                meta, dataset = entry
-            if dataset is not None:
-                return dataset, meta["digest"]
-            assert self.root is not None
-            try:
-                loaded = MobyDataset.from_csv(self.root / name)
-            except OSError:
-                return None  # evicted/deleted underneath us: gone
-            self._touch(name)
-            return loaded, meta["digest"]
+        with self.namespace.lock(name):
+            meta = self._meta(name)
+            if meta is None:
+                return None
+            parts = {}
+            for part in _ACCOUNTED:
+                # get_part (not peek): a resolve is a real access — it
+                # counts as a namespace hit/miss and refreshes the
+                # entry's LRU recency through the anchor.
+                data = self.namespace.get_part(name, part)
+                if data is None:
+                    return None  # evicted/deleted underneath us: gone
+                parts[part] = data
+        loaded = MobyDataset.from_records(
+            read_locations(StringIO(parts["locations.csv"].decode("utf-8"))),
+            read_rentals(StringIO(parts["rentals.csv"].decode("utf-8"))),
+        )
+        return loaded, meta["digest"]
 
     def delete(self, name: str) -> bool:
-        """Drop ``name``; returns whether it existed."""
-        with self._name_lock(name):
-            with self._mutex:
-                entry = self._entries.pop(name, None)
-                if entry is None:
-                    return False
-                if self.root is not None:
-                    self._delete_disk(name)
-        return True
+        """Drop ``name``; returns whether it existed.
+
+        An invalid name never existed (read path semantics — only
+        :meth:`put` rejects bad names loudly), so HTTP DELETE stays a
+        clean 404 instead of an exception.
+        """
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            return False
+        with self.namespace.lock(name):
+            return self.namespace.delete(name)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
+    def _meta(self, name: str) -> dict[str, Any] | None:
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            return None  # an invalid name is simply absent on reads
+        data = self.namespace.peek_part(name, "meta.json")
+        if data is None:
+            return None
+        try:
+            meta = json.loads(data.decode("utf-8"))
+        except ValueError:
+            return None  # torn/foreign entry: invisible
+        if not isinstance(meta, dict) or meta.get("name") != name:
+            return None
+        return meta
+
     def digest(self, name: str) -> str | None:
         """Content digest of ``name`` without loading the rows."""
-        with self._mutex:
-            entry = self._entries.get(name)
-            return entry[0]["digest"] if entry is not None else None
+        meta = self._meta(name)
+        return meta.get("digest") if meta is not None else None
 
     def meta(self, name: str) -> dict[str, Any] | None:
         """The metadata document of ``name`` (a copy), or ``None``."""
-        with self._mutex:
-            entry = self._entries.get(name)
-            return dict(entry[0]) if entry is not None else None
+        return self._meta(name)
 
     def list(self) -> list[dict[str, Any]]:
         """Metadata documents of every stored dataset, name order."""
-        with self._mutex:
-            return [
-                dict(meta)
-                for _, (meta, _) in sorted(self._entries.items())
-            ]
+        documents = []
+        for name in self.namespace.keys():
+            meta = self._meta(name)
+            if meta is not None:
+                documents.append(meta)
+        return documents
 
     def total_bytes(self) -> int:
         """Serialised bytes across every stored dataset."""
-        with self._mutex:
-            return sum(meta["bytes"] for meta, _ in self._entries.values())
+        return self.namespace.total_bytes()
 
     def __contains__(self, name: str) -> bool:
-        with self._mutex:
-            return name in self._entries
+        return self._meta(name) is not None
 
     def __len__(self) -> int:
-        with self._mutex:
-            return len(self._entries)
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-
-    def _name_lock(self, name: str) -> threading.Lock:
-        with self._mutex:
-            return self._name_locks.setdefault(name, threading.Lock())
-
-    def _evict_locked(self, keep: str) -> None:
-        """LRU-evict datasets other than ``keep`` until the caps hold."""
-
-        def over() -> bool:
-            if self.max_datasets is not None and len(self._entries) > self.max_datasets:
-                return True
-            if self.max_total_bytes is not None:
-                total = sum(m["bytes"] for m, _ in self._entries.values())
-                if total > self.max_total_bytes:
-                    return True
-            return False
-
-        while over():
-            victim = next(
-                (name for name in self._entries if name != keep), None
-            )
-            if victim is None:
-                return  # only `keep` is left; put() pre-checked its size
-            del self._entries[victim]
-            if self.root is not None:
-                self._delete_disk(victim)
-            self.evictions += 1
-
-    def _dir(self, name: str) -> Path:
-        assert self.root is not None
-        return self.root / name
-
-    def _write_disk(
-        self, name: str, locations_csv: str, rentals_csv: str, meta: dict
-    ) -> None:
-        directory = self._dir(name)
-        directory.mkdir(parents=True, exist_ok=True)
-        # Per-file atomic publish, meta.json last: a crash mid-overwrite
-        # leaves either the old or the new content behind each file, and
-        # the startup scan only trusts directories with a readable meta.
-        for filename, text in (
-            ("locations.csv", locations_csv),
-            ("rentals.csv", rentals_csv),
-            ("meta.json", json.dumps(meta, sort_keys=True)),
-        ):
-            path = directory / filename
-            tmp = path.with_suffix(
-                f".tmp.{os.getpid()}.{threading.get_ident()}"
-            )
-            tmp.write_text(text)
-            os.replace(tmp, path)
-
-    def _delete_disk(self, name: str) -> None:
-        directory = self._dir(name)
-        for filename in ("meta.json", "locations.csv", "rentals.csv"):
-            (directory / filename).unlink(missing_ok=True)
-        try:
-            directory.rmdir()
-        except OSError:
-            pass  # stray files: leave the directory behind
-
-    def _touch(self, name: str) -> None:
-        """Refresh the on-disk recency stamp (survives restarts)."""
-        try:
-            os.utime(self._dir(name) / "meta.json")
-        except OSError:
-            pass
-
-    def _load_existing(self) -> None:
-        """Adopt datasets a previous process stored under ``root``."""
-        assert self.root is not None
-        found: list[tuple[float, str, dict]] = []
-        try:
-            children = sorted(self.root.iterdir())
-        except OSError:
-            return
-        for child in children:
-            meta_path = child / "meta.json"
-            try:
-                meta = json.loads(meta_path.read_text())
-                mtime = meta_path.stat().st_mtime
-            except (OSError, ValueError):
-                continue  # partial/foreign directory: ignore
-            if not isinstance(meta, dict) or meta.get("name") != child.name:
-                continue
-            found.append((mtime, child.name, meta))
-        found.sort()  # least recently used first
-        for _, name, meta in found:
-            self._entries[name] = (meta, None)
+        # Deliberately not namespace.entries(): only entries whose
+        # metadata parses are real datasets — a torn/foreign meta.json
+        # must stay invisible here just as it is in list()/get().
+        return len(self.list())

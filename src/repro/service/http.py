@@ -64,6 +64,7 @@ ROUTES: tuple[tuple[str, str], ...] = (
     ("GET", "/v1/healthz"),
     ("POST", "/v1/runs"),
     ("POST", "/v1/sweeps"),
+    ("GET", "/v1/jobs"),
     ("GET", "/v1/jobs/<id>"),
     ("DELETE", "/v1/jobs/<id>"),
     ("GET", "/v1/results/<fingerprint>"),
@@ -241,6 +242,8 @@ class _Handler(BaseHTTPRequestHandler):
             )
         elif path.startswith("/v1/datasets/"):
             self._get_dataset(path.removeprefix("/v1/datasets/"))
+        elif path == "/v1/jobs":
+            self._list_jobs()
         elif path.startswith("/v1/jobs/"):
             self._get_job(path.removeprefix("/v1/jobs/"))
         elif path.startswith("/v1/results/"):
@@ -320,6 +323,20 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Jobs
     # ------------------------------------------------------------------
+
+    def _list_jobs(self) -> None:
+        """Every retained job document, oldest first.
+
+        Over a shared ``--store-dir`` this includes jobs journalled by
+        previous processes — the restart-visibility listing.
+        """
+        self._send_json(
+            200,
+            {
+                "type": "JobList",
+                "jobs": [job.to_dict() for job in self.service.jobs()],
+            },
+        )
 
     def _get_job(self, job_id: str) -> None:
         job: Job | None = self.service.job(job_id)

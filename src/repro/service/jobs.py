@@ -1,4 +1,4 @@
-"""Job objects: one submitted scenario moving through the service.
+"""Job objects and the durable job journal.
 
 A job is the unit the HTTP API reports on (``GET /v1/jobs/<id>``) and
 the handle :meth:`ExpansionService.submit` hands back.  Identical
@@ -6,16 +6,27 @@ concurrent submissions share one job — the fingerprint, not the job
 id, is a result's durable identity (``GET /v1/results/<fp>``), so job
 metadata (timestamps, status) deliberately stays *outside* the result
 envelope, keeping envelopes byte-identical across surfaces.
+
+When the service runs over a shared store (``--store-dir``), every
+lifecycle transition is journalled through a :class:`JobStore` — one
+canonical-JSON job document per id in a ``jobs`` namespace — so a
+restarted ``repro serve`` lists prior jobs, serves their results from
+the results store, and re-queues the jobs that were still pending (or
+interrupted mid-run) at shutdown.
 """
 
 from __future__ import annotations
 
+import json
+import re
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 from ..exceptions import JobCancelledError, JobFailedError, ServiceError
+from ..serialize import canonical_json
+from ..store import Namespace
 from .spec import ScenarioSpec
 
 #: Job lifecycle states.
@@ -128,7 +139,13 @@ class Job:
             )
         if self.status == CANCELLED:
             raise JobCancelledError(f"job {self.job_id} was cancelled")
-        assert self._envelope is not None
+        if self._envelope is None:
+            # A job restored from the journal finished in a previous
+            # process; its envelope lives in the results store.
+            raise ServiceError(
+                f"job {self.job_id} finished in a previous process; fetch "
+                f"its envelope from the results store as {self.fingerprint}"
+            )
         return self._envelope
 
     def envelope(self) -> dict | None:
@@ -156,3 +173,109 @@ class Job:
         if self.status == DONE:
             payload["result_url"] = f"/v1/results/{self.fingerprint}"
         return payload
+
+    @classmethod
+    def from_document(cls, payload: dict[str, Any]) -> "Job":
+        """Restore a job from its journalled :meth:`to_dict` document.
+
+        Terminal jobs come back finished (waiters are released; the
+        envelope itself lives in the results store under the job's
+        fingerprint).  Derived fields (``cancel_requested``,
+        ``result_url``) are recomputed, not read.
+        """
+        job = cls(
+            job_id=str(payload["job_id"]),
+            spec=ScenarioSpec.from_dict(payload["spec"]),
+            fingerprint=str(payload["fingerprint"]),
+            status=str(payload.get("status", PENDING)),
+            error=payload.get("error"),
+            created_at=float(payload.get("created_at") or time.time()),
+            started_at=payload.get("started_at"),
+            finished_at=payload.get("finished_at"),
+            subscribers=int(payload.get("subscribers", 1)),
+        )
+        if job.status not in (PENDING, RUNNING, DONE, FAILED, CANCELLED):
+            raise ServiceError(f"unknown job status {job.status!r}")
+        job.timings = payload.get("timings")
+        if payload.get("cancel_requested"):
+            job.cancel_event.set()  # a journalled cancel survives restarts
+        if job.finished:
+            job._event.set()
+        return job
+
+
+# ---------------------------------------------------------------------------
+# The durable job journal
+# ---------------------------------------------------------------------------
+
+#: Canonical job-id shape (``job-000001``); the journal's key encoding.
+_JOB_ID = re.compile(r"^job-[0-9]{1,12}$")
+
+
+def jobs_namespace(backend) -> Namespace:
+    """The canonical job-journal namespace policy over ``backend``."""
+    return Namespace(
+        backend,
+        key_pattern=_JOB_ID,
+        key_label="job id",
+        suffix=".json",
+    )
+
+
+class JobStore:
+    """Job documents journalled through one ``jobs`` namespace.
+
+    Writes are atomic whole-document replacements (last transition
+    wins), so the journal always holds a parseable snapshot of every
+    job's most recent state — exactly what a restarted service adopts.
+    """
+
+    def __init__(self, namespace: Namespace) -> None:
+        self.namespace = namespace
+
+    def put(self, job: Job) -> None:
+        """Journal ``job``'s current state (best-effort on a full disk)."""
+        try:
+            self.namespace.put(
+                job.job_id, canonical_json(job.to_dict()).encode("utf-8")
+            )
+        except OSError:
+            pass
+
+    def delete(self, job_id: str) -> bool:
+        """Drop one journalled document (retention pruning)."""
+        return self.namespace.delete(job_id)
+
+    def load(self) -> Iterator[Job]:
+        """Restore every journalled job, oldest id first.
+
+        Garbled documents (torn writes from a crash, foreign files) are
+        skipped — losing one status document never blocks a restart.
+        """
+        def counter(job_id: str) -> int:
+            try:
+                return int(job_id.split("-", 1)[1])
+            except ValueError:
+                return 0
+
+        for job_id in sorted(self.namespace.keys(), key=counter):
+            data = self.namespace.get(job_id)
+            if data is None:
+                continue
+            try:
+                payload = json.loads(data.decode("utf-8"))
+                if not isinstance(payload, dict) or payload.get("type") != "Job":
+                    continue
+                yield Job.from_document(payload)
+            except (ServiceError, KeyError, TypeError, ValueError):
+                continue
+
+    def max_counter(self) -> int:
+        """The highest numeric job-id suffix present (0 when empty)."""
+        highest = 0
+        for job_id in self.namespace.keys():
+            try:
+                highest = max(highest, int(job_id.split("-", 1)[1]))
+            except ValueError:
+                continue
+        return highest

@@ -20,13 +20,22 @@ Two clients racing on the same scenario therefore share one pipeline
 execution, and a scenario computed by any surface is warm for all of
 them — the stage cache dedupes *stage* work across different specs,
 the results store and in-flight table dedupe *whole scenarios*.
+
+Storage is one pluggable subsystem (:mod:`repro.store`).  Constructed
+with ``store_dir``/``store_backend`` the service roots its stage
+cache, results store, dataset store *and job journal* in namespaces of
+a single :class:`~repro.store.Store` — stop the process, start a new
+one over the same directory, and prior jobs are listed, their results
+served, and the jobs that were still queued (or interrupted mid-run)
+are re-queued and resume against the warm stage cache.  The legacy
+per-store parameters (``cache_dir``/``results_dir``/``datasets_dir``)
+remain as deprecated aliases addressing the same layouts directly.
 """
 
 from __future__ import annotations
 
 import json
 import threading
-from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Mapping
@@ -39,23 +48,29 @@ from ..analysis.rebalancing import plan_weekend_rebalancing
 from ..data import MobyDataset
 from ..exceptions import PipelineCancelledError, ServiceError
 from ..perf import StageTimer
-from ..pipeline.cache import StageCache
+from ..pipeline.cache import StageCache, stage_namespace
 from ..pipeline.fingerprint import dataset_digest
 from ..pipeline.runner import PipelineRunner, run_sweep
 from ..reporting import sweep_summary
 from ..reporting.markdown import render_markdown_report
 from ..serialize import ENVELOPE_VERSION, canonical_json
+from ..store import ObjectLRU, Store
 from ..synth import SyntheticMobyGenerator
-from .datasets import DEFAULT_MAX_DATASET_BYTES, DatasetStore
-from .jobs import Job
+from .datasets import (
+    DEFAULT_MAX_DATASET_BYTES,
+    DatasetStore,
+    datasets_namespace,
+)
+from .jobs import PENDING, RUNNING, Job, JobStore, jobs_namespace
 from .spec import (
     OUTPUT_REBALANCE,
     OUTPUT_REPORT,
     OUTPUT_RUN,
     OUTPUT_SWEEP,
+    DatasetRef,
     ScenarioSpec,
 )
-from .store import ResultsStore
+from .store import ResultsStore, results_namespace
 
 
 class ExpansionService:
@@ -63,12 +78,22 @@ class ExpansionService:
 
     Parameters
     ----------
+    store / store_dir / store_backend:
+        The shared storage subsystem.  ``store_dir`` roots every
+        namespace (stage cache, results, datasets, job journal) in one
+        :class:`~repro.store.Store` tree; ``store_backend`` picks the
+        layout (``dir``, ``sharded``, or ``memory``).  With a job
+        journal present the service restores prior jobs on
+        construction and re-queues the ones a previous process left
+        pending or running.
     cache:
         A shared :class:`StageCache`; built from ``cache_dir`` /
-        ``cache_bytes`` / ``cache_entries`` when omitted.
+        ``cache_bytes`` / ``cache_entries`` (deprecated aliases) or
+        the store's ``stage`` namespace when omitted.
     results_dir:
-        Directory persisting result envelopes by fingerprint (in-memory
-        when omitted).
+        Deprecated alias: directory persisting result envelopes by
+        fingerprint directly (the store's ``results`` namespace, or
+        memory, when omitted).
     max_workers:
         Bound on concurrently executing jobs.
     pipeline_jobs:
@@ -87,13 +112,17 @@ class ExpansionService:
         count against the limit.  ``None`` disables pruning.
     datasets:
         A :class:`DatasetStore` for ``named`` dataset refs; built from
-        ``datasets_dir`` and the ``dataset*`` caps when omitted
-        (memory-only without a directory).
+        ``datasets_dir`` (deprecated alias) or the store's
+        ``datasets`` namespace and the ``dataset*`` caps when omitted
+        (memory-only without either).
     """
 
     def __init__(
         self,
         *,
+        store: Store | None = None,
+        store_dir: str | Path | None = None,
+        store_backend: str | None = None,
         cache: StageCache | None = None,
         cache_dir: str | Path | None = None,
         cache_bytes: int | None = None,
@@ -109,6 +138,7 @@ class ExpansionService:
         max_dataset_bytes: int | None = DEFAULT_MAX_DATASET_BYTES,
         max_datasets_bytes: int | None = None,
         max_datasets: int | None = None,
+        resume_jobs: bool = True,
     ) -> None:
         if max_workers < 1:
             raise ServiceError("max_workers must be at least 1")
@@ -119,15 +149,59 @@ class ExpansionService:
         self.pipeline_executor = pipeline_executor
         self.sweep_executor = sweep_executor
         self.retain_jobs = retain_jobs
-        self.cache = cache if cache is not None else StageCache(
-            cache_dir, max_bytes=cache_bytes, max_entries=cache_entries
-        )
-        self.results = ResultsStore(results_dir)
-        self.datasets = datasets if datasets is not None else DatasetStore(
-            datasets_dir,
-            max_dataset_bytes=max_dataset_bytes,
-            max_total_bytes=max_datasets_bytes,
-            max_datasets=max_datasets,
+        if store is None and (store_dir is not None or store_backend is not None):
+            store = Store(store_dir, store_backend)
+        self.store = store
+        # Per component: an explicit object wins, then the deprecated
+        # per-store directory alias, then the shared store's namespace,
+        # then memory.  Aliases address the exact same on-disk layouts
+        # the components wrote before storage was unified, so existing
+        # directories keep working either way.
+        if cache is not None:
+            self.cache = cache
+        elif cache_dir is not None or store is None or store.backend_kind == "memory":
+            # A memory "durable" tier would just duplicate every stage
+            # value as an unbounded in-RAM pickle next to the bounded
+            # ObjectLRU — no durability bought; skip it entirely.
+            self.cache = StageCache(
+                cache_dir, max_bytes=cache_bytes, max_entries=cache_entries
+            )
+        else:
+            self.cache = StageCache(
+                namespace=stage_namespace(
+                    store.backend("stage"),
+                    max_bytes=cache_bytes,
+                    max_entries=cache_entries,
+                )
+            )
+        if results_dir is not None or store is None:
+            self.results = ResultsStore(results_dir)
+        else:
+            self.results = ResultsStore(
+                namespace=results_namespace(store.backend("results"))
+            )
+        if datasets is not None:
+            self.datasets = datasets
+        elif datasets_dir is not None or store is None:
+            self.datasets = DatasetStore(
+                datasets_dir,
+                max_dataset_bytes=max_dataset_bytes,
+                max_total_bytes=max_datasets_bytes,
+                max_datasets=max_datasets,
+            )
+        else:
+            self.datasets = DatasetStore(
+                namespace=datasets_namespace(
+                    store.backend("datasets"),
+                    max_dataset_bytes=max_dataset_bytes,
+                    max_total_bytes=max_datasets_bytes,
+                    max_datasets=max_datasets,
+                )
+            )
+        self.jobstore = (
+            JobStore(jobs_namespace(store.backend("jobs")))
+            if store is not None
+            else None
         )
         self.pipeline_jobs = pipeline_jobs
         self._pool = ThreadPoolExecutor(
@@ -136,9 +210,7 @@ class ExpansionService:
         self._mutex = threading.Lock()
         self._jobs: dict[str, Job] = {}
         self._inflight: dict[str, Job] = {}
-        self._datasets: OrderedDict[tuple, tuple[MobyDataset, str]] = (
-            OrderedDict()
-        )
+        self._datasets: ObjectLRU = ObjectLRU(DATASET_CACHE_SLOTS)
         self._job_counter = 0
         #: How many times a pipeline actually executed (not deduplicated,
         #: not served from the results store).  The dedup tests and the
@@ -146,6 +218,12 @@ class ExpansionService:
         self.pipeline_executions = 0
         #: Terminal jobs dropped by the retention policy.
         self.jobs_pruned = 0
+        #: Jobs adopted from a previous process's journal, and how many
+        #: of them were re-queued (pending/running at shutdown).
+        self.jobs_restored = 0
+        self.jobs_requeued = 0
+        if self.jobstore is not None:
+            self._restore_jobs(resume=resume_jobs)
 
     # ------------------------------------------------------------------
     # Datasets
@@ -167,7 +245,11 @@ class ExpansionService:
         return self.datasets.delete(name)
 
     def _resolve_dataset(self, spec: ScenarioSpec) -> tuple[MobyDataset, str]:
-        """(raw dataset, content digest) for a spec's dataset ref.
+        """(raw dataset, content digest) for a spec's dataset ref."""
+        return self._resolve_ref(spec.dataset)
+
+    def _resolve_ref(self, ref: DatasetRef) -> tuple[MobyDataset, str]:
+        """(raw dataset, content digest) for one dataset ref.
 
         Resolutions are memoised in a small LRU; csv entries are keyed
         by the files' identity (mtime/size) and named entries by the
@@ -175,7 +257,6 @@ class ExpansionService:
         overwriting a name invalidates the memo instead of serving
         stale results until restart.
         """
-        ref = spec.dataset
         if ref.kind == "synthetic":
             key: tuple = ("synthetic", ref.seed)
         elif ref.kind == "csv":
@@ -197,11 +278,9 @@ class ExpansionService:
             if named_digest is None:
                 raise ServiceError(f"no dataset registered as {ref.name!r}")
             key = ("named", ref.name, named_digest)
-        with self._mutex:
-            cached = self._datasets.get(key)
-            if cached is not None:
-                self._datasets.move_to_end(key)
-                return cached
+        cached = self._datasets.get(key)
+        if cached is not None:
+            return cached
         if ref.kind == "synthetic":
             raw = SyntheticMobyGenerator(seed=ref.seed).generate()
             resolved = (raw, dataset_digest(raw))
@@ -222,11 +301,7 @@ class ExpansionService:
             if resolved is None:
                 raise ServiceError(f"no dataset registered as {ref.name!r}")
             key = ("named", ref.name, resolved[1])
-        with self._mutex:
-            self._datasets[key] = resolved
-            self._datasets.move_to_end(key)
-            while len(self._datasets) > DATASET_CACHE_SLOTS:
-                self._datasets.popitem(last=False)
+        self._datasets.put(key, resolved)
         return resolved
 
     # ------------------------------------------------------------------
@@ -237,44 +312,156 @@ class ExpansionService:
         """Queue a scenario; identical in-flight requests share one job."""
         if isinstance(spec, Mapping):
             spec = ScenarioSpec.from_dict(spec)
-        raw, digest = self._resolve_dataset(spec)
-        fingerprint = spec.fingerprint(digest)
+        raw, digest, resolved, fingerprint = self._resolve_spec(spec)
         with self._mutex:
             inflight = self._inflight.get(fingerprint)
             if inflight is not None:
                 inflight.subscribers += 1
                 return inflight
-            self._job_counter += 1
-            job = Job(
-                job_id=f"job-{self._job_counter:06d}",
-                spec=spec,
-                fingerprint=fingerprint,
-            )
+        job_id = self._claim_job_id()
+        with self._mutex:
+            inflight = self._inflight.get(fingerprint)
+            if inflight is not None:
+                # Lost the race to an identical submission while the id
+                # was being claimed: join it (the claimed id is a gap).
+                inflight.subscribers += 1
+                return inflight
+            job = Job(job_id=job_id, spec=spec, fingerprint=fingerprint)
             self._jobs[job.job_id] = job
             self._inflight[fingerprint] = job
-            self._prune_jobs_locked()
-        self._pool.submit(self._execute, job, raw, digest)
+            pruned = self._prune_jobs_locked()
+        # Journal I/O happens outside the mutex: unlinking pruned
+        # documents (or a slow disk) must not stall concurrent
+        # submissions and status lookups.
+        if self.jobstore is not None:
+            for job_id in pruned:
+                self.jobstore.delete(job_id)
+        self._journal(job)
+        self._pool.submit(self._execute, job, raw, digest, resolved)
         return job
 
-    def _prune_jobs_locked(self) -> None:
+    def _claim_job_id(self) -> str:
+        """Allocate the next unused job id.
+
+        The counter moves under the mutex, but the journal probe — one
+        backend stat per candidate, needed because another process on
+        the same store (a one-shot CLI embedder next to a server) may
+        have journalled ids this counter never saw — runs *outside* it,
+        so a slow disk cannot stall concurrent status lookups.
+        Overwriting a foreign document would silently erase history.
+        """
+        while True:
+            with self._mutex:
+                self._job_counter += 1
+                candidate = f"job-{self._job_counter:06d}"
+            if self.jobstore is None or candidate not in self.jobstore.namespace:
+                return candidate
+
+    def _resolve_spec(
+        self, spec: ScenarioSpec
+    ) -> tuple[MobyDataset, str, list | None, str]:
+        """Resolve a spec's data and identity: (raw, digest, sweep, fp).
+
+        For a dataset-axis sweep every named dataset is resolved up
+        front — the fingerprint must track all of their content
+        digests — and the resolved ``(name, raw, digest)`` triples ride
+        along to execution so the envelope is built from exactly the
+        content that was fingerprinted.
+        """
+        if spec.sweep_datasets:
+            resolved = [
+                (name, *self._resolve_ref(DatasetRef.named(name)))
+                for name in spec.sweep_datasets
+            ]
+            fingerprint = spec.fingerprint(
+                "",
+                sweep_dataset_digests=[
+                    (name, digest) for name, _, digest in resolved
+                ],
+            )
+            _, raw, digest = resolved[0]
+            return raw, digest, resolved, fingerprint
+        raw, digest = self._resolve_dataset(spec)
+        return raw, digest, None, spec.fingerprint(digest)
+
+    def _journal(self, job: Job) -> None:
+        """Persist ``job``'s current state to the job journal, if any."""
+        if self.jobstore is not None:
+            self.jobstore.put(job)
+
+    def _restore_jobs(self, resume: bool = True) -> None:
+        """Adopt a previous process's journalled jobs (constructor path).
+
+        Terminal jobs come back as status documents whose envelopes the
+        results store still serves; jobs that were pending or running
+        at shutdown are re-queued — re-resolved and executed afresh,
+        resuming from whatever the stage cache already holds.  One-shot
+        embedders (the CLI subcommands) pass ``resume=False`` so a
+        short-lived service over a long-lived store never hijacks
+        another process's backlog; the jobs stay pending in the journal
+        for the next resuming service.
+        """
+        assert self.jobstore is not None
+        requeue: list[Job] = []
+        self._job_counter = max(self._job_counter, self.jobstore.max_counter())
+        for job in self.jobstore.load():
+            self._jobs[job.job_id] = job
+            self.jobs_restored += 1
+            if job.status in (PENDING, RUNNING) and resume:
+                job.status = PENDING
+                job.started_at = None
+                requeue.append(job)
+        for job in requeue:
+            self.jobs_requeued += 1
+            self._journal(job)  # back to pending before the pool runs it
+            self._pool.submit(self._execute_restored, job)
+
+    def _execute_restored(self, job: Job) -> None:
+        """Re-run one re-queued job: resolve late, then execute normally.
+
+        Dataset resolution happens here (on the worker) rather than in
+        the constructor so a large backlog cannot stall startup; a
+        dataset that no longer resolves fails the job instead of the
+        restart.  A fresh submission racing a restored job on the same
+        fingerprint may execute alongside it — the shared stage cache's
+        per-key locks make the overlap cheap and both land the same
+        envelope — while dedup bookkeeping stays correct: each job only
+        clears its own in-flight registration.
+        """
+        try:
+            raw, digest, resolved, fingerprint = self._resolve_spec(job.spec)
+        except Exception as error:
+            job.fail(f"{type(error).__name__}: {error}")
+            self._journal(job)
+            return
+        job.fingerprint = fingerprint  # content may have moved meanwhile
+        with self._mutex:
+            self._inflight.setdefault(fingerprint, job)
+        self._execute(job, raw, digest, resolved)
+
+    def _prune_jobs_locked(self) -> list[str]:
         """Drop the oldest terminal jobs beyond :attr:`retain_jobs`.
 
-        Caller holds the mutex.  The job *table* is what grows without
-        bound on a long-lived service — result envelopes live in the
-        results store under their fingerprint, so pruning a job never
-        loses a result, only its status document.
+        Caller holds the mutex and is responsible for deleting the
+        returned ids from the job journal *after* releasing it.  The
+        job *table* is what grows without bound on a long-lived service
+        — result envelopes live in the results store under their
+        fingerprint, so pruning a job never loses a result, only its
+        status document.
         """
         if self.retain_jobs is None:
-            return
+            return []
         # Only terminal jobs count against the limit — a burst of
         # in-flight work must never push finished documents out early.
         terminal = [
             job_id for job_id, job in self._jobs.items() if job.finished
         ]  # insertion = age order
         excess = len(terminal) - self.retain_jobs
-        for job_id in terminal[:max(0, excess)]:
+        pruned = terminal[:max(0, excess)]
+        for job_id in pruned:
             del self._jobs[job_id]
             self.jobs_pruned += 1
+        return pruned
 
     def run(
         self,
@@ -288,6 +475,11 @@ class ExpansionService:
         """Look a job up by id."""
         with self._mutex:
             return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """Every retained job — including restored ones — oldest first."""
+        with self._mutex:
+            return list(self._jobs.values())
 
     def cancel(self, job_id: str) -> Job | None:
         """Request cooperative cancellation of a job.
@@ -304,6 +496,15 @@ class ExpansionService:
         job = self.job(job_id)
         if job is not None:
             job.request_cancel()
+            # Journal the request so a cancel of a queued job survives a
+            # restart instead of resurrecting the revoked scenario.
+            self._journal(job)
+            if job.finished:
+                # The worker's terminal write may have landed *before*
+                # our snapshot: re-journal so the record can never end
+                # as "running + cancel requested" for a job that in
+                # fact completed (a restart would wrongly cancel it).
+                self._journal(job)
         return job
 
     def stats(self) -> dict[str, Any]:
@@ -311,17 +512,24 @@ class ExpansionService:
         with self._mutex:
             n_jobs = len(self._jobs)
             n_inflight = len(self._inflight)
+        # Occupancy numbers come from the namespaces' TTL-cached scans
+        # (see Namespace.stats), never fresh per-request directory
+        # walks — healthz must stay cheap under monitoring pollers.
+        results_stats = self.results.namespace.stats()
+        datasets_stats = self.datasets.namespace.stats()
         return {
             "status": "ok",
             "jobs": n_jobs,
             "jobs_pruned": self.jobs_pruned,
+            "jobs_restored": self.jobs_restored,
+            "jobs_requeued": self.jobs_requeued,
             "retain_jobs": self.retain_jobs,
             "in_flight": n_inflight,
             "pipeline_executions": self.pipeline_executions,
-            "results_stored": len(self.results),
+            "results_stored": results_stats["entries"],
             "datasets": {
-                "stored": len(self.datasets),
-                "bytes": self.datasets.total_bytes(),
+                "stored": datasets_stats["entries"],
+                "bytes": datasets_stats["bytes"],
                 "evictions": self.datasets.evictions,
             },
             "cache": {
@@ -330,7 +538,29 @@ class ExpansionService:
                 "stores": self.cache.stores,
                 "evictions": self.cache.evictions,
             },
+            "store": self._store_stats(),
         }
+
+    def _store_stats(self) -> dict[str, Any]:
+        """Per-namespace occupancy of the storage subsystem.
+
+        Every namespace the service persists through reports its
+        entries/bytes and hit/store/eviction counters — regardless of
+        whether it came from one ``--store-dir`` tree, a deprecated
+        per-store directory alias, or memory.
+        """
+        blocks: dict[str, Any] = {
+            "backend": (
+                self.store.backend_kind if self.store is not None else None
+            ),
+            "results": self.results.namespace.stats(),
+            "datasets": self.datasets.namespace.stats(),
+        }
+        if self.cache.namespace is not None:
+            blocks["stage"] = self.cache.namespace.stats()
+        if self.jobstore is not None:
+            blocks["jobs"] = self.jobstore.namespace.stats()
+        return blocks
 
     def close(self) -> None:
         """Finish queued jobs and shut the worker pool down."""
@@ -346,7 +576,13 @@ class ExpansionService:
     # Execution
     # ------------------------------------------------------------------
 
-    def _execute(self, job: Job, raw: MobyDataset, digest: str) -> None:
+    def _execute(
+        self,
+        job: Job,
+        raw: MobyDataset,
+        digest: str,
+        resolved: list | None = None,
+    ) -> None:
         try:
             if job.cancel_event.is_set():
                 # Cancelled while queued: never starts, reports cancelled
@@ -365,11 +601,17 @@ class ExpansionService:
                 # v1 sweeps without child fingerprints): recompute and
                 # overwrite, instead of silently serving a stale shape.
             job.mark_running()
+            self._journal(job)
             with self._mutex:
                 self.pipeline_executions += 1
             timer = StageTimer()
             envelope = self._build_envelope(
-                job.spec, raw, digest, timer, cancel=job.cancel_event.is_set
+                job.spec,
+                raw,
+                digest,
+                timer,
+                cancel=job.cancel_event.is_set,
+                sweep_resolved=resolved,
             )
             envelope["fingerprint"] = job.fingerprint
             # Timings are job metadata (they vary run to run), not part
@@ -383,8 +625,14 @@ class ExpansionService:
         except Exception as error:
             job.fail(f"{type(error).__name__}: {error}")
         finally:
+            self._journal(job)
             with self._mutex:
-                self._inflight.pop(job.fingerprint, None)
+                # Only clear the entry this job owns: a restored job
+                # racing a fresh identical submission must not evict the
+                # other job's in-flight registration (that would break
+                # dedup for later submissions of the same scenario).
+                if self._inflight.get(job.fingerprint) is job:
+                    del self._inflight[job.fingerprint]
 
     @staticmethod
     def _current_envelope(stored_text: str) -> dict | None:
@@ -414,6 +662,7 @@ class ExpansionService:
         digest: str,
         timer: "StageTimer | None" = None,
         cancel: "Any | None" = None,
+        sweep_resolved: list | None = None,
     ) -> dict[str, Any]:
         """Compute every requested output into one envelope dict."""
         config = spec.config()
@@ -439,7 +688,7 @@ class ExpansionService:
             outputs[OUTPUT_RUN] = run_output
         if OUTPUT_SWEEP in spec.outputs:
             outputs[OUTPUT_SWEEP] = self._sweep_output(
-                spec, raw, digest, cancel=cancel
+                spec, raw, digest, cancel=cancel, resolved=sweep_resolved
             )
         if OUTPUT_REBALANCE in spec.outputs:
             plan = plan_weekend_rebalancing(
@@ -458,13 +707,21 @@ class ExpansionService:
                     result, title=spec.report_title
                 ),
             }
-        return {
+        envelope: dict[str, Any] = {
             "type": "ResultEnvelope",
             "envelope_version": ENVELOPE_VERSION,
             "spec": spec.to_dict(),
             "dataset_digest": digest,
             "outputs": outputs,
         }
+        if spec.sweep_datasets and sweep_resolved is not None:
+            # A dataset-axis sweep has no single base dataset; identity
+            # is the per-name digest map.
+            del envelope["dataset_digest"]
+            envelope["dataset_digests"] = {
+                name: ds_digest for name, _, ds_digest in sweep_resolved
+            }
+        return envelope
 
     def _sweep_output(
         self,
@@ -472,6 +729,7 @@ class ExpansionService:
         raw: MobyDataset,
         digest: str,
         cancel: "Any | None" = None,
+        resolved: list | None = None,
     ) -> dict[str, Any]:
         """The sweep block, with every child individually addressable.
 
@@ -482,61 +740,83 @@ class ExpansionService:
         can fetch one child's full envelope — paginated or streamed —
         without re-downloading the sweep; and a later ``POST /v1/runs``
         for that exact scenario is served from the store, no compute.
+
+        With ``sweep_datasets`` the config grid additionally crosses a
+        dataset axis (``resolved``: one ``(name, raw, digest)`` per
+        swept dataset): all datasets share one stage cache, children
+        carry a ``dataset`` field, and the block gains a ``datasets``
+        list pairing each name with the content digest it resolved to.
         """
         grid = spec.sweep_grid()
-        results = run_sweep(
-            raw,
-            [config for _, config in grid],
-            cache=self.cache,
-            jobs=self.pipeline_jobs,
-            executor=self.sweep_executor,
-            cancel=cancel,
-        )
-        labels = [
-            ", ".join(f"{path}={value}" for path, value in overrides.items())
-            or "paper defaults"
-            for overrides, _ in grid
-        ]
+        axes = resolved if resolved is not None else [(None, raw, digest)]
         scenarios = []
-        for label, (overrides, _), result in zip(labels, grid, results):
-            child_spec = ScenarioSpec(
-                dataset=spec.dataset,
-                overrides={**dict(spec.overrides), **overrides},
-                outputs=(OUTPUT_RUN,),
+        labelled: list[tuple[str, Any]] = []
+        for name, axis_raw, axis_digest in axes:
+            results = run_sweep(
+                axis_raw,
+                [config for _, config in grid],
+                cache=self.cache,
+                jobs=self.pipeline_jobs,
+                executor=self.sweep_executor,
+                cancel=cancel,
             )
-            child_fingerprint = child_spec.fingerprint(digest)
-            child_run = result.to_dict()
-            child_run.pop("timings", None)
-            self.results.put(
-                child_fingerprint,
-                {
-                    "type": "ResultEnvelope",
-                    "envelope_version": ENVELOPE_VERSION,
-                    "fingerprint": child_fingerprint,
-                    "spec": child_spec.to_dict(),
-                    "dataset_digest": digest,
-                    "outputs": {OUTPUT_RUN: child_run},
-                },
-            )
-            scenarios.append(
-                {
+            for (overrides, _), result in zip(grid, results):
+                label_parts = [
+                    f"{path}={value}" for path, value in overrides.items()
+                ]
+                if name is not None:
+                    label_parts.insert(0, f"dataset={name}")
+                label = ", ".join(label_parts) or "paper defaults"
+                child_spec = ScenarioSpec(
+                    dataset=(
+                        DatasetRef.named(name)
+                        if name is not None
+                        else spec.dataset
+                    ),
+                    overrides={**dict(spec.overrides), **overrides},
+                    outputs=(OUTPUT_RUN,),
+                )
+                child_fingerprint = child_spec.fingerprint(axis_digest)
+                child_run = result.to_dict()
+                child_run.pop("timings", None)
+                self.results.put(
+                    child_fingerprint,
+                    {
+                        "type": "ResultEnvelope",
+                        "envelope_version": ENVELOPE_VERSION,
+                        "fingerprint": child_fingerprint,
+                        "spec": child_spec.to_dict(),
+                        "dataset_digest": axis_digest,
+                        "outputs": {OUTPUT_RUN: child_run},
+                    },
+                )
+                scenario = {
                     "label": label,
                     "overrides": overrides,
                     "fingerprint": child_fingerprint,
                     "result_url": f"/v1/results/{child_fingerprint}",
                     "headline": result.headline(),
                 }
-            )
-        return {
+                if name is not None:
+                    scenario["dataset"] = name
+                scenarios.append(scenario)
+                labelled.append((label, result))
+        block: dict[str, Any] = {
             "axes": {
                 path: list(values) for path, values in sorted(spec.sweep_axes)
             },
             "scenarios": scenarios,
             "table": sweep_summary(
-                list(zip(labels, results)),
-                title=f"SCENARIO SWEEP ({len(results)} configs)",
+                labelled,
+                title=f"SCENARIO SWEEP ({len(labelled)} configs)",
             ),
         }
+        if resolved is not None:
+            block["datasets"] = [
+                {"name": name, "digest": axis_digest}
+                for name, _, axis_digest in resolved
+            ]
+        return block
 
 
 def canonical_envelope(envelope: dict) -> str:

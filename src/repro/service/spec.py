@@ -121,6 +121,12 @@ class ScenarioSpec:
     overrides: tuple[tuple[str, Any], ...] = ()
     outputs: tuple[str, ...] = (OUTPUT_RUN,)
     sweep_axes: tuple[tuple[str, tuple[Any, ...]], ...] = ()
+    #: A dataset axis for sweeps: named datasets the whole config grid
+    #: is run over, producing one envelope with every (dataset, config)
+    #: child individually addressable.  When set, ``outputs`` must be
+    #: exactly ``("sweep",)`` and ``dataset`` is ignored — identity
+    #: comes from the named datasets' content digests.
+    sweep_datasets: tuple[str, ...] = ()
     fleet_size: int = 95
     report_title: str | None = None
 
@@ -141,6 +147,7 @@ class ScenarioSpec:
             ),
         )
         object.__setattr__(self, "outputs", tuple(self.outputs))
+        object.__setattr__(self, "sweep_datasets", tuple(self.sweep_datasets))
         if not self.outputs:
             raise ServiceError("a scenario must request at least one output")
         for output in self.outputs:
@@ -153,6 +160,19 @@ class ScenarioSpec:
             raise ServiceError("outputs must not repeat")
         if self.sweep_axes and OUTPUT_SWEEP not in self.outputs:
             raise ServiceError("sweep_axes given but 'sweep' not requested")
+        if self.sweep_datasets:
+            from .datasets import check_dataset_name
+
+            if self.outputs != (OUTPUT_SWEEP,):
+                raise ServiceError(
+                    "sweep_datasets requires outputs to be exactly "
+                    "('sweep',) — the dataset axis has no single base "
+                    "dataset for other outputs to run over"
+                )
+            if len(set(self.sweep_datasets)) != len(self.sweep_datasets):
+                raise ServiceError("sweep_datasets must not repeat")
+            for name in self.sweep_datasets:
+                check_dataset_name(name)
         if self.fleet_size <= 0:
             raise ServiceError("fleet_size must be positive")
         # Unknown override keys and invalid values fail here with the
@@ -186,19 +206,36 @@ class ScenarioSpec:
     # Identity
     # ------------------------------------------------------------------
 
-    def fingerprint(self, dataset_digest: str) -> str:
+    def fingerprint(
+        self,
+        dataset_digest: str,
+        *,
+        sweep_dataset_digests: Sequence[tuple[str, str]] = (),
+    ) -> str:
         """Canonical content-addressed identity of this request.
 
         ``dataset_digest`` is the resolved dataset's content digest
         (:func:`repro.pipeline.fingerprint.dataset_digest`), so the
         identity tracks what the data *is*, not where it came from.
         Output parameters only contribute when their output is
-        requested.
+        requested.  A dataset-axis sweep takes its data identity from
+        ``sweep_dataset_digests`` — the resolved ``(name, digest)``
+        pair per swept dataset — instead of the (unused) base ref.
         """
+        if self.sweep_datasets:
+            resolved = tuple(tuple(pair) for pair in sweep_dataset_digests)
+            if tuple(name for name, _ in resolved) != self.sweep_datasets:
+                raise ServiceError(
+                    "sweep_dataset_digests must resolve sweep_datasets "
+                    "name-for-name, in order"
+                )
+            data_identity: Any = resolved
+        else:
+            data_identity = dataset_digest
         parts: list[Any] = [
             "scenario",
             SPEC_SCHEMA_VERSION,
-            dataset_digest,
+            data_identity,
             tuple(sorted(self.overrides, key=lambda pair: pair[0])),
             tuple(sorted(self.outputs)),
         ]
@@ -233,6 +270,8 @@ class ScenarioSpec:
                     self.sweep_axes, key=lambda pair: pair[0]
                 )
             }
+            if self.sweep_datasets:
+                payload["sweep_datasets"] = list(self.sweep_datasets)
         if OUTPUT_REBALANCE in self.outputs:
             payload["fleet_size"] = self.fleet_size
         if OUTPUT_REPORT in self.outputs:
@@ -253,11 +292,17 @@ class ScenarioSpec:
             raise ServiceError(
                 f"expected a 'ScenarioSpec' envelope, got {payload['type']!r}"
             )
+        sweep_datasets = payload.get("sweep_datasets", ())
+        if isinstance(sweep_datasets, str) or not isinstance(
+            sweep_datasets, Sequence
+        ):
+            raise ServiceError("sweep_datasets must be a list of names")
         return cls(
             dataset=DatasetRef.from_dict(payload.get("dataset", {})),
             overrides=payload.get("overrides", ()),
             outputs=tuple(payload.get("outputs", (OUTPUT_RUN,))),
             sweep_axes=payload.get("sweep_axes", ()),
+            sweep_datasets=tuple(sweep_datasets),
             fleet_size=payload.get("fleet_size", 95),
             report_title=payload.get("report_title"),
         )

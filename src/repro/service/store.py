@@ -1,50 +1,67 @@
 """The results store: completed envelopes keyed by spec fingerprint.
 
 Envelopes are stored as their :func:`repro.serialize.canonical_json`
-bytes — the exact bytes every surface serves — either on disk (one
-``<fingerprint>.json`` per result, written atomically like the stage
-cache's pickles) or in memory when no directory is given.  A warm
-store lets a restarted service answer ``GET /v1/results/<fp>`` and
-repeated submissions without touching the pipeline at all.
+bytes — the exact bytes every surface serves — in a
+:class:`~repro.store.Namespace` (one ``<fingerprint>.json`` per result
+under a directory backend, written atomically; memory-backed when no
+directory is given).  A warm store lets a restarted service answer
+``GET /v1/results/<fp>`` and repeated submissions without touching the
+pipeline at all.
+
+Key validation, atomic publish and (optional) quota eviction are the
+namespace's; this class only translates envelope dicts to and from
+canonical text.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import threading
 from pathlib import Path
 
 from ..serialize import canonical_json
+from ..store import HEX_KEY, DirBackend, MemoryBackend, Namespace
 
-_FINGERPRINT_SAFE = set("0123456789abcdef")
 
+def results_namespace(backend) -> Namespace:
+    """The canonical results namespace policy over ``backend``.
 
-def _checked(fingerprint: str) -> str:
-    """Reject anything that is not a plain hex digest (path safety)."""
-    if not fingerprint or any(c not in _FINGERPRINT_SAFE for c in fingerprint):
-        raise ValueError(f"bad result fingerprint {fingerprint!r}")
-    return fingerprint
+    Result keys are plain hex digests (:data:`repro.store.HEX_KEY`) —
+    anything else is rejected before it can touch storage.
+    """
+    return Namespace(
+        backend,
+        key_pattern=HEX_KEY,
+        key_label="result fingerprint",
+        suffix=".json",
+    )
 
 
 class ResultsStore:
-    """Canonical-JSON envelope store, disk-backed or in-memory."""
+    """Canonical-JSON envelope store over one results namespace."""
 
-    def __init__(self, results_dir: str | Path | None = None) -> None:
-        self.results_dir = Path(results_dir) if results_dir is not None else None
-        self._memory: dict[str, str] = {}
-        self._mutex = threading.Lock()
+    def __init__(
+        self,
+        results_dir: str | Path | None = None,
+        *,
+        namespace: Namespace | None = None,
+    ) -> None:
+        if namespace is None:
+            backend = (
+                DirBackend(results_dir) if results_dir is not None else MemoryBackend()
+            )
+            namespace = results_namespace(backend)
+        self.namespace = namespace
+
+    @property
+    def results_dir(self) -> Path | None:
+        """Root of the store when it is directory-backed."""
+        backend = self.namespace.backend
+        return backend.root if isinstance(backend, DirBackend) else None
 
     def raw(self, fingerprint: str) -> str | None:
         """The stored canonical-JSON text, or ``None``."""
-        _checked(fingerprint)
-        if self.results_dir is None:
-            with self._mutex:
-                return self._memory.get(fingerprint)
-        try:
-            return (self.results_dir / f"{fingerprint}.json").read_text()
-        except OSError:
-            return None
+        data = self.namespace.get(fingerprint)
+        return data.decode("utf-8") if data is not None else None
 
     def get(self, fingerprint: str) -> dict | None:
         """The stored envelope as a dict, or ``None``."""
@@ -58,30 +75,16 @@ class ResultsStore:
 
     def put(self, fingerprint: str, envelope: dict) -> str:
         """Store ``envelope``; returns the canonical text written."""
-        _checked(fingerprint)
+        self.namespace.check_key(fingerprint)
         text = canonical_json(envelope)
-        if self.results_dir is None:
-            with self._mutex:
-                self._memory[fingerprint] = text
-            return text
-        self.results_dir.mkdir(parents=True, exist_ok=True)
-        path = self.results_dir / f"{fingerprint}.json"
-        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
         try:
-            tmp.write_text(text)
-            os.replace(tmp, path)
+            self.namespace.put(fingerprint, text.encode("utf-8"))
         except OSError:
-            tmp.unlink(missing_ok=True)
+            pass  # a full/readonly disk degrades to best-effort persistence
         return text
 
     def __contains__(self, fingerprint: str) -> bool:
-        return self.raw(fingerprint) is not None
+        return fingerprint in self.namespace
 
     def __len__(self) -> int:
-        if self.results_dir is None:
-            with self._mutex:
-                return len(self._memory)
-        try:
-            return sum(1 for _ in self.results_dir.glob("*.json"))
-        except OSError:
-            return 0
+        return self.namespace.entries()

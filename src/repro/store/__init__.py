@@ -1,0 +1,52 @@
+"""repro.store — the one pluggable storage subsystem under everything.
+
+Three layers, smallest surface first:
+
+* :class:`Backend` (:mod:`repro.store.backend`) — a flat byte store
+  with atomic publish and persisted access stamps.  Implementations:
+  :class:`MemoryBackend`, :class:`DirBackend` (the historical
+  one-file-per-key layout) and :class:`ShardedDirBackend`
+  (digest-prefix fan-out for 100k+ entries).
+* :class:`Namespace` (:mod:`repro.store.namespace`) — policy over a
+  backend: canonical key encoding and validation, byte/entry quotas
+  with LRU-by-access eviction, persisted recency, oversize rejection,
+  per-key locks, multi-part entries.  :class:`ObjectLRU` is its
+  in-process sibling for caches of live objects.
+* :class:`Store` (:mod:`repro.store.core`) — one root + backend kind
+  handing out a namespace per concern; what ``--store-dir`` /
+  ``--store-backend`` construct and ``/v1/healthz`` reports on.
+
+The stage cache (:class:`repro.pipeline.cache.StageCache`), results
+store (:class:`repro.service.store.ResultsStore`), dataset store
+(:class:`repro.service.datasets.DatasetStore`) and job journal
+(:class:`repro.service.jobs.JobStore`) are thin adapters over
+namespaces of this subsystem — no storage policy lives anywhere else.
+"""
+
+from .backend import (
+    BACKEND_KINDS,
+    Backend,
+    DirBackend,
+    EntryStat,
+    MemoryBackend,
+    ShardedDirBackend,
+    make_backend,
+)
+from .core import Store
+from .lru import ObjectLRU
+from .namespace import HEX_KEY, NAME_KEY, Namespace
+
+__all__ = [
+    "BACKEND_KINDS",
+    "Backend",
+    "DirBackend",
+    "EntryStat",
+    "HEX_KEY",
+    "MemoryBackend",
+    "NAME_KEY",
+    "Namespace",
+    "ObjectLRU",
+    "ShardedDirBackend",
+    "Store",
+    "make_backend",
+]

@@ -1,0 +1,316 @@
+"""Storage backends: the byte-level half of :mod:`repro.store`.
+
+A :class:`Backend` is a flat key/value store over raw bytes.  Keys are
+relative POSIX-style paths (``ab12…f.pkl``, ``tiny/meta.json``) that a
+:class:`~repro.store.namespace.Namespace` has already validated — the
+backend's job is only durability and atomicity:
+
+* ``put``/``open_write`` publish atomically (a concurrent reader sees
+  the old bytes or the complete new bytes, never a torn write);
+* ``stat`` exposes size and an *access* stamp that ``get``/``touch``
+  refresh — the recency signal the namespace's LRU eviction sorts by.
+  Directory backends persist it as file mtime, so eviction order
+  survives process restarts;
+* ``list`` never yields in-flight temporary files.
+
+Three implementations:
+
+:class:`MemoryBackend`
+    A process-local dict.  Same semantics, nothing survives the
+    process — the mode in-process test services use.
+:class:`DirBackend`
+    One file per key under a root directory: exactly the on-disk
+    layout the stage cache, results store and dataset store used
+    before they shared this subsystem, so existing directories are
+    adopted as-is.
+:class:`ShardedDirBackend`
+    Like :class:`DirBackend`, but entries fan out into
+    ``<shard>/<key>`` subdirectories by a stable digest prefix of the
+    key's first path component, so 100k+ stage pickles never share one
+    directory.  File *content* is byte-identical to
+    :class:`DirBackend`; only the directory layout differs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from io import BytesIO
+from pathlib import Path, PurePosixPath
+from typing import BinaryIO, Iterator, Protocol, runtime_checkable
+
+#: Backend kinds :func:`make_backend` understands.
+BACKEND_KINDS = ("memory", "dir", "sharded")
+
+#: Marker embedded in in-flight temporary file names; ``list`` skips it.
+_TMP_MARKER = ".tmp-"
+
+
+@dataclass(frozen=True)
+class EntryStat:
+    """Size and access recency of one stored key."""
+
+    size: int
+    accessed: float
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """The byte-level storage contract namespaces build policy on."""
+
+    def get(self, key: str) -> bytes | None:
+        """The stored bytes (access recency refreshed), or ``None``."""
+
+    def peek(self, key: str) -> bytes | None:
+        """The stored bytes *without* refreshing recency, or ``None``."""
+
+    def put(self, key: str, data: bytes) -> None:
+        """Store ``data`` under ``key``, atomically replacing any old value."""
+
+    def delete(self, key: str) -> bool:
+        """Drop ``key``; returns whether it existed."""
+
+    def list(self) -> Iterator[str]:
+        """Every stored key (no ordering guarantee, no tmp files)."""
+
+    def stat(self, key: str) -> EntryStat | None:
+        """Size/recency of ``key`` without touching it, or ``None``."""
+
+    def touch(self, key: str) -> None:
+        """Refresh ``key``'s access recency (no-op if missing)."""
+
+    def open_read(self, key: str) -> BinaryIO:
+        """A readable binary handle (raises ``FileNotFoundError`` if absent)."""
+
+    def open_write(self, key: str) -> "AbstractWriteHandle":
+        """A context manager whose handle publishes atomically on exit."""
+
+
+class AbstractWriteHandle(Protocol):
+    """``with backend.open_write(key) as handle: handle.write(...)``."""
+
+    def __enter__(self) -> BinaryIO: ...
+
+    def __exit__(self, *exc_info: object) -> bool | None: ...
+
+
+# ---------------------------------------------------------------------------
+# Memory
+# ---------------------------------------------------------------------------
+
+
+class MemoryBackend:
+    """Process-local byte store with monotonic access stamps."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, bytes] = {}
+        self._stamps: dict[str, float] = {}
+        self._clock = 0.0
+        self._mutex = threading.Lock()
+
+    def _tick(self) -> float:
+        self._clock += 1.0
+        return self._clock
+
+    def get(self, key: str) -> bytes | None:
+        with self._mutex:
+            data = self._entries.get(key)
+            if data is not None:
+                self._stamps[key] = self._tick()
+            return data
+
+    def peek(self, key: str) -> bytes | None:
+        with self._mutex:
+            return self._entries.get(key)
+
+    def put(self, key: str, data: bytes) -> None:
+        with self._mutex:
+            self._entries[key] = bytes(data)
+            self._stamps[key] = self._tick()
+
+    def delete(self, key: str) -> bool:
+        with self._mutex:
+            self._stamps.pop(key, None)
+            return self._entries.pop(key, None) is not None
+
+    def list(self) -> Iterator[str]:
+        with self._mutex:
+            return iter(list(self._entries))
+
+    def stat(self, key: str) -> EntryStat | None:
+        with self._mutex:
+            data = self._entries.get(key)
+            if data is None:
+                return None
+            return EntryStat(size=len(data), accessed=self._stamps[key])
+
+    def touch(self, key: str) -> None:
+        with self._mutex:
+            if key in self._entries:
+                self._stamps[key] = self._tick()
+
+    def open_read(self, key: str) -> BinaryIO:
+        data = self.get(key)
+        if data is None:
+            raise FileNotFoundError(key)
+        return BytesIO(data)
+
+    @contextmanager
+    def open_write(self, key: str):
+        buffer = BytesIO()
+        yield buffer
+        self.put(key, buffer.getvalue())
+
+
+# ---------------------------------------------------------------------------
+# Directories
+# ---------------------------------------------------------------------------
+
+
+class DirBackend:
+    """One file per key under ``root`` — the historical flat layout."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # Subclasses override only the key<->path mapping.
+    def _path(self, key: str) -> Path:
+        return self.root / PurePosixPath(key)
+
+    def _key(self, path: Path) -> str:
+        return path.relative_to(self.root).as_posix()
+
+    def get(self, key: str) -> bytes | None:
+        path = self._path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            os.utime(path)  # refresh LRU recency; survives restarts
+        except OSError:
+            pass
+        return data
+
+    def peek(self, key: str) -> bytes | None:
+        try:
+            return self._path(key).read_bytes()
+        except OSError:
+            return None
+
+    def put(self, key: str, data: bytes) -> None:
+        with self.open_write(key) as handle:
+            handle.write(data)
+
+    def delete(self, key: str) -> bool:
+        path = self._path(key)
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        self._prune_dirs(path.parent)
+        return True
+
+    def _prune_dirs(self, directory: Path) -> None:
+        """Drop directories a delete emptied (never the root itself)."""
+        try:
+            while directory != self.root and directory.is_relative_to(self.root):
+                directory.rmdir()  # fails on non-empty: done pruning
+                directory = directory.parent
+        except OSError:
+            pass
+
+    def list(self) -> Iterator[str]:
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.rglob("*")):
+            if path.is_file() and _TMP_MARKER not in path.name:
+                yield self._key(path)
+
+    def stat(self, key: str) -> EntryStat | None:
+        try:
+            stat = self._path(key).stat()
+        except OSError:
+            return None
+        return EntryStat(size=stat.st_size, accessed=stat.st_mtime)
+
+    def touch(self, key: str) -> None:
+        try:
+            os.utime(self._path(key))
+        except OSError:
+            pass
+
+    def open_read(self, key: str) -> BinaryIO:
+        return open(self._path(key), "rb")
+
+    @contextmanager
+    def open_write(self, key: str):
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: write next to the target, then os.replace — a
+        # concurrent reader sees the old file or the complete new one.
+        tmp = path.with_name(
+            f"{path.name}{_TMP_MARKER}{os.getpid()}.{threading.get_ident()}"
+        )
+        try:
+            with open(tmp, "wb") as handle:
+                yield handle
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+
+
+class ShardedDirBackend(DirBackend):
+    """A :class:`DirBackend` fanning entries out by digest prefix.
+
+    The shard of a key is a stable hex prefix of the SHA-256 of its
+    *first* path component, so multi-file entries (a dataset's CSV
+    pair + meta) stay colocated in one shard directory.  100k stage
+    pickles spread over 256 directories instead of one.
+    """
+
+    def __init__(self, root: str | Path, *, width: int = 2) -> None:
+        super().__init__(root)
+        if not 1 <= width <= 8:
+            raise ValueError("shard width must be between 1 and 8")
+        self.width = width
+
+    @staticmethod
+    def _shard_of(component: str, width: int) -> str:
+        return hashlib.sha256(component.encode("utf-8")).hexdigest()[:width]
+
+    def _path(self, key: str) -> Path:
+        head = PurePosixPath(key).parts[0]
+        return self.root / self._shard_of(head, self.width) / PurePosixPath(key)
+
+    def _key(self, path: Path) -> str:
+        relative = path.relative_to(self.root)
+        return PurePosixPath(*relative.parts[1:]).as_posix()
+
+
+def make_backend(kind: str, root: str | Path | None = None) -> Backend:
+    """Construct a backend by kind name (the ``--store-backend`` values).
+
+    >>> make_backend("memory").put("k", b"v")
+    >>> make_backend("bogus")
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.StoreError: unknown store backend 'bogus'; expected one of ('memory', 'dir', 'sharded')
+    """
+    from ..exceptions import StoreError
+
+    if kind == "memory":
+        return MemoryBackend()
+    if kind in ("dir", "sharded") and root is None:
+        raise StoreError(f"the {kind!r} store backend needs a root directory")
+    if kind == "dir":
+        return DirBackend(root)
+    if kind == "sharded":
+        return ShardedDirBackend(root)
+    raise StoreError(
+        f"unknown store backend {kind!r}; expected one of {BACKEND_KINDS}"
+    )

@@ -1,0 +1,445 @@
+"""Namespaces: the policy half of :mod:`repro.store`.
+
+A :class:`Namespace` wraps one :class:`~repro.store.backend.Backend`
+with everything the stage cache, results store and dataset store each
+used to implement privately:
+
+* **canonical key encoding** — logical keys are validated against the
+  namespace's pattern (hex digests for content-addressed namespaces,
+  dataset names, job ids) and mapped onto backend keys by suffix
+  (``<key>.pkl``) or multi-part layout (``<key>/meta.json``).  A key
+  that fails validation raises
+  :class:`~repro.exceptions.StoreKeyError` *before* touching storage —
+  path traversal is impossible by construction;
+* **byte/entry quotas with LRU eviction** — after every store the
+  least-recently-*accessed* entries are evicted until ``max_bytes`` /
+  ``max_entries`` hold again.  The just-written entry is exempt (even
+  a degenerate ``max_bytes=0`` keeps the latest value), as is every
+  entry of an unbounded namespace — which is exactly how the process
+  executor's rendezvous directory opts out of eviction;
+* **persisted access metadata** — recency rides on the backend's
+  access stamps (file mtimes for directory backends), so eviction
+  order survives restarts;
+* **oversize rejection** — namespaces fronting client uploads set
+  ``reject_oversize`` and ``max_entry_bytes`` to refuse an entry that
+  could not be stored within quota even by evicting everything else
+  (:class:`~repro.exceptions.StoreQuotaError`), instead of churning
+  the cache;
+* **per-key locks** — :meth:`lock` serialises concurrent work on one
+  key (stage computation, dataset overwrite-vs-read).
+
+Multi-file entries (a dataset's CSV pair plus metadata) declare their
+``parts``; the *last* part is the recency anchor and is written last,
+so a crash mid-write leaves a partial entry that reads as absent, and
+``accounted_parts`` controls which files count against byte quotas.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, BinaryIO, Mapping
+
+from ..exceptions import StoreKeyError, StoreQuotaError
+from .backend import Backend, EntryStat
+
+#: Content-addressed namespaces: plain lowercase hex digests.
+HEX_KEY = re.compile(r"^[0-9a-f]+$")
+
+#: Name-like keys (dataset names, job ids): path-safe, never hidden.
+NAME_KEY = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class Namespace:
+    """Policy wrapper over a backend: keys, quotas, eviction, locks."""
+
+    def __init__(
+        self,
+        backend: Backend,
+        *,
+        key_pattern: re.Pattern = HEX_KEY,
+        key_label: str = "key",
+        suffix: str = "",
+        parts: tuple[str, ...] | None = None,
+        accounted_parts: tuple[str, ...] | None = None,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+        max_entry_bytes: int | None = None,
+        reject_oversize: bool = False,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        if max_entry_bytes is not None and max_entry_bytes < 1:
+            raise ValueError("max_entry_bytes must be positive")
+        if parts is not None and not parts:
+            raise ValueError("parts must name at least one file")
+        if parts is not None and suffix:
+            raise ValueError("multi-part namespaces cannot also use a suffix")
+        if accounted_parts is not None:
+            if parts is None:
+                raise ValueError("accounted_parts needs parts")
+            unknown = set(accounted_parts) - set(parts)
+            if unknown:
+                raise ValueError(f"accounted_parts not in parts: {unknown}")
+        self.backend = backend
+        self.key_pattern = key_pattern
+        self.key_label = key_label
+        self.suffix = suffix
+        self.parts = parts
+        self.accounted_parts = accounted_parts if accounted_parts is not None else parts
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.max_entry_bytes = max_entry_bytes
+        self.reject_oversize = reject_oversize
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self._mutex = threading.Lock()
+        self._key_locks: dict[str, threading.Lock] = {}
+        self._evict_mutex = threading.Lock()
+        #: (monotonic expiry, {"entries": ..., "bytes": ...}) — see stats().
+        self._occupancy_cache: tuple[float, dict[str, int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Canonical key encoding
+    # ------------------------------------------------------------------
+
+    def check_key(self, key: str) -> str:
+        """Validate (and return) a logical key; :class:`StoreKeyError` otherwise."""
+        if not isinstance(key, str) or not self.key_pattern.match(key):
+            raise StoreKeyError(f"bad {self.key_label} {key!r}")
+        return key
+
+    def _encode(self, key: str, part: str | None = None) -> str:
+        self.check_key(key)
+        if self.parts is not None:
+            if part is None or part not in self.parts:
+                raise StoreKeyError(
+                    f"unknown part {part!r} for {self.key_label} {key!r}; "
+                    f"expected one of {self.parts}"
+                )
+            return f"{key}/{part}"
+        return f"{key}{self.suffix}"
+
+    def _decode(self, backend_key: str) -> str | None:
+        """Backend key -> logical key, or ``None`` for foreign files."""
+        if self.parts is not None:
+            head, sep, tail = backend_key.partition("/")
+            if not sep or tail not in self.parts:
+                return None
+            key = head
+        else:
+            if self.suffix and not backend_key.endswith(self.suffix):
+                return None
+            key = backend_key[: len(backend_key) - len(self.suffix)] if self.suffix else backend_key
+        return key if self.key_pattern.match(key) else None
+
+    @property
+    def _anchor(self) -> str | None:
+        """The part carrying an entry's recency stamp (written last)."""
+        return self.parts[-1] if self.parts is not None else None
+
+    # ------------------------------------------------------------------
+    # Single-part entries
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> bytes | None:
+        """Stored bytes (recency refreshed), or ``None``; counts hit/miss."""
+        data = self.backend.get(self._encode(key))
+        with self._mutex:
+            if data is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return data
+
+    def put(self, key: str, data: bytes) -> None:
+        """Store ``data`` under ``key``, then enforce the quotas."""
+        encoded = self._encode(key)  # validate before any quota verdict
+        self._check_entry_size(key, len(data))
+        self.backend.put(encoded, data)
+        with self._mutex:
+            self.stores += 1
+        self.evict(keep=key)
+
+    def open_read(self, key: str) -> BinaryIO | None:
+        """A streaming read handle, or ``None`` when absent."""
+        try:
+            return self.backend.open_read(self._encode(key))
+        except OSError:
+            return None
+
+    @contextmanager
+    def open_write(self, key: str):
+        """Streaming atomic write; quotas enforced after publish."""
+        encoded = self._encode(key)
+        with self.backend.open_write(encoded) as handle:
+            yield handle
+        with self._mutex:
+            self.stores += 1
+        self.evict(keep=key)
+
+    # ------------------------------------------------------------------
+    # Multi-part entries
+    # ------------------------------------------------------------------
+
+    def put_entry(self, key: str, files: Mapping[str, bytes]) -> None:
+        """Store a multi-part entry; parts written in declared order.
+
+        The recency anchor (the last declared part) is written last —
+        and on an overwrite the *old* anchor is deleted first — so a
+        crash between part writes can never leave a mix of old and new
+        parts that reads as a consistent entry: without its anchor an
+        entry is invisible to readers, listings and accounting.  (The
+        cost is that a crash mid-overwrite loses the old version too;
+        for content-addressed stores a re-upload restores it.)
+        """
+        assert self.parts is not None, "put_entry needs a parts namespace"
+        self.check_key(key)
+        unknown = set(files) - set(self.parts)
+        if unknown:
+            raise StoreKeyError(f"unknown parts for {key!r}: {sorted(unknown)}")
+        accounted = set(self.accounted_parts or ())
+        size = sum(len(data) for part, data in files.items() if part in accounted)
+        self._check_entry_size(key, size)
+        if self._anchor in files:  # full replacement: invalidate first
+            self.backend.delete(self._encode(key, self._anchor))
+        for part in self.parts:
+            if part in files:
+                self.backend.put(self._encode(key, part), files[part])
+        with self._mutex:
+            self.stores += 1
+        self.evict(keep=key)
+
+    def get_part(self, key: str, part: str) -> bytes | None:
+        """One part's bytes; refreshes the whole entry's recency."""
+        data = self.backend.get(self._encode(key, part))
+        if data is not None and part != self._anchor:
+            self.backend.touch(self._encode(key, self._anchor))
+        with self._mutex:
+            if data is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return data
+
+    def peek_part(self, key: str, part: str) -> bytes | None:
+        """One part's bytes *without* refreshing recency or counters.
+
+        Metadata queries (listings, digests, healthz) read through
+        here so they never perturb the LRU eviction order.
+        """
+        return self.backend.peek(self._encode(key, part))
+
+    # ------------------------------------------------------------------
+    # Shared operations
+    # ------------------------------------------------------------------
+
+    def delete(self, key: str) -> bool:
+        """Drop ``key`` (every part); returns whether anything existed."""
+        if self.parts is not None:
+            # Anchor first: a reader that loses the race sees no anchor
+            # and treats the leftover parts as absent.
+            existed = False
+            for part in (self._anchor, *self.parts[:-1]):
+                existed = self.backend.delete(self._encode(key, part)) or existed
+            return existed
+        return self.backend.delete(self._encode(key))
+
+    def touch(self, key: str) -> None:
+        """Refresh ``key``'s recency without reading it."""
+        self.backend.touch(self._encode(key, self._anchor))
+
+    def __contains__(self, key: str) -> bool:
+        return self.backend.stat(self._encode(key, self._anchor)) is not None
+
+    def keys(self) -> list[str]:
+        """Every complete logical key, sorted."""
+        found: set[str] = set()
+        for backend_key in self.backend.list():
+            key = self._decode(backend_key)
+            if key is None:
+                continue
+            if self.parts is not None and not backend_key.endswith(f"/{self._anchor}"):
+                continue  # an entry exists only once its anchor does
+            found.add(key)
+        return sorted(found)
+
+    def lock(self, key: str):
+        """Serialise concurrent work on one key (a context manager)."""
+        with self._mutex:
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        return key_lock
+
+    # ------------------------------------------------------------------
+    # Accounting, quotas, eviction
+    # ------------------------------------------------------------------
+
+    def entry_bytes(self, key: str) -> int | None:
+        """Accounted bytes of one entry, or ``None`` when absent.
+
+        Direct stats on the entry's own files — never a scan of the
+        whole namespace.
+        """
+        if self.parts is None:
+            stat = self.backend.stat(self._encode(key))
+            return stat.size if stat is not None else None
+        if key not in self:
+            return None
+        total = 0
+        for part in self.accounted_parts or ():
+            stat = self.backend.stat(self._encode(key, part))
+            if stat is not None:
+                total += stat.size
+        return total
+
+    def total_bytes(self) -> int:
+        """Accounted bytes across the namespace."""
+        return sum(
+            size for stats in self._grouped().values() for size, _ in stats
+        )
+
+    def entries(self) -> int:
+        """Number of complete logical entries."""
+        return len(self.keys())
+
+    #: How long a computed occupancy (entries/bytes) may be served from
+    #: cache.  Occupancy needs a full backend scan — linear in entries —
+    #: so a monitoring system polling healthz every second must not pay
+    #: for 100k stat calls per poll; counters are always live.
+    OCCUPANCY_TTL_S = 5.0
+
+    def stats(self) -> dict[str, Any]:
+        """The namespace's healthz block.
+
+        ``hits``/``misses``/``stores``/``evictions`` are live in-memory
+        counters; ``entries``/``bytes`` come from a backend scan cached
+        for :data:`OCCUPANCY_TTL_S` seconds.
+        """
+        now = time.monotonic()
+        with self._mutex:
+            cached = self._occupancy_cache
+        if cached is not None and cached[0] > now:
+            occupancy = cached[1]
+        else:
+            grouped = self._grouped()
+            occupancy = {
+                "entries": len(grouped),
+                "bytes": sum(
+                    size for sizes in grouped.values() for size, _ in sizes
+                ),
+            }
+            with self._mutex:
+                self._occupancy_cache = (now + self.OCCUPANCY_TTL_S, occupancy)
+        return {
+            **occupancy,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+    def _check_entry_size(self, key: str, size: int) -> None:
+        if self.max_entry_bytes is not None and size > self.max_entry_bytes:
+            raise StoreQuotaError(
+                f"{self.key_label} {key!r} is {size} bytes; the "
+                f"per-{self.key_label} cap is {self.max_entry_bytes}"
+            )
+        if (
+            self.reject_oversize
+            and self.max_bytes is not None
+            and size > self.max_bytes
+        ):
+            raise StoreQuotaError(
+                f"{self.key_label} {key!r} is {size} bytes; the whole "
+                f"store is capped at {self.max_bytes}"
+            )
+
+    def _grouped(self) -> dict[str, list[tuple[int, float]]]:
+        """Logical key -> [(accounted size, recency)] over live entries."""
+        accounted = set(self.accounted_parts or ())
+        grouped: dict[str, list[tuple[int, float]]] = {}
+        anchors: dict[str, float] = {}
+        for backend_key in self.backend.list():
+            key = self._decode(backend_key)
+            if key is None:
+                continue
+            stat = self.backend.stat(backend_key)
+            if stat is None:
+                continue  # deleted under us
+            if self.parts is None:
+                grouped[key] = [(stat.size, stat.accessed)]
+                continue
+            part = backend_key.partition("/")[2]
+            if part == self._anchor:
+                anchors[key] = stat.accessed
+            if part in accounted:
+                grouped.setdefault(key, []).append((stat.size, stat.accessed))
+            else:
+                grouped.setdefault(key, [])
+        if self.parts is not None:
+            # Entries without their anchor are in-flight or torn: they
+            # are invisible to readers, so they are invisible here too.
+            grouped = {
+                key: [(size, anchors[key]) for size, _ in stats] or []
+                for key, stats in grouped.items()
+                if key in anchors
+            }
+        return grouped
+
+    def evict(self, keep: str | None = None) -> int:
+        """Drop LRU entries until the quotas hold; returns evictions.
+
+        ``keep`` (typically the just-written entry) is never evicted,
+        and neither is an entry whose per-key lock is currently held —
+        a writer or reader mid-flight on it makes it recently used by
+        definition, and deleting parts underneath an in-progress
+        multi-part write could strand a half-replaced entry.  Best
+        effort by design: entries deleted under a lockless concurrent
+        reader simply read as misses and are recomputed or re-uploaded.
+        """
+        if self.max_bytes is None and self.max_entries is None:
+            return 0
+        evicted = 0
+        with self._evict_mutex:
+            grouped = self._grouped()
+            order = sorted(
+                grouped,
+                key=lambda key: max(
+                    (recency for _, recency in grouped[key]), default=0.0
+                ),
+            )
+            total_bytes = sum(
+                size for stats in grouped.values() for size, _ in stats
+            )
+            n_entries = len(grouped)
+            for key in order:
+                over_bytes = (
+                    self.max_bytes is not None and total_bytes > self.max_bytes
+                )
+                over_entries = (
+                    self.max_entries is not None and n_entries > self.max_entries
+                )
+                if not (over_bytes or over_entries):
+                    break
+                if key == keep:
+                    continue
+                key_lock = self.lock(key)
+                if not key_lock.acquire(blocking=False):
+                    continue  # actively in use: not an LRU victim
+                try:
+                    if not self.delete(key):
+                        continue
+                finally:
+                    key_lock.release()
+                total_bytes -= sum(size for size, _ in grouped[key])
+                n_entries -= 1
+                evicted += 1
+        with self._mutex:
+            self.evictions += evicted
+        return evicted

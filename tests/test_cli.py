@@ -245,3 +245,79 @@ class TestParser:
     def test_unknown_subcommand(self):
         with pytest.raises(SystemExit):
             cli.main(["frobnicate"])
+
+
+class TestStoreDir:
+    def test_run_persists_everything_under_one_tree(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert cli.main(["run", "--seed", "11", "--store-dir", str(store)]) == 0
+        capsys.readouterr()
+        assert list((store / "stage").glob("*.pkl"))
+        assert list((store / "results").glob("*.json"))
+        assert list((store / "jobs").glob("*.json"))
+        # A second run over the same store is pure lookup: the envelope
+        # comes from the results store, byte-identical.
+        assert cli.main(
+            ["run", "--seed", "11", "--store-dir", str(store), "--format", "json"]
+        ) == 0
+        envelope = capsys.readouterr().out
+        stored = sorted((store / "results").glob("*.json"))[0].read_text()
+        import json
+
+        first = json.loads(envelope)
+        assert (store / "results" / f"{first['fingerprint']}.json").read_text() == (
+            envelope.rstrip("\n")
+        )
+        assert stored  # the tree holds canonical envelopes
+
+    def test_sharded_backend_via_flag(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        code = cli.main(
+            ["run", "--seed", "11", "--store-dir", str(store),
+             "--store-backend", "sharded"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        pickles = list((store / "stage").rglob("*.pkl"))
+        assert pickles
+        # Entries landed inside two-hex-char shard directories.
+        assert all(p.parent.name != "stage" for p in pickles)
+        assert all(len(p.parent.name) == 2 for p in pickles)
+
+    def test_sweep_datasets_flag_over_store(self, tmp_path, capsys):
+        """`repro sweep --datasets` runs over datasets stored in the tree."""
+        import json
+
+        from repro.service import ExpansionService
+        from repro.synth import SyntheticMobyGenerator
+
+        store = tmp_path / "store"
+        with ExpansionService(store_dir=store) as service:
+            for name, seed in (("city-a", 11), ("city-b", 12)):
+                service.register_dataset(
+                    name, SyntheticMobyGenerator(seed=seed).generate()
+                )
+        code = cli.main(
+            ["sweep", "--datasets", "city-a,city-b",
+             "--store-dir", str(store), "--format", "json"]
+        )
+        assert code == 0
+        envelope = json.loads(capsys.readouterr().out)
+        sweep = envelope["outputs"]["sweep"]
+        assert [d["name"] for d in sweep["datasets"]] == ["city-a", "city-b"]
+        assert len(sweep["scenarios"]) == 2
+
+    def test_sweep_unknown_dataset_fails_with_service_error(self, tmp_path):
+        from repro.exceptions import ServiceError
+
+        with pytest.raises(ServiceError, match="ghost"):
+            cli.main(
+                ["sweep", "--datasets", "ghost",
+                 "--store-dir", str(tmp_path / "store")]
+            )
+
+    def test_store_backend_without_store_dir_rejected(self):
+        from repro.exceptions import ConfigError
+
+        with pytest.raises(ConfigError, match="store-dir"):
+            cli.main(["run", "--seed", "11", "--store-backend", "sharded"])

@@ -12,11 +12,15 @@ import pytest
 import repro.pipeline.runner
 import repro.serialize
 import repro.service.datasets
+import repro.store.backend
+import repro.store.lru
 
 MODULES = [
     repro.pipeline.runner,
     repro.serialize,
     repro.service.datasets,
+    repro.store.backend,
+    repro.store.lru,
 ]
 
 

@@ -254,3 +254,114 @@ class TestConcurrentOverwrite:
         for thread in threads:
             thread.join(30)
         assert not mismatches
+
+
+class TestDatasetSweep:
+    """sweep_datasets: one spec, one envelope, a dataset axis."""
+
+    def test_spec_validation(self):
+        spec = ScenarioSpec(outputs=("sweep",), sweep_datasets=("a", "b"))
+        assert spec.sweep_datasets == ("a", "b")
+        with pytest.raises(ServiceError, match="exactly"):
+            ScenarioSpec(outputs=("run",), sweep_datasets=("a",))
+        with pytest.raises(ServiceError, match="repeat"):
+            ScenarioSpec(outputs=("sweep",), sweep_datasets=("a", "a"))
+        with pytest.raises(ServiceError, match="dataset name"):
+            ScenarioSpec(outputs=("sweep",), sweep_datasets=("../etc",))
+        back = ScenarioSpec.from_dict(spec.to_dict())
+        assert back == spec
+
+    def test_fingerprint_tracks_content_not_base_ref(self):
+        spec_a = ScenarioSpec(outputs=("sweep",), sweep_datasets=("a", "b"))
+        spec_b = ScenarioSpec(
+            dataset=DatasetRef.synthetic(99),  # ignored: no base dataset
+            outputs=("sweep",),
+            sweep_datasets=("a", "b"),
+        )
+        pairs = (("a", "x" * 64), ("b", "y" * 64))
+        assert spec_a.fingerprint("", sweep_dataset_digests=pairs) == (
+            spec_b.fingerprint("", sweep_dataset_digests=pairs)
+        )
+        moved = (("a", "x" * 64), ("b", "z" * 64))
+        assert spec_a.fingerprint("", sweep_dataset_digests=pairs) != (
+            spec_a.fingerprint("", sweep_dataset_digests=moved)
+        )
+        with pytest.raises(ServiceError, match="name-for-name"):
+            spec_a.fingerprint("", sweep_dataset_digests=(("b", "q"),))
+
+    def test_sweep_over_named_datasets_produces_one_envelope(self):
+        with ExpansionService() as service:
+            service.register_dataset("city-a", tiny_dataset(40, seed=1))
+            service.register_dataset("city-b", tiny_dataset(40, seed=2))
+            spec = ScenarioSpec(
+                outputs=("sweep",), sweep_datasets=("city-a", "city-b")
+            )
+            envelope = service.run(spec, timeout=300)
+            sweep = envelope["outputs"]["sweep"]
+            assert [d["name"] for d in sweep["datasets"]] == [
+                "city-a", "city-b",
+            ]
+            assert envelope["dataset_digests"] == {
+                d["name"]: d["digest"] for d in sweep["datasets"]
+            }
+            assert "dataset_digest" not in envelope
+            assert [s["dataset"] for s in sweep["scenarios"]] == [
+                "city-a", "city-b",
+            ]
+            assert all(
+                s["label"].startswith("dataset=") for s in sweep["scenarios"]
+            )
+            # Children are complete, individually addressable run
+            # envelopes under the equivalent run-spec fingerprint.
+            for scenario, name in zip(sweep["scenarios"], ("city-a", "city-b")):
+                child = service.results.get(scenario["fingerprint"])
+                assert child["spec"]["dataset"] == {
+                    "kind": "named", "name": name,
+                }
+                assert child["outputs"]["run"]["headline"] == (
+                    scenario["headline"]
+                )
+            # Resubmission is served from the results store, no compute.
+            executions = service.pipeline_executions
+            assert service.run(spec, timeout=300) == envelope
+            assert service.pipeline_executions == executions
+
+    def test_dataset_axis_crosses_config_axes(self):
+        with ExpansionService() as service:
+            service.register_dataset("city-a", tiny_dataset(40, seed=1))
+            service.register_dataset("city-b", tiny_dataset(40, seed=2))
+            envelope = service.run(
+                ScenarioSpec(
+                    outputs=("sweep",),
+                    sweep_axes={"temporal.coupling": [0.05, 0.25]},
+                    sweep_datasets=("city-a", "city-b"),
+                ),
+                timeout=300,
+            )
+            scenarios = envelope["outputs"]["sweep"]["scenarios"]
+            assert len(scenarios) == 4  # 2 datasets x 2 coupling values
+            assert {
+                (s["dataset"], s["overrides"]["temporal.coupling"])
+                for s in scenarios
+            } == {
+                ("city-a", 0.05), ("city-a", 0.25),
+                ("city-b", 0.05), ("city-b", 0.25),
+            }
+
+    def test_overwriting_a_swept_dataset_moves_the_fingerprint(self):
+        with ExpansionService() as service:
+            service.register_dataset("city", tiny_dataset(30, seed=1))
+            spec = ScenarioSpec(outputs=("sweep",), sweep_datasets=("city",))
+            first = service.submit(spec)
+            first.wait(timeout=300)
+            service.register_dataset("city", tiny_dataset(30, seed=2))
+            second = service.submit(spec)
+            second.wait(timeout=300)
+            assert first.fingerprint != second.fingerprint
+
+    def test_unknown_swept_dataset_rejected_at_submit(self):
+        with ExpansionService() as service:
+            with pytest.raises(ServiceError, match="nope"):
+                service.submit(
+                    ScenarioSpec(outputs=("sweep",), sweep_datasets=("nope",))
+                )

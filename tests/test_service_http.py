@@ -1,6 +1,13 @@
-"""End-to-end HTTP tests against an ephemeral ``repro serve`` port."""
+"""End-to-end HTTP tests against an ephemeral ``repro serve`` port.
+
+The suite runs against the default storage wiring, or — when
+``REPRO_TEST_STORE_BACKEND`` is set (CI matrix) — against a full
+``--store-dir`` service on that backend (``dir``/``sharded``/
+``memory``), so every route stays green on every backend.
+"""
 
 import json
+import os
 import threading
 import urllib.error
 import urllib.request
@@ -16,11 +23,27 @@ from repro.service import (
 )
 
 
+def build_service(tmp_path_factory, **kwargs):
+    """An :class:`ExpansionService` honouring the CI backend matrix."""
+    backend = os.environ.get("REPRO_TEST_STORE_BACKEND")
+    if backend:
+        return ExpansionService(
+            store_dir=(
+                None
+                if backend == "memory"
+                else tmp_path_factory.mktemp("http-store")
+            ),
+            store_backend=backend,
+            **kwargs,
+        )
+    return ExpansionService(
+        cache_dir=tmp_path_factory.mktemp("http-stage-cache"), **kwargs
+    )
+
+
 @pytest.fixture(scope="module")
 def server(small_raw, tmp_path_factory):
-    service = ExpansionService(
-        cache_dir=tmp_path_factory.mktemp("http-stage-cache"), max_workers=4
-    )
+    service = build_service(tmp_path_factory, max_workers=4)
     service.register_dataset("small", small_raw)
     http_server = make_server(service, port=0).start_background()
     yield http_server
@@ -52,6 +75,25 @@ class TestHealthz:
         payload = json.loads(body)
         assert payload["status"] == "ok"
         assert "pipeline_executions" in payload
+
+    def test_reports_per_namespace_store_occupancy(self, server):
+        _, body = request(server, "/v1/healthz")
+        store = json.loads(body)["store"]
+        for name in ("results", "datasets"):
+            block = store[name]
+            assert {"entries", "bytes", "hits", "misses", "stores",
+                    "evictions"} <= set(block)
+
+
+class TestJobListing:
+    def test_get_jobs_lists_submitted_jobs(self, server):
+        _, body = request(server, "/v1/runs", {**RUN_BODY, "wait": False})
+        job_id = json.loads(body)["job_id"]
+        status, body = request(server, "/v1/jobs")
+        assert status == 200
+        listing = json.loads(body)
+        assert listing["type"] == "JobList"
+        assert job_id in {job["job_id"] for job in listing["jobs"]}
 
 
 class TestRuns:
@@ -135,6 +177,35 @@ class TestSweeps:
         sweep = json.loads(body)["outputs"]["sweep"]
         assert len(sweep["scenarios"]) == 2
 
+    def test_post_dataset_sweep(self, server, small_raw):
+        request(server, "/v1/datasets/sweep-twin", small_raw.to_dict(), "PUT")
+        status, body = request(
+            server, "/v1/sweeps", {"sweep_datasets": ["small", "sweep-twin"]}
+        )
+        assert status == 200
+        envelope = json.loads(body)
+        sweep = envelope["outputs"]["sweep"]
+        assert [d["name"] for d in sweep["datasets"]] == [
+            "small", "sweep-twin",
+        ]
+        # Identical content under two names: same child fingerprint
+        # (identity is the digest), both children served from the store.
+        children = [s["fingerprint"] for s in sweep["scenarios"]]
+        assert children[0] == children[1]
+        status, child = request(server, sweep["scenarios"][0]["result_url"])
+        assert status == 200
+        assert json.loads(child)["dataset_digest"] == (
+            envelope["dataset_digests"]["small"]
+        )
+        request(server, "/v1/datasets/sweep-twin", method="DELETE")
+
+    def test_dataset_sweep_with_unknown_name_400(self, server):
+        status, body = request(
+            server, "/v1/sweeps", {"sweep_datasets": ["never-uploaded"]}
+        )
+        assert status == 400
+        assert "never-uploaded" in json.loads(body)["error"]
+
 
 class TestDatasets:
     def test_upload_run_by_name_delete(self, server, small_raw):
@@ -182,6 +253,14 @@ class TestDatasets:
             server, "/v1/datasets/..%2Fescape", small_raw.to_dict(), "PUT"
         )
         assert status == 400
+
+    def test_invalid_name_reads_as_absent(self, server):
+        """GET/DELETE with a malformed name are clean 404s, not crashes."""
+        for path in ("/v1/datasets/bad%20name", "/v1/datasets/..%2Fetc"):
+            status, body = request(server, path)
+            assert status == 404, body
+            status, body = request(server, path, method="DELETE")
+            assert status == 404, body
 
     def test_oversized_upload_413(self, small_raw):
         from repro.service import ExpansionService, make_server
