@@ -287,6 +287,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             "multipliers)")
     bench.add_argument("--label", default=None,
                        help="label stored on the trajectory entry")
+    bench.add_argument("--check", action="store_true",
+                       help="fail (exit 1) when the parallel-scaling gate "
+                            "rejects the fresh entry: jobs-4 must not be "
+                            "slower than the warm serial reference")
+    bench.add_argument("--max-ratio", type=float, default=None,
+                       help="gate limit for jobs-4 wall / serial wall "
+                            "(default: 1.1, parity plus noise margin)")
     return parser
 
 
@@ -712,7 +719,7 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .perf.bench import run_bench
+    from .perf.bench import DEFAULT_PARALLEL_MAX_RATIO, check_parallel_gate, run_bench
 
     scales = tuple(int(part) for part in str(args.scales).split(",") if part)
     entry = run_bench(
@@ -733,6 +740,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     suffix = f" ({'; '.join(notes)})" if notes else ""
     print(f"cold paper run: {headline['wall_s']:.2f}s{suffix}")
+    if args.check or args.max_ratio is not None:
+        max_ratio = (
+            args.max_ratio if args.max_ratio is not None else DEFAULT_PARALLEL_MAX_RATIO
+        )
+        ok, message = check_parallel_gate(entry, max_ratio)
+        print(message)
+        if not ok:
+            return 1
     return 0
 
 

@@ -19,7 +19,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-import numpy as np
+try:  # optional: scalar fallbacks below cover its absence
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
 
 from ..config import EARTH_RADIUS_M, ClusteringConfig
 from ..geo import GeoPoint, GridIndex, centroid
@@ -73,14 +76,18 @@ class GeographicClustering:
         return assigned
 
 
-def pairwise_haversine_matrix(points: list[GeoPoint]) -> np.ndarray:
+def pairwise_haversine_matrix(points: list[GeoPoint]):
     """Vectorised (n, n) haversine distance matrix in metres.
 
     Every operation mirrors the textbook broadcast formula but runs
     in-place on two (n, n) buffers, so the values (and the dendrograms
     cut from them) are bit-identical while peak temporary memory and
-    runtime drop by roughly half.
+    runtime drop by roughly half.  Without numpy the same formula runs
+    scalar over list rows (values may differ from the vectorised path
+    in the last ulp of ``arcsin``; on the numpy leg nothing changes).
     """
+    if np is None:
+        return _pairwise_haversine_rows(points)
     lats = np.radians(np.array([point.lat for point in points], dtype=np.float64))
     lons = np.radians(np.array([point.lon for point in points], dtype=np.float64))
     # h = sin^2(dlat/2) + cos(lat_i) cos(lat_j) sin^2(dlon/2)
@@ -100,6 +107,27 @@ def pairwise_haversine_matrix(points: list[GeoPoint]) -> np.ndarray:
     np.arcsin(h, out=h)
     np.multiply(h, 2.0 * EARTH_RADIUS_M, out=h)
     return h
+
+
+def _pairwise_haversine_rows(points: list[GeoPoint]) -> list[list[float]]:
+    """Scalar haversine matrix as list rows (the no-numpy fallback)."""
+    lats = [math.radians(point.lat) for point in points]
+    lons = [math.radians(point.lon) for point in points]
+    cos_lats = [math.cos(lat) for lat in lats]
+    n = len(points)
+    rows = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            sin_dlat = math.sin((lats[i] - lats[j]) / 2.0)
+            sin_dlon = math.sin((lons[i] - lons[j]) / 2.0)
+            # Same association order as the broadcast path: square the
+            # half-angle sines first, then scale by cos(i)*cos(j).
+            h = sin_dlat * sin_dlat + (cos_lats[i] * cos_lats[j]) * (sin_dlon * sin_dlon)
+            h = min(1.0, max(0.0, h))
+            d = 2.0 * EARTH_RADIUS_M * math.asin(math.sqrt(h))
+            rows[i][j] = d
+            rows[j][i] = d
+    return rows
 
 
 def proximity_components(
@@ -245,4 +273,7 @@ def cluster_diameter_m(
         return 0.0
     points = [location_points[location_id] for location_id in cluster.member_location_ids]
     matrix = pairwise_haversine_matrix(points)
-    return float(np.max(matrix)) if math.isfinite(np.max(matrix)) else 0.0
+    largest = (
+        float(np.max(matrix)) if np is not None else max(map(max, matrix))
+    )
+    return largest if math.isfinite(largest) else 0.0

@@ -9,13 +9,21 @@ The paper needs the dendrogram only to cut it at a distance threshold
 (100 m, the Cluster-Boundary rule).  Because complete/single/average
 linkage are monotone, a threshold cut is simply the union-find over all
 merges whose height does not exceed the threshold.
+
+Numpy accelerates the matrix row operations when it is installed; a
+pure-Python fallback over lists of rows keeps the module fully
+functional without it (same algorithm, same merge order).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-import numpy as np
+try:  # optional: the pure-Python fallback below covers its absence
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
 
 from ..exceptions import ClusteringError
 
@@ -87,17 +95,32 @@ class Dendrogram:
         return clusters
 
 
-def _validate_matrix(distances: np.ndarray) -> np.ndarray:
-    matrix = np.asarray(distances, dtype=np.float64)
-    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
-        raise ClusteringError("distance matrix must be square")
-    if matrix.shape[0] == 0:
+def _validate_matrix(distances):
+    if np is not None:
+        matrix = np.asarray(distances, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ClusteringError("distance matrix must be square")
+        if matrix.shape[0] == 0:
+            raise ClusteringError("distance matrix must be non-empty")
+        if np.any(matrix < 0):
+            raise ClusteringError("distances must be non-negative")
+        if not np.allclose(matrix, matrix.T, rtol=1e-8, atol=1e-8):
+            raise ClusteringError("distance matrix must be symmetric")
+        return matrix
+    rows = [[float(value) for value in row] for row in distances]
+    n = len(rows)
+    if n == 0:
         raise ClusteringError("distance matrix must be non-empty")
-    if np.any(matrix < 0):
-        raise ClusteringError("distances must be non-negative")
-    if not np.allclose(matrix, matrix.T, rtol=1e-8, atol=1e-8):
-        raise ClusteringError("distance matrix must be symmetric")
-    return matrix
+    if any(len(row) != n for row in rows):
+        raise ClusteringError("distance matrix must be square")
+    for i in range(n):
+        for j in range(n):
+            if rows[i][j] < 0:
+                raise ClusteringError("distances must be non-negative")
+            # np.allclose's default comparison, spelled out.
+            if abs(rows[i][j] - rows[j][i]) > 1e-8 + 1e-8 * abs(rows[j][i]):
+                raise ClusteringError("distance matrix must be symmetric")
+    return rows
 
 
 def linkage_cluster(
@@ -129,6 +152,12 @@ def linkage_cluster(
     """
     if linkage not in _LINKAGES:
         raise ClusteringError(f"unknown linkage: {linkage!r}")
+    if np is None:
+        if validate:
+            matrix_rows = _validate_matrix(distances)
+        else:
+            matrix_rows = [[float(value) for value in row] for row in distances]
+        return _linkage_cluster_pure(matrix_rows, linkage)
     if validate:
         matrix = _validate_matrix(distances).copy()
     else:
@@ -181,6 +210,80 @@ def linkage_cluster(
                 b=cluster_label[b],
                 height=height,
                 size=int(sizes[a] + sizes[b]),
+            )
+        )
+        sizes[a] += sizes[b]
+        cluster_label[a] = next_label
+        next_label += 1
+
+    return Dendrogram(n_points=n, merges=tuple(merges))
+
+
+def _linkage_cluster_pure(matrix: list[list[float]], linkage: str) -> Dendrogram:
+    """The nearest-neighbour-chain algorithm over plain list rows.
+
+    Mirrors the numpy path operation for operation (same chain walk,
+    same Lance-Williams updates, same tie-breaking argmin) so the two
+    produce identical dendrograms for identical input values.
+    """
+    n = len(matrix)
+    if n == 1:
+        return Dendrogram(n_points=1, merges=())
+    inf = math.inf
+    for i in range(n):
+        matrix[i][i] = inf
+    active = [True] * n
+    sizes = [1] * n
+    cluster_label = list(range(n))
+    next_label = n
+    merges: list[Merge] = []
+    chain: list[int] = []
+
+    for _ in range(n - 1):
+        if not chain:
+            chain.append(next(i for i in range(n) if active[i]))
+        while True:
+            a = chain[-1]
+            row_a = matrix[a]
+            # argmin over active columns, first index wins ties (as
+            # np.argmin does).
+            b = -1
+            best = inf
+            for j in range(n):
+                if active[j] and j != a and row_a[j] < best:
+                    best = row_a[j]
+                    b = j
+            if b < 0:  # all remaining distances are inf: merge any pair
+                b = next(j for j in range(n) if active[j] and j != a)
+            if len(chain) > 1 and b == chain[-2]:
+                break
+            chain.append(b)
+        b = chain.pop()
+        a = chain.pop()
+        height = float(matrix[a][b])
+
+        row_a, row_b = matrix[a], matrix[b]
+        if linkage == LINKAGE_COMPLETE:
+            new_row = [max(x, y) for x, y in zip(row_a, row_b)]
+        elif linkage == LINKAGE_SINGLE:
+            new_row = [min(x, y) for x, y in zip(row_a, row_b)]
+        else:  # average
+            total = sizes[a] + sizes[b]
+            new_row = [
+                (sizes[a] * x + sizes[b] * y) / total
+                for x, y in zip(row_a, row_b)
+            ]
+        new_row[a] = inf
+        matrix[a] = new_row
+        for i in range(n):
+            matrix[i][a] = new_row[i]
+        active[b] = False
+        merges.append(
+            Merge(
+                a=cluster_label[a],
+                b=cluster_label[b],
+                height=height,
+                size=sizes[a] + sizes[b],
             )
         )
         sizes[a] += sizes[b]

@@ -29,7 +29,13 @@ def modularity(
     """
     # One pass over the adjacency, accumulating every sum in the same
     # order the naive strength()/edges() traversal did, so the returned
-    # float is bit-identical to the historical implementation.
+    # float is bit-identical to the historical implementation.  Large
+    # graphs go through the numpy kernel, which replays these folds
+    # with sequential np.add.at/accumulate — same float, faster.
+    from ..perf import accel
+
+    if accel.use_modularity(graph):
+        return accel.modularity(graph, partition, resolution)
     assignment = partition.assignment
     position: dict = {}
     node_strength: list[float] = []

@@ -118,6 +118,40 @@ def _location_admissible(record: LocationRecord, oracle: Callable[[GeoPoint], bo
     return oracle(record.point())
 
 
+#: Below this many coordinate rows the scalar oracle loop wins; the
+#: decisions are boolean-identical either way (the batch kernels are
+#: exact elementwise replays of the scalar comparisons).
+_BATCH_ORACLE_MIN_RECORDS = 256
+
+
+def _geo_doomed_ids(
+    dataset: MobyDataset,
+    oracle: Callable[[GeoPoint], bool],
+    batch_oracle_name: str,
+) -> set[int]:
+    """Location ids failing a geographic oracle; coordinate-less pass."""
+    from ..perf import accel
+
+    records = list(dataset.locations())
+    with_coords = [record for record in records if record.has_coordinates]
+    if accel.ENABLED and len(with_coords) >= _BATCH_ORACLE_MIN_RECORDS:
+        points = [record.point() for record in with_coords]
+        batch = getattr(accel, batch_oracle_name)
+        admissible = batch(
+            [point.lat for point in points], [point.lon for point in points]
+        )
+        return {
+            record.location_id
+            for record, ok in zip(with_coords, admissible)
+            if not ok
+        }
+    return {
+        record.location_id
+        for record in with_coords
+        if not oracle(record.point())
+    }
+
+
 def _drop_locations(
     dataset: MobyDataset,
     doomed_location_ids: set[int],
@@ -146,21 +180,13 @@ def clean_dataset(raw: MobyDataset) -> tuple[MobyDataset, CleaningReport]:
 
     # Rule 1: outside Dublin.
     outcome = RuleOutcome(RULE_OUTSIDE_DUBLIN)
-    doomed = {
-        record.location_id
-        for record in dataset.locations()
-        if not _location_admissible(record, in_dublin)
-    }
+    doomed = _geo_doomed_ids(dataset, in_dublin, "in_dublin_batch")
     _drop_locations(dataset, doomed, outcome)
     report.outcomes.append(outcome)
 
     # Rule 2: not on land.
     outcome = RuleOutcome(RULE_NOT_ON_LAND)
-    doomed = {
-        record.location_id
-        for record in dataset.locations()
-        if not _location_admissible(record, on_land)
-    }
+    doomed = _geo_doomed_ids(dataset, on_land, "on_land_batch")
     _drop_locations(dataset, doomed, outcome)
     report.outcomes.append(outcome)
 

@@ -94,6 +94,9 @@ class GridIndex(Generic[K]):
         self._prefilter_ok = (
             abs(reference_lat) <= PREFILTER_MAX_REFERENCE_LAT_DEG
         )
+        #: Mutation counter; the accel batch kernels key their cached
+        #: array snapshot on it so any insert/remove invalidates it.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Mutation
@@ -109,6 +112,7 @@ class GridIndex(Generic[K]):
         """Insert or move ``key`` to ``point``."""
         if key in self._points:
             self.remove(key)
+        self._version += 1
         self._points[key] = point
         cell = self._cell_of(point)
         self._cells.setdefault(cell, {})[key] = (
@@ -134,6 +138,7 @@ class GridIndex(Generic[K]):
     def remove(self, key: K) -> None:
         """Remove ``key``; raises KeyError when absent."""
         point = self._points.pop(key)
+        self._version += 1
         cell = self._cell_of(point)
         bucket = self._cells[cell]
         del bucket[key]
@@ -230,7 +235,16 @@ class GridIndex(Generic[K]):
     def within_many(
         self, centers: Sequence[GeoPoint], radius_m: float
     ) -> list[list[tuple[K, float]]]:
-        """:meth:`within` for a batch of centres, in input order."""
+        """:meth:`within` for a batch of centres, in input order.
+
+        Large batches over moderate indexes are served by the
+        bit-identical numpy kernel in :mod:`repro.perf.accel` when it
+        is available; results never depend on which path ran.
+        """
+        from ..perf import accel
+
+        if accel.use_grid_batch(self, centers):
+            return accel.within_batch(self, centers, radius_m)
         return [self.within(center, radius_m) for center in centers]
 
     def nearest(self, center: GeoPoint, exclude: K | None = None) -> tuple[K, float]:
@@ -301,7 +315,15 @@ class GridIndex(Generic[K]):
     def nearest_many(
         self, centers: Sequence[GeoPoint], exclude: K | None = None
     ) -> list[tuple[K, float]]:
-        """:meth:`nearest` for a batch of centres, in input order."""
+        """:meth:`nearest` for a batch of centres, in input order.
+
+        Dispatches to the bit-identical batch kernel exactly like
+        :meth:`within_many`.
+        """
+        from ..perf import accel
+
+        if accel.use_grid_batch(self, centers):
+            return accel.nearest_batch(self, centers, exclude)
         return [self.nearest(center, exclude) for center in centers]
 
     def neighbour_pairs(self, radius_m: float) -> Iterator[tuple[K, K]]:

@@ -1,0 +1,481 @@
+"""Optional numpy-accelerated kernels, bit-identical by construction.
+
+Every kernel here is an *alternative evaluation order* of an existing
+pure-Python kernel — never an alternative algorithm — built only from
+numpy operations that are bit-identical to their scalar counterparts
+on this platform:
+
+* elementwise ``np.sin``/``np.cos``/``np.sqrt``/``np.radians`` match
+  ``math.sin``/``math.cos``/``math.sqrt``/``math.radians`` exactly;
+* ``np.add.accumulate`` is an exactly sequential left fold;
+* ``np.add.at`` is an exactly sequential scatter-add in argument order.
+
+Primitives that are *not* bit-identical are banned and worked around:
+
+* ``np.add.reduce``/``np.add.reduceat`` use pairwise summation — every
+  reduction here goes through ``np.add.accumulate`` or ``np.add.at``;
+* ``np.arcsin`` differs from ``math.asin`` in the last ulp for ~4 % of
+  inputs — distance *decisions* are made in haversine-``h`` space
+  (monotone in distance), and distance *values* are finalised with
+  scalar ``math.asin`` on the few survivors;
+* ``x ** 2`` via numpy differs from CPython ``float.__pow__`` — the
+  per-label modularity tail stays scalar.
+
+:data:`ENABLED` is True only when numpy imports *and* an import-time
+self-check proves the identities above on probe values, so a platform
+where any identity fails silently falls back to pure Python rather
+than corrupting fingerprints.  Set ``REPRO_NO_ACCEL=1`` to force the
+pure paths (the parity suite and the no-numpy CI leg use this to pin
+both sides byte-identical).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import struct
+from typing import TYPE_CHECKING, Sequence
+
+from ..config import EARTH_RADIUS_M
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..geo import GeoPoint
+    from ..geo.index import GridIndex
+    from ..geo.polygon import Polygon, Region
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
+
+#: Engage batch grid kernels only for genuinely batched queries over
+#: moderate indexes: below the floor the numpy call overhead loses to
+#: the scalar grid walk, above the cap a full scan loses to grid
+#: pruning.  Either way the scalar path is the fallback, so these are
+#: pure performance knobs — results never depend on them.
+MIN_BATCH_CENTERS = 8
+MAX_SCAN_POINTS = 4096
+#: Centres are processed in chunks to bound the (chunk, n_points)
+#: broadcast buffers.
+CENTER_CHUNK = 1024
+
+#: Engage the vectorised modularity kernel only above this node count.
+MIN_MODULARITY_NODES = 64
+
+
+def _self_check() -> bool:
+    """Prove the bit-identities the kernels rely on, on probe values."""
+    if np is None:
+        return False
+    try:
+        probes = [
+            (i * 0.7853981633974483 + 0.1234567) * (1 if i % 2 else -1)
+            for i in range(64)
+        ]
+        arr = np.array(probes, dtype=np.float64)
+        if not all(
+            float(a) == m(p)
+            for fn, m in (
+                (np.sin, math.sin),
+                (np.cos, math.cos),
+                (np.radians, math.radians),
+            )
+            for a, p in zip(fn(arr), probes)
+        ):
+            return False
+        if not all(
+            float(a) == math.sqrt(abs(p))
+            for a, p in zip(np.sqrt(np.abs(arr)), probes)
+        ):
+            return False
+        # accumulate must be the sequential left fold from zero.
+        fold = 0.0
+        for p in probes:
+            fold += p
+        if float(np.add.accumulate(arr)[-1]) != fold:
+            return False
+        # add.at must scatter-add sequentially in argument order.
+        index = np.array([i % 3 for i in range(64)])
+        out = np.zeros(3)
+        np.add.at(out, index, arr)
+        expect = [0.0, 0.0, 0.0]
+        for i, p in zip(index, probes):
+            expect[int(i)] += p
+        if [float(x) for x in out] != expect:
+            return False
+    except Exception:  # pragma: no cover - defensive: any oddity disables
+        return False
+    return True
+
+
+#: True when the accelerated paths may be used at all.
+ENABLED = (
+    np is not None
+    and os.environ.get("REPRO_NO_ACCEL", "") != "1"
+    and _self_check()
+)
+
+
+def enabled() -> bool:
+    """Whether the accelerated kernels are active in this process."""
+    return ENABLED
+
+
+# ---------------------------------------------------------------------------
+# Haversine-h machinery
+# ---------------------------------------------------------------------------
+
+
+def _scalar_distance_from_h(h: float) -> float:
+    """The exact scalar finaliser: ``2R * asin(sqrt(min(1, h)))``."""
+    return 2.0 * EARTH_RADIUS_M * math.asin(math.sqrt(min(1.0, h)))
+
+
+def _float_bits(value: float) -> int:
+    return struct.unpack("<q", struct.pack("<d", value))[0]
+
+
+def _bits_float(bits: int) -> float:
+    return struct.unpack("<d", struct.pack("<q", bits))[0]
+
+
+def h_threshold(radius_m: float) -> float:
+    """Largest ``h`` whose scalar distance is still ``<= radius_m``.
+
+    The scalar distance is a nondecreasing function of ``h`` (every op
+    in :func:`_scalar_distance_from_h` is correctly rounded and
+    monotone), so ``distance <= radius_m`` is exactly ``h <= H*`` for
+    the ``H*`` this bisection over float bit patterns finds.  One call
+    costs ~64 scalar evaluations — amortised over a whole batch.
+    """
+    if radius_m < 0:
+        return -math.inf
+    if _scalar_distance_from_h(1.0) <= radius_m:
+        return math.inf  # every h passes (min(1, h) saturates)
+    lo, hi = _float_bits(0.0), _float_bits(1.0)
+    # Invariant: d(lo) <= radius_m < d(hi).
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if _scalar_distance_from_h(_bits_float(mid)) <= radius_m:
+            lo = mid
+        else:
+            hi = mid
+    return _bits_float(lo)
+
+
+# ---------------------------------------------------------------------------
+# Grid-index batch queries
+# ---------------------------------------------------------------------------
+
+
+class _GridSnapshot:
+    """Immutable array view of a :class:`GridIndex`'s points."""
+
+    __slots__ = ("keys", "lats", "lons", "cos_phis", "index_of")
+
+    def __init__(self, index: "GridIndex") -> None:
+        points = index._points
+        self.keys = list(points)
+        self.lats = np.array(
+            [points[key].lat for key in self.keys], dtype=np.float64
+        )
+        self.lons = np.array(
+            [points[key].lon for key in self.keys], dtype=np.float64
+        )
+        self.cos_phis = np.cos(np.radians(self.lats))
+        self.index_of = {key: i for i, key in enumerate(self.keys)}
+
+
+def _snapshot(index: "GridIndex") -> _GridSnapshot:
+    """The index's array snapshot, rebuilt after any mutation."""
+    version = index._version
+    cached = getattr(index, "_accel_snapshot", None)
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    snapshot = _GridSnapshot(index)
+    index._accel_snapshot = (version, snapshot)
+    return snapshot
+
+
+def use_grid_batch(index: "GridIndex", centers: Sequence) -> bool:
+    """Whether the batch kernels should serve this query."""
+    return (
+        ENABLED
+        and len(centers) >= MIN_BATCH_CENTERS
+        and 0 < len(index._points) <= MAX_SCAN_POINTS
+    )
+
+
+def _h_matrix(
+    snapshot: _GridSnapshot, centers: Sequence["GeoPoint"]
+) -> "np.ndarray":
+    """(len(centers), n_points) haversine-``h`` values, bit-identical
+    to the scalar inlined haversine in :meth:`GridIndex.within`."""
+    qlats = np.array([center.lat for center in centers], dtype=np.float64)
+    qlons = np.array([center.lon for center in centers], dtype=np.float64)
+    cos_q = np.cos(np.radians(qlats))
+    # Scalar order: sin(radians(plat - qlat) / 2.0) etc.; every step
+    # below applies the same correctly-rounded op elementwise.
+    sin_dphi = np.sin(np.radians(snapshot.lats[None, :] - qlats[:, None]) / 2.0)
+    sin_dlam = np.sin(np.radians(snapshot.lons[None, :] - qlons[:, None]) / 2.0)
+    # Same association as the scalar expression
+    # ``cos_phi1 * cos_phi2 * sin_dlam * sin_dlam`` (left to right).
+    return sin_dphi * sin_dphi + (
+        (cos_q[:, None] * snapshot.cos_phis[None, :]) * sin_dlam
+    ) * sin_dlam
+
+
+def within_batch(
+    index: "GridIndex", centers: Sequence["GeoPoint"], radius_m: float
+) -> list:
+    """Bit-identical batch :meth:`GridIndex.within`.
+
+    Inclusion is decided entirely in ``h`` space against the exact
+    :func:`h_threshold`; hit distances are finalised with the scalar
+    ``math.asin`` so returned values match the scalar path bit for
+    bit, ordering included.
+    """
+    if radius_m < 0:
+        raise ValueError("radius_m must be non-negative")
+    snapshot = _snapshot(index)
+    threshold = h_threshold(radius_m)
+    results: list = []
+    for start in range(0, len(centers), CENTER_CHUNK):
+        chunk = centers[start : start + CENTER_CHUNK]
+        h = _h_matrix(snapshot, chunk)
+        inside = h <= threshold
+        for row in range(len(chunk)):
+            hits = [
+                (snapshot.keys[col], _scalar_distance_from_h(float(h[row, col])))
+                for col in np.flatnonzero(inside[row])
+            ]
+            hits.sort(key=lambda pair: (pair[1], str(pair[0])))
+            results.append(hits)
+    return results
+
+
+#: Candidates within this *relative* h margin of the minimum are
+#: treated as potential distance ties.  Rounding through sqrt/asin can
+#: only collapse h values within a few ulps (~1e-15 relative) onto one
+#: distance; 1e-9 is conservative by six orders of magnitude.
+_NEAR_TIE_RELATIVE_H = 1e-9
+
+
+def nearest_batch(
+    index: "GridIndex", centers: Sequence["GeoPoint"], exclude=None
+) -> list:
+    """Bit-identical batch :meth:`GridIndex.nearest`.
+
+    The minimum is found in ``h`` space.  When a single candidate sits
+    in the near-tie band the winner is certain and its distance is
+    finalised scalar; an exact distance tie falls back to the scalar
+    ring walk for that centre, which owns the tie-break order.
+    """
+    snapshot = _snapshot(index)
+    exclude_column = snapshot.index_of.get(exclude)
+    if len(snapshot.keys) - (0 if exclude_column is None else 1) <= 0:
+        # Delegate the error path (EmptyRegionError) to the scalar walk.
+        return [index.nearest(center, exclude) for center in centers]
+    results: list = []
+    for start in range(0, len(centers), CENTER_CHUNK):
+        chunk = centers[start : start + CENTER_CHUNK]
+        h = _h_matrix(snapshot, chunk)
+        if exclude_column is not None:
+            h[:, exclude_column] = math.inf
+        h_min = h.min(axis=1)
+        for row in range(len(chunk)):
+            row_min = float(h_min[row])
+            band = row_min + _NEAR_TIE_RELATIVE_H * row_min + 5e-324
+            candidates = np.flatnonzero(h[row] <= band)
+            if len(candidates) == 1:
+                col = int(candidates[0])
+                results.append(
+                    (
+                        snapshot.keys[col],
+                        _scalar_distance_from_h(float(h[row, col])),
+                    )
+                )
+                continue
+            distances = [
+                _scalar_distance_from_h(float(h[row, col]))
+                for col in candidates
+            ]
+            best = min(distances)
+            winners = [i for i, d in enumerate(distances) if d == best]
+            if len(winners) == 1:
+                col = int(candidates[winners[0]])
+                results.append((snapshot.keys[col], best))
+            else:
+                # Exact distance tie: the scalar ring walk owns the
+                # first-encountered tie-break.
+                results.append(index.nearest(chunk[row], exclude))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Polygon / region containment
+# ---------------------------------------------------------------------------
+
+
+def polygon_contains_batch(
+    polygon: "Polygon", lats: "np.ndarray", lons: "np.ndarray"
+) -> "np.ndarray":
+    """Vectorised even-odd ray cast, bit-identical decisions.
+
+    Every comparison and arithmetic op in the scalar
+    :meth:`Polygon.contains` is pure IEEE arithmetic, replicated here
+    elementwise in the same association order.
+    """
+    box = polygon.bounding_box
+    in_box = (
+        (box.south <= lats)
+        & (lats <= box.north)
+        & (box.west <= lons)
+        & (lons <= box.east)
+    )
+    inside = np.zeros(len(lats), dtype=bool)
+    vertices = polygon.vertices
+    count = len(vertices)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for i in range(count):
+            a = vertices[i]
+            b = vertices[(i + 1) % count]
+            ay, ax = a.lat, a.lon
+            by, bx = b.lat, b.lon
+            crosses = (ay > lats) != (by > lats)
+            if by == ay:  # horizontal edge never crosses; skip the 0-div
+                continue
+            x_at_y = ax + (lats - ay) * (bx - ax) / (by - ay)
+            inside ^= crosses & (lons < x_at_y)
+    return in_box & inside
+
+
+def region_contains_batch(
+    region: "Region", lats: "np.ndarray", lons: "np.ndarray"
+) -> "np.ndarray":
+    """Vectorised :meth:`Region.contains` (shell minus holes)."""
+    mask = polygon_contains_batch(region.shell, lats, lons)
+    for hole in region.holes:
+        mask &= ~polygon_contains_batch(hole, lats, lons)
+    return mask
+
+
+def in_dublin_batch(
+    lats: Sequence[float], lons: Sequence[float]
+) -> "np.ndarray":
+    """Vectorised :func:`repro.geo.in_dublin` decision array."""
+    from ..geo.dublin import DUBLIN_BBOX
+
+    lat_arr = np.array(lats, dtype=np.float64)
+    lon_arr = np.array(lons, dtype=np.float64)
+    return (
+        (DUBLIN_BBOX.south <= lat_arr)
+        & (lat_arr <= DUBLIN_BBOX.north)
+        & (DUBLIN_BBOX.west <= lon_arr)
+        & (lon_arr <= DUBLIN_BBOX.east)
+    )
+
+
+def on_land_batch(
+    lats: Sequence[float], lons: Sequence[float]
+) -> "np.ndarray":
+    """Vectorised :func:`repro.geo.on_land` decision array."""
+    from ..geo.dublin import DUBLIN_LAND
+
+    return region_contains_batch(
+        DUBLIN_LAND,
+        np.array(lats, dtype=np.float64),
+        np.array(lons, dtype=np.float64),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Community kernels
+# ---------------------------------------------------------------------------
+
+
+def modularity(graph, partition, resolution: float = 1.0) -> float:
+    """Bit-identical vectorised Newman modularity.
+
+    The O(E) accumulations (node strengths, per-label strengths,
+    intra-community weight) run through ``np.add.at`` in exactly the
+    historical iteration order; the O(k) per-label tail stays scalar
+    because CPython's ``** 2`` is not bit-identical to numpy's.
+
+    Louvain's local-moving sweep is deliberately *not* vectorised: its
+    sequential gain fold with eps-hysteresis tie handling is the spec
+    the property tests pin, and a vectorised argmax cannot replay it.
+    Louvain still benefits here through its final modularity call.
+    """
+    from ..exceptions import CommunityError
+
+    assignment = partition.assignment
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    position = {node: i for i, node in enumerate(nodes)}
+    owners: list[int] = []
+    neighbour_pos: list[int] = []
+    weights: list[float] = []
+    loops = [0.0] * n
+    for i, node in enumerate(nodes):
+        neighbours = graph.neighbours(node)
+        for other, weight in neighbours.items():
+            owners.append(i)
+            neighbour_pos.append(position[other])
+            weights.append(weight)
+        loops[i] = neighbours.get(node, 0.0)
+    owner_arr = np.array(owners, dtype=np.intp)
+    neighbour_arr = np.array(neighbour_pos, dtype=np.intp)
+    weight_arr = np.array(weights, dtype=np.float64)
+
+    # strength[i] = (left fold of i's adjacency weights) + loop weight,
+    # exactly as ``sum(neighbours.values()) + neighbours.get(node, 0)``.
+    strength = np.zeros(n, dtype=np.float64)
+    np.add.at(strength, owner_arr, weight_arr)
+    strength = strength + np.array(loops, dtype=np.float64)
+    if n == 0:
+        return 0.0
+    total = float(np.add.accumulate(strength)[-1]) / 2.0
+    if total <= 0:
+        return 0.0
+
+    compact: dict = {}
+    label_ids = np.empty(n, dtype=np.intp)
+    for i, node in enumerate(nodes):
+        if node not in assignment:
+            raise CommunityError(f"node {node!r} is not assigned to a community")
+        label = assignment[node]
+        if label not in compact:
+            compact[label] = len(compact)  # first-appearance order
+        label_ids[i] = compact[label]
+    k = len(compact)
+    label_strength = np.zeros(k, dtype=np.float64)
+    np.add.at(label_strength, label_ids, strength)
+
+    # Intra-community weight: the scalar double loop visits the flat
+    # (owner, neighbour, weight) triples in exactly this order, so the
+    # masked sequential scatter-add reproduces its folds.
+    mask = (neighbour_arr >= owner_arr) & (
+        label_ids[neighbour_arr] == label_ids[owner_arr]
+    )
+    intra = np.zeros(k, dtype=np.float64)
+    np.add.at(intra, label_ids[owner_arr][mask], weight_arr[mask])
+
+    two_m = 2.0 * total
+    score = 0.0
+    for label_id in range(k):  # scalar tail: CPython ** 2 semantics
+        score += (
+            float(intra[label_id]) / total
+            - resolution * (float(label_strength[label_id]) / two_m) ** 2
+        )
+    return score
+
+
+def use_modularity(graph) -> bool:
+    """Whether the vectorised modularity kernel should serve a graph."""
+    if not ENABLED:
+        return False
+    try:
+        return len(graph._adj) >= MIN_MODULARITY_NODES
+    except AttributeError:
+        return False

@@ -40,12 +40,18 @@ MISS = object()
 #: short labels, so the canonical encoding is name-like, path-safe.
 _STAGE_KEY = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
 
+#: Access-stamp debounce for bounded stage namespaces: a hit-heavy
+#: sweep stamps each warm stage once per window instead of once per
+#: hit.  Pending stamps flush on eviction scans and :meth:`close`.
+STAGE_TOUCH_WINDOW_S = 5.0
+
 
 def stage_namespace(
     backend: Any,
     *,
     max_bytes: int | None = None,
     max_entries: int | None = None,
+    touch_window_s: float = STAGE_TOUCH_WINDOW_S,
 ) -> Namespace:
     """The canonical stage-cache namespace policy over ``backend``."""
     return Namespace(
@@ -55,6 +61,7 @@ def stage_namespace(
         suffix=".pkl",
         max_bytes=max_bytes,
         max_entries=max_entries,
+        touch_window_s=touch_window_s,
     )
 
 
@@ -194,6 +201,11 @@ class StageCache:
     def clear_memory(self) -> None:
         """Drop the memory tier (the durable tier is untouched)."""
         self._memory.clear()
+
+    def close(self) -> None:
+        """Flush coalesced durable-tier access stamps (stays usable)."""
+        if self.namespace is not None:
+            self.namespace.flush_touches()
 
     def lock(self, key: str):
         """Serialise concurrent computation of the same key."""

@@ -512,11 +512,12 @@ class PipelineRunner:
             return self._process_pool
 
     def close(self) -> None:
-        """Shut down the shared process pool, if one was started."""
+        """Shut down the shared process pool and flush cache stamps."""
         with self._pool_mutex:
             pool, self._process_pool = self._process_pool, None
         if pool is not None:
             pool.shutdown()
+        self.cache.close()  # debounced access stamps become durable
 
     def __enter__(self) -> "PipelineRunner":
         return self

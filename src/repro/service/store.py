@@ -10,7 +10,11 @@ pipeline at all.
 
 Key validation, atomic publish and (optional) quota eviction are the
 namespace's; this class only translates envelope dicts to and from
-canonical text.
+canonical text.  A small :class:`~repro.store.ObjectLRU` fronts the
+namespace with the decoded canonical text, so repeated reads of a warm
+envelope (result polling, duplicate submissions) never re-read backend
+bytes.  Entries are content-addressed — a fingerprint can only ever
+map to one text — so the front can never serve stale data.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ import json
 from pathlib import Path
 
 from ..serialize import canonical_json
-from ..store import HEX_KEY, DirBackend, MemoryBackend, Namespace
+from ..store import HEX_KEY, DirBackend, MemoryBackend, Namespace, ObjectLRU
 
 
 def results_namespace(backend) -> Namespace:
@@ -44,6 +48,7 @@ class ResultsStore:
         results_dir: str | Path | None = None,
         *,
         namespace: Namespace | None = None,
+        memory_slots: int = 64,
     ) -> None:
         if namespace is None:
             backend = (
@@ -51,6 +56,7 @@ class ResultsStore:
             )
             namespace = results_namespace(backend)
         self.namespace = namespace
+        self._memory = ObjectLRU(memory_slots)
 
     @property
     def results_dir(self) -> Path | None:
@@ -59,9 +65,21 @@ class ResultsStore:
         return backend.root if isinstance(backend, DirBackend) else None
 
     def raw(self, fingerprint: str) -> str | None:
-        """The stored canonical-JSON text, or ``None``."""
+        """The stored canonical-JSON text, or ``None``.
+
+        Warm envelopes come straight from the in-process LRU front;
+        only the first read of a fingerprint touches backend bytes.
+        """
+        text = self._memory.get(fingerprint)
+        if text is not None:
+            self.namespace.count_front_hit()
+            return text
         data = self.namespace.get(fingerprint)
-        return data.decode("utf-8") if data is not None else None
+        if data is None:
+            return None
+        text = data.decode("utf-8")
+        self._memory.put(fingerprint, text)
+        return text
 
     def get(self, fingerprint: str) -> dict | None:
         """The stored envelope as a dict, or ``None``."""
@@ -81,6 +99,7 @@ class ResultsStore:
             self.namespace.put(fingerprint, text.encode("utf-8"))
         except OSError:
             pass  # a full/readonly disk degrades to best-effort persistence
+        self._memory.put(fingerprint, text)
         return text
 
     def __contains__(self, fingerprint: str) -> bool:

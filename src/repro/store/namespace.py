@@ -19,14 +19,25 @@ used to implement privately:
   executor's rendezvous directory opts out of eviction;
 * **persisted access metadata** — recency rides on the backend's
   access stamps (file mtimes for directory backends), so eviction
-  order survives restarts;
+  order survives restarts.  Reads go through the backend's ``peek``
+  and recency is stamped separately by policy: never for unbounded
+  namespaces (nothing sorts by it), immediately for bounded ones, or
+  coalesced per key within ``touch_window_s`` and flushed by
+  :meth:`flush_touches` / :meth:`close` / any eviction scan — so a
+  hit-heavy loop costs one stamp write per key per window instead of
+  one per hit;
 * **oversize rejection** — namespaces fronting client uploads set
   ``reject_oversize`` and ``max_entry_bytes`` to refuse an entry that
   could not be stored within quota even by evicting everything else
   (:class:`~repro.exceptions.StoreQuotaError`), instead of churning
   the cache;
-* **per-key locks** — :meth:`lock` serialises concurrent work on one
-  key (stage computation, dataset overwrite-vs-read).
+* **striped key locks** — :meth:`lock` serialises concurrent work on
+  one key (stage computation, dataset overwrite-vs-read).  Locks come
+  from a fixed stripe table indexed by key hash, so the hot read path
+  never takes a global mutex to mint per-key locks and the lock table
+  cannot grow without bound.  Two keys sharing a stripe serialise
+  against each other — a false positive that costs a wait (or an
+  eviction skip), never correctness.
 
 Multi-file entries (a dataset's CSV pair plus metadata) declare their
 ``parts``; the *last* part is the recency anchor and is written last,
@@ -51,6 +62,11 @@ HEX_KEY = re.compile(r"^[0-9a-f]+$")
 #: Name-like keys (dataset names, job ids): path-safe, never hidden.
 NAME_KEY = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
+#: Number of key-lock stripes per namespace.  Far above the number of
+#: keys any workload holds locked at once, so stripe collisions are
+#: rare; a power of two keeps the modulo cheap.
+LOCK_STRIPES = 64
+
 
 class Namespace:
     """Policy wrapper over a backend: keys, quotas, eviction, locks."""
@@ -68,6 +84,7 @@ class Namespace:
         max_entries: int | None = None,
         max_entry_bytes: int | None = None,
         reject_oversize: bool = False,
+        touch_window_s: float = 0.0,
     ) -> None:
         if max_bytes is not None and max_bytes < 0:
             raise ValueError("max_bytes must be non-negative")
@@ -85,6 +102,8 @@ class Namespace:
             unknown = set(accounted_parts) - set(parts)
             if unknown:
                 raise ValueError(f"accounted_parts not in parts: {unknown}")
+        if touch_window_s < 0:
+            raise ValueError("touch_window_s must be non-negative")
         self.backend = backend
         self.key_pattern = key_pattern
         self.key_label = key_label
@@ -95,13 +114,24 @@ class Namespace:
         self.max_entries = max_entries
         self.max_entry_bytes = max_entry_bytes
         self.reject_oversize = reject_oversize
+        self.touch_window_s = touch_window_s
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        #: Stamp writes actually issued to the backend (observability:
+        #: the debounce/skip-unbounded policies are measured by this).
+        self.touch_writes = 0
         self._mutex = threading.Lock()
-        self._key_locks: dict[str, threading.Lock] = {}
+        self._stripe_locks = tuple(
+            threading.Lock() for _ in range(LOCK_STRIPES)
+        )
         self._evict_mutex = threading.Lock()
+        # Debounced access stamps: backend key -> last write (monotonic)
+        # and the set of keys with a hit since their last write.
+        self._touch_mutex = threading.Lock()
+        self._touch_flushed: dict[str, float] = {}
+        self._touch_pending: set[str] = set()
         #: (monotonic expiry, {"entries": ..., "bytes": ...}) — see stats().
         self._occupancy_cache: tuple[float, dict[str, int]] | None = None
 
@@ -145,17 +175,99 @@ class Namespace:
         return self.parts[-1] if self.parts is not None else None
 
     # ------------------------------------------------------------------
+    # Access-stamp policy
+    # ------------------------------------------------------------------
+
+    @property
+    def unbounded(self) -> bool:
+        """Whether no quota could ever trigger an eviction here."""
+        return self.max_bytes is None and self.max_entries is None
+
+    def _note_access(self, anchor_key: str) -> None:
+        """Record a warm hit on ``anchor_key`` per the stamp policy.
+
+        Unbounded namespaces never stamp — nothing sorts by recency
+        when nothing can be evicted.  With no debounce window every
+        hit writes through (the historical behaviour).  Otherwise the
+        first hit per window writes through and later hits within the
+        window only mark the key pending, to be flushed by the next
+        eviction scan, :meth:`flush_touches` or :meth:`close`.
+        """
+        if self.unbounded:
+            return
+        if self.touch_window_s <= 0.0:
+            self.backend.touch(anchor_key)
+            with self._mutex:
+                self.touch_writes += 1
+            return
+        now = time.monotonic()
+        with self._touch_mutex:
+            last = self._touch_flushed.get(anchor_key)
+            if last is not None and now - last < self.touch_window_s:
+                self._touch_pending.add(anchor_key)
+                return
+            if len(self._touch_flushed) > 8192:  # stale-key backstop
+                self._touch_flushed.clear()
+            self._touch_flushed[anchor_key] = now
+            self._touch_pending.discard(anchor_key)
+        self.backend.touch(anchor_key)
+        with self._mutex:
+            self.touch_writes += 1
+
+    def flush_touches(self) -> int:
+        """Write every coalesced access stamp through to the backend.
+
+        Returns the number of stamps written.  Runs before every
+        eviction scan (so LRU ordering sees coalesced hits) and on
+        :meth:`close` (so restart-surviving recency holds).
+        """
+        now = time.monotonic()
+        with self._touch_mutex:
+            pending = list(self._touch_pending)
+            self._touch_pending.clear()
+            for anchor_key in pending:
+                self._touch_flushed[anchor_key] = now
+        for anchor_key in pending:
+            self.backend.touch(anchor_key)
+        if pending:
+            with self._mutex:
+                self.touch_writes += len(pending)
+        return len(pending)
+
+    def close(self) -> None:
+        """Flush coalesced access stamps; the namespace stays usable."""
+        self.flush_touches()
+
+    def count_front_hit(self) -> None:
+        """Count a hit served by a caller-side front (an object LRU).
+
+        Keeps hit/miss observability truthful when an adapter answers
+        warm reads without touching backend bytes at all.
+        """
+        with self._mutex:
+            self.hits += 1
+
+    # ------------------------------------------------------------------
     # Single-part entries
     # ------------------------------------------------------------------
 
     def get(self, key: str) -> bytes | None:
-        """Stored bytes (recency refreshed), or ``None``; counts hit/miss."""
-        data = self.backend.get(self._encode(key))
+        """Stored bytes (recency refreshed), or ``None``; counts hit/miss.
+
+        The read itself is a ``peek`` — lock-free in every backend's
+        hot path — and the recency stamp is applied separately by
+        :meth:`_note_access`, so unbounded namespaces pay zero stamp
+        writes per hit and bounded ones can coalesce them.
+        """
+        encoded = self._encode(key)
+        data = self.backend.peek(encoded)
         with self._mutex:
             if data is None:
                 self.misses += 1
             else:
                 self.hits += 1
+        if data is not None:
+            self._note_access(encoded)
         return data
 
     def put(self, key: str, data: bytes) -> None:
@@ -217,15 +329,20 @@ class Namespace:
         self.evict(keep=key)
 
     def get_part(self, key: str, part: str) -> bytes | None:
-        """One part's bytes; refreshes the whole entry's recency."""
-        data = self.backend.get(self._encode(key, part))
-        if data is not None and part != self._anchor:
-            self.backend.touch(self._encode(key, self._anchor))
+        """One part's bytes; refreshes the whole entry's recency.
+
+        Recency rides on the anchor alone (eviction sorts by anchor
+        stamps), so a hit on any part stamps the anchor — through the
+        same skip-unbounded/debounce policy as :meth:`get`.
+        """
+        data = self.backend.peek(self._encode(key, part))
         with self._mutex:
             if data is None:
                 self.misses += 1
             else:
                 self.hits += 1
+        if data is not None:
+            self._note_access(self._encode(key, self._anchor))
         return data
 
     def peek_part(self, key: str, part: str) -> bytes | None:
@@ -252,8 +369,19 @@ class Namespace:
         return self.backend.delete(self._encode(key))
 
     def touch(self, key: str) -> None:
-        """Refresh ``key``'s recency without reading it."""
-        self.backend.touch(self._encode(key, self._anchor))
+        """Refresh ``key``'s recency without reading it.
+
+        Explicit touches always write through (the caller asked for a
+        durable stamp), and reset the key's debounce window.
+        """
+        anchor_key = self._encode(key, self._anchor)
+        if self.touch_window_s > 0.0:
+            with self._touch_mutex:
+                self._touch_flushed[anchor_key] = time.monotonic()
+                self._touch_pending.discard(anchor_key)
+        self.backend.touch(anchor_key)
+        with self._mutex:
+            self.touch_writes += 1
 
     def __contains__(self, key: str) -> bool:
         return self.backend.stat(self._encode(key, self._anchor)) is not None
@@ -271,10 +399,14 @@ class Namespace:
         return sorted(found)
 
     def lock(self, key: str):
-        """Serialise concurrent work on one key (a context manager)."""
-        with self._mutex:
-            key_lock = self._key_locks.setdefault(key, threading.Lock())
-        return key_lock
+        """Serialise concurrent work on one key (a context manager).
+
+        Striped: the lock comes from a fixed table indexed by key
+        hash, so this never takes a global mutex and the table never
+        grows.  Keys sharing a stripe contend spuriously — a wait or
+        an eviction skip, never a correctness issue.
+        """
+        return self._stripe_locks[hash(key) % LOCK_STRIPES]
 
     # ------------------------------------------------------------------
     # Accounting, quotas, eviction
@@ -342,6 +474,7 @@ class Namespace:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "touch_writes": self.touch_writes,
         }
 
     def _check_entry_size(self, key: str, size: int) -> None:
@@ -403,10 +536,11 @@ class Namespace:
         effort by design: entries deleted under a lockless concurrent
         reader simply read as misses and are recomputed or re-uploaded.
         """
-        if self.max_bytes is None and self.max_entries is None:
+        if self.unbounded:
             return 0
         evicted = 0
         with self._evict_mutex:
+            self.flush_touches()  # the scan must see coalesced hits
             grouped = self._grouped()
             order = sorted(
                 grouped,

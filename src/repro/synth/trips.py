@@ -26,7 +26,15 @@ import math
 from dataclasses import dataclass
 from datetime import date, datetime, timedelta
 
-import numpy as np
+try:
+    # Synthetic generation is numpy-only by design: the sampled demand
+    # surfaces go through np.exp, whose results are not bit-identical
+    # to math.exp, so a pure-Python fallback would silently generate
+    # *different* datasets (and different fingerprints/goldens).  The
+    # module stays importable without numpy; generation raises.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
 
 from ..data.records import LocationRecord, RentalRecord
 from ..geo import GeoPoint, equirectangular_m, haversine_m
@@ -168,6 +176,12 @@ class PairPool:
         rng: Rng,
         config: TripSamplerConfig,
     ) -> None:
+        if np is None:
+            raise RuntimeError(
+                "synthetic trip generation needs numpy: its np.exp demand "
+                "surfaces are not bit-reproducible in pure Python, and a "
+                "divergent dataset would invalidate every fingerprint"
+            )
         self._spots = spots
         self._config = config
         self.pairs: list[tuple[Spot, Spot, float]] = []

@@ -20,6 +20,25 @@ from repro.synth import (
     TripSamplerConfig,
 )
 
+try:
+    import numpy  # noqa: F401 - availability probe only
+
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+
+def require_numpy() -> None:
+    """Skip the requesting test when numpy is unavailable.
+
+    Synthetic dataset generation is numpy-only by design (its demand
+    surfaces use ``np.exp``, which is not bit-reproducible in pure
+    Python — a divergent dataset would invalidate every fingerprint),
+    so every fixture that generates a world skips on the no-numpy leg.
+    """
+    if not HAVE_NUMPY:
+        pytest.skip("synthetic dataset generation needs numpy")
+
 
 def small_generator_config(seed: int = 11) -> GeneratorConfig:
     """A fast, reduced-scale generator configuration."""
@@ -46,6 +65,7 @@ def small_generator_config(seed: int = 11) -> GeneratorConfig:
 @pytest.fixture(scope="session")
 def small_world():
     """A reduced generated world (raw dataset + latent layout)."""
+    require_numpy()
     return SyntheticMobyGenerator(
         seed=11, config=small_generator_config(seed=11)
     ).generate_world()
@@ -71,6 +91,7 @@ def paper_result():
     """
     from repro.synth import generate_paper_dataset
 
+    require_numpy()
     return NetworkExpansionOptimiser(generate_paper_dataset(seed=7)).run()
 
 
@@ -84,6 +105,7 @@ def paper_runner_result():
     from repro import PipelineRunner
     from repro.synth import generate_paper_dataset
 
+    require_numpy()
     return PipelineRunner(generate_paper_dataset(seed=7), jobs=2).run()
 
 

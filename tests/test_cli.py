@@ -9,7 +9,11 @@ import pytest
 
 from repro import cli
 from repro.synth import SyntheticMobyGenerator
-from tests.conftest import small_generator_config
+from tests.conftest import HAVE_NUMPY, small_generator_config
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="synthetic dataset generation needs numpy"
+)
 
 
 @pytest.fixture(autouse=True)
@@ -25,6 +29,7 @@ def small_scale(monkeypatch):
     monkeypatch.setattr(SyntheticMobyGenerator, "__init__", patched)
 
 
+@needs_numpy
 class TestGenerateAndClean:
     def test_generate_writes_csvs(self, tmp_path, capsys):
         code = cli.main(["generate", "--seed", "11", "--out", str(tmp_path / "data")])
@@ -48,6 +53,7 @@ class TestGenerateAndClean:
         assert (tmp_path / "cleaned" / "rentals.csv").exists()
 
 
+@needs_numpy
 class TestRun:
     def test_run_prints_all_tables(self, capsys, tmp_path):
         code = cli.main(
@@ -69,6 +75,7 @@ class TestRun:
         assert "TABLE VI" in capsys.readouterr().out
 
 
+@needs_numpy
 class TestSweep:
     def test_sweep_end_to_end(self, tmp_path, capsys):
         cli.main(["generate", "--seed", "11", "--out", str(tmp_path / "data")])
@@ -114,6 +121,7 @@ class TestSweep:
             )
 
 
+@needs_numpy
 class TestCacheDir:
     def test_second_run_skips_every_stage(self, tmp_path, capsys, monkeypatch):
         from repro.pipeline import runner as runner_module
@@ -141,6 +149,7 @@ class TestCacheDir:
         assert "TABLE VI" in capsys.readouterr().out
 
 
+@needs_numpy
 class TestRebalance:
     def test_plan_printed(self, capsys):
         code = cli.main(["rebalance", "--seed", "11", "--fleet", "40"])
@@ -150,6 +159,7 @@ class TestRebalance:
         assert "bikes move" in out
 
 
+@needs_numpy
 class TestJsonFormat:
     """``--format json`` prints the canonical service envelope."""
 
@@ -225,6 +235,7 @@ class TestServeParser:
         assert args.cache_entries == 32
         assert args.workers == 3
 
+    @needs_numpy
     def test_run_accepts_cache_limits(self, tmp_path):
         assert cli.main(
             [
@@ -247,6 +258,7 @@ class TestParser:
             cli.main(["frobnicate"])
 
 
+@needs_numpy
 class TestStoreDir:
     def test_run_persists_everything_under_one_tree(self, tmp_path, capsys):
         store = tmp_path / "store"

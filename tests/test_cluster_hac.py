@@ -1,7 +1,8 @@
 """Tests for geographic HAC with fixed stations."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.cluster import (
     NearestStationAssigner,

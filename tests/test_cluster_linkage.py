@@ -1,7 +1,8 @@
 """Tests for from-scratch HAC, with scipy as the oracle."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 from scipy.cluster.hierarchy import fcluster, linkage as scipy_linkage
 from scipy.spatial.distance import squareform
 

@@ -11,6 +11,10 @@ from pathlib import Path
 
 import pytest
 
+# Synthetic generation is numpy-only by design (np.exp demand
+# surfaces are not bit-reproducible in pure Python).
+pytest.importorskip("numpy")
+
 from repro.synth import SyntheticMobyGenerator
 from tests.conftest import small_generator_config
 

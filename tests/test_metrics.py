@@ -114,6 +114,7 @@ class TestCloseness:
 class TestPageRank:
     @pytest.mark.parametrize("seed", [0, 1])
     def test_matches_networkx(self, seed):
+        pytest.importorskip("numpy")  # nx.pagerank computes via scipy/numpy
         graph, nxg = random_graph(seed, weighted=True)
         ours = pagerank(graph)
         theirs = nx.pagerank(nxg, weight="weight", tol=1e-12, max_iter=500)

@@ -1,0 +1,300 @@
+"""Bit-exactness of the numpy-accelerated kernels in :mod:`repro.perf.accel`.
+
+Every kernel must agree with the scalar in-tree implementation *and*
+with the pre-optimisation references in :mod:`repro.perf.baseline` to
+the last bit — on randomised inputs including sub-epsilon near-ties,
+where an evaluation-order drift would first surface.
+
+Without numpy this whole module skips (the kernels are optional by
+design); the no-numpy CI leg proves the pure paths stand alone.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+import repro.perf.accel as accel
+from repro.cluster.linkage import _linkage_cluster_pure, linkage_cluster
+from repro.community.louvain import louvain
+from repro.community.modularity import modularity
+from repro.community.partition import Partition
+from repro.config import CommunityConfig
+from repro.geo import GeoPoint, GridIndex, in_dublin, on_land
+from repro.geo.dublin import DUBLIN_LAND, _COAST_VERTICES
+from repro.graphdb import WeightedGraph
+from repro.perf.baseline import baseline_modularity
+
+
+@pytest.fixture()
+def no_accel(monkeypatch):
+    """Force the scalar paths for a comparison run."""
+    monkeypatch.setattr(accel, "ENABLED", False)
+
+
+def _random_city_point(rng: random.Random) -> GeoPoint:
+    return GeoPoint(53.22 + rng.random() * 0.25, -6.42 + rng.random() * 0.40)
+
+
+def _random_index(rng: random.Random, n: int) -> GridIndex:
+    index: GridIndex[str] = GridIndex(cell_m=rng.choice([50.0, 100.0, 250.0]))
+    for i in range(n):
+        index.insert(f"p{i}", _random_city_point(rng))
+    return index
+
+
+def test_accel_is_enabled_under_numpy():
+    """With numpy importable the self-check must pass and enable accel."""
+    assert accel.ENABLED
+    assert accel.enabled()
+
+
+def test_no_accel_env_disables(tmp_path):
+    import subprocess
+    import sys
+
+    code = "import repro.perf.accel as a; print(a.ENABLED)"
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": "src", "REPRO_NO_ACCEL": "1", "PATH": "/usr/bin:/bin"},
+        cwd="/root/repo",
+    )
+    assert out.stdout.strip() == "False", out.stderr
+
+
+class TestHThreshold:
+    def test_threshold_is_exact_decision_boundary(self):
+        rng = random.Random(3)
+        for _ in range(200):
+            radius = rng.random() * rng.choice([10.0, 1000.0, 1e6])
+            threshold = accel.h_threshold(radius)
+            import math
+
+            assert accel._scalar_distance_from_h(threshold) <= radius
+            above = math.nextafter(threshold, math.inf)
+            if above <= 1.0:
+                assert accel._scalar_distance_from_h(above) > radius
+
+    def test_degenerate_radii(self):
+        assert accel.h_threshold(-1.0) == float("-inf")
+        # A radius beyond half the planet's circumference admits any h.
+        assert accel.h_threshold(1e9) == float("inf")
+
+
+class TestGridBatchParity:
+    def test_within_batch_bit_identical(self):
+        rng = random.Random(11)
+        for _ in range(15):
+            index = _random_index(rng, rng.randint(1, 100))
+            centers = [_random_city_point(rng) for _ in range(30)]
+            keys = list(index)
+            centers += [index.position(rng.choice(keys)) for _ in range(5)]
+            for radius in (0.0, 25.0, 300.0, 5000.0):
+                scalar = [index.within(center, radius) for center in centers]
+                assert accel.within_batch(index, centers, radius) == scalar
+
+    def test_within_radius_on_exact_boundary(self):
+        """Radius set to a measured distance: inclusion must not flip."""
+        rng = random.Random(13)
+        index = _random_index(rng, 60)
+        centers = [_random_city_point(rng) for _ in range(20)]
+        sample = index.within(centers[0], 2000.0)
+        assert sample, "need at least one hit to probe the boundary"
+        for _, distance in sample[:5]:
+            scalar = [index.within(center, distance) for center in centers]
+            assert accel.within_batch(index, centers, distance) == scalar
+
+    def test_nearest_batch_bit_identical_with_ties(self):
+        rng = random.Random(17)
+        for _ in range(15):
+            index = _random_index(rng, rng.randint(2, 80))
+            keys = list(index)
+            # Duplicate coordinates force exact distance ties.
+            for j in range(3):
+                index.insert(f"dup{j}", index.position(rng.choice(keys)))
+            keys = list(index)
+            centers = [_random_city_point(rng) for _ in range(25)]
+            centers += [index.position(rng.choice(keys)) for _ in range(5)]
+            for exclude in (None, rng.choice(keys), "absent"):
+                scalar = [index.nearest(center, exclude) for center in centers]
+                assert accel.nearest_batch(index, centers, exclude) == scalar
+
+    def test_dispatch_tracks_index_mutation(self):
+        """within_many results stay fresh across inserts and removals."""
+        rng = random.Random(19)
+        index = _random_index(rng, 40)
+        centers = [_random_city_point(rng) for _ in range(12)]
+        assert accel.use_grid_batch(index, centers)
+        first = index.within_many(centers, 500.0)
+        assert first == [index.within(center, 500.0) for center in centers]
+        index.insert("fresh", centers[0])
+        index.remove("p0")
+        second = index.within_many(centers, 500.0)
+        assert second == [index.within(center, 500.0) for center in centers]
+        assert second != first  # the mutation is visible
+
+    def test_small_batches_and_empty_index_use_scalar_path(self):
+        index: GridIndex[str] = GridIndex()
+        assert not accel.use_grid_batch(index, [GeoPoint(53.3, -6.2)] * 20)
+        index.insert("a", GeoPoint(53.3, -6.2))
+        assert not accel.use_grid_batch(index, [GeoPoint(53.3, -6.2)])
+        assert accel.use_grid_batch(index, [GeoPoint(53.3, -6.2)] * 8)
+
+
+class TestOracleParity:
+    def test_dublin_oracles_bit_identical(self):
+        rng = random.Random(23)
+        points = [_random_city_point(rng) for _ in range(4000)]
+        # Exact polygon vertices and bbox corners: worst-case inputs
+        # for any comparison-order drift.
+        points += [GeoPoint(lat, lon) for lat, lon in _COAST_VERTICES]
+        points += [GeoPoint(53.20, -6.45), GeoPoint(53.45, -6.05)]
+        lats = [point.lat for point in points]
+        lons = [point.lon for point in points]
+        in_dublin_mask = accel.in_dublin_batch(lats, lons)
+        on_land_mask = accel.on_land_batch(lats, lons)
+        for point, in_d, on_l in zip(points, in_dublin_mask, on_land_mask):
+            assert bool(in_d) == in_dublin(point)
+            assert bool(on_l) == on_land(point)
+
+    def test_region_contains_batch_with_holes(self):
+        from repro.geo.polygon import Polygon, Region
+
+        shell = Polygon.from_coords(((0.0, 0.0), (0.0, 10.0), (10.0, 10.0), (10.0, 0.0)))
+        hole = Polygon.from_coords(((4.0, 4.0), (4.0, 6.0), (6.0, 6.0), (6.0, 4.0)))
+        region = Region(shell=shell, holes=(hole,))
+        rng = random.Random(29)
+        points = [
+            GeoPoint(rng.random() * 12.0 - 1.0, rng.random() * 12.0 - 1.0)
+            for _ in range(500)
+        ]
+        mask = accel.region_contains_batch(
+            region,
+            np.array([point.lat for point in points]),
+            np.array([point.lon for point in points]),
+        )
+        for point, decision in zip(points, mask):
+            assert bool(decision) == region.contains(point)
+
+
+def _random_graph(rng: random.Random, n_min: int = 64, n_max: int = 200) -> WeightedGraph:
+    n = rng.randint(n_min, n_max)
+    graph = WeightedGraph()
+    for i in range(n):
+        graph.add_node(i)
+    for _ in range(rng.randint(n, 4 * n)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        # Sub-epsilon near-ties: exactly where a reassociated sum drifts.
+        weight = rng.choice([1.0, 1.0 + 1e-12, 1.0 + 2e-12, 1.0 + 4e-12, 1.0 + 1e-11, 2.7, 1e-9])
+        graph.add_edge(u, v, weight)
+    return graph
+
+
+class TestModularityParity:
+    def test_matches_scalar_bit_for_bit(self, no_accel):
+        rng = random.Random(31)
+        for _ in range(25):
+            graph = _random_graph(rng)
+            labels = {i: rng.randrange(12) for i in range(len(graph._adj))}
+            partition = Partition(labels)
+            for resolution in (1.0, 0.6, 1.4):
+                scalar = modularity(graph, partition, resolution)
+                vectorised = accel.modularity(graph, partition, resolution)
+                assert vectorised == scalar
+
+    def test_matches_baseline_reference(self):
+        rng = random.Random(37)
+        for _ in range(10):
+            graph = _random_graph(rng)
+            labels = {i: rng.randrange(8) for i in range(len(graph._adj))}
+            partition = Partition(labels)
+            assert accel.modularity(graph, partition) == baseline_modularity(
+                graph, partition
+            )
+
+    def test_dispatch_size_floor(self):
+        small = WeightedGraph()
+        for i in range(accel.MIN_MODULARITY_NODES - 1):
+            small.add_node(i)
+        assert not accel.use_modularity(small)
+        small.add_node("one more")
+        assert accel.use_modularity(small)
+
+    def test_louvain_identical_with_and_without_accel(self, monkeypatch):
+        """The full Louvain trajectory — sweep plus its modularity
+        calls — is invariant to the accel dispatch."""
+        rng = random.Random(41)
+        config = CommunityConfig(seed=5)
+        for _ in range(5):
+            graph = _random_graph(rng, 70, 140)
+            with_accel = louvain(graph, config)
+            monkeypatch.setattr(accel, "ENABLED", False)
+            without = louvain(graph, config)
+            monkeypatch.setattr(accel, "ENABLED", True)
+            assert with_accel.partition == without.partition
+            assert with_accel.modularity == without.modularity
+            assert with_accel.levels == without.levels
+
+
+class TestLinkageParity:
+    """The pure NN-chain fallback mirrors the numpy path exactly."""
+
+    @pytest.mark.parametrize("linkage", ["complete", "single", "average"])
+    def test_pure_matches_numpy(self, linkage):
+        rng = random.Random(43)
+        for _ in range(12):
+            n = rng.randint(2, 24)
+            rows = [[0.0] * n for _ in range(n)]
+            for i in range(n):
+                for j in range(i + 1, n):
+                    value = rng.choice(
+                        [rng.random() * 100.0, 10.0, 10.0 + 1e-12, 25.0]
+                    )
+                    rows[i][j] = rows[j][i] = value
+            via_numpy = linkage_cluster(rows, linkage)
+            pure = _linkage_cluster_pure(
+                [[float(v) for v in row] for row in rows], linkage
+            )
+            assert pure == via_numpy
+
+
+class TestCleaningParity:
+    def test_batch_oracle_rules_identical(self, monkeypatch):
+        """Rules 1-2 produce identical reports with and without accel."""
+        from repro.data import cleaning
+        from repro.synth import GeneratorConfig, SyntheticMobyGenerator
+
+        raw = SyntheticMobyGenerator(
+            seed=3,
+            config=GeneratorConfig(seed=3, n_clean_rentals=400, n_bikes=12),
+        ).generate()
+        monkeypatch.setattr(cleaning, "_BATCH_ORACLE_MIN_RECORDS", 1)
+        batched, batched_report = cleaning.clean_dataset(raw)
+        monkeypatch.setattr(accel, "ENABLED", False)
+        scalar, scalar_report = cleaning.clean_dataset(raw)
+        assert batched_report.to_dict() == scalar_report.to_dict()
+        assert batched.summary() == scalar.summary()
+
+
+class TestPipelineEnvelopeParity:
+    def test_hac_stage_identical_with_and_without_accel(self, monkeypatch):
+        """cluster_locations — the heaviest accel consumer — yields the
+        same clusters either way on a realistic city."""
+        from repro.cluster.hac import cluster_locations
+
+        rng = random.Random(47)
+        location_points = {
+            i: _random_city_point(rng) for i in range(300)
+        }
+        station_points = {
+            i: location_points[i] for i in range(0, 300, 40)
+        }
+        with_accel = cluster_locations(location_points, station_points)
+        monkeypatch.setattr(accel, "ENABLED", False)
+        without = cluster_locations(location_points, station_points)
+        assert with_accel == without

@@ -2,7 +2,9 @@
 
 import math
 
-import numpy as np
+import pytest
+
+np = pytest.importorskip("numpy")
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import cluster_at_threshold, pairwise_haversine_matrix

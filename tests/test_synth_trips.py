@@ -2,6 +2,10 @@
 
 import pytest
 
+# Synthetic generation is numpy-only by design (np.exp demand
+# surfaces are not bit-reproducible in pure Python).
+pytest.importorskip("numpy")
+
 from repro.geo import haversine_m
 from repro.synth import (
     LocationPool,

@@ -1,6 +1,8 @@
 """Tests for the dendrogram renderer."""
 
-import numpy as np
+import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.cluster import linkage_cluster
 from repro.viz import render_dendrogram
