@@ -8,9 +8,12 @@ in-process service):
   the pipeline, so this is the serving overhead (HTTP + store lookup);
 * **dedup speedup** — N concurrent identical *cold* requests share one
   pipeline execution; the batch finishes in roughly the time of one
-  run instead of N, and the service counters prove a single execution.
+  run instead of N, and the service counters prove a single execution;
+* **metrics overhead** — the warm request timed again on a second
+  server built with ``metrics=False`` (null registry): instrumentation
+  must stay within noise of the uninstrumented path.
 
-Both measurements are appended to ``BENCH_pipeline.json`` as a
+The measurements are appended to ``BENCH_pipeline.json`` as a
 ``service``-labelled trajectory entry (same provenance block as
 ``repro bench``), so the serving path has a perf history per revision
 instead of numbers that evaporate with the terminal.
@@ -47,11 +50,19 @@ def _post_run(url: str, overrides: dict) -> dict:
         return json.loads(response.read())
 
 
+def _measure_warm(url: str, rounds: int) -> float:
+    started = time.perf_counter()
+    for _ in range(rounds):
+        _post_run(url, {})
+    return (time.perf_counter() - started) / rounds
+
+
 def test_service_throughput_and_dedup(benchmark):
+    dataset = generate_paper_dataset(seed=7)
     service = ExpansionService(
         cache_dir=OUTPUT_DIR / ".cache", max_workers=N_CONCURRENT_CLIENTS
     )
-    service.register_dataset("paper", generate_paper_dataset(seed=7))
+    service.register_dataset("paper", dataset)
     server = make_server(service, port=0).start_background()
     try:
         url = server.url
@@ -70,6 +81,35 @@ def test_service_throughput_and_dedup(benchmark):
         requests_per_second = 1.0 / max(warm_seconds, 1e-9)
         assert warm["fingerprint"] == envelope["fingerprint"]
         executions_after_warm = service.pipeline_executions
+
+        # ------------------------------------------------------------------
+        # Metrics overhead: the same warm request against a second
+        # server whose service runs the null registry (metrics=False).
+        # Both sides are timed by the same manual loop so the ratio is
+        # apples-to-apples; the instrumented path has to stay within
+        # noise of the uninstrumented one.
+        # ------------------------------------------------------------------
+        metrics_on_seconds = _measure_warm(url, N_WARM_REQUESTS)
+        plain_service = ExpansionService(
+            cache_dir=OUTPUT_DIR / ".cache",
+            max_workers=N_CONCURRENT_CLIENTS,
+            metrics=False,
+        )
+        plain_service.register_dataset("paper", dataset)
+        plain_server = make_server(plain_service, port=0).start_background()
+        try:
+            _post_run(plain_server.url, {})  # warm its results store
+            metrics_off_seconds = _measure_warm(
+                plain_server.url, N_WARM_REQUESTS
+            )
+        finally:
+            plain_server.stop()
+            plain_service.close()
+        metrics_ratio = metrics_on_seconds / max(metrics_off_seconds, 1e-9)
+        assert metrics_ratio < 2.0, (
+            f"metrics-enabled serving is {metrics_ratio:.2f}x the "
+            "null-registry path — instrumentation left the noise band"
+        )
 
         # ------------------------------------------------------------------
         # Dedup speedup: a changed community seed invalidates the three
@@ -115,6 +155,15 @@ def test_service_throughput_and_dedup(benchmark):
                 [
                     ["warm request latency", f"{warm_seconds * 1000:.1f} ms"],
                     ["warm requests/sec", f"{requests_per_second:.1f}"],
+                    [
+                        "warm req/s, metrics on",
+                        f"{1.0 / max(metrics_on_seconds, 1e-9):.1f}",
+                    ],
+                    [
+                        "warm req/s, metrics off",
+                        f"{1.0 / max(metrics_off_seconds, 1e-9):.1f}",
+                    ],
+                    ["metrics overhead ratio", f"{metrics_ratio:.3f}x"],
                     ["cold run (1 client)", f"{single_cold_seconds:.2f} s"],
                     [
                         f"cold batch ({N_CONCURRENT_CLIENTS} identical clients)",
@@ -134,6 +183,13 @@ def test_service_throughput_and_dedup(benchmark):
             "warm_requests": N_WARM_REQUESTS,
             "warm_latency_ms": round(warm_seconds * 1000, 2),
             "warm_requests_per_s": round(requests_per_second, 1),
+            "metrics_on_requests_per_s": round(
+                1.0 / max(metrics_on_seconds, 1e-9), 1
+            ),
+            "metrics_off_requests_per_s": round(
+                1.0 / max(metrics_off_seconds, 1e-9), 1
+            ),
+            "metrics_overhead_ratio": round(metrics_ratio, 3),
             "cold_single_s": round(single_cold_seconds, 3),
             "cold_batch_clients": N_CONCURRENT_CLIENTS,
             "cold_batch_s": round(concurrent_seconds, 3),

@@ -35,7 +35,9 @@ Three subcommands are clients of a *running* ``repro serve`` instead
 * ``results`` — fetch a stored envelope by fingerprint, whole or as a
   headline view, a paginated section, or an NDJSON slice stream;
 * ``cancel`` — request cooperative cancellation of a queued or
-  running job.
+  running job;
+* ``metrics`` — scrape the server's Prometheus exposition
+  (``GET /v1/metrics``, see ``docs/OBSERVABILITY.md``).
 
 Invoke as ``python -m repro <subcommand> --help``.
 """
@@ -219,6 +221,19 @@ def _build_parser() -> argparse.ArgumentParser:
                             "exceeds this many bytes")
     serve.add_argument("--max-datasets", type=int, default=None,
                        help="LRU-evict stored datasets beyond this count")
+    serve.add_argument("--access-log", type=str, default=None,
+                       metavar="PATH",
+                       help="write one single-line JSON record per HTTP "
+                            "request and per job transition to PATH "
+                            "('-' for stderr)")
+    serve.add_argument("--healthz-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="occupancy-scan cache TTL for /v1/healthz and "
+                            "the store metrics (0 disables the cache; "
+                            "default: 5s)")
+    serve.add_argument("--no-metrics", action="store_true",
+                       help="disable the metrics registry; GET /v1/metrics "
+                            "answers 404 and instruments become no-ops")
 
     datasets = subparsers.add_parser(
         "datasets", help="manage named datasets on a running repro serve"
@@ -272,6 +287,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cancel.add_argument("job_id")
     cancel.add_argument("--url", default="http://127.0.0.1:8722")
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="print a running server's metrics (GET /v1/metrics, "
+             "Prometheus text format)",
+    )
+    metrics.add_argument("--url", default="http://127.0.0.1:8722")
 
     bench = subparsers.add_parser(
         "bench", help="run the calibrated benchmark matrix and append to "
@@ -619,8 +641,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .obs import JsonEventLog
     from .service.datasets import DEFAULT_MAX_DATASET_BYTES
 
+    event_log = (
+        JsonEventLog(args.access_log) if args.access_log is not None else None
+    )
     service = ExpansionService(
         store_dir=args.store_dir,
         store_backend=args.store_backend,
@@ -640,8 +666,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         max_datasets_bytes=args.max_datasets_bytes,
         max_datasets=args.max_datasets,
+        metrics=not args.no_metrics,
+        healthz_ttl=args.healthz_ttl,
+        event_log=event_log,
     )
-    server = make_server(service, host=args.host, port=args.port)
+    server = make_server(
+        service, host=args.host, port=args.port, access_log=event_log
+    )
     print(f"repro service listening on {server.url}")
     try:
         server.serve_forever()
@@ -650,6 +681,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         service.close()
+        if event_log is not None:
+            event_log.close()
     return 0
 
 
@@ -718,6 +751,20 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
     return _print_response(*response)
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    base = args.url.rstrip("/")
+    response = _client_call(f"{base}/v1/metrics")
+    if response is None:
+        return 1
+    status, text = response
+    if 200 <= status < 300:
+        # Exposition text, not JSON: print verbatim (it ends in \n).
+        sys.stdout.write(text)
+        return 0
+    print(text, file=sys.stderr)
+    return 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf.bench import DEFAULT_PARALLEL_MAX_RATIO, check_parallel_gate, run_bench
 
@@ -762,6 +809,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "results": _cmd_results,
     "cancel": _cmd_cancel,
+    "metrics": _cmd_metrics,
     "bench": _cmd_bench,
 }
 

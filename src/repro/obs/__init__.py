@@ -1,0 +1,54 @@
+"""repro.obs — the unified observability plane.
+
+One zero-dependency subsystem threaded through every layer of the
+service stack, answering "what is the system doing under load" with
+three joined signals:
+
+* **metrics** (:mod:`repro.obs.metrics`) — a thread-safe registry of
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments
+  rendered in Prometheus text format by ``GET /v1/metrics`` and the
+  ``repro metrics`` CLI.  The service stack's instrument set lives in
+  :class:`~repro.obs.instruments.ServiceMetrics`; store namespaces are
+  exposed through scrape-time callbacks reading the same live counters
+  ``/v1/healthz`` reports;
+* **trace ids** (:mod:`repro.obs.trace`) — every HTTP request and job
+  carries an opaque hex token, echoed as ``X-Repro-Trace-Id`` on every
+  response and journalled with the job, so one slow request joins to
+  its access-log line, job document and per-stage timings;
+* **structured logs** (:mod:`repro.obs.logging`) — one single-line
+  JSON object per HTTP request and per job transition, behind
+  ``repro serve --access-log``.
+
+See ``docs/OBSERVABILITY.md`` for the operator-facing walkthrough.
+"""
+
+from .instruments import ServiceMetrics, namespace_samples, observe_stage_report
+from .logging import JsonEventLog, REQUIRED_KEYS
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+)
+from .trace import TRACE_HEADER, is_trace_id, new_trace_id
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonEventLog",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "REQUIRED_KEYS",
+    "Sample",
+    "ServiceMetrics",
+    "TRACE_HEADER",
+    "is_trace_id",
+    "namespace_samples",
+    "new_trace_id",
+    "observe_stage_report",
+]

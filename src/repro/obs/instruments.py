@@ -1,0 +1,175 @@
+"""The service stack's instrument set, defined in one place.
+
+:class:`ServiceMetrics` owns every metric the service layers record —
+the HTTP front-end, :class:`~repro.service.service.ExpansionService`,
+and the pipeline-stage bridge — so metric names, label sets and help
+strings live here instead of being scattered through the layers that
+increment them.  A disabled registry makes every instrument a no-op;
+the call sites stay unconditional.
+
+Store namespaces are exposed through scrape-time callbacks
+(:func:`namespace_samples`): the registry reads the *same* live
+counters ``/v1/healthz`` reports, so the two exposition surfaces can
+never disagree and the hot store paths carry zero extra bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
+
+from .metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry, Sample
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..perf.timer import PerfReport
+
+__all__ = ["ServiceMetrics", "namespace_samples", "observe_stage_report"]
+
+#: Stage wall-clock buckets: stages run from sub-millisecond (warm,
+#: cached) to tens of seconds (cold Louvain at scale).
+STAGE_BUCKETS = DEFAULT_LATENCY_BUCKETS
+
+
+class ServiceMetrics:
+    """Every instrument of one service process, bound to a registry."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        # HTTP front-end ------------------------------------------------
+        self.http_requests = registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by method, route template and status.",
+            labels=("method", "route", "status"),
+        )
+        self.http_request_seconds = registry.histogram(
+            "repro_http_request_seconds",
+            "Wall-clock request latency by route template.",
+            labels=("route",),
+        )
+        # Jobs ----------------------------------------------------------
+        self.job_transitions = registry.counter(
+            "repro_job_transitions_total",
+            "Job lifecycle transitions, by resulting state.",
+            labels=("state",),
+        )
+        self.dedup_hits = registry.counter(
+            "repro_job_dedup_hits_total",
+            "Submissions that joined an identical in-flight job.",
+        )
+        self.store_served = registry.counter(
+            "repro_job_store_served_total",
+            "Submissions answered from the results store without compute.",
+        )
+        self.pipeline_executions = registry.counter(
+            "repro_pipeline_executions_total",
+            "Pipeline executions actually run (not deduplicated/stored).",
+        )
+        # Pipeline stages ----------------------------------------------
+        self.stage_seconds = registry.histogram(
+            "repro_stage_seconds",
+            "Per-stage pipeline wall clock (cached lookups included).",
+            labels=("stage", "cached"),
+            buckets=STAGE_BUCKETS,
+        )
+
+    # ------------------------------------------------------------------
+    # Recording helpers (the layers call these)
+    # ------------------------------------------------------------------
+
+    def observe_http(
+        self, method: str, route: str, status: int, seconds: float
+    ) -> None:
+        self.http_requests.labels(method, route, status).inc()
+        self.http_request_seconds.labels(route).observe(seconds)
+
+    def observe_transition(self, state: str) -> None:
+        self.job_transitions.labels(state).inc()
+
+    def observe_stage(self, stage: str, seconds: float, cached: bool) -> None:
+        self.stage_seconds.labels(
+            stage, "true" if cached else "false"
+        ).observe(seconds)
+
+    # ------------------------------------------------------------------
+    # Scrape-time views
+    # ------------------------------------------------------------------
+
+    def bind_job_table(self, jobs_by_state: Any) -> None:
+        """Register a live job-table view.
+
+        ``jobs_by_state`` is a zero-argument callable returning
+        ``{state: count}`` — read under the service mutex at scrape
+        time, so the gauge is exact, not an increment shadow.
+        """
+
+        def collect() -> Iterator[Sample]:
+            for state, count in sorted(jobs_by_state().items()):
+                yield Sample(
+                    "repro_jobs_current",
+                    "gauge",
+                    "Jobs currently retained in the job table, by state.",
+                    (("state", state),),
+                    count,
+                )
+
+        self.registry.register_callback(collect)
+
+    def bind_namespaces(self, namespaces: Mapping[str, Any]) -> None:
+        """Expose store namespaces (``{label: Namespace}``) at scrape time."""
+
+        def collect() -> Iterator[Sample]:
+            for label in sorted(namespaces):
+                yield from namespace_samples(label, namespaces[label])
+
+        self.registry.register_callback(collect)
+
+
+#: (metric suffix, Namespace stats key, kind, help)
+_NAMESPACE_METRICS = (
+    ("hits_total", "hits", "counter", "Warm reads served by the namespace."),
+    ("misses_total", "misses", "counter", "Reads that found no entry."),
+    ("stores_total", "stores", "counter", "Entries written."),
+    ("evictions_total", "evictions", "counter", "Entries evicted by quota."),
+    ("touch_writes_total", "touch_writes", "counter",
+     "Recency stamps written through to the backend."),
+    ("entries", "entries", "gauge", "Complete entries currently stored."),
+    ("bytes", "bytes", "gauge", "Accounted bytes currently stored."),
+)
+
+
+def namespace_samples(label: str, namespace: Any) -> Iterator[Sample]:
+    """Registry rows for one store namespace's live counters.
+
+    Reads :meth:`repro.store.Namespace.stats` — the exact mapping
+    ``/v1/healthz`` serves (occupancy comes from the same TTL-cached
+    scan), keyed by a ``namespace`` label.
+    """
+    stats = namespace.stats()
+    for suffix, key, kind, help_text in _NAMESPACE_METRICS:
+        if key not in stats:
+            continue
+        yield Sample(
+            f"repro_store_{suffix}",
+            kind,
+            f"{help_text} (per store namespace)",
+            (("namespace", label),),
+            stats[key],
+        )
+
+
+def observe_stage_report(metrics: ServiceMetrics, report: "PerfReport") -> None:
+    """Bridge a :class:`~repro.perf.PerfReport` into the stage histogram.
+
+    Every top-level ``stage:<name>`` section becomes one observation —
+    the offline twin of the live
+    :class:`~repro.pipeline.runner.PipelineRunner` ``stage_observer``
+    hook, for reports recorded elsewhere (a journalled job's
+    ``timings`` block, a bench run).
+    """
+    for section in report.sections:
+        name = section.get("name", "")
+        if not name.startswith("stage:"):
+            continue
+        cached = bool((section.get("meta") or {}).get("cached"))
+        metrics.observe_stage(
+            name.removeprefix("stage:"), section.get("wall_s", 0.0), cached
+        )

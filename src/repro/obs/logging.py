@@ -1,0 +1,98 @@
+"""Structured JSON event logs: one line per request, one per transition.
+
+:class:`JsonEventLog` writes newline-delimited JSON objects to a file
+or stream.  Every line is a single compact-JSON object (no embedded
+newlines — multi-line payloads are escaped by the JSON encoder), so a
+log can be consumed by ``jq``, shipped line-by-line, or validated by
+CI without a parser state machine.
+
+Two event shapes are emitted by the service stack:
+
+* ``{"event": "http_request", ...}`` — written by the HTTP front-end
+  when a response finishes: trace id, method, matched route template,
+  raw path, status, duration, and the results/stage-cache counter
+  deltas the request caused (how many store hits/misses this one
+  request took, not cumulative totals);
+* ``{"event": "job", ...}`` — written by the service on every job
+  lifecycle transition it journals: job id, trace id, status,
+  fingerprint, and timestamps.
+
+Both carry ``ts`` (Unix seconds) and are enabled together by
+``repro serve --access-log [PATH]`` (``-`` for stderr).  Writes are
+serialised by a lock and never raise — a full disk degrades to
+dropped lines, not a failed request.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, IO
+
+__all__ = ["JsonEventLog", "REQUIRED_KEYS"]
+
+#: Keys every emitted line carries, whatever the event type — the
+#: contract the CI log-format leg asserts.
+REQUIRED_KEYS = ("event", "ts", "trace_id")
+
+
+class JsonEventLog:
+    """A thread-safe newline-delimited JSON event sink.
+
+    Parameters
+    ----------
+    target:
+        A path (opened in append mode), an open text stream, or the
+        string ``"-"`` for stderr.
+    """
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        self._lock = threading.Lock()
+        self._owns_stream = False
+        if hasattr(target, "write"):
+            self._stream: IO[str] = target  # type: ignore[assignment]
+        elif str(target) == "-":
+            self._stream = sys.stderr
+        else:
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = path.open("a", encoding="utf-8")
+            self._owns_stream = True
+        #: Lines successfully written (observability of the log itself).
+        self.lines_written = 0
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Write one event line; never raises.
+
+        ``event`` and a wall-clock ``ts`` are added to ``fields``;
+        compact separators and ``sort_keys`` keep lines canonical and
+        diffable.  Values must be JSON-safe (the emitting call sites
+        only pass strings and numbers); anything else is stringified
+        rather than allowed to break the serving path.
+        """
+        payload = {"event": event, "ts": round(time.time(), 6), **fields}
+        try:
+            line = json.dumps(
+                payload, sort_keys=True, separators=(",", ":"), default=str
+            )
+        except (TypeError, ValueError):
+            return
+        with self._lock:
+            try:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+                self.lines_written += 1
+            except (OSError, ValueError):
+                pass  # a full disk / closed stream drops lines, not requests
+
+    def close(self) -> None:
+        """Close the underlying stream if this log opened it."""
+        with self._lock:
+            if self._owns_stream:
+                try:
+                    self._stream.close()
+                except OSError:
+                    pass

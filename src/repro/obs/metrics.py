@@ -1,0 +1,400 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Zero-dependency and thread-safe.  Instruments are created once (at
+wiring time) and incremented on hot paths; a disabled registry hands
+out instruments whose record methods return immediately, so the same
+call sites can stay threaded through the code permanently — the
+``metrics=False`` service pays two attribute reads per event.
+
+Two collection styles coexist:
+
+* **event instruments** — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram`, incremented where the event happens (an HTTP
+  request finishing, a job changing state, a stage completing);
+* **callback samples** — :meth:`MetricsRegistry.register_callback`
+  registers a function run at scrape time that yields
+  :class:`Sample` rows read from live objects (store namespace
+  counters, job-table composition).  Callbacks keep the registry
+  consistent with ``/v1/healthz`` by construction: both read the same
+  counters, neither double-counts.
+
+:meth:`MetricsRegistry.render` serialises everything in the Prometheus
+text exposition format (``text/plain; version=0.0.4``): one
+``# HELP``/``# TYPE`` pair per metric name, samples with escaped label
+values, histograms as cumulative ``_bucket`` series plus ``_sum`` and
+``_count``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Any, Callable, Iterable, NamedTuple
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "Sample",
+]
+
+#: Request/stage latency buckets (seconds).  Fixed at definition time —
+#: scrapers rely on stable bucket layouts — spanning sub-millisecond
+#: warm serves to multi-second cold pipeline runs.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class Sample(NamedTuple):
+    """One exposition row contributed by a scrape-time callback."""
+
+    name: str
+    kind: str  # "counter" or "gauge"
+    help: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return (
+        value.replace("\\", "\\\\").replace("\"", "\\\"").replace("\n", "\\n")
+    )
+
+
+def format_value(value: float) -> str:
+    """A Prometheus-parseable number (integers without a trailing .0)."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: Iterable[tuple[str, str]]) -> str:
+    pairs = [
+        f'{name}="{escape_label_value(str(value))}"' for name, value in labels
+    ]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+class Counter:
+    """A monotonically increasing count (one labelled child)."""
+
+    __slots__ = ("_enabled", "_lock", "_value")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = enabled
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._enabled:
+            return
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (one labelled child)."""
+
+    __slots__ = ("_enabled", "_lock", "_value")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = enabled
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not self._enabled:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution (one labelled child).
+
+    Buckets store per-bucket hit counts; the cumulative ``le`` series
+    required by the exposition format is computed at render time, so
+    bucket counts are monotonically non-decreasing by construction.
+    """
+
+    __slots__ = ("_enabled", "_lock", "buckets", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        enabled: bool = True,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted and non-empty")
+        self._enabled = enabled
+        self._lock = threading.Lock()
+        self.buckets = tuple(float(bound) for bound in buckets)
+        self._counts = [0] * (len(self.buckets) + 1)  # trailing +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        if not self._enabled:
+            return
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> tuple[list[int], float, int]:
+        """(cumulative bucket counts incl. +Inf, sum, count) atomically."""
+        with self._lock:
+            counts = list(self._counts)
+            total, count = self._sum, self._count
+        cumulative: list[int] = []
+        running = 0
+        for n in counts:
+            running += n
+            cumulative.append(running)
+        return cumulative, total, count
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """One metric name: help text, type, and children by label values."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        enabled: bool,
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = labelnames
+        self.enabled = enabled
+        self.bucket_bounds = buckets
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], Any] = {}
+        if not labelnames:
+            self._children[()] = self._make_child()
+
+    def _make_child(self) -> Any:
+        if self.kind == "histogram":
+            return Histogram(
+                self.bucket_bounds or DEFAULT_LATENCY_BUCKETS, self.enabled
+            )
+        return _KINDS[self.kind](self.enabled)
+
+    def labels(self, *values: Any) -> Any:
+        """The child instrument for one label-value combination."""
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes labels {self.labelnames}, got {values!r}"
+            )
+        key = tuple(str(value) for value in values)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._make_child())
+        return child
+
+    # Label-less families behave as their single child, so call sites
+    # read naturally: ``registry.counter("x", "...").inc()``.
+    def inc(self, amount: float = 1.0) -> None:
+        self._children[()].inc(amount)
+
+    def set(self, value: float) -> None:
+        self._children[()].set(value)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._children[()].dec(amount)
+
+    def observe(self, value: float) -> None:
+        self._children[()].observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._children[()].value
+
+    def children(self) -> list[tuple[tuple[str, ...], Any]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """Every instrument of one process, renderable as Prometheus text.
+
+    ``enabled=False`` builds a null registry: instruments exist (call
+    sites stay unconditional) but record nothing and ``render`` reports
+    the registry as disabled.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+        self._callbacks: list[Callable[[], Iterable[Sample]]] = []
+
+    # ------------------------------------------------------------------
+    # Instrument creation (wiring time, not hot path)
+    # ------------------------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: tuple[str, ...],
+        buckets: tuple[float, ...] | None = None,
+    ) -> _Family:
+        if not _METRIC_NAME.match(name):
+            raise ValueError(f"bad metric name {name!r}")
+        for label in labels:
+            if not _LABEL_NAME.match(label) or label.startswith("__"):
+                raise ValueError(f"bad label name {label!r}")
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing.kind != kind or existing.labelnames != tuple(labels):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}{existing.labelnames}"
+                    )
+                return existing
+            family = _Family(
+                name, kind, help, tuple(labels), self.enabled, buckets
+            )
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str, labels: tuple[str, ...] = ()
+    ) -> _Family:
+        return self._family(name, "counter", help, labels)
+
+    def gauge(
+        self, name: str, help: str, labels: tuple[str, ...] = ()
+    ) -> _Family:
+        return self._family(name, "gauge", help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labels: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> _Family:
+        return self._family(name, "histogram", help, labels, buckets)
+
+    def register_callback(
+        self, callback: Callable[[], Iterable[Sample]]
+    ) -> None:
+        """Add a scrape-time sample source (live-object views)."""
+        with self._lock:
+            self._callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """The registry in Prometheus text format (version 0.0.4)."""
+        lines: list[str] = []
+        with self._lock:
+            families = list(self._families.values())
+            callbacks = list(self._callbacks)
+        for family in families:
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key, child in family.children():
+                labels = tuple(zip(family.labelnames, key))
+                if family.kind == "histogram":
+                    cumulative, total, count = child.snapshot()
+                    bounds = [*child.buckets, math.inf]
+                    for bound, running in zip(bounds, cumulative):
+                        bucket_labels = (*labels, ("le", format_value(bound)))
+                        lines.append(
+                            f"{family.name}_bucket"
+                            f"{_render_labels(bucket_labels)} {running}"
+                        )
+                    lines.append(
+                        f"{family.name}_sum{_render_labels(labels)} "
+                        f"{format_value(total)}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_render_labels(labels)} {count}"
+                    )
+                else:
+                    lines.append(
+                        f"{family.name}{_render_labels(labels)} "
+                        f"{format_value(child.value)}"
+                    )
+        # Callback samples, grouped so HELP/TYPE appear once per name.
+        grouped: dict[str, list[Sample]] = {}
+        for callback in callbacks:
+            for sample in callback():
+                grouped.setdefault(sample.name, []).append(sample)
+        for name in sorted(grouped):
+            samples = grouped[name]
+            if not _METRIC_NAME.match(name):
+                raise ValueError(f"bad callback metric name {name!r}")
+            lines.append(f"# HELP {name} {samples[0].help}")
+            lines.append(f"# TYPE {name} {samples[0].kind}")
+            for sample in samples:
+                lines.append(
+                    f"{name}{_render_labels(sample.labels)} "
+                    f"{format_value(sample.value)}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+#: Shared disabled registry for call sites that always hold one.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

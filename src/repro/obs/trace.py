@@ -1,0 +1,39 @@
+"""Trace ids: one opaque token joining a request to everything it did.
+
+A trace id is 16 bytes of randomness as 32 lowercase hex characters —
+no timestamps, no coordination, no dependency.  Every HTTP request
+gets one (minted by the front-end, or adopted from a client-supplied
+``X-Repro-Trace-Id`` header so multi-hop callers can stitch their own
+traces through), every job records the trace of the submission that
+created it, and the id is echoed on every HTTP response.  With that
+one token an operator can join a slow request to its access-log line,
+its job document (and per-stage ``timings`` block), and its journal
+entry over a shared ``--store-dir``.
+
+Validation is deliberately permissive — 8 to 64 hex characters — so
+ids minted by other tracing systems (W3C trace ids are 32 hex chars
+too) pass through unchanged; anything else is replaced rather than
+propagated, keeping log fields and journal documents clean.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+__all__ = ["TRACE_HEADER", "is_trace_id", "new_trace_id"]
+
+#: The HTTP request/response header carrying the trace id.
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+_TRACE_ID = re.compile(r"^[0-9a-f]{8,64}$")
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id."""
+    return os.urandom(16).hex()
+
+
+def is_trace_id(value: object) -> bool:
+    """Whether ``value`` is an acceptable (hex, bounded) trace id."""
+    return isinstance(value, str) and bool(_TRACE_ID.match(value))

@@ -17,6 +17,7 @@ and printable via :meth:`render`.  The benchmark harness
 
 from __future__ import annotations
 
+import copy
 import threading
 import time
 from contextlib import contextmanager
@@ -42,7 +43,10 @@ class _Node:
             "calls": self.calls,
         }
         if self.meta:
-            payload["meta"] = dict(self.meta)
+            # Deep copy: meta values can be containers that aggregating
+            # paths keep mutating after the snapshot is handed out; a
+            # report must be a frozen record, not a live view.
+            payload["meta"] = copy.deepcopy(self.meta)
         if self.children:
             payload["children"] = [
                 child.to_dict() for child in self.children.values()

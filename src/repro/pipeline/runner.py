@@ -182,6 +182,13 @@ class PipelineRunner:
         bodies are never interrupted mid-flight, so everything already
         computed is cached consistently and a resubmitted run resumes
         from those warm stages.
+    stage_observer:
+        Optional ``(stage_name, wall_seconds, cached)`` callback fired
+        as each stage resolves — the live feed behind the
+        ``repro_stage_seconds`` histogram (:mod:`repro.obs`), streaming
+        mid-run instead of waiting for the end-of-run report.  Observer
+        errors are deliberately not caught: observability hooks are
+        wired by the service layer, not user code.
     """
 
     def __init__(
@@ -197,6 +204,7 @@ class PipelineRunner:
         raw_digest: str | None = None,
         timer: "StageTimer | None" = None,
         cancel: Callable[[], bool] | None = None,
+        stage_observer: Callable[[str, float, bool], None] | None = None,
     ) -> None:
         if jobs < 1:
             raise PipelineError("jobs must be at least 1")
@@ -222,6 +230,7 @@ class PipelineRunner:
         self.executor = executor
         self.timer = timer
         self.cancel = cancel
+        self.stage_observer = stage_observer
         self.executions: dict[str, int] = {}
         self._values: dict[str, Any] = {}
         self._keys: dict[str, str] = {}
@@ -285,6 +294,7 @@ class PipelineRunner:
         inputs = [self.stage(dep) for dep in stage.inputs]
         key = self.key(name)
         timer = self.timer if self.timer is not None else NULL_TIMER
+        start = time.perf_counter()
         with timer.section(f"stage:{name}"):
             with self.cache.lock(key):
                 value = self.cache.get(key)
@@ -294,6 +304,8 @@ class PipelineRunner:
                     self.executions[name] = self.executions.get(name, 0) + 1
                     self.cache.put(key, value)
         timer.add(f"stage:{name}", 0.0, calls=0, cached=cached)
+        if self.stage_observer is not None:
+            self.stage_observer(name, time.perf_counter() - start, cached)
         self._values[name] = value
         return value
 
@@ -416,6 +428,8 @@ class PipelineRunner:
                         self._values[name] = value
                         if self.timer is not None:
                             self.timer.add(f"stage:{name}", 0.0, cached=True)
+                        if self.stage_observer is not None:
+                            self.stage_observer(name, 0.0, True)
             for name, value in self._values.items():
                 if name in self.stages:
                     key = self.key(name)
@@ -477,6 +491,10 @@ class PipelineRunner:
                                 f"stage:{finished}",
                                 stage_wall,
                                 cached=executions == 0,
+                            )
+                        if self.stage_observer is not None:
+                            self.stage_observer(
+                                finished, stage_wall, executions == 0
                             )
                         for deps in remaining.values():
                             deps.discard(finished)
@@ -568,6 +586,7 @@ def run_sweep(
     jobs: int = 1,
     executor: str = "thread",
     cancel: Callable[[], bool] | None = None,
+    stage_observer: Callable[[str, float, bool], None] | None = None,
 ) -> list[ExpansionResult]:
     """Run the pipeline once per config, sharing every common stage.
 
@@ -582,10 +601,12 @@ def run_sweep(
     sharing for the duration of the sweep (the caller's in-memory
     cache cannot be warmed across process boundaries).
 
-    ``cancel`` is threaded into every serial/thread-backed runner (the
-    per-stage boundary checks of :class:`PipelineRunner`); with the
-    process executor it is only polled before the fan-out starts —
-    worker processes cannot observe the parent's flag.
+    ``cancel`` and ``stage_observer`` are threaded into every
+    serial/thread-backed runner (the per-stage boundary checks and the
+    per-stage metrics feed of :class:`PipelineRunner`); with the
+    process executor ``cancel`` is only polled before the fan-out
+    starts and stages resolved inside workers are not observed —
+    worker processes cannot reach the parent's flag or registry.
     """
     if executor not in _EXECUTOR_KINDS:
         raise PipelineError(
@@ -623,7 +644,12 @@ def run_sweep(
 
     def one(config: PipelineConfig) -> ExpansionResult:
         return PipelineRunner(
-            raw, config, cache=shared, raw_digest=digest, cancel=cancel
+            raw,
+            config,
+            cache=shared,
+            raw_digest=digest,
+            cancel=cancel,
+            stage_observer=stage_observer,
         ).run()
 
     if jobs == 1 or len(configs) <= 1:

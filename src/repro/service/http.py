@@ -28,8 +28,9 @@ from __future__ import annotations
 import itertools
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 from urllib.parse import parse_qs
 
 from ..data import MobyDataset
@@ -39,6 +40,7 @@ from ..exceptions import (
     JobFailedError,
     ReproError,
 )
+from ..obs import TRACE_HEADER, JsonEventLog, is_trace_id, new_trace_id
 from ..serialize import (
     DEFAULT_PAGE_SIZE,
     canonical_json,
@@ -62,6 +64,7 @@ MAX_DATASET_BODY_BYTES = 128 << 20
 #: handler and the documentation together.
 ROUTES: tuple[tuple[str, str], ...] = (
     ("GET", "/v1/healthz"),
+    ("GET", "/v1/metrics"),
     ("POST", "/v1/runs"),
     ("POST", "/v1/sweeps"),
     ("GET", "/v1/jobs"),
@@ -77,6 +80,29 @@ ROUTES: tuple[tuple[str, str], ...] = (
 
 #: The temporal blocks ``/slices`` can stream, in envelope order.
 _SLICE_BLOCKS = ("day", "hour")
+
+
+def route_template(method: str, path: str) -> str:
+    """The :data:`ROUTES` template matching one request path.
+
+    Metrics and access logs label by *template* (``/v1/jobs/<id>``),
+    never by raw path — per-id label values would grow the label set
+    without bound.  Unmatched requests share one bucket.
+    """
+    path = path.split("?", 1)[0].rstrip("/") or "/"
+    segments = path.split("/")
+    for route_method, template in ROUTES:
+        if route_method != method:
+            continue
+        parts = template.split("/")
+        if len(parts) != len(segments):
+            continue
+        if all(
+            part.startswith("<") or part == segment
+            for part, segment in zip(parts, segments)
+        ):
+            return template
+    return "(unmatched)"
 
 
 def _headline_view(envelope: dict) -> dict:
@@ -181,9 +207,17 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: ExpansionService):
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: ExpansionService,
+        access_log: JsonEventLog | None = None,
+    ):
         super().__init__(address, _Handler)
         self.service = service
+        #: Structured request log (``repro serve --access-log``); the
+        #: opener owns closing it — the server only writes lines.
+        self.access_log = access_log
         self._thread: threading.Thread | None = None
 
     # ------------------------------------------------------------------
@@ -227,14 +261,71 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.service
 
     # ------------------------------------------------------------------
+    # Observability envelope around every request
+    # ------------------------------------------------------------------
+
+    def send_response(self, code: int, message: str | None = None) -> None:
+        super().send_response(code, message)
+        self._status = int(code)
+        trace = getattr(self, "trace_id", "")
+        if trace:
+            self.send_header(TRACE_HEADER, trace)
+
+    def _handle(self, method: str, dispatch: Callable[[], None]) -> None:
+        """Run one request with trace id, request metrics and log line.
+
+        The trace id is adopted from the client's ``X-Repro-Trace-Id``
+        header when it looks like one (so a caller's id follows the
+        request through job, journal and logs) and minted otherwise;
+        either way it is echoed on the response.
+        """
+        claimed = (self.headers.get(TRACE_HEADER) or "").strip().lower()
+        self.trace_id = claimed if is_trace_id(claimed) else new_trace_id()
+        self._status = 0
+        start = time.perf_counter()
+        try:
+            dispatch()
+        finally:
+            elapsed = time.perf_counter() - start
+            route = route_template(method, self.path)
+            self.service.obs.observe_http(
+                method, route, self._status, elapsed
+            )
+            log = self.server.access_log
+            if log is not None:
+                log.emit(
+                    "http",
+                    trace_id=self.trace_id,
+                    method=method,
+                    path=self.path,
+                    route=route,
+                    status=self._status,
+                    duration_s=round(elapsed, 6),
+                )
+
+    # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:
+        self._handle("GET", self._route_get)
+
+    def do_POST(self) -> None:
+        self._handle("POST", self._route_post)
+
+    def do_PUT(self) -> None:
+        self._handle("PUT", self._route_put)
+
+    def do_DELETE(self) -> None:
+        self._handle("DELETE", self._route_delete)
+
+    def _route_get(self) -> None:
         path, _, query = self.path.partition("?")
         path = path.rstrip("/")
         if path == "/v1/healthz":
             self._send_json(200, self.service.stats())
+        elif path == "/v1/metrics":
+            self._get_metrics()
         elif path == "/v1/datasets":
             self._send_json(
                 200,
@@ -255,7 +346,7 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_error(404, f"no such resource: {path}")
 
-    def do_POST(self) -> None:
+    def _route_post(self) -> None:
         path = self.path.split("?", 1)[0].rstrip("/")
         if path == "/v1/runs":
             self._submit(default_outputs=(OUTPUT_RUN,))
@@ -264,14 +355,14 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_error(404, f"no such resource: {path}")
 
-    def do_PUT(self) -> None:
+    def _route_put(self) -> None:
         path = self.path.split("?", 1)[0].rstrip("/")
         if path.startswith("/v1/datasets/"):
             self._put_dataset(path.removeprefix("/v1/datasets/"))
         else:
             self._send_error(404, f"no such resource: {path}")
 
-    def do_DELETE(self) -> None:
+    def _route_delete(self) -> None:
         path = self.path.split("?", 1)[0].rstrip("/")
         if path.startswith("/v1/jobs/"):
             self._cancel_job(path.removeprefix("/v1/jobs/"))
@@ -281,6 +372,23 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error(404, f"no such resource: {path}")
 
     # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def _get_metrics(self) -> None:
+        registry = self.service.registry
+        if not registry.enabled:
+            self._send_error(
+                404, "metrics are disabled on this server (metrics=False)"
+            )
+            return
+        self._send_text(
+            200,
+            registry.render(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    # ------------------------------------------------------------------
     # Scenario submission
     # ------------------------------------------------------------------
 
@@ -288,6 +396,10 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             body = self._read_body()
             wait = bool(body.pop("wait", True))
+            # Opt-in: responses carry a ``meta`` block (trace/job ids).
+            # Off by default so the response body stays byte-identical
+            # to the stored envelope every other surface serves.
+            want_meta = bool(body.pop("meta", False))
             timeout = body.pop("timeout", None)
             if timeout is not None:
                 timeout = float(timeout)
@@ -297,7 +409,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error(400, str(error))
             return
         try:
-            job = self.service.submit(spec)
+            job = self.service.submit(spec, trace_id=self.trace_id)
         except ReproError as error:
             self._send_error(400, str(error))
             return
@@ -315,6 +427,23 @@ class _Handler(BaseHTTPRequestHandler):
             return
         except ReproError as error:  # timeout
             self._send_json(202, job.to_dict(), note=str(error))
+            return
+        if want_meta:
+            # The stored envelope is never touched — only this response
+            # body gains the block (a deduplicated submission reports
+            # the executing job's trace id, not this request's).
+            self._send_text(
+                200,
+                canonical_json(
+                    {
+                        **envelope,
+                        "meta": {
+                            "job_id": job.job_id,
+                            "trace_id": job.trace_id,
+                        },
+                    }
+                ),
+            )
             return
         # Serve the stored canonical bytes; envelopes are multi-MB, so
         # re-serialising per request would dominate warm latency.
@@ -550,10 +679,13 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 def make_server(
-    service: ExpansionService, host: str = "127.0.0.1", port: int = 8722
+    service: ExpansionService,
+    host: str = "127.0.0.1",
+    port: int = 8722,
+    access_log: JsonEventLog | None = None,
 ) -> ServiceHTTPServer:
     """Bind (but do not start) the HTTP front-end.
 
     ``port=0`` binds an ephemeral port — read it back from ``.url``.
     """
-    return ServiceHTTPServer((host, port), service)
+    return ServiceHTTPServer((host, port), service, access_log=access_log)

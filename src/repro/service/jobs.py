@@ -51,6 +51,12 @@ class Job:
     finished_at: float | None = None
     #: How many submissions this job absorbed (1 + deduplicated ones).
     subscribers: int = 1
+    #: Trace id of the submission that created this job (see
+    #: :mod:`repro.obs.trace`).  Journalled with the job, echoed as
+    #: ``X-Repro-Trace-Id`` by the HTTP front-end, and stamped on every
+    #: access-log line the job's lifecycle emits — the join key between
+    #: a slow request and its per-stage ``timings`` block.
+    trace_id: str | None = None
     _event: threading.Event = field(
         default_factory=threading.Event, repr=False, compare=False
     )
@@ -166,6 +172,8 @@ class Job:
             "finished_at": self.finished_at,
             "cancel_requested": self.cancel_requested,
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
         if self.error is not None:
             payload["error"] = self.error
         if self.timings is not None:
@@ -193,6 +201,7 @@ class Job:
             started_at=payload.get("started_at"),
             finished_at=payload.get("finished_at"),
             subscribers=int(payload.get("subscribers", 1)),
+            trace_id=payload.get("trace_id"),
         )
         if job.status not in (PENDING, RUNNING, DONE, FAILED, CANCELLED):
             raise ServiceError(f"unknown job status {job.status!r}")

@@ -47,6 +47,13 @@ DATASET_CACHE_SLOTS = 8
 from ..analysis.rebalancing import plan_weekend_rebalancing
 from ..data import MobyDataset
 from ..exceptions import PipelineCancelledError, ServiceError
+from ..obs import (
+    NULL_REGISTRY,
+    JsonEventLog,
+    MetricsRegistry,
+    ServiceMetrics,
+    new_trace_id,
+)
 from ..perf import StageTimer
 from ..pipeline.cache import StageCache, stage_namespace
 from ..pipeline.fingerprint import dataset_digest
@@ -115,6 +122,21 @@ class ExpansionService:
         ``datasets_dir`` (deprecated alias) or the store's
         ``datasets`` namespace and the ``dataset*`` caps when omitted
         (memory-only without either).
+    metrics:
+        The observability registry: ``True`` (default) builds a fresh
+        :class:`~repro.obs.MetricsRegistry`, ``False`` installs the
+        no-op null registry, or pass a registry to share one across
+        services.  Exposed as :attr:`registry` (what ``GET
+        /v1/metrics`` renders); the instrument set is :attr:`obs`.
+    healthz_ttl:
+        Occupancy-scan cache TTL, in seconds, applied to every store
+        namespace the service reports on (``/v1/healthz`` and the
+        scrape-time store metrics read the same cached scan).  ``0``
+        disables the cache; ``None`` keeps the namespace default.
+    event_log:
+        A :class:`~repro.obs.JsonEventLog` receiving one structured
+        line per job lifecycle transition (``repro serve
+        --access-log`` adds per-request lines through the same log).
     """
 
     def __init__(
@@ -139,6 +161,9 @@ class ExpansionService:
         max_datasets_bytes: int | None = None,
         max_datasets: int | None = None,
         resume_jobs: bool = True,
+        metrics: MetricsRegistry | bool = True,
+        healthz_ttl: float | None = None,
+        event_log: JsonEventLog | None = None,
     ) -> None:
         if max_workers < 1:
             raise ServiceError("max_workers must be at least 1")
@@ -146,6 +171,15 @@ class ExpansionService:
             raise ServiceError("pipeline_jobs must be at least 1")
         if retain_jobs is not None and retain_jobs < 1:
             raise ServiceError("retain_jobs must be positive (or None)")
+        if healthz_ttl is not None and healthz_ttl < 0:
+            raise ServiceError("healthz_ttl must be non-negative (or None)")
+        if isinstance(metrics, MetricsRegistry):
+            self.registry = metrics
+        else:
+            self.registry = MetricsRegistry() if metrics else NULL_REGISTRY
+        self.obs = ServiceMetrics(self.registry)
+        self.event_log = event_log
+        self.healthz_ttl = healthz_ttl
         self.pipeline_executor = pipeline_executor
         self.sweep_executor = sweep_executor
         self.retain_jobs = retain_jobs
@@ -222,6 +256,22 @@ class ExpansionService:
         #: of them were re-queued (pending/running at shutdown).
         self.jobs_restored = 0
         self.jobs_requeued = 0
+        # The observability plane reads the same live objects healthz
+        # does: namespaces at scrape time (their TTL-cached occupancy
+        # scans), the job table under the mutex.
+        namespaces: dict[str, Any] = {
+            "results": self.results.namespace,
+            "datasets": self.datasets.namespace,
+        }
+        if self.cache.namespace is not None:
+            namespaces["stage"] = self.cache.namespace
+        if self.jobstore is not None:
+            namespaces["jobs"] = self.jobstore.namespace
+        if healthz_ttl is not None:
+            for namespace in namespaces.values():
+                namespace.occupancy_ttl_s = float(healthz_ttl)
+        self.obs.bind_namespaces(namespaces)
+        self.obs.bind_job_table(self._jobs_by_state)
         if self.jobstore is not None:
             self._restore_jobs(resume=resume_jobs)
 
@@ -308,8 +358,18 @@ class ExpansionService:
     # Submission
     # ------------------------------------------------------------------
 
-    def submit(self, spec: ScenarioSpec | Mapping[str, Any]) -> Job:
-        """Queue a scenario; identical in-flight requests share one job."""
+    def submit(
+        self,
+        spec: ScenarioSpec | Mapping[str, Any],
+        trace_id: str | None = None,
+    ) -> Job:
+        """Queue a scenario; identical in-flight requests share one job.
+
+        ``trace_id`` (minted when omitted) is journalled with the job
+        and rides every observability signal the job emits; a
+        submission that joins an in-flight job keeps that job's
+        original trace id — one execution, one trace.
+        """
         if isinstance(spec, Mapping):
             spec = ScenarioSpec.from_dict(spec)
         raw, digest, resolved, fingerprint = self._resolve_spec(spec)
@@ -317,6 +377,7 @@ class ExpansionService:
             inflight = self._inflight.get(fingerprint)
             if inflight is not None:
                 inflight.subscribers += 1
+                self.obs.dedup_hits.inc()
                 return inflight
         job_id = self._claim_job_id()
         with self._mutex:
@@ -325,8 +386,14 @@ class ExpansionService:
                 # Lost the race to an identical submission while the id
                 # was being claimed: join it (the claimed id is a gap).
                 inflight.subscribers += 1
+                self.obs.dedup_hits.inc()
                 return inflight
-            job = Job(job_id=job_id, spec=spec, fingerprint=fingerprint)
+            job = Job(
+                job_id=job_id,
+                spec=spec,
+                fingerprint=fingerprint,
+                trace_id=trace_id or new_trace_id(),
+            )
             self._jobs[job.job_id] = job
             self._inflight[fingerprint] = job
             pruned = self._prune_jobs_locked()
@@ -385,9 +452,30 @@ class ExpansionService:
         return raw, digest, None, spec.fingerprint(digest)
 
     def _journal(self, job: Job) -> None:
-        """Persist ``job``'s current state to the job journal, if any."""
+        """Persist ``job``'s current state to the job journal, if any.
+
+        Every call also feeds the observability plane — but only when
+        the status actually moved since the last journal write (cancel
+        re-journals the same state), so the transition counter and the
+        event log see each lifecycle edge exactly once.
+        """
         if self.jobstore is not None:
             self.jobstore.put(job)
+        status = job.status
+        if getattr(job, "_obs_status", None) == status:
+            return
+        job._obs_status = status
+        self.obs.observe_transition(status)
+        if self.event_log is not None:
+            self.event_log.emit(
+                "job",
+                trace_id=job.trace_id or "",
+                job_id=job.job_id,
+                status=status,
+                fingerprint=job.fingerprint,
+                subscribers=job.subscribers,
+                error=job.error,
+            )
 
     def _restore_jobs(self, resume: bool = True) -> None:
         """Adopt a previous process's journalled jobs (constructor path).
@@ -481,6 +569,14 @@ class ExpansionService:
         with self._mutex:
             return list(self._jobs.values())
 
+    def _jobs_by_state(self) -> dict[str, int]:
+        """``{status: count}`` over the job table (scrape-time gauge)."""
+        counts: dict[str, int] = {}
+        with self._mutex:
+            for job in self._jobs.values():
+                counts[job.status] = counts.get(job.status, 0) + 1
+        return counts
+
     def cancel(self, job_id: str) -> Job | None:
         """Request cooperative cancellation of a job.
 
@@ -519,6 +615,7 @@ class ExpansionService:
         datasets_stats = self.datasets.namespace.stats()
         return {
             "status": "ok",
+            "healthz_ttl_s": self.results.namespace.occupancy_ttl_s,
             "jobs": n_jobs,
             "jobs_pruned": self.jobs_pruned,
             "jobs_restored": self.jobs_restored,
@@ -595,6 +692,7 @@ class ExpansionService:
                 stored = self._current_envelope(stored_text)
                 if stored is not None:
                     job.canonical = stored_text
+                    self.obs.store_served.inc()
                     job.complete(stored)
                     return
                 # Garbled or written by an older envelope schema (e.g.
@@ -604,6 +702,7 @@ class ExpansionService:
             self._journal(job)
             with self._mutex:
                 self.pipeline_executions += 1
+            self.obs.pipeline_executions.inc()
             timer = StageTimer()
             envelope = self._build_envelope(
                 job.spec,
@@ -678,6 +777,7 @@ class ExpansionService:
                 raw_digest=digest,
                 timer=timer,
                 cancel=cancel,
+                stage_observer=self.obs.observe_stage,
             )
             result = runner.run()
         if OUTPUT_RUN in spec.outputs:
@@ -759,6 +859,7 @@ class ExpansionService:
                 jobs=self.pipeline_jobs,
                 executor=self.sweep_executor,
                 cancel=cancel,
+                stage_observer=self.obs.observe_stage,
             )
             for (overrides, _), result in zip(grid, results):
                 label_parts = [

@@ -85,6 +85,7 @@ class Namespace:
         max_entry_bytes: int | None = None,
         reject_oversize: bool = False,
         touch_window_s: float = 0.0,
+        occupancy_ttl_s: float | None = None,
     ) -> None:
         if max_bytes is not None and max_bytes < 0:
             raise ValueError("max_bytes must be non-negative")
@@ -104,6 +105,8 @@ class Namespace:
                 raise ValueError(f"accounted_parts not in parts: {unknown}")
         if touch_window_s < 0:
             raise ValueError("touch_window_s must be non-negative")
+        if occupancy_ttl_s is not None and occupancy_ttl_s < 0:
+            raise ValueError("occupancy_ttl_s must be non-negative")
         self.backend = backend
         self.key_pattern = key_pattern
         self.key_label = key_label
@@ -115,6 +118,11 @@ class Namespace:
         self.max_entry_bytes = max_entry_bytes
         self.reject_oversize = reject_oversize
         self.touch_window_s = touch_window_s
+        self.occupancy_ttl_s = (
+            occupancy_ttl_s
+            if occupancy_ttl_s is not None
+            else self.OCCUPANCY_TTL_S
+        )
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -440,10 +448,12 @@ class Namespace:
         """Number of complete logical entries."""
         return len(self.keys())
 
-    #: How long a computed occupancy (entries/bytes) may be served from
-    #: cache.  Occupancy needs a full backend scan — linear in entries —
-    #: so a monitoring system polling healthz every second must not pay
-    #: for 100k stat calls per poll; counters are always live.
+    #: Default for how long a computed occupancy (entries/bytes) may be
+    #: served from cache.  Occupancy needs a full backend scan — linear
+    #: in entries — so a monitoring system polling healthz every second
+    #: must not pay for 100k stat calls per poll; counters are always
+    #: live.  Tunable per instance via ``occupancy_ttl_s`` (surfaced by
+    #: ``repro serve --healthz-ttl``); ``0`` disables the cache.
     OCCUPANCY_TTL_S = 5.0
 
     def stats(self) -> dict[str, Any]:
@@ -451,7 +461,7 @@ class Namespace:
 
         ``hits``/``misses``/``stores``/``evictions`` are live in-memory
         counters; ``entries``/``bytes`` come from a backend scan cached
-        for :data:`OCCUPANCY_TTL_S` seconds.
+        for :attr:`occupancy_ttl_s` seconds.
         """
         now = time.monotonic()
         with self._mutex:
@@ -467,7 +477,7 @@ class Namespace:
                 ),
             }
             with self._mutex:
-                self._occupancy_cache = (now + self.OCCUPANCY_TTL_S, occupancy)
+                self._occupancy_cache = (now + self.occupancy_ttl_s, occupancy)
         return {
             **occupancy,
             "hits": self.hits,

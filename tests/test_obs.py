@@ -1,0 +1,313 @@
+"""Unit tests for :mod:`repro.obs` — registry, trace ids, event log.
+
+The HTTP-level exposition and propagation tests live in
+``test_obs_http.py``; this module pins the building blocks: instrument
+semantics, Prometheus text rendering (escaping, histogram layout),
+the structured log's line discipline, and the timer-snapshot isolation
+the observability bridge relies on.
+"""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    REQUIRED_KEYS,
+    Histogram,
+    JsonEventLog,
+    MetricsRegistry,
+    Sample,
+    ServiceMetrics,
+    is_trace_id,
+    namespace_samples,
+    new_trace_id,
+    observe_stage_report,
+)
+from repro.obs.metrics import escape_label_value, format_value
+from repro.perf import StageTimer
+from repro.store import MemoryBackend, Namespace
+
+
+class TestInstruments:
+    def test_counter_increments_and_rejects_decrease(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("g", "help")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+    def test_histogram_buckets_values_and_snapshots_cumulatively(self):
+        histogram = Histogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        cumulative, total, count = histogram.snapshot()
+        # per-bucket (1, 2, 1, 1) -> cumulative (1, 3, 4, 5 incl +Inf)
+        assert cumulative == [1, 3, 4, 5]
+        assert cumulative == sorted(cumulative)  # monotone by construction
+        assert count == 5
+        assert total == pytest.approx(56.05)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 0.1))
+
+    def test_labelled_children_are_independent(self):
+        counter = MetricsRegistry().counter("c", "help", labels=("route",))
+        counter.labels("/a").inc()
+        counter.labels("/a").inc()
+        counter.labels("/b").inc()
+        assert counter.labels("/a").value == 2
+        assert counter.labels("/b").value == 1
+        with pytest.raises(ValueError):
+            counter.labels("/a", "extra")
+
+
+class TestRegistry:
+    def test_reregistering_identical_metric_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", "help", labels=("x",))
+        assert registry.counter("c", "help", labels=("x",)) is first
+
+    def test_conflicting_kind_or_labels_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help")
+        with pytest.raises(ValueError):
+            registry.gauge("c", "help")
+        with pytest.raises(ValueError):
+            registry.counter("c", "help", labels=("x",))
+
+    def test_bad_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("0bad", "help")
+        with pytest.raises(ValueError):
+            registry.counter("ok", "help", labels=("bad-label",))
+        with pytest.raises(ValueError):
+            registry.counter("ok", "help", labels=("__reserved",))
+
+    def test_render_emits_help_type_once_per_metric(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "Things counted.", labels=("k",))
+        counter.labels("a").inc()
+        counter.labels("b").inc(2)
+        text = registry.render()
+        assert text.count("# HELP c_total Things counted.") == 1
+        assert text.count("# TYPE c_total counter") == 1
+        assert 'c_total{k="a"} 1' in text
+        assert 'c_total{k="b"} 2' in text
+        assert text.endswith("\n")
+
+    def test_label_values_are_escaped(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+        registry = MetricsRegistry()
+        registry.counter("c", "help", labels=("k",)).labels('x"y\nz').inc()
+        line = [l for l in registry.render().splitlines() if l.startswith("c{")]
+        assert line == ['c{k="x\\"y\\nz"} 1']
+
+    def test_format_value_integers_and_infinities(self):
+        assert format_value(3.0) == "3"
+        assert format_value(0.25) == "0.25"
+        assert format_value(math.inf) == "+Inf"
+        assert format_value(-math.inf) == "-Inf"
+        assert format_value(float("nan")) == "NaN"
+
+    def test_histogram_rendered_as_cumulative_le_series(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", "help", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        lines = registry.render().splitlines()
+        assert 'h_bucket{le="0.1"} 1' in lines
+        assert 'h_bucket{le="1"} 2' in lines
+        assert 'h_bucket{le="+Inf"} 3' in lines
+        assert "h_count 3" in lines
+        assert any(line.startswith("h_sum ") for line in lines)
+
+    def test_callback_samples_grouped_under_one_header(self):
+        registry = MetricsRegistry()
+        registry.register_callback(
+            lambda: [Sample("cb", "gauge", "Cb.", (("k", "a"),), 1)]
+        )
+        registry.register_callback(
+            lambda: [Sample("cb", "gauge", "Cb.", (("k", "b"),), 2)]
+        )
+        text = registry.render()
+        assert text.count("# TYPE cb gauge") == 1
+        assert 'cb{k="a"} 1' in text
+        assert 'cb{k="b"} 2' in text
+
+    def test_null_registry_instruments_record_nothing(self):
+        counter = NULL_REGISTRY.counter("null_c", "help")
+        counter.inc()
+        assert counter.value == 0
+        assert NULL_REGISTRY.enabled is False
+
+
+class TestTraceIds:
+    def test_new_ids_are_32_hex_and_unique(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        for trace_id in ids:
+            assert len(trace_id) == 32
+            assert is_trace_id(trace_id)
+
+    @pytest.mark.parametrize(
+        "candidate, valid",
+        [
+            ("deadbeef", True),  # 8 hex: shortest accepted
+            ("a" * 64, True),
+            ("", False),
+            ("a" * 7, False),  # too short
+            ("a" * 65, False),  # too long
+            ("DEADBEEFDEADBEEF", False),  # uppercase is not canonical
+            ("not-hex-at-all!", False),
+        ],
+    )
+    def test_validation(self, candidate, valid):
+        assert is_trace_id(candidate) is valid
+
+
+class TestJsonEventLog:
+    def test_lines_are_single_line_json_with_required_keys(self):
+        buffer = io.StringIO()
+        log = JsonEventLog(buffer)
+        log.emit("http", trace_id="abcd1234", status=200, note="multi\nline")
+        log.emit("job", trace_id="abcd1234", status="done")
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert "\n" not in line
+            record = json.loads(line)
+            for key in REQUIRED_KEYS:
+                assert key in record
+        assert json.loads(lines[0])["note"] == "multi\nline"
+        assert log.lines_written == 2
+
+    def test_path_target_appends(self, tmp_path):
+        target = tmp_path / "logs" / "access.jsonl"
+        log = JsonEventLog(target)
+        log.emit("http", trace_id="abcd1234")
+        log.close()
+        log = JsonEventLog(target)
+        log.emit("http", trace_id="abcd1234")
+        log.close()
+        assert len(target.read_text().splitlines()) == 2
+
+    def test_broken_sink_never_raises(self):
+        class Broken:
+            def write(self, text):
+                raise OSError("disk full")
+
+            def flush(self):
+                raise OSError("disk full")
+
+        log = JsonEventLog(Broken())
+        log.emit("http", trace_id="abcd1234")  # must not raise
+        assert log.lines_written == 0
+
+
+class TestServiceMetricsBridge:
+    def test_http_and_transition_observations_render(self):
+        metrics = ServiceMetrics(MetricsRegistry())
+        metrics.observe_http("GET", "/v1/healthz", 200, 0.002)
+        metrics.observe_transition("pending")
+        text = metrics.registry.render()
+        assert (
+            'repro_http_requests_total{method="GET",route="/v1/healthz",'
+            'status="200"} 1' in text
+        )
+        assert 'repro_job_transitions_total{state="pending"} 1' in text
+        assert 'repro_http_request_seconds_count{route="/v1/healthz"} 1' in text
+
+    def test_namespace_samples_mirror_stats(self):
+        namespace = Namespace(MemoryBackend(), occupancy_ttl_s=0)
+        namespace.put("ab12", b"value")
+        namespace.get("ab12")
+        namespace.get("beef")
+        rows = {
+            (sample.name, sample.labels): sample.value
+            for sample in namespace_samples("results", namespace)
+        }
+        stats = namespace.stats()
+        label = (("namespace", "results"),)
+        assert rows[("repro_store_hits_total", label)] == stats["hits"]
+        assert rows[("repro_store_misses_total", label)] == stats["misses"]
+        assert rows[("repro_store_entries", label)] == stats["entries"] == 1
+
+    def test_stage_report_bridges_into_histogram(self):
+        timer = StageTimer()
+        timer.add("stage:clean", 0.2, cached=False)
+        timer.add("stage:network", 0.05, cached=True)
+        timer.add("not-a-stage", 1.0)
+        metrics = ServiceMetrics(MetricsRegistry())
+        observe_stage_report(metrics, timer.report())
+        text = metrics.registry.render()
+        assert (
+            'repro_stage_seconds_count{stage="clean",cached="false"} 1'
+            in text
+        )
+        assert (
+            'repro_stage_seconds_count{stage="network",cached="true"} 1'
+            in text
+        )
+        assert "not-a-stage" not in text
+
+
+class TestNamespaceOccupancyTtl:
+    def test_per_instance_ttl_overrides_class_default(self):
+        namespace = Namespace(MemoryBackend())
+        assert namespace.occupancy_ttl_s == Namespace.OCCUPANCY_TTL_S
+        tuned = Namespace(MemoryBackend(), occupancy_ttl_s=0.25)
+        assert tuned.occupancy_ttl_s == 0.25
+        with pytest.raises(ValueError):
+            Namespace(MemoryBackend(), occupancy_ttl_s=-1)
+
+    def test_zero_ttl_disables_the_occupancy_cache(self):
+        namespace = Namespace(MemoryBackend(), occupancy_ttl_s=0)
+        assert namespace.stats()["entries"] == 0
+        namespace.put("ab12", b"v")
+        assert namespace.stats()["entries"] == 1  # no stale cached scan
+
+
+class TestPerfReportSnapshotIsolation:
+    def test_meta_containers_are_frozen_at_snapshot_time(self):
+        """A report must not change when the timer keeps aggregating.
+
+        Meta values can be containers the recording site keeps
+        mutating; ``to_dict`` deep-copies them so an already-served
+        ``timings`` block (or a journalled job document) is a frozen
+        record, not a live view.
+        """
+        timer = StageTimer()
+        detail = {"rows": [1, 2]}
+        timer.add("stage:clean", 0.5, detail=detail)
+        report = timer.report()
+        detail["rows"].append(3)
+        timer.add("stage:clean", 0.1, detail=detail)
+        section = report.section("stage:clean")
+        assert section["meta"]["detail"] == {"rows": [1, 2]}
+        assert section["calls"] == 1
+
+    def test_nested_section_meta_is_isolated_too(self):
+        timer = StageTimer()
+        tags = ["a"]
+        with timer.section("outer"):
+            with timer.section("inner", tags=tags):
+                pass
+        report = timer.report()
+        tags.append("b")
+        inner = report.section("outer")["children"][0]
+        assert inner["meta"]["tags"] == ["a"]

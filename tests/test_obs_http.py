@@ -1,0 +1,300 @@
+"""Observability over HTTP: /v1/metrics, trace ids, the access log.
+
+A minimal Prometheus text-format parser lives here (``parse_metrics``)
+so the exposition tests validate the actual wire format — every
+non-comment line must parse, histogram bucket series must be
+cumulative and consistent with ``_count`` — instead of substring
+checks.  Trace-id propagation is followed end to end: request header →
+response header → job document → on-disk journal → opt-in envelope
+``meta`` block.
+"""
+
+import io
+import json
+import re
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import _build_parser, main
+from repro.obs import REQUIRED_KEYS, TRACE_HEADER, JsonEventLog, is_trace_id
+from repro.service import ExpansionService, make_server
+
+RUN_BODY = {"dataset": {"kind": "named", "name": "small"}}
+
+_SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (NaN|[+-]Inf|[0-9eE.+-]+)$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"')
+
+
+def parse_metrics(text):
+    """Parse Prometheus text format; asserts every line is well-formed.
+
+    Returns ``(types, samples)``: metric name -> declared type, and
+    sample name -> ``{label tuple: value}`` (histogram ``_bucket`` /
+    ``_sum`` / ``_count`` series keep their suffixed names).
+    """
+    types: dict[str, str] = {}
+    samples: dict[str, dict[tuple, float]] = {}
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            assert len(line.split(" ", 3)) == 4, f"bad HELP line: {line!r}"
+        elif line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram"), line
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+        else:
+            match = _SAMPLE_LINE.match(line)
+            assert match, f"unparseable exposition line: {line!r}"
+            name, label_blob, raw_value = match.groups()
+            labels = tuple(_LABEL_PAIR.findall(label_blob or ""))
+            value = float(raw_value.replace("Inf", "inf"))
+            family = samples.setdefault(name, {})
+            assert labels not in family, f"duplicate sample: {line!r}"
+            family[labels] = value
+    return types, samples
+
+
+@pytest.fixture(scope="module")
+def obs_server(small_raw, tmp_path_factory):
+    """A store-backed server with metrics, journal and access log."""
+    log_buffer = io.StringIO()
+    service = ExpansionService(
+        store_dir=tmp_path_factory.mktemp("obs-store"),
+        max_workers=2,
+        healthz_ttl=0,
+        event_log=JsonEventLog(log_buffer),
+    )
+    service.register_dataset("small", small_raw)
+    server = make_server(
+        service, port=0, access_log=service.event_log
+    ).start_background()
+    yield server, service, log_buffer
+    server.stop()
+    service.close()
+
+
+def request(server, path, body=None, method=None, headers=None):
+    """(status, bytes, response headers) for one exchange."""
+    data = json.dumps(body).encode() if body is not None else None
+    all_headers = {"Content-Type": "application/json"} if data else {}
+    all_headers.update(headers or {})
+    req = urllib.request.Request(
+        server.url + path, data=data, method=method, headers=all_headers
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=300) as resp:
+            return resp.status, resp.read(), dict(resp.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), dict(error.headers)
+
+
+class TestMetricsEndpoint:
+    def test_exposition_parses_and_covers_every_layer(self, obs_server):
+        server, _, _ = obs_server
+        status, _, _ = request(server, "/v1/runs", body=RUN_BODY, method="POST")
+        assert status == 200
+        status, body, headers = request(server, "/v1/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        types, samples = parse_metrics(body.decode())
+        # One instrument from every instrumented layer.
+        assert types["repro_http_requests_total"] == "counter"
+        assert types["repro_http_request_seconds"] == "histogram"
+        assert types["repro_pipeline_executions_total"] == "counter"
+        assert types["repro_stage_seconds"] == "histogram"
+        assert types["repro_jobs_current"] == "gauge"  # job-table callback
+        assert types["repro_store_entries"] == "gauge"  # namespace callback
+        assert samples["repro_pipeline_executions_total"][()] >= 1
+        # Store metrics carry one series per namespace of the store.
+        store_namespaces = {
+            dict(labels)["namespace"]
+            for labels in samples["repro_store_entries"]
+        }
+        assert {"results", "datasets", "stage", "jobs"} <= store_namespaces
+
+    def test_request_metrics_label_route_templates_not_raw_paths(
+        self, obs_server
+    ):
+        server, _, _ = obs_server
+        request(server, "/v1/jobs/job-000001")
+        request(server, "/v1/jobs/job-999999")  # 404s count too
+        _, body, _ = request(server, "/v1/metrics")
+        _, samples = parse_metrics(body.decode())
+        routes = {
+            dict(labels)["route"]
+            for labels in samples["repro_http_requests_total"]
+        }
+        assert "/v1/jobs/<id>" in routes
+        assert not any("job-" in route for route in routes)
+
+    def test_histogram_buckets_cumulative_and_consistent_with_count(
+        self, obs_server
+    ):
+        server, _, _ = obs_server
+        request(server, "/v1/healthz")
+        _, body, _ = request(server, "/v1/metrics")
+        types, samples = parse_metrics(body.decode())
+        for name, kind in types.items():
+            if kind != "histogram":
+                continue
+            series: dict[tuple, list] = {}
+            for labels, value in samples[f"{name}_bucket"].items():
+                le = dict(labels)["le"]
+                rest = tuple(pair for pair in labels if pair[0] != "le")
+                series.setdefault(rest, []).append((float(le), value))
+            assert series, f"histogram {name} exposed no buckets"
+            for rest, buckets in series.items():
+                buckets.sort()
+                counts = [count for _, count in buckets]
+                assert counts == sorted(counts), (name, rest)
+                assert buckets[-1][0] == float("inf")
+                assert counts[-1] == samples[f"{name}_count"][rest]
+
+    def test_metrics_disabled_service_answers_404(
+        self, small_raw, tmp_path_factory
+    ):
+        service = ExpansionService(metrics=False)
+        server = make_server(service, port=0).start_background()
+        try:
+            status, body, _ = request(server, "/v1/metrics")
+            assert status == 404
+            assert "disabled" in json.loads(body)["error"]
+            status, _, _ = request(server, "/v1/healthz")
+            assert status == 200  # healthz never depends on the registry
+        finally:
+            server.stop()
+            service.close()
+
+
+class TestTraceIds:
+    def test_client_trace_id_propagates_to_job_journal_and_meta(
+        self, obs_server
+    ):
+        server, service, _ = obs_server
+        claimed = "feedface" * 4
+        status, body, headers = request(
+            server,
+            "/v1/runs",
+            body={**RUN_BODY, "meta": True},
+            method="POST",
+            headers={TRACE_HEADER: claimed},
+        )
+        assert status == 200
+        assert headers[TRACE_HEADER] == claimed
+        envelope = json.loads(body)
+        assert envelope["meta"]["trace_id"] == claimed
+        job_id = envelope["meta"]["job_id"]
+        # The job document serves the trace id...
+        status, body, _ = request(server, f"/v1/jobs/{job_id}")
+        assert json.loads(body)["trace_id"] == claimed
+        # ...and the on-disk journal holds it durably.
+        journalled = json.loads(
+            service.jobstore.namespace.get(job_id).decode()
+        )
+        assert journalled["trace_id"] == claimed
+
+    def test_server_mints_a_trace_id_when_the_client_sends_none(
+        self, obs_server
+    ):
+        server, _, _ = obs_server
+        _, _, headers = request(server, "/v1/healthz")
+        assert is_trace_id(headers[TRACE_HEADER])
+        assert len(headers[TRACE_HEADER]) == 32
+
+    def test_garbage_trace_header_is_replaced_not_echoed(self, obs_server):
+        server, _, _ = obs_server
+        _, _, headers = request(
+            server, "/v1/healthz", headers={TRACE_HEADER: "NOT A TRACE ID"}
+        )
+        assert headers[TRACE_HEADER] != "NOT A TRACE ID"
+        assert is_trace_id(headers[TRACE_HEADER])
+
+    def test_default_run_response_carries_no_meta_block(self, obs_server):
+        """Without the opt-in the body stays the stored canonical bytes."""
+        server, service, _ = obs_server
+        status, body, _ = request(
+            server, "/v1/runs", body=RUN_BODY, method="POST"
+        )
+        assert status == 200
+        envelope = json.loads(body)
+        assert "meta" not in envelope
+        stored = service.results.raw(envelope["fingerprint"])
+        assert body.decode() == stored
+
+
+class TestAccessLog:
+    def test_every_line_is_single_line_json_with_required_keys(
+        self, obs_server
+    ):
+        server, _, log_buffer = obs_server
+        # A battery covering success, 404, submission and scrape routes.
+        request(server, "/v1/healthz")
+        request(server, "/v1/jobs")
+        request(server, "/v1/jobs/job-999999")
+        request(server, "/v1/datasets")
+        request(server, "/v1/nope")
+        request(server, "/v1/runs", body=RUN_BODY, method="POST")
+        request(server, "/v1/metrics")
+        lines = log_buffer.getvalue().splitlines()
+        assert len(lines) >= 7
+        events = []
+        for line in lines:
+            assert line == line.strip() and "\n" not in line
+            record = json.loads(line)  # raises if any line is torn
+            for key in REQUIRED_KEYS:
+                assert key in record, f"{key} missing from {record}"
+            events.append(record)
+        http_events = [r for r in events if r["event"] == "http"]
+        job_events = [r for r in events if r["event"] == "job"]
+        assert {r["status"] for r in http_events} >= {200, 404}
+        for record in http_events:
+            assert record["method"] in ("GET", "POST", "PUT", "DELETE")
+            assert record["route"].startswith(("/v1/", "(unmatched)"))
+            assert record["duration_s"] >= 0
+            assert is_trace_id(record["trace_id"])
+        # Job transitions ride the same log, joined by trace id.
+        assert {r["status"] for r in job_events} >= {"pending", "done"}
+        done = [r for r in job_events if r["status"] == "done"]
+        assert any(
+            r["trace_id"] == done[0]["trace_id"] for r in http_events
+        ), "job transitions must join an http line via the trace id"
+
+
+class TestHealthzTtl:
+    def test_constructor_ttl_surfaces_in_healthz(self, obs_server):
+        server, _, _ = obs_server
+        _, body, _ = request(server, "/v1/healthz")
+        assert json.loads(body)["healthz_ttl_s"] == 0
+
+    def test_serve_parser_accepts_the_observability_flags(self):
+        args = _build_parser().parse_args(
+            [
+                "serve",
+                "--healthz-ttl", "0.5",
+                "--access-log", "-",
+                "--no-metrics",
+            ]
+        )
+        assert args.healthz_ttl == 0.5
+        assert args.access_log == "-"
+        assert args.no_metrics is True
+
+
+class TestMetricsCli:
+    def test_metrics_subcommand_prints_the_exposition(
+        self, obs_server, capsys
+    ):
+        server, _, _ = obs_server
+        assert main(["metrics", "--url", server.url]) == 0
+        out = capsys.readouterr().out
+        types, _ = parse_metrics(out)
+        assert "repro_http_requests_total" in types
+
+    def test_metrics_subcommand_reports_unreachable_server(self, capsys):
+        assert main(["metrics", "--url", "http://127.0.0.1:9"]) == 1
+        assert "cannot reach" in capsys.readouterr().err

@@ -1,0 +1,114 @@
+"""CI driver for the observability leg.
+
+Boots a real ``repro serve --access-log`` subprocess, drives every
+route class over the wire, then asserts the contract the structured
+log promises: every line is one single-line JSON object carrying the
+required keys (``event``, ``ts``, ``trace_id``), with both HTTP
+request lines and job transition lines present.  A sample
+``/v1/metrics`` scrape is written next to the log so CI can upload
+both as artifacts.
+
+Usage: ``PYTHONPATH=src python tools/check_access_log.py``
+(writes ``access.jsonl`` and ``metrics.prom`` into the CWD).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+sys.path.insert(0, SRC)
+
+from repro.obs import REQUIRED_KEYS, TRACE_HEADER, is_trace_id  # noqa: E402
+
+LOG = Path("access.jsonl")
+SCRAPE = Path("metrics.prom")
+
+
+def request(url, body=None, method=None, headers=None):
+    data = json.dumps(body).encode() if body is not None else None
+    all_headers = {"Content-Type": "application/json"} if data else {}
+    all_headers.update(headers or {})
+    req = urllib.request.Request(url, data=data, method=method, headers=all_headers)
+    try:
+        with urllib.request.urlopen(req, timeout=600) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def main() -> int:
+    LOG.unlink(missing_ok=True)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--access-log", str(LOG), "--healthz-ttl", "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": SRC},
+    )
+    try:
+        banner = proc.stdout.readline()
+        base = banner.strip().rsplit(" ", 1)[-1]
+        if not base.startswith("http://"):
+            print(f"unexpected serve banner: {banner!r}", file=sys.stderr)
+            return 1
+        print(f"driving {base}")
+        # One request per route class: success, 404, submission, scrape.
+        assert request(f"{base}/v1/healthz")[0] == 200
+        assert request(f"{base}/v1/jobs")[0] == 200
+        assert request(f"{base}/v1/jobs/job-999999")[0] == 404
+        assert request(f"{base}/v1/nope")[0] == 404
+        status, _ = request(
+            f"{base}/v1/runs",
+            body={"dataset": {"kind": "synthetic", "seed": 7}},
+            method="POST",
+            headers={TRACE_HEADER: "c1c1c1c1" * 4},
+        )
+        assert status == 200, f"run submission failed with {status}"
+        status, scrape = request(f"{base}/v1/metrics")
+        assert status == 200
+        SCRAPE.write_bytes(scrape)
+        print(f"wrote {SCRAPE} ({len(scrape)} bytes)")
+    finally:
+        proc.send_signal(signal.SIGINT)
+        proc.wait(timeout=30)
+
+    lines = LOG.read_text().splitlines()
+    if len(lines) < 6:
+        print(f"expected >=6 log lines, got {len(lines)}", file=sys.stderr)
+        return 1
+    events = set()
+    for number, line in enumerate(lines, 1):
+        try:
+            record = json.loads(line)
+        except ValueError:
+            print(f"line {number} is not valid JSON: {line!r}", file=sys.stderr)
+            return 1
+        if not isinstance(record, dict):
+            print(f"line {number} is not an object: {line!r}", file=sys.stderr)
+            return 1
+        missing = [key for key in REQUIRED_KEYS if key not in record]
+        if missing:
+            print(f"line {number} misses {missing}: {line!r}", file=sys.stderr)
+            return 1
+        if not is_trace_id(record["trace_id"]) and record["trace_id"] != "":
+            print(f"line {number} has a bad trace id: {line!r}", file=sys.stderr)
+            return 1
+        events.add(record["event"])
+    if not {"http", "job"} <= events:
+        print(f"expected http and job events, saw {sorted(events)}", file=sys.stderr)
+        return 1
+    print(f"access log OK: {len(lines)} lines, events={sorted(events)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
