@@ -22,6 +22,7 @@ instead of numbers that evaporate with the terminal.
 import json
 import threading
 import time
+import urllib.error
 import urllib.request
 from pathlib import Path
 
@@ -112,6 +113,33 @@ def test_service_throughput_and_dedup(benchmark):
         )
 
         # ------------------------------------------------------------------
+        # Degraded (read-only) mode: with the store-write circuit
+        # breaker open the service sheds new work with 503 +
+        # Retry-After but keeps serving warm envelopes — measure what
+        # read-only mode still delivers.
+        # ------------------------------------------------------------------
+        service.breaker.trip()
+        try:
+            _post_run(url, {})
+            raise AssertionError("open breaker accepted a POST /v1/runs")
+        except urllib.error.HTTPError as error:
+            assert error.code == 503, f"expected 503, got {error.code}"
+            assert int(error.headers["Retry-After"]) >= 1
+            error.read()
+        fingerprint = envelope["fingerprint"]
+        started = time.perf_counter()
+        for _ in range(N_WARM_REQUESTS):
+            with urllib.request.urlopen(
+                f"{url}/v1/results/{fingerprint}", timeout=1200
+            ) as response:
+                response.read()
+        degraded_get_seconds = (
+            time.perf_counter() - started
+        ) / N_WARM_REQUESTS
+        degraded_requests_per_s = 1.0 / max(degraded_get_seconds, 1e-9)
+        service.breaker.reset()
+
+        # ------------------------------------------------------------------
         # Dedup speedup: a changed community seed invalidates the three
         # Louvain stages (the expensive cone), so each batch is real
         # work.  Session-unique seeds keep the runs genuinely cold even
@@ -164,6 +192,10 @@ def test_service_throughput_and_dedup(benchmark):
                         f"{1.0 / max(metrics_off_seconds, 1e-9):.1f}",
                     ],
                     ["metrics overhead ratio", f"{metrics_ratio:.3f}x"],
+                    [
+                        "degraded (breaker open) warm GET req/s",
+                        f"{degraded_requests_per_s:.1f}",
+                    ],
                     ["cold run (1 client)", f"{single_cold_seconds:.2f} s"],
                     [
                         f"cold batch ({N_CONCURRENT_CLIENTS} identical clients)",
@@ -190,6 +222,11 @@ def test_service_throughput_and_dedup(benchmark):
                 1.0 / max(metrics_off_seconds, 1e-9), 1
             ),
             "metrics_overhead_ratio": round(metrics_ratio, 3),
+            "degraded": {
+                "writes_shed_with": 503,
+                "warm_get_latency_ms": round(degraded_get_seconds * 1000, 2),
+                "warm_get_requests_per_s": round(degraded_requests_per_s, 1),
+            },
             "cold_single_s": round(single_cold_seconds, 3),
             "cold_batch_clients": N_CONCURRENT_CLIENTS,
             "cold_batch_s": round(concurrent_seconds, 3),

@@ -234,6 +234,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-metrics", action="store_true",
                        help="disable the metrics registry; GET /v1/metrics "
                             "answers 404 and instruments become no-ops")
+    serve.add_argument("--queue-size", type=int, default=None,
+                       metavar="N",
+                       help="bound the admission queue: refuse new runs "
+                            "with 429 + Retry-After while N jobs are "
+                            "already admitted (default: unbounded)")
+    serve.add_argument("--watchdog-stale", type=float, default=None,
+                       metavar="SECONDS",
+                       help="fail a running job as 'timeout' once its "
+                            "stage-boundary heartbeat is older than this "
+                            "(default: watchdog off)")
 
     datasets = subparsers.add_parser(
         "datasets", help="manage named datasets on a running repro serve"
@@ -669,6 +679,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics=not args.no_metrics,
         healthz_ttl=args.healthz_ttl,
         event_log=event_log,
+        max_queue=args.queue_size,
+        watchdog_stale_s=args.watchdog_stale,
     )
     server = make_server(
         service, host=args.host, port=args.port, access_log=event_log

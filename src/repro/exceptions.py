@@ -146,8 +146,24 @@ class JobFailedError(ServiceError):
     """A submitted job finished with an error; the message carries it."""
 
 
+class JobTimeoutError(JobFailedError):
+    """A submitted job exceeded its deadline or went stale (HTTP sees
+    the ``timeout`` terminal state)."""
+
+
 class JobCancelledError(ServiceError):
     """A submitted job was cancelled before it produced an envelope."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's admission queue is full (HTTP 429 + Retry-After).
+
+    ``retry_after_s`` is the back-off hint clients receive.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 class DatasetTooLargeError(ServiceError):

@@ -63,6 +63,15 @@ class ServiceMetrics:
             "repro_pipeline_executions_total",
             "Pipeline executions actually run (not deduplicated/stored).",
         )
+        # Resilience ----------------------------------------------------
+        self.jobs_shed = registry.counter(
+            "repro_jobs_shed_total",
+            "Submissions refused because the admission queue was full.",
+        )
+        self.watchdog_failures = registry.counter(
+            "repro_watchdog_failures_total",
+            "Running jobs the watchdog timed out on a stale heartbeat.",
+        )
         # Pipeline stages ----------------------------------------------
         self.stage_seconds = registry.histogram(
             "repro_stage_seconds",
@@ -122,6 +131,37 @@ class ServiceMetrics:
 
         self.registry.register_callback(collect)
 
+    def bind_breaker(self, snapshot: Any) -> None:
+        """Expose a circuit breaker's state at scrape time.
+
+        ``snapshot`` is the breaker's zero-argument ``snapshot()`` —
+        the same document ``/v1/healthz`` embeds, so the gauge and
+        healthz can never disagree.  The state gauge encodes
+        closed=0, half_open=1, open=2 (the
+        :data:`~repro.resilience.breaker.BREAKER_STATES` order).
+        """
+        from ..resilience.breaker import BREAKER_STATES
+
+        def collect() -> Iterator[Sample]:
+            doc = snapshot()
+            yield Sample(
+                "repro_circuit_breaker_state",
+                "gauge",
+                "Store-write circuit breaker state "
+                "(0 closed, 1 half-open, 2 open).",
+                (),
+                BREAKER_STATES.index(doc["state"]),
+            )
+            yield Sample(
+                "repro_circuit_breaker_trips_total",
+                "counter",
+                "Times the store-write circuit breaker opened.",
+                (),
+                doc["trips"],
+            )
+
+        self.registry.register_callback(collect)
+
 
 #: (metric suffix, Namespace stats key, kind, help)
 _NAMESPACE_METRICS = (
@@ -131,6 +171,8 @@ _NAMESPACE_METRICS = (
     ("evictions_total", "evictions", "counter", "Entries evicted by quota."),
     ("touch_writes_total", "touch_writes", "counter",
      "Recency stamps written through to the backend."),
+    ("retries_total", "retries", "counter",
+     "Extra backend attempts after transient faults (retry policy)."),
     ("entries", "entries", "gauge", "Complete entries currently stored."),
     ("bytes", "bytes", "gauge", "Accounted bytes currently stored."),
 )

@@ -20,7 +20,12 @@ Two event shapes are emitted by the service stack:
 Both carry ``ts`` (Unix seconds) and are enabled together by
 ``repro serve --access-log [PATH]`` (``-`` for stderr).  Writes are
 serialised by a lock and never raise — a full disk degrades to
-dropped lines, not a failed request.
+dropped lines, not a failed request.  After
+:data:`JsonEventLog.TRIP_AFTER` *consecutive* write failures the sink
+trips: further emits return before even serialising, so a dead disk
+costs one flag check per event instead of a doomed syscall.  One
+successful write (e.g. the disk came back before the trip) resets the
+streak.
 """
 
 from __future__ import annotations
@@ -49,6 +54,9 @@ class JsonEventLog:
         string ``"-"`` for stderr.
     """
 
+    #: Consecutive write failures after which the sink stops trying.
+    TRIP_AFTER = 8
+
     def __init__(self, target: str | Path | IO[str]) -> None:
         self._lock = threading.Lock()
         self._owns_stream = False
@@ -63,6 +71,13 @@ class JsonEventLog:
             self._owns_stream = True
         #: Lines successfully written (observability of the log itself).
         self.lines_written = 0
+        #: Lines dropped by write failures or a tripped sink.
+        self.lines_dropped = 0
+        self._consecutive_failures = 0
+        #: True once :data:`TRIP_AFTER` consecutive writes failed; the
+        #: sink is permanently quiet from then on (the stream is gone —
+        #: a rotated-away file or revoked stderr does not come back).
+        self.tripped = False
 
     def emit(self, event: str, **fields: Any) -> None:
         """Write one event line; never raises.
@@ -73,6 +88,9 @@ class JsonEventLog:
         only pass strings and numbers); anything else is stringified
         rather than allowed to break the serving path.
         """
+        if self.tripped:
+            self.lines_dropped += 1
+            return
         payload = {"event": event, "ts": round(time.time(), 6), **fields}
         try:
             line = json.dumps(
@@ -84,9 +102,15 @@ class JsonEventLog:
             try:
                 self._stream.write(line + "\n")
                 self._stream.flush()
-                self.lines_written += 1
             except (OSError, ValueError):
-                pass  # a full disk / closed stream drops lines, not requests
+                # A full disk / closed stream drops lines, not requests.
+                self.lines_dropped += 1
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.TRIP_AFTER:
+                    self.tripped = True
+            else:
+                self.lines_written += 1
+                self._consecutive_failures = 0
 
     def close(self) -> None:
         """Close the underlying stream if this log opened it."""

@@ -1,0 +1,36 @@
+"""Resilience: fault injection, retry, circuit breaking, watchdogs.
+
+The mechanisms that let ``repro serve`` tolerate the faults real
+deployments guarantee — flaky or slow storage, full disks, wedged
+workers, overload, and mid-job crashes — instead of merely observing
+them.  Each piece sits at an existing seam:
+
+* :class:`FaultInjectingBackend` wraps any storage backend with a
+  seeded deterministic fault schedule — the chaos harness the rest of
+  the layer is tested against;
+* :class:`RetryPolicy` (exponential backoff, full jitter) absorbs
+  transient backend flaps inside the namespace read/publish paths;
+* :class:`CircuitBreaker` converts persistent write failure into
+  read-only degradation instead of per-request retry storms;
+* :class:`Watchdog` reaps jobs whose stage-boundary heartbeat has gone
+  stale, so wedged workers don't leak pool slots.
+
+See ``docs/RESILIENCE.md`` for the failure-modes table mapping each
+fault to its detection, response and metric.
+"""
+
+from .breaker import BREAKER_STATES, CircuitBreaker
+from .deadline import Watchdog
+from .faults import FaultConfig, FaultInjectingBackend
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy, is_transient
+
+__all__ = [
+    "BREAKER_STATES",
+    "CircuitBreaker",
+    "DEFAULT_RETRY_POLICY",
+    "FaultConfig",
+    "FaultInjectingBackend",
+    "RetryPolicy",
+    "Watchdog",
+    "is_transient",
+]

@@ -1,0 +1,142 @@
+"""Circuit breaker: turn persistent write failure into graceful degradation.
+
+Retries (``retry.py``) absorb *flaps*; the breaker handles the other
+regime — a store that is durably broken (disk full, volume gone
+read-only).  Hammering it with retrying writes makes every request pay
+the full backoff budget before failing anyway.  The breaker counts
+consecutive write failures at the results/journal seam and, past a
+threshold, *opens*: the service flips to read-only mode (warm results,
+dataset GETs, healthz and metrics still served; mutating requests get
+503 + Retry-After) until a half-open probe succeeds.
+
+States follow the classic three-way machine:
+
+``closed``
+    Normal operation.  Each failure increments a consecutive counter;
+    a success resets it; hitting ``failure_threshold`` opens.
+``open``
+    All writes refused without touching the store.  After
+    ``reset_timeout_s`` the next :meth:`allow` transitions to
+    half-open and lets exactly that caller through as the probe.
+``half_open``
+    Probing.  A success closes the breaker; a failure reopens it and
+    restarts the timeout.
+
+All transitions happen under one lock; the clock is injectable so tests
+never sleep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker", "BREAKER_STATES"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: State names in gauge-encoding order: the ``repro_circuit_breaker_state``
+#: gauge exports the index (0 closed, 1 half-open, 2 open).
+BREAKER_STATES = (CLOSED, HALF_OPEN, OPEN)
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open probing."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if reset_timeout_s < 0:
+            raise ValueError("reset_timeout_s must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._mutex = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._trips = 0
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._mutex:
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether a write may proceed right now.
+
+        While open, returns ``False`` until ``reset_timeout_s`` has
+        elapsed; the first call after that flips to half-open and
+        returns ``True`` — that caller *is* the recovery probe.
+        """
+        with self._mutex:
+            if self._state == OPEN:
+                if self._clock() - self._opened_at < self.reset_timeout_s:
+                    return False
+                self._state = HALF_OPEN
+            return True
+
+    def retry_after_s(self) -> float:
+        """Seconds until the next probe is admitted (0 when not open)."""
+        with self._mutex:
+            if self._state != OPEN:
+                return 0.0
+            remaining = self.reset_timeout_s - (self._clock() - self._opened_at)
+            return max(0.0, remaining)
+
+    def snapshot(self) -> dict:
+        """State document for healthz and the metrics scrape."""
+        with self._mutex:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "trips": self._trips,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout_s": self.reset_timeout_s,
+            }
+
+    # -- observations -------------------------------------------------------
+
+    def record_success(self) -> None:
+        with self._mutex:
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._state = CLOSED
+
+    def record_failure(self) -> None:
+        with self._mutex:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN or (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._open_locked()
+
+    def _open_locked(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._trips += 1
+
+    # -- manual overrides (tests, bench degraded-mode entry) ----------------
+
+    def trip(self) -> None:
+        """Force open, as if the threshold had just been crossed."""
+        with self._mutex:
+            self._open_locked()
+
+    def reset(self) -> None:
+        """Force closed and clear the failure streak."""
+        with self._mutex:
+            self._state = CLOSED
+            self._consecutive_failures = 0

@@ -1,0 +1,69 @@
+"""Watchdog: a periodic scan thread for stale-heartbeat detection.
+
+Deadlines are enforced *cooperatively* — the pipeline's stage-boundary
+cancel hook checks them and stamps a heartbeat on every poll.  That
+covers every healthy job, but a worker wedged *inside* a stage (a hung
+syscall, a deadlocked extension) never reaches the next boundary, so
+its deadline is never observed and its pool slot leaks.  The watchdog
+is the backstop: a daemon thread that periodically runs a scan callback
+supplied by the service, which fails any running job whose heartbeat
+has gone stale.
+
+The class owns only the thread lifecycle; the scan policy (what counts
+as stale, how to fail a job) lives with the caller, keeping this module
+free of job-table knowledge.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+__all__ = ["Watchdog"]
+
+
+class Watchdog:
+    """Run ``scan()`` every ``interval_s`` seconds until stopped.
+
+    The thread is a daemon, so a forgotten watchdog never blocks
+    interpreter exit; :meth:`stop` joins it for orderly shutdown.  A
+    ``scan`` that raises is logged nowhere and swallowed — the watchdog
+    must outlive any single bad scan — but the exception count is kept
+    for tests.
+    """
+
+    def __init__(self, scan: Callable[[], None], *, interval_s: float = 1.0) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self._scan = scan
+        self.interval_s = interval_s
+        self.scan_errors = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "Watchdog":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-watchdog", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self._scan()
+            except Exception:
+                self.scan_errors += 1
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()

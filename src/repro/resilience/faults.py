@@ -1,0 +1,201 @@
+"""Deterministic fault injection at the storage-backend seam.
+
+:class:`FaultInjectingBackend` wraps any :class:`~repro.store.backend.Backend`
+and makes it misbehave on a *seeded, reproducible* schedule: transient
+``EIO`` flaps, injected latency, ``ENOSPC`` on writes.  Because the
+wrapper sits below :class:`~repro.store.namespace.Namespace`, every
+resilience mechanism above it — retry/backoff, the circuit breaker,
+torn-write detection — is exercised against the same byte-level
+contract production runs against.
+
+Determinism without global state: each operation draws its verdict from
+``sha256(seed:op:key:n)`` where ``n`` counts prior calls of that op on
+that key.  The schedule for any single key is therefore fixed by the
+seed alone — independent of thread interleaving across keys — and a
+retry of a failed call is a *new* draw, so retries converge instead of
+looping on a poisoned key.
+
+Torn multi-part writes need no special machinery: failing ``put``
+mid-way through a namespace's ``put_entry`` sequence leaves earlier
+parts published and the recency anchor (written last) absent, which is
+exactly the torn state readers must treat as "entry not present".
+
+Bookkeeping operations (``delete``/``list``/``stat``/``touch``) pass
+through unfaulted: they back LRU accounting, and flapping them would
+test the injector, not the store.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator
+
+from ..store.backend import Backend, EntryStat
+
+__all__ = ["FaultConfig", "FaultInjectingBackend"]
+
+#: Environment variables :meth:`FaultConfig.from_env` reads — the switch
+#: chaos tests flip to fault a real ``repro serve`` subprocess.
+ENV_SEED = "REPRO_FAULT_SEED"
+ENV_RATE = "REPRO_FAULT_RATE"
+ENV_LATENCY_S = "REPRO_FAULT_LATENCY_S"
+ENV_LATENCY_RATE = "REPRO_FAULT_LATENCY_RATE"
+ENV_ENOSPC_RATE = "REPRO_FAULT_ENOSPC_RATE"
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """One seeded fault schedule.
+
+    ``failure_rate`` is the per-call probability of a transient ``EIO``
+    on reads and writes; ``enospc_rate`` adds a *non*-transient
+    ``ENOSPC`` on writes only (the condition retries must not chase and
+    the circuit breaker must); ``latency_rate``/``latency_s`` stall a
+    fraction of all faultable calls.
+    """
+
+    seed: int = 0
+    failure_rate: float = 0.0
+    latency_s: float = 0.0
+    latency_rate: float = 0.0
+    enospc_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("failure_rate", "latency_rate", "enospc_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.failure_rate or self.enospc_rate
+            or (self.latency_rate and self.latency_s)
+        )
+
+    @classmethod
+    def from_env(cls, environ: dict[str, str] | None = None) -> "FaultConfig | None":
+        """The schedule the ``REPRO_FAULT_*`` variables describe, if any.
+
+        Returns ``None`` when no fault variable is set, so callers can
+        wrap conditionally:
+
+        >>> FaultConfig.from_env({}) is None
+        True
+        >>> FaultConfig.from_env({"REPRO_FAULT_RATE": "0.15"}).failure_rate
+        0.15
+        """
+        env = os.environ if environ is None else environ
+        keys = (ENV_SEED, ENV_RATE, ENV_LATENCY_S, ENV_LATENCY_RATE, ENV_ENOSPC_RATE)
+        if not any(key in env for key in keys):
+            return None
+        return cls(
+            seed=int(env.get(ENV_SEED, "0")),
+            failure_rate=float(env.get(ENV_RATE, "0")),
+            latency_s=float(env.get(ENV_LATENCY_S, "0")),
+            latency_rate=float(env.get(ENV_LATENCY_RATE, "0")),
+            enospc_rate=float(env.get(ENV_ENOSPC_RATE, "0")),
+        )
+
+
+def _draw(seed: int, op: str, key: str, call_index: int) -> float:
+    """Uniform [0, 1) derived from the schedule coordinates alone."""
+    digest = hashlib.sha256(
+        f"{seed}:{op}:{key}:{call_index}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class FaultInjectingBackend:
+    """A :class:`Backend` that misbehaves on a seeded schedule.
+
+    >>> from repro.store.backend import MemoryBackend
+    >>> chaotic = FaultInjectingBackend(
+    ...     MemoryBackend(), FaultConfig(seed=1, failure_rate=1.0)
+    ... )
+    >>> chaotic.put("k", b"v")
+    Traceback (most recent call last):
+        ...
+    OSError: [Errno 5] injected transient fault: put 'k' (call 0)
+    """
+
+    def __init__(self, inner: Backend, config: FaultConfig) -> None:
+        self.inner = inner
+        self.config = config
+        self.faults_injected = 0
+        self._counts: dict[tuple[str, str], int] = {}
+        self._mutex = threading.Lock()
+
+    def _decide(self, op: str, key: str) -> None:
+        """Latency/failure verdict for this call; raises to inject."""
+        config = self.config
+        with self._mutex:
+            slot = (op, key)
+            call_index = self._counts.get(slot, 0)
+            self._counts[slot] = call_index + 1
+        if config.latency_rate and config.latency_s:
+            if _draw(config.seed, f"lat:{op}", key, call_index) < config.latency_rate:
+                time.sleep(config.latency_s)
+        writing = op in ("put", "open_write")
+        if writing and config.enospc_rate:
+            if _draw(config.seed, f"nospc:{op}", key, call_index) < config.enospc_rate:
+                with self._mutex:
+                    self.faults_injected += 1
+                raise OSError(
+                    errno.ENOSPC,
+                    f"injected ENOSPC: {op} {key!r} (call {call_index})",
+                )
+        if config.failure_rate:
+            if _draw(config.seed, op, key, call_index) < config.failure_rate:
+                with self._mutex:
+                    self.faults_injected += 1
+                raise OSError(
+                    errno.EIO,
+                    f"injected transient fault: {op} {key!r} (call {call_index})",
+                )
+
+    # -- faulted operations -------------------------------------------------
+
+    def get(self, key: str) -> bytes | None:
+        self._decide("get", key)
+        return self.inner.get(key)
+
+    def peek(self, key: str) -> bytes | None:
+        self._decide("peek", key)
+        return self.inner.peek(key)
+
+    def put(self, key: str, data: bytes) -> None:
+        self._decide("put", key)
+        self.inner.put(key, data)
+
+    def open_read(self, key: str) -> BinaryIO:
+        self._decide("open_read", key)
+        return self.inner.open_read(key)
+
+    def open_write(self, key: str):
+        # The verdict lands before the inner tmp file exists, so a
+        # faulted call publishes nothing — same atomicity as a crash
+        # before os.replace.
+        self._decide("open_write", key)
+        return self.inner.open_write(key)
+
+    # -- pass-through bookkeeping -------------------------------------------
+
+    def delete(self, key: str) -> bool:
+        return self.inner.delete(key)
+
+    def list(self) -> Iterator[str]:
+        return self.inner.list()
+
+    def stat(self, key: str) -> EntryStat | None:
+        return self.inner.stat(key)
+
+    def touch(self, key: str) -> None:
+        self.inner.touch(key)

@@ -1,0 +1,151 @@
+"""Retry with exponential backoff and full jitter.
+
+The storage subsystem's answer to *transient* backend faults: a flaky
+NFS mount, a container runtime hiccup, an injected chaos fault.  The
+policy is deliberately narrow:
+
+* only errors :func:`is_transient` classifies as retryable are retried
+  — quota verdicts (:class:`~repro.exceptions.StoreQuotaError`), key
+  validation (:class:`~repro.exceptions.StoreKeyError`) and permanent
+  I/O conditions (``ENOSPC``, ``EROFS``, ``EACCES``) re-raise
+  immediately: retrying a full disk only heats it;
+* delays follow *full jitter* — attempt ``n`` sleeps a uniform random
+  amount in ``[0, min(max_delay_s, base_delay_s * 2**n)]`` — so a
+  thundering herd of workers hitting the same fault decorrelates
+  instead of re-colliding in lockstep (the AWS architecture-blog
+  result: full jitter beats equal jitter and plain exponential for
+  contended retries);
+* total added latency is hard-bounded: :meth:`RetryPolicy.max_total_delay_s`
+  is the worst-case sum of every sleep the policy can take, a number
+  tests can assert against.
+
+The policy object is immutable and thread-safe; per-call state (the
+RNG draw, the attempt counter) lives on the stack.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from ..exceptions import StoreError
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "RetryPolicy",
+    "is_transient",
+]
+
+#: Errno values that mark an OSError as worth retrying: interrupted or
+#: timed-out I/O, a busy/temporarily-unavailable resource, or a generic
+#: EIO flap.  Everything else (ENOSPC, EROFS, EACCES, ENOENT...) is a
+#: *state*, not a flap — retrying cannot fix it.
+_TRANSIENT_ERRNOS = frozenset(
+    {
+        errno.EIO,
+        errno.EINTR,
+        errno.EAGAIN,
+        errno.EBUSY,
+        errno.ETIMEDOUT,
+    }
+)
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether ``error`` is a retryable backend flap.
+
+    Only :class:`OSError` instances with a transient errno qualify.
+    Store-layer verdicts (:class:`~repro.exceptions.StoreError` and its
+    quota/key subclasses) are never transient — they are *decisions*,
+    not faults — which pins the contract that
+    :class:`~repro.exceptions.StoreQuotaError` and
+    :class:`~repro.exceptions.StoreKeyError` are never retried.
+    """
+    if isinstance(error, StoreError):
+        return False
+    if not isinstance(error, OSError):
+        return False
+    return error.errno in _TRANSIENT_ERRNOS
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter over a bounded attempt budget.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total calls allowed (first try included).  ``1`` disables
+        retries entirely.
+    base_delay_s / max_delay_s:
+        Attempt ``n`` (0-based retry index) sleeps uniform in
+        ``[0, min(max_delay_s, base_delay_s * 2**n)]``.
+    sleep / rng:
+        Injection points for tests: the sleeping function and the
+        jitter source (a fresh seeded :class:`random.Random` makes a
+        schedule reproducible).
+    """
+
+    max_attempts: int = 6
+    base_delay_s: float = 0.025
+    max_delay_s: float = 0.5
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+    rng: random.Random = field(default_factory=random.Random, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+
+    def delay_cap_s(self, retry_index: int) -> float:
+        """The jitter window's upper bound for retry ``retry_index``."""
+        return min(self.max_delay_s, self.base_delay_s * (2 ** retry_index))
+
+    def max_total_delay_s(self) -> float:
+        """Worst-case sum of every sleep this policy can take."""
+        return sum(
+            self.delay_cap_s(index) for index in range(self.max_attempts - 1)
+        )
+
+    def delays(self) -> Iterator[float]:
+        """One full-jitter delay per possible retry, in order."""
+        for index in range(self.max_attempts - 1):
+            yield self.rng.uniform(0.0, self.delay_cap_s(index))
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        *,
+        classify: Callable[[BaseException], bool] = is_transient,
+        on_retry: Callable[[BaseException, int], None] | None = None,
+    ) -> Any:
+        """Run ``fn``, retrying transient failures per the schedule.
+
+        ``classify`` decides retryability; a non-transient error (and
+        the final transient one, once attempts are exhausted) re-raises
+        unchanged.  ``on_retry(error, retry_index)`` fires before each
+        sleep — the hook the store layer counts retries through.
+        """
+        retry_index = 0
+        for delay in self.delays():
+            try:
+                return fn()
+            except BaseException as error:  # noqa: BLE001 - reclassified below
+                if not classify(error):
+                    raise
+                if on_retry is not None:
+                    on_retry(error, retry_index)
+                self.sleep(delay)
+                retry_index += 1
+        return fn()
+
+
+#: The storage subsystem's default: 6 attempts, <= 0.775s worst-case
+#: added latency — deep enough that a 15% per-call fault rate exhausts
+#: the budget ~1 time in 10^5 calls, bounded enough that a dead disk
+#: fails fast and trips the circuit breaker instead.
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -38,7 +38,9 @@ from ..exceptions import (
     DatasetTooLargeError,
     JobCancelledError,
     JobFailedError,
+    JobTimeoutError,
     ReproError,
+    ServiceOverloadedError,
 )
 from ..obs import TRACE_HEADER, JsonEventLog, is_trace_id, new_trace_id
 from ..serialize import (
@@ -349,8 +351,12 @@ class _Handler(BaseHTTPRequestHandler):
     def _route_post(self) -> None:
         path = self.path.split("?", 1)[0].rstrip("/")
         if path == "/v1/runs":
+            if self._refuse_degraded():
+                return
             self._submit(default_outputs=(OUTPUT_RUN,))
         elif path == "/v1/sweeps":
+            if self._refuse_degraded():
+                return
             self._submit(default_outputs=(OUTPUT_SWEEP,))
         else:
             self._send_error(404, f"no such resource: {path}")
@@ -358,9 +364,32 @@ class _Handler(BaseHTTPRequestHandler):
     def _route_put(self) -> None:
         path = self.path.split("?", 1)[0].rstrip("/")
         if path.startswith("/v1/datasets/"):
+            if self._refuse_degraded():
+                return
             self._put_dataset(path.removeprefix("/v1/datasets/"))
         else:
             self._send_error(404, f"no such resource: {path}")
+
+    def _refuse_degraded(self) -> bool:
+        """503 + Retry-After when the store-write breaker is open.
+
+        Mutating requests are refused while the service is degraded;
+        warm reads (results, datasets, jobs, healthz, metrics) keep
+        being served — they never write.  The ``allow()`` probe that
+        fails here is also what arms half-open recovery: once the
+        reset timeout passes, one request is admitted and its store
+        writes decide whether the breaker closes again.
+        """
+        if self.service.breaker.allow():
+            return False
+        retry_after = max(1, round(self.service.breaker.retry_after_s()))
+        self._send_error(
+            503,
+            "service is in read-only degraded mode (store writes are "
+            "failing); warm results and datasets are still served",
+            headers={"Retry-After": str(retry_after)},
+        )
+        return True
 
     def _route_delete(self) -> None:
         path = self.path.split("?", 1)[0].rstrip("/")
@@ -410,6 +439,15 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             job = self.service.submit(spec, trace_id=self.trace_id)
+        except ServiceOverloadedError as error:
+            self._send_error(
+                429,
+                str(error),
+                headers={
+                    "Retry-After": str(max(1, round(error.retry_after_s)))
+                },
+            )
+            return
         except ReproError as error:
             self._send_error(400, str(error))
             return
@@ -418,6 +456,12 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             envelope = job.wait(timeout)
+        except JobTimeoutError as error:
+            # The *job* hit its deadline_s (or the watchdog reaped it) —
+            # distinct from the request-level wait timeout below, which
+            # leaves the job running and answers 202.
+            self._send_json(504, job.to_dict(), note=str(error))
+            return
         except JobFailedError as error:
             self._send_error(500, str(error))
             return
@@ -477,10 +521,19 @@ class _Handler(BaseHTTPRequestHandler):
     def _cancel_job(self, job_id: str) -> None:
         job = self.service.cancel(job_id)
         if job is None:
+            # Unknown id: 404, distinct from the already-terminal 409
+            # below so clients can tell "never existed / pruned" from
+            # "exists but can no longer be cancelled".
             self._send_error(404, f"no such job: {job_id}")
         elif job.finished and job.status != "cancelled":
-            # The job won the race — its result stands.
-            self._send_json(200, job.to_dict(), note="job already finished")
+            # Already terminal (done/failed/timeout) — the cancel has
+            # nothing to act on and the job's outcome stands.
+            self._send_json(
+                409,
+                job.to_dict(),
+                note=f"job already finished as {job.status!r}; "
+                "cancel has no effect",
+            )
         else:
             self._send_json(202, job.to_dict())
 
@@ -638,12 +691,18 @@ class _Handler(BaseHTTPRequestHandler):
         return payload
 
     def _send_text(
-        self, status: int, text: str, content_type: str = "application/json"
+        self,
+        status: int,
+        text: str,
+        content_type: str = "application/json",
+        headers: dict[str, str] | None = None,
     ) -> None:
         data = text.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
@@ -674,8 +733,15 @@ class _Handler(BaseHTTPRequestHandler):
             payload = {**payload, "note": note}
         self._send_text(status, canonical_json(payload))
 
-    def _send_error(self, status: int, message: str) -> None:
-        self._send_text(status, canonical_json({"error": message}))
+    def _send_error(
+        self,
+        status: int,
+        message: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        self._send_text(
+            status, canonical_json({"error": message}), headers=headers
+        )
 
 
 def make_server(

@@ -17,6 +17,7 @@ interrupted mid-run) at shutdown.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import re
 import threading
@@ -24,7 +25,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-from ..exceptions import JobCancelledError, JobFailedError, ServiceError
+from ..exceptions import (
+    JobCancelledError,
+    JobFailedError,
+    JobTimeoutError,
+    ServiceError,
+)
 from ..serialize import canonical_json
 from ..store import Namespace
 from .spec import ScenarioSpec
@@ -35,6 +41,7 @@ RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
+TIMEOUT = "timeout"
 
 
 @dataclass
@@ -75,10 +82,17 @@ class Job:
     cancel_event: threading.Event = field(
         default_factory=threading.Event, repr=False, compare=False
     )
+    #: Monotonic stamp of the job's last stage-boundary cancel poll —
+    #: the liveness signal the watchdog compares against.  Runtime
+    #: state only, never journalled.
+    heartbeat: float | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Lifecycle (driven by the service)
     # ------------------------------------------------------------------
+    # Terminal transitions are first-wins: a watchdog that timed a job
+    # out must not be overwritten by the worker completing late, and
+    # vice versa.
 
     def mark_running(self) -> None:
         """Transition pending -> running (the worker picked the job up)."""
@@ -87,6 +101,8 @@ class Job:
 
     def complete(self, envelope: dict) -> None:
         """Terminal success: record the envelope and release waiters."""
+        if self.finished:
+            return
         self._envelope = envelope
         self.status = DONE
         self.finished_at = time.time()
@@ -94,8 +110,19 @@ class Job:
 
     def fail(self, error: str) -> None:
         """Terminal failure: record the message and release waiters."""
+        if self.finished:
+            return
         self.error = error
         self.status = FAILED
+        self.finished_at = time.time()
+        self._event.set()
+
+    def mark_timed_out(self, reason: str) -> None:
+        """Terminal timeout: deadline exceeded or heartbeat gone stale."""
+        if self.finished:
+            return
+        self.error = reason
+        self.status = TIMEOUT
         self.finished_at = time.time()
         self._event.set()
 
@@ -110,6 +137,8 @@ class Job:
 
     def mark_cancelled(self) -> None:
         """Terminal cancellation: no envelope; waiters get the error."""
+        if self.finished:
+            return
         self.status = CANCELLED
         self.finished_at = time.time()
         self._event.set()
@@ -120,8 +149,8 @@ class Job:
 
     @property
     def finished(self) -> bool:
-        """True once the job is done, failed or cancelled."""
-        return self.status in (DONE, FAILED, CANCELLED)
+        """True once the job is done, failed, cancelled or timed out."""
+        return self.status in (DONE, FAILED, CANCELLED, TIMEOUT)
 
     @property
     def cancel_requested(self) -> bool:
@@ -132,12 +161,17 @@ class Job:
         """Block until the job finishes and return its envelope.
 
         Raises :class:`JobFailedError` if the job failed,
+        :class:`JobTimeoutError` if it hit its deadline or went stale,
         :class:`JobCancelledError` if it was cancelled, and
-        :class:`ServiceError` on timeout.
+        :class:`ServiceError` on (wait) timeout.
         """
         if not self._event.wait(timeout):
             raise ServiceError(
                 f"job {self.job_id} did not finish within {timeout}s"
+            )
+        if self.status == TIMEOUT:
+            raise JobTimeoutError(
+                f"job {self.job_id} timed out: {self.error}"
             )
         if self.status == FAILED:
             raise JobFailedError(
@@ -172,6 +206,12 @@ class Job:
             "finished_at": self.finished_at,
             "cancel_requested": self.cancel_requested,
         }
+        # The deadline is journalled as a *job* field: the spec's
+        # to_dict stays canonical (it is embedded in result envelopes,
+        # which must be byte-identical for every submitter regardless
+        # of their deadline).
+        if self.spec.deadline_s is not None:
+            payload["deadline_s"] = self.spec.deadline_s
         if self.trace_id is not None:
             payload["trace_id"] = self.trace_id
         if self.error is not None:
@@ -191,9 +231,14 @@ class Job:
         fingerprint).  Derived fields (``cancel_requested``,
         ``result_url``) are recomputed, not read.
         """
+        spec = ScenarioSpec.from_dict(payload["spec"])
+        if payload.get("deadline_s") is not None:
+            # Rehydrate the job-level deadline onto the spec so a
+            # re-queued job keeps its budget across restarts.
+            spec = dataclasses.replace(spec, deadline_s=payload["deadline_s"])
         job = cls(
             job_id=str(payload["job_id"]),
-            spec=ScenarioSpec.from_dict(payload["spec"]),
+            spec=spec,
             fingerprint=str(payload["fingerprint"]),
             status=str(payload.get("status", PENDING)),
             error=payload.get("error"),
@@ -203,7 +248,7 @@ class Job:
             subscribers=int(payload.get("subscribers", 1)),
             trace_id=payload.get("trace_id"),
         )
-        if job.status not in (PENDING, RUNNING, DONE, FAILED, CANCELLED):
+        if job.status not in (PENDING, RUNNING, DONE, FAILED, CANCELLED, TIMEOUT):
             raise ServiceError(f"unknown job status {job.status!r}")
         job.timings = payload.get("timings")
         if payload.get("cancel_requested"):
@@ -239,8 +284,11 @@ class JobStore:
     job's most recent state — exactly what a restarted service adopts.
     """
 
-    def __init__(self, namespace: Namespace) -> None:
+    def __init__(self, namespace: Namespace, *, breaker=None) -> None:
         self.namespace = namespace
+        #: Optional :class:`~repro.resilience.breaker.CircuitBreaker`
+        #: observing journal writes alongside the results store.
+        self.breaker = breaker
 
     def put(self, job: Job) -> None:
         """Journal ``job``'s current state (best-effort on a full disk)."""
@@ -249,7 +297,11 @@ class JobStore:
                 job.job_id, canonical_json(job.to_dict()).encode("utf-8")
             )
         except OSError:
-            pass
+            if self.breaker is not None:
+                self.breaker.record_failure()
+        else:
+            if self.breaker is not None:
+                self.breaker.record_success()
 
     def delete(self, job_id: str) -> bool:
         """Drop one journalled document (retention pruning)."""

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Mapping
@@ -46,7 +47,11 @@ DATASET_CACHE_SLOTS = 8
 
 from ..analysis.rebalancing import plan_weekend_rebalancing
 from ..data import MobyDataset
-from ..exceptions import PipelineCancelledError, ServiceError
+from ..exceptions import (
+    PipelineCancelledError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from ..obs import (
     NULL_REGISTRY,
     JsonEventLog,
@@ -56,6 +61,7 @@ from ..obs import (
 )
 from ..perf import StageTimer
 from ..pipeline.cache import StageCache, stage_namespace
+from ..resilience import CircuitBreaker, Watchdog
 from ..pipeline.fingerprint import dataset_digest
 from ..pipeline.runner import PipelineRunner, run_sweep
 from ..reporting import sweep_summary
@@ -68,7 +74,7 @@ from .datasets import (
     DatasetStore,
     datasets_namespace,
 )
-from .jobs import PENDING, RUNNING, Job, JobStore, jobs_namespace
+from .jobs import PENDING, RUNNING, TIMEOUT, Job, JobStore, jobs_namespace
 from .spec import (
     OUTPUT_REBALANCE,
     OUTPUT_REPORT,
@@ -137,6 +143,28 @@ class ExpansionService:
         A :class:`~repro.obs.JsonEventLog` receiving one structured
         line per job lifecycle transition (``repro serve
         --access-log`` adds per-request lines through the same log).
+    max_queue:
+        Admission bound: at most this many jobs may be admitted but
+        not yet finished (queued + running).  Past it, :meth:`submit`
+        raises :class:`~repro.exceptions.ServiceOverloadedError` (the
+        HTTP front-end turns that into 429 + Retry-After) instead of
+        queueing without bound.  ``None`` (default) disables shedding.
+        Joining an in-flight identical job never counts — dedup adds
+        no load.
+    breaker:
+        The :class:`~repro.resilience.CircuitBreaker` observing result
+        and journal writes; built with defaults when omitted.  While
+        open the HTTP front-end serves read-only (mutating requests
+        get 503 + Retry-After); state is in :meth:`stats` and the
+        metrics scrape.
+    watchdog_stale_s:
+        Fail a *running* job whose stage-boundary heartbeat is older
+        than this many seconds (the ``timeout`` terminal state), so a
+        worker wedged inside a stage doesn't leak its pool slot.
+        ``None`` (default) disables the watchdog — legitimate paper
+        runs may spend minutes inside one stage.
+    watchdog_interval_s:
+        How often the watchdog thread scans the job table.
     """
 
     def __init__(
@@ -164,6 +192,10 @@ class ExpansionService:
         metrics: MetricsRegistry | bool = True,
         healthz_ttl: float | None = None,
         event_log: JsonEventLog | None = None,
+        max_queue: int | None = None,
+        breaker: CircuitBreaker | None = None,
+        watchdog_stale_s: float | None = None,
+        watchdog_interval_s: float = 1.0,
     ) -> None:
         if max_workers < 1:
             raise ServiceError("max_workers must be at least 1")
@@ -173,6 +205,10 @@ class ExpansionService:
             raise ServiceError("retain_jobs must be positive (or None)")
         if healthz_ttl is not None and healthz_ttl < 0:
             raise ServiceError("healthz_ttl must be non-negative (or None)")
+        if max_queue is not None and max_queue < 1:
+            raise ServiceError("max_queue must be positive (or None)")
+        if watchdog_stale_s is not None and watchdog_stale_s <= 0:
+            raise ServiceError("watchdog_stale_s must be positive (or None)")
         if isinstance(metrics, MetricsRegistry):
             self.registry = metrics
         else:
@@ -208,11 +244,13 @@ class ExpansionService:
                     max_entries=cache_entries,
                 )
             )
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         if results_dir is not None or store is None:
-            self.results = ResultsStore(results_dir)
+            self.results = ResultsStore(results_dir, breaker=self.breaker)
         else:
             self.results = ResultsStore(
-                namespace=results_namespace(store.backend("results"))
+                namespace=results_namespace(store.backend("results")),
+                breaker=self.breaker,
             )
         if datasets is not None:
             self.datasets = datasets
@@ -233,7 +271,7 @@ class ExpansionService:
                 )
             )
         self.jobstore = (
-            JobStore(jobs_namespace(store.backend("jobs")))
+            JobStore(jobs_namespace(store.backend("jobs")), breaker=self.breaker)
             if store is not None
             else None
         )
@@ -256,6 +294,14 @@ class ExpansionService:
         #: of them were re-queued (pending/running at shutdown).
         self.jobs_restored = 0
         self.jobs_requeued = 0
+        #: Submissions refused because the admission queue was full.
+        self.jobs_shed = 0
+        #: Running jobs the watchdog timed out on a stale heartbeat.
+        self.watchdog_failures = 0
+        self.max_queue = max_queue
+        #: Jobs admitted to the pool and not yet finished (the number
+        #: the admission bound compares against).
+        self._pending = 0
         # The observability plane reads the same live objects healthz
         # does: namespaces at scrape time (their TTL-cached occupancy
         # scans), the job table under the mutex.
@@ -272,6 +318,13 @@ class ExpansionService:
                 namespace.occupancy_ttl_s = float(healthz_ttl)
         self.obs.bind_namespaces(namespaces)
         self.obs.bind_job_table(self._jobs_by_state)
+        self.obs.bind_breaker(self.breaker.snapshot)
+        self.watchdog_stale_s = watchdog_stale_s
+        self.watchdog: Watchdog | None = None
+        if watchdog_stale_s is not None:
+            self.watchdog = Watchdog(
+                self._watchdog_scan, interval_s=watchdog_interval_s
+            ).start()
         if self.jobstore is not None:
             self._restore_jobs(resume=resume_jobs)
 
@@ -379,6 +432,7 @@ class ExpansionService:
                 inflight.subscribers += 1
                 self.obs.dedup_hits.inc()
                 return inflight
+            self._check_admission_locked()
         job_id = self._claim_job_id()
         with self._mutex:
             inflight = self._inflight.get(fingerprint)
@@ -388,6 +442,7 @@ class ExpansionService:
                 inflight.subscribers += 1
                 self.obs.dedup_hits.inc()
                 return inflight
+            self._check_admission_locked()
             job = Job(
                 job_id=job_id,
                 spec=spec,
@@ -396,6 +451,7 @@ class ExpansionService:
             )
             self._jobs[job.job_id] = job
             self._inflight[fingerprint] = job
+            self._pending += 1
             pruned = self._prune_jobs_locked()
         # Journal I/O happens outside the mutex: unlinking pruned
         # documents (or a slow disk) must not stall concurrent
@@ -406,6 +462,23 @@ class ExpansionService:
         self._journal(job)
         self._pool.submit(self._execute, job, raw, digest, resolved)
         return job
+
+    def _check_admission_locked(self) -> None:
+        """Shed the submission when the admission queue is full.
+
+        Caller holds the mutex.  Dedup joins never reach here — an
+        identical in-flight job absorbs the submission without adding
+        load — so only genuinely new work is bounded.
+        """
+        if self.max_queue is None or self._pending < self.max_queue:
+            return
+        self.jobs_shed += 1
+        self.obs.jobs_shed.inc()
+        raise ServiceOverloadedError(
+            f"admission queue is full ({self._pending} jobs admitted, "
+            f"bound {self.max_queue}); retry shortly",
+            retry_after_s=1.0,
+        )
 
     def _claim_job_id(self) -> str:
         """Allocate the next unused job id.
@@ -501,6 +574,8 @@ class ExpansionService:
                 requeue.append(job)
         for job in requeue:
             self.jobs_requeued += 1
+            with self._mutex:
+                self._pending += 1  # restored backlog counts as admitted
             self._journal(job)  # back to pending before the pool runs it
             self._pool.submit(self._execute_restored, job)
 
@@ -521,6 +596,8 @@ class ExpansionService:
         except Exception as error:
             job.fail(f"{type(error).__name__}: {error}")
             self._journal(job)
+            with self._mutex:
+                self._pending -= 1
             return
         job.fingerprint = fingerprint  # content may have moved meanwhile
         with self._mutex:
@@ -603,18 +680,50 @@ class ExpansionService:
                 self._journal(job)
         return job
 
+    def _watchdog_scan(self) -> None:
+        """Fail running jobs whose stage-boundary heartbeat went stale.
+
+        A wedged worker (hung syscall, deadlocked extension) never
+        reaches the next stage boundary, so its own deadline check
+        never fires; this is the backstop that frees its waiters.  The
+        pool *thread* may stay wedged — threads cannot be killed — but
+        the job reports ``timeout`` and releases everyone blocked on
+        it.  Terminal transitions are first-wins, so a worker that
+        wakes up late cannot overwrite the verdict.
+        """
+        assert self.watchdog_stale_s is not None
+        now = time.monotonic()
+        with self._mutex:
+            running = [
+                job for job in self._jobs.values() if job.status == RUNNING
+            ]
+        for job in running:
+            last = job.heartbeat
+            if last is None or now - last <= self.watchdog_stale_s:
+                continue
+            job.mark_timed_out(
+                f"heartbeat stale for {now - last:.1f}s "
+                f"(watchdog bound {self.watchdog_stale_s}s)"
+            )
+            if job.status == TIMEOUT:  # we won the terminal race
+                self.watchdog_failures += 1
+                self.obs.watchdog_failures.inc()
+                self._journal(job)
+
     def stats(self) -> dict[str, Any]:
         """Service counters (the ``/v1/healthz`` document)."""
         with self._mutex:
             n_jobs = len(self._jobs)
             n_inflight = len(self._inflight)
+            n_pending = self._pending
         # Occupancy numbers come from the namespaces' TTL-cached scans
         # (see Namespace.stats), never fresh per-request directory
         # walks — healthz must stay cheap under monitoring pollers.
         results_stats = self.results.namespace.stats()
         datasets_stats = self.datasets.namespace.stats()
+        breaker = self.breaker.snapshot()
         return {
-            "status": "ok",
+            "status": "degraded" if breaker["state"] == "open" else "ok",
             "healthz_ttl_s": self.results.namespace.occupancy_ttl_s,
             "jobs": n_jobs,
             "jobs_pruned": self.jobs_pruned,
@@ -622,6 +731,16 @@ class ExpansionService:
             "jobs_requeued": self.jobs_requeued,
             "retain_jobs": self.retain_jobs,
             "in_flight": n_inflight,
+            "queue": {
+                "pending": n_pending,
+                "max_queue": self.max_queue,
+                "jobs_shed": self.jobs_shed,
+            },
+            "breaker": breaker,
+            "watchdog": {
+                "stale_s": self.watchdog_stale_s,
+                "failures": self.watchdog_failures,
+            },
             "pipeline_executions": self.pipeline_executions,
             "results_stored": results_stats["entries"],
             "datasets": {
@@ -661,6 +780,8 @@ class ExpansionService:
 
     def close(self) -> None:
         """Finish queued jobs and shut the worker pool down."""
+        if self.watchdog is not None:
+            self.watchdog.stop()
         self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "ExpansionService":
@@ -699,17 +820,41 @@ class ExpansionService:
                 # v1 sweeps without child fingerprints): recompute and
                 # overwrite, instead of silently serving a stale shape.
             job.mark_running()
+            job.heartbeat = time.monotonic()
             self._journal(job)
             with self._mutex:
                 self.pipeline_executions += 1
             self.obs.pipeline_executions.inc()
+            # The stage-boundary cancel poll doubles as the liveness
+            # and deadline check: every poll stamps the heartbeat the
+            # watchdog watches, then enforces cancel and (execution-
+            # measured) deadline.  Deadline expiry surfaces as the same
+            # PipelineCancelledError cancellation does — stages never
+            # stop mid-body, so the stage cache stays consistent — and
+            # is reclassified below.
+            started_monotonic = time.monotonic()
+            deadline_s = job.spec.deadline_s
+            deadline_hit = threading.Event()
+
+            def check_cancel() -> bool:
+                job.heartbeat = time.monotonic()
+                if job.cancel_event.is_set():
+                    return True
+                if (
+                    deadline_s is not None
+                    and time.monotonic() - started_monotonic > deadline_s
+                ):
+                    deadline_hit.set()
+                    return True
+                return False
+
             timer = StageTimer()
             envelope = self._build_envelope(
                 job.spec,
                 raw,
                 digest,
                 timer,
-                cancel=job.cancel_event.is_set,
+                cancel=check_cancel,
                 sweep_resolved=resolved,
             )
             envelope["fingerprint"] = job.fingerprint
@@ -720,12 +865,20 @@ class ExpansionService:
             job.canonical = self.results.put(job.fingerprint, envelope)
             job.complete(envelope)
         except PipelineCancelledError:
-            job.mark_cancelled()
+            if job.cancel_event.is_set():
+                job.mark_cancelled()  # an explicit cancel wins the tie
+            elif deadline_hit.is_set():
+                job.mark_timed_out(
+                    f"deadline of {deadline_s}s exceeded at a stage boundary"
+                )
+            else:
+                job.mark_cancelled()
         except Exception as error:
             job.fail(f"{type(error).__name__}: {error}")
         finally:
             self._journal(job)
             with self._mutex:
+                self._pending -= 1
                 # Only clear the entry this job owns: a restored job
                 # racing a fresh identical submission must not evict the
                 # other job's in-flight registration (that would break

@@ -129,6 +129,17 @@ class ScenarioSpec:
     sweep_datasets: tuple[str, ...] = ()
     fleet_size: int = 95
     report_title: str | None = None
+    #: Wall-clock budget (seconds) for the job's *execution* — measured
+    #: from the moment a worker picks it up, enforced cooperatively at
+    #: stage boundaries, journalled as the ``timeout`` terminal state.
+    #: Excluded from the fingerprint AND from :meth:`to_dict`: a
+    #: deadline bounds how long the service may spend, it never changes
+    #: what is computed, so a deadline-bearing request deduplicates
+    #: against (and is served by) the same cached envelope — whose
+    #: embedded spec must stay byte-identical for every submitter.
+    #: Accepted on input (:meth:`from_dict`); journalled as a *job*
+    #: field, not a spec field.
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         # Normalise mapping/list inputs into the hashable tuple forms
@@ -175,6 +186,13 @@ class ScenarioSpec:
                 check_dataset_name(name)
         if self.fleet_size <= 0:
             raise ServiceError("fleet_size must be positive")
+        if self.deadline_s is not None:
+            if not isinstance(self.deadline_s, (int, float)) or isinstance(
+                self.deadline_s, bool
+            ):
+                raise ServiceError("deadline_s must be a number of seconds")
+            if self.deadline_s <= 0:
+                raise ServiceError("deadline_s must be positive")
         # Unknown override keys and invalid values fail here with the
         # same ConfigError derive raises (reused validation).  Axis
         # points are checked one at a time — linear in values, not in
@@ -305,6 +323,7 @@ class ScenarioSpec:
             sweep_datasets=tuple(sweep_datasets),
             fleet_size=payload.get("fleet_size", 95),
             report_title=payload.get("report_title"),
+            deadline_s=payload.get("deadline_s"),
         )
 
 

@@ -49,6 +49,7 @@ class ResultsStore:
         *,
         namespace: Namespace | None = None,
         memory_slots: int = 64,
+        breaker=None,
     ) -> None:
         if namespace is None:
             backend = (
@@ -57,6 +58,9 @@ class ResultsStore:
             namespace = results_namespace(backend)
         self.namespace = namespace
         self._memory = ObjectLRU(memory_slots)
+        #: Optional :class:`~repro.resilience.breaker.CircuitBreaker`
+        #: observing publish outcomes — the service's degradation signal.
+        self.breaker = breaker
 
     @property
     def results_dir(self) -> Path | None:
@@ -98,7 +102,13 @@ class ResultsStore:
         try:
             self.namespace.put(fingerprint, text.encode("utf-8"))
         except OSError:
-            pass  # a full/readonly disk degrades to best-effort persistence
+            # A full/readonly disk degrades to best-effort persistence;
+            # the breaker turns a *streak* of these into read-only mode.
+            if self.breaker is not None:
+                self.breaker.record_failure()
+        else:
+            if self.breaker is not None:
+                self.breaker.record_success()
         self._memory.put(fingerprint, text)
         return text
 

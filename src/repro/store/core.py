@@ -32,6 +32,7 @@ import json
 from pathlib import Path
 
 from ..exceptions import StoreError
+from ..resilience.faults import FaultConfig, FaultInjectingBackend
 from .backend import BACKEND_KINDS, Backend, make_backend
 
 #: Marker file recording a store tree's backend kind, so reopening the
@@ -96,11 +97,23 @@ class Store:
             pass  # unwritable root fails later, with a better error
 
     def backend(self, name: str) -> Backend:
-        """A backend of this store's kind rooted at ``<root>/<name>``."""
-        return make_backend(
+        """A backend of this store's kind rooted at ``<root>/<name>``.
+
+        When the ``REPRO_FAULT_*`` environment variables describe a
+        fault schedule (see :class:`~repro.resilience.faults.FaultConfig`),
+        the backend is wrapped in a
+        :class:`~repro.resilience.faults.FaultInjectingBackend` — the
+        switch chaos tests flip to fault a real ``repro serve``
+        subprocess without touching its code.
+        """
+        backend = make_backend(
             self.backend_kind,
             None if self.root is None else self.root / name,
         )
+        faults = FaultConfig.from_env()
+        if faults is not None and faults.active:
+            backend = FaultInjectingBackend(backend, faults)
+        return backend
 
     def spec(self, name: str) -> tuple[str, str] | None:
         """(kind, root) a worker process can rebuild namespace ``name`` from.

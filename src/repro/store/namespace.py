@@ -31,6 +31,14 @@ used to implement privately:
   could not be stored within quota even by evicting everything else
   (:class:`~repro.exceptions.StoreQuotaError`), instead of churning
   the cache;
+* **transient-fault retries** — reads and atomic publishes go through
+  a :class:`~repro.resilience.retry.RetryPolicy` (exponential backoff,
+  full jitter), so a backend flap costs a bounded delay instead of a
+  miss or a failed store.  Only errors the policy classifies as
+  transient are retried: :class:`~repro.exceptions.StoreQuotaError`,
+  :class:`~repro.exceptions.StoreKeyError` and permanent I/O states
+  (``ENOSPC``) re-raise immediately, and the ``retries`` counter in
+  :meth:`stats` records every extra attempt;
 * **striped key locks** — :meth:`lock` serialises concurrent work on
   one key (stage computation, dataset overwrite-vs-read).  Locks come
   from a fixed stripe table indexed by key hash, so the hot read path
@@ -54,6 +62,7 @@ from contextlib import contextmanager
 from typing import Any, BinaryIO, Mapping
 
 from ..exceptions import StoreKeyError, StoreQuotaError
+from ..resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .backend import Backend, EntryStat
 
 #: Content-addressed namespaces: plain lowercase hex digests.
@@ -86,6 +95,7 @@ class Namespace:
         reject_oversize: bool = False,
         touch_window_s: float = 0.0,
         occupancy_ttl_s: float | None = None,
+        retry: RetryPolicy | None = DEFAULT_RETRY_POLICY,
     ) -> None:
         if max_bytes is not None and max_bytes < 0:
             raise ValueError("max_bytes must be non-negative")
@@ -118,6 +128,7 @@ class Namespace:
         self.max_entry_bytes = max_entry_bytes
         self.reject_oversize = reject_oversize
         self.touch_window_s = touch_window_s
+        self.retry = retry
         self.occupancy_ttl_s = (
             occupancy_ttl_s
             if occupancy_ttl_s is not None
@@ -130,6 +141,9 @@ class Namespace:
         #: Stamp writes actually issued to the backend (observability:
         #: the debounce/skip-unbounded policies are measured by this).
         self.touch_writes = 0
+        #: Extra backend attempts the retry policy issued after a
+        #: transient fault — the namespace's flap meter.
+        self.retries = 0
         self._mutex = threading.Lock()
         self._stripe_locks = tuple(
             threading.Lock() for _ in range(LOCK_STRIPES)
@@ -256,6 +270,20 @@ class Namespace:
             self.hits += 1
 
     # ------------------------------------------------------------------
+    # Transient-fault retries
+    # ------------------------------------------------------------------
+
+    def _retrying(self, fn):
+        """Run one backend call under the retry policy, counting retries."""
+        if self.retry is None:
+            return fn()
+        return self.retry.call(fn, on_retry=self._count_retry)
+
+    def _count_retry(self, error: BaseException, retry_index: int) -> None:
+        with self._mutex:
+            self.retries += 1
+
+    # ------------------------------------------------------------------
     # Single-part entries
     # ------------------------------------------------------------------
 
@@ -268,7 +296,7 @@ class Namespace:
         writes per hit and bounded ones can coalesce them.
         """
         encoded = self._encode(key)
-        data = self.backend.peek(encoded)
+        data = self._retrying(lambda: self.backend.peek(encoded))
         with self._mutex:
             if data is None:
                 self.misses += 1
@@ -282,7 +310,7 @@ class Namespace:
         """Store ``data`` under ``key``, then enforce the quotas."""
         encoded = self._encode(key)  # validate before any quota verdict
         self._check_entry_size(key, len(data))
-        self.backend.put(encoded, data)
+        self._retrying(lambda: self.backend.put(encoded, data))
         with self._mutex:
             self.stores += 1
         self.evict(keep=key)
@@ -331,7 +359,9 @@ class Namespace:
             self.backend.delete(self._encode(key, self._anchor))
         for part in self.parts:
             if part in files:
-                self.backend.put(self._encode(key, part), files[part])
+                encoded = self._encode(key, part)
+                data = files[part]
+                self._retrying(lambda: self.backend.put(encoded, data))
         with self._mutex:
             self.stores += 1
         self.evict(keep=key)
@@ -343,7 +373,8 @@ class Namespace:
         stamps), so a hit on any part stamps the anchor — through the
         same skip-unbounded/debounce policy as :meth:`get`.
         """
-        data = self.backend.peek(self._encode(key, part))
+        encoded = self._encode(key, part)
+        data = self._retrying(lambda: self.backend.peek(encoded))
         with self._mutex:
             if data is None:
                 self.misses += 1
@@ -359,7 +390,8 @@ class Namespace:
         Metadata queries (listings, digests, healthz) read through
         here so they never perturb the LRU eviction order.
         """
-        return self.backend.peek(self._encode(key, part))
+        encoded = self._encode(key, part)
+        return self._retrying(lambda: self.backend.peek(encoded))
 
     # ------------------------------------------------------------------
     # Shared operations
@@ -485,6 +517,7 @@ class Namespace:
             "stores": self.stores,
             "evictions": self.evictions,
             "touch_writes": self.touch_writes,
+            "retries": self.retries,
         }
 
     def _check_entry_size(self, key: str, size: int) -> None:

@@ -1,0 +1,323 @@
+"""Chaos battery: injected faults, SIGKILL crash-recovery, degradation.
+
+Three escalation levels:
+
+* in-process fault injection (``REPRO_FAULT_*`` → every store namespace
+  misbehaves on a seeded schedule) — envelopes must come out
+  byte-identical to a fault-free run;
+* a real ``repro serve`` subprocess killed with SIGKILL mid-job and
+  restarted over the same ``--store-dir`` — the journal must re-queue
+  the interrupted job and the recovered envelope must match the
+  fault-free reference byte for byte;
+* degraded modes — a full admission queue answers 429, an open circuit
+  breaker answers 503 on writes while warm reads, healthz and metrics
+  stay served, a blown deadline reports 504/``timeout``.
+
+``REPRO_STORE_BACKEND`` (CI chaos leg) narrows the subprocess battery
+to one backend; locally both ``dir`` and ``sharded`` run.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import JobTimeoutError
+from repro.service import ExpansionService, canonical_envelope, make_server
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: The seeded schedule the whole battery runs under.  Seed 0 at a 10-15%
+#: transient rate is verified to stay within the default retry budget.
+FAULT_ENV = {
+    "REPRO_FAULT_SEED": "0",
+    "REPRO_FAULT_RATE": "0.1",
+    "REPRO_FAULT_LATENCY_S": "0.01",
+    "REPRO_FAULT_LATENCY_RATE": "0.1",
+}
+
+RUN_BODY = {"dataset": {"kind": "named", "name": "chaos"}}
+
+
+def chaos_backends():
+    override = os.environ.get("REPRO_STORE_BACKEND")
+    return [override] if override else ["dir", "sharded"]
+
+
+def http(url, body=None, method=None):
+    """(status, bytes, headers) for one exchange; errors not raised."""
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=300) as resp:
+            return resp.status, resp.read(), dict(resp.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), dict(error.headers)
+
+
+def reference_envelope(small_raw):
+    """The fault-free canonical envelope every chaos leg compares to."""
+    service = ExpansionService()
+    service.register_dataset("chaos", small_raw)
+    try:
+        return canonical_envelope(service.run(RUN_BODY))
+    finally:
+        service.close()
+
+
+class TestFaultedEnvelopeIdentity:
+    def test_envelopes_byte_identical_under_faults(
+        self, small_raw, tmp_path, monkeypatch
+    ):
+        reference = reference_envelope(small_raw)
+        monkeypatch.setenv("REPRO_FAULT_SEED", "0")
+        monkeypatch.setenv("REPRO_FAULT_RATE", "0.15")
+        faulted = ExpansionService(store_dir=tmp_path / "faulted")
+        try:
+            faulted.register_dataset("chaos", small_raw)
+            envelope = canonical_envelope(faulted.run(RUN_BODY))
+            store = faulted.stats()["store"]
+            retries = sum(
+                block.get("retries", 0)
+                for block in store.values()
+                if isinstance(block, dict)
+            )
+        finally:
+            faulted.close()
+        assert envelope == reference
+        # The identical bytes were *not* a quiet run: the schedule hit.
+        assert retries > 0
+
+
+def boot_serve(store_dir, backend, fault_env):
+    """Start a ``repro serve`` subprocess; returns (proc, base_url)."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--store-dir", str(store_dir),
+            "--store-backend", backend,
+            "--workers", "1",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": SRC, **fault_env},
+    )
+    banner = proc.stdout.readline()
+    base = banner.strip().rsplit(" ", 1)[-1]
+    if not base.startswith("http://"):
+        proc.kill()
+        proc.wait(timeout=30)
+        raise AssertionError(f"unexpected serve banner: {banner!r}")
+    return proc, base
+
+
+class TestSigkillRecovery:
+    @pytest.mark.parametrize("backend", chaos_backends())
+    def test_recovered_envelope_is_byte_identical(
+        self, backend, small_raw, tmp_path
+    ):
+        reference = reference_envelope(small_raw)
+        store_dir = tmp_path / "store"
+
+        proc, base = boot_serve(store_dir, backend, FAULT_ENV)
+        try:
+            status, _, _ = http(
+                f"{base}/v1/datasets/chaos", body=small_raw.to_dict(),
+                method="PUT",
+            )
+            assert status == 201
+            _, body, _ = http(
+                f"{base}/v1/runs", body={**RUN_BODY, "wait": False}
+            )
+            job = json.loads(body)
+            job_id, fingerprint = job["job_id"], job["fingerprint"]
+            # Catch the job mid-run so the SIGKILL lands on live work.
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                _, job_body, _ = http(f"{base}/v1/jobs/{job_id}")
+                state = json.loads(job_body)["status"]
+                if state != "pending":
+                    break
+                time.sleep(0.005)
+            assert state in ("running", "done")
+        finally:
+            proc.kill()  # SIGKILL: no shutdown hooks, no final journal
+            proc.wait(timeout=30)
+
+        proc, base = boot_serve(store_dir, backend, FAULT_ENV)
+        try:
+            deadline = time.monotonic() + 180
+            while True:
+                status, job_body, _ = http(f"{base}/v1/jobs/{job_id}")
+                assert status == 200, "journal lost the job across SIGKILL"
+                state = json.loads(job_body)["status"]
+                if state == "done":
+                    break
+                assert state in ("pending", "running"), (
+                    f"recovered job reached {state!r}: "
+                    f"{json.loads(job_body).get('error')}"
+                )
+                assert time.monotonic() < deadline, "recovery never finished"
+                time.sleep(0.05)
+            status, result, _ = http(f"{base}/v1/results/{fingerprint}")
+            assert status == 200
+            assert result.decode() == reference
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
+class TestOverloadShedding:
+    def test_full_admission_queue_answers_429(self, small_raw):
+        service = ExpansionService(max_workers=1, max_queue=2)
+        service.register_dataset("chaos", small_raw)
+        release = threading.Event()
+        original = service._build_envelope
+
+        def gated(*args, **kwargs):
+            release.wait(60)
+            return original(*args, **kwargs)
+
+        service._build_envelope = gated
+        server = make_server(service, port=0).start_background()
+        try:
+            # Three distinct fingerprints: same dataset, different outputs.
+            for outputs in (["run"], ["report"]):
+                status, _, _ = http(
+                    f"{server.url}/v1/runs",
+                    body={**RUN_BODY, "outputs": outputs, "wait": False},
+                )
+                assert status == 202
+            status, body, headers = http(
+                f"{server.url}/v1/runs",
+                body={**RUN_BODY, "outputs": ["rebalance"], "wait": False},
+            )
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 1
+            assert "admission queue is full" in json.loads(body)["error"]
+            assert service.jobs_shed == 1
+            # A duplicate of an admitted job still joins it: dedup is
+            # not load, so it is never shed.
+            status, _, _ = http(
+                f"{server.url}/v1/runs",
+                body={**RUN_BODY, "outputs": ["run"], "wait": False},
+            )
+            assert status == 202
+        finally:
+            release.set()
+            server.stop()
+            service.close()
+
+
+class TestBreakerDegradedMode:
+    def test_open_breaker_keeps_warm_reads_and_503s_writes(self, small_raw):
+        service = ExpansionService()
+        service.register_dataset("chaos", small_raw)
+        server = make_server(service, port=0).start_background()
+        try:
+            status, warm, _ = http(f"{server.url}/v1/runs", body=RUN_BODY)
+            assert status == 200
+            fingerprint = json.loads(warm)["fingerprint"]
+
+            service.breaker.trip()
+            status, body, headers = http(
+                f"{server.url}/v1/runs", body=RUN_BODY
+            )
+            assert status == 503
+            assert int(headers["Retry-After"]) >= 1
+            assert "read-only" in json.loads(body)["error"]
+            status, _, _ = http(
+                f"{server.url}/v1/datasets/other",
+                body=small_raw.to_dict(), method="PUT",
+            )
+            assert status == 503
+
+            # Read-only mode still serves everything already warm.
+            status, result, _ = http(f"{server.url}/v1/results/{fingerprint}")
+            assert status == 200
+            assert result == warm
+            status, _, _ = http(f"{server.url}/v1/datasets/chaos")
+            assert status == 200
+            status, health, _ = http(f"{server.url}/v1/healthz")
+            assert status == 200
+            payload = json.loads(health)
+            assert payload["status"] == "degraded"
+            assert payload["breaker"]["state"] == "open"
+            status, scrape, _ = http(f"{server.url}/v1/metrics")
+            assert status == 200
+            assert "repro_circuit_breaker_state 2" in scrape.decode()
+
+            service.breaker.reset()
+            status, _, _ = http(f"{server.url}/v1/runs", body=RUN_BODY)
+            assert status == 200
+            _, health, _ = http(f"{server.url}/v1/healthz")
+            assert json.loads(health)["status"] == "ok"
+        finally:
+            server.stop()
+            service.close()
+
+
+class TestDeadlines:
+    def test_blown_deadline_answers_504_and_timeout_status(self, small_raw):
+        service = ExpansionService()
+        service.register_dataset("chaos", small_raw)
+        server = make_server(service, port=0).start_background()
+        try:
+            status, body, _ = http(
+                f"{server.url}/v1/runs",
+                body={**RUN_BODY, "deadline_s": 1e-9},
+            )
+            assert status == 504
+            payload = json.loads(body)
+            assert payload["status"] == "timeout"
+            assert "deadline" in payload["error"]
+            status, job_body, _ = http(
+                f"{server.url}/v1/jobs/{payload['job_id']}"
+            )
+            assert status == 200
+            assert json.loads(job_body)["status"] == "timeout"
+        finally:
+            server.stop()
+            service.close()
+
+    def test_stale_heartbeat_trips_the_watchdog(self, small_raw):
+        service = ExpansionService(
+            max_workers=1, watchdog_stale_s=0.2, watchdog_interval_s=0.05
+        )
+        service.register_dataset("chaos", small_raw)
+        release = threading.Event()
+        original = service._build_envelope
+
+        def wedged(*args, **kwargs):
+            # A worker stuck *inside* a stage never reaches the next
+            # cancel poll, so only the watchdog can reclaim it.
+            release.wait(30)
+            return original(*args, **kwargs)
+
+        service._build_envelope = wedged
+        try:
+            job = service.submit(RUN_BODY)
+            with pytest.raises(JobTimeoutError, match="stale"):
+                job.wait(timeout=15)
+            assert job.status == "timeout"
+            assert service.watchdog_failures == 1
+            release.set()
+            # First-wins terminal states: the worker finishing late
+            # must not resurrect the timed-out job.
+            time.sleep(0.1)
+            assert job.status == "timeout"
+        finally:
+            release.set()
+            service.close()

@@ -217,6 +217,53 @@ class TestJsonEventLog:
         log = JsonEventLog(Broken())
         log.emit("http", trace_id="abcd1234")  # must not raise
         assert log.lines_written == 0
+        assert log.lines_dropped == 1
+
+    def test_trips_after_consecutive_failures(self):
+        writes = []
+
+        class Broken:
+            def write(self, text):
+                writes.append(text)
+                raise OSError("disk full")
+
+            def flush(self):  # pragma: no cover - write raises first
+                pass
+
+        log = JsonEventLog(Broken())
+        for _ in range(JsonEventLog.TRIP_AFTER + 5):
+            log.emit("http", trace_id="abcd1234")
+        assert log.tripped is True
+        # Past the trip, emits return before touching the stream.
+        assert len(writes) == JsonEventLog.TRIP_AFTER
+        assert log.lines_dropped == JsonEventLog.TRIP_AFTER + 5
+        assert log.lines_written == 0
+
+    def test_success_resets_failure_streak(self):
+        class Flaky:
+            def __init__(self):
+                self.fail = True
+                self.lines = []
+
+            def write(self, text):
+                if self.fail:
+                    raise OSError("disk full")
+                self.lines.append(text)
+
+            def flush(self):
+                pass
+
+        sink = Flaky()
+        log = JsonEventLog(sink)
+        for _ in range(JsonEventLog.TRIP_AFTER - 1):
+            log.emit("http", trace_id="abcd1234")
+        sink.fail = False  # the disk comes back one write before the trip
+        log.emit("http", trace_id="abcd1234")
+        sink.fail = True
+        log.emit("http", trace_id="abcd1234")
+        assert log.tripped is False  # streak restarted after the success
+        assert log.lines_written == 1
+        assert log.lines_dropped == JsonEventLog.TRIP_AFTER
 
 
 class TestServiceMetricsBridge:

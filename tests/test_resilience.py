@@ -1,0 +1,311 @@
+"""repro.resilience: retry/backoff, fault injection, breaker, watchdog.
+
+The property tests here pin the *bounds* of the resilience layer — the
+numbers docs/RESILIENCE.md promises — rather than exact schedules:
+total backoff sleep never exceeds ``max_total_delay_s()``, every
+full-jitter draw stays inside its window, and store-layer verdicts
+(:class:`StoreQuotaError`, :class:`StoreKeyError`) are never retried.
+"""
+
+import errno
+import random
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import StoreKeyError, StoreQuotaError
+from repro.resilience import (
+    BREAKER_STATES,
+    CircuitBreaker,
+    DEFAULT_RETRY_POLICY,
+    FaultConfig,
+    FaultInjectingBackend,
+    RetryPolicy,
+    Watchdog,
+    is_transient,
+)
+from repro.store import MemoryBackend, Namespace
+
+
+def policy(seed, **kwargs):
+    """A non-sleeping policy that records its sleeps."""
+    sleeps = []
+    defaults = dict(
+        max_attempts=6,
+        base_delay_s=0.025,
+        max_delay_s=0.5,
+        sleep=sleeps.append,
+        rng=random.Random(seed),
+    )
+    defaults.update(kwargs)
+    return RetryPolicy(**defaults), sleeps
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "code",
+        [errno.EIO, errno.EINTR, errno.EAGAIN, errno.EBUSY, errno.ETIMEDOUT],
+    )
+    def test_transient_errnos(self, code):
+        assert is_transient(OSError(code, "flap")) is True
+
+    @pytest.mark.parametrize(
+        "code", [errno.ENOSPC, errno.EROFS, errno.EACCES, errno.ENOENT]
+    )
+    def test_permanent_errnos(self, code):
+        assert is_transient(OSError(code, "state")) is False
+
+    def test_store_verdicts_never_transient(self):
+        # StoreQuotaError/StoreKeyError are decisions, not faults —
+        # even though StoreError subclasses OSError-free hierarchies.
+        assert is_transient(StoreQuotaError("over quota")) is False
+        assert is_transient(StoreKeyError("bad key")) is False
+        assert is_transient(ValueError("nope")) is False
+
+
+class TestBackoffProperties:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_total_sleep_bounded(self, seed):
+        pol, sleeps = policy(seed)
+        with pytest.raises(OSError):
+            pol.call(lambda: (_ for _ in ()).throw(OSError(errno.EIO, "x")))
+        assert len(sleeps) == pol.max_attempts - 1
+        assert sum(sleeps) <= pol.max_total_delay_s() + 1e-12
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_full_jitter_within_window(self, seed):
+        pol, sleeps = policy(seed)
+        with pytest.raises(OSError):
+            pol.call(lambda: (_ for _ in ()).throw(OSError(errno.EIO, "x")))
+        for index, delay in enumerate(sleeps):
+            assert 0.0 <= delay <= pol.delay_cap_s(index)
+
+    def test_delay_caps_double_then_saturate(self):
+        pol, _ = policy(0)
+        caps = [pol.delay_cap_s(i) for i in range(pol.max_attempts - 1)]
+        assert caps == [0.025, 0.05, 0.1, 0.2, 0.4]
+        assert pol.delay_cap_s(10) == pol.max_delay_s
+        assert pol.max_total_delay_s() == pytest.approx(0.775)
+
+    def test_default_policy_budget(self):
+        # The number RESILIENCE.md quotes: worst-case added latency.
+        assert DEFAULT_RETRY_POLICY.max_attempts == 6
+        assert DEFAULT_RETRY_POLICY.max_total_delay_s() == pytest.approx(0.775)
+
+    def test_no_retry_on_store_verdicts(self):
+        for error in (StoreQuotaError("over"), StoreKeyError("bad")):
+            pol, sleeps = policy(1)
+            calls = []
+
+            def fn():
+                calls.append(1)
+                raise error
+
+            with pytest.raises(type(error)):
+                pol.call(fn)
+            assert len(calls) == 1  # first and only attempt
+            assert sleeps == []
+
+    def test_transient_recovers_midway(self):
+        pol, sleeps = policy(2)
+        attempts = []
+
+        def fn():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError(errno.EIO, "flap")
+            return "ok"
+
+        retries = []
+        assert pol.call(fn, on_retry=lambda e, i: retries.append(i)) == "ok"
+        assert len(attempts) == 3
+        assert retries == [0, 1]
+        assert len(sleeps) == 2
+
+    def test_single_attempt_policy_never_sleeps(self):
+        pol, sleeps = policy(3, max_attempts=1)
+        with pytest.raises(OSError):
+            pol.call(lambda: (_ for _ in ()).throw(OSError(errno.EIO, "x")))
+        assert sleeps == []
+
+
+class TestFaultInjection:
+    def test_schedule_is_deterministic(self):
+        def faults_for(seed):
+            backend = FaultInjectingBackend(
+                MemoryBackend(), FaultConfig(seed=seed, failure_rate=0.3)
+            )
+            outcomes = []
+            for n in range(50):
+                try:
+                    backend.put(f"k{n % 5}.bin", b"v")
+                    outcomes.append("ok")
+                except OSError:
+                    outcomes.append("fault")
+            return outcomes
+
+        assert faults_for(7) == faults_for(7)
+        assert faults_for(7) != faults_for(8)
+
+    def test_retry_is_a_new_draw(self):
+        # failure_rate < 1 means a retried op eventually converges:
+        # each call of the same (op, key) advances the call counter.
+        backend = FaultInjectingBackend(
+            MemoryBackend(), FaultConfig(seed=0, failure_rate=0.9)
+        )
+        for _ in range(200):
+            try:
+                backend.put("k.bin", b"v")
+                break
+            except OSError:
+                continue
+        else:
+            pytest.fail("a 0.9 fault rate never converged in 200 draws")
+        assert backend.inner.get("k.bin") == b"v"
+
+    def test_enospc_is_not_transient(self):
+        backend = FaultInjectingBackend(
+            MemoryBackend(), FaultConfig(seed=0, enospc_rate=1.0)
+        )
+        with pytest.raises(OSError) as excinfo:
+            backend.put("k.bin", b"v")
+        assert excinfo.value.errno == errno.ENOSPC
+        assert is_transient(excinfo.value) is False
+
+    def test_bookkeeping_ops_pass_through(self):
+        backend = FaultInjectingBackend(
+            MemoryBackend(), FaultConfig(seed=0, failure_rate=1.0)
+        )
+        backend.inner.put("k.bin", b"v")
+        assert sorted(backend.list()) == ["k.bin"]
+        assert backend.stat("k.bin").size == 1
+        backend.touch("k.bin")
+        assert backend.delete("k.bin") is True
+
+    def test_from_env_inactive_without_variables(self):
+        assert FaultConfig.from_env({}) is None
+        config = FaultConfig.from_env({"REPRO_FAULT_RATE": "0.25"})
+        assert config.failure_rate == 0.25
+        assert config.active is True
+        assert FaultConfig(seed=3).active is False
+
+    def test_namespace_retries_through_faults(self):
+        # The full seam: Namespace + retry policy over a faulted
+        # backend — every roundtrip succeeds, retries are counted.
+        backend = FaultInjectingBackend(
+            MemoryBackend(), FaultConfig(seed=0, failure_rate=0.15)
+        )
+        pol = RetryPolicy(sleep=lambda _s: None, rng=random.Random(0))
+        namespace = Namespace(backend, suffix=".bin", retry=pol)
+        for n in range(200):
+            key = f"{n:040x}"
+            namespace.put(key, b"payload-%d" % n)
+            assert namespace.get(key) == b"payload-%d" % n
+        assert namespace.retries > 0
+        assert namespace.stats()["retries"] == namespace.retries
+
+    def test_namespace_never_retries_quota_verdicts(self):
+        namespace = Namespace(
+            MemoryBackend(), suffix=".bin", max_entry_bytes=4,
+            reject_oversize=True,
+        )
+        calls = []
+        original = namespace.backend.put
+
+        def counting_put(key, data):
+            calls.append(key)
+            return original(key, data)
+
+        namespace.backend.put = counting_put
+        with pytest.raises(StoreQuotaError):
+            namespace.put("a" * 40, b"way past the entry byte bound")
+        assert calls == []  # rejected before any backend attempt
+
+
+class TestCircuitBreaker:
+    def test_state_machine(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_timeout_s=10.0, clock=lambda: clock[0]
+        )
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # below threshold
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # success reset the streak
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.allow() is False
+        assert breaker.retry_after_s() == pytest.approx(10.0)
+        clock[0] = 10.5
+        assert breaker.allow() is True  # this caller is the probe
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=5.0, clock=lambda: clock[0]
+        )
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock[0] = 6.0
+        assert breaker.allow() is True
+        breaker.record_failure()  # probe failed
+        assert breaker.state == "open"
+        assert breaker.snapshot()["trips"] == 2
+        clock[0] = 6.5
+        assert breaker.allow() is False  # timeout restarted
+
+    def test_manual_trip_and_reset(self):
+        breaker = CircuitBreaker()
+        breaker.trip()
+        assert breaker.state == "open"
+        assert breaker.allow() is False
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.allow() is True
+
+    def test_snapshot_states_cover_gauge_encoding(self):
+        assert BREAKER_STATES == ("closed", "half_open", "open")
+        breaker = CircuitBreaker()
+        assert breaker.snapshot()["state"] in BREAKER_STATES
+
+
+class TestWatchdog:
+    def test_scans_periodically_and_stops(self):
+        scans = threading.Event()
+        counter = []
+
+        def scan():
+            counter.append(1)
+            scans.set()
+
+        watchdog = Watchdog(scan, interval_s=0.01).start()
+        assert scans.wait(2.0)
+        assert watchdog.running is True
+        watchdog.stop()
+        assert watchdog.running is False
+        settled = len(counter)
+        time.sleep(0.05)
+        assert len(counter) == settled  # no scans after stop
+
+    def test_scan_exceptions_are_contained(self):
+        def scan():
+            raise RuntimeError("bad scan")
+
+        watchdog = Watchdog(scan, interval_s=0.01).start()
+        deadline = time.monotonic() + 2.0
+        while watchdog.scan_errors < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        watchdog.stop()
+        assert watchdog.scan_errors >= 2  # survived its own failures
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            Watchdog(lambda: None, interval_s=0.0)

@@ -423,7 +423,7 @@ class TestCancellation:
         status, _ = request(server, "/v1/jobs/job-424242", method="DELETE")
         assert status == 404
 
-    def test_cancel_finished_job_reports_done(self, server):
+    def test_cancel_finished_job_conflicts_409(self, server):
         status, body = request(server, "/v1/runs", {**RUN_BODY, "wait": False})
         job_id = json.loads(body)["job_id"]
         for _ in range(600):
@@ -433,10 +433,10 @@ class TestCancellation:
             threading.Event().wait(0.05)
         assert json.loads(body)["status"] == "done"
         status, body = request(server, f"/v1/jobs/{job_id}", method="DELETE")
-        assert status == 200
+        assert status == 409
         payload = json.loads(body)
         assert payload["status"] == "done"
-        assert payload["note"] == "job already finished"
+        assert "already finished" in payload["note"]
 
     def test_cancel_pending_job_reports_cancelled(self, small_raw, tmp_path):
         """A single-worker server with a busy lane cancels the queued job."""
