@@ -198,8 +198,13 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--results-dir", type=Path, default=None,
                        help="deprecated alias: results directory only "
                             "(use --store-dir)")
-    serve.add_argument("--workers", type=int, default=2,
-                       help="concurrently executing jobs")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="pre-fork this many serving processes sharing "
+                            "one port (SO_REUSEPORT when available); more "
+                            "than 1 requires --store-dir, the shared "
+                            "journal that makes the fleet one service")
+    serve.add_argument("--job-workers", type=int, default=2,
+                       help="concurrently executing jobs per process")
     serve.add_argument("--jobs", type=int, default=1,
                        help="worker budget inside each pipeline run")
     serve.add_argument("--executor", choices=("thread", "process"),
@@ -654,38 +659,79 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .obs import JsonEventLog
     from .service.datasets import DEFAULT_MAX_DATASET_BYTES
 
+    def build_service(
+        event_log: "JsonEventLog | None", worker: int, resume_jobs: bool
+    ) -> ExpansionService:
+        return ExpansionService(
+            store_dir=args.store_dir,
+            store_backend=args.store_backend,
+            cache_dir=args.cache_dir,
+            cache_bytes=args.cache_bytes,
+            cache_entries=args.cache_entries,
+            results_dir=args.results_dir,
+            max_workers=args.job_workers,
+            pipeline_jobs=args.jobs,
+            pipeline_executor=args.executor,
+            retain_jobs=args.retain_jobs,
+            datasets_dir=args.datasets_dir,
+            max_dataset_bytes=(
+                args.max_dataset_bytes
+                if args.max_dataset_bytes is not None
+                else DEFAULT_MAX_DATASET_BYTES
+            ),
+            max_datasets_bytes=args.max_datasets_bytes,
+            max_datasets=args.max_datasets,
+            resume_jobs=resume_jobs,
+            metrics=not args.no_metrics,
+            healthz_ttl=args.healthz_ttl,
+            event_log=event_log,
+            max_queue=args.queue_size,
+            watchdog_stale_s=args.watchdog_stale,
+            worker=worker,
+        )
+
+    if args.workers > 1:
+        if args.store_dir is None:
+            print(
+                "error: --workers > 1 requires --store-dir (the shared "
+                "journal is what makes the worker fleet one service)",
+                file=sys.stderr,
+            )
+            return 2
+        from .service.prefork import serve_prefork
+
+        def factory(index: int):
+            # Built inside the forked child: thread pools, metrics
+            # registries and log handles must never cross a fork.
+            event_log = (
+                JsonEventLog(args.access_log)
+                if args.access_log is not None
+                else None
+            )
+            # Worker 0 is the sole claimant of a previous fleet's
+            # journalled backlog — N resuming workers would re-run it
+            # N times.
+            service = build_service(event_log, index, resume_jobs=index == 0)
+            return service, event_log
+
+        return serve_prefork(
+            factory,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            announce=lambda url: print(
+                f"repro service listening on {url}", flush=True
+            ),
+        )
+
     event_log = (
         JsonEventLog(args.access_log) if args.access_log is not None else None
     )
-    service = ExpansionService(
-        store_dir=args.store_dir,
-        store_backend=args.store_backend,
-        cache_dir=args.cache_dir,
-        cache_bytes=args.cache_bytes,
-        cache_entries=args.cache_entries,
-        results_dir=args.results_dir,
-        max_workers=args.workers,
-        pipeline_jobs=args.jobs,
-        pipeline_executor=args.executor,
-        retain_jobs=args.retain_jobs,
-        datasets_dir=args.datasets_dir,
-        max_dataset_bytes=(
-            args.max_dataset_bytes
-            if args.max_dataset_bytes is not None
-            else DEFAULT_MAX_DATASET_BYTES
-        ),
-        max_datasets_bytes=args.max_datasets_bytes,
-        max_datasets=args.max_datasets,
-        metrics=not args.no_metrics,
-        healthz_ttl=args.healthz_ttl,
-        event_log=event_log,
-        max_queue=args.queue_size,
-        watchdog_stale_s=args.watchdog_stale,
-    )
+    service = build_service(event_log, 0, resume_jobs=True)
     server = make_server(
         service, host=args.host, port=args.port, access_log=event_log
     )
-    print(f"repro service listening on {server.url}")
+    print(f"repro service listening on {server.url}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

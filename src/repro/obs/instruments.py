@@ -131,6 +131,58 @@ class ServiceMetrics:
 
         self.registry.register_callback(collect)
 
+    def bind_worker(self, worker: int) -> None:
+        """Expose this process's pre-fork worker index.
+
+        One constant-1 gauge with a ``worker`` label — the idiom that
+        lets an aggregator count live workers behind one
+        ``SO_REUSEPORT`` port and tells their scrapes apart.
+        """
+
+        def collect() -> Iterator[Sample]:
+            yield Sample(
+                "repro_service_worker",
+                "gauge",
+                "Constant 1, labelled by pre-fork worker index.",
+                (("worker", str(worker)),),
+                1,
+            )
+
+        self.registry.register_callback(collect)
+
+    def bind_bytes_cache(self, stats: Any) -> None:
+        """Expose the results byte cache's live counters at scrape time.
+
+        ``stats`` is :meth:`repro.service.bytescache.BytesLRU.stats` —
+        the same dict ``/v1/healthz`` embeds.  The hit/miss counters
+        are the load-test regression gate for "zero JSON parses after
+        warm-up": a warm request that misses the byte tier re-parses.
+        """
+
+        def collect() -> Iterator[Sample]:
+            doc = stats()
+            for key, kind, help_text in (
+                ("hits", "counter", "Warm requests served as cached bytes."),
+                ("misses", "counter",
+                 "Requests that re-rendered their payload."),
+                ("stores", "counter", "Rendered payloads cached."),
+                ("evictions", "counter", "Payloads evicted by budget."),
+                ("invalidations", "counter",
+                 "Payloads dropped because their entry changed."),
+                ("entries", "gauge", "Rendered payloads currently cached."),
+                ("bytes", "gauge", "Payload bytes currently cached."),
+            ):
+                suffix = f"{key}_total" if kind == "counter" else key
+                yield Sample(
+                    f"repro_results_bytes_cache_{suffix}",
+                    kind,
+                    help_text,
+                    (),
+                    doc[key],
+                )
+
+        self.registry.register_callback(collect)
+
     def bind_breaker(self, snapshot: Any) -> None:
         """Expose a circuit breaker's state at scrape time.
 

@@ -34,9 +34,11 @@ under ``ExpansionService(store_dir=...)`` / ``repro serve
 --store-dir``.
 """
 
+from .bytescache import BytesLRU, CachedBytes
 from .datasets import DatasetStore
 from .http import ROUTES, ServiceHTTPServer, make_server
 from .jobs import CANCELLED, DONE, FAILED, PENDING, RUNNING, Job, JobStore
+from .prefork import serve_prefork
 from .service import ExpansionService, canonical_envelope
 from .spec import (
     ALL_OUTPUTS,
@@ -51,7 +53,9 @@ from .store import ResultsStore
 
 __all__ = [
     "ALL_OUTPUTS",
+    "BytesLRU",
     "CANCELLED",
+    "CachedBytes",
     "DONE",
     "DatasetRef",
     "DatasetStore",
@@ -71,4 +75,5 @@ __all__ = [
     "ServiceHTTPServer",
     "canonical_envelope",
     "make_server",
+    "serve_prefork",
 ]

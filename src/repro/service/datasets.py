@@ -50,7 +50,9 @@ from ..data.csvio import (
 )
 from ..exceptions import DatasetTooLargeError, ServiceError, StoreQuotaError
 from ..pipeline.fingerprint import dataset_digest
+from ..serialize import canonical_json
 from ..store import NAME_KEY, DirBackend, MemoryBackend, Namespace
+from .bytescache import BytesLRU, CachedBytes
 
 #: Dataset names become path components; the storage layer's canonical
 #: name-key pattern keeps them boring.
@@ -64,6 +66,11 @@ DEFAULT_MAX_DATASET_BYTES = 64 << 20
 #: recency anchor and only the CSV pair counts against byte quotas.
 _PARTS = ("locations.csv", "rentals.csv", "meta.json")
 _ACCOUNTED = ("locations.csv", "rentals.csv")
+
+#: The metadata byte cache is tiny by construction (one ~300 B document
+#: per dataset); the budgets only bound a pathological store.
+_META_CACHE_BYTES = 1 << 20
+_META_CACHE_ENTRIES = 1024
 
 
 def check_dataset_name(name: str) -> str:
@@ -141,6 +148,13 @@ class DatasetStore:
                 max_datasets=max_datasets,
             )
         self.namespace = namespace
+        #: Rendered ``GET /v1/datasets/<name>`` bodies (the canonical
+        #: JSON of each metadata document) keyed by name, carrying the
+        #: content digest as ETag — invalidated on every put/delete so a
+        #: re-push moves the ETag atomically with the bytes.
+        self._meta_bytes = BytesLRU(
+            max_bytes=_META_CACHE_BYTES, max_entries=_META_CACHE_ENTRIES
+        )
 
     # ------------------------------------------------------------------
     # Cap attributes (forwarded so callers can retune a live store)
@@ -225,6 +239,7 @@ class DatasetStore:
                 )
             except StoreQuotaError as error:
                 raise DatasetTooLargeError(str(error)) from error
+            self._meta_bytes.invalidate(name)
         return dict(meta)
 
     def get(self, name: str) -> MobyDataset | None:
@@ -269,6 +284,7 @@ class DatasetStore:
         if not isinstance(name, str) or not _NAME_RE.match(name):
             return False
         with self.namespace.lock(name):
+            self._meta_bytes.invalidate(name)
             return self.namespace.delete(name)
 
     # ------------------------------------------------------------------
@@ -297,6 +313,33 @@ class DatasetStore:
     def meta(self, name: str) -> dict[str, Any] | None:
         """The metadata document of ``name`` (a copy), or ``None``."""
         return self._meta(name)
+
+    def meta_bytes(self, name: str) -> CachedBytes | None:
+        """The rendered ``GET /v1/datasets/<name>`` body, or ``None``.
+
+        Cached canonical-JSON bytes with the validators the HTTP layer
+        serves: ETag is the dataset's content digest (a re-push moves
+        it), ``Last-Modified`` is the upload's ``created_at`` stamp.
+        Warm names never re-read or re-parse the stored metadata.
+        """
+        entry = self._meta_bytes.get(name, "meta")
+        if entry is not None:
+            self.namespace.count_front_hit()
+            return entry
+        # Refill under the name lock: a concurrent re-push invalidates
+        # inside the same lock, so a stale read can never be pinned into
+        # the cache after the overwrite's invalidation ran.
+        with self.namespace.lock(name):
+            meta = self._meta(name)
+            if meta is None:
+                return None
+            return self._meta_bytes.put(
+                name,
+                "meta",
+                canonical_json(meta).encode("utf-8"),
+                etag=str(meta.get("digest", "")),
+                last_modified=float(meta.get("created_at") or time.time()),
+            )
 
     def list(self) -> list[dict[str, Any]]:
         """Metadata documents of every stored dataset, name order."""

@@ -21,6 +21,18 @@ paper scale — through three progressively narrower views:
 * ``/v1/results/<fp>/slices``: the per-slice community assignment as
   NDJSON, written chunk by chunk — the serialised whole never exists
   on either side of the socket.
+
+The warm read path serves *pre-rendered bytes*: results and dataset
+metadata come out of the service's byte caches
+(:mod:`repro.service.bytescache`) with strong validators — ``ETag``
+(the fingerprint / content digest) and ``Last-Modified`` — so a warm
+``GET`` writes cached bytes straight to the socket without touching
+storage or JSON, a conditional ``GET`` (``If-None-Match`` /
+``If-Modified-Since``) collapses to an empty 304, and ``HEAD`` answers
+with exactly a ``GET``'s headers.  Every response carries
+``Content-Length`` (the streaming NDJSON route excepted — it declares
+``Transfer-Encoding: chunked`` instead), so HTTP/1.1 keep-alive holds
+across every route and error path.
 """
 
 from __future__ import annotations
@@ -29,6 +41,7 @@ import itertools
 import json
 import threading
 import time
+from email.utils import formatdate, parsedate_to_datetime
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Iterable, Iterator
 from urllib.parse import parse_qs
@@ -49,6 +62,7 @@ from ..serialize import (
     paginate,
     resolve_section,
 )
+from .bytescache import CachedBytes
 from .jobs import Job
 from .spec import OUTPUT_RUN, OUTPUT_SWEEP, ScenarioSpec
 from .service import ExpansionService
@@ -89,8 +103,11 @@ def route_template(method: str, path: str) -> str:
 
     Metrics and access logs label by *template* (``/v1/jobs/<id>``),
     never by raw path — per-id label values would grow the label set
-    without bound.  Unmatched requests share one bucket.
+    without bound.  Unmatched requests share one bucket.  ``HEAD``
+    matches its ``GET`` route: same handler, same resource, no body.
     """
+    if method == "HEAD":
+        method = "GET"
     path = path.split("?", 1)[0].rstrip("/") or "/"
     segments = path.split("/")
     for route_method, template in ROUTES:
@@ -214,8 +231,23 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int],
         service: ExpansionService,
         access_log: JsonEventLog | None = None,
+        *,
+        sock=None,
     ):
-        super().__init__(address, _Handler)
+        if sock is not None:
+            # Adopt an externally prepared socket (the pre-fork path:
+            # each worker binds its own SO_REUSEPORT socket, or inherits
+            # the parent's accept socket).  Listening on an
+            # already-listening socket just refreshes the backlog.
+            super().__init__(address, _Handler, bind_and_activate=False)
+            self.socket.close()
+            self.socket = sock
+            self.server_address = sock.getsockname()[:2]
+            # server_bind() never ran; fill in what it would have set.
+            self.server_name, self.server_port = self.server_address
+            self.server_activate()
+        else:
+            super().__init__(address, _Handler)
         self.service = service
         #: Structured request log (``repro serve --access-log``); the
         #: opener owns closing it — the server only writes lines.
@@ -253,6 +285,15 @@ class _Handler(BaseHTTPRequestHandler):
     server: ServiceHTTPServer
     protocol_version = "HTTP/1.1"
 
+    # TCP_NODELAY: headers and a small body leave as separate writes;
+    # with Nagle on, the body write stalls ~40ms behind the peer's
+    # delayed ACK — which would dwarf a warm byte-cache response.
+    disable_nagle_algorithm = True
+
+    #: Suppress the response body (``HEAD``); headers — including the
+    #: exact ``Content-Length`` the ``GET`` would carry — still go out.
+    _head_only = False
+
     # Quiet by default: the CLI prints one line per request instead of
     # BaseHTTPRequestHandler's stderr chatter.
     def log_message(self, format: str, *args: Any) -> None:
@@ -284,9 +325,28 @@ class _Handler(BaseHTTPRequestHandler):
         claimed = (self.headers.get(TRACE_HEADER) or "").strip().lower()
         self.trace_id = claimed if is_trace_id(claimed) else new_trace_id()
         self._status = 0
+        self._head_only = method == "HEAD"
         start = time.perf_counter()
         try:
             dispatch()
+        except ConnectionError:
+            # The client went away mid-exchange; there is no socket
+            # left to answer on.
+            self.close_connection = True
+        except Exception as error:  # the framing backstop
+            # No handler error may leave a keep-alive client waiting on
+            # a response that never comes: answer 500 with an exact
+            # Content-Length if headers have not gone out, and drop the
+            # connection either way (request state is unknown).
+            self.close_connection = True
+            if self._status == 0:
+                try:
+                    self._send_error(
+                        500,
+                        f"internal error: {type(error).__name__}: {error}",
+                    )
+                except OSError:
+                    pass
         finally:
             elapsed = time.perf_counter() - start
             route = route_template(method, self.path)
@@ -311,6 +371,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:
         self._handle("GET", self._route_get)
+
+    def do_HEAD(self) -> None:
+        # HEAD runs the GET handlers end to end — same status, same
+        # headers (Content-Length included) — with the body suppressed
+        # at the send seam, so the two can never disagree.
+        self._handle("HEAD", self._route_get)
 
     def do_POST(self) -> None:
         self._handle("POST", self._route_post)
@@ -553,74 +619,90 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             if fields is not None and section is not None:
                 raise ValueError("fields and section are mutually exclusive")
-            text = self.service.results.raw(fingerprint)
+            if section is not None:
+                self._get_section(fingerprint, section, params)
+                return
+            if fields == "headline":
+                entry = self.service.results.view_entry(
+                    fingerprint,
+                    "headline",
+                    lambda envelope: canonical_json(
+                        _headline_view(envelope)
+                    ).encode("utf-8"),
+                )
+            else:
+                entry = self.service.results.raw_entry(fingerprint)
         except ValueError as error:
             self._send_error(400, str(error))
             return
-        if text is None:
+        if entry is None:
             self._send_error(404, f"no result stored for {fingerprint}")
             return
-        if fields == "headline":
-            self._send_text(
-                200, canonical_json(_headline_view(json.loads(text)))
-            )
-        elif section is not None:
-            self._get_section(fingerprint, json.loads(text), section, params)
-        else:
-            self._send_text(200, text)
+        self._serve_entry(entry)
 
     def _get_section(
-        self, fingerprint: str, envelope: dict, section: str, params: dict
+        self, fingerprint: str, section: str, params: dict
     ) -> None:
         try:
+            page_param = self._single_param(params, "page")
+            page_size_param = self._single_param(params, "page_size")
+            page = int(page_param) if page_param is not None else None
+            if page is None and page_size_param is not None:
+                raise ValueError("page_size without page")
+            page_size = (
+                int(page_size_param)
+                if page_size_param is not None
+                else DEFAULT_PAGE_SIZE
+            )
+        except ValueError as error:
+            self._send_error(400, str(error))
+            return
+
+        def build(envelope: dict) -> bytes:
+            # Runs only on a cold (fingerprint, section, page) view;
+            # warm pages are served as cached bytes without a parse.
             value = resolve_section(envelope, section)
+            document: dict[str, Any] = {
+                "type": "ResultSection",
+                "fingerprint": fingerprint,
+                "section": section,
+            }
+            if page is not None:
+                document.update(paginate(value, page=page, page_size=page_size))
+            else:
+                document["value"] = value
+            return canonical_json(document).encode("utf-8")
+
+        try:
+            entry = self.service.results.view_entry(
+                fingerprint, ("section", section, page, page_size), build
+            )
         except KeyError as error:
             self._send_error(404, str(error.args[0]))
             return
-        document: dict[str, Any] = {
-            "type": "ResultSection",
-            "fingerprint": fingerprint,
-            "section": section,
-        }
-        try:
-            page = self._single_param(params, "page")
-            page_size = self._single_param(params, "page_size")
-            if page is not None:
-                document.update(
-                    paginate(
-                        value,
-                        page=int(page),
-                        page_size=(
-                            int(page_size)
-                            if page_size is not None
-                            else DEFAULT_PAGE_SIZE
-                        ),
-                    )
-                )
-            elif page_size is not None:
-                raise ValueError("page_size without page")
-            else:
-                document["value"] = value
         except ValueError as error:
             self._send_error(400, str(error))
             return
-        self._send_text(200, canonical_json(document))
+        if entry is None:
+            self._send_error(404, f"no result stored for {fingerprint}")
+            return
+        self._serve_entry(entry)
 
     def _stream_slices(self, fingerprint: str, query: str) -> None:
         params = parse_qs(query)
         try:
             output = self._single_param(params, "output") or "run"
             block = self._single_param(params, "block") or "day"
-            text = self.service.results.raw(fingerprint)
+            entry = self.service.results.raw_entry(fingerprint)
         except ValueError as error:
             self._send_error(400, str(error))
             return
-        if text is None:
+        if entry is None:
             self._send_error(404, f"no result stored for {fingerprint}")
             return
         try:
             lines = _slice_stream_lines(
-                json.loads(text), fingerprint, output, block
+                json.loads(entry.payload), fingerprint, output, block
             )
             first = next(lines)  # resolve errors before any bytes go out
         except KeyError as error:
@@ -633,11 +715,11 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def _get_dataset(self, name: str) -> None:
-        meta = self.service.datasets.meta(name)
-        if meta is None:
+        entry = self.service.datasets.meta_bytes(name)
+        if entry is None:
             self._send_error(404, f"no dataset named {name!r}")
         else:
-            self._send_json(200, meta)
+            self._serve_entry(entry)
 
     def _put_dataset(self, name: str) -> None:
         try:
@@ -690,6 +772,35 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return payload
 
+    def _send_bytes(
+        self,
+        status: int,
+        data: bytes,
+        content_type: str | None = "application/json",
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        """The one seam every non-streaming response goes through.
+
+        Guarantees the keep-alive invariants: an exact
+        ``Content-Length`` on every response, an explicit
+        ``Connection: close`` whenever the handler decided to drop the
+        connection (so clients stop waiting instead of timing out on a
+        dead socket), and body suppression for ``HEAD`` *after* the
+        headers are computed — a ``HEAD`` carries exactly the headers
+        of its ``GET``.
+        """
+        self.send_response(status)
+        if content_type is not None:
+            self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        if data and not self._head_only:
+            self.wfile.write(data)
+
     def _send_text(
         self,
         status: int,
@@ -697,14 +808,54 @@ class _Handler(BaseHTTPRequestHandler):
         content_type: str = "application/json",
         headers: dict[str, str] | None = None,
     ) -> None:
-        data = text.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(data)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(data)
+        self._send_bytes(
+            status, text.encode("utf-8"), content_type, headers
+        )
+
+    def _not_modified(self, entry: CachedBytes) -> bool:
+        """Whether the request's validators match ``entry``.
+
+        ``If-None-Match`` wins over ``If-Modified-Since`` when both are
+        present (RFC 9110 §13.1.3).  Comparison is the weak one: a
+        ``W/`` prefix on a client tag is stripped, because the cached
+        tags are strong and a weak match suffices for 304.
+        """
+        inm = self.headers.get("If-None-Match")
+        if inm is not None:
+            for candidate in inm.split(","):
+                tag = candidate.strip()
+                if tag == "*":
+                    return True
+                if tag.startswith("W/"):
+                    tag = tag[2:]
+                if tag.strip('"') == entry.etag:
+                    return True
+            return False
+        ims = self.headers.get("If-Modified-Since")
+        if ims is not None:
+            try:
+                since = parsedate_to_datetime(ims).timestamp()
+            except (TypeError, ValueError, OverflowError):
+                return False
+            # Last-Modified is served at whole-second resolution, so
+            # compare the truncated stamp against the parsed header.
+            return int(entry.last_modified) <= since
+        return False
+
+    def _serve_entry(
+        self,
+        entry: CachedBytes,
+        content_type: str = "application/json",
+    ) -> None:
+        """Serve cached bytes with validators, honouring conditionals."""
+        validators = {
+            "ETag": f'"{entry.etag}"',
+            "Last-Modified": formatdate(entry.last_modified, usegmt=True),
+        }
+        if self._not_modified(entry):
+            self._send_bytes(304, b"", None, validators)
+        else:
+            self._send_bytes(200, entry.payload, content_type, validators)
 
     def _send_chunked(
         self,
@@ -720,7 +871,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", content_type)
         self.send_header("Transfer-Encoding", "chunked")
+        if self.close_connection:
+            self.send_header("Connection", "close")
         self.end_headers()
+        if self._head_only:
+            return
         for line in itertools.chain(head, rest):
             data = line.encode("utf-8")
             self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))

@@ -307,6 +307,27 @@ class JobStore:
         """Drop one journalled document (retention pruning)."""
         return self.namespace.delete(job_id)
 
+    def get(self, job_id: str) -> Job | None:
+        """Load one journalled job by id, or ``None``.
+
+        The cross-worker lookup path: a pre-fork sibling that never saw
+        ``job_id`` submitted reads the owning worker's last journalled
+        snapshot straight from the shared namespace.  Garbled or
+        foreign documents read as absent, mirroring :meth:`load`.
+        """
+        if not _JOB_ID.match(job_id):
+            return None
+        data = self.namespace.get(job_id)
+        if data is None:
+            return None
+        try:
+            payload = json.loads(data.decode("utf-8"))
+            if not isinstance(payload, dict) or payload.get("type") != "Job":
+                return None
+            return Job.from_document(payload)
+        except (ServiceError, KeyError, TypeError, ValueError):
+            return None
+
     def load(self) -> Iterator[Job]:
         """Restore every journalled job, oldest id first.
 

@@ -1,0 +1,197 @@
+"""Pre-fork multi-worker serving: ``repro serve --workers N``.
+
+One parent process reserves the port and forks ``N`` workers; every
+worker runs the full single-process stack — its own
+:class:`~repro.service.service.ExpansionService` (byte cache, worker
+pool, metrics registry) over the **shared** ``--store-dir``, its own
+:class:`~repro.service.http.ServiceHTTPServer` accept loop — so the
+GIL bounds one worker, not the fleet.
+
+Socket strategy, in preference order:
+
+* ``SO_REUSEPORT`` (Linux/BSD): the parent *binds but never listens*
+  (holding the port reservation — it can receive nothing), and each
+  worker binds its own listening socket to the same address; the
+  kernel load-balances accepted connections across workers without a
+  shared accept lock.
+* Fallback: the parent binds **and listens**, and every forked worker
+  serves the inherited accept socket — classic pre-fork, contended on
+  accept but portable.
+
+Coordination beyond the kernel is exactly the storage layer: results
+published by one worker are warm bytes for it and one namespace read
+away for its siblings; jobs are visible fleet-wide through the shared
+job journal (:meth:`ExpansionService.job` falls back to it).  Only
+worker 0 resumes a previous fleet's journalled backlog — one claimant,
+no duplicated re-runs.
+
+The parent forwards ``SIGTERM``/``SIGINT`` to the workers and reaps
+them; a worker dying unexpectedly brings the fleet down (a supervisor
+restarts the whole ``repro serve``, never a half-fleet).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+from typing import Callable
+
+from ..obs import JsonEventLog
+from .http import ServiceHTTPServer
+from .service import ExpansionService
+
+__all__ = ["reuse_port_supported", "serve_prefork"]
+
+#: Accept backlog for the shared (or per-worker) listening socket.
+_BACKLOG = 128
+
+#: One worker's service plus the event log it owns (both built *after*
+#: the fork — thread pools and file handles must not cross it).
+WorkerFactory = Callable[[int], "tuple[ExpansionService, JsonEventLog | None]"]
+
+
+def reuse_port_supported() -> bool:
+    """Whether this platform can load-balance via ``SO_REUSEPORT``."""
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+def _bind(host: str, port: int, *, reuse_port: bool, listen: bool) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuse_port:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        if listen:
+            sock.listen(_BACKLOG)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+def _worker_main(
+    index: int,
+    parent_sock: socket.socket,
+    host: str,
+    port: int,
+    reuse_port: bool,
+    factory: WorkerFactory,
+) -> int:
+    """One worker's whole life; runs only in the forked child."""
+
+    def _exit_on_term(signum, frame):  # pragma: no cover - signal path
+        # serve_forever() polls, so raising here unwinds it cleanly;
+        # calling shutdown() from a signal handler would deadlock (it
+        # waits for the serve loop the handler interrupted).
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _exit_on_term)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # the parent fans out TERM
+    if reuse_port:
+        # Drop the fork-inherited copy of the parent's reservation and
+        # take this worker's own kernel-balanced listening socket.
+        parent_sock.close()
+        sock = _bind(host, port, reuse_port=True, listen=False)
+    else:
+        sock = parent_sock
+    service, event_log = factory(index)
+    server = ServiceHTTPServer(
+        (host, port), service, access_log=event_log, sock=sock
+    )
+    try:
+        server.serve_forever()
+    except (SystemExit, KeyboardInterrupt):
+        pass
+    finally:
+        try:
+            server.server_close()
+        except OSError:
+            pass
+        service.close()
+        if event_log is not None:
+            event_log.close()
+    return 0
+
+
+def serve_prefork(
+    factory: WorkerFactory,
+    *,
+    host: str,
+    port: int,
+    workers: int,
+    announce: Callable[[str], None] | None = None,
+) -> int:
+    """Run ``workers`` forked serving processes until terminated.
+
+    ``factory(index)`` builds each worker's service (and optional event
+    log) *inside* the child.  ``announce`` receives the bound base URL
+    once, before any worker exists — with ``port=0`` that is how the
+    caller learns the ephemeral port the whole fleet shares.  Returns
+    the exit status: 0 on a clean (signal-driven) shutdown, 1 when a
+    worker died on its own.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    reuse_port = reuse_port_supported()
+    # The parent's socket is the port reservation: bound for the whole
+    # fleet's lifetime (so port 0 stays ours between fork and the
+    # workers' own binds), listening only in the inherited-socket
+    # fallback.
+    parent_sock = _bind(host, port, reuse_port=reuse_port, listen=not reuse_port)
+    bound_host, bound_port = parent_sock.getsockname()[:2]
+    if announce is not None:
+        announce(f"http://{bound_host}:{bound_port}")
+    pids: list[int] = []
+    for index in range(workers):
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - exercised via subprocess tests
+            status = 1
+            try:
+                status = _worker_main(
+                    index, parent_sock, bound_host, bound_port,
+                    reuse_port, factory,
+                )
+            finally:
+                # Never fall through into the parent's loop (or the
+                # caller's stack): the child ends here, unconditionally.
+                os._exit(status)
+        pids.append(pid)
+
+    shutting_down = False
+
+    def _forward(signum, frame):
+        nonlocal shutting_down
+        shutting_down = True
+        for pid in pids:
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+
+    signal.signal(signal.SIGTERM, _forward)
+    signal.signal(signal.SIGINT, _forward)
+    status = 0
+    remaining = set(pids)
+    try:
+        while remaining:
+            try:
+                pid, raw = os.wait()
+            except ChildProcessError:
+                break
+            except KeyboardInterrupt:
+                _forward(signal.SIGINT, None)
+                continue
+            remaining.discard(pid)
+            code = os.waitstatus_to_exitcode(raw)
+            if code not in (0, -signal.SIGTERM):
+                status = 1
+            if not shutting_down and remaining and code != 0:
+                # One worker crashed: take the fleet down rather than
+                # limp along with silently reduced capacity.
+                status = 1
+                _forward(signal.SIGTERM, None)
+    finally:
+        parent_sock.close()
+    return status

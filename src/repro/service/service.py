@@ -196,6 +196,7 @@ class ExpansionService:
         breaker: CircuitBreaker | None = None,
         watchdog_stale_s: float | None = None,
         watchdog_interval_s: float = 1.0,
+        worker: int = 0,
     ) -> None:
         if max_workers < 1:
             raise ServiceError("max_workers must be at least 1")
@@ -213,7 +214,12 @@ class ExpansionService:
             self.registry = metrics
         else:
             self.registry = MetricsRegistry() if metrics else NULL_REGISTRY
+        #: Pre-fork worker index (0 for a single-process service); a
+        #: ``worker`` label on healthz and metrics tells responses from
+        #: the processes behind one ``SO_REUSEPORT`` port apart.
+        self.worker = worker
         self.obs = ServiceMetrics(self.registry)
+        self.obs.bind_worker(worker)
         self.event_log = event_log
         self.healthz_ttl = healthz_ttl
         self.pipeline_executor = pipeline_executor
@@ -319,6 +325,7 @@ class ExpansionService:
         self.obs.bind_namespaces(namespaces)
         self.obs.bind_job_table(self._jobs_by_state)
         self.obs.bind_breaker(self.breaker.snapshot)
+        self.obs.bind_bytes_cache(self.results.bytes_cache.stats)
         self.watchdog_stale_s = watchdog_stale_s
         self.watchdog: Watchdog | None = None
         if watchdog_stale_s is not None:
@@ -637,9 +644,22 @@ class ExpansionService:
         return self.submit(spec).wait(timeout)
 
     def job(self, job_id: str) -> Job | None:
-        """Look a job up by id."""
+        """Look a job up by id.
+
+        Falls back to the shared job journal when the id is not in this
+        process's table: under ``repro serve --workers N`` the worker
+        that executed a job journals it, and any *other* worker
+        answering ``GET /v1/jobs/<id>`` reads the document from the
+        shared store — cross-worker job visibility without any
+        inter-process channel beyond the journal itself.
+        """
         with self._mutex:
-            return self._jobs.get(job_id)
+            job = self._jobs.get(job_id)
+        if job is not None:
+            return job
+        if self.jobstore is not None:
+            return self.jobstore.get(job_id)
+        return None
 
     def jobs(self) -> list[Job]:
         """Every retained job — including restored ones — oldest first."""
@@ -724,6 +744,7 @@ class ExpansionService:
         breaker = self.breaker.snapshot()
         return {
             "status": "degraded" if breaker["state"] == "open" else "ok",
+            "worker": self.worker,
             "healthz_ttl_s": self.results.namespace.occupancy_ttl_s,
             "jobs": n_jobs,
             "jobs_pruned": self.jobs_pruned,
@@ -754,6 +775,7 @@ class ExpansionService:
                 "stores": self.cache.stores,
                 "evictions": self.cache.evictions,
             },
+            "bytes_cache": self.results.bytes_cache.stats(),
             "store": self._store_stats(),
         }
 

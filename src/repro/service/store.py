@@ -10,20 +10,30 @@ pipeline at all.
 
 Key validation, atomic publish and (optional) quota eviction are the
 namespace's; this class only translates envelope dicts to and from
-canonical text.  A small :class:`~repro.store.ObjectLRU` fronts the
-namespace with the decoded canonical text, so repeated reads of a warm
-envelope (result polling, duplicate submissions) never re-read backend
-bytes.  Entries are content-addressed — a fingerprint can only ever
-map to one text — so the front can never serve stale data.
+canonical text.  A :class:`~repro.service.bytescache.BytesLRU` fronts
+the namespace with *rendered response payloads*: the full envelope's
+encoded bytes plus every narrowed view the HTTP layer has served from
+it (``fields=headline``, paginated sections), each carrying the strong
+validators (ETag = fingerprint, a ``Last-Modified`` stamp) conditional
+GETs revalidate against.  Entries are content-addressed — a
+fingerprint can only ever map to one byte sequence — so the front can
+never serve stale data; an explicit overwrite (schema upgrade
+recompute) still invalidates every cached view first.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
+from typing import Callable, Hashable
 
 from ..serialize import canonical_json
-from ..store import HEX_KEY, DirBackend, MemoryBackend, Namespace, ObjectLRU
+from ..store import HEX_KEY, DirBackend, MemoryBackend, Namespace
+from .bytescache import BytesLRU, CachedBytes
+
+#: The byte-cache view key of the full stored envelope.
+FULL_VIEW = "full"
 
 
 def results_namespace(backend) -> Namespace:
@@ -48,7 +58,7 @@ class ResultsStore:
         results_dir: str | Path | None = None,
         *,
         namespace: Namespace | None = None,
-        memory_slots: int = 64,
+        bytes_cache: BytesLRU | None = None,
         breaker=None,
     ) -> None:
         if namespace is None:
@@ -57,7 +67,9 @@ class ResultsStore:
             )
             namespace = results_namespace(backend)
         self.namespace = namespace
-        self._memory = ObjectLRU(memory_slots)
+        #: Rendered envelope payloads (full body + narrowed views) as
+        #: ready-to-write bytes; see :mod:`repro.service.bytescache`.
+        self.bytes_cache = bytes_cache if bytes_cache is not None else BytesLRU()
         #: Optional :class:`~repro.resilience.breaker.CircuitBreaker`
         #: observing publish outcomes — the service's degradation signal.
         self.breaker = breaker
@@ -68,22 +80,93 @@ class ResultsStore:
         backend = self.namespace.backend
         return backend.root if isinstance(backend, DirBackend) else None
 
-    def raw(self, fingerprint: str) -> str | None:
-        """The stored canonical-JSON text, or ``None``.
+    # ------------------------------------------------------------------
+    # The warm byte path
+    # ------------------------------------------------------------------
 
-        Warm envelopes come straight from the in-process LRU front;
-        only the first read of a fingerprint touches backend bytes.
+    def _last_modified(self, fingerprint: str) -> float:
+        """A ``Last-Modified``-grade stamp for one stored entry.
+
+        Directory backends stamp entries with real file mtimes (and the
+        unbounded results namespace never rewrites them on reads, so the
+        stamp is the publish time).  The memory backend's stamps are a
+        monotonic *counter*, not wall-clock — recognisable as tiny
+        values — so fall back to "now": the stamp only moves a
+        conditional GET toward an unnecessary 200, never staleness.
         """
-        text = self._memory.get(fingerprint)
-        if text is not None:
+        stat = self.namespace.entry_stat(fingerprint)
+        if stat is not None and stat.accessed > 1e9:
+            return stat.accessed
+        return time.time()
+
+    def _seed(self, fingerprint: str, data: bytes) -> CachedBytes:
+        return self.bytes_cache.put(
+            fingerprint,
+            FULL_VIEW,
+            data,
+            etag=fingerprint,
+            last_modified=self._last_modified(fingerprint),
+        )
+
+    def raw_entry(self, fingerprint: str) -> CachedBytes | None:
+        """The stored envelope as cached payload bytes, or ``None``.
+
+        Warm fingerprints come straight from the byte cache — no
+        backend read, no decode, no parse; only the first read of a
+        fingerprint touches backend bytes.
+        """
+        entry = self.bytes_cache.get(fingerprint, FULL_VIEW)
+        if entry is not None:
             self.namespace.count_front_hit()
-            return text
+            return entry
         data = self.namespace.get(fingerprint)
         if data is None:
             return None
-        text = data.decode("utf-8")
-        self._memory.put(fingerprint, text)
-        return text
+        return self._seed(fingerprint, data)
+
+    def view_entry(
+        self,
+        fingerprint: str,
+        view: Hashable,
+        build: Callable[[dict], bytes],
+    ) -> CachedBytes | None:
+        """One rendered view of a stored envelope, cached as bytes.
+
+        ``build`` receives the parsed envelope and returns the view's
+        payload bytes; it runs only on a cold view — a warm hit never
+        parses JSON.  Exceptions from ``build`` (an unknown section, a
+        bad page) propagate uncached, so error responses are never
+        pinned into the cache.  Returns ``None`` when no envelope is
+        stored under ``fingerprint``.
+        """
+        entry = self.bytes_cache.get(fingerprint, view)
+        if entry is not None:
+            self.namespace.count_front_hit()
+            return entry
+        full = self.raw_entry(fingerprint)
+        if full is None:
+            return None
+        payload = build(json.loads(full.payload.decode("utf-8")))
+        return self.bytes_cache.put(
+            fingerprint,
+            view,
+            payload,
+            etag=full.etag,
+            last_modified=full.last_modified,
+        )
+
+    # ------------------------------------------------------------------
+    # Text/dict compatibility surface
+    # ------------------------------------------------------------------
+
+    def raw(self, fingerprint: str) -> str | None:
+        """The stored canonical-JSON text, or ``None``.
+
+        Decodes the cached payload per call; byte-path consumers (the
+        HTTP layer) use :meth:`raw_entry` and skip the decode entirely.
+        """
+        entry = self.raw_entry(fingerprint)
+        return entry.payload.decode("utf-8") if entry is not None else None
 
     def get(self, fingerprint: str) -> dict | None:
         """The stored envelope as a dict, or ``None``."""
@@ -99,8 +182,9 @@ class ResultsStore:
         """Store ``envelope``; returns the canonical text written."""
         self.namespace.check_key(fingerprint)
         text = canonical_json(envelope)
+        data = text.encode("utf-8")
         try:
-            self.namespace.put(fingerprint, text.encode("utf-8"))
+            self.namespace.put(fingerprint, data)
         except OSError:
             # A full/readonly disk degrades to best-effort persistence;
             # the breaker turns a *streak* of these into read-only mode.
@@ -109,7 +193,11 @@ class ResultsStore:
         else:
             if self.breaker is not None:
                 self.breaker.record_success()
-        self._memory.put(fingerprint, text)
+        # Views rendered from any previous bytes die with the overwrite
+        # (schema-upgrade recompute); the fresh full body is seeded so
+        # the first GET after a run is already warm.
+        self.bytes_cache.invalidate(fingerprint)
+        self._seed(fingerprint, data)
         return text
 
     def __contains__(self, fingerprint: str) -> bool:

@@ -306,6 +306,28 @@ class Namespace:
             self._note_access(encoded)
         return data
 
+    def peek(self, key: str) -> bytes | None:
+        """Stored bytes without counters or recency, or ``None``.
+
+        The byte-serving seam: adapters that keep their own rendered
+        front (the service's envelope byte cache) read refills through
+        here and account hits/misses themselves via
+        :meth:`count_front_hit` — double-counting a refill as both a
+        front miss and a namespace hit would skew the cache ratios the
+        healthz block reports.
+        """
+        encoded = self._encode(key)
+        return self._retrying(lambda: self.backend.peek(encoded))
+
+    def entry_stat(self, key: str) -> EntryStat | None:
+        """Size and recency stamp of ``key``, or ``None`` when absent.
+
+        Multi-part entries report their anchor's stamp.  For unbounded
+        namespaces (which never rewrite stamps on reads) the stamp is
+        the publish time — the value HTTP ``Last-Modified`` wants.
+        """
+        return self.backend.stat(self._encode(key, self._anchor))
+
     def put(self, key: str, data: bytes) -> None:
         """Store ``data`` under ``key``, then enforce the quotas."""
         encoded = self._encode(key)  # validate before any quota verdict
