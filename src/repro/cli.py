@@ -268,6 +268,11 @@ def _build_parser() -> argparse.ArgumentParser:
                            "synthetic dataset from --seed)")
     push.add_argument("--seed", type=int, default=7,
                       help="synthetic seed when --data is not given")
+    push.add_argument("--append", action="store_true",
+                      help="append the rows of --data/rentals.csv onto the "
+                           "stored dataset (PATCH /v1/datasets/<name>) "
+                           "instead of replacing it; appended rental ids "
+                           "must exceed every stored id")
     listing = dataset_commands.add_parser(
         "list", help="list stored datasets (GET /v1/datasets)"
     )
@@ -331,6 +336,14 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--max-ratio", type=float, default=None,
                        help="gate limit for jobs-4 wall / serial wall "
                             "(default: 1.1, parity plus noise margin)")
+    bench.add_argument("--incremental", action="store_true",
+                       help="run the incremental-recompute rung instead: "
+                            "cold paper run, ~5%% append, delta-aware "
+                            "re-run; with --check the re-run must be >=3x "
+                            "faster than cold and bit-identical")
+    bench.add_argument("--min-speedup", type=float, default=None,
+                       help="gate floor for cold wall / incremental wall "
+                            "(default: 3.0; only with --incremental)")
     return parser
 
 
@@ -747,13 +760,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_datasets(args: argparse.Namespace) -> int:
     base = args.url.rstrip("/")
     if args.datasets_command == "push":
-        if args.data is not None:
-            dataset = MobyDataset.from_csv(args.data)
+        if getattr(args, "append", False):
+            if args.data is None:
+                raise ConfigError(
+                    "datasets push --append needs --data (a directory "
+                    "holding the delta rentals.csv)"
+                )
+            from .data.csvio import read_rentals
+
+            rows = [
+                [
+                    rental.rental_id,
+                    rental.bike_id,
+                    rental.started_at.isoformat(),
+                    rental.ended_at.isoformat(),
+                    rental.rental_location_id,
+                    rental.return_location_id,
+                ]
+                for rental in read_rentals(args.data / "rentals.csv")
+            ]
+            response = _client_call(
+                f"{base}/v1/datasets/{args.name}",
+                "PATCH",
+                {"rentals": rows},
+            )
         else:
-            dataset = SyntheticMobyGenerator(seed=args.seed).generate()
-        response = _client_call(
-            f"{base}/v1/datasets/{args.name}", "PUT", dataset.to_dict()
-        )
+            if args.data is not None:
+                dataset = MobyDataset.from_csv(args.data)
+            else:
+                dataset = SyntheticMobyGenerator(seed=args.seed).generate()
+            response = _client_call(
+                f"{base}/v1/datasets/{args.name}", "PUT", dataset.to_dict()
+            )
     elif args.datasets_command == "list":
         response = _client_call(f"{base}/v1/datasets")
     else:  # rm
@@ -825,6 +863,36 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf.bench import DEFAULT_PARALLEL_MAX_RATIO, check_parallel_gate, run_bench
+
+    if args.incremental:
+        from .perf.bench import (
+            INCREMENTAL_MIN_SPEEDUP,
+            check_incremental_gate,
+            run_incremental_bench,
+        )
+
+        entry = run_incremental_bench(
+            out=args.out, label=args.label, echo=print
+        )
+        block = entry["incremental"]
+        print(
+            f"incremental re-run after a {block['delta_rentals']}-trip "
+            f"append: {block['incremental_wall_s']:.2f}s vs "
+            f"{block['cold_wall_s']:.2f}s cold "
+            f"({block['speedup']:.2f}x; {block['slices_recomputed']} "
+            f"slices recomputed, {block['slices_reused']} reused)"
+        )
+        if args.check or args.min_speedup is not None:
+            min_speedup = (
+                args.min_speedup
+                if args.min_speedup is not None
+                else INCREMENTAL_MIN_SPEEDUP
+            )
+            ok, message = check_incremental_gate(entry, min_speedup)
+            print(message)
+            if not ok:
+                return 1
+        return 0
 
     scales = tuple(int(part) for part in str(args.scales).split(",") if part)
     entry = run_bench(

@@ -161,6 +161,27 @@ def build_sliced_graph_from_buckets(
     ``tests/test_golden_paper.py``.)
     """
     aggregates = list((mapper or map)(aggregate_slice, buckets))
+    return build_sliced_graph_from_aggregates(aggregates, coupling)
+
+
+#: One slice's aggregate: (OD edge weights, station strengths), both in
+#: first-seen order — exactly what :func:`aggregate_slice` returns.
+SliceAggregate = tuple[
+    dict[tuple[StationKey, StationKey], float], dict[StationKey, float]
+]
+
+
+def build_sliced_graph_from_aggregates(
+    aggregates: Sequence[SliceAggregate],
+    coupling: float,
+) -> WeightedGraph:
+    """Build the multislice graph from per-slice aggregates.
+
+    The aggregate of a slice is a pure function of that slice's bucket,
+    so the incremental runner caches aggregates per slice (keyed by the
+    slice's content digest) and re-aggregates only the slices an append
+    touched — this merge then proceeds identically to the cold path.
+    """
     graph = WeightedGraph()
     station_slice_weight: dict[StationKey, dict[int, float]] = {}
     for slice_index, (edges, stations) in enumerate(aggregates):
@@ -228,6 +249,32 @@ def collapse_buckets_to_stations(
     return Partition.from_assignment(assignment)
 
 
+def collapse_aggregates_to_stations(
+    slice_partition: Partition,
+    aggregates: Sequence[SliceAggregate],
+) -> Partition:
+    """:func:`collapse_buckets_to_stations` from per-slice aggregates.
+
+    Sums each aggregated OD edge's (integer) weight onto both endpoint
+    stations instead of adding 1.0 per trip — the identical exact sums,
+    and a station's first appearance happens inside the edge of its
+    first trip, so the station iteration order (and hence the
+    normalised partition) matches the bucket-based pass.
+    """
+    weight: dict[StationKey, dict[int, float]] = {}
+    for slice_index, (edges, _stations) in enumerate(aggregates):
+        for (origin, destination), edge_weight in edges.items():
+            for station in (origin, destination):
+                label = slice_partition[(station, slice_index)]
+                by_label = weight.setdefault(station, {})
+                by_label[label] = by_label.get(label, 0.0) + edge_weight
+    assignment = {
+        station: max(sorted(by_label), key=lambda label: by_label[label])
+        for station, by_label in weight.items()
+    }
+    return Partition.from_assignment(assignment)
+
+
 def detect_temporal_communities(
     trips: Sequence[tuple[StationKey, StationKey, int]],
     n_slices: int,
@@ -257,16 +304,32 @@ def detect_temporal_communities_from_buckets(
     intermediate per-stage trip-triple lists.
     """
     cfg = config or TemporalCommunityConfig()
-    graph = build_sliced_graph_from_buckets(buckets, cfg.coupling, mapper=mapper)
+    aggregates = list((mapper or map)(aggregate_slice, buckets))
+    return detect_temporal_communities_from_aggregates(aggregates, cfg)
+
+
+def detect_temporal_communities_from_aggregates(
+    aggregates: Sequence[SliceAggregate],
+    config: TemporalCommunityConfig | None = None,
+) -> TemporalCommunityResult:
+    """Full multislice pipeline over prebuilt per-slice aggregates.
+
+    The incremental entry point: the aggregates may mix freshly
+    computed slices with slices served warm from the stage cache — the
+    merged graph, Louvain partition and station collapse are identical
+    to the cold, bucket-based path.
+    """
+    cfg = config or TemporalCommunityConfig()
+    graph = build_sliced_graph_from_aggregates(aggregates, cfg.coupling)
     if graph.node_count == 0:
         raise CommunityError("no trips — nothing to detect communities on")
     result = louvain(graph, cfg)
-    station_partition = collapse_buckets_to_stations(
-        result.partition, enumerate(buckets)
+    station_partition = collapse_aggregates_to_stations(
+        result.partition, aggregates
     )
     return TemporalCommunityResult(
         station_partition=station_partition,
         slice_partition=result.partition,
         modularity=result.modularity,
-        n_slices=len(buckets),
+        n_slices=len(aggregates),
     )

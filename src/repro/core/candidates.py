@@ -125,10 +125,17 @@ class CandidateNetwork:
         )
 
 
-def build_candidate_network(
+def condense_locations(
     cleaned: MobyDataset, config: ClusteringConfig | None = None
-) -> CandidateNetwork:
-    """Run the condensation stage over a cleaned dataset."""
+) -> GeographicClustering:
+    """The HAC condensation alone (steps 1–2, no trip projection).
+
+    This is the expensive half of the candidate stage — complete-
+    linkage HAC over every cleaned location — and it depends only on
+    the cleaned *location* table, never on the rentals.  The runner
+    caches its result under the cleaned-locations digest, so appending
+    trips re-uses the clustering verbatim.
+    """
     cfg = config or ClusteringConfig()
     location_points: dict[int, GeoPoint] = {
         record.location_id: record.point() for record in cleaned.locations()
@@ -136,7 +143,16 @@ def build_candidate_network(
     station_points: dict[int, GeoPoint] = {
         record.location_id: record.point() for record in cleaned.stations()
     }
-    clustering = cluster_locations(location_points, station_points, cfg)
+    return cluster_locations(location_points, station_points, cfg)
+
+
+def project_candidate_flow(
+    cleaned: MobyDataset, clustering: GeographicClustering
+) -> CandidateNetwork:
+    """Project trips onto a prebuilt clustering (step 3)."""
+    station_points: dict[int, GeoPoint] = {
+        record.location_id: record.point() for record in cleaned.stations()
+    }
     location_to_group = clustering.assignment()
 
     flow = DirectedGraph()
@@ -162,3 +178,10 @@ def build_candidate_network(
         cluster_centroids=cluster_centroids,
         n_trips=n_trips,
     )
+
+
+def build_candidate_network(
+    cleaned: MobyDataset, config: ClusteringConfig | None = None
+) -> CandidateNetwork:
+    """Run the condensation stage over a cleaned dataset."""
+    return project_candidate_flow(cleaned, condense_locations(cleaned, config))

@@ -82,7 +82,8 @@ class NetworkExpansionOptimiser:
 
     def clean(self) -> tuple[MobyDataset, CleaningReport]:
         """Stage 0: apply the six cleaning rules."""
-        return self.runner.stage("clean")
+        cleaned, report, _aux = self.runner.stage("clean")
+        return cleaned, report
 
     def condense(self) -> CandidateNetwork:
         """Stage 1: HAC condensation into the candidate graph."""

@@ -267,16 +267,18 @@ class SelectedNetworkStats:
     n_directed_edges: int
 
 
-def build_selected_network(
+def build_station_set(
     cleaned: MobyDataset,
     candidates: CandidateNetwork,
     selection: SelectionResult,
-) -> SelectedNetwork:
-    """Materialise the expanded network after Algorithm 1.
+) -> dict[int, Station]:
+    """The expanded station roster after Algorithm 1 (cheap).
 
     New stations take ids continuing after the largest fixed-station
-    id; every cleaned location is then reassigned to its nearest
-    station and the trips are projected onto station pairs.
+    id.  Deterministic in (candidates, selection) and inexpensive, so
+    the incremental runner rebuilds it to *identify* the assignment it
+    may reuse — the roster is the identity the nearest-station map is
+    keyed on.
     """
     stations: dict[int, Station] = {}
     for station_id, point in candidates.station_points.items():
@@ -297,25 +299,49 @@ def build_selected_network(
             source_cluster_id=cluster_id,
         )
         next_id += 1
+    return stations
 
+
+def assign_locations_to_stations(
+    cleaned: MobyDataset, stations: dict[int, Station]
+) -> dict[int, int]:
+    """Nearest-station assignment of every cleaned location."""
     assigner = NearestStationAssigner(
         {station_id: station.point for station_id, station in stations.items()}
     )
-    location_to_station = assigner.assign_all(
+    return assigner.assign_all(
         {record.location_id: record.point() for record in cleaned.locations()}
     )
 
-    trips: list[TripOD] = []
-    for row in cleaned.rental_rows():
-        started_at = row["started_at"]
-        trips.append(
-            TripOD(
-                origin=location_to_station[row["rental_location_id"]],
-                destination=location_to_station[row["return_location_id"]],
-                day_of_week=started_at.weekday(),
-                hour_of_day=started_at.hour,
-            )
-        )
+
+def project_trip(row: dict, location_to_station: dict[int, int]) -> TripOD:
+    """One raw rental row projected onto its station OD pair."""
+    started_at = row["started_at"]
+    return TripOD(
+        origin=location_to_station[row["rental_location_id"]],
+        destination=location_to_station[row["return_location_id"]],
+        day_of_week=started_at.weekday(),
+        hour_of_day=started_at.hour,
+    )
+
+
+def build_selected_network(
+    cleaned: MobyDataset,
+    candidates: CandidateNetwork,
+    selection: SelectionResult,
+) -> SelectedNetwork:
+    """Materialise the expanded network after Algorithm 1.
+
+    New stations take ids continuing after the largest fixed-station
+    id; every cleaned location is then reassigned to its nearest
+    station and the trips are projected onto station pairs.
+    """
+    stations = build_station_set(cleaned, candidates, selection)
+    location_to_station = assign_locations_to_stations(cleaned, stations)
+    trips = [
+        project_trip(row, location_to_station)
+        for row in cleaned.rental_rows()
+    ]
     return SelectedNetwork(
         stations=stations,
         location_to_station=location_to_station,

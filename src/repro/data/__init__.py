@@ -3,6 +3,7 @@
 from .cleaning import (
     ALL_RULES,
     CleaningReport,
+    CleaningRuleSets,
     RULE_DANGLING_LOCATION_ID,
     RULE_MISSING_COORDINATES,
     RULE_MISSING_LOCATION_ID,
@@ -10,10 +11,13 @@ from .cleaning import (
     RULE_OUTSIDE_DUBLIN,
     RULE_UNREFERENCED_LOCATION,
     RuleOutcome,
+    classify_rentals,
     clean_dataset,
+    clean_dataset_with_rules,
+    location_rule_sets,
 )
 from .csvio import read_locations, read_rentals, write_locations, write_rentals
-from .dataset import DatasetSummary, MobyDataset
+from .dataset import DatasetSummary, MobyDataset, rental_records_from_rows
 from .records import LocationRecord, RentalRecord
 from .schema import (
     ColumnSpec,
@@ -27,6 +31,7 @@ from .tables import Database, ForeignKey, Table
 __all__ = [
     "ALL_RULES",
     "CleaningReport",
+    "CleaningRuleSets",
     "ColumnSpec",
     "Database",
     "DatasetSummary",
@@ -34,6 +39,7 @@ __all__ = [
     "LOCATION_SCHEMA",
     "LocationRecord",
     "MobyDataset",
+    "rental_records_from_rows",
     "RENTAL_SCHEMA",
     "RULE_DANGLING_LOCATION_ID",
     "RULE_MISSING_COORDINATES",
@@ -45,7 +51,10 @@ __all__ = [
     "RuleOutcome",
     "Table",
     "TableSchema",
+    "classify_rentals",
     "clean_dataset",
+    "clean_dataset_with_rules",
+    "location_rule_sets",
     "read_locations",
     "read_rentals",
     "schema_from_columns",

@@ -18,12 +18,12 @@ Table-I style before/after comparison falls straight out.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 from ..geo import GeoPoint, in_dublin, on_land
 from ..serialize import check_envelope
 from .dataset import DatasetSummary, MobyDataset
-from .records import LocationRecord
+from .records import LocationRecord, RentalRecord
 
 #: Rule identifiers, in application order.
 RULE_OUTSIDE_DUBLIN = "outside_dublin"
@@ -169,36 +169,139 @@ def _drop_locations(
     outcome.rentals_removed += len(doomed_rentals)
 
 
+@dataclass(frozen=True)
+class CleaningRuleSets:
+    """The location-level decisions of rules 1–3, as reusable sets.
+
+    Every rule-1/2/3 judgement depends on one location row alone, so
+    the sets are a pure function of the location table — which appends
+    never touch.  An incremental clean therefore classifies *only* the
+    appended rentals against these sets instead of re-running the
+    geographic oracles over the whole table.
+
+    ``surviving`` is the location-id domain left after rules 1–3 — the
+    set rule 5 (dangling references) checks rentals against.
+    """
+
+    outside_dublin: frozenset[int]
+    not_on_land: frozenset[int]
+    missing_coordinates: frozenset[int]
+    surviving: frozenset[int]
+
+
+def location_rule_sets(dataset: MobyDataset) -> CleaningRuleSets:
+    """Compute :class:`CleaningRuleSets` for ``dataset``'s locations.
+
+    Matches :func:`clean_dataset` exactly: rule 2 judges only what
+    rule 1 left, rule 3 only what rules 1–2 left (the per-location
+    oracles are row-independent, so set subtraction reproduces the
+    sequential removals).
+    """
+    doomed_dublin = frozenset(
+        _geo_doomed_ids(dataset, in_dublin, "in_dublin_batch")
+    )
+    doomed_land = frozenset(
+        _geo_doomed_ids(dataset, on_land, "on_land_batch") - doomed_dublin
+    )
+    removed = doomed_dublin | doomed_land
+    doomed_coords = frozenset(
+        record.location_id
+        for record in dataset.locations()
+        if not record.has_coordinates and record.location_id not in removed
+    )
+    removed = removed | doomed_coords
+    surviving = frozenset(
+        record.location_id
+        for record in dataset.locations()
+        if record.location_id not in removed
+    )
+    return CleaningRuleSets(
+        outside_dublin=doomed_dublin,
+        not_on_land=doomed_land,
+        missing_coordinates=doomed_coords,
+        surviving=surviving,
+    )
+
+
+def classify_rentals(
+    rentals: Sequence[RentalRecord], rules: CleaningRuleSets
+) -> tuple[list[RentalRecord], dict[str, int]]:
+    """Split rentals into survivors and per-rule removal counts.
+
+    Applies rules 1–5 to each rental in :func:`clean_dataset`'s order —
+    the first matching rule claims the removal, exactly as the
+    sequential tables-based passes would have.  Rule 6 removes only
+    locations, so rentals are fully classified here.
+    """
+    counts = {
+        RULE_OUTSIDE_DUBLIN: 0,
+        RULE_NOT_ON_LAND: 0,
+        RULE_MISSING_COORDINATES: 0,
+        RULE_MISSING_LOCATION_ID: 0,
+        RULE_DANGLING_LOCATION_ID: 0,
+    }
+    survivors: list[RentalRecord] = []
+    for rental in rentals:
+        refs = [
+            ref
+            for ref in (rental.rental_location_id, rental.return_location_id)
+            if ref is not None
+        ]
+        if any(ref in rules.outside_dublin for ref in refs):
+            counts[RULE_OUTSIDE_DUBLIN] += 1
+        elif any(ref in rules.not_on_land for ref in refs):
+            counts[RULE_NOT_ON_LAND] += 1
+        elif any(ref in rules.missing_coordinates for ref in refs):
+            counts[RULE_MISSING_COORDINATES] += 1
+        elif (
+            rental.rental_location_id is None
+            or rental.return_location_id is None
+        ):
+            counts[RULE_MISSING_LOCATION_ID] += 1
+        elif not (
+            rental.rental_location_id in rules.surviving
+            and rental.return_location_id in rules.surviving
+        ):
+            counts[RULE_DANGLING_LOCATION_ID] += 1
+        else:
+            survivors.append(rental)
+    return survivors, counts
+
+
 def clean_dataset(raw: MobyDataset) -> tuple[MobyDataset, CleaningReport]:
     """Apply the six rules to a copy of ``raw``.
 
     Returns the cleaned dataset and the per-rule audit report.  The
     input dataset is left untouched.
     """
+    dataset, report, _ = clean_dataset_with_rules(raw)
+    return dataset, report
+
+
+def clean_dataset_with_rules(
+    raw: MobyDataset,
+) -> tuple[MobyDataset, CleaningReport, CleaningRuleSets]:
+    """:func:`clean_dataset`, also returning the location rule sets.
+
+    The geographic oracles run exactly once (over the raw location
+    table) instead of once per rule over the shrinking copy; because
+    every rule-1/2/3 judgement is row-independent, applying the
+    precomputed sets reproduces the sequential removals bit for bit.
+    The sets come back so an incremental rerun can classify appended
+    rentals without touching the oracles at all.
+    """
+    rules = location_rule_sets(raw)
     dataset = raw.copy()
     report = CleaningReport(before=raw.summary(), after=raw.summary())
 
-    # Rule 1: outside Dublin.
-    outcome = RuleOutcome(RULE_OUTSIDE_DUBLIN)
-    doomed = _geo_doomed_ids(dataset, in_dublin, "in_dublin_batch")
-    _drop_locations(dataset, doomed, outcome)
-    report.outcomes.append(outcome)
-
-    # Rule 2: not on land.
-    outcome = RuleOutcome(RULE_NOT_ON_LAND)
-    doomed = _geo_doomed_ids(dataset, on_land, "on_land_batch")
-    _drop_locations(dataset, doomed, outcome)
-    report.outcomes.append(outcome)
-
-    # Rule 3: missing coordinates.
-    outcome = RuleOutcome(RULE_MISSING_COORDINATES)
-    doomed = {
-        record.location_id
-        for record in dataset.locations()
-        if not record.has_coordinates
-    }
-    _drop_locations(dataset, doomed, outcome)
-    report.outcomes.append(outcome)
+    for rule, doomed in (
+        (RULE_OUTSIDE_DUBLIN, rules.outside_dublin),
+        (RULE_NOT_ON_LAND, rules.not_on_land),
+        (RULE_MISSING_COORDINATES, rules.missing_coordinates),
+    ):
+        outcome = RuleOutcome(rule)
+        _drop_locations(dataset, set(doomed), outcome)
+        report.outcomes.append(outcome)
 
     # Rule 4: rentals without both location ids.  (Rules 4 and 5 scan
     # raw rows — same predicates, no per-rental record objects.)
@@ -243,4 +346,4 @@ def clean_dataset(raw: MobyDataset) -> tuple[MobyDataset, CleaningReport]:
 
     dataset.db.check_integrity()
     report.after = dataset.summary()
-    return dataset, report
+    return dataset, report, rules

@@ -13,6 +13,40 @@ from .schema import LOCATION_SCHEMA, RENTAL_SCHEMA
 from .tables import Database, Table
 
 
+def rental_records_from_rows(rows: Any) -> list[RentalRecord]:
+    """Parse compact positional rental rows into records.
+
+    The row shape of :meth:`MobyDataset.to_dict` — ``[id, bike_id,
+    started_at, ended_at, rental_location_id, return_location_id]``
+    with ISO-8601 timestamps — shared by the full-dataset ``PUT`` body
+    and the append-mode ``PATCH`` body.  Raises :class:`ValueError` /
+    :class:`TypeError` on malformed rows so the HTTP layer can answer
+    ``400``.
+    """
+    if not isinstance(rows, (list, tuple)):
+        raise ValueError("rentals must be a list of rows")
+    rentals = []
+    for row in rows:
+        if not isinstance(row, (list, tuple)) or len(row) != 6:
+            raise ValueError(
+                f"bad rental row {row!r}; expected [id, bike_id, "
+                "started_at, ended_at, rental_location_id, "
+                "return_location_id]"
+            )
+        rental_id, bike_id, started, ended, pickup, dropoff = row
+        rentals.append(
+            RentalRecord(
+                rental_id=int(rental_id),
+                bike_id=int(bike_id),
+                started_at=datetime.fromisoformat(started),
+                ended_at=datetime.fromisoformat(ended),
+                rental_location_id=None if pickup is None else int(pickup),
+                return_location_id=None if dropoff is None else int(dropoff),
+            )
+        )
+    return rentals
+
+
 @dataclass(frozen=True)
 class DatasetSummary:
     """The counts reported in the paper's Table I."""
@@ -170,25 +204,7 @@ class MobyDataset:
                     name=str(name),
                 )
             )
-        rentals = []
-        for row in payload.get("rentals", []):
-            if not isinstance(row, (list, tuple)) or len(row) != 6:
-                raise ValueError(
-                    f"bad rental row {row!r}; expected [id, bike_id, "
-                    "started_at, ended_at, rental_location_id, "
-                    "return_location_id]"
-                )
-            rental_id, bike_id, started, ended, pickup, dropoff = row
-            rentals.append(
-                RentalRecord(
-                    rental_id=int(rental_id),
-                    bike_id=int(bike_id),
-                    started_at=datetime.fromisoformat(started),
-                    ended_at=datetime.fromisoformat(ended),
-                    rental_location_id=None if pickup is None else int(pickup),
-                    return_location_id=None if dropoff is None else int(dropoff),
-                )
-            )
+        rentals = rental_records_from_rows(payload.get("rentals", []))
         return cls.from_records(locations, rentals)
 
     def add_location(self, record: LocationRecord) -> None:
@@ -280,6 +296,28 @@ class MobyDataset:
     def rental(self, rental_id: int) -> RentalRecord:
         """Fetch one rental by id."""
         return self._rental_from_row(self._rentals.get(rental_id))
+
+    def max_rental_id(self) -> int | None:
+        """The highest rental id stored, or ``None`` when empty.
+
+        Append-mode datasets require every appended rental id to exceed
+        this, so an appended dataset iterates identically to the same
+        rows ingested in one shot (id order == prefix-then-delta order).
+        """
+        keys = list(self._rentals.keys())
+        return max(keys) if keys else None
+
+    def rentals_after(self, rental_id: int) -> list[RentalRecord]:
+        """Rental records with ids strictly above ``rental_id``, id order.
+
+        The delta extractor of an incremental run: only matching rows
+        materialise records, so pulling a 5% tail out of a large log
+        costs O(log) id comparisons but only O(delta) record builds.
+        """
+        picked = sorted(pk for pk in self._rentals.keys() if pk > rental_id)
+        return [
+            self._rental_from_row(self._rentals.get(pk)) for pk in picked
+        ]
 
     # ------------------------------------------------------------------
     # Mutation used by cleaning

@@ -168,3 +168,13 @@ class ServiceOverloadedError(ServiceError):
 
 class DatasetTooLargeError(ServiceError):
     """A dataset upload exceeds the store's size caps (HTTP 413)."""
+
+
+class DatasetConflictError(ServiceError):
+    """An append violates the dataset's id-monotonicity contract (HTTP 409).
+
+    Appended rental ids must strictly exceed every stored id: that is
+    what makes the appended log iterate identically to the same rows
+    ingested in one shot, which the incremental recompute path relies
+    on.  Out-of-range ids must be re-pushed as a full ``PUT``.
+    """

@@ -178,6 +178,15 @@ class DirectedGraph:
         self._out.setdefault(node, {})
         self._in.setdefault(node, {})
 
+    def copy(self) -> "DirectedGraph":
+        """Deep copy (node and edge insertion order preserved)."""
+        clone = DirectedGraph()
+        for u, successors in self._out.items():
+            clone._out[u] = dict(successors)
+        for v, predecessors in self._in.items():
+            clone._in[v] = dict(predecessors)
+        return clone
+
     def add_edge(self, u: NodeKey, v: NodeKey, weight: float = 1.0) -> None:
         """Add (accumulate) directed edge weight u -> v."""
         if weight < 0:

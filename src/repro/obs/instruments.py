@@ -79,6 +79,18 @@ class ServiceMetrics:
             labels=("stage", "cached"),
             buckets=STAGE_BUCKETS,
         )
+        # Incremental recompute -----------------------------------------
+        self.incremental_runs = registry.counter(
+            "repro_incremental_runs_total",
+            "Pipeline executions that merged a parent lineage delta "
+            "instead of recomputing from scratch.",
+        )
+        self.incremental_slices = registry.counter(
+            "repro_incremental_slices_total",
+            "Temporal slices touched by incremental runs, by outcome "
+            "(reused = served warm, recomputed = delta invalidated).",
+            labels=("outcome",),
+        )
 
     # ------------------------------------------------------------------
     # Recording helpers (the layers call these)
@@ -97,6 +109,23 @@ class ServiceMetrics:
         self.stage_seconds.labels(
             stage, "true" if cached else "false"
         ).observe(seconds)
+
+    def observe_incremental(self, report: Mapping[str, Any]) -> None:
+        """Record one incremental pipeline execution.
+
+        ``report`` is
+        :meth:`~repro.pipeline.runner.PipelineRunner.incremental_report`;
+        cold runs (``mode != "incremental"``) record nothing.
+        """
+        if report.get("mode") != "incremental":
+            return
+        self.incremental_runs.inc()
+        self.incremental_slices.labels("reused").inc(
+            report.get("slices_reused", 0)
+        )
+        self.incremental_slices.labels("recomputed").inc(
+            report.get("slices_recomputed", 0)
+        )
 
     # ------------------------------------------------------------------
     # Scrape-time views
@@ -176,6 +205,34 @@ class ServiceMetrics:
                 yield Sample(
                     f"repro_results_bytes_cache_{suffix}",
                     kind,
+                    help_text,
+                    (),
+                    doc[key],
+                )
+
+        self.registry.register_callback(collect)
+
+    def bind_ingestion(self, stats: Any) -> None:
+        """Expose the dataset store's append counters at scrape time.
+
+        ``stats`` is
+        :meth:`repro.service.datasets.DatasetStore.ingestion_stats` —
+        the same dict the ``/v1/healthz`` ``ingestion`` block embeds,
+        so the two surfaces can never disagree.
+        """
+
+        def collect() -> Iterator[Sample]:
+            doc = stats()
+            for key, help_text in (
+                ("appends", "Dataset appends accepted (PATCH or CLI)."),
+                ("bytes_appended",
+                 "Delta bytes appended onto stored rental logs."),
+                ("slices_invalidated",
+                 "Temporal slice digests re-chained by appends."),
+            ):
+                yield Sample(
+                    f"repro_ingest_{key}_total",
+                    "counter",
                     help_text,
                     (),
                     doc[key],

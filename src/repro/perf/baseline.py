@@ -539,7 +539,7 @@ def _baseline_stage_clean(runner) -> tuple:
 
 
 def _baseline_stage_candidates(runner, clean):
-    cleaned, _ = clean
+    cleaned = clean[0]
     return baseline_build_candidate_network(cleaned, runner.config.clustering)
 
 
@@ -548,7 +548,7 @@ def _baseline_stage_selection(runner, candidates):
 
 
 def _baseline_stage_network(runner, clean, candidates, selection):
-    cleaned, _ = clean
+    cleaned = clean[0]
     return baseline_build_selected_network(cleaned, candidates, selection)
 
 

@@ -88,7 +88,7 @@ class StageCache:
     def __init__(
         self,
         cache_dir: str | Path | None = None,
-        memory_slots: int = 64,
+        memory_slots: int = 128,
         *,
         max_bytes: int | None = None,
         max_entries: int | None = None,
@@ -211,6 +211,18 @@ class StageCache:
         """Serialise concurrent computation of the same key."""
         if self.namespace is not None:
             return self.namespace.lock(key)
+        with self._mutex:
+            return self._key_locks.setdefault(key, threading.Lock())
+
+    def key_lock(self, key: str):
+        """A dedicated in-process lock for ``key`` (never striped).
+
+        Namespace locks are striped, so nesting a second :meth:`lock`
+        inside a held one can deadlock when both keys hash to the same
+        stripe.  Sub-stage entries (HAC, assignment) — which are always
+        computed *inside* a held stage lock — serialise through this
+        per-key registry instead.
+        """
         with self._mutex:
             return self._key_locks.setdefault(key, threading.Lock())
 

@@ -12,10 +12,15 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+from datetime import datetime
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 from ..data import MobyDataset
+
+#: Slice fan-outs of the temporal stages (kept in step with
+#: ``SelectedNetwork.day_slice_buckets`` / ``hour_slice_buckets``).
+SLICE_COUNTS = {"day": 7, "hour": 24}
 
 
 def _token(value: Any) -> str:
@@ -57,6 +62,23 @@ def config_digest(config: Any) -> str:
     return fingerprint(config)
 
 
+def location_token(location: Any) -> bytes:
+    """The canonical digest token of one location record."""
+    return (
+        f"L|{location.location_id}|{location.lat!r}|{location.lon!r}"
+        f"|{location.is_station}|{location.name}"
+    ).encode("utf-8")
+
+
+def rental_token(rental: Any) -> bytes:
+    """The canonical digest token of one rental record."""
+    return (
+        f"R|{rental.rental_id}|{rental.bike_id}|{rental.started_at}"
+        f"|{rental.ended_at}|{rental.rental_location_id}"
+        f"|{rental.return_location_id}"
+    ).encode("utf-8")
+
+
 def dataset_digest(dataset: MobyDataset) -> str:
     """Digest of a dataset's full record content (id order).
 
@@ -66,18 +88,103 @@ def dataset_digest(dataset: MobyDataset) -> str:
     """
     digest = hashlib.sha256()
     for location in dataset.locations():
-        digest.update(
-            (
-                f"L|{location.location_id}|{location.lat!r}|{location.lon!r}"
-                f"|{location.is_station}|{location.name}"
-            ).encode("utf-8")
-        )
+        digest.update(location_token(location))
     for rental in dataset.rentals():
-        digest.update(
-            (
-                f"R|{rental.rental_id}|{rental.bike_id}|{rental.started_at}"
-                f"|{rental.ended_at}|{rental.rental_location_id}"
-                f"|{rental.return_location_id}"
-            ).encode("utf-8")
-        )
+        digest.update(rental_token(rental))
     return digest.hexdigest()
+
+
+def locations_digest(dataset: MobyDataset) -> str:
+    """Digest of a dataset's location records alone (id order).
+
+    Appends add rentals, never locations, so this is the stable content
+    identity the clustering and station-assignment sub-caches key on:
+    it survives every append while still tracking real location edits.
+    """
+    digest = hashlib.sha256()
+    for location in dataset.locations():
+        digest.update(location_token(location))
+    return digest.hexdigest()
+
+
+def rentals_digest(rentals: Iterable[Any]) -> str:
+    """Digest of an ordered run of rental records (an append chunk)."""
+    digest = hashlib.sha256()
+    for rental in rentals:
+        digest.update(rental_token(rental))
+    return digest.hexdigest()
+
+
+def chain_digest(parent: str, chunk: str) -> str:
+    """One link of a rolling digest chain: ``H(parent || chunk)``.
+
+    Appending a chunk to a dataset (or to one temporal slice of it)
+    advances its digest in O(chunk) — the stored log is never re-read —
+    while still committing to the full history: two datasets share a
+    chain digest only if they were built by the same sequence of
+    appends over the same base content.
+    """
+    digest = hashlib.sha256()
+    digest.update(parent.encode("ascii"))
+    digest.update(b"|")
+    digest.update(chunk.encode("ascii"))
+    return digest.hexdigest()
+
+
+def slice_index(started_at: datetime, kind: str) -> int:
+    """The temporal slice a trip starting at ``started_at`` falls in."""
+    if kind == "day":
+        return started_at.weekday()
+    if kind == "hour":
+        return started_at.hour
+    raise ValueError(f"unknown slice kind {kind!r}; expected day or hour")
+
+
+def slice_digests(rentals: Iterable[Any]) -> dict[str, list[str]]:
+    """Per-slice content digests of an ordered run of rental records.
+
+    One pass: every rental's token feeds the digest of the day slice
+    and the hour slice its ``started_at`` falls in.  Returned as
+    ``{"day": [7 hex digests], "hour": [24 hex digests]}`` — the
+    delta-aware identity the temporal stages key their per-slice cache
+    entries on.  An empty slice digests as SHA-256 of nothing, the same
+    value for every empty slice everywhere.
+    """
+    digests = {
+        kind: [hashlib.sha256() for _ in range(count)]
+        for kind, count in SLICE_COUNTS.items()
+    }
+    for rental in rentals:
+        token = rental_token(rental)
+        digests["day"][rental.started_at.weekday()].update(token)
+        digests["hour"][rental.started_at.hour].update(token)
+    return {
+        kind: [digest.hexdigest() for digest in row]
+        for kind, row in digests.items()
+    }
+
+
+def dataset_slice_digests(dataset: MobyDataset) -> dict[str, list[str]]:
+    """:func:`slice_digests` over a dataset's rentals in id order.
+
+    Reads the raw rows directly — the token strings are identical to
+    the record-based ones, without materialising a record per rental —
+    so the no-lineage fallback of the incremental runner stays cheap.
+    """
+    digests = {
+        kind: [hashlib.sha256() for _ in range(count)]
+        for kind, count in SLICE_COUNTS.items()
+    }
+    for row in dataset.rental_rows():
+        token = (
+            f"R|{row['rental_id']}|{row['bike_id']}|{row['started_at']}"
+            f"|{row['ended_at']}|{row['rental_location_id']}"
+            f"|{row['return_location_id']}"
+        ).encode("utf-8")
+        started_at = row["started_at"]
+        digests["day"][started_at.weekday()].update(token)
+        digests["hour"][started_at.hour].update(token)
+    return {
+        kind: [digest.hexdigest() for digest in row]
+        for kind, row in digests.items()
+    }

@@ -8,10 +8,23 @@ stage so tests (and benches) can assert that a warm run recomputes
 nothing.  With ``jobs > 1`` the independent community stages run
 concurrently and the temporal stages fan their per-slice aggregation
 out over the same worker budget.
+
+**Incremental mode.**  When the runner is handed the ``lineage`` of an
+append-mode dataset (see :meth:`repro.service.datasets.DatasetStore.
+lineage`) and the stage cache still holds the previous run over the
+parent dataset, the stage bodies switch from recompute to *merge*: the
+appended rentals are classified against the previous run's cleaning
+decisions, their edges and trips are spliced onto the previous graph
+values, and the temporal stages re-aggregate only the slices whose
+content digest moved (untouched slices come back warm from per-slice
+cache entries).  Every merge is guarded by the exactness conditions in
+:mod:`repro.pipeline.incremental` and falls back to the cold body when
+one fails, so results are byte-identical either way.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import shutil
 import tempfile
@@ -28,26 +41,47 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..community.louvain import louvain
-from ..community.temporal import detect_temporal_communities_from_buckets
+from ..community.temporal import (
+    aggregate_slice,
+    detect_temporal_communities_from_aggregates,
+)
 from ..config import PAPER_CONFIG, PipelineConfig
-from ..core.candidates import build_candidate_network
-from ..core.graphs import build_selected_network
+from ..core.candidates import condense_locations, project_candidate_flow
+from ..core.graphs import (
+    SelectedNetwork,
+    assign_locations_to_stations,
+    build_station_set,
+    project_trip,
+)
 from ..core.results import ExpansionResult
 from ..core.selection import select_stations
 from ..data import MobyDataset
-from ..data.cleaning import clean_dataset
+from ..data.cleaning import clean_dataset_with_rules
 from ..exceptions import PipelineCancelledError, PipelineError
 from ..perf.timer import NULL_TIMER, StageTimer
 from .cache import MISS, StageCache
-from .fingerprint import dataset_digest, fingerprint
+from .fingerprint import (
+    SLICE_COUNTS,
+    dataset_digest,
+    dataset_slice_digests,
+    fingerprint,
+    locations_digest,
+)
+from .incremental import (
+    CleanAux,
+    incremental_clean,
+    merge_candidate_flow,
+    merge_selected_network,
+)
 from .stage import Stage
 
 N_DAY_SLICES = 7
 N_HOUR_SLICES = 24
 
 #: Bump when a stage's semantics change: old cache entries become
-#: unreachable instead of silently stale.
-CACHE_SCHEMA_VERSION = 1
+#: unreachable instead of silently stale.  (2: the ``clean`` stage value
+#: grew a :class:`~repro.pipeline.incremental.CleanAux` third element.)
+CACHE_SCHEMA_VERSION = 2
 
 _EXECUTOR_KINDS = ("thread", "process")
 
@@ -58,12 +92,48 @@ _EXECUTOR_KINDS = ("thread", "process")
 
 
 def _stage_clean(runner: "PipelineRunner") -> tuple:
-    return clean_dataset(runner.raw)
+    parent = runner.lineage_parent()
+    if parent is not None:
+        parent_digest, parent_max = parent
+        prefix = runner.prefix_value("clean", parent_digest)
+        if prefix is not MISS:
+            delta = runner.raw.rentals_after(parent_max)
+            value = incremental_clean(runner.raw, delta, prefix, parent_digest)
+            if value is not None:
+                runner.note_incremental("clean")
+                return value
+    cleaned, report, rules = clean_dataset_with_rules(runner.raw)
+    aux = CleanAux(
+        rule_sets=rules,
+        final_location_ids=frozenset(
+            row["location_id"] for row in cleaned.location_rows()
+        ),
+        clean_locations_digest=locations_digest(cleaned),
+    )
+    return cleaned, report, aux
 
 
 def _stage_candidates(runner: "PipelineRunner", clean: tuple):
-    cleaned, _ = clean
-    return build_candidate_network(cleaned, runner.config.clustering)
+    cleaned, _, aux = clean
+    if aux.parent_digest is not None:
+        prefix = runner.prefix_value("candidates", aux.parent_digest)
+        if prefix is not MISS:
+            runner.note_incremental("candidates")
+            return merge_candidate_flow(prefix, aux.delta_survivors)
+    # The HAC condensation depends only on the cleaned location table,
+    # so it is cached value-addressed — appends (and config changes
+    # outside the clustering section) reuse it even when the trip
+    # projection must rerun.
+    hac_key = fingerprint(
+        "hac",
+        CACHE_SCHEMA_VERSION,
+        runner.config.clustering,
+        aux.clean_locations_digest,
+    )
+    clustering = runner.sub_cached(
+        hac_key, lambda: condense_locations(cleaned, runner.config.clustering)
+    )
+    return project_candidate_flow(cleaned, clustering)
 
 
 def _stage_selection(runner: "PipelineRunner", candidates):
@@ -71,8 +141,33 @@ def _stage_selection(runner: "PipelineRunner", candidates):
 
 
 def _stage_network(runner: "PipelineRunner", clean: tuple, candidates, selection):
-    cleaned, _ = clean
-    return build_selected_network(cleaned, candidates, selection)
+    cleaned, _, aux = clean
+    stations = build_station_set(cleaned, candidates, selection)
+    # The nearest-station assignment depends only on the station roster
+    # and the cleaned locations — value-addressed like the HAC above.
+    assign_key = fingerprint(
+        "assign", CACHE_SCHEMA_VERSION, stations, aux.clean_locations_digest
+    )
+    location_to_station = runner.sub_cached(
+        assign_key, lambda: assign_locations_to_stations(cleaned, stations)
+    )
+    if aux.parent_digest is not None:
+        prefix = runner.prefix_value("network", aux.parent_digest)
+        if prefix is not MISS:
+            merged = merge_selected_network(
+                prefix, stations, location_to_station, aux.delta_survivors
+            )
+            if merged is not None:
+                runner.note_incremental("network")
+                return merged
+    trips = [
+        project_trip(row, location_to_station) for row in cleaned.rental_rows()
+    ]
+    return SelectedNetwork(
+        stations=stations,
+        location_to_station=location_to_station,
+        trips=trips,
+    )
 
 
 def _stage_basic(runner: "PipelineRunner", network):
@@ -80,18 +175,14 @@ def _stage_basic(runner: "PipelineRunner", network):
 
 
 def _stage_day(runner: "PipelineRunner", network):
-    return detect_temporal_communities_from_buckets(
-        network.day_slice_buckets(),
-        runner.config.temporal,
-        mapper=runner.map,
+    return detect_temporal_communities_from_aggregates(
+        runner.slice_aggregates("day", network), runner.config.temporal
     )
 
 
 def _stage_hour(runner: "PipelineRunner", network):
-    return detect_temporal_communities_from_buckets(
-        network.hour_slice_buckets(),
-        runner.config.temporal,
-        mapper=runner.map,
+    return detect_temporal_communities_from_aggregates(
+        runner.slice_aggregates("hour", network), runner.config.temporal
     )
 
 
@@ -104,7 +195,7 @@ def _stage_hour(runner: "PipelineRunner", network):
 _WORKER_RUNNER: "PipelineRunner | None" = None
 
 
-def _process_worker_init(raw, config, stages, cache_spec, digest) -> None:
+def _process_worker_init(raw, config, stages, cache_spec, digest, lineage) -> None:
     global _WORKER_RUNNER
     _WORKER_RUNNER = PipelineRunner(
         raw,
@@ -113,6 +204,7 @@ def _process_worker_init(raw, config, stages, cache_spec, digest) -> None:
         cache=StageCache.from_spec(cache_spec),
         jobs=1,
         raw_digest=digest,
+        lineage=lineage,
     )
 
 
@@ -170,6 +262,16 @@ class PipelineRunner:
         also moves to worker processes, with the on-disk
         :class:`StageCache` as the cross-process rendezvous (see
         :meth:`_run_dag_process`).
+    lineage:
+        Optional append-lineage document of the raw dataset (the
+        ``lineage`` block of :meth:`repro.service.datasets.DatasetStore.
+        meta`): its chain ``digest`` must equal ``raw_digest``, its
+        ``history`` names the ancestor snapshots and its ``slices``
+        carry the per-slice content digests.  When present and valid,
+        stage bodies merge the appended delta onto the previous run's
+        cached values instead of recomputing (see
+        :mod:`repro.pipeline.incremental`); when absent, stale, or the
+        cache no longer holds the previous run, the run is simply cold.
     timer:
         Optional :class:`~repro.perf.StageTimer`; every stage records a
         ``stage:<name>`` section (with a ``cached`` flag) and the run's
@@ -202,6 +304,7 @@ class PipelineRunner:
         jobs: int = 1,
         executor: str = "thread",
         raw_digest: str | None = None,
+        lineage: Mapping[str, Any] | None = None,
         timer: "StageTimer | None" = None,
         cancel: Callable[[], bool] | None = None,
         stage_observer: Callable[[str, float, bool], None] | None = None,
@@ -232,9 +335,19 @@ class PipelineRunner:
         self.cancel = cancel
         self.stage_observer = stage_observer
         self.executions: dict[str, int] = {}
+        self.lineage = dict(lineage) if lineage else None
         self._values: dict[str, Any] = {}
-        self._keys: dict[str, str] = {}
+        self._keys: dict[tuple[str, str], str] = {}
         self._raw_digest = raw_digest
+        self._lineage_parent: tuple[str, int] | None | str = "unresolved"
+        self._slice_digests: dict[str, list[str]] | None = None
+        self._assign_digest: str | None = None
+        self._incremental_mutex = threading.Lock()
+        self.incremental_stats: dict[str, Any] = {
+            "stages_merged": [],
+            "slices_reused": 0,
+            "slices_recomputed": 0,
+        }
         self._process_pool: ProcessPoolExecutor | None = None
         self._pool_mutex = threading.Lock()
 
@@ -256,21 +369,198 @@ class PipelineRunner:
         chains its parents' keys, so an upstream change invalidates the
         whole downstream cone and nothing else.
         """
-        if name not in self._keys:
+        return self.key_for_root(name, self.raw_digest)
+
+    def key_for_root(self, name: str, root_digest: str) -> str:
+        """:meth:`key` with the dataset-digest root swapped out.
+
+        An incremental run addresses the *previous* run's stage values
+        by rebuilding their keys from the parent dataset's digest — the
+        config part is this runner's own, which is exactly the
+        constraint: only a previous run under the same config is a
+        valid merge prefix.
+        """
+        memo = (name, root_digest)
+        if memo not in self._keys:
             stage = self.stages[name]
-            parents = [self.key(dep) for dep in stage.inputs]
+            parents = [self.key_for_root(dep, root_digest) for dep in stage.inputs]
             sections = {
                 section: getattr(self.config, section)
                 for section in stage.config_sections
             }
-            self._keys[name] = fingerprint(
+            self._keys[memo] = fingerprint(
                 "stage",
                 CACHE_SCHEMA_VERSION,
                 stage.name,
                 sections,
-                parents if parents else self.raw_digest,
+                parents if parents else root_digest,
             )
-        return self._keys[name]
+        return self._keys[memo]
+
+    # ------------------------------------------------------------------
+    # Incremental (append-mode) machinery
+    # ------------------------------------------------------------------
+
+    def lineage_parent(self) -> tuple[str, int] | None:
+        """(parent digest, parent max rental id) when lineage validates.
+
+        The lineage must describe *this* dataset — its chain digest has
+        to equal :attr:`raw_digest` — and carry at least one ancestor.
+        Anything else (no lineage, stale lineage, a never-appended
+        dataset) returns ``None`` and the runner stays cold.
+        """
+        if self._lineage_parent == "unresolved":
+            self._lineage_parent = self._resolve_lineage_parent()
+        return self._lineage_parent  # type: ignore[return-value]
+
+    def _resolve_lineage_parent(self) -> tuple[str, int] | None:
+        lineage = self.lineage
+        if not lineage:
+            return None
+        if lineage.get("digest") != self.raw_digest:
+            return None
+        history = lineage.get("history") or []
+        if not history:
+            return None
+        parent = history[-1]
+        digest = parent.get("digest")
+        max_rental_id = parent.get("max_rental_id")
+        if not isinstance(digest, str) or not isinstance(max_rental_id, int):
+            return None
+        return digest, max_rental_id
+
+    def prefix_value(self, name: str, parent_digest: str) -> Any:
+        """The previous run's value of ``name``, or :data:`MISS`."""
+        return self.cache.get(self.key_for_root(name, parent_digest))
+
+    def note_incremental(self, name: str) -> None:
+        """Record that stage ``name`` resolved by merging, not recompute."""
+        with self._incremental_mutex:
+            if name not in self.incremental_stats["stages_merged"]:
+                self.incremental_stats["stages_merged"].append(name)
+
+    def incremental_report(self) -> dict[str, Any]:
+        """A JSON-safe snapshot of the run's incremental accounting."""
+        with self._incremental_mutex:
+            stats = {
+                "stages_merged": sorted(
+                    self.incremental_stats["stages_merged"]
+                ),
+                "slices_reused": self.incremental_stats["slices_reused"],
+                "slices_recomputed": self.incremental_stats["slices_recomputed"],
+            }
+        stats["mode"] = (
+            "incremental" if stats["stages_merged"] else "cold"
+        )
+        return stats
+
+    def sub_cached(self, key: str, compute: Callable[[], Any]) -> Any:
+        """A value-addressed sub-stage entry (HAC, assignment, slices).
+
+        Same get/put discipline as :meth:`stage`, but keyed by the
+        *content* the computation consumes rather than by DAG position —
+        the entries survive appends that leave that content untouched.
+        Serialised through :meth:`StageCache.key_lock` (a dedicated
+        per-key lock) because this always runs inside a held — striped —
+        stage lock.
+        """
+        with self.cache.key_lock(key):
+            value = self.cache.get(key)
+            if value is MISS:
+                value = compute()
+                self.cache.put(key, value)
+        return value
+
+    def slice_digest_rows(self) -> dict[str, list[str]]:
+        """Per-slice content digests of the raw rentals, by slice kind.
+
+        Served from the dataset's stored lineage when it matches this
+        dataset (appends advance only the touched slices' chains, so
+        untouched slices keep their digests — the whole point), computed
+        in one pass over the raw rows otherwise.
+        """
+        with self._incremental_mutex:
+            if self._slice_digests is None:
+                rows: dict[str, list[str]] | None = None
+                lineage = self.lineage
+                if lineage and lineage.get("digest") == self.raw_digest:
+                    slices = lineage.get("slices") or {}
+                    candidate = {
+                        kind: list(slices.get(kind) or [])
+                        for kind in SLICE_COUNTS
+                    }
+                    if all(
+                        len(candidate[kind]) == count
+                        for kind, count in SLICE_COUNTS.items()
+                    ):
+                        rows = candidate
+                if rows is None:
+                    rows = dataset_slice_digests(self.raw)
+                self._slice_digests = rows
+            return self._slice_digests
+
+    def assignment_digest(self, network: SelectedNetwork) -> str:
+        """Digest of the nearest-station assignment (cheap, memoised).
+
+        A temporal slice's OD bucket is a pure function of (that
+        slice's raw rentals, this assignment): a rental survives
+        cleaning iff both its references are assigned, and its bucket
+        entry is the two assigned station ids.  Slice digest plus this
+        digest therefore address the slice aggregate exactly.
+        """
+        with self._incremental_mutex:
+            if self._assign_digest is None:
+                payload = ",".join(
+                    f"{location}:{station}"
+                    for location, station in sorted(
+                        network.location_to_station.items()
+                    )
+                )
+                self._assign_digest = hashlib.sha256(
+                    payload.encode("ascii")
+                ).hexdigest()
+            return self._assign_digest
+
+    def slice_aggregates(self, kind: str, network: SelectedNetwork) -> list:
+        """Per-slice aggregates of ``network``, warm slices served cached.
+
+        Each slice's aggregate is cached under (slice content digest,
+        assignment digest); an append touches only the slices its new
+        trips start in, so an incremental rerun re-aggregates those and
+        reads the rest back.  Missing slices are recomputed through
+        :meth:`map`, preserving the cold path's fan-out.
+        """
+        buckets = (
+            network.day_slice_buckets()
+            if kind == "day"
+            else network.hour_slice_buckets()
+        )
+        digests = self.slice_digest_rows()[kind]
+        assign = self.assignment_digest(network)
+        keys = [
+            fingerprint(
+                "slice", CACHE_SCHEMA_VERSION, kind, index, digests[index], assign
+            )
+            for index in range(len(buckets))
+        ]
+        aggregates: list[Any] = [None] * len(buckets)
+        missing: list[int] = []
+        for index, key in enumerate(keys):
+            value = self.cache.get(key)
+            if value is MISS:
+                missing.append(index)
+            else:
+                aggregates[index] = value
+        computed = self.map(
+            aggregate_slice, [buckets[index] for index in missing]
+        )
+        for index, value in zip(missing, computed):
+            self.cache.put(keys[index], value)
+            aggregates[index] = value
+        with self._incremental_mutex:
+            self.incremental_stats["slices_reused"] += len(buckets) - len(missing)
+            self.incremental_stats["slices_recomputed"] += len(missing)
+        return aggregates
 
     # ------------------------------------------------------------------
     # Execution
@@ -319,7 +609,7 @@ class PipelineRunner:
 
     def run(self) -> ExpansionResult:
         """Run the full DAG and bundle the paper's result shape."""
-        cleaned, report = self.stage("clean")
+        cleaned, report, _aux = self.stage("clean")
         if cleaned.n_rentals == 0:
             raise PipelineError("cleaning removed every rental — nothing to do")
         try:
@@ -453,6 +743,7 @@ class PipelineRunner:
                     tuple(self.stages.values()),
                     rendezvous.spec(),
                     self.raw_digest,
+                    self.lineage,
                 ),
             ) as pool:
                 futures: dict[Any, str] = {}

@@ -35,11 +35,16 @@ either way because they are enforced on the serialised CSV text.
 
 from __future__ import annotations
 
+import csv
+import hashlib
 import json
+import tempfile
+import threading
 import time
-from io import StringIO
+from datetime import datetime
+from io import StringIO, TextIOWrapper
 from pathlib import Path
-from typing import Any
+from typing import Any, Sequence
 
 from ..data import MobyDataset
 from ..data.csvio import (
@@ -48,8 +53,21 @@ from ..data.csvio import (
     write_locations,
     write_rentals,
 )
-from ..exceptions import DatasetTooLargeError, ServiceError, StoreQuotaError
-from ..pipeline.fingerprint import dataset_digest
+from ..data.records import RentalRecord
+from ..exceptions import (
+    DatasetConflictError,
+    DatasetTooLargeError,
+    ServiceError,
+    StoreQuotaError,
+)
+from ..pipeline.fingerprint import (
+    SLICE_COUNTS,
+    chain_digest,
+    dataset_digest,
+    dataset_slice_digests,
+    rentals_digest,
+    slice_digests,
+)
 from ..serialize import canonical_json
 from ..store import NAME_KEY, DirBackend, MemoryBackend, Namespace
 from .bytescache import BytesLRU, CachedBytes
@@ -67,10 +85,33 @@ DEFAULT_MAX_DATASET_BYTES = 64 << 20
 _PARTS = ("locations.csv", "rentals.csv", "meta.json")
 _ACCOUNTED = ("locations.csv", "rentals.csv")
 
-#: The metadata byte cache is tiny by construction (one ~300 B document
+#: The metadata byte cache is tiny by construction (one ~2 KB document
 #: per dataset); the budgets only bound a pathological store.
-_META_CACHE_BYTES = 1 << 20
+_META_CACHE_BYTES = 4 << 20
 _META_CACHE_ENTRIES = 1024
+
+#: Metadata document schema.  Version 2 added the append-mode lineage
+#: fields (``max_rental_id``, ``appends``, ``history``, ``slices``);
+#: version-1 documents (written before appends existed) are upgraded in
+#: place by the first append that touches them.
+META_SCHEMA = 2
+
+#: Bound on the ``history`` chain kept in a dataset's metadata.  The
+#: incremental runner only ever consults the *latest* parent, but a
+#: short tail lets a run that raced one append behind still find its
+#: prefix; past that, O(delta) recompute is the fallback anyway.
+MAX_HISTORY = 8
+
+#: Read granularity when streaming a stored rental log (an append
+#: rewrites a multi-hundred-MB log without ever materialising it).
+_COPY_CHUNK_BYTES = 1 << 20
+
+#: Ranged-upload sessions (``PUT`` + ``Content-Range``) are spooled to
+#: a temporary file past this threshold; below it they stay in memory.
+_UPLOAD_SPOOL_BYTES = 8 << 20
+
+#: Abandoned ranged-upload sessions are dropped after this long.
+_UPLOAD_TTL_S = 3600.0
 
 
 def check_dataset_name(name: str) -> str:
@@ -98,6 +139,35 @@ def _csv_pair(dataset: MobyDataset) -> tuple[str, str]:
     rentals = StringIO()
     write_rentals(rentals, dataset.rentals())
     return locations.getvalue(), rentals.getvalue()
+
+
+def _rental_csv_rows(rentals: Sequence[RentalRecord]) -> bytes:
+    """Headerless CSV rows for ``rentals``, ready to append to a log.
+
+    Byte-compatible with :func:`~repro.data.csvio.write_rentals` —
+    concatenating these rows onto a stored ``rentals.csv`` yields
+    exactly the file a full re-write of the merged dataset would
+    produce.
+    """
+    buffer = StringIO()
+    write_rentals(buffer, rentals)
+    _, _, rows = buffer.getvalue().partition("\r\n")
+    return rows.encode("utf-8")
+
+
+class _RangedUpload:
+    """One in-flight ``PUT`` + ``Content-Range`` session."""
+
+    __slots__ = ("spool", "received", "total", "sha", "last_seen")
+
+    def __init__(self, total: int) -> None:
+        self.spool = tempfile.SpooledTemporaryFile(
+            max_size=_UPLOAD_SPOOL_BYTES
+        )
+        self.received = 0
+        self.total = total
+        self.sha = hashlib.sha256()
+        self.last_seen = time.monotonic()
 
 
 def datasets_namespace(
@@ -155,6 +225,17 @@ class DatasetStore:
         self._meta_bytes = BytesLRU(
             max_bytes=_META_CACHE_BYTES, max_entries=_META_CACHE_ENTRIES
         )
+        #: Ingestion counters (the healthz ``ingestion`` block and the
+        #: ``repro_ingest_*`` metrics read these under the mutex).
+        self._ingest_mutex = threading.Lock()
+        self.appends = 0
+        self.bytes_appended = 0
+        self.slices_invalidated = 0
+        #: In-flight ranged uploads (``PUT`` + ``Content-Range``),
+        #: keyed by dataset name: fragments accumulate in a spool until
+        #: the final fragment completes a normal :meth:`put`.
+        self._uploads: dict[str, _RangedUpload] = {}
+        self._uploads_mutex = threading.Lock()
 
     # ------------------------------------------------------------------
     # Cap attributes (forwarded so callers can retune a live store)
@@ -212,6 +293,7 @@ class DatasetStore:
         meta = {
             "type": "Dataset",
             "name": name,
+            "schema": META_SCHEMA,
             "digest": dataset_digest(dataset),
             "bytes": (
                 len(locations_csv.encode("utf-8"))
@@ -221,6 +303,12 @@ class DatasetStore:
             "n_rentals": dataset.n_rentals,
             "n_stations": dataset.n_stations,
             "created_at": time.time(),
+            # Lineage: the delta-aware identity appends advance in
+            # O(delta) and the incremental runner keys slice reuse on.
+            "max_rental_id": dataset.max_rental_id(),
+            "appends": 0,
+            "history": [],
+            "slices": dataset_slice_digests(dataset),
         }
         # The name lock orders this write against reads of the same
         # dataset, so a (rows, digest) pair handed out is always
@@ -241,6 +329,309 @@ class DatasetStore:
                 raise DatasetTooLargeError(str(error)) from error
             self._meta_bytes.invalidate(name)
         return dict(meta)
+
+    # ------------------------------------------------------------------
+    # Append-mode ingestion
+    # ------------------------------------------------------------------
+
+    def append(
+        self, name: str, rentals: Sequence[RentalRecord]
+    ) -> dict[str, Any] | None:
+        """Append ``rentals`` to the stored log; returns the new metadata.
+
+        The O(delta) ingestion path: the stored rental log is streamed
+        into a new atomically-published ``rentals.csv`` (never
+        materialised in memory), the content digest advances as a
+        rolling chain ``H(old_digest || digest(delta))``, and only the
+        temporal slices the delta actually touches get new per-slice
+        digests — everything the incremental recompute path needs to
+        reuse untouched slices warm.
+
+        Contract: appended rental ids must strictly exceed every stored
+        id (:class:`DatasetConflictError` otherwise — HTTP 409), so the
+        appended log iterates identically to the same rows ingested in
+        one shot.  Returns ``None`` when ``name`` is absent (HTTP 404).
+
+        Crash safety mirrors :meth:`put`: the metadata anchor is
+        deleted *first*, so a crash mid-append leaves an entry that
+        reads as absent — never new rows under the old digest — and a
+        re-push restores it.
+        """
+        check_dataset_name(name)
+        delta = sorted(rentals, key=lambda record: record.rental_id)
+        if not delta:
+            raise ServiceError("append needs at least one rental row")
+        for left, right in zip(delta, delta[1:]):
+            if left.rental_id == right.rental_id:
+                raise DatasetConflictError(
+                    f"append carries rental id {left.rental_id} twice"
+                )
+        delta_bytes = _rental_csv_rows(delta)
+        with self.namespace.lock(name):
+            meta = self._meta(name)
+            if meta is None:
+                return None
+            if "slices" not in meta or "max_rental_id" not in meta:
+                meta = self._upgrade_meta_locked(name, meta)
+                if meta is None:
+                    return None
+            floor = meta.get("max_rental_id")
+            if floor is not None and delta[0].rental_id <= floor:
+                raise DatasetConflictError(
+                    f"append to {name!r} must use rental ids above "
+                    f"{floor}; got {delta[0].rental_id} (re-push the "
+                    "full dataset to rewrite history)"
+                )
+            new_size = int(meta.get("bytes", 0)) + len(delta_bytes)
+            try:
+                # Verdict lands before any part is touched: a rejected
+                # append leaves the old entry fully intact.
+                self.namespace.check_entry_size(name, new_size)
+            except StoreQuotaError as error:
+                raise DatasetTooLargeError(str(error)) from error
+            # Advance the lineage: one chain link for the dataset, one
+            # per temporal slice the delta touches.
+            delta_slices = slice_digests(delta)
+            empty = {
+                kind: hashlib.sha256().hexdigest() for kind in SLICE_COUNTS
+            }
+            slices = {
+                kind: list(meta["slices"][kind]) for kind in SLICE_COUNTS
+            }
+            touched = 0
+            for kind, row in delta_slices.items():
+                for index, digest in enumerate(row):
+                    if digest == empty[kind]:
+                        continue  # the delta has no trips in this slice
+                    slices[kind][index] = chain_digest(
+                        slices[kind][index], digest
+                    )
+                    touched += 1
+            history = list(meta.get("history") or ())
+            history.append(
+                {
+                    "digest": meta["digest"],
+                    "n_rentals": meta["n_rentals"],
+                    "max_rental_id": meta.get("max_rental_id"),
+                }
+            )
+            meta = {
+                **meta,
+                "schema": META_SCHEMA,
+                "digest": chain_digest(
+                    meta["digest"], rentals_digest(delta)
+                ),
+                "bytes": new_size,
+                "n_rentals": int(meta["n_rentals"]) + len(delta),
+                "created_at": time.time(),
+                "max_rental_id": delta[-1].rental_id,
+                "appends": int(meta.get("appends", 0)) + 1,
+                "history": history[-MAX_HISTORY:],
+                "slices": slices,
+            }
+            # Anchor first: the entry reads as absent for the duration
+            # of the rewrite, so a crash can never pair new rows with
+            # the old digest (or serve a half-copied log).
+            self.namespace.delete_part(name, "meta.json")
+            source = self.namespace.open_part_read(name, "rentals.csv")
+            if source is None:
+                return None  # torn entry underneath us: gone
+            last = b"\n"
+            try:
+                with self.namespace.open_part_write(
+                    name, "rentals.csv"
+                ) as sink:
+                    while True:
+                        block = source.read(_COPY_CHUNK_BYTES)
+                        if not block:
+                            break
+                        last = block[-1:]
+                        sink.write(block)
+                    if last != b"\n":  # foreign log without trailing EOL
+                        sink.write(b"\r\n")
+                    sink.write(delta_bytes)
+            finally:
+                source.close()
+            self.namespace.put_part(
+                name,
+                "meta.json",
+                json.dumps(meta, sort_keys=True).encode("utf-8"),
+            )
+            self.namespace.finish_entry(name)
+            self._meta_bytes.invalidate(name)
+        with self._ingest_mutex:
+            self.appends += 1
+            self.bytes_appended += len(delta_bytes)
+            self.slices_invalidated += touched
+        return dict(meta)
+
+    def _upgrade_meta_locked(
+        self, name: str, meta: dict[str, Any]
+    ) -> dict[str, Any] | None:
+        """Fill the lineage fields into a pre-append-era metadata doc.
+
+        Streams the stored rental log once (never materialised) to
+        recover ``max_rental_id`` and the per-slice digests; runs under
+        the name lock on the first append that meets a version-1
+        document.
+        """
+        source = self.namespace.open_part_read(name, "rentals.csv")
+        if source is None:
+            return None
+        digests = {
+            kind: [hashlib.sha256() for _ in range(count)]
+            for kind, count in SLICE_COUNTS.items()
+        }
+        max_rental_id: int | None = None
+        try:
+            text = TextIOWrapper(source, encoding="utf-8", newline="")
+            for row in csv.DictReader(text):
+                rental_id = int(row["rental_id"])
+                started_at = datetime.fromisoformat(row["started_at"])
+                ended_at = datetime.fromisoformat(row["ended_at"])
+                pickup = (
+                    int(row["rental_location_id"])
+                    if row["rental_location_id"]
+                    else None
+                )
+                dropoff = (
+                    int(row["return_location_id"])
+                    if row["return_location_id"]
+                    else None
+                )
+                # Byte-identical to fingerprint.rental_token for the
+                # same record, so upgraded slice digests line up with
+                # ingest-time ones.
+                token = (
+                    f"R|{rental_id}|{row['bike_id']}|{started_at}"
+                    f"|{ended_at}|{pickup}|{dropoff}"
+                ).encode("utf-8")
+                digests["day"][started_at.weekday()].update(token)
+                digests["hour"][started_at.hour].update(token)
+                if max_rental_id is None or rental_id > max_rental_id:
+                    max_rental_id = rental_id
+        finally:
+            source.close()
+        return {
+            **meta,
+            "schema": META_SCHEMA,
+            "max_rental_id": max_rental_id,
+            "appends": int(meta.get("appends", 0)),
+            "history": list(meta.get("history") or ()),
+            "slices": {
+                kind: [digest.hexdigest() for digest in row]
+                for kind, row in digests.items()
+            },
+        }
+
+    def lineage(self, name: str) -> dict[str, Any] | None:
+        """The append lineage of ``name`` for the incremental runner.
+
+        ``{"digest", "history", "slices", "max_rental_id"}`` — or
+        ``None`` when the dataset is absent or predates append-mode
+        metadata (the runner then recomputes slice digests from rows,
+        a perf fallback, never a correctness one).
+        """
+        meta = self._meta(name)
+        if meta is None or "slices" not in meta:
+            return None
+        return {
+            "digest": meta["digest"],
+            "history": list(meta.get("history") or ()),
+            "slices": meta["slices"],
+            "max_rental_id": meta.get("max_rental_id"),
+        }
+
+    def ingestion_stats(self) -> dict[str, int]:
+        """Live append counters (the healthz ``ingestion`` block)."""
+        with self._ingest_mutex:
+            return {
+                "appends": self.appends,
+                "bytes_appended": self.bytes_appended,
+                "slices_invalidated": self.slices_invalidated,
+            }
+
+    # ------------------------------------------------------------------
+    # Ranged (resumable) uploads
+    # ------------------------------------------------------------------
+
+    def upload_fragment(
+        self, name: str, data: bytes, start: int, end: int, total: int
+    ) -> dict[str, Any]:
+        """Accept one ``Content-Range`` fragment of a dataset body.
+
+        Fragments must arrive in order (``start`` equal to the bytes
+        already received — :class:`DatasetConflictError` otherwise,
+        HTTP 416); they accumulate in a spooled temporary file (memory
+        up to a threshold, disk past it), so a multi-hundred-MB upload
+        never holds its body in RAM before the final fragment.  When
+        the last fragment lands the assembled JSON body is parsed and
+        stored through :meth:`put`; the returned document then carries
+        the full metadata plus ``"complete": True``.  Intermediate
+        fragments return ``{"received": n, "total": t, "complete":
+        False}`` (HTTP 202).
+
+        Note for pre-forked servers: fragments of one upload must reach
+        the *same* worker process — sessions are process-local.
+        """
+        check_dataset_name(name)
+        if start < 0 or end < start or total <= end:
+            raise ServiceError(
+                f"bad content range {start}-{end}/{total}"
+            )
+        if len(data) != end - start + 1:
+            raise ServiceError(
+                f"content range {start}-{end} does not match the "
+                f"{len(data)}-byte fragment"
+            )
+        now = time.monotonic()
+        with self._uploads_mutex:
+            self._expire_uploads_locked(now)
+            upload = self._uploads.get(name)
+            if upload is None or upload.total != total or start == 0:
+                if upload is not None:
+                    upload.spool.close()
+                upload = _RangedUpload(total=total)
+                self._uploads[name] = upload
+            if start != upload.received:
+                raise DatasetConflictError(
+                    f"non-sequential fragment for {name!r}: got offset "
+                    f"{start}, expected {upload.received}"
+                )
+            upload.spool.write(data)
+            upload.sha.update(data)
+            upload.received += len(data)
+            upload.last_seen = now
+            if upload.received < total:
+                return {
+                    "type": "DatasetUpload",
+                    "name": name,
+                    "received": upload.received,
+                    "total": total,
+                    "complete": False,
+                }
+            del self._uploads[name]
+        try:
+            upload.spool.seek(0)
+            body = json.loads(upload.spool.read().decode("utf-8"))
+            if not isinstance(body, dict):
+                raise ValueError("dataset body must be a JSON object")
+            dataset = MobyDataset.from_dict(body)
+        finally:
+            upload.spool.close()
+        meta = self.put(name, dataset)
+        meta["complete"] = True
+        meta["body_sha256"] = upload.sha.hexdigest()
+        return meta
+
+    def _expire_uploads_locked(self, now: float) -> None:
+        stale = [
+            key
+            for key, upload in self._uploads.items()
+            if now - upload.last_seen > _UPLOAD_TTL_S
+        ]
+        for key in stale:
+            self._uploads.pop(key).spool.close()
 
     def get(self, name: str) -> MobyDataset | None:
         """The stored dataset, or ``None``; refreshes LRU recency."""

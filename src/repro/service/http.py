@@ -37,8 +37,10 @@ across every route and error path.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
+import re
 import threading
 import time
 from email.utils import formatdate, parsedate_to_datetime
@@ -46,8 +48,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Iterable, Iterator
 from urllib.parse import parse_qs
 
-from ..data import MobyDataset
+from ..data import MobyDataset, rental_records_from_rows
 from ..exceptions import (
+    DatasetConflictError,
     DatasetTooLargeError,
     JobCancelledError,
     JobFailedError,
@@ -91,8 +94,18 @@ ROUTES: tuple[tuple[str, str], ...] = (
     ("GET", "/v1/datasets"),
     ("GET", "/v1/datasets/<name>"),
     ("PUT", "/v1/datasets/<name>"),
+    ("PATCH", "/v1/datasets/<name>"),
     ("DELETE", "/v1/datasets/<name>"),
 )
+
+#: ``Content-Range: bytes <start>-<end>/<total>`` — the only form the
+#: ranged dataset upload accepts (``*`` totals are rejected: the store
+#: pre-flights the size cap against the declared total).
+_CONTENT_RANGE = re.compile(r"bytes (\d+)-(\d+)/(\d+)")
+
+#: Client integrity header: hex SHA-256 of the request body.  Verified
+#: against the streamed digest when present; mismatch is a 400.
+INTEGRITY_HEADER = "X-Repro-Content-SHA256"
 
 #: The temporal blocks ``/slices`` can stream, in envelope order.
 _SLICE_BLOCKS = ("day", "hour")
@@ -384,6 +397,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_PUT(self) -> None:
         self._handle("PUT", self._route_put)
 
+    def do_PATCH(self) -> None:
+        self._handle("PATCH", self._route_patch)
+
     def do_DELETE(self) -> None:
         self._handle("DELETE", self._route_delete)
 
@@ -433,6 +449,15 @@ class _Handler(BaseHTTPRequestHandler):
             if self._refuse_degraded():
                 return
             self._put_dataset(path.removeprefix("/v1/datasets/"))
+        else:
+            self._send_error(404, f"no such resource: {path}")
+
+    def _route_patch(self) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path.startswith("/v1/datasets/"):
+            if self._refuse_degraded():
+                return
+            self._append_dataset(path.removeprefix("/v1/datasets/"))
         else:
             self._send_error(404, f"no such resource: {path}")
 
@@ -722,6 +747,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._serve_entry(entry)
 
     def _put_dataset(self, name: str) -> None:
+        if self.headers.get("Content-Range"):
+            self._put_dataset_fragment(name)
+            return
         try:
             body = self._read_body(limit=MAX_DATASET_BODY_BYTES)
             dataset = MobyDataset.from_dict(body)
@@ -738,6 +766,84 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error(400, str(error))
             return
         self._send_json(200 if overwrote else 201, meta)
+
+    def _put_dataset_fragment(self, name: str) -> None:
+        """One ``Content-Range`` fragment of a resumable dataset upload.
+
+        Fragments must arrive in order; the session buffers them (spool
+        file past 8 MB, so a 100 MB+ body never materialises in memory)
+        and the assembled JSON is parsed and stored when the last byte
+        lands.  Intermediate fragments answer ``202`` with the received
+        count; a non-sequential offset answers ``416`` carrying the
+        offset to resume from.
+        """
+        header = self.headers.get("Content-Range", "")
+        match = _CONTENT_RANGE.fullmatch(header.strip())
+        if match is None:
+            self._send_error(
+                400,
+                f"malformed Content-Range {header!r}; expected "
+                "'bytes <start>-<end>/<total>'",
+            )
+            return
+        start, end, total = (int(group) for group in match.groups())
+        if total > MAX_DATASET_BODY_BYTES:
+            self.close_connection = True
+            self._send_error(
+                413, f"dataset body over {MAX_DATASET_BODY_BYTES} bytes"
+            )
+            return
+        try:
+            data = self._read_raw_body(limit=MAX_DATASET_BODY_BYTES)
+            overwrote = name in self.service.datasets
+            doc = self.service.datasets.upload_fragment(
+                name, data, start=start, end=end, total=total
+            )
+        except DatasetConflictError as error:
+            self._send_error(416, str(error))
+            return
+        except DatasetTooLargeError as error:
+            self._send_error(413, str(error))
+            return
+        except (ReproError, ValueError, TypeError, KeyError) as error:
+            self._send_error(400, str(error))
+            return
+        if doc.get("complete"):
+            self._send_json(200 if overwrote else 201, doc)
+        else:
+            self._send_json(202, doc)
+
+    def _append_dataset(self, name: str) -> None:
+        """``PATCH /v1/datasets/<name>``: append rentals onto a dataset.
+
+        The body is ``{"rentals": [[id, bike_id, started_at, ended_at,
+        rental_location_id, return_location_id], ...]}`` — the row shape
+        of the full upload.  Appended ids must strictly exceed every
+        stored id (``409`` otherwise); the response is the updated
+        metadata document with the rolled-forward chain digest, so the
+        resource's ``ETag`` moves with every accepted append.
+        """
+        try:
+            body = self._read_body(limit=MAX_DATASET_BODY_BYTES)
+            rentals = rental_records_from_rows(body.get("rentals", []))
+        except (ReproError, ValueError, TypeError, KeyError) as error:
+            self._send_error(400, str(error))
+            return
+        try:
+            meta = self.service.append_dataset(name, rentals)
+        except DatasetConflictError as error:
+            self._send_error(409, str(error))
+            return
+        except DatasetTooLargeError as error:
+            self._send_error(413, str(error))
+            return
+        except ReproError as error:
+            self._send_error(400, str(error))
+            return
+        if meta is None:
+            self._send_error(404, f"no dataset named {name!r}")
+        else:
+            self._send_json(200, meta)
 
     def _delete_dataset(self, name: str) -> None:
         if self.service.delete_dataset(name):
@@ -759,14 +865,44 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError(f"query parameter {name!r} given twice")
         return values[0]
 
-    def _read_body(self, limit: int = MAX_BODY_BYTES) -> dict:
+    def _read_raw_body(self, limit: int = MAX_BODY_BYTES) -> bytes:
+        """Drain the request body in 64 KiB chunks with a rolling digest.
+
+        Large dataset bodies never pass through one giant
+        ``rfile.read`` buffer-doubling call, and the digest comes for
+        free on the way past: when the client sent
+        ``X-Repro-Content-SHA256``, a mismatch (truncated proxy, bit
+        rot) is a ``400`` before any of the bytes are acted on.
+        """
         length = int(self.headers.get("Content-Length") or 0)
         if length > limit:
             # The body stays unread; drop the connection after the 400
             # so keep-alive does not parse those bytes as a request.
             self.close_connection = True
             raise ValueError(f"request body over {limit} bytes")
-        raw = self.rfile.read(length) if length else b"{}"
+        sha = hashlib.sha256()
+        chunks: list[bytes] = []
+        remaining = length
+        while remaining:
+            chunk = self.rfile.read(min(remaining, 64 * 1024))
+            if not chunk:
+                self.close_connection = True
+                raise ValueError(
+                    f"request body truncated at {length - remaining} "
+                    f"of {length} bytes"
+                )
+            sha.update(chunk)
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        claimed = (self.headers.get(INTEGRITY_HEADER) or "").strip().lower()
+        if claimed and claimed != sha.hexdigest():
+            raise ValueError(
+                f"{INTEGRITY_HEADER} does not match the received body"
+            )
+        return b"".join(chunks)
+
+    def _read_body(self, limit: int = MAX_BODY_BYTES) -> dict:
+        raw = self._read_raw_body(limit)
         payload = json.loads(raw.decode("utf-8") or "{}")
         if not isinstance(payload, dict):
             raise ValueError("request body must be a JSON object")

@@ -294,6 +294,9 @@ class ExpansionService:
         #: not served from the results store).  The dedup tests and the
         #: ``/v1/healthz`` document read this.
         self.pipeline_executions = 0
+        #: How many of those executions ran in incremental mode (merged
+        #: a parent lineage delta instead of recomputing from scratch).
+        self.incremental_runs = 0
         #: Terminal jobs dropped by the retention policy.
         self.jobs_pruned = 0
         #: Jobs adopted from a previous process's journal, and how many
@@ -326,6 +329,7 @@ class ExpansionService:
         self.obs.bind_job_table(self._jobs_by_state)
         self.obs.bind_breaker(self.breaker.snapshot)
         self.obs.bind_bytes_cache(self.results.bytes_cache.stats)
+        self.obs.bind_ingestion(self.datasets.ingestion_stats)
         self.watchdog_stale_s = watchdog_stale_s
         self.watchdog: Watchdog | None = None
         if watchdog_stale_s is not None:
@@ -349,6 +353,19 @@ class ExpansionService:
         fingerprint tracks the digest, not the name.
         """
         return self.datasets.put(name, dataset)
+
+    def append_dataset(self, name: str, rentals: list) -> dict | None:
+        """Append rental records onto a stored dataset (``PATCH``).
+
+        Returns the updated metadata document (new chain digest, counts,
+        append lineage) or ``None`` when no dataset is stored under
+        ``name``.  The store rolls the content digest forward in O(delta)
+        and re-chains only the temporal slices the delta touches, so a
+        resubmitted scenario recomputes just those slices.  Cached
+        byte-views and memoised resolutions keyed by the old digest miss
+        naturally — the digest moved.
+        """
+        return self.datasets.append(name, rentals)
 
     def delete_dataset(self, name: str) -> bool:
         """Drop a named dataset; returns whether it existed."""
@@ -769,6 +786,10 @@ class ExpansionService:
                 "bytes": datasets_stats["bytes"],
                 "evictions": self.datasets.evictions,
             },
+            "ingestion": {
+                **self.datasets.ingestion_stats(),
+                "incremental_runs": self.incremental_runs,
+            },
             "cache": {
                 "hits": self.cache.hits,
                 "misses": self.cache.misses,
@@ -871,6 +892,7 @@ class ExpansionService:
                 return False
 
             timer = StageTimer()
+            incremental: dict[str, Any] = {}
             envelope = self._build_envelope(
                 job.spec,
                 raw,
@@ -878,12 +900,18 @@ class ExpansionService:
                 timer,
                 cancel=check_cancel,
                 sweep_resolved=resolved,
+                incremental_out=incremental,
             )
             envelope["fingerprint"] = job.fingerprint
             # Timings are job metadata (they vary run to run), not part
             # of the canonical envelope — envelopes stay byte-identical
-            # across surfaces and replays.
-            job.timings = timer.report().to_dict()
+            # across surfaces and replays.  The incremental block rides
+            # along: slices_reused/slices_recomputed describe *this*
+            # execution, not the result.
+            timings = timer.report().to_dict()
+            if incremental:
+                timings["incremental"] = incremental
+            job.timings = timings
             job.canonical = self.results.put(job.fingerprint, envelope)
             job.complete(envelope)
         except PipelineCancelledError:
@@ -937,12 +965,25 @@ class ExpansionService:
         timer: "StageTimer | None" = None,
         cancel: "Any | None" = None,
         sweep_resolved: list | None = None,
+        incremental_out: dict | None = None,
     ) -> dict[str, Any]:
-        """Compute every requested output into one envelope dict."""
+        """Compute every requested output into one envelope dict.
+
+        ``incremental_out``, when given, receives the runner's
+        :meth:`~repro.pipeline.runner.PipelineRunner.incremental_report`
+        — run metadata (like timings), never envelope content, so
+        incremental and cold envelopes stay byte-identical.
+        """
         config = spec.config()
         outputs: dict[str, Any] = {}
         result = None
         if {OUTPUT_RUN, OUTPUT_REBALANCE, OUTPUT_REPORT} & set(spec.outputs):
+            # Named datasets carry append lineage; the runner validates
+            # it against the digest it was handed (a raced overwrite or
+            # append just reads as "no lineage" → a cold run).
+            lineage = None
+            if spec.dataset.kind == "named":
+                lineage = self.datasets.lineage(spec.dataset.name)
             runner = PipelineRunner(
                 raw,
                 config,
@@ -953,8 +994,16 @@ class ExpansionService:
                 timer=timer,
                 cancel=cancel,
                 stage_observer=self.obs.observe_stage,
+                lineage=lineage,
             )
             result = runner.run()
+            report = runner.incremental_report()
+            if report.get("mode") == "incremental":
+                with self._mutex:
+                    self.incremental_runs += 1
+            self.obs.observe_incremental(report)
+            if incremental_out is not None:
+                incremental_out.update(report)
         if OUTPUT_RUN in spec.outputs:
             run_output = result.to_dict()
             # Wall-clock timings are job metadata, not canonical result

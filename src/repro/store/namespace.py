@@ -416,6 +416,68 @@ class Namespace:
         return self._retrying(lambda: self.backend.peek(encoded))
 
     # ------------------------------------------------------------------
+    # Part-level rewrites (in-place entry surgery)
+    # ------------------------------------------------------------------
+    #
+    # An *append* rewrites one part of a live entry without ever
+    # materialising the whole entry in memory.  The caller owns the
+    # crash-safety protocol — delete the anchor first (the entry reads
+    # as absent mid-surgery), rewrite the bulk parts through streaming
+    # handles, write the new anchor last, then :meth:`finish_entry` —
+    # and must hold :meth:`lock` for the key throughout.
+
+    def delete_part(self, key: str, part: str) -> bool:
+        """Drop one part of a multi-part entry; returns whether it existed.
+
+        Deleting the anchor part makes the whole entry read as absent —
+        the first step of a crash-safe in-place rewrite.
+        """
+        return self.backend.delete(self._encode(key, part))
+
+    def put_part(self, key: str, part: str, data: bytes) -> None:
+        """Write one part of a multi-part entry (atomic publish).
+
+        No quota check and no store count — the caller completes the
+        surgery with :meth:`finish_entry`, which does both.
+        """
+        encoded = self._encode(key, part)
+        self._retrying(lambda: self.backend.put(encoded, data))
+
+    def open_part_read(self, key: str, part: str) -> BinaryIO | None:
+        """A streaming read handle on one part, or ``None`` when absent."""
+        try:
+            return self.backend.open_read(self._encode(key, part))
+        except OSError:
+            return None
+
+    @contextmanager
+    def open_part_write(self, key: str, part: str):
+        """Streaming atomic write of one part.
+
+        The handle's bytes publish atomically on exit — a concurrent
+        reader sees the old part or the complete new one, never a torn
+        mix — so a crash mid-append leaves the old bytes in place (and
+        the deleted anchor keeps the entry invisible regardless).
+        """
+        encoded = self._encode(key, part)
+        with self.backend.open_write(encoded) as handle:
+            yield handle
+
+    def finish_entry(self, key: str) -> None:
+        """Account a completed in-place rewrite: one store, then quotas."""
+        with self._mutex:
+            self.stores += 1
+        self.evict(keep=key)
+
+    def check_entry_size(self, key: str, size: int) -> None:
+        """Raise :class:`StoreQuotaError` if ``size`` breaks per-entry caps.
+
+        The pre-flight an append runs *before* touching any part: the
+        verdict must land while the old entry is still intact.
+        """
+        self._check_entry_size(key, size)
+
+    # ------------------------------------------------------------------
     # Shared operations
     # ------------------------------------------------------------------
 

@@ -179,6 +179,125 @@ class TestSigkillRecovery:
             proc.wait(timeout=30)
 
 
+class TestSigkillMidAppend:
+    """SIGKILL during ``PATCH /v1/datasets`` append traffic.
+
+    The append path deletes the metadata anchor before rewriting the
+    rental log, so whatever instant the process dies, a restart over
+    the same store directory must observe one of exactly three states:
+    the dataset after some *whole* number of appends (digest and row
+    count advance together along the client-computed chain), or a torn
+    entry that reads as absent and is restored by a plain re-push.
+    Never new rows under an old digest, never a half-applied batch.
+    """
+
+    BATCH = 2000
+    BATCHES = 8
+
+    @pytest.mark.parametrize("backend", chaos_backends())
+    def test_append_is_atomic_across_sigkill(
+        self, backend, small_raw, tmp_path
+    ):
+        from datetime import timedelta
+
+        from repro.data.records import RentalRecord
+        from repro.pipeline.fingerprint import chain_digest, rentals_digest
+
+        template = next(
+            r for r in small_raw.rentals()
+            if r.rental_location_id is not None
+            and r.return_location_id is not None
+        )
+        base_id = (small_raw.max_rental_id() or 0) + 1
+        batches = []
+        for index in range(self.BATCHES):
+            start_id = base_id + index * self.BATCH
+            batches.append([
+                RentalRecord(
+                    rental_id=start_id + offset,
+                    bike_id=template.bike_id,
+                    started_at=template.started_at
+                    + timedelta(seconds=offset),
+                    ended_at=template.ended_at + timedelta(seconds=offset),
+                    rental_location_id=template.rental_location_id,
+                    return_location_id=template.return_location_id,
+                )
+                for offset in range(self.BATCH)
+            ])
+
+        store_dir = tmp_path / "store"
+        proc, base = boot_serve(store_dir, backend, {})
+        try:
+            status, body, _ = http(
+                f"{base}/v1/datasets/chaos", body=small_raw.to_dict(),
+                method="PUT",
+            )
+            assert status == 201
+            put_digest = json.loads(body)["digest"]
+
+            # The digest/row-count chain every legal crash state lies on.
+            chain = [(put_digest, small_raw.n_rentals)]
+            for batch in batches:
+                chain.append((
+                    chain_digest(chain[-1][0], rentals_digest(batch)),
+                    chain[-1][1] + len(batch),
+                ))
+
+            def patch_forever():
+                for batch in batches:
+                    rows = [
+                        [r.rental_id, r.bike_id, r.started_at.isoformat(),
+                         r.ended_at.isoformat(), r.rental_location_id,
+                         r.return_location_id]
+                        for r in batch
+                    ]
+                    try:
+                        http(
+                            f"{base}/v1/datasets/chaos",
+                            body={"rentals": rows}, method="PATCH",
+                        )
+                    except OSError:
+                        return  # the process died under us — expected
+
+            appender = threading.Thread(target=patch_forever, daemon=True)
+            appender.start()
+            time.sleep(0.15)  # let the SIGKILL land on live append work
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+        appender.join(timeout=30)
+
+        proc, base = boot_serve(store_dir, backend, {})
+        try:
+            status, body, headers = http(f"{base}/v1/datasets/chaos")
+            if status == 404:
+                # Torn entry: reads as absent everywhere; a plain
+                # re-push restores it.
+                status, body, _ = http(
+                    f"{base}/v1/datasets/chaos", body=small_raw.to_dict(),
+                    method="PUT",
+                )
+                assert status == 201
+                restored = json.loads(body)["digest"]
+                status, body, headers = http(f"{base}/v1/datasets/chaos")
+                assert status == 200
+                assert json.loads(body)["digest"] == restored
+                assert headers["ETag"].strip('"') == restored
+            else:
+                assert status == 200
+                meta = json.loads(body)
+                survivors = dict(chain)
+                assert meta["digest"] in survivors, (
+                    "restart observed a digest off the append chain"
+                )
+                assert meta["n_rentals"] == survivors[meta["digest"]], (
+                    "digest and row count disagree: half-applied append"
+                )
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
 class TestOverloadShedding:
     def test_full_admission_queue_answers_429(self, small_raw):
         service = ExpansionService(max_workers=1, max_queue=2)

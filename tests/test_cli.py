@@ -128,13 +128,13 @@ class TestCacheDir:
 
         cli.main(["generate", "--seed", "11", "--out", str(tmp_path / "data")])
         calls = {"count": 0}
-        original = runner_module.build_candidate_network
+        original = runner_module.project_candidate_flow
 
         def counting(*args, **kwargs):
             calls["count"] += 1
             return original(*args, **kwargs)
 
-        monkeypatch.setattr(runner_module, "build_candidate_network", counting)
+        monkeypatch.setattr(runner_module, "project_candidate_flow", counting)
         argv = [
             "run",
             "--data", str(tmp_path / "data"),

@@ -30,7 +30,7 @@ MARKDOWN_FILES = sorted(
 )
 
 _ROUTE_HEADING = re.compile(
-    r"^### `(GET|POST|PUT|DELETE) (/[^`]*)`", re.MULTILINE
+    r"^### `(GET|POST|PUT|PATCH|DELETE) (/[^`]*)`", re.MULTILINE
 )
 _MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
@@ -51,7 +51,7 @@ class TestApiRouteDiff:
     def test_route_registry_is_nonempty_and_wellformed(self):
         assert len(ROUTES) >= 5
         for method, path in ROUTES:
-            assert method in ("GET", "POST", "PUT", "DELETE")
+            assert method in ("GET", "POST", "PUT", "PATCH", "DELETE")
             assert path.startswith("/v1/")
 
 

@@ -217,14 +217,14 @@ class TestSweep:
 
     def test_sweep_shares_common_stages(self, small_raw, monkeypatch):
         calls = {"count": 0}
-        original = runner_module.build_candidate_network
+        original = runner_module.project_candidate_flow
 
         def counting(*args, **kwargs):
             calls["count"] += 1
             return original(*args, **kwargs)
 
         monkeypatch.setattr(
-            runner_module, "build_candidate_network", counting
+            runner_module, "project_candidate_flow", counting
         )
         configs = [
             PAPER_CONFIG.derive({"temporal.coupling": value})
